@@ -1,0 +1,23 @@
+//! # son-apps — applications over the structured overlay
+//!
+//! The application classes the paper uses to motivate the framework:
+//!
+//! * [`video`] — broadcast-quality video transport (§III-A) and live video
+//!   under a one-way deadline (§IV-A), with decoder-level quality scoring.
+//! * [`monitoring`] — monitoring and control of global clouds over overlay
+//!   multicast (§III-B), with intrusion-tolerant variants (§IV-B).
+//! * [`manipulation`] — real-time remote manipulation at a 65 ms one-way
+//!   deadline (§V-A): single-strike recovery over dissemination graphs.
+//! * [`transcode`] — compound flows with in-overlay transcoding and
+//!   facility failover (§V-C).
+//! * [`scada`] — critical-infrastructure control with intrusion-tolerant
+//!   agreement among control-center replicas over the overlay (§V-B).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod manipulation;
+pub mod monitoring;
+pub mod scada;
+pub mod transcode;
+pub mod video;

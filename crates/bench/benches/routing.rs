@@ -1,0 +1,55 @@
+//! Routing-level computation cost on the 12-node continental overlay:
+//! the work a node performs at each topology change (sub-second rerouting
+//! budget) and at flow setup (source-route stamps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
+use son_overlay::builder::continental_overlay;
+use son_topo::{
+    dijkstra, k_node_disjoint_paths, multicast_tree, robust_dissemination_graph, EdgeMask, NodeId,
+};
+
+fn topo() -> son_topo::Graph {
+    let sc = continental_us(DEFAULT_CONVERGENCE);
+    continental_overlay(&sc).0
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let g = topo();
+    let (src, dst) = (NodeId(0), NodeId(11));
+
+    c.bench_function("dijkstra_12_city", |b| {
+        b.iter(|| std::hint::black_box(dijkstra(&g, src)))
+    });
+
+    c.bench_function("disjoint_paths_k2", |b| {
+        b.iter(|| std::hint::black_box(k_node_disjoint_paths(&g, src, dst, 2)))
+    });
+
+    c.bench_function("disjoint_paths_k3", |b| {
+        b.iter(|| std::hint::black_box(k_node_disjoint_paths(&g, src, dst, 3)))
+    });
+
+    c.bench_function("dissemination_graph", |b| {
+        b.iter(|| std::hint::black_box(robust_dissemination_graph(&g, src, dst)))
+    });
+
+    let members: Vec<NodeId> = (1..12).map(NodeId).collect();
+    c.bench_function("multicast_tree_11_members", |b| {
+        b.iter(|| std::hint::black_box(multicast_tree(&g, src, &members)))
+    });
+
+    let mask: EdgeMask = g.full_mask();
+    c.bench_function("edge_mask_iterate_full", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for e in mask.iter() {
+                n += e.0;
+            }
+            std::hint::black_box(n)
+        })
+    });
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

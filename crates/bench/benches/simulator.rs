@@ -1,0 +1,57 @@
+//! Simulator throughput: event-queue operations and whole-deployment
+//! event processing rate (how much virtual traffic a host can push).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use son_netsim::event::EventQueue;
+use son_netsim::sim::Simulation;
+use son_netsim::time::{SimDuration, SimTime};
+use son_overlay::builder::{chain_topology, OverlayBuilder};
+use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
+use son_overlay::{Destination, FlowSpec, OverlayAddr, Wire};
+use son_topo::NodeId;
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("event_queue_schedule_pop", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            q.schedule(SimTime::from_nanos(t), t);
+            std::hint::black_box(q.pop())
+        })
+    });
+
+    c.bench_function("overlay_5hop_reliable_1s_stream", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<Wire> = Simulation::new(1);
+            let overlay = OverlayBuilder::new(chain_topology(6, 10.0)).build(&mut sim);
+            let _rx = sim.add_process(ClientProcess::new(ClientConfig {
+                daemon: overlay.daemon(NodeId(5)),
+                port: 70,
+                joins: vec![],
+                flows: vec![],
+            }));
+            let _tx = sim.add_process(ClientProcess::new(ClientConfig {
+                daemon: overlay.daemon(NodeId(0)),
+                port: 50,
+                joins: vec![],
+                flows: vec![ClientFlow {
+                    local_flow: 1,
+                    dst: Destination::Unicast(OverlayAddr::new(NodeId(5), 70)),
+                    spec: FlowSpec::reliable(),
+                    workload: Workload::Cbr {
+                        size: 1316,
+                        interval: SimDuration::from_millis(10),
+                        count: 100,
+                        start: SimTime::from_millis(100),
+                    },
+                }],
+            }));
+            sim.run_until(SimTime::from_secs(2));
+            std::hint::black_box(sim.events_processed())
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

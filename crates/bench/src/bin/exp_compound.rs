@@ -1,0 +1,138 @@
+//! E9 — §V-C: compound flows with in-overlay transcoding and failover.
+//!
+//! A stadium feed crosses the overlay to an anycast-selected transcoding
+//! facility, is transformed (downscaled, with processing latency), and the
+//! rendition is multicast onward to CDN ingest points. Mid-run the active
+//! facility fails; the overlay's shared group state re-resolves the anycast
+//! to the surviving facility and the compound flow continues.
+
+use son_bench::{banner, f, row, table_header, RX_PORT, TX_PORT};
+use son_apps::transcode::{TranscoderConfig, TranscoderProcess, OUTPUT_GROUP, TRANSCODE_GROUP};
+use son_apps::video::VideoProfile;
+use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
+use son_netsim::sim::Simulation;
+use son_netsim::time::{SimDuration, SimTime};
+use son_overlay::builder::{continental_overlay, OverlayBuilder};
+use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess};
+use son_overlay::{Destination, FlowSpec, Wire};
+use son_topo::NodeId;
+
+const STADIUM: NodeId = NodeId(4); // MIA: the live event
+const FACILITY_A: NodeId = NodeId(3); // ATL cloud region (nearest)
+const FACILITY_B: NodeId = NodeId(5); // CHI cloud region (backup)
+const CDNS: [NodeId; 3] = [NodeId(0), NodeId(9), NodeId(11)]; // NYC, SEA, LA
+
+fn run(fail_primary: bool) -> (u64, u64, u64, Vec<u64>, f64, f64) {
+    let sc = continental_us(DEFAULT_CONVERGENCE);
+    let (topo, _) = continental_overlay(&sc);
+    let mut sim: Simulation<Wire> = Simulation::new(91);
+    let overlay = OverlayBuilder::new(topo).build(&mut sim);
+
+    let mk = |node: NodeId, fail_at: Option<SimTime>| TranscoderConfig {
+        daemon: overlay.daemon(node),
+        port: 150,
+        input_group: TRANSCODE_GROUP,
+        output_group: OUTPUT_GROUP,
+        scale: 0.25,
+        processing: SimDuration::from_millis(30),
+        output_spec: FlowSpec::reliable(),
+        fail_at,
+    };
+    let fac_a = sim.add_process(TranscoderProcess::new(mk(
+        FACILITY_A,
+        fail_primary.then(|| SimTime::from_secs(10)),
+    )));
+    let fac_b = sim.add_process(TranscoderProcess::new(mk(FACILITY_B, None)));
+
+    let cdns: Vec<_> = CDNS
+        .iter()
+        .map(|&n| {
+            sim.add_process(ClientProcess::new(ClientConfig {
+                daemon: overlay.daemon(n),
+                port: RX_PORT,
+                joins: vec![OUTPUT_GROUP],
+                flows: vec![],
+            }))
+        })
+        .collect();
+
+    let profile = VideoProfile::broadcast_sd();
+    let tx = sim.add_process(ClientProcess::new(ClientConfig {
+        daemon: overlay.daemon(STADIUM),
+        port: TX_PORT,
+        joins: vec![],
+        flows: vec![ClientFlow {
+            local_flow: 1,
+            dst: Destination::Anycast(TRANSCODE_GROUP),
+            spec: FlowSpec::reliable(),
+            workload: profile.workload(SimTime::from_secs(1), SimDuration::from_secs(20)),
+        }],
+    }));
+    sim.run_until(SimTime::from_secs(30));
+
+    let sent = sim.proc_ref::<ClientProcess>(tx).unwrap().sent(1);
+    let a = sim.proc_ref::<TranscoderProcess>(fac_a).unwrap();
+    let b = sim.proc_ref::<TranscoderProcess>(fac_b).unwrap();
+    let stage1_latency = a
+        .input_latency_ms
+        .mean()
+        .or(b.input_latency_ms.mean())
+        .unwrap_or(f64::NAN);
+    let per_cdn: Vec<u64> = cdns
+        .iter()
+        .map(|&c| {
+            sim.proc_ref::<ClientProcess>(c)
+                .unwrap()
+                .recv
+                .values()
+                .map(|r| r.received)
+                .sum()
+        })
+        .collect();
+    // Failover gap: longest delivery gap at the first CDN after the failure.
+    let gap = sim.proc_ref::<ClientProcess>(cdns[0])
+        .unwrap()
+        .recv
+        .values()
+        .flat_map(|r| r.arrivals.windows(2))
+        .filter(|w| w[1].0 > SimTime::from_secs(10))
+        .map(|w| w[1].0.saturating_since(w[0].0).as_millis_f64())
+        .fold(0.0f64, f64::max);
+    (sent, a.processed, b.processed, per_cdn, stage1_latency, gap)
+}
+
+fn main() {
+    banner(
+        "E9 / Section V-C (compound flows: transcode in the overlay)",
+        "stadium -> anycast transcoding facility -> multicast to CDNs, with facility failover",
+    );
+
+    table_header(&[
+        ("scenario", 18),
+        ("sent", 6),
+        ("facility A", 10),
+        ("facility B", 10),
+        ("min CDN recv", 12),
+        ("stage1 ms", 9),
+        ("failover gap", 12),
+    ]);
+    for fail in [false, true] {
+        let (sent, a, b, per_cdn, stage1, gap) = run(fail);
+        row(&[
+            (if fail { "A fails at t=10s" } else { "no failure" }.to_string(), 18),
+            (sent.to_string(), 6),
+            (a.to_string(), 10),
+            (b.to_string(), 10),
+            (per_cdn.iter().min().unwrap().to_string(), 12),
+            (f(stage1, 1), 9),
+            (if fail { f(gap, 0) + "ms" } else { "-".into() }, 12),
+        ]);
+    }
+
+    println!();
+    println!("Shape check (paper): the compound flow's guarantees hold through the");
+    println!("transformation (every CDN receives the rendition); when the facility");
+    println!("fails, anycast re-resolution moves the flow to the backup facility at");
+    println!("sub-second scale and the stream continues (only in-flight packets to");
+    println!("the dead facility are lost).");
+}

@@ -1,0 +1,127 @@
+//! E10 — §II-B/§III-A: redundant dissemination with in-network
+//! de-duplication.
+//!
+//! Redundant schemes intentionally put multiple copies of every packet on
+//! the wire; the overlay's flow-scoped duplicate suppression must ensure
+//! the application sees each payload exactly once, while the wire cost
+//! reflects the scheme. A hostile duplicating relay is also thrown in to
+//! show dedup handles amplification, not just planned redundancy.
+
+use son_bench::{banner, f, row, table_header, UnicastRun};
+use son_netsim::time::SimDuration;
+use son_overlay::builder::chain_topology;
+use son_overlay::{FlowSpec, RoutingService, SourceRoute};
+use son_topo::{Graph, NodeId};
+
+/// Diamond: two node-disjoint 2-hop routes 0-1-3 and 0-2-3.
+fn diamond() -> Graph {
+    let mut g = Graph::new(4);
+    g.add_edge(NodeId(0), NodeId(1), 10.0);
+    g.add_edge(NodeId(1), NodeId(3), 10.0);
+    g.add_edge(NodeId(0), NodeId(2), 10.0);
+    g.add_edge(NodeId(2), NodeId(3), 10.0);
+    g
+}
+
+fn main() {
+    banner(
+        "E10 / Sections II-B, III-A (de-duplication)",
+        "redundant copies die in the network; the application sees each payload exactly once",
+    );
+
+    table_header(&[
+        ("scheme", 16),
+        ("delivered", 9),
+        ("app dups", 8),
+        ("wire tx/pkt", 11),
+        ("dedup kills/pkt", 15),
+    ]);
+
+    let schemes: Vec<(&str, FlowSpec)> = vec![
+        ("single path", FlowSpec::best_effort()),
+        (
+            "2 disjoint",
+            FlowSpec::best_effort()
+                .with_routing(RoutingService::SourceBased(SourceRoute::DisjointPaths(2))),
+        ),
+        (
+            "flooding",
+            FlowSpec::best_effort()
+                .with_routing(RoutingService::SourceBased(SourceRoute::ConstrainedFlooding)),
+        ),
+    ];
+    let count = 500u64;
+    for (name, spec) in schemes {
+        let mut run = UnicastRun::new(diamond(), spec, NodeId(0), NodeId(3));
+        run.count = count;
+        run.interval = SimDuration::from_millis(10);
+        let out = run.run();
+        row(&[
+            (name.to_string(), 16),
+            (format!("{}/{}", out.recv.received, out.sent), 9),
+            (out.recv.app_duplicates.to_string(), 8),
+            (f(out.forwarded as f64 / count as f64, 2), 11),
+            (f(out.dedup_suppressed as f64 / count as f64, 2), 15),
+        ]);
+    }
+
+    // Amplification attack: a compromised relay triples every packet.
+    {
+        use son_netsim::sim::Simulation;
+        use son_netsim::time::SimTime;
+        use son_overlay::adversary::Behavior;
+        use son_overlay::builder::OverlayBuilder;
+        use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
+        use son_overlay::node::OverlayNode;
+        use son_overlay::{Destination, OverlayAddr, Wire};
+
+        let mut sim: Simulation<Wire> = Simulation::new(13);
+        let overlay = OverlayBuilder::new(chain_topology(3, 10.0)).build(&mut sim);
+        sim.proc_mut::<OverlayNode>(overlay.daemon(NodeId(1)))
+            .unwrap()
+            .set_behavior(Behavior::Duplicate { copies: 3 });
+        let mask = son_topo::EdgeMask::from_edges([son_topo::EdgeId(0), son_topo::EdgeId(1)]);
+        let rx = sim.add_process(ClientProcess::new(ClientConfig {
+            daemon: overlay.daemon(NodeId(2)),
+            port: son_bench::RX_PORT,
+            joins: vec![],
+            flows: vec![],
+        }));
+        let _tx = sim.add_process(ClientProcess::new(ClientConfig {
+            daemon: overlay.daemon(NodeId(0)),
+            port: son_bench::TX_PORT,
+            joins: vec![],
+            flows: vec![ClientFlow {
+                local_flow: 1,
+                dst: Destination::Unicast(OverlayAddr::new(NodeId(2), son_bench::RX_PORT)),
+                spec: FlowSpec::best_effort()
+                    .with_routing(RoutingService::SourceBased(SourceRoute::Static(mask))),
+                workload: Workload::Cbr {
+                    size: 1000,
+                    interval: SimDuration::from_millis(10),
+                    count,
+                    start: SimTime::from_millis(500),
+                },
+            }],
+        }));
+        sim.run_until(SimTime::from_secs(10));
+        let recv = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv().clone();
+        let kills = sim
+            .proc_ref::<OverlayNode>(overlay.daemon(NodeId(2)))
+            .unwrap()
+            .metrics()
+            .dedup_suppressed;
+        row(&[
+            ("3x amplifier".to_string(), 16),
+            (format!("{}/{count}", recv.received), 9),
+            (recv.app_duplicates.to_string(), 8),
+            ("-".to_string(), 11),
+            (f(kills as f64 / count as f64, 2), 15),
+        ]);
+    }
+
+    println!();
+    println!("Shape check (paper): wire transmissions scale with the scheme's redundancy");
+    println!("(2x+ for disjoint paths, the whole topology for flooding, 3x under the");
+    println!("amplifier), while application-level duplicates stay at exactly zero.");
+}

@@ -1,0 +1,143 @@
+//! E7 — §IV-B: intrusion-tolerant fair scheduling under a
+//! resource-consumption attack.
+//!
+//! "Both Priority and Reliable messaging use fair buffer allocation and
+//! round-robin scheduling to ensure that a compromised source cannot consume
+//! the resources of other sources to prevent their messages from being
+//! forwarded." Four correct sources share a relay with one attacker whose
+//! send rate we sweep from 1x to 100x; the FIFO baseline, IT-Priority, and
+//! IT-Reliable carry the same offered load through the same paced egress.
+
+use son_bench::{banner, f, row, table_header, RX_PORT, TX_PORT};
+use son_netsim::sim::Simulation;
+use son_netsim::stats::jain_fairness;
+use son_netsim::time::{SimDuration, SimTime};
+use son_overlay::builder::OverlayBuilder;
+use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
+use son_overlay::{Destination, FlowSpec, LinkService, NodeConfig, OverlayAddr, Wire};
+use son_topo::{Graph, NodeId};
+
+/// Correct sources send 25 packets/s each.
+const CORRECT_INTERVAL: SimDuration = SimDuration::from_millis(40);
+const RUN_FOR: SimTime = SimTime::from_secs(30);
+const MEASURE_FROM: SimTime = SimTime::from_secs(5);
+
+/// Star: sources 0..5 -> relay 5 -> sink 6. Node 4 hosts the attacker.
+fn topology() -> Graph {
+    let mut g = Graph::new(7);
+    for i in 0..5 {
+        g.add_edge(NodeId(i), NodeId(5), 10.0);
+    }
+    g.add_edge(NodeId(5), NodeId(6), 10.0);
+    g
+}
+
+/// Runs one (service, attacker-rate) cell; returns
+/// (mean correct goodput fraction, attacker share of sink traffic, jain).
+fn run(service: LinkService, attack_multiplier: u64) -> (f64, f64, f64) {
+    // 2 Mbit/s egress ≈ 238 pkt/s of 1048-B wire packets: fair share of 5
+    // sources ≈ 47/s > the 25/s each correct source offers.
+    let config = NodeConfig {
+        it_rate_bps: Some(2_000_000),
+        it_source_cap: 16,
+        fifo_cap: 64,
+        ..Default::default()
+    };
+    let mut sim: Simulation<Wire> = Simulation::new(61 + attack_multiplier);
+    let overlay = OverlayBuilder::new(topology()).node_config(config).build(&mut sim);
+    let sink = sim.add_process(ClientProcess::new(ClientConfig {
+        daemon: overlay.daemon(NodeId(6)),
+        port: RX_PORT,
+        joins: vec![],
+        flows: vec![],
+    }));
+    let spec = FlowSpec::best_effort().with_link(service);
+    let mut senders = Vec::new();
+    for i in 0..5usize {
+        let interval = if i == 4 {
+            SimDuration::from_nanos(CORRECT_INTERVAL.as_nanos() / attack_multiplier.max(1))
+        } else {
+            CORRECT_INTERVAL
+        };
+        senders.push(sim.add_process(ClientProcess::new(ClientConfig {
+            daemon: overlay.daemon(NodeId(i)),
+            port: TX_PORT,
+            joins: vec![],
+            flows: vec![ClientFlow {
+                local_flow: 1,
+                dst: Destination::Unicast(OverlayAddr::new(NodeId(6), RX_PORT)),
+                spec,
+                workload: Workload::Cbr {
+                    size: 1000,
+                    interval,
+                    count: u64::MAX,
+                    start: SimTime::from_millis(500),
+                },
+            }],
+        })));
+    }
+    sim.run_until(RUN_FOR);
+    let sink_client = sim.proc_ref::<ClientProcess>(sink).unwrap();
+    // Steady-state accounting: deliveries after MEASURE_FROM.
+    let delivered_after = |i: usize| -> u64 {
+        sink_client
+            .recv
+            .iter()
+            .filter(|(k, _)| k.src.node == NodeId(i))
+            .flat_map(|(_, r)| r.arrivals.iter())
+            .filter(|&&(t, _)| t >= MEASURE_FROM)
+            .count() as u64
+    };
+    let window = RUN_FOR.saturating_since(MEASURE_FROM).as_secs_f64();
+    let offered_correct = window / CORRECT_INTERVAL.as_secs_f64();
+    let correct_fracs: Vec<f64> =
+        (0..4).map(|i| delivered_after(i) as f64 / offered_correct).collect();
+    let attacker = delivered_after(4) as f64;
+    let total: f64 = (0..5).map(|i| delivered_after(i) as f64).sum();
+    let mean_correct = correct_fracs.iter().sum::<f64>() / 4.0;
+    let mut shares: Vec<f64> = (0..4).map(|i| delivered_after(i) as f64).collect();
+    shares.push(attacker);
+    (
+        mean_correct,
+        if total > 0.0 { attacker / total } else { 0.0 },
+        jain_fairness(&shares).unwrap_or(0.0),
+    )
+}
+
+fn main() {
+    banner(
+        "E7 / Section IV-B (fair scheduling under flooding attack)",
+        "round-robin fair schedulers protect correct sources; FIFO collapses",
+    );
+
+    table_header(&[
+        ("attacker rate", 13),
+        ("protocol", 12),
+        ("correct goodput", 15),
+        ("attacker share", 14),
+        ("jain", 6),
+    ]);
+
+    for mult in [1u64, 10, 40, 100] {
+        for (name, service) in [
+            ("fifo", LinkService::Fifo),
+            ("it-priority", LinkService::ItPriority),
+            ("it-reliable", LinkService::ItReliable),
+        ] {
+            let (correct, attacker_share, jain) = run(service, mult);
+            row(&[
+                (format!("{mult}x"), 13),
+                (name.to_string(), 12),
+                (f(correct * 100.0, 1) + "%", 15),
+                (f(attacker_share * 100.0, 1) + "%", 14),
+                (f(jain, 3), 6),
+            ]);
+        }
+        println!();
+    }
+
+    println!("Shape check (paper): under FIFO the attacker's share of the bottleneck");
+    println!("approaches 100% as its rate grows and correct goodput collapses; the");
+    println!("intrusion-tolerant schedulers hold correct sources at ~100% goodput");
+    println!("regardless of the attack rate, capping the attacker near one fair share.");
+}

@@ -1,0 +1,105 @@
+//! E1 — Figure 3: hop-by-hop recovery vs end-to-end recovery.
+//!
+//! "Consider a symmetric network path that spans a continent with a one-way
+//! latency of 50ms... a packet recovered end-to-end has at least 100ms of
+//! additional latency for a total minimum latency of 150ms. If that network
+//! path can be replaced with a series of five 10ms latency overlay links
+//! using hop-by-hop recovery, then a recovered packet has only at least 20ms
+//! additional latency for a total minimum latency of 70ms."
+//!
+//! Both configurations run the same Reliable Data Link protocol; the only
+//! difference is the topology: one 50 ms link (recovery spans the continent)
+//! versus five 10 ms links (recovery is hop-local). We sweep the per-link
+//! loss rate and report delivery latency for the packets that needed
+//! recovery, plus overall smoothness (jitter).
+
+use son_bench::{banner, f, row, table_header, UnicastRun};
+use son_netsim::loss::LossConfig;
+use son_netsim::time::SimDuration;
+use son_overlay::builder::chain_topology;
+use son_overlay::FlowSpec;
+use son_topo::NodeId;
+
+fn main() {
+    banner(
+        "E1 / Figure 3",
+        "50ms end-to-end ARQ recovers at >=150ms; five 10ms hop-by-hop links recover at ~70ms",
+    );
+
+    table_header(&[
+        ("topology", 18),
+        ("loss/link", 9),
+        ("delivered", 9),
+        ("base ms", 8),
+        ("late p50 ms", 13),
+        ("late max ms", 13),
+        ("p99 ms", 8),
+        ("jitter ms", 9),
+    ]);
+
+    // The end-to-end loss probability is matched: one 50ms link at loss p_e
+    // vs five 10ms links each at p such that 1-(1-p)^5 = p_e.
+    for &e2e_loss in &[0.005f64, 0.02, 0.05] {
+        let per_link = 1.0 - (1.0 - e2e_loss).powf(0.2);
+        for (label, topo, loss, from, to) in [
+            (
+                "1 x 50ms (e2e)",
+                chain_topology(2, 50.0),
+                e2e_loss,
+                NodeId(0),
+                NodeId(1),
+            ),
+            (
+                "5 x 10ms (hbh)",
+                chain_topology(6, 10.0),
+                per_link,
+                NodeId(0),
+                NodeId(5),
+            ),
+        ] {
+            let mut run = UnicastRun::new(topo, FlowSpec::reliable(), from, to);
+            run.loss = LossConfig::Bernoulli { p: loss };
+            run.count = 20_000;
+            run.interval = SimDuration::from_millis(5);
+            run.run_for = SimDuration::from_secs(150);
+            run.seed = 1_000 + (e2e_loss * 1e4) as u64;
+            let out = run.run();
+
+            let mut lat = out.recv.latency_ms.clone();
+            // "Late" deliveries are those well above the no-loss baseline
+            // (propagation + processing + IPC): the recovered packets plus
+            // everything held behind them by in-order delivery, i.e. the
+            // full user-visible cost of each loss episode.
+            let base = lat.quantile(0.05).unwrap_or(0.0);
+            let recovered: son_netsim::stats::Percentiles = out
+                .recv
+                .latency_ms
+                .samples()
+                .iter()
+                .copied()
+                .filter(|&l| l > base + 5.0)
+                .collect();
+            let mut recovered = recovered;
+            let (rec_p50, rec_max) = if recovered.count() > 0 {
+                (recovered.median().unwrap(), recovered.max().unwrap())
+            } else {
+                (f64::NAN, f64::NAN)
+            };
+            row(&[
+                (label.to_string(), 18),
+                (f(loss * 100.0, 2) + "%", 9),
+                (format!("{}/{}", out.recv.received, out.sent), 9),
+                (f(base, 1), 8),
+                (f(rec_p50, 1), 13),
+                (f(rec_max, 1), 13),
+                (f(lat.quantile(0.99).unwrap(), 1), 8),
+                (f(out.recv.jitter_ms.mean().unwrap_or(0.0), 2), 9),
+            ]);
+        }
+    }
+
+    println!();
+    println!("Shape check (paper): recovered-packet latency ~150ms end-to-end vs ~70ms");
+    println!("hop-by-hop — hop-by-hop recovery cuts recovery latency by ~2x or more and");
+    println!("delivers a smoother stream (lower p99/jitter) at equal end-to-end loss.");
+}

@@ -1,0 +1,137 @@
+//! E8 — §V-A: real-time remote manipulation at a 65 ms one-way deadline.
+//!
+//! "The roundtrip latency must be no more than about 130ms, translating to a
+//! one-way latency requirement of 65ms. On the scale of a continent... this
+//! leaves only 20-25ms of flexibility for buffering or recovery of lost
+//! packets." The strict deadline defeats deep retransmission schedules, so
+//! the approach combines the single-request/single-retransmission protocol
+//! \[6,7\] with dissemination graphs that add redundancy in the problematic
+//! areas \[2\].
+//!
+//! Setup: a 1 kHz haptic stream crosses the continental overlay NYC→LA
+//! (~37 ms propagation). Loss is concentrated around the source — the
+//! "problematic area" — on every link incident to NYC and its neighbors.
+//! We grid protocols × routing schemes and report the paper's metric: the
+//! fraction of commands delivered within 65 ms, plus wire cost.
+
+use son_bench::{banner, f, row, table_header, RX_PORT, TX_PORT};
+use son_apps::manipulation::{self, HapticProfile};
+use son_netsim::loss::LossConfig;
+use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
+use son_netsim::sim::Simulation;
+use son_netsim::time::{SimDuration, SimTime};
+use son_overlay::builder::{continental_overlay, OverlayBuilder};
+use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess};
+use son_overlay::node::OverlayNode;
+use son_overlay::{Destination, FlowSpec, OverlayAddr, Wire};
+use son_topo::NodeId;
+
+const SRC: NodeId = NodeId(0); // NYC
+const DST: NodeId = NodeId(11); // LA
+
+fn run(spec: FlowSpec, loss_rate: f64, seed: u64) -> (f64, f64, f64, f64) {
+    let sc = continental_us(DEFAULT_CONVERGENCE);
+    let (topo, _) = continental_overlay(&sc);
+    // Bursty loss concentrated around the source's area: every link whose
+    // endpoints are within 2 hops of NYC.
+    let near: Vec<NodeId> = {
+        let spt = son_topo::dijkstra_with(&topo, SRC, |_| 1.0);
+        topo.nodes().filter(|&v| spt.dist(v).unwrap_or(99.0) <= 1.0).collect()
+    };
+    let mut builder = OverlayBuilder::new(topo.clone());
+    for e in topo.edges() {
+        let (a, b) = topo.endpoints(e);
+        if near.contains(&a) || near.contains(&b) {
+            let burst = SimDuration::from_millis(8);
+            let good = burst * ((1.0 - loss_rate) / loss_rate);
+            builder = builder.edge_loss(e, LossConfig::bursts(good, burst));
+        }
+    }
+    let mut sim: Simulation<Wire> = Simulation::new(seed);
+    let overlay = builder.build(&mut sim);
+    let rx = sim.add_process(ClientProcess::new(ClientConfig {
+        daemon: overlay.daemon(DST),
+        port: RX_PORT,
+        joins: vec![],
+        flows: vec![],
+    }));
+    let profile = HapticProfile { packet_size: 64, rate_hz: 1000 };
+    let tx = sim.add_process(ClientProcess::new(ClientConfig {
+        daemon: overlay.daemon(SRC),
+        port: TX_PORT,
+        joins: vec![],
+        flows: vec![ClientFlow {
+            local_flow: 1,
+            dst: Destination::Unicast(OverlayAddr::new(DST, RX_PORT)),
+            spec,
+            workload: profile.workload(SimTime::from_secs(1), SimDuration::from_secs(20)),
+        }],
+    }));
+    sim.run_until(SimTime::from_secs(25));
+    let sent = sim.proc_ref::<ClientProcess>(tx).unwrap().sent(1);
+    let recv = sim
+        .proc_ref::<ClientProcess>(rx)
+        .unwrap()
+        .recv
+        .values()
+        .next()
+        .cloned()
+        .unwrap_or_default();
+    let report = manipulation::score(&recv, sent);
+    let mut forwarded = 0;
+    for &d in &overlay.daemons {
+        forwarded += sim.proc_ref::<OverlayNode>(d).unwrap().metrics().forwarded;
+    }
+    (
+        report.on_time_frac,
+        report.mean_latency_ms,
+        report.max_latency_ms,
+        forwarded as f64 / sent as f64,
+    )
+}
+
+fn main() {
+    banner(
+        "E8 / Section V-A (remote manipulation, 65ms one-way)",
+        "single-strike recovery + dissemination graphs beat single path and uniform redundancy",
+    );
+
+    // ~12ms of slack per recovery hop out of the 20-25ms of flexibility.
+    let budget = SimDuration::from_millis(12);
+    let schemes: Vec<(&str, FlowSpec)> = vec![
+        ("single path", manipulation::single_path_spec(budget)),
+        ("2 disjoint", manipulation::disjoint_paths_spec(2, budget)),
+        ("2 overlapping", manipulation::overlapping_paths_spec(2, budget)),
+        ("3 disjoint", manipulation::disjoint_paths_spec(3, budget)),
+        ("dissem. graph", manipulation::manipulation_spec(budget)),
+        ("flooding", manipulation::flooding_spec(budget)),
+    ];
+
+    for &loss in &[0.01f64, 0.05] {
+        println!("-- {}% bursty loss around the source --", loss * 100.0);
+        table_header(&[
+            ("scheme", 14),
+            ("on-time@65ms", 12),
+            ("mean ms", 8),
+            ("max ms", 8),
+            ("tx/pkt", 7),
+        ]);
+        for (name, spec) in &schemes {
+            let (on_time, mean, max, cost) = run(*spec, loss, 71);
+            row(&[
+                (name.to_string(), 14),
+                (f(on_time * 100.0, 2) + "%", 12),
+                (f(mean, 1), 8),
+                (f(max, 1), 8),
+                (f(cost, 1), 7),
+            ]);
+        }
+        println!();
+    }
+
+    println!("Shape check (paper): with loss concentrated in the source's problematic");
+    println!("area, a single path misses the deadline for every burst; the dissemination");
+    println!("graph recovers nearly everything flooding does, at a fraction of its cost,");
+    println!("and does at least as well as uniform (disjoint-path) redundancy because its");
+    println!("redundancy is targeted where the loss actually is.");
+}

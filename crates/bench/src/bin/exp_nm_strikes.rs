@@ -1,0 +1,117 @@
+//! E2 — Figure 4 / §IV-A: the NM-Strikes real-time protocol.
+//!
+//! "On the scale of a continent with a 40ms propagation delay, the 200ms
+//! latency bound allows about 160ms for the protocol to recover lost
+//! packets... The overall cost of the NM-Strikes protocol is 1 + Mp."
+//!
+//! A 4-hop continental path (4 × 10 ms) carries live video under bursty
+//! (Gilbert–Elliott) loss. We sweep the burst profile and the (N, M)
+//! parameters and compare against Best Effort (no recovery) and the
+//! Reliable Data Link (complete reliability, unbounded timeliness), judging
+//! by the paper's metric: fraction of packets delivered within the 200 ms
+//! bound, and wire overhead versus the 1 + M·p prediction.
+
+use son_bench::{banner, f, row, table_header, UnicastRun};
+use son_netsim::loss::LossConfig;
+use son_netsim::time::SimDuration;
+use son_overlay::builder::chain_topology;
+use son_overlay::service::FecParams;
+use son_overlay::{FlowSpec, LinkService, RealtimeParams};
+use son_topo::NodeId;
+
+const DEADLINE_MS: f64 = 200.0;
+
+fn run_one(spec: FlowSpec, loss: LossConfig, seed: u64) -> (f64, f64, f64, u64) {
+    let mut run = UnicastRun::new(chain_topology(5, 10.0), spec, NodeId(0), NodeId(4));
+    run.loss = loss;
+    run.count = 30_000;
+    run.size = 1316;
+    run.interval = SimDuration::from_millis(2);
+    run.run_for = SimDuration::from_secs(120);
+    run.seed = seed;
+    let out = run.run();
+    let within = out
+        .recv
+        .latency_ms
+        .fraction_within(DEADLINE_MS)
+        .unwrap_or(0.0)
+        * out.recv.received as f64
+        / out.sent as f64;
+    let mut lat = out.recv.latency_ms.clone();
+    let p999 = lat.quantile(0.999).unwrap_or(f64::NAN);
+    (within, p999, out.wire.overhead_ratio(), out.sent)
+}
+
+fn main() {
+    banner(
+        "E2 / Figure 4 (NM-Strikes)",
+        "complete timeliness within 200ms on a continental path under bursty loss; cost -> 1 + M*p",
+    );
+
+    let bursts = [
+        ("1% loss, 5ms bursts", LossConfig::bursts(SimDuration::from_millis(495), SimDuration::from_millis(5)), 0.01),
+        ("1% loss, 20ms bursts", LossConfig::bursts(SimDuration::from_millis(1980), SimDuration::from_millis(20)), 0.01),
+        ("5% loss, 20ms bursts", LossConfig::bursts(SimDuration::from_millis(380), SimDuration::from_millis(20)), 0.05),
+        ("5% loss, 50ms bursts", LossConfig::bursts(SimDuration::from_millis(950), SimDuration::from_millis(50)), 0.05),
+    ];
+
+    table_header(&[
+        ("loss profile", 22),
+        ("protocol", 16),
+        ("within 200ms", 12),
+        ("p99.9 ms", 9),
+        ("overhead", 8),
+        ("1+Mp", 6),
+    ]);
+
+    for (burst_label, loss, p) in &bursts {
+        let mut protos: Vec<(String, FlowSpec, Option<f64>)> = vec![
+            ("best effort".into(), FlowSpec::best_effort().with_ordered(true).with_deadline(SimDuration::from_millis(200)), None),
+            ("reliable (hbh)".into(), FlowSpec::reliable(), None),
+        ];
+        for (n, m) in [(1u8, 1u8), (2, 2), (3, 2), (3, 3)] {
+            let params = RealtimeParams {
+                n_requests: n,
+                m_retransmissions: m,
+                budget: SimDuration::from_millis(160),
+            };
+            protos.push((
+                format!("NM-Strikes {n}x{m}"),
+                FlowSpec::best_effort()
+                    .with_link(LinkService::Realtime(params))
+                    .with_ordered(true)
+                    .with_deadline(SimDuration::from_millis(200)),
+                Some(1.0 + f64::from(m) * p),
+            ));
+        }
+        for fec in [FecParams::light(), FecParams::strong()] {
+            protos.push((
+                format!("FEC {}+{}", fec.k, fec.r),
+                FlowSpec::best_effort()
+                    .with_link(LinkService::Fec(fec))
+                    .with_ordered(true)
+                    .with_deadline(SimDuration::from_millis(200)),
+                Some(fec.overhead()),
+            ));
+        }
+        for (name, spec, predicted) in protos {
+            let (within, p999, overhead, _) =
+                run_one(spec, loss.clone(), 7_000 + (*p * 1e3) as u64);
+            row(&[
+                (burst_label.to_string(), 22),
+                (name, 16),
+                (f(within * 100.0, 2) + "%", 12),
+                (f(p999, 1), 9),
+                (f(overhead, 3), 8),
+                (predicted.map_or("-".into(), |v| f(v, 3)), 6),
+            ]);
+        }
+        println!();
+    }
+
+    println!("Shape check (paper): NM-Strikes keeps ~all packets within the 200ms bound even");
+    println!("with correlated bursts (more strikes help as bursts lengthen); best effort loses");
+    println!("p% outright; hop-by-hop reliable recovers everything but blows the deadline tail;");
+    println!("NM-Strikes overhead tracks 1 + M*p (it is lower when fewer than M copies are");
+    println!("needed, i.e. the worst-case bound holds).");
+}

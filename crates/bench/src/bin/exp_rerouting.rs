@@ -1,0 +1,198 @@
+//! E3 — Figure 1 / §II-A: sub-second overlay rerouting vs BGP convergence,
+//! and multihoming across ISP backbones.
+//!
+//! "This is in contrast to the 40 seconds to minutes that BGP may take to
+//! converge during some network faults." A CBR flow crosses the continental
+//! US while we kill fiber links out from under it, and we measure the outage
+//! the application actually sees:
+//!
+//! * **Internet baseline** — a direct NYC→LA path on one provider; the flow
+//!   is blackholed until BGP reconverges (40 s).
+//! * **Overlay, one ISP fails under a link** — the multihomed overlay link
+//!   switches provider after a couple of missed hellos (no reroute needed).
+//! * **Overlay, a whole link dies** — every provider pipe of one overlay
+//!   link is cut; link-state flooding reroutes around it.
+
+use son_bench::{banner, f, row, table_header, RX_PORT, TX_PORT};
+use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
+use son_netsim::sim::{ScenarioEvent, Simulation};
+use son_netsim::time::{SimDuration, SimTime};
+use son_overlay::builder::{continental_overlay, OverlayBuilder};
+use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
+use son_overlay::node::OverlayNode;
+use son_overlay::{Destination, FlowSpec, OverlayAddr, Wire};
+use son_topo::NodeId;
+
+const FAIL_AT: SimTime = SimTime::from_secs(5);
+const RUN_FOR: SimTime = SimTime::from_secs(60);
+
+/// The outage the application saw: the longest inter-arrival gap after the
+/// failure instant, and whether traffic was flowing at the end.
+fn outage(recv: &son_overlay::client::FlowRecv) -> (SimDuration, bool) {
+    let gap = recv
+        .arrivals
+        .windows(2)
+        .filter(|w| w[1].0 > FAIL_AT)
+        .map(|w| w[1].0.saturating_since(w[0].0))
+        .max()
+        .unwrap_or(SimDuration::MAX);
+    let flowing = recv
+        .arrivals
+        .last()
+        .is_some_and(|&(t, _)| t > RUN_FOR - SimDuration::from_millis(500));
+    (gap, flowing)
+}
+
+fn cbr_forever() -> Workload {
+    Workload::Cbr {
+        size: 1000,
+        interval: SimDuration::from_millis(10),
+        count: u64::MAX,
+        start: SimTime::from_millis(500),
+    }
+}
+
+fn main() {
+    banner(
+        "E3 / Figure 1 (resilient architecture)",
+        "overlay reroutes sub-second; multihoming dodges single-ISP faults; BGP needs ~40s",
+    );
+
+    table_header(&[
+        ("configuration", 34),
+        ("failure", 26),
+        ("outage seen", 12),
+        ("recovered", 10),
+    ]);
+
+    // ---- Internet baseline: one "overlay" link NYC->LA on one ISP. -------
+    {
+        let sc = continental_us(DEFAULT_CONVERGENCE);
+        let mut sim: Simulation<Wire> = Simulation::new(31);
+        sim.set_underlay(sc.underlay.clone());
+        let mut topo = son_topo::Graph::new(2);
+        topo.add_edge(NodeId(0), NodeId(1), 40.0);
+        // Pin the endpoints to NYC and LA; the builder binds one pipe pair
+        // per shared provider, but we disable all but the first so the flow
+        // rides exactly one provider, like a normal Internet path.
+        let overlay = OverlayBuilder::new(topo)
+            .place_in_cities(vec![sc.city("NYC"), sc.city("LA")])
+            .build(&mut sim);
+        for pairs in overlay.edge_pipes.values() {
+            for &(ab, ba) in &pairs[1..] {
+                sim.schedule(SimTime::ZERO, ScenarioEvent::DisablePipe(ab));
+                sim.schedule(SimTime::ZERO, ScenarioEvent::DisablePipe(ba));
+            }
+        }
+        let rx = sim.add_process(ClientProcess::new(ClientConfig {
+            daemon: overlay.daemon(NodeId(1)),
+            port: RX_PORT,
+            joins: vec![],
+            flows: vec![],
+        }));
+        let _tx = sim.add_process(ClientProcess::new(ClientConfig {
+            daemon: overlay.daemon(NodeId(0)),
+            port: TX_PORT,
+            joins: vec![],
+            flows: vec![ClientFlow {
+                local_flow: 1,
+                dst: Destination::Unicast(OverlayAddr::new(NodeId(1), RX_PORT)),
+                spec: FlowSpec::best_effort(),
+                workload: cbr_forever(),
+            }],
+        }));
+        // Fail every fiber on the first ISP's current NYC->LA route.
+        let isp = sc.isps[0];
+        let route = {
+            let mut ul = sc.underlay.clone();
+            ul.resolve(
+                SimTime::ZERO,
+                son_netsim::underlay::Attachment::OnNet(isp),
+                sc.city("NYC"),
+                sc.city("LA"),
+            )
+            .expect("route exists")
+            .edges
+        };
+        // Cutting one edge of the route is enough to blackhole it.
+        sim.schedule(FAIL_AT, ScenarioEvent::FailUnderlayEdge(route[0]));
+        sim.run_until(RUN_FOR);
+        let (gap, flowing) = outage(sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv());
+        row(&[
+            ("Internet path (1 ISP, no overlay)".into(), 34),
+            ("fiber cut on the route".into(), 26),
+            (f(gap.as_secs_f64(), 2) + "s", 12),
+            (if flowing { "yes" } else { "NO" }.to_string(), 10),
+        ]);
+    }
+
+    // ---- Overlay on the 12-city topology. ---------------------------------
+    // Flow NYC -> LA across the overlay; the victim link is the first hop of
+    // the flow's current overlay route, so the failure definitely bites.
+    let scenarios: [(&str, &str, bool); 2] = [
+        ("overlay 1st-hop link, 1 ISP", "provider switch", false),
+        ("overlay 1st-hop link, all ISPs", "link-state reroute", true),
+    ];
+    for (what, how, kill_all) in scenarios {
+        let sc = continental_us(DEFAULT_CONVERGENCE);
+        let (topo, cities) = continental_overlay(&sc);
+        let nyc = NodeId(cities.iter().position(|&c| c == sc.city("NYC")).unwrap());
+        let la = NodeId(cities.iter().position(|&c| c == sc.city("LA")).unwrap());
+        let mut sim: Simulation<Wire> = Simulation::new(32);
+        sim.set_underlay(sc.underlay.clone());
+        let overlay = OverlayBuilder::new(topo.clone())
+            .place_in_cities(cities.clone())
+            .build(&mut sim);
+        let rx = sim.add_process(ClientProcess::new(ClientConfig {
+            daemon: overlay.daemon(la),
+            port: RX_PORT,
+            joins: vec![],
+            flows: vec![],
+        }));
+        let _tx = sim.add_process(ClientProcess::new(ClientConfig {
+            daemon: overlay.daemon(nyc),
+            port: TX_PORT,
+            joins: vec![],
+            flows: vec![ClientFlow {
+                local_flow: 1,
+                dst: Destination::Unicast(OverlayAddr::new(la, RX_PORT)),
+                spec: FlowSpec::best_effort(),
+                workload: cbr_forever(),
+            }],
+        }));
+        // Cut the first-hop overlay link of the NYC->LA route: one
+        // provider's pipe pair, or all of them.
+        let edge = son_topo::shortest_path(&topo, nyc, la).expect("route").edges[0];
+        let pairs = &overlay.edge_pipes[&edge];
+        let victims: Vec<_> =
+            if kill_all { pairs.clone() } else { vec![pairs[0]] };
+        for (ab, ba) in victims {
+            sim.schedule(FAIL_AT, ScenarioEvent::DisablePipe(ab));
+            sim.schedule(FAIL_AT, ScenarioEvent::DisablePipe(ba));
+        }
+        sim.run_until(RUN_FOR);
+        let client = sim.proc_ref::<ClientProcess>(rx).unwrap();
+        let (gap, flowing) = outage(client.sole_recv());
+        // Count provider switches / reroutes across daemons for the record.
+        let mut switches = 0;
+        let mut reroutes = 0;
+        for &d in &overlay.daemons {
+            let m = sim.proc_ref::<OverlayNode>(d).unwrap().metrics();
+            switches += m.counters.get("provider_switches");
+            reroutes += m.counters.get("reroutes");
+        }
+        row(&[
+            (format!("{what} [{switches} switches, {reroutes} reroutes]"), 34),
+            (how.to_string(), 26),
+            (f(gap.as_secs_f64() * 1000.0, 0) + "ms", 12),
+            (if flowing { "yes" } else { "NO" }.to_string(), 10),
+        ]);
+    }
+
+    println!();
+    println!("Shape check (paper): the native Internet path blackholes for ~the BGP");
+    println!("convergence time (40s); the overlay masks a single-provider fault by");
+    println!("switching ISPs under the link in a few hello intervals, and survives a");
+    println!("full overlay-link failure by rerouting at the overlay level — both at");
+    println!("sub-second scale, while the flow keeps running.");
+}

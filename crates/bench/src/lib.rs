@@ -1,0 +1,250 @@
+//! # son-bench — the experiment harness
+//!
+//! One binary per experiment; each regenerates a figure or quantitative
+//! claim of the paper (see `DESIGN.md` §3 for the index and
+//! `EXPERIMENTS.md` for paper-vs-measured results). This library holds the
+//! shared runners and table-printing helpers.
+
+use son_netsim::loss::LossConfig;
+use son_netsim::sim::Simulation;
+use son_netsim::time::{SimDuration, SimTime};
+use son_overlay::builder::OverlayBuilder;
+use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, FlowRecv, Workload};
+use son_overlay::node::OverlayNode;
+use son_overlay::{
+    Destination, FlowSpec, LinkService, NodeConfig, OverlayAddr, OverlayHandle, Wire,
+};
+use son_topo::{Graph, NodeId};
+
+/// Receiver port used by harness runs.
+pub const RX_PORT: u16 = 70;
+/// Sender port used by harness runs.
+pub const TX_PORT: u16 = 50;
+
+/// Wire-level accounting aggregated over all daemons for one service.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WireStats {
+    /// Original data transmissions.
+    pub sent: u64,
+    /// Retransmissions (recovery overhead).
+    pub retransmitted: u64,
+    /// Control messages.
+    pub ctl: u64,
+    /// Protocol-level drops.
+    pub dropped: u64,
+}
+
+impl WireStats {
+    /// Transmissions per original packet.
+    #[must_use]
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            (self.sent + self.retransmitted) as f64 / self.sent as f64
+        }
+    }
+}
+
+/// The result of one unicast harness run.
+#[derive(Debug)]
+pub struct UnicastOutcome {
+    /// Packets the sender emitted.
+    pub sent: u64,
+    /// The receiver's log.
+    pub recv: FlowRecv,
+    /// Wire accounting for the flow's link service.
+    pub wire: WireStats,
+    /// Total de-duplication suppressions across nodes.
+    pub dedup_suppressed: u64,
+    /// Total daemon-level forwards (transmission count onto links).
+    pub forwarded: u64,
+}
+
+/// Configuration of one unicast harness run.
+#[derive(Debug, Clone)]
+pub struct UnicastRun {
+    /// Overlay topology (weights = one-way ms).
+    pub topology: Graph,
+    /// Daemon config.
+    pub node_config: NodeConfig,
+    /// Loss model on every link.
+    pub loss: LossConfig,
+    /// Flow services.
+    pub spec: FlowSpec,
+    /// Source overlay node.
+    pub from: NodeId,
+    /// Destination overlay node.
+    pub to: NodeId,
+    /// Packets to send.
+    pub count: u64,
+    /// Payload size.
+    pub size: usize,
+    /// Packet interval.
+    pub interval: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+    /// Virtual time horizon.
+    pub run_for: SimDuration,
+}
+
+impl UnicastRun {
+    /// A run with defaults suitable for most experiments.
+    #[must_use]
+    pub fn new(topology: Graph, spec: FlowSpec, from: NodeId, to: NodeId) -> Self {
+        UnicastRun {
+            topology,
+            node_config: NodeConfig::default(),
+            loss: LossConfig::Perfect,
+            spec,
+            from,
+            to,
+            count: 1000,
+            size: 1000,
+            interval: SimDuration::from_millis(10),
+            seed: 42,
+            run_for: SimDuration::from_secs(30),
+        }
+    }
+
+    /// Executes the run.
+    #[must_use]
+    pub fn run(self) -> UnicastOutcome {
+        let mut sim: Simulation<Wire> = Simulation::new(self.seed);
+        let overlay = OverlayBuilder::new(self.topology)
+            .node_config(self.node_config.clone())
+            .default_loss(self.loss.clone())
+            .build(&mut sim);
+        let rx = sim.add_process(ClientProcess::new(ClientConfig {
+            daemon: overlay.daemon(self.to),
+            port: RX_PORT,
+            joins: vec![],
+            flows: vec![],
+        }));
+        let tx = sim.add_process(ClientProcess::new(ClientConfig {
+            daemon: overlay.daemon(self.from),
+            port: TX_PORT,
+            joins: vec![],
+            flows: vec![ClientFlow {
+                local_flow: 1,
+                dst: Destination::Unicast(OverlayAddr::new(self.to, RX_PORT)),
+                spec: self.spec,
+                workload: Workload::Cbr {
+                    size: self.size,
+                    interval: self.interval,
+                    count: self.count,
+                    start: SimTime::from_millis(500),
+                },
+            }],
+        }));
+        sim.run_until(SimTime::ZERO + self.run_for);
+        harvest(&sim, &overlay, tx, rx, self.spec.link)
+    }
+}
+
+/// Pulls the outcome out of a finished simulation.
+#[must_use]
+pub fn harvest(
+    sim: &Simulation<Wire>,
+    overlay: &OverlayHandle,
+    tx: son_netsim::process::ProcessId,
+    rx: son_netsim::process::ProcessId,
+    service: LinkService,
+) -> UnicastOutcome {
+    let sent = sim.proc_ref::<ClientProcess>(tx).expect("sender").sent(1);
+    let recv = sim
+        .proc_ref::<ClientProcess>(rx)
+        .expect("receiver")
+        .recv
+        .values()
+        .next()
+        .cloned()
+        .unwrap_or_default();
+    let (wire, dedup_suppressed, forwarded) = wire_stats(sim, overlay, service);
+    UnicastOutcome { sent, recv, wire, dedup_suppressed, forwarded }
+}
+
+/// Aggregates link-protocol and node statistics across all daemons.
+#[must_use]
+pub fn wire_stats(
+    sim: &Simulation<Wire>,
+    overlay: &OverlayHandle,
+    service: LinkService,
+) -> (WireStats, u64, u64) {
+    let mut wire = WireStats::default();
+    let mut dedup = 0;
+    let mut forwarded = 0;
+    for &d in &overlay.daemons {
+        let node = sim.proc_ref::<OverlayNode>(d).expect("daemon");
+        let s = node.service_stats(service);
+        wire.sent += s.sent;
+        wire.retransmitted += s.retransmitted;
+        wire.ctl += s.ctl_sent;
+        wire.dropped += s.dropped;
+        dedup += node.metrics().dedup_suppressed;
+        forwarded += node.metrics().forwarded;
+    }
+    (wire, dedup, forwarded)
+}
+
+/// Prints an experiment header.
+pub fn banner(id: &str, claim: &str) {
+    println!("\n=== {id} ===");
+    println!("    {claim}");
+    println!();
+}
+
+/// Prints a table header row and a separator.
+pub fn table_header(cols: &[(&str, usize)]) {
+    let mut line = String::new();
+    for (name, width) in cols {
+        line.push_str(&format!("{name:>width$}  ", width = width));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().min(120)));
+}
+
+/// Formats a cell-aligned row.
+pub fn row(cells: &[(String, usize)]) {
+    let mut line = String::new();
+    for (value, width) in cells {
+        line.push_str(&format!("{value:>width$}  ", width = width));
+    }
+    println!("{line}");
+}
+
+/// Shorthand for fixed-precision cells.
+#[must_use]
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use son_overlay::builder::chain_topology;
+
+    #[test]
+    fn unicast_run_delivers() {
+        let mut run =
+            UnicastRun::new(chain_topology(3, 10.0), FlowSpec::reliable(), NodeId(0), NodeId(2));
+        run.count = 50;
+        let out = run.run();
+        assert_eq!(out.sent, 50);
+        assert_eq!(out.recv.received, 50);
+        assert_eq!(out.wire.overhead_ratio(), 1.0, "no loss, no retransmissions");
+        assert!(out.forwarded >= 100, "two hops per packet");
+    }
+
+    #[test]
+    fn unicast_run_with_loss_recovers() {
+        let mut run =
+            UnicastRun::new(chain_topology(3, 10.0), FlowSpec::reliable(), NodeId(0), NodeId(2));
+        run.count = 200;
+        run.loss = LossConfig::Bernoulli { p: 0.05 };
+        let out = run.run();
+        assert_eq!(out.recv.received, 200);
+        assert!(out.wire.retransmitted > 0);
+        assert!(out.wire.overhead_ratio() > 1.0);
+    }
+}

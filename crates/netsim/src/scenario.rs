@@ -1,0 +1,559 @@
+//! Ready-made underlay topologies used across experiments.
+//!
+//! The flagship is [`continental_us`], a 12-city, 3-ISP model of a US-scale
+//! Internet matching the paper's setting: overlay links of roughly 10 ms,
+//! coast-to-coast propagation of 35–40 ms, and ISP backbones that overlap in
+//! cities but use distinct fiber, so multihoming buys real physical
+//! disjointness (§II-A).
+
+use crate::time::SimDuration;
+use crate::underlay::{CityId, IspId, UEdgeId, Underlay, UnderlayBuilder};
+
+/// A built underlay plus the handles experiments need to reference it.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The underlay itself.
+    pub underlay: Underlay,
+    /// All cities, in creation order.
+    pub cities: Vec<CityId>,
+    /// City names parallel to `cities`.
+    pub city_names: Vec<&'static str>,
+    /// All ISPs, in creation order.
+    pub isps: Vec<IspId>,
+    /// Every fiber edge, per ISP.
+    pub edges_by_isp: Vec<Vec<UEdgeId>>,
+}
+
+impl Scenario {
+    /// Looks up a city id by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown.
+    #[must_use]
+    pub fn city(&self, name: &str) -> CityId {
+        let idx = self
+            .city_names
+            .iter()
+            .position(|&n| n == name)
+            .unwrap_or_else(|| panic!("unknown city {name}"));
+        self.cities[idx]
+    }
+}
+
+/// Default BGP-like convergence delay: the paper cites "40 seconds to
+/// minutes" for Internet routing to converge during some faults (§II-A).
+pub const DEFAULT_CONVERGENCE: SimDuration = SimDuration::from_secs(40);
+
+/// Approximate planar coordinates (km) for 12 major US cities, east at x=0.
+/// Distances are within ~10% of driving-distance-style fiber lengths, which
+/// is all the latency model needs.
+const US_CITIES: [(&str, f64, f64); 12] = [
+    ("NYC", 0.0, 0.0),
+    ("BOS", 100.0, 300.0),
+    ("DC", -100.0, -300.0),
+    ("ATL", -600.0, -1100.0),
+    ("MIA", -700.0, -2000.0),
+    ("CHI", -1150.0, 200.0),
+    ("DAL", -2100.0, -1000.0),
+    ("HOU", -2200.0, -1300.0),
+    ("DEN", -2600.0, 0.0),
+    ("SEA", -3900.0, 900.0),
+    ("SF", -4100.0, -300.0),
+    ("LA", -3900.0, -800.0),
+];
+
+/// Builds the 12-city / 3-ISP continental US underlay.
+///
+/// Each ISP covers all 12 cities but wires them differently, so overlay
+/// paths over different providers traverse physically disjoint fiber. The
+/// convergence delay models BGP (default: [`DEFAULT_CONVERGENCE`]).
+#[must_use]
+pub fn continental_us(convergence: SimDuration) -> Scenario {
+    let mut b = UnderlayBuilder::new();
+    let cities: Vec<CityId> =
+        US_CITIES.iter().map(|&(name, x, y)| b.city(name, x, y)).collect();
+    let names: Vec<&'static str> = US_CITIES.iter().map(|&(n, ..)| n).collect();
+    let find = |n: &str| cities[names.iter().position(|&x| x == n).unwrap()];
+
+    let isp_links: [(&str, &[(&str, &str)]); 3] = [
+        // A ring-heavy national carrier.
+        (
+            "TransCont",
+            &[
+                ("NYC", "BOS"),
+                ("NYC", "DC"),
+                ("DC", "ATL"),
+                ("ATL", "MIA"),
+                ("ATL", "DAL"),
+                ("DAL", "HOU"),
+                ("DAL", "DEN"),
+                ("DEN", "SF"),
+                ("SF", "SEA"),
+                ("SF", "LA"),
+                ("NYC", "CHI"),
+                ("CHI", "DEN"),
+                ("BOS", "CHI"),
+                ("HOU", "LA"),
+            ],
+        ),
+        // A mesh-y carrier with more east-west express links.
+        (
+            "FiberNet",
+            &[
+                ("NYC", "DC"),
+                ("NYC", "CHI"),
+                ("DC", "CHI"),
+                ("DC", "ATL"),
+                ("ATL", "HOU"),
+                ("HOU", "DAL"),
+                ("CHI", "DAL"),
+                ("CHI", "SEA"),
+                ("DAL", "LA"),
+                ("LA", "SF"),
+                ("SEA", "SF"),
+                ("BOS", "NYC"),
+                ("MIA", "ATL"),
+                ("DEN", "CHI"),
+                ("DEN", "LA"),
+            ],
+        ),
+        // A southern-route carrier.
+        (
+            "SouthernX",
+            &[
+                ("BOS", "NYC"),
+                ("NYC", "DC"),
+                ("DC", "ATL"),
+                ("ATL", "MIA"),
+                ("MIA", "HOU"),
+                ("HOU", "DAL"),
+                ("DAL", "DEN"),
+                ("HOU", "LA"),
+                ("LA", "SF"),
+                ("LA", "SEA"),
+                ("ATL", "CHI"),
+                ("CHI", "NYC"),
+                ("DEN", "SEA"),
+            ],
+        ),
+    ];
+
+    let mut isps = Vec::new();
+    let mut edges_by_isp = Vec::new();
+    for (isp_name, links) in isp_links {
+        let isp = b.isp(isp_name);
+        for &c in &cities {
+            b.router(isp, c);
+        }
+        let mut edges = Vec::new();
+        for &(a, z) in links {
+            edges.push(b.fiber(isp, find(a), find(z)));
+        }
+        isps.push(isp);
+        edges_by_isp.push(edges);
+    }
+
+    Scenario {
+        underlay: b.build(convergence),
+        cities,
+        city_names: names,
+        isps,
+        edges_by_isp,
+    }
+}
+
+/// Approximate planar coordinates (km) for 20 world cities, projected so
+/// pairwise distances roughly match great-circle distances along populated
+/// routes. Used for the paper's global-coverage claim: "about 150ms is
+/// sufficient to reach nearly any point on the globe" (§II-A).
+const WORLD_CITIES: [(&str, f64, f64); 20] = [
+    ("NYC", 0.0, 0.0),
+    ("CHI", -1150.0, 200.0),
+    ("SF", -4100.0, -300.0),
+    ("SEA", -3900.0, 900.0),
+    ("MIA", -700.0, -2000.0),
+    ("LON", 5570.0, 800.0),
+    ("PAR", 5850.0, 500.0),
+    ("FRA", 6200.0, 600.0),
+    ("MAD", 5400.0, -400.0),
+    ("STO", 6300.0, 2000.0),
+    ("DXB", 11000.0, -1500.0),
+    ("BOM", 12500.0, -2500.0),
+    ("SIN", 15300.0, -4200.0),
+    ("HKG", 16000.0, -2500.0),
+    ("TYO", 10800.0, 2500.0), // via trans-pacific from SEA: special-cased link
+    ("SYD", 15500.0, -7000.0),
+    ("GRU", 4800.0, -7700.0), // São Paulo
+    ("SCL", 800.0, -8200.0),  // Santiago
+    ("JNB", 8900.0, -6500.0), // Johannesburg
+    ("CAI", 7700.0, -1800.0), // Cairo
+];
+
+/// Submarine/long-haul links of the global backbone, with explicit one-way
+/// latencies in milliseconds (cable routes, not geodesics).
+const WORLD_LINKS: [(&str, &str, f64); 28] = [
+    // North America
+    ("NYC", "CHI", 7.0),
+    ("CHI", "SEA", 17.0),
+    ("CHI", "SF", 18.0),
+    ("SF", "SEA", 7.3),
+    ("NYC", "MIA", 11.0),
+    // Transatlantic
+    ("NYC", "LON", 33.0),
+    ("NYC", "PAR", 35.0),
+    ("MIA", "MAD", 38.0),
+    // Europe
+    ("LON", "PAR", 2.5),
+    ("LON", "FRA", 4.0),
+    ("PAR", "FRA", 2.9),
+    ("PAR", "MAD", 5.3),
+    ("FRA", "STO", 6.0),
+    ("LON", "MAD", 6.5),
+    // Middle East / Africa / Asia
+    ("FRA", "CAI", 14.0),
+    ("CAI", "DXB", 12.0),
+    ("DXB", "BOM", 9.5),
+    ("BOM", "SIN", 17.0),
+    ("SIN", "HKG", 13.0),
+    ("HKG", "TYO", 14.5),
+    ("CAI", "JNB", 32.0),
+    // Transpacific
+    ("SEA", "TYO", 38.0),
+    ("SF", "TYO", 41.0),
+    ("SF", "HKG", 55.0),
+    // Oceania / South America
+    ("SYD", "SIN", 31.0),
+    ("SYD", "SF", 60.0),
+    ("GRU", "MIA", 33.0),
+    ("SCL", "GRU", 13.0),
+];
+
+/// Builds a 20-city global underlay with two providers over the same cable
+/// systems (distinct fiber pairs, slightly different latencies).
+#[must_use]
+pub fn global_20(convergence: SimDuration) -> Scenario {
+    let mut b = UnderlayBuilder::new();
+    let cities: Vec<CityId> =
+        WORLD_CITIES.iter().map(|&(name, x, y)| b.city(name, x, y)).collect();
+    let names: Vec<&'static str> = WORLD_CITIES.iter().map(|&(n, ..)| n).collect();
+    let find = |n: &str| cities[names.iter().position(|&x| x == n).unwrap()];
+
+    let mut isps = Vec::new();
+    let mut edges_by_isp = Vec::new();
+    for (isp_idx, isp_name) in ["GlobalOne", "SeaCable"].iter().enumerate() {
+        let isp = b.isp(isp_name);
+        for &c in &cities {
+            b.router(isp, c);
+        }
+        let mut edges = Vec::new();
+        for &(x, y, ms) in &WORLD_LINKS {
+            // The second provider's fiber pair runs ~5% longer.
+            let latency = ms * (1.0 + 0.05 * isp_idx as f64);
+            edges.push(b.fiber_with_latency(
+                isp,
+                find(x),
+                find(y),
+                SimDuration::from_millis_f64(latency),
+            ));
+        }
+        isps.push(isp);
+        edges_by_isp.push(edges);
+    }
+    Scenario { underlay: b.build(convergence), cities, city_names: names, isps, edges_by_isp }
+}
+
+/// A linear chain of `n` cities spaced so each hop is exactly `hop_latency`
+/// on a single ISP — the Fig. 3 setting ("five 10 ms overlay links").
+#[must_use]
+pub fn chain(n: usize, hop_latency: SimDuration, convergence: SimDuration) -> Scenario {
+    assert!(n >= 2, "a chain needs at least two cities");
+    let mut b = UnderlayBuilder::new();
+    let names: Vec<&'static str> = (0..n).map(|_| "hop").collect();
+    let cities: Vec<CityId> =
+        (0..n).map(|i| b.city(&format!("H{i}"), i as f64 * 1000.0, 0.0)).collect();
+    let isp = b.isp("ChainNet");
+    for &c in &cities {
+        b.router(isp, c);
+    }
+    let mut edges = Vec::new();
+    for w in cities.windows(2) {
+        edges.push(b.fiber_with_latency(isp, w[0], w[1], hop_latency));
+    }
+    Scenario {
+        underlay: b.build(convergence),
+        cities,
+        city_names: names,
+        isps: vec![isp],
+        edges_by_isp: vec![edges],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+    use crate::underlay::Attachment;
+
+    #[test]
+    fn continental_us_is_fully_connected_on_every_isp() {
+        let sc = continental_us(DEFAULT_CONVERGENCE);
+        let mut ul = sc.underlay.clone();
+        for &isp in &sc.isps {
+            for &a in &sc.cities {
+                for &b in &sc.cities {
+                    if a != b {
+                        ul.resolve(SimTime::ZERO, Attachment::OnNet(isp), a, b)
+                            .unwrap_or_else(|e| panic!("{a:?}->{b:?} on {isp:?}: {e}"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coast_to_coast_is_continental_scale() {
+        let sc = continental_us(DEFAULT_CONVERGENCE);
+        let mut ul = sc.underlay.clone();
+        let nyc = sc.city("NYC");
+        let sf = sc.city("SF");
+        for &isp in &sc.isps {
+            let p = ul.resolve(SimTime::ZERO, Attachment::OnNet(isp), nyc, sf).unwrap();
+            let ms = p.latency.as_millis_f64();
+            // The paper cites ~35-40ms propagation to cross a continent; our
+            // geometry lands in the same band per provider.
+            assert!((20.0..=45.0).contains(&ms), "{isp:?} NYC->SF = {ms}ms");
+        }
+    }
+
+    #[test]
+    fn every_city_is_multihomed_to_all_three_isps() {
+        let sc = continental_us(DEFAULT_CONVERGENCE);
+        for &c in &sc.cities {
+            assert_eq!(sc.underlay.providers_at(c).len(), 3);
+        }
+    }
+
+    #[test]
+    fn isps_use_disjoint_fiber() {
+        // Edges belong to exactly one ISP, so multihoming always buys
+        // physically disjoint paths at the fiber level.
+        let sc = continental_us(DEFAULT_CONVERGENCE);
+        let mut seen = std::collections::HashSet::new();
+        for edges in &sc.edges_by_isp {
+            for &e in edges {
+                assert!(seen.insert(e), "edge shared between ISPs");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_hops_have_exact_latency() {
+        let sc = chain(6, SimDuration::from_millis(10), DEFAULT_CONVERGENCE);
+        let mut ul = sc.underlay.clone();
+        let p = ul
+            .resolve(SimTime::ZERO, Attachment::OnNet(sc.isps[0]), sc.cities[0], sc.cities[5])
+            .unwrap();
+        assert_eq!(p.latency, SimDuration::from_millis(50));
+        assert_eq!(p.edges.len(), 5);
+    }
+
+    #[test]
+    fn city_lookup_by_name() {
+        let sc = continental_us(DEFAULT_CONVERGENCE);
+        assert_eq!(sc.underlay.city_name(sc.city("DEN")), "DEN");
+    }
+
+    #[test]
+    fn global_20_fully_connected_on_both_providers() {
+        let sc = global_20(DEFAULT_CONVERGENCE);
+        let mut ul = sc.underlay.clone();
+        assert_eq!(sc.cities.len(), 20);
+        assert_eq!(sc.isps.len(), 2);
+        for &isp in &sc.isps {
+            for &a in &sc.cities {
+                for &b in &sc.cities {
+                    if a != b {
+                        ul.resolve(SimTime::ZERO, Attachment::OnNet(isp), a, b)
+                            .unwrap_or_else(|e| panic!("{a:?}->{b:?}: {e}"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_reach_is_around_150ms() {
+        // §II-A: "about 150ms is sufficient to reach nearly any point on the
+        // globe from any other point."
+        let sc = global_20(DEFAULT_CONVERGENCE);
+        let mut ul = sc.underlay.clone();
+        let mut worst: f64 = 0.0;
+        for &a in &sc.cities {
+            for &b in &sc.cities {
+                if a != b {
+                    let ms = ul
+                        .resolve(SimTime::ZERO, Attachment::OnNet(sc.isps[0]), a, b)
+                        .unwrap()
+                        .latency
+                        .as_millis_f64();
+                    worst = worst.max(ms);
+                }
+            }
+        }
+        assert!(worst <= 160.0, "worst pair {worst}ms");
+        assert!(worst >= 100.0, "a global topology should have long pairs: {worst}ms");
+    }
+
+    #[test]
+    fn global_second_provider_is_slightly_slower() {
+        let sc = global_20(DEFAULT_CONVERGENCE);
+        let mut ul = sc.underlay.clone();
+        let (nyc, tyo) = (sc.city("NYC"), sc.city("TYO"));
+        let p0 = ul.resolve(SimTime::ZERO, Attachment::OnNet(sc.isps[0]), nyc, tyo).unwrap();
+        let p1 = ul.resolve(SimTime::ZERO, Attachment::OnNet(sc.isps[1]), nyc, tyo).unwrap();
+        assert!(p1.latency > p0.latency);
+        let ratio = p1.latency.as_millis_f64() / p0.latency.as_millis_f64();
+        assert!((1.0..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown city")]
+    fn unknown_city_panics() {
+        let sc = continental_us(DEFAULT_CONVERGENCE);
+        let _ = sc.city("XYZ");
+    }
+}
+
+/// A dumbbell: `left` cities fanning into one aggregation city, a single
+/// bottleneck hop, then one distribution city fanning out to `right`
+/// cities — the classic congestion/fairness topology.
+///
+/// Returns the scenario; cities are ordered `[left..., agg, dist, right...]`.
+#[must_use]
+pub fn dumbbell(
+    left: usize,
+    right: usize,
+    edge_latency: SimDuration,
+    bottleneck_latency: SimDuration,
+    convergence: SimDuration,
+) -> Scenario {
+    assert!(left > 0 && right > 0, "both sides need cities");
+    let mut b = UnderlayBuilder::new();
+    let mut cities = Vec::new();
+    let names: Vec<&'static str> = std::iter::repeat_n("dumbbell", left + right + 2)
+        .collect();
+    for i in 0..left {
+        cities.push(b.city(&format!("L{i}"), 0.0, i as f64 * 100.0));
+    }
+    let agg = b.city("AGG", 1000.0, 0.0);
+    let dist = b.city("DIST", 3000.0, 0.0);
+    cities.push(agg);
+    cities.push(dist);
+    for i in 0..right {
+        cities.push(b.city(&format!("R{i}"), 4000.0, i as f64 * 100.0));
+    }
+    let isp = b.isp("DumbbellNet");
+    for &c in &cities {
+        b.router(isp, c);
+    }
+    let mut edges = Vec::new();
+    for &c in &cities[..left] {
+        edges.push(b.fiber_with_latency(isp, c, agg, edge_latency));
+    }
+    edges.push(b.fiber_with_latency(isp, agg, dist, bottleneck_latency));
+    for &c in &cities[left + 2..] {
+        edges.push(b.fiber_with_latency(isp, dist, c, edge_latency));
+    }
+    Scenario {
+        underlay: b.build(convergence),
+        cities,
+        city_names: names,
+        isps: vec![isp],
+        edges_by_isp: vec![edges],
+    }
+}
+
+/// A ring of `n` cities, each hop `hop_latency`: every pair has exactly two
+/// node-disjoint paths, the minimal 2-connected design.
+#[must_use]
+pub fn ring(n: usize, hop_latency: SimDuration, convergence: SimDuration) -> Scenario {
+    assert!(n >= 3, "a ring needs at least three cities");
+    let mut b = UnderlayBuilder::new();
+    let names: Vec<&'static str> = std::iter::repeat_n("ring", n).collect();
+    let cities: Vec<CityId> = (0..n)
+        .map(|i| {
+            let a = i as f64 * std::f64::consts::TAU / n as f64;
+            b.city(&format!("R{i}"), 2000.0 * a.cos(), 2000.0 * a.sin())
+        })
+        .collect();
+    let isp = b.isp("RingNet");
+    for &c in &cities {
+        b.router(isp, c);
+    }
+    let mut edges = Vec::new();
+    for i in 0..n {
+        edges.push(b.fiber_with_latency(isp, cities[i], cities[(i + 1) % n], hop_latency));
+    }
+    Scenario {
+        underlay: b.build(convergence),
+        cities,
+        city_names: names,
+        isps: vec![isp],
+        edges_by_isp: vec![edges],
+    }
+}
+
+#[cfg(test)]
+mod shape_tests {
+    use super::*;
+    use crate::time::SimTime;
+    use crate::underlay::Attachment;
+
+    #[test]
+    fn dumbbell_routes_through_the_bottleneck() {
+        let sc = dumbbell(
+            3,
+            2,
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(20),
+            DEFAULT_CONVERGENCE,
+        );
+        assert_eq!(sc.cities.len(), 7);
+        let mut ul = sc.underlay.clone();
+        // L0 (index 0) to R1 (index 6): 2 + 20 + 2 ms.
+        let p = ul
+            .resolve(SimTime::ZERO, Attachment::OnNet(sc.isps[0]), sc.cities[0], sc.cities[6])
+            .unwrap();
+        assert_eq!(p.latency, SimDuration::from_millis(24));
+        assert_eq!(p.edges.len(), 3);
+    }
+
+    #[test]
+    fn ring_goes_the_short_way_round() {
+        let sc = ring(6, SimDuration::from_millis(5), DEFAULT_CONVERGENCE);
+        let mut ul = sc.underlay.clone();
+        // Opposite nodes: 3 hops either way.
+        let p = ul
+            .resolve(SimTime::ZERO, Attachment::OnNet(sc.isps[0]), sc.cities[0], sc.cities[3])
+            .unwrap();
+        assert_eq!(p.latency, SimDuration::from_millis(15));
+        // Adjacent: one hop.
+        let p = ul
+            .resolve(SimTime::ZERO, Attachment::OnNet(sc.isps[0]), sc.cities[0], sc.cities[1])
+            .unwrap();
+        assert_eq!(p.edges.len(), 1);
+    }
+
+    #[test]
+    fn ring_survives_one_cut_after_convergence() {
+        let sc = ring(5, SimDuration::from_millis(5), SimDuration::from_secs(40));
+        let mut ul = sc.underlay.clone();
+        ul.fail_edge(sc.edges_by_isp[0][0], SimTime::ZERO);
+        // After convergence the long way round still connects 0 and 1.
+        let p = ul
+            .resolve(SimTime::from_secs(60), Attachment::OnNet(sc.isps[0]), sc.cities[0], sc.cities[1])
+            .unwrap();
+        assert_eq!(p.edges.len(), 4, "the long way around the ring");
+    }
+}

@@ -1,0 +1,900 @@
+//! The simulation driver: owns processes, pipes, the underlay, and the event
+//! queue; advances virtual time and dispatches events deterministically.
+//!
+//! # Examples
+//!
+//! A two-process ping/pong over a lossy 10 ms pipe:
+//!
+//! ```
+//! use son_netsim::link::{PipeConfig, PipeId};
+//! use son_netsim::process::{Process, ProcessId, SimMessage};
+//! use son_netsim::sim::{Ctx, Simulation};
+//! use son_netsim::time::{SimDuration, SimTime};
+//!
+//! struct Echo { out: Option<PipeId>, got: u32 }
+//! impl Process<Vec<u8>> for Echo {
+//!     fn on_message(&mut self, ctx: &mut Ctx<'_, Vec<u8>>, _: ProcessId,
+//!                   _pipe: Option<PipeId>, msg: Vec<u8>) {
+//!         self.got += 1;
+//!         if let Some(out) = self.out {
+//!             ctx.send(out, msg); // bounce it back over our outgoing pipe
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(42);
+//! let a = sim.add_process(Echo { out: None, got: 0 });
+//! let b = sim.add_process(Echo { out: None, got: 0 });
+//! let (ab, ba) = sim.connect(a, b, PipeConfig::with_latency(SimDuration::from_millis(10)));
+//! sim.proc_mut::<Echo>(a).unwrap().out = Some(ab);
+//! sim.proc_mut::<Echo>(b).unwrap().out = Some(ba);
+//! sim.post(SimTime::ZERO, a, b"hi".to_vec()); // inject into process a
+//! sim.run_until(SimTime::from_secs(1));
+//! // The message ping-pongs every 10 ms for a simulated second.
+//! assert_eq!(sim.proc_ref::<Echo>(b).unwrap().got, 50);
+//! ```
+
+use std::any::Any;
+
+use crate::event::{EventId, EventQueue};
+use crate::link::{Pipe, PipeConfig, PipeId, Transmit};
+use crate::loss::LossConfig;
+use crate::process::{Process, ProcessId, SimMessage, TimerId};
+use crate::rng::SimRng;
+use crate::stats::Counters;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceKind, TraceOutcome, Tracer};
+use crate::underlay::{CityId, IspId, UEdgeId, Underlay};
+
+/// A scripted change to the world, scheduled ahead of time.
+#[derive(Debug, Clone)]
+pub enum ScenarioEvent {
+    /// Fail an underlay fiber link.
+    FailUnderlayEdge(UEdgeId),
+    /// Repair an underlay fiber link.
+    RepairUnderlayEdge(UEdgeId),
+    /// Fail one ISP's POP in a city.
+    FailPop(IspId, CityId),
+    /// Repair one ISP's POP in a city.
+    RepairPop(IspId, CityId),
+    /// Crash a process: it stops receiving messages and timers.
+    CrashProcess(ProcessId),
+    /// Restart a crashed process (state is retained; `on_start` is re-run).
+    RestartProcess(ProcessId),
+    /// Replace the loss model of a pipe.
+    SetPipeLoss(PipeId, LossConfig),
+    /// Administratively disable a pipe.
+    DisablePipe(PipeId),
+    /// Re-enable a pipe.
+    EnablePipe(PipeId),
+}
+
+enum Event<M> {
+    Deliver { to: ProcessId, from: ProcessId, pipe: Option<PipeId>, msg: M },
+    Timer { proc: ProcessId, token: u64 },
+    Scenario(ScenarioEvent),
+}
+
+/// Everything in the simulation except the process objects themselves;
+/// split out so a process handler can borrow the world while the engine
+/// holds the process (`&mut self`) separately.
+pub struct SimCore<M: SimMessage> {
+    now: SimTime,
+    queue: EventQueue<Event<M>>,
+    pipes: Vec<Pipe>,
+    underlay: Option<Underlay>,
+    rng_root: SimRng,
+    proc_rngs: Vec<SimRng>,
+    proc_up: Vec<bool>,
+    counters: Counters,
+    /// Index of reverse pipes: pipes\[i\] paired with pipes\[rev\[i\]\] if any.
+    reverse: Vec<Option<PipeId>>,
+    events_processed: u64,
+    tracer: Option<Tracer>,
+}
+
+/// The simulation: a deterministic function of its configuration and seed.
+pub struct Simulation<M: SimMessage> {
+    core: SimCore<M>,
+    procs: Vec<Option<Box<dyn Process<M>>>>,
+    started: bool,
+}
+
+/// The handler-side view of the simulation, passed to every [`Process`] hook.
+pub struct Ctx<'a, M: SimMessage> {
+    core: &'a mut SimCore<M>,
+    pid: ProcessId,
+}
+
+impl<M: SimMessage> std::fmt::Debug for SimCore<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCore")
+            .field("now", &self.now)
+            .field("pipes", &self.pipes.len())
+            .field("events_processed", &self.events_processed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: SimMessage> std::fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("core", &self.core)
+            .field("procs", &self.procs.len())
+            .field("started", &self.started)
+            .finish()
+    }
+}
+
+impl<'a, M: SimMessage> std::fmt::Debug for Ctx<'a, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx").field("pid", &self.pid).field("now", &self.core.now).finish()
+    }
+}
+
+impl<M: SimMessage> Simulation<M> {
+    /// Creates an empty simulation with the given master seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            core: SimCore {
+                now: SimTime::ZERO,
+                queue: EventQueue::new(),
+                pipes: Vec::new(),
+                underlay: None,
+                rng_root: SimRng::seed(seed),
+                proc_rngs: Vec::new(),
+                proc_up: Vec::new(),
+                counters: Counters::new(),
+                reverse: Vec::new(),
+                events_processed: 0,
+                tracer: None,
+            },
+            procs: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Installs the underlay model.
+    pub fn set_underlay(&mut self, underlay: Underlay) {
+        self.core.underlay = Some(underlay);
+    }
+
+    /// Read-only access to the underlay.
+    #[must_use]
+    pub fn underlay(&self) -> Option<&Underlay> {
+        self.core.underlay.as_ref()
+    }
+
+    /// Mutable access to the underlay (for scenario setup).
+    pub fn underlay_mut(&mut self) -> Option<&mut Underlay> {
+        self.core.underlay.as_mut()
+    }
+
+    /// Enables packet-level tracing into a ring of `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.core.tracer = Some(Tracer::new(capacity));
+    }
+
+    /// The trace, if tracing was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Tracer> {
+        self.core.tracer.as_ref()
+    }
+
+    /// Adds a process and returns its id.
+    pub fn add_process<P: Process<M>>(&mut self, process: P) -> ProcessId {
+        let id = ProcessId(self.procs.len());
+        self.procs.push(Some(Box::new(process)));
+        let rng = self.core.rng_root.fork_idx("proc", id.0 as u64);
+        self.core.proc_rngs.push(rng);
+        self.core.proc_up.push(true);
+        id
+    }
+
+    /// Creates a unidirectional pipe from `src` to `dst`.
+    pub fn pipe(&mut self, src: ProcessId, dst: ProcessId, config: PipeConfig) -> PipeId {
+        let id = PipeId(self.core.pipes.len());
+        let rng = self.core.rng_root.fork_idx("pipe", id.0 as u64);
+        self.core.pipes.push(Pipe::new(src, dst, config, rng));
+        self.core.reverse.push(None);
+        id
+    }
+
+    /// Creates a symmetric pair of pipes between `a` and `b`, registered as
+    /// each other's reverse, and returns `(a_to_b, b_to_a)`.
+    pub fn connect(&mut self, a: ProcessId, b: ProcessId, config: PipeConfig) -> (PipeId, PipeId) {
+        let mut rev = config.clone();
+        if let Some(binding) = &mut rev.binding {
+            std::mem::swap(&mut binding.from, &mut binding.to);
+            // Off-net attachments are directional: the reverse direction
+            // enters at the other end's provider.
+            if let crate::underlay::Attachment::OffNet { src_isp, dst_isp } =
+                &mut binding.attachment
+            {
+                std::mem::swap(src_isp, dst_isp);
+            }
+        }
+        let ab = self.pipe(a, b, config);
+        let ba = self.pipe(b, a, rev);
+        self.core.reverse[ab.0] = Some(ba);
+        self.core.reverse[ba.0] = Some(ab);
+        (ab, ba)
+    }
+
+    /// Injects a message into `to` at time `at` (from a virtual "outside"
+    /// process id equal to `to`; `pipe` is `None`).
+    pub fn post(&mut self, at: SimTime, to: ProcessId, msg: M) {
+        self.core.queue.schedule(at, Event::Deliver { to, from: to, pipe: None, msg });
+    }
+
+    /// Schedules a scripted world change.
+    pub fn schedule(&mut self, at: SimTime, event: ScenarioEvent) {
+        self.core.queue.schedule(at, Event::Scenario(event));
+    }
+
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Global drop/delivery counters.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.core.counters
+    }
+
+    /// Number of events processed so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// A stable fingerprint of the run so far: a hash over the clock, the
+    /// event count, every pipe's packet counters, and the global counters.
+    /// Two runs of the same configuration and seed produce identical
+    /// fingerprints — a one-line determinism/regression check.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::rng::fnv1a(&self.core.now.as_nanos().to_le_bytes());
+        let mut mix = |v: u64| h = crate::rng::splitmix(h ^ v);
+        mix(self.core.events_processed);
+        for pipe in &self.core.pipes {
+            let (offered, delivered, dropped) = pipe.stats();
+            mix(offered);
+            mix(delivered);
+            mix(dropped);
+        }
+        for (name, value) in self.core.counters.iter() {
+            mix(crate::rng::fnv1a(name.as_bytes()));
+            mix(value);
+        }
+        h
+    }
+
+    /// `(offered, delivered, dropped)` stats of a pipe.
+    #[must_use]
+    pub fn pipe_stats(&self, pipe: PipeId) -> (u64, u64, u64) {
+        self.core.pipes[pipe.0].stats()
+    }
+
+    /// Downcasts a process to its concrete type (read-only).
+    #[must_use]
+    pub fn proc_ref<T: 'static>(&self, id: ProcessId) -> Option<&T> {
+        let boxed = self.procs.get(id.0)?.as_ref()?;
+        (boxed.as_ref() as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Downcasts a process to its concrete type (mutable).
+    pub fn proc_mut<T: 'static>(&mut self, id: ProcessId) -> Option<&mut T> {
+        let boxed = self.procs.get_mut(id.0)?.as_mut()?;
+        (boxed.as_mut() as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// Runs `on_start` on every process (idempotent; run methods call this).
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.procs.len() {
+            self.dispatch_start(ProcessId(i));
+        }
+    }
+
+    fn dispatch_start(&mut self, pid: ProcessId) {
+        if let Some(mut p) = self.procs[pid.0].take() {
+            let mut ctx = Ctx { core: &mut self.core, pid };
+            p.on_start(&mut ctx);
+            self.procs[pid.0] = Some(p);
+        }
+    }
+
+    /// Runs until the event queue drains or virtual time passes `until`.
+    ///
+    /// Returns the number of events processed by this call.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        self.ensure_started();
+        let mut n = 0;
+        while let Some(at) = self.core.queue.peek_time() {
+            if at > until {
+                break;
+            }
+            let (at, event) = self.core.queue.pop().expect("peeked event exists");
+            debug_assert!(at >= self.core.now, "time went backwards");
+            self.core.now = at;
+            self.core.events_processed += 1;
+            n += 1;
+            self.dispatch(event);
+        }
+        // Advance the clock to the horizon even if the queue drained early.
+        self.core.now = self.core.now.max(until);
+        n
+    }
+
+    /// Runs until no events remain. Use [`Simulation::run_until`] for
+    /// workloads with self-sustaining timers.
+    pub fn run_until_idle(&mut self) -> u64 {
+        self.run_until(SimTime::MAX)
+    }
+
+    fn dispatch(&mut self, event: Event<M>) {
+        match event {
+            Event::Deliver { to, from, pipe, msg } => {
+                if !self.core.proc_up[to.0] {
+                    self.core.counters.incr("drop.process_down");
+                    return;
+                }
+                if let Some(mut p) = self.procs[to.0].take() {
+                    let mut ctx = Ctx { core: &mut self.core, pid: to };
+                    p.on_message(&mut ctx, from, pipe, msg);
+                    self.procs[to.0] = Some(p);
+                }
+            }
+            Event::Timer { proc, token } => {
+                if !self.core.proc_up[proc.0] {
+                    return;
+                }
+                if let Some(mut p) = self.procs[proc.0].take() {
+                    let mut ctx = Ctx { core: &mut self.core, pid: proc };
+                    p.on_timer(&mut ctx, token);
+                    self.procs[proc.0] = Some(p);
+                }
+            }
+            Event::Scenario(ev) => self.apply_scenario(ev),
+        }
+    }
+
+    fn apply_scenario(&mut self, ev: ScenarioEvent) {
+        let now = self.core.now;
+        match ev {
+            ScenarioEvent::FailUnderlayEdge(e) => {
+                if let Some(ul) = self.core.underlay.as_mut() {
+                    ul.fail_edge(e, now);
+                }
+            }
+            ScenarioEvent::RepairUnderlayEdge(e) => {
+                if let Some(ul) = self.core.underlay.as_mut() {
+                    ul.repair_edge(e, now);
+                }
+            }
+            ScenarioEvent::FailPop(isp, city) => {
+                if let Some(ul) = self.core.underlay.as_mut() {
+                    ul.fail_pop(isp, city, now);
+                }
+            }
+            ScenarioEvent::RepairPop(isp, city) => {
+                if let Some(ul) = self.core.underlay.as_mut() {
+                    ul.repair_pop(isp, city, now);
+                }
+            }
+            ScenarioEvent::CrashProcess(pid) => {
+                self.core.proc_up[pid.0] = false;
+                if let Some(t) = &mut self.core.tracer {
+                    t.record(now, TraceKind::Crash(pid));
+                }
+                if let Some(p) = self.procs[pid.0].as_mut() {
+                    p.on_crash(now);
+                }
+            }
+            ScenarioEvent::RestartProcess(pid) => {
+                if !self.core.proc_up[pid.0] {
+                    self.core.proc_up[pid.0] = true;
+                    if let Some(t) = &mut self.core.tracer {
+                        t.record(now, TraceKind::Restart(pid));
+                    }
+                    self.dispatch_start(pid);
+                }
+            }
+            ScenarioEvent::SetPipeLoss(pipe, loss) => {
+                self.core.pipes[pipe.0].set_loss(loss);
+            }
+            ScenarioEvent::DisablePipe(pipe) => self.core.pipes[pipe.0].set_enabled(false),
+            ScenarioEvent::EnablePipe(pipe) => self.core.pipes[pipe.0].set_enabled(true),
+        }
+    }
+}
+
+impl<'a, M: SimMessage> Ctx<'a, M> {
+    /// The current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The id of the process this context belongs to.
+    #[must_use]
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// This process's deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.core.proc_rngs[self.pid.0]
+    }
+
+    /// Sends `msg` over `pipe`. Loss, queueing, and blackholes are modelled
+    /// by the pipe; drops are tallied in the global counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pipe` does not originate at this process.
+    pub fn send(&mut self, pipe: PipeId, msg: M) {
+        let size = msg.wire_size();
+        let now = self.core.now;
+        let p = &mut self.core.pipes[pipe.0];
+        assert_eq!(p.src(), self.pid, "process {} does not own pipe {pipe:?}", self.pid);
+        let dst = p.dst();
+        let outcome = p.transmit(now, size, &mut self.core.underlay);
+        if let Some(tracer) = &mut self.core.tracer {
+            let traced = match outcome {
+                Transmit::Arrives(at) => TraceOutcome::Delivered { arrival: at },
+                Transmit::Dropped(reason) => TraceOutcome::Dropped(reason.label()),
+            };
+            tracer.record(
+                now,
+                TraceKind::PipeSend { from: self.pid, to: dst, pipe, bytes: size, outcome: traced },
+            );
+        }
+        match outcome {
+            Transmit::Arrives(at) => {
+                self.core.counters.incr("pipe.delivered");
+                self.core.counters.add("pipe.bytes", size as u64);
+                self.core.queue.schedule(
+                    at,
+                    Event::Deliver { to: dst, from: self.pid, pipe: Some(pipe), msg },
+                );
+            }
+            Transmit::Dropped(reason) => {
+                self.core.counters.incr(reason.label());
+            }
+        }
+    }
+
+    /// Sends `msg` directly to another process with a fixed `delay`,
+    /// bypassing any pipe (local IPC between a client and its colocated
+    /// daemon, or measurement harness taps).
+    pub fn send_direct(&mut self, to: ProcessId, delay: SimDuration, msg: M) {
+        let at = self.core.now + delay;
+        if let Some(tracer) = &mut self.core.tracer {
+            tracer.record(
+                self.core.now,
+                TraceKind::DirectSend { from: self.pid, to, bytes: msg.wire_size() },
+            );
+        }
+        self.core.queue.schedule(at, Event::Deliver { to, from: self.pid, pipe: None, msg });
+    }
+
+    /// Sets a timer firing after `delay`, delivering `token` to `on_timer`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
+        let at = self.core.now + delay;
+        TimerId(self.schedule_timer_at(at, token))
+    }
+
+    fn schedule_timer_at(&mut self, at: SimTime, token: u64) -> EventId {
+        self.core.queue.schedule(at, Event::Timer { proc: self.pid, token })
+    }
+
+    /// Cancels a pending timer; returns `false` if it already fired.
+    pub fn cancel_timer(&mut self, timer: TimerId) -> bool {
+        self.core.queue.cancel(timer.0)
+    }
+
+    /// The reverse direction of a pipe pair created by
+    /// [`Simulation::connect`], if registered.
+    #[must_use]
+    pub fn reverse_pipe(&self, pipe: PipeId) -> Option<PipeId> {
+        self.core.reverse.get(pipe.0).copied().flatten()
+    }
+
+    /// The far endpoint of a pipe.
+    #[must_use]
+    pub fn pipe_dst(&self, pipe: PipeId) -> ProcessId {
+        self.core.pipes[pipe.0].dst()
+    }
+
+    /// Re-binds a pipe to a different ISP attachment (the overlay's
+    /// provider-switching capability).
+    pub fn rebind_pipe(&mut self, pipe: PipeId, attachment: crate::underlay::Attachment) {
+        self.core.pipes[pipe.0].rebind(attachment);
+    }
+
+    /// The underlay edges a pipe currently traverses, if bound and routable.
+    pub fn pipe_route(&mut self, pipe: PipeId) -> Option<Vec<UEdgeId>> {
+        let now = self.core.now;
+        // Split borrows: take the pipe out conceptually via index.
+        let (pipes, underlay) = (&self.core.pipes, &mut self.core.underlay);
+        pipes[pipe.0].current_route(now, underlay)
+    }
+
+    /// Increments a global counter.
+    pub fn count(&mut self, name: &str) {
+        self.core.counters.incr(name);
+    }
+
+    /// Adds to a global counter.
+    pub fn count_add(&mut self, name: &str, n: u64) {
+        self.core.counters.add(name, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Msg = Vec<u8>;
+
+    /// Sends `n` packets at a fixed interval, records arrival times.
+    struct Sender {
+        pipe: Option<PipeId>,
+        remaining: u32,
+        interval: SimDuration,
+    }
+    struct Receiver {
+        arrivals: Vec<SimTime>,
+    }
+
+    impl Process<Msg> for Sender {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.set_timer(SimDuration::ZERO, 0);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: ProcessId, _: Option<PipeId>, _: Msg) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _: u64) {
+            if self.remaining == 0 {
+                return;
+            }
+            self.remaining -= 1;
+            if let Some(pipe) = self.pipe {
+                ctx.send(pipe, vec![0u8; 100]);
+            }
+            ctx.set_timer(self.interval, 0);
+        }
+    }
+
+    impl Process<Msg> for Receiver {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _: ProcessId, _: Option<PipeId>, _: Msg) {
+            self.arrivals.push(ctx.now());
+        }
+    }
+
+    fn cbr_sim(loss: LossConfig) -> (Simulation<Msg>, ProcessId, ProcessId) {
+        let mut sim = Simulation::new(7);
+        let tx = sim.add_process(Sender { pipe: None, remaining: 100, interval: SimDuration::from_millis(10) });
+        let rx = sim.add_process(Receiver { arrivals: Vec::new() });
+        let pipe = sim.pipe(tx, rx, PipeConfig::with_latency(SimDuration::from_millis(5)).loss(loss));
+        sim.proc_mut::<Sender>(tx).unwrap().pipe = Some(pipe);
+        (sim, tx, rx)
+    }
+
+    #[test]
+    fn cbr_stream_arrives_on_schedule() {
+        let (mut sim, _, rx) = cbr_sim(LossConfig::Perfect);
+        sim.run_until(SimTime::from_secs(5));
+        let arrivals = &sim.proc_ref::<Receiver>(rx).unwrap().arrivals;
+        assert_eq!(arrivals.len(), 100);
+        assert_eq!(arrivals[0], SimTime::from_millis(5));
+        assert_eq!(arrivals[99], SimTime::from_millis(995));
+    }
+
+    #[test]
+    fn lossy_pipe_drops_are_counted() {
+        let (mut sim, _, rx) = cbr_sim(LossConfig::Bernoulli { p: 0.5 });
+        sim.run_until(SimTime::from_secs(5));
+        let got = sim.proc_ref::<Receiver>(rx).unwrap().arrivals.len() as u64;
+        let dropped = sim.counters().get("drop.loss");
+        assert_eq!(got + dropped, 100);
+        assert!(dropped > 20 && dropped < 80, "dropped={dropped}");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let (mut sim, _, rx) = cbr_sim(LossConfig::Bernoulli { p: 0.3 });
+            sim.run_until(SimTime::from_secs(5));
+            sim.proc_ref::<Receiver>(rx).unwrap().arrivals.clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crashed_process_receives_nothing_until_restart() {
+        let (mut sim, _, rx) = cbr_sim(LossConfig::Perfect);
+        sim.schedule(SimTime::from_millis(100), ScenarioEvent::CrashProcess(rx));
+        sim.schedule(SimTime::from_millis(500), ScenarioEvent::RestartProcess(rx));
+        sim.run_until(SimTime::from_secs(5));
+        let arrivals = &sim.proc_ref::<Receiver>(rx).unwrap().arrivals;
+        // Packets arriving in [100, 500) are dropped at the process.
+        assert!(arrivals.iter().all(|&t| t < SimTime::from_millis(100) || t >= SimTime::from_millis(500)));
+        assert!(sim.counters().get("drop.process_down") > 0);
+        assert!(!arrivals.is_empty());
+    }
+
+    #[test]
+    fn disable_pipe_scenario_blocks_traffic() {
+        let (mut sim, _, rx) = cbr_sim(LossConfig::Perfect);
+        sim.schedule(SimTime::from_millis(100), ScenarioEvent::DisablePipe(PipeId(0)));
+        sim.schedule(SimTime::from_millis(300), ScenarioEvent::EnablePipe(PipeId(0)));
+        sim.run_until(SimTime::from_secs(5));
+        let arrivals = &sim.proc_ref::<Receiver>(rx).unwrap().arrivals;
+        let blocked = arrivals
+            .iter()
+            .filter(|&&t| t >= SimTime::from_millis(105) && t < SimTime::from_millis(305))
+            .count();
+        assert_eq!(blocked, 0);
+        assert!(sim.counters().get("drop.down") > 0);
+    }
+
+    #[test]
+    fn set_pipe_loss_scenario_takes_effect() {
+        let (mut sim, _, rx) = cbr_sim(LossConfig::Perfect);
+        sim.schedule(
+            SimTime::from_millis(500),
+            ScenarioEvent::SetPipeLoss(PipeId(0), LossConfig::Bernoulli { p: 1.0 }),
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let arrivals = &sim.proc_ref::<Receiver>(rx).unwrap().arrivals;
+        assert!(arrivals.iter().all(|&t| t < SimTime::from_millis(506)));
+        assert_eq!(arrivals.len(), 50);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let (mut sim, _, rx) = cbr_sim(LossConfig::Perfect);
+        sim.run_until(SimTime::from_millis(250));
+        assert_eq!(sim.now(), SimTime::from_millis(250));
+        let partial = sim.proc_ref::<Receiver>(rx).unwrap().arrivals.len();
+        assert_eq!(partial, 25);
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.proc_ref::<Receiver>(rx).unwrap().arrivals.len(), 100);
+    }
+
+    #[test]
+    fn send_direct_bypasses_pipes() {
+        struct Relay {
+            target: Option<ProcessId>,
+        }
+        impl Process<Msg> for Relay {
+            fn on_message(
+                &mut self,
+                ctx: &mut Ctx<'_, Msg>,
+                _: ProcessId,
+                pipe: Option<PipeId>,
+                msg: Msg,
+            ) {
+                assert!(pipe.is_none());
+                if let Some(t) = self.target {
+                    ctx.send_direct(t, SimDuration::from_micros(10), msg);
+                }
+            }
+        }
+        let mut sim = Simulation::new(1);
+        let a = sim.add_process(Relay { target: None });
+        let b = sim.add_process(Receiver { arrivals: Vec::new() });
+        sim.proc_mut::<Relay>(a).unwrap().target = Some(b);
+        sim.post(SimTime::from_millis(1), a, vec![1]);
+        sim.run_until_idle();
+        assert_eq!(
+            sim.proc_ref::<Receiver>(b).unwrap().arrivals,
+            vec![SimTime::from_millis(1) + SimDuration::from_micros(10)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not own pipe")]
+    fn sending_on_foreign_pipe_panics() {
+        struct Rogue {
+            pipe: PipeId,
+        }
+        impl Process<Msg> for Rogue {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.send(self.pipe, vec![]);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: ProcessId, _: Option<PipeId>, _: Msg) {}
+        }
+        let mut sim = Simulation::new(1);
+        let a = sim.add_process(Receiver { arrivals: Vec::new() });
+        let b = sim.add_process(Receiver { arrivals: Vec::new() });
+        let ab = sim.pipe(a, b, PipeConfig::default());
+        let rogue = sim.add_process(Rogue { pipe: ab });
+        let _ = rogue;
+        sim.run_until_idle();
+    }
+
+    #[test]
+    fn proc_ref_wrong_type_is_none() {
+        let mut sim: Simulation<Msg> = Simulation::new(1);
+        let a = sim.add_process(Receiver { arrivals: Vec::new() });
+        assert!(sim.proc_ref::<Sender>(a).is_none());
+        assert!(sim.proc_ref::<Receiver>(a).is_some());
+    }
+
+    #[test]
+    fn timers_cancel_cleanly() {
+        struct TimerProc {
+            fired: Vec<u64>,
+        }
+        impl Process<Msg> for TimerProc {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                let keep = ctx.set_timer(SimDuration::from_millis(10), 1);
+                let cancel = ctx.set_timer(SimDuration::from_millis(20), 2);
+                ctx.set_timer(SimDuration::from_millis(30), 3);
+                let _ = keep;
+                assert!(ctx.cancel_timer(cancel));
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: ProcessId, _: Option<PipeId>, _: Msg) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_, Msg>, token: u64) {
+                self.fired.push(token);
+            }
+        }
+        let mut sim = Simulation::new(1);
+        let p = sim.add_process(TimerProc { fired: Vec::new() });
+        sim.run_until_idle();
+        assert_eq!(sim.proc_ref::<TimerProc>(p).unwrap().fired, vec![1, 3]);
+    }
+}
+
+#[cfg(test)]
+mod fingerprint_tests {
+    use super::*;
+    use crate::loss::LossConfig;
+
+    struct Bouncer {
+        out: Option<PipeId>,
+    }
+    impl Process<Vec<u8>> for Bouncer {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Vec<u8>>, _: ProcessId, p: Option<PipeId>, m: Vec<u8>) {
+            // Injected messages (pipe None) start the bounce on `out`;
+            // pipe arrivals bounce back over the reverse direction.
+            if let Some(pipe) = p.and_then(|p| ctx.reverse_pipe(p)).or(self.out) { ctx.send(pipe, m) }
+        }
+    }
+
+    fn run(seed: u64) -> u64 {
+        let mut sim = Simulation::new(seed);
+        let a = sim.add_process(Bouncer { out: None });
+        let b = sim.add_process(Bouncer { out: None });
+        let (ab, _) = sim.connect(
+            a,
+            b,
+            PipeConfig::with_latency(SimDuration::from_millis(5))
+                .loss(LossConfig::Bernoulli { p: 0.1 }),
+        );
+        sim.proc_mut::<Bouncer>(a).unwrap().out = Some(ab);
+        for i in 0..50 {
+            sim.post(SimTime::from_millis(i), a, vec![0u8; 64]);
+        }
+        sim.run_until(SimTime::from_secs(2));
+        sim.fingerprint()
+    }
+
+    #[test]
+    fn same_seed_same_fingerprint() {
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn different_seed_different_fingerprint() {
+        // With 10% loss per bounce the two seeds' bounce counts diverge;
+        // pick seeds verified to differ (the check is deterministic).
+        let fps: Vec<u64> = (0..8).map(run).collect();
+        let distinct: std::collections::HashSet<u64> = fps.iter().copied().collect();
+        assert!(distinct.len() > 1, "at least two of eight seeds must differ: {fps:?}");
+    }
+
+    #[test]
+    fn fingerprint_changes_as_the_run_progresses() {
+        let mut sim: Simulation<Vec<u8>> = Simulation::new(1);
+        let a = sim.add_process(Bouncer { out: None });
+        let f0 = sim.fingerprint();
+        sim.post(SimTime::from_millis(1), a, vec![1]);
+        sim.run_until(SimTime::from_secs(1));
+        assert_ne!(sim.fingerprint(), f0);
+    }
+}
+
+#[cfg(test)]
+mod trace_integration_tests {
+    use super::*;
+    use crate::trace::{TraceKind, TraceOutcome};
+
+    struct Sink;
+    impl Process<Vec<u8>> for Sink {
+        fn on_message(&mut self, _: &mut Ctx<'_, Vec<u8>>, _: ProcessId, _: Option<PipeId>, _: Vec<u8>) {}
+    }
+    struct Pitcher {
+        out: PipeId,
+        n: u64,
+    }
+    impl Process<Vec<u8>> for Pitcher {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Vec<u8>>) {
+            ctx.set_timer(SimDuration::from_millis(1), 0);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, Vec<u8>>, _: ProcessId, _: Option<PipeId>, _: Vec<u8>) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Vec<u8>>, _: u64) {
+            if self.n > 0 {
+                self.n -= 1;
+                ctx.send(self.out, vec![0u8; 100]);
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_captures_sends_drops_and_crashes() {
+        let mut sim = Simulation::new(3);
+        sim.enable_tracing(1000);
+        let b = sim.add_process(Sink);
+        let a_pipe_placeholder = PipeId(0);
+        let a = sim.add_process(Pitcher { out: a_pipe_placeholder, n: 50 });
+        let pipe = sim.pipe(
+            a,
+            b,
+            PipeConfig::with_latency(SimDuration::from_millis(5))
+                .loss(crate::loss::LossConfig::Bernoulli { p: 0.3 }),
+        );
+        sim.proc_mut::<Pitcher>(a).unwrap().out = pipe;
+        sim.schedule(SimTime::from_millis(100), ScenarioEvent::CrashProcess(b));
+        sim.schedule(SimTime::from_millis(200), ScenarioEvent::RestartProcess(b));
+        sim.run_until(SimTime::from_secs(1));
+
+        let trace = sim.trace().expect("tracing enabled");
+        let sends = trace
+            .events()
+            .filter(|e| matches!(e.kind, TraceKind::PipeSend { .. }))
+            .count();
+        assert_eq!(sends, 50, "every transmission is traced");
+        let drops = trace.drops().count();
+        let delivered = trace
+            .events()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceKind::PipeSend { outcome: TraceOutcome::Delivered { .. }, .. }
+                )
+            })
+            .count();
+        assert_eq!(drops + delivered, 50);
+        assert!(drops > 5, "30% loss must show up: {drops}");
+        assert!(trace.events().any(|e| e.kind == TraceKind::Crash(b)));
+        assert!(trace.events().any(|e| e.kind == TraceKind::Restart(b)));
+        // Drop labels are the pipe's stable counter labels.
+        for e in trace.drops() {
+            if let TraceKind::PipeSend { outcome: TraceOutcome::Dropped(label), .. } = e.kind {
+                assert_eq!(label, "drop.loss");
+            }
+        }
+    }
+
+    #[test]
+    fn tracing_disabled_records_nothing() {
+        let mut sim: Simulation<Vec<u8>> = Simulation::new(3);
+        let _ = sim.add_process(Sink);
+        sim.run_until_idle();
+        assert!(sim.trace().is_none());
+    }
+}

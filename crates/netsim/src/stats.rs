@@ -1,0 +1,488 @@
+//! Metric collection: online summaries, percentile samplers, histograms,
+//! counters, and time series.
+//!
+//! Experiments in `son-bench` print the same rows the paper reports, so the
+//! primitives here focus on the quantities the paper talks about: delivery
+//! latency percentiles, jitter, loss/overhead ratios, and fairness indices.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Online mean / min / max / standard deviation (Welford's algorithm).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation, or 0 when fewer than two observations.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Exact percentile sampler: stores every observation.
+///
+/// Simulations in this workspace record at most a few million samples per
+/// flow, so exact storage is affordable and avoids sketch error in the
+/// reported percentiles.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Percentiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Percentiles {
+    /// Creates an empty sampler.
+    #[must_use]
+    pub fn new() -> Self {
+        Percentiles { samples: Vec::new(), sorted: true }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Adds a duration observation in milliseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_millis_f64());
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// The `q`-quantile (`q` in `[0,1]`) using nearest-rank interpolation,
+    /// or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+        let pos = q * (self.samples.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(self.samples[lo] * (1.0 - frac) + self.samples[hi] * frac)
+    }
+
+    /// Median shortcut.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of observations `<= bound`, or `None` when empty.
+    #[must_use]
+    pub fn fraction_within(&self, bound: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let n = self.samples.iter().filter(|&&x| x <= bound).count();
+        Some(n as f64 / self.samples.len() as f64)
+    }
+
+    /// Mean of the observations, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Largest observation, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().copied().fold(None, |acc, x| Some(acc.map_or(x, |m: f64| m.max(x))))
+    }
+
+    /// Read-only view of the raw samples (in insertion order until a quantile
+    /// query sorts them).
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+impl FromIterator<f64> for Percentiles {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let samples: Vec<f64> = iter.into_iter().collect();
+        Percentiles { samples, sorted: false }
+    }
+}
+
+impl Extend<f64> for Percentiles {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+        self.sorted = false;
+    }
+}
+
+/// Fixed-bucket histogram over `[0, bound)` with uniform bucket width, plus
+/// an overflow bucket.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: f64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` uniform buckets spanning `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or `bound <= 0`.
+    #[must_use]
+    pub fn new(bound: f64, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!(bound > 0.0, "bound must be positive");
+        Histogram { bucket_width: bound / buckets as f64, buckets: vec![0; buckets], overflow: 0, count: 0 }
+    }
+
+    /// Adds one observation (negative values clamp to the first bucket).
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < 0.0 {
+            self.buckets[0] += 1;
+            return;
+        }
+        let idx = (x / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations beyond the histogram bound.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterates `(bucket_lower_bound, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.buckets.iter().enumerate().map(|(i, &c)| (i as f64 * self.bucket_width, c))
+    }
+}
+
+/// A monotonically increasing named counter set.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Counters {
+    map: std::collections::BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.map.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Increments the counter `name` by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (zero if never touched).
+    #[must_use]
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.map.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+/// A `(time, value)` series, e.g. per-second goodput of a flow.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point. Points should be appended in time order.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        self.points.push((at, value));
+    }
+
+    /// The recorded points in insertion order.
+    #[must_use]
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Longest gap between consecutive points, or `None` with <2 points.
+    ///
+    /// Useful for measuring outage durations seen by a periodic flow.
+    #[must_use]
+    pub fn longest_gap(&self) -> Option<SimDuration> {
+        self.points.windows(2).map(|w| w[1].0.saturating_since(w[0].0)).max()
+    }
+}
+
+/// Jain's fairness index over a set of per-entity allocations.
+///
+/// Returns 1.0 for perfectly equal allocations and approaches `1/n` as one
+/// entity dominates. Returns `None` for an empty input or all-zero input.
+#[must_use]
+pub fn jain_fairness(allocations: &[f64]) -> Option<f64> {
+    if allocations.is_empty() {
+        return None;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sq_sum: f64 = allocations.iter().map(|x| x * x).sum();
+    if sq_sum == 0.0 {
+        return None;
+    }
+    Some(sum * sum / (allocations.len() as f64 * sq_sum))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn summary_empty_is_well_behaved() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn summary_merge_matches_single_stream() {
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        let mut whole = Summary::new();
+        for i in 0..100 {
+            let x = f64::from(i) * 0.7;
+            whole.record(x);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.std_dev() - whole.std_dev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let mut p: Percentiles = (1..=100).map(f64::from).collect();
+        assert_eq!(p.quantile(0.0), Some(1.0));
+        assert_eq!(p.quantile(1.0), Some(100.0));
+        assert!((p.median().unwrap() - 50.5).abs() < 1e-9);
+        assert!((p.quantile(0.99).unwrap() - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_fraction_within() {
+        let p: Percentiles = (1..=10).map(f64::from).collect();
+        assert_eq!(p.fraction_within(5.0), Some(0.5));
+        assert_eq!(p.fraction_within(0.0), Some(0.0));
+        assert_eq!(p.fraction_within(100.0), Some(1.0));
+        assert_eq!(Percentiles::new().fraction_within(1.0), None);
+    }
+
+    #[test]
+    fn percentiles_empty_returns_none() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.quantile(0.5), None);
+        assert_eq!(p.mean(), None);
+        assert_eq!(p.max(), None);
+    }
+
+    #[test]
+    fn percentiles_record_after_query() {
+        let mut p = Percentiles::new();
+        p.record(5.0);
+        assert_eq!(p.median(), Some(5.0));
+        p.record(1.0); // re-sorts lazily
+        assert_eq!(p.quantile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10.0, 10);
+        h.record(0.5);
+        h.record(9.9);
+        h.record(10.0); // overflow
+        h.record(-1.0); // clamps to first bucket
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.overflow(), 1);
+        let buckets: Vec<(f64, u64)> = h.iter().collect();
+        assert_eq!(buckets[0], (0.0, 2));
+        assert_eq!(buckets[9], (9.0, 1));
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut c = Counters::new();
+        c.incr("sent");
+        c.add("sent", 4);
+        c.incr("lost");
+        assert_eq!(c.get("sent"), 5);
+        assert_eq!(c.get("missing"), 0);
+
+        let mut d = Counters::new();
+        d.add("sent", 10);
+        c.merge(&d);
+        assert_eq!(c.get("sent"), 15);
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["lost", "sent"]);
+    }
+
+    #[test]
+    fn time_series_longest_gap() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_millis(0), 1.0);
+        ts.push(SimTime::from_millis(10), 1.0);
+        ts.push(SimTime::from_millis(500), 1.0);
+        ts.push(SimTime::from_millis(510), 1.0);
+        assert_eq!(ts.longest_gap(), Some(SimDuration::from_millis(490)));
+        assert_eq!(TimeSeries::new().longest_gap(), None);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert!((jain_fairness(&[1.0, 1.0, 1.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
+        let skewed = jain_fairness(&[100.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!((skewed - 0.25).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[]), None);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), None);
+    }
+}

@@ -1,0 +1,201 @@
+//! Packet-level event tracing for debugging simulations.
+//!
+//! When enabled on a [`Simulation`](crate::sim::Simulation), every pipe
+//! transmission (with its outcome), direct send, and process crash/restart
+//! is recorded into a bounded ring buffer. Traces answer the questions that
+//! counters cannot: *which* packet died *where*, and what was happening
+//! around it.
+//!
+//! Tracing is off by default and costs nothing until enabled.
+
+use std::collections::VecDeque;
+
+use crate::link::PipeId;
+use crate::process::ProcessId;
+use crate::time::SimTime;
+
+/// What happened to a traced transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// Will arrive at the given time.
+    Delivered {
+        /// Arrival time at the far end.
+        arrival: SimTime,
+    },
+    /// Dropped, with the drop-reason label (see
+    /// [`DropReason::label`](crate::link::DropReason::label)).
+    Dropped(&'static str),
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message offered to a pipe.
+    PipeSend {
+        /// Sending process.
+        from: ProcessId,
+        /// Receiving process.
+        to: ProcessId,
+        /// The pipe used.
+        pipe: PipeId,
+        /// Wire size in bytes.
+        bytes: usize,
+        /// What happened.
+        outcome: TraceOutcome,
+    },
+    /// A direct (local IPC) send.
+    DirectSend {
+        /// Sending process.
+        from: ProcessId,
+        /// Receiving process.
+        to: ProcessId,
+        /// Wire size in bytes.
+        bytes: usize,
+    },
+    /// A process crashed (scenario event).
+    Crash(ProcessId),
+    /// A process restarted (scenario event).
+    Restart(ProcessId),
+}
+
+/// A timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct Tracer {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    recorded: u64,
+    dropped_records: u64,
+}
+
+impl Tracer {
+    /// Creates a tracer holding at most `capacity` events (oldest evicted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer capacity must be positive");
+        Tracer { ring: VecDeque::with_capacity(capacity), capacity, recorded: 0, dropped_records: 0 }
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, at: SimTime, kind: TraceKind) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped_records += 1;
+        }
+        self.ring.push_back(TraceEvent { at, kind });
+        self.recorded += 1;
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted by the ring bound.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.dropped_records
+    }
+
+    /// The retained events involving a process (as sender or receiver).
+    pub fn involving(&self, pid: ProcessId) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter().filter(move |e| match &e.kind {
+            TraceKind::PipeSend { from, to, .. } | TraceKind::DirectSend { from, to, .. } => {
+                *from == pid || *to == pid
+            }
+            TraceKind::Crash(p) | TraceKind::Restart(p) => *p == pid,
+        })
+    }
+
+    /// The retained drops, oldest first.
+    pub fn drops(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter().filter(|e| {
+            matches!(
+                e.kind,
+                TraceKind::PipeSend { outcome: TraceOutcome::Dropped(_), .. }
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> (SimTime, TraceKind) {
+        (
+            SimTime::from_millis(i),
+            TraceKind::DirectSend { from: ProcessId(0), to: ProcessId(1), bytes: i as usize },
+        )
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Tracer::new(10);
+        for i in 0..5 {
+            let (at, k) = ev(i);
+            t.record(at, k);
+        }
+        let times: Vec<SimTime> = t.events().map(|e| e.at).collect();
+        assert_eq!(times, (0..5).map(SimTime::from_millis).collect::<Vec<_>>());
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.evicted(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Tracer::new(3);
+        for i in 0..10 {
+            let (at, k) = ev(i);
+            t.record(at, k);
+        }
+        let times: Vec<SimTime> = t.events().map(|e| e.at).collect();
+        assert_eq!(times, vec![SimTime::from_millis(7), SimTime::from_millis(8), SimTime::from_millis(9)]);
+        assert_eq!(t.recorded(), 10);
+        assert_eq!(t.evicted(), 7);
+    }
+
+    #[test]
+    fn involving_filters_by_process() {
+        let mut t = Tracer::new(10);
+        t.record(
+            SimTime::ZERO,
+            TraceKind::PipeSend {
+                from: ProcessId(0),
+                to: ProcessId(1),
+                pipe: PipeId(0),
+                bytes: 10,
+                outcome: TraceOutcome::Dropped("drop.loss"),
+            },
+        );
+        t.record(SimTime::ZERO, TraceKind::Crash(ProcessId(2)));
+        assert_eq!(t.involving(ProcessId(1)).count(), 1);
+        assert_eq!(t.involving(ProcessId(2)).count(), 1);
+        assert_eq!(t.involving(ProcessId(9)).count(), 0);
+        assert_eq!(t.drops().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Tracer::new(0);
+    }
+}

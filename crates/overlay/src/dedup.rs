@@ -1,0 +1,229 @@
+//! Flow-scoped duplicate suppression for redundant dissemination.
+//!
+//! Redundant dissemination (disjoint paths, dissemination graphs,
+//! constrained flooding) intentionally delivers several copies of each
+//! packet to intermediate nodes. The overlay "can make use of the physical
+//! computer's ample memory ... to track received messages to allow
+//! de-duplication of retransmitted or redundantly transmitted messages"
+//! (§II-B). Each node keeps, per flow, a sliding window of seen end-to-end
+//! sequence numbers; the first copy wins, later copies are dropped (and
+//! counted, so experiments can report wire overhead vs. app-level
+//! duplicates).
+
+use std::collections::HashMap;
+
+use crate::addr::FlowKey;
+
+/// Width of the per-flow sliding window, in sequence numbers.
+///
+/// Windows this wide cover several seconds of the highest-rate flows in the
+/// experiments; anything older is treated as seen (it could not still be in
+/// flight).
+pub const WINDOW: u64 = 4096;
+
+#[derive(Debug, Clone)]
+struct FlowWindow {
+    /// The highest sequence number observed.
+    high: u64,
+    /// Ring of bits covering `[high.saturating_sub(WINDOW-1), high]`.
+    bits: Vec<u64>,
+    /// Whether any packet has been observed at all.
+    any: bool,
+}
+
+impl FlowWindow {
+    fn new() -> Self {
+        FlowWindow { high: 0, bits: vec![0; (WINDOW as usize).div_ceil(64)], any: false }
+    }
+
+    fn bit(&mut self, seq: u64) -> (usize, u64) {
+        let slot = (seq % WINDOW) as usize;
+        (slot / 64, 1 << (slot % 64))
+    }
+
+    fn test_and_set(&mut self, seq: u64) -> bool {
+        if !self.any {
+            self.any = true;
+            self.high = seq;
+            let (w, m) = self.bit(seq);
+            self.bits[w] |= m;
+            return false;
+        }
+        if seq > self.high {
+            // Clear the bits for the newly uncovered range.
+            let start = self.high + 1;
+            let clear_from = start.max(seq.saturating_sub(WINDOW - 1));
+            if seq - clear_from >= WINDOW {
+                for w in self.bits.iter_mut() {
+                    *w = 0;
+                }
+            } else {
+                for s in clear_from..=seq {
+                    let (w, m) = self.bit(s);
+                    self.bits[w] &= !m;
+                }
+            }
+            self.high = seq;
+            let (w, m) = self.bit(seq);
+            self.bits[w] |= m;
+            return false;
+        }
+        if self.high - seq >= WINDOW {
+            // Too old to track: conservatively call it a duplicate.
+            return true;
+        }
+        let (w, m) = self.bit(seq);
+        let seen = self.bits[w] & m != 0;
+        self.bits[w] |= m;
+        seen
+    }
+}
+
+/// Per-node duplicate suppression table, keyed by flow.
+#[derive(Debug, Clone, Default)]
+pub struct DedupTable {
+    flows: HashMap<FlowKey, FlowWindow>,
+    duplicates: u64,
+    accepted: u64,
+}
+
+impl DedupTable {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the arrival of `(flow, seq)`.
+    ///
+    /// Returns `true` if this is the **first** copy (process it), `false`
+    /// if it is a duplicate (drop it).
+    pub fn first_sighting(&mut self, flow: FlowKey, seq: u64) -> bool {
+        let dup = self.flows.entry(flow).or_insert_with(FlowWindow::new).test_and_set(seq);
+        if dup {
+            self.duplicates += 1;
+        } else {
+            self.accepted += 1;
+        }
+        !dup
+    }
+
+    /// Total duplicates suppressed.
+    #[must_use]
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Total first copies accepted.
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Number of flows with live windows.
+    #[must_use]
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Forgets a flow's window (e.g. when the flow closes).
+    pub fn forget(&mut self, flow: &FlowKey) {
+        self.flows.remove(flow);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Destination, GroupId, OverlayAddr};
+    use son_topo::NodeId;
+
+    fn flow(n: usize) -> FlowKey {
+        FlowKey::new(OverlayAddr::new(NodeId(n), 1), Destination::Multicast(GroupId(0)))
+    }
+
+    #[test]
+    fn first_copy_accepted_second_dropped() {
+        let mut t = DedupTable::new();
+        assert!(t.first_sighting(flow(0), 1));
+        assert!(!t.first_sighting(flow(0), 1));
+        assert!(!t.first_sighting(flow(0), 1));
+        assert_eq!(t.accepted(), 1);
+        assert_eq!(t.duplicates(), 2);
+    }
+
+    #[test]
+    fn flows_are_independent() {
+        let mut t = DedupTable::new();
+        assert!(t.first_sighting(flow(0), 5));
+        assert!(t.first_sighting(flow(1), 5));
+        assert_eq!(t.flow_count(), 2);
+    }
+
+    #[test]
+    fn out_of_order_within_window_is_tracked_exactly() {
+        let mut t = DedupTable::new();
+        assert!(t.first_sighting(flow(0), 10));
+        assert!(t.first_sighting(flow(0), 3)); // older but within window
+        assert!(!t.first_sighting(flow(0), 3));
+        assert!(t.first_sighting(flow(0), 7));
+        assert!(!t.first_sighting(flow(0), 10));
+    }
+
+    #[test]
+    fn far_future_seq_resets_window() {
+        let mut t = DedupTable::new();
+        assert!(t.first_sighting(flow(0), 1));
+        assert!(t.first_sighting(flow(0), 1 + 10 * WINDOW));
+        // The old seq is now out of the window: conservatively duplicate.
+        assert!(!t.first_sighting(flow(0), 1));
+    }
+
+    #[test]
+    fn window_slide_clears_reused_slots() {
+        let mut t = DedupTable::new();
+        assert!(t.first_sighting(flow(0), 0));
+        // Slide forward exactly WINDOW: slot of seq 0 is reused by WINDOW.
+        assert!(t.first_sighting(flow(0), WINDOW));
+        assert!(!t.first_sighting(flow(0), WINDOW));
+        // seq 1..WINDOW-1 were never seen; they are still within the window.
+        assert!(t.first_sighting(flow(0), WINDOW - 1));
+        assert!(t.first_sighting(flow(0), 1));
+    }
+
+    #[test]
+    fn every_seq_exactly_once_under_random_redundancy() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut t = DedupTable::new();
+        let mut firsts = 0;
+        // Deliver each of 500 seqs 1-4 times in shuffled bursts.
+        let mut arrivals: Vec<u64> = Vec::new();
+        for seq in 0..500u64 {
+            for _ in 0..rng.gen_range(1..=4) {
+                arrivals.push(seq);
+            }
+        }
+        // Shuffle with bounded displacement so the window always covers.
+        for i in 0..arrivals.len() {
+            let j = (i + rng.gen_range(0..30)).min(arrivals.len() - 1);
+            arrivals.swap(i, j);
+        }
+        for seq in arrivals {
+            if t.first_sighting(flow(0), seq) {
+                firsts += 1;
+            }
+        }
+        assert_eq!(firsts, 500, "each payload processed exactly once");
+    }
+
+    #[test]
+    fn forget_drops_state() {
+        let mut t = DedupTable::new();
+        t.first_sighting(flow(0), 1);
+        t.forget(&flow(0));
+        assert_eq!(t.flow_count(), 0);
+        // After forgetting, the same seq is new again.
+        assert!(t.first_sighting(flow(0), 1));
+    }
+}

@@ -1,0 +1,338 @@
+//! Seamless packet interception for unmodified applications (§II-B).
+//!
+//! "Applications can either connect to the overlay via an API similar to the
+//! Unix sockets interface or use seamless packet interception techniques
+//! that allow unmodified applications to take advantage of overlay
+//! services."
+//!
+//! An [`Interceptor`] sits between a legacy application and an overlay
+//! daemon (in a deployment: a TUN device or divert socket; here: a process
+//! the application's raw datagrams are routed through). The application
+//! just sends datagrams to overlay addresses ([`Wire::Raw`]); the
+//! interceptor lazily opens one overlay flow per destination, applying a
+//! per-destination [`InterceptPolicy`] to choose services, and hands
+//! deliveries back as raw datagrams. The application never learns the
+//! overlay exists.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use son_netsim::link::PipeId;
+use son_netsim::process::{Process, ProcessId};
+use son_netsim::sim::Ctx;
+use son_netsim::time::{SimDuration, SimTime};
+
+use crate::addr::{Destination, OverlayAddr};
+use crate::node::CLIENT_IPC_DELAY;
+use crate::packet::{ClientOp, SessionEvent, Wire};
+use crate::service::FlowSpec;
+
+/// Chooses the overlay services applied to intercepted traffic, per
+/// destination. The operator configures this; the application cannot see it.
+#[derive(Debug, Clone)]
+pub struct InterceptPolicy {
+    /// Services applied when no rule matches.
+    pub default_spec: FlowSpec,
+    /// Per-destination overrides, first match wins.
+    pub rules: Vec<(OverlayAddr, FlowSpec)>,
+}
+
+impl InterceptPolicy {
+    /// A policy applying one spec to everything.
+    #[must_use]
+    pub fn uniform(spec: FlowSpec) -> Self {
+        InterceptPolicy { default_spec: spec, rules: Vec::new() }
+    }
+
+    /// Adds a per-destination rule.
+    #[must_use]
+    pub fn with_rule(mut self, dst: OverlayAddr, spec: FlowSpec) -> Self {
+        self.rules.push((dst, spec));
+        self
+    }
+
+    /// The spec for a destination.
+    #[must_use]
+    pub fn spec_for(&self, dst: OverlayAddr) -> FlowSpec {
+        self.rules
+            .iter()
+            .find(|(d, _)| *d == dst)
+            .map_or(self.default_spec, |(_, s)| *s)
+    }
+}
+
+/// The transparent shim between one legacy application process and an
+/// overlay daemon.
+#[derive(Debug)]
+pub struct Interceptor {
+    daemon: ProcessId,
+    /// The legacy application whose traffic is being intercepted.
+    app: ProcessId,
+    port: u16,
+    policy: InterceptPolicy,
+    /// Destination -> local flow id, opened lazily on first datagram.
+    flows: HashMap<OverlayAddr, u32>,
+    next_flow: u32,
+    /// Datagrams intercepted outbound.
+    pub intercepted_out: u64,
+    /// Datagrams handed back to the application.
+    pub delivered_in: u64,
+}
+
+impl Interceptor {
+    /// Creates an interceptor for `app`, attaching to `daemon` on `port`.
+    #[must_use]
+    pub fn new(daemon: ProcessId, app: ProcessId, port: u16, policy: InterceptPolicy) -> Self {
+        Interceptor {
+            daemon,
+            app,
+            port,
+            policy,
+            flows: HashMap::new(),
+            next_flow: 1,
+            intercepted_out: 0,
+            delivered_in: 0,
+        }
+    }
+
+    fn daemon_send(&self, ctx: &mut Ctx<'_, Wire>, op: ClientOp) {
+        ctx.send_direct(self.daemon, CLIENT_IPC_DELAY, Wire::FromClient(op));
+    }
+}
+
+impl Process<Wire> for Interceptor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        self.daemon_send(ctx, ClientOp::Connect { port: self.port });
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        from: ProcessId,
+        _pipe: Option<PipeId>,
+        msg: Wire,
+    ) {
+        match msg {
+            // Outbound: a raw datagram captured from the application.
+            Wire::Raw { to, size, payload } if from == self.app => {
+                self.intercepted_out += 1;
+                let local_flow = match self.flows.get(&to) {
+                    Some(&f) => f,
+                    None => {
+                        let f = self.next_flow;
+                        self.next_flow += 1;
+                        self.flows.insert(to, f);
+                        self.daemon_send(
+                            ctx,
+                            ClientOp::OpenFlow {
+                                local_flow: f,
+                                dst: Destination::Unicast(to),
+                                spec: self.policy.spec_for(to),
+                            },
+                        );
+                        f
+                    }
+                };
+                self.daemon_send(ctx, ClientOp::Send { local_flow, size, payload });
+            }
+            // Inbound: an overlay delivery, re-materialized as a raw datagram.
+            Wire::ToClient(SessionEvent::Deliver { flow, size, payload, .. }) => {
+                self.delivered_in += 1;
+                ctx.send_direct(
+                    self.app,
+                    CLIENT_IPC_DELAY,
+                    Wire::Raw { to: flow.src, size, payload },
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A stand-in for an unmodified application: fires raw datagrams at a
+/// destination on a fixed schedule and records what comes back. It has no
+/// knowledge of flows, services, or the overlay.
+#[derive(Debug)]
+pub struct LegacyApp {
+    /// Where this app's traffic is routed (its interceptor).
+    shim: Option<ProcessId>,
+    dst: OverlayAddr,
+    size: usize,
+    interval: SimDuration,
+    count: u64,
+    start: SimTime,
+    /// Datagrams sent.
+    pub sent: u64,
+    /// Datagrams received, with arrival times.
+    pub received: Vec<(SimTime, OverlayAddr)>,
+}
+
+impl LegacyApp {
+    /// Creates an app that sends `count` datagrams of `size` bytes to `dst`
+    /// every `interval`, starting at `start`.
+    #[must_use]
+    pub fn new(dst: OverlayAddr, size: usize, interval: SimDuration, count: u64, start: SimTime) -> Self {
+        LegacyApp { shim: None, dst, size, interval, count, start, sent: 0, received: Vec::new() }
+    }
+
+    /// Routes this app's traffic through `shim` (set after the interceptor
+    /// process exists).
+    pub fn attach(&mut self, shim: ProcessId) {
+        self.shim = Some(shim);
+    }
+}
+
+impl Process<Wire> for LegacyApp {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        ctx.set_timer(self.start.saturating_since(ctx.now()), 0);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        _from: ProcessId,
+        _pipe: Option<PipeId>,
+        msg: Wire,
+    ) {
+        if let Wire::Raw { to, .. } = msg {
+            self.received.push((ctx.now(), to));
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Wire>, _token: u64) {
+        if self.sent >= self.count {
+            return;
+        }
+        if let Some(shim) = self.shim {
+            self.sent += 1;
+            ctx.send_direct(
+                shim,
+                CLIENT_IPC_DELAY,
+                Wire::Raw { to: self.dst, size: self.size, payload: Bytes::new() },
+            );
+        }
+        ctx.set_timer(self.interval, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{chain_topology, OverlayBuilder};
+    use crate::service::LinkService;
+    use son_netsim::loss::LossConfig;
+    use son_netsim::sim::Simulation;
+    use son_topo::NodeId;
+
+    #[test]
+    fn policy_matching() {
+        let a = OverlayAddr::new(NodeId(1), 5);
+        let b = OverlayAddr::new(NodeId(2), 5);
+        let policy = InterceptPolicy::uniform(FlowSpec::best_effort())
+            .with_rule(a, FlowSpec::reliable());
+        assert_eq!(policy.spec_for(a).link, LinkService::Reliable);
+        assert_eq!(policy.spec_for(b).link, LinkService::BestEffort);
+    }
+
+    /// Two unmodified apps exchange datagrams through interceptors over a
+    /// lossy overlay; the reliable policy recovers every loss without the
+    /// apps knowing anything happened.
+    #[test]
+    fn unmodified_apps_get_overlay_services_transparently() {
+        let mut sim: Simulation<Wire> = Simulation::new(55);
+        let overlay = OverlayBuilder::new(chain_topology(4, 10.0))
+            .default_loss(LossConfig::Bernoulli { p: 0.03 })
+            .build(&mut sim);
+
+        // App A at node 0 talks to "address n3:90"; app B at node 3 replies
+        // to whatever address its datagrams appear to come from.
+        let peer_b = OverlayAddr::new(NodeId(3), 90);
+        let app_a = sim.add_process(LegacyApp::new(
+            peer_b,
+            400,
+            SimDuration::from_millis(10),
+            300,
+            SimTime::from_millis(500),
+        ));
+        let shim_a = sim.add_process(Interceptor::new(
+            overlay.daemon(NodeId(0)),
+            app_a,
+            80,
+            InterceptPolicy::uniform(FlowSpec::reliable()),
+        ));
+        sim.proc_mut::<LegacyApp>(app_a).unwrap().attach(shim_a);
+
+        // App B never sends; its interceptor binds the port A targets.
+        let app_b = sim.add_process(LegacyApp::new(
+            OverlayAddr::new(NodeId(0), 80),
+            400,
+            SimDuration::from_millis(10),
+            0, // pure receiver
+            SimTime::MAX,
+        ));
+        let shim_b = sim.add_process(Interceptor::new(
+            overlay.daemon(NodeId(3)),
+            app_b,
+            90,
+            InterceptPolicy::uniform(FlowSpec::reliable()),
+        ));
+        sim.proc_mut::<LegacyApp>(app_b).unwrap().attach(shim_b);
+
+        sim.run_until(SimTime::from_secs(20));
+
+        let a = sim.proc_ref::<LegacyApp>(app_a).unwrap();
+        assert_eq!(a.sent, 300);
+        let b = sim.proc_ref::<LegacyApp>(app_b).unwrap();
+        assert_eq!(b.received.len(), 300, "reliable policy recovered all losses");
+        // Every datagram appears to come from A's overlay address.
+        assert!(b.received.iter().all(|&(_, from)| from == OverlayAddr::new(NodeId(0), 80)));
+        let shim = sim.proc_ref::<Interceptor>(shim_a).unwrap();
+        assert_eq!(shim.intercepted_out, 300);
+    }
+
+    #[test]
+    fn per_destination_policy_selects_different_services() {
+        let mut sim: Simulation<Wire> = Simulation::new(56);
+        let overlay = OverlayBuilder::new(chain_topology(3, 10.0)).build(&mut sim);
+        let dst_fast = OverlayAddr::new(NodeId(2), 91);
+        let dst_safe = OverlayAddr::new(NodeId(2), 92);
+
+        // Two apps behind ONE policy-bearing interceptor setup: app sends to
+        // both destinations alternately — model with two apps for simplicity.
+        let mk_app = |sim: &mut Simulation<Wire>, dst| {
+            sim.add_process(LegacyApp::new(
+                dst,
+                100,
+                SimDuration::from_millis(20),
+                50,
+                SimTime::from_millis(500),
+            ))
+        };
+        let app1 = mk_app(&mut sim, dst_fast);
+        let app2 = mk_app(&mut sim, dst_safe);
+        let policy = InterceptPolicy::uniform(FlowSpec::best_effort())
+            .with_rule(dst_safe, FlowSpec::reliable());
+        let shim1 = sim.add_process(Interceptor::new(overlay.daemon(NodeId(0)), app1, 70, policy.clone()));
+        let shim2 = sim.add_process(Interceptor::new(overlay.daemon(NodeId(0)), app2, 71, policy));
+        sim.proc_mut::<LegacyApp>(app1).unwrap().attach(shim1);
+        sim.proc_mut::<LegacyApp>(app2).unwrap().attach(shim2);
+
+        // Receivers for both ports.
+        for (port, app_dst) in [(91u16, OverlayAddr::new(NodeId(0), 70)), (92, OverlayAddr::new(NodeId(0), 71))] {
+            let rx_app = sim.add_process(LegacyApp::new(app_dst, 1, SimDuration::MAX, 0, SimTime::MAX));
+            let rx_shim = sim.add_process(Interceptor::new(
+                overlay.daemon(NodeId(2)),
+                rx_app,
+                port,
+                InterceptPolicy::uniform(FlowSpec::best_effort()),
+            ));
+            sim.proc_mut::<LegacyApp>(rx_app).unwrap().attach(rx_shim);
+        }
+        sim.run_until(SimTime::from_secs(5));
+
+        // The daemon at node 0 carried one best-effort and one reliable flow.
+        let node = sim.proc_ref::<crate::node::OverlayNode>(overlay.daemon(NodeId(0))).unwrap();
+        assert_eq!(node.service_stats(LinkService::BestEffort).sent, 50);
+        assert_eq!(node.service_stats(LinkService::Reliable).sent, 50);
+    }
+}

@@ -1,0 +1,78 @@
+//! # son-overlay — structured overlay network node software
+//!
+//! The paper's primary contribution (Fig. 2) realized in Rust: overlay nodes
+//! that act as both servers (session interface for clients) and routers
+//! (link-state and source-based routing over shared connectivity and group
+//! state), with flow-based processing and a family of link-level protocols —
+//! Best Effort, Reliable Data Link (hop-by-hop recovery, §III-A), NM-Strikes
+//! real-time recovery (§IV-A), and intrusion-tolerant Priority/Reliable fair
+//! messaging (§IV-B) — plus redundant dissemination over k-node-disjoint
+//! paths, dissemination graphs, and constrained flooding with in-network
+//! de-duplication.
+//!
+//! Overlay daemons run as [`Process`](son_netsim::process::Process)es inside
+//! the deterministic [`son_netsim`] simulator.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use son_netsim::sim::Simulation;
+//! use son_netsim::time::{SimDuration, SimTime};
+//! use son_overlay::builder::{chain_topology, OverlayBuilder};
+//! use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
+//! use son_overlay::{Destination, FlowSpec, OverlayAddr, Wire};
+//! use son_topo::NodeId;
+//!
+//! // A 3-node overlay chain with 10 ms links.
+//! let mut sim: Simulation<Wire> = Simulation::new(7);
+//! let overlay = OverlayBuilder::new(chain_topology(3, 10.0)).build(&mut sim);
+//!
+//! // A receiver client on the last node, a sender on the first.
+//! let rx = sim.add_process(ClientProcess::new(ClientConfig {
+//!     daemon: overlay.daemon(NodeId(2)), port: 7, joins: vec![], flows: vec![],
+//! }));
+//! let _tx = sim.add_process(ClientProcess::new(ClientConfig {
+//!     daemon: overlay.daemon(NodeId(0)), port: 5, joins: vec![],
+//!     flows: vec![ClientFlow {
+//!         local_flow: 1,
+//!         dst: Destination::Unicast(OverlayAddr::new(NodeId(2), 7)),
+//!         spec: FlowSpec::reliable(),
+//!         workload: Workload::Cbr {
+//!             size: 1200,
+//!             interval: SimDuration::from_millis(10),
+//!             count: 50,
+//!             start: SimTime::from_millis(500),
+//!         },
+//!     }],
+//! }));
+//!
+//! sim.run_until(SimTime::from_secs(3));
+//! let client = sim.proc_ref::<ClientProcess>(rx).unwrap();
+//! assert_eq!(client.sole_recv().received, 50);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod addr;
+pub mod adversary;
+pub mod auth;
+pub mod builder;
+pub mod client;
+pub mod dedup;
+pub mod intercept;
+pub mod linkproto;
+pub mod metrics;
+pub mod node;
+pub mod packet;
+pub mod routing;
+pub mod service;
+pub mod session;
+pub mod state;
+
+pub use addr::{Destination, FlowKey, GroupId, OverlayAddr, VirtualPort};
+pub use builder::{OverlayBuilder, OverlayHandle};
+pub use client::{ClientConfig, ClientFlow, ClientProcess, Workload};
+pub use node::{NodeConfig, OverlayNode};
+pub use packet::{ClientOp, DataPacket, SessionEvent, Wire};
+pub use service::{FlowSpec, LinkService, Priority, RealtimeParams, RoutingService, SourceRoute};

@@ -1,0 +1,256 @@
+//! Link-level protocols (Fig. 2, Link level).
+//!
+//! Every overlay link multiplexes one protocol instance per service slot:
+//! Best Effort, Reliable Data Link, Real-time (NM-Strikes), Intrusion-
+//! Tolerant Priority, Intrusion-Tolerant Reliable, and the FIFO baseline.
+//!
+//! Protocol instances are *pure state machines*: the daemon feeds them
+//! events (`on_send`, `on_data`, `on_ctl`, `on_timer`) and they emit
+//! [`LinkAction`]s (transmit, deliver upward, arm a timer, pause a flow).
+//! The daemon owns all interaction with the simulator, which keeps the
+//! protocols directly unit-testable.
+//!
+//! Timer discipline: protocols never cancel timers; instead a firing timer
+//! re-checks protocol state and becomes a no-op when stale. This keeps the
+//! state machines simple and makes their behaviour independent of timer
+//! cancellation semantics.
+
+pub mod best_effort;
+pub mod fair;
+pub mod fec;
+pub mod realtime;
+pub mod reliable;
+
+use son_netsim::time::{SimDuration, SimTime};
+
+use crate::addr::FlowKey;
+use crate::packet::{DataPacket, LinkCtl};
+
+pub use best_effort::BestEffortLink;
+pub use fair::{FifoLink, ItPriorityLink, ItReliableLink};
+pub use fec::FecLink;
+pub use realtime::RealtimeLink;
+pub use reliable::ReliableLink;
+
+/// What a protocol instance wants the daemon to do.
+#[derive(Debug)]
+pub enum LinkAction {
+    /// Put a data packet on this link's wire.
+    Transmit(DataPacket),
+    /// Put link control on this link's wire.
+    TransmitCtl(LinkCtl),
+    /// Hand an arriving packet up to the node's forwarding/delivery logic.
+    Deliver(DataPacket),
+    /// Arm a timer; `token` comes back via `on_timer` after `delay`.
+    Timer {
+        /// How long until the timer fires.
+        delay: SimDuration,
+        /// Protocol-chosen discriminator, echoed back on expiry.
+        token: u32,
+    },
+    /// Backpressure: ask the node to pause the local source of this flow
+    /// (IT-Reliable only).
+    PauseFlow(FlowKey),
+    /// Release backpressure on a flow.
+    ResumeFlow(FlowKey),
+    /// A packet of this flow has left the node (IT-Reliable): the daemon
+    /// relays this to the flow's upstream link so it can grant a credit.
+    Consumed(FlowKey),
+}
+
+/// Counters every protocol instance reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkProtoStats {
+    /// Original data transmissions requested by the node.
+    pub sent: u64,
+    /// Retransmissions put on the wire (recovery overhead).
+    pub retransmitted: u64,
+    /// Control messages put on the wire.
+    pub ctl_sent: u64,
+    /// Data packets received for the first time.
+    pub received: u64,
+    /// Duplicate data packets received (and suppressed at the link level).
+    pub dup_received: u64,
+    /// Packets dropped by this protocol (queue overflow, eviction, give-up).
+    pub dropped: u64,
+}
+
+impl LinkProtoStats {
+    /// Recovery overhead ratio: transmissions per original packet
+    /// (the paper's `1 + Mp` cost for NM-Strikes).
+    #[must_use]
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            (self.sent + self.retransmitted) as f64 / self.sent as f64
+        }
+    }
+}
+
+/// A link-level protocol instance (one service slot on one overlay link).
+///
+/// Implementations are bidirectional: they hold sender state for the local
+/// outgoing direction and receiver state for the incoming direction.
+/// The `Any` supertrait lets experiments downcast to a concrete protocol to
+/// read protocol-specific counters.
+pub trait LinkProto: std::fmt::Debug + std::any::Any + Send {
+    /// The node wants `pkt` transmitted over this link.
+    fn on_send(&mut self, now: SimTime, pkt: DataPacket, out: &mut Vec<LinkAction>);
+
+    /// `pkt` arrived from the neighbor on this link.
+    fn on_data(&mut self, now: SimTime, pkt: DataPacket, out: &mut Vec<LinkAction>);
+
+    /// Link control arrived from the neighbor on this link.
+    fn on_ctl(&mut self, now: SimTime, ctl: LinkCtl, out: &mut Vec<LinkAction>);
+
+    /// A timer armed via [`LinkAction::Timer`] fired.
+    fn on_timer(&mut self, now: SimTime, token: u32, out: &mut Vec<LinkAction>);
+
+    /// The node accepted a previously delivered packet of `flow` onward
+    /// (forwarded it or handed it to a client). Used by IT-Reliable to grant
+    /// backpressure credits upstream; a no-op for every other protocol.
+    fn on_consumed(&mut self, now: SimTime, flow: FlowKey, out: &mut Vec<LinkAction>) {
+        let _ = (now, flow, out);
+    }
+
+    /// Current counters.
+    fn stats(&self) -> LinkProtoStats;
+}
+
+/// Egress pacing shared by the fair schedulers: models the node's per-link
+/// transmission capacity so that contention (and therefore fairness) exists
+/// even over infinite-bandwidth pipes.
+#[derive(Debug, Clone)]
+pub struct Pacer {
+    /// Egress rate in bytes per second; `None` disables pacing.
+    rate_bps: Option<u64>,
+    busy_until: SimTime,
+}
+
+impl Pacer {
+    /// Creates a pacer with the given egress rate in **bits** per second.
+    #[must_use]
+    pub fn new(rate_bits_per_sec: Option<u64>) -> Self {
+        Pacer { rate_bps: rate_bits_per_sec, busy_until: SimTime::ZERO }
+    }
+
+    /// `true` if a transmission may start now.
+    #[must_use]
+    pub fn idle(&self, now: SimTime) -> bool {
+        now >= self.busy_until
+    }
+
+    /// Starts a transmission of `bytes` at `now`; returns how long the
+    /// serializer stays busy (zero when pacing is disabled).
+    pub fn start(&mut self, now: SimTime, bytes: usize) -> SimDuration {
+        match self.rate_bps {
+            None => SimDuration::ZERO,
+            Some(bps) => {
+                let tx = SimDuration::from_secs_f64(bytes as f64 * 8.0 / bps as f64);
+                self.busy_until = now + tx;
+                tx
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use bytes::Bytes;
+    use son_netsim::time::SimTime;
+    use son_topo::NodeId;
+
+    use crate::addr::{Destination, FlowKey, OverlayAddr};
+    use crate::packet::DataPacket;
+    use crate::service::FlowSpec;
+
+    /// A data packet for protocol unit tests.
+    pub fn pkt(flow_seq: u64, size: usize) -> DataPacket {
+        pkt_from(0, flow_seq, size)
+    }
+
+    /// A data packet from a particular source client.
+    pub fn pkt_from(src_node: usize, flow_seq: u64, size: usize) -> DataPacket {
+        DataPacket {
+            flow: FlowKey::new(
+                OverlayAddr::new(NodeId(src_node), 1),
+                Destination::Unicast(OverlayAddr::new(NodeId(9), 1)),
+            ),
+            flow_seq,
+            origin: NodeId(src_node),
+            spec: FlowSpec::reliable(),
+            mask: None,
+            resolved_dst: None,
+            link_seq: 0,
+            created_at: SimTime::ZERO,
+            size,
+            payload: Bytes::new(),
+            ttl: 32,
+            auth_tag: 0,
+        }
+    }
+
+    /// Extracts transmitted packets from an action list.
+    pub fn transmitted(actions: &[super::LinkAction]) -> Vec<&DataPacket> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                super::LinkAction::Transmit(p) => Some(p),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Extracts delivered packets from an action list.
+    pub fn delivered(actions: &[super::LinkAction]) -> Vec<&DataPacket> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                super::LinkAction::Deliver(p) => Some(p),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Extracts `(delay, token)` timer requests from an action list.
+    pub fn timers(actions: &[super::LinkAction]) -> Vec<(son_netsim::time::SimDuration, u32)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                super::LinkAction::Timer { delay, token } => Some((*delay, *token)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_ratio_counts_retransmissions() {
+        let s = LinkProtoStats { sent: 100, retransmitted: 5, ..Default::default() };
+        assert!((s.overhead_ratio() - 1.05).abs() < 1e-12);
+        assert_eq!(LinkProtoStats::default().overhead_ratio(), 1.0);
+    }
+
+    #[test]
+    fn pacer_serializes_at_rate() {
+        // 8 Mbit/s -> 1000 bytes take 1 ms.
+        let mut p = Pacer::new(Some(8_000_000));
+        assert!(p.idle(SimTime::ZERO));
+        let tx = p.start(SimTime::ZERO, 1000);
+        assert_eq!(tx, SimDuration::from_millis(1));
+        assert!(!p.idle(SimTime::from_micros(500)));
+        assert!(p.idle(SimTime::from_millis(1)));
+    }
+
+    #[test]
+    fn pacer_disabled_is_always_idle() {
+        let mut p = Pacer::new(None);
+        assert_eq!(p.start(SimTime::ZERO, 1_000_000), SimDuration::ZERO);
+        assert!(p.idle(SimTime::ZERO));
+    }
+}

@@ -1,0 +1,39 @@
+//! Per-node metrics for experiments and diagnostics.
+
+use son_netsim::stats::Counters;
+
+/// Counters an overlay node maintains while running. Beyond these typed
+/// fields, ad-hoc named counters live in [`NodeMetrics::counters`].
+#[derive(Debug, Clone, Default)]
+pub struct NodeMetrics {
+    /// Data packets forwarded toward other nodes.
+    pub forwarded: u64,
+    /// Data packets delivered to local clients.
+    pub delivered_local: u64,
+    /// Packets dropped because their TTL expired (loop guard).
+    pub dropped_ttl: u64,
+    /// Packets dropped because authentication failed.
+    pub auth_failures: u64,
+    /// Duplicate copies suppressed by flow-level de-duplication.
+    pub dedup_suppressed: u64,
+    /// Packets dropped by adversarial behaviour (when compromised).
+    pub adversary_dropped: u64,
+    /// Junk packets originated by adversarial behaviour.
+    pub adversary_injected: u64,
+    /// Packets that could not be routed (no usable next hop).
+    pub unroutable: u64,
+    /// Free-form counters.
+    pub counters: Counters,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let m = NodeMetrics::default();
+        assert_eq!(m.forwarded, 0);
+        assert_eq!(m.counters.get("anything"), 0);
+    }
+}

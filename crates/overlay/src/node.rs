@@ -1,0 +1,952 @@
+//! The overlay node daemon: Fig. 2 assembled.
+//!
+//! An [`OverlayNode`] "acts as both server and router: as a server it
+//! accepts and serves client connections, while as a router it performs
+//! network functions such as forwarding packets destined for other overlay
+//! nodes". It runs as a single [`Process`] in the simulator and wires
+//! together the session interface, the routing level (link-state and
+//! source-based over shared connectivity/group state), and the link level
+//! (one protocol instance per service slot per incident link).
+
+use std::collections::HashMap;
+
+use son_netsim::link::PipeId;
+use son_netsim::process::{Process, ProcessId};
+use son_netsim::sim::Ctx;
+use son_netsim::time::SimDuration;
+use son_topo::{EdgeId, Graph, NodeId};
+
+use crate::addr::{Destination, FlowKey, VirtualPort};
+use crate::adversary::{Behavior, Verdict};
+use crate::auth::KeyRegistry;
+use crate::dedup::DedupTable;
+use crate::linkproto::{
+    BestEffortLink, FecLink, FifoLink, ItPriorityLink, ItReliableLink, LinkAction, LinkProto,
+    LinkProtoStats, RealtimeLink, ReliableLink,
+};
+use crate::metrics::NodeMetrics;
+use crate::packet::{ClientOp, Control, DataPacket, Wire};
+use crate::routing::Forwarding;
+use crate::service::{FlowSpec, LinkService, RealtimeParams, RoutingService, SERVICE_SLOTS};
+use crate::session::{SessionAction, SessionTable};
+use crate::state::connectivity::{ConnAction, ConnectivityConfig, ConnectivityMonitor};
+use crate::state::groups::{GroupAction, GroupTable};
+
+/// Local IPC latency between a client and its colocated daemon.
+pub const CLIENT_IPC_DELAY: SimDuration = SimDuration::from_micros(50);
+
+/// Static configuration of an overlay node daemon.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Connectivity-monitor settings (hello cadence, down thresholds).
+    pub connectivity: ConnectivityConfig,
+    /// Reliable Data Link RTO as a multiple of the link's nominal latency.
+    pub rto_factor: f64,
+    /// Lower bound on the Reliable Data Link RTO.
+    pub rto_min: SimDuration,
+    /// Default NM-Strikes parameters (overridden per flow).
+    pub realtime: RealtimeParams,
+    /// Egress pacing rate for the fair schedulers, bits/second
+    /// (`None` disables pacing — fine when fairness is not under test).
+    pub it_rate_bps: Option<u64>,
+    /// Per-source buffer bound for IT-Priority, in packets.
+    pub it_source_cap: usize,
+    /// Shared buffer bound for the FIFO baseline, in packets.
+    pub fifo_cap: usize,
+    /// Default FEC code (overridden per flow).
+    pub fec: crate::service::FecParams,
+    /// Verify per-packet authentication tags and drop failures.
+    pub auth_enabled: bool,
+    /// Initial TTL stamped on packets at the ingress.
+    pub ttl: u8,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            connectivity: ConnectivityConfig::default(),
+            rto_factor: 3.0,
+            rto_min: SimDuration::from_millis(2),
+            realtime: RealtimeParams::live_tv(),
+            it_rate_bps: None,
+            it_source_cap: 64,
+            fifo_cap: 64,
+            fec: crate::service::FecParams::light(),
+            auth_enabled: false,
+            ttl: 32,
+        }
+    }
+}
+
+/// One incident overlay link as seen by the daemon: the neighbor, one pipe
+/// pair per provider, and the per-service protocol instances.
+struct LinkPort {
+    edge: EdgeId,
+    neighbor: NodeId,
+    /// Outgoing pipes, one per provider binding.
+    out_pipes: Vec<PipeId>,
+    active_provider: usize,
+    protos: Vec<Box<dyn LinkProto>>,
+    /// Nominal one-way latency, for diagnostics.
+    #[allow(dead_code)]
+    nominal_latency_ms: f64,
+}
+
+impl std::fmt::Debug for LinkPort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkPort")
+            .field("edge", &self.edge)
+            .field("neighbor", &self.neighbor)
+            .field("providers", &self.out_pipes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+// Timer token component tags (top 8 bits of the u64 token).
+const TOK_CONN_TICK: u64 = 1 << 56;
+const TOK_LINK: u64 = 2 << 56;
+const TOK_SESSION: u64 = 3 << 56;
+const TOK_FLOOD: u64 = 4 << 56;
+const TOK_DELAYED_FWD: u64 = 5 << 56;
+const TOK_MASK: u64 = 0xff << 56;
+
+/// The overlay node daemon.
+#[derive(Debug)]
+pub struct OverlayNode {
+    me: NodeId,
+    config: NodeConfig,
+    links: Vec<LinkPort>,
+    /// Incoming pipe -> (local link index, provider index).
+    in_pipe_index: HashMap<PipeId, (usize, usize)>,
+    /// Edge id -> local link index.
+    edge_index: HashMap<EdgeId, usize>,
+    conn: ConnectivityMonitor,
+    groups: GroupTable,
+    forwarding: Forwarding,
+    sessions: SessionTable,
+    dedup: DedupTable,
+    keys: KeyRegistry,
+    behavior: Behavior,
+    metrics: NodeMetrics,
+    /// Source-route stamps cached per flow, keyed by connectivity version.
+    mask_cache: HashMap<FlowKey, (u64, son_topo::EdgeMask)>,
+    /// Upstream link of each IT-Reliable flow (for credit grants).
+    it_upstream: HashMap<FlowKey, usize>,
+    /// Packets held by a Delay adversary, keyed by timer token payload.
+    delayed: HashMap<u32, (DataPacket, Option<EdgeId>)>,
+    next_delay_token: u32,
+    flood_seq: u64,
+    /// The configured overlay topology (kept for re-wiring).
+    topology: Graph,
+}
+
+impl OverlayNode {
+    /// Creates an unwired daemon for node `me` over the configured
+    /// `topology`. The builder wires its links with
+    /// [`OverlayNode::wire_links`] once pipes exist (a daemon must exist in
+    /// the simulator before pipes to it can be created).
+    #[must_use]
+    pub fn new(me: NodeId, topology: Graph, keys: KeyRegistry, config: NodeConfig) -> Self {
+        let conn = ConnectivityMonitor::new(me, topology.clone(), Vec::new(), config.connectivity);
+        OverlayNode {
+            me,
+            forwarding: Forwarding::new(me, topology.clone()),
+            sessions: SessionTable::new(me),
+            groups: GroupTable::new(me),
+            conn,
+            links: Vec::new(),
+            in_pipe_index: HashMap::new(),
+            edge_index: HashMap::new(),
+            dedup: DedupTable::new(),
+            keys,
+            behavior: Behavior::Correct,
+            metrics: NodeMetrics::default(),
+            mask_cache: HashMap::new(),
+            it_upstream: HashMap::new(),
+            delayed: HashMap::new(),
+            next_delay_token: 0,
+            flood_seq: 0,
+            config,
+            topology,
+        }
+    }
+
+    /// Installs this node's incident links: `(edge, neighbor, out_pipes,
+    /// nominal_latency_ms)` in local link order. Must be called before the
+    /// simulation starts; incoming pipes are registered separately via
+    /// [`OverlayNode::register_in_pipe`].
+    pub fn wire_links(&mut self, links: Vec<(EdgeId, NodeId, Vec<PipeId>, f64)>) {
+        let conn_links: Vec<(EdgeId, usize, f64)> =
+            links.iter().map(|(e, _, pipes, lat)| (*e, pipes.len(), *lat)).collect();
+        self.conn = ConnectivityMonitor::new(
+            self.me,
+            self.topology.clone(),
+            conn_links,
+            self.config.connectivity,
+        );
+        self.edge_index.clear();
+        self.links = links
+            .into_iter()
+            .enumerate()
+            .map(|(i, (edge, neighbor, out_pipes, nominal))| {
+                self.edge_index.insert(edge, i);
+                let rto = SimDuration::from_millis_f64(nominal * self.config.rto_factor)
+                    .max(self.config.rto_min);
+                let protos: Vec<Box<dyn LinkProto>> = vec![
+                    Box::new(BestEffortLink::new()),
+                    Box::new(ReliableLink::new(rto)),
+                    Box::new(RealtimeLink::new(self.config.realtime)),
+                    Box::new(ItPriorityLink::new(self.config.it_source_cap, self.config.it_rate_bps)),
+                    Box::new(ItReliableLink::new(rto, self.config.it_rate_bps)),
+                    Box::new(FifoLink::new(self.config.fifo_cap, self.config.it_rate_bps)),
+                    Box::new(FecLink::new(self.config.fec)),
+                ];
+                LinkPort {
+                    edge,
+                    neighbor,
+                    out_pipes,
+                    active_provider: 0,
+                    protos,
+                    nominal_latency_ms: nominal,
+                }
+            })
+            .collect();
+    }
+
+    /// Registers the incoming pipe of `(link, provider)` so arrivals can be
+    /// attributed. Called by the builder.
+    pub fn register_in_pipe(&mut self, pipe: PipeId, link: usize, provider: usize) {
+        self.in_pipe_index.insert(pipe, (link, provider));
+    }
+
+    /// Marks this node as compromised with the given behaviour.
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        self.behavior = behavior;
+    }
+
+    /// This node's id in the overlay topology.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// Node metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &NodeMetrics {
+        &self.metrics
+    }
+
+    /// Link protocol statistics for `(local link index, service)`.
+    #[must_use]
+    pub fn link_stats(&self, link: usize, service: LinkService) -> LinkProtoStats {
+        self.links[link].protos[service.slot()].stats()
+    }
+
+    /// Aggregated protocol statistics for a service across all links.
+    #[must_use]
+    pub fn service_stats(&self, service: LinkService) -> LinkProtoStats {
+        let mut total = LinkProtoStats::default();
+        for l in &self.links {
+            let s = l.protos[service.slot()].stats();
+            total.sent += s.sent;
+            total.retransmitted += s.retransmitted;
+            total.ctl_sent += s.ctl_sent;
+            total.received += s.received;
+            total.dup_received += s.dup_received;
+            total.dropped += s.dropped;
+        }
+        total
+    }
+
+    /// The session table (delivery stats, connected clients).
+    #[must_use]
+    pub fn sessions(&self) -> &SessionTable {
+        &self.sessions
+    }
+
+    /// The group table.
+    #[must_use]
+    pub fn groups(&self) -> &GroupTable {
+        &self.groups
+    }
+
+    /// The connectivity monitor.
+    #[must_use]
+    pub fn connectivity(&self) -> &ConnectivityMonitor {
+        &self.conn
+    }
+
+    /// The de-duplication table.
+    #[must_use]
+    pub fn dedup(&self) -> &DedupTable {
+        &self.dedup
+    }
+
+    /// A human-readable status snapshot: links with measured quality and
+    /// provider selection, shared-state versions, groups, and headline
+    /// counters — the operator's `spines_monitor`-style view.
+    #[must_use]
+    pub fn status_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "node {} | topology v{} groups v{}", self.me, self.conn.version(), self.groups.version());
+        for (i, port) in self.links.iter().enumerate() {
+            let (lat, loss) = self.conn.link_quality(i);
+            let _ = writeln!(
+                out,
+                "  link[{i}] {} -> {} | {} | provider {}/{} | {:.2}ms loss {:.1}%",
+                port.edge,
+                port.neighbor,
+                if self.conn.link_up(i) { "up" } else { "DOWN" },
+                port.active_provider + 1,
+                port.out_pipes.len(),
+                lat,
+                loss * 100.0,
+            );
+        }
+        let ports = self.sessions.ports();
+        let _ = writeln!(out, "  clients: {:?}", ports.iter().map(|p| p.0).collect::<Vec<_>>());
+        let _ = writeln!(
+            out,
+            "  forwarded {} | delivered {} | dedup {} | unroutable {} | auth_fail {}",
+            self.metrics.forwarded,
+            self.metrics.delivered_local,
+            self.metrics.dedup_suppressed,
+            self.metrics.unroutable,
+            self.metrics.auth_failures,
+        );
+        out
+    }
+
+    /// Per-source forwarded counts of a link's IT-Priority scheduler
+    /// (downcast helper for fairness experiments).
+    #[must_use]
+    pub fn it_priority_forwarded(&self, link: usize) -> Option<Vec<(crate::addr::OverlayAddr, u64)>> {
+        let proto = self.links.get(link)?.protos[LinkService::ItPriority.slot()].as_ref();
+        let any: &dyn std::any::Any = proto as &dyn std::any::Any;
+        any.downcast_ref::<ItPriorityLink>()
+            .map(|p| p.forwarded_by_source().iter().map(|(&a, &c)| (a, c)).collect())
+    }
+
+    /// Per-source forwarded counts of a link's FIFO baseline.
+    #[must_use]
+    pub fn fifo_forwarded(&self, link: usize) -> Option<Vec<(crate::addr::OverlayAddr, u64)>> {
+        let proto = self.links.get(link)?.protos[LinkService::Fifo.slot()].as_ref();
+        let any: &dyn std::any::Any = proto as &dyn std::any::Any;
+        any.downcast_ref::<FifoLink>()
+            .map(|p| p.forwarded_by_source().iter().map(|(&a, &c)| (a, c)).collect())
+    }
+
+    // --- internal helpers -------------------------------------------------
+
+    fn send_on_link(&self, ctx: &mut Ctx<'_, Wire>, link: usize, provider: Option<usize>, wire: Wire) {
+        let port = &self.links[link];
+        let idx = provider.unwrap_or(port.active_provider).min(port.out_pipes.len() - 1);
+        ctx.send(port.out_pipes[idx], wire);
+    }
+
+    fn run_link_proto(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        link: usize,
+        slot: usize,
+        feed: impl FnOnce(&mut dyn LinkProto, &mut Vec<LinkAction>),
+    ) {
+        let mut actions = Vec::new();
+        feed(self.links[link].protos[slot].as_mut(), &mut actions);
+        self.apply_link_actions(ctx, link, slot, actions);
+    }
+
+    fn apply_link_actions(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        link: usize,
+        slot: usize,
+        actions: Vec<LinkAction>,
+    ) {
+        for action in actions {
+            match action {
+                LinkAction::Transmit(pkt) => {
+                    self.send_on_link(ctx, link, None, Wire::Data(pkt));
+                }
+                LinkAction::TransmitCtl(ctl) => {
+                    self.send_on_link(ctx, link, None, Wire::Ctl { slot: slot as u8, ctl });
+                }
+                LinkAction::Deliver(pkt) => {
+                    let in_edge = self.links[link].edge;
+                    // Remember the upstream of IT-Reliable flows for credits.
+                    if matches!(pkt.spec.link, LinkService::ItReliable) {
+                        self.it_upstream.insert(pkt.flow, link);
+                    }
+                    self.handle_upward(ctx, pkt, Some(in_edge), Some(link));
+                }
+                LinkAction::Timer { delay, token } => {
+                    let encoded =
+                        TOK_LINK | ((link as u64) << 40) | ((slot as u64) << 32) | u64::from(token);
+                    ctx.set_timer(delay, encoded);
+                }
+                LinkAction::PauseFlow(flow) => {
+                    let mut sa = Vec::new();
+                    self.sessions.pause_flow(flow, &mut sa);
+                    self.apply_session_actions(ctx, sa);
+                }
+                LinkAction::ResumeFlow(flow) => {
+                    let mut sa = Vec::new();
+                    self.sessions.resume_flow(flow, &mut sa);
+                    self.apply_session_actions(ctx, sa);
+                }
+                LinkAction::Consumed(flow) => {
+                    // Grant a credit on the flow's upstream link, if any
+                    // (none at the ingress node).
+                    let now = ctx.now();
+                    if let Some(&up) = self.it_upstream.get(&flow) {
+                        if up != link {
+                            self.run_link_proto(ctx, up, slot, move |p, out| {
+                                p.on_consumed(now, flow, out);
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_session_actions(&mut self, ctx: &mut Ctx<'_, Wire>, actions: Vec<SessionAction>) {
+        for action in actions {
+            match action {
+                SessionAction::ToClient { port, event } => {
+                    if let Some(proc) = self.sessions.client_proc(port) {
+                        ctx.send_direct(proc, CLIENT_IPC_DELAY, Wire::ToClient(event));
+                    }
+                }
+                SessionAction::Timer { delay, token } => {
+                    ctx.set_timer(delay, TOK_SESSION | u64::from(token));
+                }
+            }
+        }
+    }
+
+    fn apply_conn_actions(&mut self, ctx: &mut Ctx<'_, Wire>, actions: Vec<ConnAction>, reply_provider: Option<usize>) {
+        for action in actions {
+            match action {
+                ConnAction::Send { link, msg } => {
+                    self.send_on_link(ctx, link, reply_provider, Wire::Control(msg));
+                }
+                ConnAction::Flood { except, msg } => {
+                    for i in 0..self.links.len() {
+                        if Some(i) != except {
+                            self.send_on_link(ctx, i, None, Wire::Control(msg.clone()));
+                        }
+                    }
+                }
+                ConnAction::SwitchProvider { link, isp_index } => {
+                    let count = self.links[link].out_pipes.len();
+                    self.links[link].active_provider = isp_index % count.max(1);
+                    self.metrics.counters.incr("provider_switches");
+                }
+                ConnAction::TopologyChanged => {
+                    self.forwarding.set_graph(self.conn.current_graph());
+                    self.mask_cache.clear();
+                    self.metrics.counters.incr("reroutes");
+                }
+            }
+        }
+    }
+
+    fn apply_group_actions(&mut self, ctx: &mut Ctx<'_, Wire>, actions: Vec<GroupAction>) {
+        for GroupAction::Flood { except, update } in actions {
+            for i in 0..self.links.len() {
+                if Some(i) != except {
+                    self.send_on_link(ctx, i, None, Wire::Control(Control::GroupUpdate(update.clone())));
+                }
+            }
+        }
+    }
+
+    /// Local delivery targets of a packet, if any.
+    fn local_targets(&mut self, pkt: &DataPacket) -> Vec<VirtualPort> {
+        match pkt.flow.dst() {
+            Destination::Unicast(addr) => {
+                if addr.node == self.me && self.sessions.client_proc(addr.port).is_some() {
+                    vec![addr.port]
+                } else {
+                    Vec::new()
+                }
+            }
+            Destination::Multicast(group) => self.groups.local_members(group),
+            Destination::Anycast(group) => {
+                if pkt.resolved_dst == Some(self.me) {
+                    // Deliver to exactly one local member.
+                    self.groups.local_members(group).into_iter().take(1).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    /// The next-hop out-edges for forwarding a packet from this node.
+    fn out_edges(&mut self, pkt: &DataPacket, in_edge: Option<EdgeId>) -> Vec<EdgeId> {
+        if let Some(mask) = &pkt.mask {
+            return self.forwarding.mask_out_edges(mask, in_edge);
+        }
+        match pkt.flow.dst() {
+            Destination::Unicast(addr) => {
+                if addr.node == self.me {
+                    Vec::new()
+                } else {
+                    self.forwarding.unicast_next_hop(addr.node).into_iter().collect()
+                }
+            }
+            Destination::Multicast(group) => {
+                let members = self.groups.members_of(group);
+                self.forwarding.multicast_out_edges(pkt.origin, &members)
+            }
+            Destination::Anycast(_) => match pkt.resolved_dst {
+                Some(dst) if dst != self.me => {
+                    self.forwarding.unicast_next_hop(dst).into_iter().collect()
+                }
+                _ => Vec::new(),
+            },
+        }
+    }
+
+    /// Grants an IT-Reliable consumption credit to the neighbor on `link`.
+    fn grant_consumed(&mut self, ctx: &mut Ctx<'_, Wire>, link: usize, flow: FlowKey) {
+        let now = ctx.now();
+        let slot = LinkService::ItReliable.slot();
+        self.run_link_proto(ctx, link, slot, move |p, out| {
+            p.on_consumed(now, flow, out);
+        });
+    }
+
+    /// Core data-plane handling for a packet that surfaced at this node
+    /// (from a link protocol identified by `in_link`, or freshly built at
+    /// the ingress when both are `None`).
+    fn handle_upward(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        pkt: DataPacket,
+        in_edge: Option<EdgeId>,
+        in_link: Option<usize>,
+    ) {
+        let is_it_reliable = matches!(pkt.spec.link, LinkService::ItReliable);
+        // Authentication: drop packets that do not verify (§IV-B).
+        if self.config.auth_enabled
+            && !self.keys.verify(pkt.origin, pkt.flow, pkt.flow_seq, pkt.size, pkt.auth_tag)
+        {
+            self.metrics.auth_failures += 1;
+            return;
+        }
+        // De-duplication for redundant dissemination: only the first copy is
+        // processed; the rest stop here (§II-B). A suppressed IT-Reliable
+        // copy is still *consumed* from its sender's perspective, so the
+        // credit goes back (no leak under redundant routing).
+        if pkt.mask.is_some() && !self.dedup.first_sighting(pkt.flow, pkt.flow_seq) {
+            self.metrics.dedup_suppressed += 1;
+            if is_it_reliable {
+                if let Some(link) = in_link {
+                    self.grant_consumed(ctx, link, pkt.flow);
+                }
+            }
+            return;
+        }
+        // Local delivery.
+        let targets = self.local_targets(&pkt);
+        if !targets.is_empty() {
+            self.metrics.delivered_local += 1;
+            let mut sa = Vec::new();
+            self.sessions.deliver(ctx.now(), pkt.clone(), &targets, &mut sa);
+            self.apply_session_actions(ctx, sa);
+        }
+        // IT-Reliable credit accounting: a packet that terminates here (no
+        // onward hop) is consumed the moment it arrives, so the neighbor
+        // that sent this copy gets its credit back immediately.
+        if let Some(link) = in_link {
+            if is_it_reliable && self.out_edges(&pkt, in_edge).is_empty() {
+                self.grant_consumed(ctx, link, pkt.flow);
+            }
+        }
+        // Onward forwarding.
+        self.forward_onward(ctx, pkt, in_edge);
+    }
+
+    fn forward_onward(&mut self, ctx: &mut Ctx<'_, Wire>, mut pkt: DataPacket, in_edge: Option<EdgeId>) {
+        let outs = self.out_edges(&pkt, in_edge);
+        if outs.is_empty() {
+            return;
+        }
+        if pkt.ttl == 0 {
+            self.metrics.dropped_ttl += 1;
+            return;
+        }
+        pkt.ttl -= 1;
+        // Compromised behaviour applies to *transit* packets only: a node
+        // always serves its own clients' sends faithfully (an attacker
+        // controlling the client side is modelled as a flooding client).
+        if in_edge.is_some() {
+            match self.behavior.forward_verdict(&pkt) {
+                Verdict::Forward => {}
+                Verdict::Drop => {
+                    self.metrics.adversary_dropped += 1;
+                    return;
+                }
+                Verdict::Delay(extra) => {
+                    let token = self.next_delay_token;
+                    self.next_delay_token = self.next_delay_token.wrapping_add(1);
+                    self.delayed.insert(token, (pkt, in_edge));
+                    ctx.set_timer(extra, TOK_DELAYED_FWD | u64::from(token));
+                    return;
+                }
+                Verdict::Duplicate(copies) => {
+                    for _ in 1..copies {
+                        self.transmit_out(ctx, pkt.clone(), &outs);
+                    }
+                }
+                Verdict::Misroute => {
+                    // Send out the first link that is neither the arrival
+                    // nor a routed out-link; fall back to eating the packet.
+                    let wrong = self
+                        .links
+                        .iter()
+                        .map(|l| l.edge)
+                        .find(|e| Some(*e) != in_edge && !outs.contains(e));
+                    match wrong {
+                        Some(e) => {
+                            self.metrics.counters.incr("adversary_misrouted");
+                            self.transmit_out(ctx, pkt, &[e]);
+                        }
+                        None => {
+                            self.metrics.adversary_dropped += 1;
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+        self.transmit_out(ctx, pkt, &outs);
+    }
+
+    fn transmit_out(&mut self, ctx: &mut Ctx<'_, Wire>, pkt: DataPacket, outs: &[EdgeId]) {
+        let slot = pkt.spec.link.slot();
+        let now = ctx.now();
+        for &edge in outs {
+            let Some(&link) = self.edge_index.get(&edge) else { continue };
+            self.metrics.forwarded += 1;
+            let copy = pkt.clone();
+            self.run_link_proto(ctx, link, slot, move |p, out| {
+                p.on_send(now, copy, out);
+            });
+        }
+    }
+
+    /// Builds and routes a fresh packet from a local client send.
+    fn ingress_send(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        flow: FlowKey,
+        spec: FlowSpec,
+        seq: u64,
+        size: usize,
+        payload: bytes::Bytes,
+    ) {
+        // Source-route stamp (cached per flow against the topology version).
+        let mask = match spec.routing {
+            RoutingService::LinkState => None,
+            RoutingService::SourceBased(scheme) => {
+                let version = self.conn.version();
+                match self.mask_cache.get(&flow) {
+                    Some(&(v, m)) if v == version => Some(m),
+                    _ => {
+                        let dst_node = match flow.dst() {
+                            Destination::Unicast(a) => Some(a.node),
+                            Destination::Multicast(_) | Destination::Anycast(_) => None,
+                        };
+                        let computed = match (scheme, dst_node) {
+                            (crate::service::SourceRoute::ConstrainedFlooding, _) => {
+                                self.forwarding.source_route_mask(scheme, self.me)
+                            }
+                            (_, Some(d)) => self.forwarding.source_route_mask(scheme, d),
+                            // Group destinations with path-based schemes fall
+                            // back to flooding the stamp over the topology.
+                            (_, None) => self.forwarding.source_route_mask(
+                                crate::service::SourceRoute::ConstrainedFlooding,
+                                self.me,
+                            ),
+                        };
+                        match computed {
+                            Some(m) => {
+                                self.mask_cache.insert(flow, (version, m));
+                                Some(m)
+                            }
+                            None => {
+                                self.metrics.unroutable += 1;
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        let resolved_dst = match flow.dst() {
+            Destination::Anycast(group) => {
+                let members = self.groups.members_of(group);
+                match self.forwarding.anycast_resolve(&members) {
+                    Some(n) => Some(n),
+                    None => {
+                        self.metrics.unroutable += 1;
+                        return;
+                    }
+                }
+            }
+            _ => None,
+        };
+        let auth_tag = if self.config.auth_enabled {
+            self.keys.tag(self.me, flow, seq, size)
+        } else {
+            0
+        };
+        let pkt = DataPacket {
+            flow,
+            flow_seq: seq,
+            origin: self.me,
+            spec,
+            mask,
+            resolved_dst,
+            link_seq: 0,
+            created_at: ctx.now(),
+            size,
+            payload,
+            ttl: self.config.ttl,
+            auth_tag,
+        };
+        // handle_upward's dedup check records the first sighting at the
+        // ingress, so copies looping back to the source are suppressed.
+        self.handle_upward(ctx, pkt, None, None);
+    }
+
+    fn on_client_op(&mut self, ctx: &mut Ctx<'_, Wire>, from: ProcessId, op: ClientOp) {
+        match op {
+            ClientOp::Connect { port } => {
+                let mut sa = Vec::new();
+                if self.sessions.connect(VirtualPort(port), from, &mut sa).is_err() {
+                    self.metrics.counters.incr("connect_rejected");
+                }
+                self.apply_session_actions(ctx, sa);
+            }
+            ClientOp::OpenFlow { local_flow, dst, spec } => {
+                if let Some(port) = self.port_of(from) {
+                    let _ = self.sessions.open_flow(port, local_flow, dst, spec);
+                }
+            }
+            ClientOp::Send { local_flow, size, payload } => {
+                let Some(port) = self.port_of(from) else { return };
+                let Ok((flow, spec, seq)) = self.sessions.next_send(port, local_flow) else {
+                    self.metrics.counters.incr("send_unknown_flow");
+                    return;
+                };
+                self.ingress_send(ctx, flow, spec, seq, size, payload);
+            }
+            ClientOp::Join(group) => {
+                if let Some(port) = self.port_of(from) {
+                    let mut ga = Vec::new();
+                    self.groups.join(group, port, &mut ga);
+                    self.apply_group_actions(ctx, ga);
+                }
+            }
+            ClientOp::Leave(group) => {
+                if let Some(port) = self.port_of(from) {
+                    let mut ga = Vec::new();
+                    self.groups.leave(group, port, &mut ga);
+                    self.apply_group_actions(ctx, ga);
+                }
+            }
+            ClientOp::Disconnect => {
+                if let Some(port) = self.port_of(from) {
+                    self.sessions.disconnect(port);
+                    let mut ga = Vec::new();
+                    self.groups.drop_client(port, &mut ga);
+                    self.apply_group_actions(ctx, ga);
+                }
+            }
+        }
+    }
+
+    fn port_of(&self, proc: ProcessId) -> Option<VirtualPort> {
+        self.sessions.ports().into_iter().find(|&p| self.sessions.client_proc(p) == Some(proc))
+    }
+
+    fn flood_tick(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        let Behavior::Flood { dst, rate_pps, size } = self.behavior.clone() else { return };
+        self.flood_seq += 1;
+        let flow = FlowKey::new(crate::addr::OverlayAddr { node: self.me, port: VirtualPort(0) }, dst);
+        let auth_tag = if self.config.auth_enabled {
+            // A compromised node can authenticate junk it originates itself.
+            self.keys.tag(self.me, flow, self.flood_seq, size)
+        } else {
+            0
+        };
+        let pkt = DataPacket {
+            flow,
+            flow_seq: self.flood_seq,
+            origin: self.me,
+            spec: FlowSpec::best_effort(),
+            mask: None,
+            resolved_dst: None,
+            link_seq: 0,
+            created_at: ctx.now(),
+            size,
+            payload: bytes::Bytes::new(),
+            ttl: self.config.ttl,
+            auth_tag,
+        };
+        self.metrics.adversary_injected += 1;
+        self.forward_onward(ctx, pkt, None);
+        let delay = SimDuration::from_secs_f64(1.0 / rate_pps.max(1) as f64);
+        ctx.set_timer(delay, TOK_FLOOD);
+    }
+}
+
+impl Process<Wire> for OverlayNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        // Kick off the control plane.
+        ctx.set_timer(SimDuration::ZERO, TOK_CONN_TICK);
+        let mut ca = Vec::new();
+        self.conn.originate(None, &mut ca);
+        self.apply_conn_actions(ctx, ca, None);
+        let mut ga = Vec::new();
+        self.groups.announce(&mut ga);
+        self.apply_group_actions(ctx, ga);
+        if matches!(self.behavior, Behavior::Flood { .. }) {
+            ctx.set_timer(SimDuration::from_millis(1), TOK_FLOOD);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Wire>, from: ProcessId, pipe: Option<PipeId>, msg: Wire) {
+        match msg {
+            Wire::Data(pkt) => {
+                let Some(&(link, _)) = pipe.as_ref().and_then(|p| self.in_pipe_index.get(p)) else {
+                    return;
+                };
+                let slot = pkt.spec.link.slot();
+                let now = ctx.now();
+                self.run_link_proto(ctx, link, slot, move |p, out| p.on_data(now, pkt, out));
+            }
+            Wire::Ctl { slot, ctl } => {
+                let Some(&(link, _)) = pipe.as_ref().and_then(|p| self.in_pipe_index.get(p)) else {
+                    return;
+                };
+                let slot = (slot as usize).min(SERVICE_SLOTS - 1);
+                let now = ctx.now();
+                self.run_link_proto(ctx, link, slot, move |p, out| p.on_ctl(now, ctl, out));
+            }
+            Wire::Control(control) => {
+                let Some(&(link, provider)) = pipe.as_ref().and_then(|p| self.in_pipe_index.get(p))
+                else {
+                    return;
+                };
+                match control {
+                    Control::Hello { seq, sent_at } => {
+                        let mut ca = Vec::new();
+                        self.conn.on_hello(link, seq, sent_at, &mut ca);
+                        // Reply on the provider the probe used, so each
+                        // provider path is probed independently.
+                        self.apply_conn_actions(ctx, ca, Some(provider));
+                    }
+                    Control::HelloAck { seq, echo_sent_at } => {
+                        let mut ca = Vec::new();
+                        self.conn.on_hello_ack(ctx.now(), link, seq, echo_sent_at, &mut ca);
+                        self.apply_conn_actions(ctx, ca, None);
+                    }
+                    Control::Lsa(lsa) => {
+                        let mut ca = Vec::new();
+                        self.conn.on_lsa(lsa, Some(link), &mut ca);
+                        self.apply_conn_actions(ctx, ca, None);
+                    }
+                    Control::GroupUpdate(update) => {
+                        let mut ga = Vec::new();
+                        self.groups.on_update(update, Some(link), &mut ga);
+                        self.apply_group_actions(ctx, ga);
+                    }
+                }
+            }
+            Wire::FromClient(op) => self.on_client_op(ctx, from, op),
+            Wire::ToClient(_) | Wire::Raw { .. } => {
+                // Daemons never receive session events; raw datagrams go to
+                // interceptors, not daemons.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Wire>, token: u64) {
+        match token & TOK_MASK {
+            TOK_CONN_TICK => {
+                let mut ca = Vec::new();
+                self.conn.on_tick(ctx.now(), &mut ca);
+                self.apply_conn_actions(ctx, ca, None);
+                ctx.set_timer(self.config.connectivity.hello_interval, TOK_CONN_TICK);
+            }
+            TOK_LINK => {
+                let link = ((token >> 40) & 0xffff) as usize;
+                let slot = ((token >> 32) & 0xff) as usize;
+                let proto_token = (token & 0xffff_ffff) as u32;
+                if link < self.links.len() && slot < SERVICE_SLOTS {
+                    let now = ctx.now();
+                    self.run_link_proto(ctx, link, slot, move |p, out| {
+                        p.on_timer(now, proto_token, out);
+                    });
+                }
+            }
+            TOK_SESSION => {
+                let t = (token & 0xffff_ffff) as u32;
+                if let Some(flow) = self.sessions.timer_flow(t) {
+                    let targets = match flow.dst() {
+                        Destination::Unicast(a) if a.node == self.me => vec![a.port],
+                        Destination::Multicast(g) => self.groups.local_members(g),
+                        Destination::Anycast(g) => {
+                            self.groups.local_members(g).into_iter().take(1).collect()
+                        }
+                        _ => Vec::new(),
+                    };
+                    let mut sa = Vec::new();
+                    self.sessions.on_timer(ctx.now(), t, &targets, &mut sa);
+                    self.apply_session_actions(ctx, sa);
+                }
+            }
+            TOK_FLOOD => self.flood_tick(ctx),
+            TOK_DELAYED_FWD => {
+                let t = (token & 0xffff_ffff) as u32;
+                if let Some((pkt, in_edge)) = self.delayed.remove(&t) {
+                    // Behaviour already charged its delay; forward now.
+                    let outs = self.out_edges(&pkt, in_edge);
+                    self.transmit_out(ctx, pkt, &outs);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_components_do_not_collide() {
+        let link_token = TOK_LINK | (5u64 << 40) | (2u64 << 32) | 77;
+        assert_eq!(link_token & TOK_MASK, TOK_LINK);
+        assert_eq!((link_token >> 40) & 0xffff, 5);
+        assert_eq!((link_token >> 32) & 0xff, 2);
+        assert_eq!(link_token & 0xffff_ffff, 77);
+        assert_ne!(TOK_CONN_TICK & TOK_MASK, TOK_SESSION & TOK_MASK);
+        assert_ne!(TOK_FLOOD & TOK_MASK, TOK_DELAYED_FWD & TOK_MASK);
+    }
+
+    #[test]
+    fn config_default_is_sane() {
+        let c = NodeConfig::default();
+        assert!(c.rto_factor > 1.0);
+        assert!(c.ttl > 8);
+        assert!(!c.auth_enabled);
+    }
+}

@@ -1,0 +1,407 @@
+//! Wire formats: overlay data packets, link-level control, shared-state
+//! control plane, and the client/daemon session protocol.
+//!
+//! Everything that crosses a simulated pipe or the client/daemon boundary is
+//! a [`Wire`] value. Sizes reported to the simulator approximate a compact
+//! binary encoding so bandwidth and overhead accounting are meaningful.
+
+use bytes::Bytes;
+use son_netsim::process::SimMessage;
+use son_netsim::time::SimTime;
+use son_topo::{EdgeId, EdgeMask, NodeId};
+
+use crate::addr::{Destination, FlowKey, GroupId, OverlayAddr};
+use crate::service::FlowSpec;
+
+/// Approximate size of the fixed data-packet header on the wire.
+pub const DATA_HEADER_BYTES: usize = 48;
+/// Approximate wire size of a source-route bitmask stamp.
+pub const MASK_BYTES: usize = 32;
+
+/// An overlay data packet.
+///
+/// The flow's [`FlowSpec`] rides in the header; a production system installs
+/// per-flow state at session setup instead, but carrying it keeps the
+/// simulator honest (every node processes packets of a flow identically)
+/// while charging the same few header bytes a flow-id lookup would need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataPacket {
+    /// End-to-end flow identity (ingress address → destination).
+    pub flow: FlowKey,
+    /// Per-flow sequence number assigned at the ingress node.
+    pub flow_seq: u64,
+    /// The ingress overlay node that introduced the packet.
+    pub origin: NodeId,
+    /// The services selected for the flow.
+    pub spec: FlowSpec,
+    /// Source-route stamp (set when the routing service is source-based).
+    pub mask: Option<EdgeMask>,
+    /// For anycast flows: the member node the ingress resolved the packet to.
+    pub resolved_dst: Option<NodeId>,
+    /// Per-link sequence number for the *current* hop's link protocol;
+    /// rewritten at every hop.
+    pub link_seq: u64,
+    /// When the source client handed the packet to the overlay.
+    pub created_at: SimTime,
+    /// Payload size in bytes (the payload itself may be synthetic).
+    pub size: usize,
+    /// Optional real payload content.
+    pub payload: Bytes,
+    /// Remaining hop budget; guards against forwarding loops.
+    pub ttl: u8,
+    /// Authentication tag over (origin, flow, seq), keyed by the origin's
+    /// node key; `0` when authentication is disabled.
+    pub auth_tag: u64,
+}
+
+impl DataPacket {
+    /// The wire size of this packet.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        DATA_HEADER_BYTES + if self.mask.is_some() { MASK_BYTES } else { 0 } + self.size
+    }
+
+    /// The unique end-to-end identity of the payload, used for duplicate
+    /// suppression under redundant dissemination.
+    #[must_use]
+    pub fn payload_id(&self) -> (FlowKey, u64) {
+        (self.flow, self.flow_seq)
+    }
+}
+
+/// Link-level control traffic, scoped to the pipe it arrives on and the
+/// protocol slot it addresses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinkCtl {
+    /// Reliable Data Link acknowledgment: cumulative + selective.
+    ReliableAck {
+        /// All link sequence numbers `<= cum` have been received.
+        cum: u64,
+        /// Sequence numbers received beyond the cumulative point.
+        selective: Vec<u64>,
+    },
+    /// Reliable Data Link negative acknowledgment (gap report) for fast
+    /// retransmit.
+    ReliableNack {
+        /// The missing link sequence numbers.
+        missing: Vec<u64>,
+    },
+    /// NM-Strikes retransmission request (one of the receiver's N strikes).
+    RtRequest {
+        /// The missing link sequence numbers being requested.
+        seqs: Vec<u64>,
+        /// Which of the N strikes this is (diagnostics only).
+        strike: u8,
+    },
+    /// Intrusion-Tolerant Reliable backpressure: grant the upstream sender
+    /// additional credits for one flow.
+    Credit {
+        /// The flow being granted credit.
+        flow: FlowKey,
+        /// Number of additional packets the upstream may send.
+        credits: u32,
+    },
+    /// A FEC repair packet covering one block of data packets. Carries the
+    /// headers of the covered packets (what a Reed–Solomon decode would
+    /// reconstruct); its wire size is charged as one full-size packet.
+    FecRepair {
+        /// First link sequence number of the covered block.
+        block_start: u64,
+        /// Which repair packet of the block this is (0-based).
+        index: u8,
+        /// Headers of the covered data packets, payloads stripped.
+        covered: Vec<DataPacket>,
+    },
+}
+
+impl LinkCtl {
+    /// Approximate wire size.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        match self {
+            LinkCtl::ReliableAck { selective, .. } => 24 + 8 * selective.len(),
+            LinkCtl::ReliableNack { missing } => 16 + 8 * missing.len(),
+            LinkCtl::RtRequest { seqs, .. } => 17 + 8 * seqs.len(),
+            LinkCtl::Credit { .. } => 32,
+            // A repair symbol is as large as the largest covered packet.
+            LinkCtl::FecRepair { covered, .. } => {
+                16 + covered.iter().map(DataPacket::wire_size).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// One overlay node's advertised view of an incident overlay link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkAdvert {
+    /// The overlay link being described.
+    pub edge: EdgeId,
+    /// Liveness as seen by the advertising endpoint.
+    pub up: bool,
+    /// Measured one-way latency estimate in milliseconds.
+    pub latency_ms: f64,
+    /// Measured loss-rate estimate in `[0, 1]`.
+    pub loss: f64,
+}
+
+/// A link-state advertisement flooded by every node about its own links
+/// (the Connectivity Graph Maintenance shared state, §II-B).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lsa {
+    /// The node whose links are described.
+    pub origin: NodeId,
+    /// Monotonic per-origin sequence number; higher replaces lower.
+    pub seq: u64,
+    /// State of every link incident to `origin`.
+    pub links: Vec<LinkAdvert>,
+}
+
+/// A group-membership advertisement flooded by every node about its own
+/// clients (the Group State shared state, §II-B). Carries the full current
+/// set, so it is idempotent and tolerates loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupUpdate {
+    /// The node whose client membership is described.
+    pub origin: NodeId,
+    /// Monotonic per-origin sequence number; higher replaces lower.
+    pub seq: u64,
+    /// Every group in which `origin` currently has at least one client.
+    pub groups: Vec<GroupId>,
+}
+
+/// Control-plane traffic between overlay neighbors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Control {
+    /// Periodic liveness + quality probe on an overlay link.
+    Hello {
+        /// Monotonic hello sequence (loss estimation).
+        seq: u64,
+        /// Send timestamp (latency estimation via the echo).
+        sent_at: SimTime,
+    },
+    /// Echo of a received hello.
+    HelloAck {
+        /// The probe's sequence number.
+        seq: u64,
+        /// The probe's original send timestamp, echoed back.
+        echo_sent_at: SimTime,
+    },
+    /// Flooded link-state advertisement.
+    Lsa(Lsa),
+    /// Flooded group-membership advertisement.
+    GroupUpdate(GroupUpdate),
+}
+
+impl Control {
+    /// Approximate wire size.
+    #[must_use]
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Control::Hello { .. } | Control::HelloAck { .. } => 24,
+            Control::Lsa(lsa) => 16 + 13 * lsa.links.len(),
+            Control::GroupUpdate(gu) => 16 + 4 * gu.groups.len(),
+        }
+    }
+}
+
+/// Client-to-daemon session operations (the session interface, §II-B).
+#[derive(Debug, Clone)]
+pub enum ClientOp {
+    /// Attach to the daemon on a virtual port.
+    Connect {
+        /// The requested virtual port.
+        port: u16,
+    },
+    /// Register a flow: destination plus selected services.
+    OpenFlow {
+        /// Client-chosen local flow handle.
+        local_flow: u32,
+        /// Where the flow's packets go.
+        dst: Destination,
+        /// The services selected for the flow.
+        spec: FlowSpec,
+    },
+    /// Send one message on a previously opened flow.
+    Send {
+        /// The flow handle from [`ClientOp::OpenFlow`].
+        local_flow: u32,
+        /// Payload size in bytes.
+        size: usize,
+        /// Optional payload content.
+        payload: Bytes,
+    },
+    /// Join a multicast/anycast group (receivers only need to join).
+    Join(GroupId),
+    /// Leave a group.
+    Leave(GroupId),
+    /// Detach from the daemon.
+    Disconnect,
+}
+
+/// Daemon-to-client session events.
+#[derive(Debug, Clone)]
+pub enum SessionEvent {
+    /// The connection is established at this overlay address.
+    Connected {
+        /// The address assigned to the client.
+        addr: OverlayAddr,
+    },
+    /// A message addressed to this client has been delivered.
+    Deliver {
+        /// The flow it belongs to.
+        flow: FlowKey,
+        /// Its end-to-end sequence number.
+        seq: u64,
+        /// Payload size in bytes.
+        size: usize,
+        /// Optional payload content.
+        payload: Bytes,
+        /// When the source handed it to the overlay.
+        created_at: SimTime,
+    },
+    /// Backpressure: stop sending on this flow (IT-Reliable, §IV-B).
+    FlowPaused {
+        /// The client's local flow handle.
+        local_flow: u32,
+    },
+    /// Backpressure released: sending may resume.
+    FlowResumed {
+        /// The client's local flow handle.
+        local_flow: u32,
+    },
+}
+
+/// Everything that travels through the simulator in an overlay deployment.
+#[derive(Debug, Clone)]
+pub enum Wire {
+    /// Overlay data between daemons.
+    Data(DataPacket),
+    /// Link-protocol control between neighboring daemons, addressed to one
+    /// service slot (several protocols use acknowledgments).
+    Ctl {
+        /// The service slot the control belongs to (see `LinkService::slot`).
+        slot: u8,
+        /// The control payload.
+        ctl: LinkCtl,
+    },
+    /// Shared-state control plane between neighboring daemons.
+    Control(Control),
+    /// Client-to-daemon session traffic.
+    FromClient(ClientOp),
+    /// Daemon-to-client session traffic.
+    ToClient(SessionEvent),
+    /// A raw datagram from an *unmodified* application, captured by an
+    /// [`Interceptor`](crate::intercept::Interceptor) (§II-B's "seamless
+    /// packet interception techniques"). The application knows nothing
+    /// about flows or services; the interceptor maps these onto overlay
+    /// flows by policy.
+    Raw {
+        /// Destination in the overlay address space.
+        to: OverlayAddr,
+        /// Payload size in bytes.
+        size: usize,
+        /// Payload content.
+        payload: Bytes,
+    },
+}
+
+impl SimMessage for Wire {
+    fn wire_size(&self) -> usize {
+        match self {
+            Wire::Data(d) => d.wire_size(),
+            Wire::Ctl { ctl, .. } => 1 + ctl.wire_size(),
+            Wire::Control(c) => c.wire_size(),
+            // Session traffic is local IPC; size only matters if a client is
+            // attached over a remote pipe.
+            Wire::FromClient(ClientOp::Send { size, .. }) => 16 + size,
+            Wire::FromClient(_) => 16,
+            Wire::ToClient(SessionEvent::Deliver { size, .. }) => 32 + size,
+            Wire::ToClient(_) => 16,
+            Wire::Raw { size, .. } => 8 + size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::DestKey;
+    use son_netsim::time::SimDuration;
+
+    fn packet(mask: Option<EdgeMask>, size: usize) -> DataPacket {
+        DataPacket {
+            flow: FlowKey {
+                src: OverlayAddr::new(NodeId(0), 1),
+                dst: DestKey::Unicast(OverlayAddr::new(NodeId(5), 2)),
+            },
+            flow_seq: 7,
+            origin: NodeId(0),
+            spec: FlowSpec::reliable(),
+            mask,
+            resolved_dst: None,
+            link_seq: 0,
+            created_at: SimTime::ZERO,
+            size,
+            payload: Bytes::new(),
+            ttl: 32,
+            auth_tag: 0,
+        }
+    }
+
+    #[test]
+    fn data_sizes_account_for_mask_and_payload() {
+        assert_eq!(packet(None, 1000).wire_size(), DATA_HEADER_BYTES + 1000);
+        assert_eq!(
+            packet(Some(EdgeMask::EMPTY), 1000).wire_size(),
+            DATA_HEADER_BYTES + MASK_BYTES + 1000
+        );
+    }
+
+    #[test]
+    fn payload_id_distinguishes_flows_and_seqs() {
+        let a = packet(None, 10);
+        let mut b = packet(None, 10);
+        assert_eq!(a.payload_id(), b.payload_id());
+        b.flow_seq = 8;
+        assert_ne!(a.payload_id(), b.payload_id());
+    }
+
+    #[test]
+    fn ctl_sizes_scale_with_content() {
+        let small = LinkCtl::ReliableAck { cum: 5, selective: vec![] };
+        let big = LinkCtl::ReliableAck { cum: 5, selective: vec![7, 9, 11] };
+        assert!(big.wire_size() > small.wire_size());
+        assert_eq!(LinkCtl::Credit { flow: packet(None, 0).flow, credits: 4 }.wire_size(), 32);
+        assert_eq!(LinkCtl::RtRequest { seqs: vec![1, 2], strike: 0 }.wire_size(), 17 + 16);
+        assert_eq!(LinkCtl::ReliableNack { missing: vec![3] }.wire_size(), 24);
+    }
+
+    #[test]
+    fn control_sizes_scale_with_content() {
+        let hello = Control::Hello { seq: 1, sent_at: SimTime::ZERO };
+        assert_eq!(hello.wire_size(), 24);
+        let lsa = Control::Lsa(Lsa {
+            origin: NodeId(0),
+            seq: 1,
+            links: vec![LinkAdvert { edge: EdgeId(0), up: true, latency_ms: 10.0, loss: 0.0 }],
+        });
+        assert_eq!(lsa.wire_size(), 29);
+        let gu = Control::GroupUpdate(GroupUpdate {
+            origin: NodeId(0),
+            seq: 1,
+            groups: vec![GroupId(1), GroupId(2)],
+        });
+        assert_eq!(gu.wire_size(), 24);
+    }
+
+    #[test]
+    fn wire_dispatches_sizes() {
+        let w = Wire::Data(packet(None, 100));
+        assert_eq!(w.wire_size(), DATA_HEADER_BYTES + 100);
+        let c = Wire::FromClient(ClientOp::Send { local_flow: 0, size: 500, payload: Bytes::new() });
+        assert_eq!(c.wire_size(), 516);
+        let e = Wire::ToClient(SessionEvent::FlowPaused { local_flow: 0 });
+        assert_eq!(e.wire_size(), 16);
+        let _ = SimDuration::ZERO;
+    }
+}

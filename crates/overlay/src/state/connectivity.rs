@@ -1,0 +1,588 @@
+//! Connectivity Graph Maintenance: hellos, link-quality estimation,
+//! link-state flooding, and the shared topology view (§II-A/§II-B).
+//!
+//! "The limited number of nodes allows each overlay node to maintain global
+//! state concerning the condition of all other overlay nodes and the
+//! connections between them, allowing fast reactions to changes in the
+//! network, with the ability to route around problems at a sub-second
+//! scale."
+//!
+//! The monitor also drives provider switching on multihomed links: when
+//! hellos on the active ISP go quiet it rotates to the next provider first
+//! ("choosing a different combination of ISPs to use for a given overlay
+//! link"), and only declares the overlay link down when every provider has
+//! been exhausted.
+
+use std::collections::HashMap;
+
+use son_netsim::time::{SimDuration, SimTime};
+use son_topo::{EdgeId, Graph, NodeId};
+
+use crate::packet::{Control, LinkAdvert, Lsa};
+
+/// Configuration of the connectivity monitor.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnectivityConfig {
+    /// How often hellos are sent on every link.
+    pub hello_interval: SimDuration,
+    /// Consecutive hello misses on one provider before switching providers.
+    pub isp_switch_misses: u32,
+    /// Consecutive hello misses (across providers) before the link is
+    /// declared down. With 100 ms hellos and 3 misses this yields the
+    /// paper's sub-second reaction.
+    pub down_misses: u32,
+    /// How often the node re-floods its own LSA even without changes.
+    pub refresh_interval: SimDuration,
+    /// EWMA gain for loss/latency estimates.
+    pub ewma_alpha: f64,
+}
+
+impl Default for ConnectivityConfig {
+    fn default() -> Self {
+        ConnectivityConfig {
+            hello_interval: SimDuration::from_millis(100),
+            isp_switch_misses: 2,
+            down_misses: 5,
+            refresh_interval: SimDuration::from_secs(5),
+            ewma_alpha: 0.2,
+        }
+    }
+}
+
+/// What the monitor asks the node to do.
+#[derive(Debug, PartialEq)]
+pub enum ConnAction {
+    /// Send a control message on one incident link (by local link index).
+    Send {
+        /// Local index of the link to send on.
+        link: usize,
+        /// The message.
+        msg: Control,
+    },
+    /// Flood a control message on all links except `except` (loop
+    /// prevention for LSA dissemination).
+    Flood {
+        /// Local link index the message arrived on, if any.
+        except: Option<usize>,
+        /// The message.
+        msg: Control,
+    },
+    /// Switch a multihomed link to its `isp_index`-th provider binding.
+    SwitchProvider {
+        /// Local index of the link.
+        link: usize,
+        /// Index into the link's provider bindings.
+        isp_index: usize,
+    },
+    /// The shared topology view changed; forwarding tables must recompute.
+    TopologyChanged,
+}
+
+#[derive(Debug)]
+struct LinkMonitor {
+    edge: EdgeId,
+    /// Number of provider bindings this link has.
+    providers: usize,
+    active_provider: usize,
+    next_seq: u64,
+    /// Hello seqs sent but not yet acked.
+    outstanding: HashMap<u64, SimTime>,
+    misses_on_provider: u32,
+    total_misses: u32,
+    up: bool,
+    latency_ms: f64,
+    loss: f64,
+    /// Nominal latency used until measurements arrive.
+    nominal_latency_ms: f64,
+}
+
+/// The per-node connectivity monitor and link-state database.
+#[derive(Debug)]
+pub struct ConnectivityMonitor {
+    me: NodeId,
+    config: ConnectivityConfig,
+    links: Vec<LinkMonitor>,
+    /// Latest LSA accepted per origin (including our own).
+    lsdb: HashMap<NodeId, Lsa>,
+    own_seq: u64,
+    last_refresh: SimTime,
+    /// Bumped whenever the shared view changes; routing caches key off it.
+    version: u64,
+    /// The configured (static) overlay topology; LSAs overlay liveness and
+    /// quality on top of it.
+    topology: Graph,
+}
+
+impl ConnectivityMonitor {
+    /// Creates a monitor for node `me` with the given incident links.
+    ///
+    /// `links` lists `(edge, provider_count, nominal_latency_ms)` per
+    /// incident overlay link, in the node's local link order.
+    #[must_use]
+    pub fn new(
+        me: NodeId,
+        topology: Graph,
+        links: Vec<(EdgeId, usize, f64)>,
+        config: ConnectivityConfig,
+    ) -> Self {
+        let links = links
+            .into_iter()
+            .map(|(edge, providers, nominal)| LinkMonitor {
+                edge,
+                providers: providers.max(1),
+                active_provider: 0,
+                next_seq: 0,
+                outstanding: HashMap::new(),
+                misses_on_provider: 0,
+                total_misses: 0,
+                up: true,
+                latency_ms: nominal,
+                loss: 0.0,
+                nominal_latency_ms: nominal,
+            })
+            .collect();
+        let mut mon = ConnectivityMonitor {
+            me,
+            config,
+            links,
+            lsdb: HashMap::new(),
+            own_seq: 0,
+            last_refresh: SimTime::ZERO,
+            version: 1,
+            topology,
+        };
+        let own = mon.build_own_lsa();
+        mon.lsdb.insert(me, own);
+        mon
+    }
+
+    /// The shared-view version; consumers recompute caches when it changes.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether a local link is currently considered up.
+    #[must_use]
+    pub fn link_up(&self, link: usize) -> bool {
+        self.links[link].up
+    }
+
+    /// The measured quality of a local link `(latency_ms, loss)`.
+    #[must_use]
+    pub fn link_quality(&self, link: usize) -> (f64, f64) {
+        (self.links[link].latency_ms, self.links[link].loss)
+    }
+
+    /// The periodic tick: sends hellos, evaluates misses, switches
+    /// providers, declares links down, refreshes the own LSA.
+    pub fn on_tick(&mut self, now: SimTime, out: &mut Vec<ConnAction>) {
+        let mut reoriginate = false;
+        for i in 0..self.links.len() {
+            let link = &mut self.links[i];
+            // Evaluate the previous rounds: anything outstanding beyond the
+            // ack timeout counts as a miss. The timeout must cover the link
+            // round trip, or long links would miss every probe.
+            let ack_timeout = self
+                .config
+                .hello_interval
+                .max(SimDuration::from_millis_f64(link.nominal_latency_ms * 3.0));
+            let horizon = now - ack_timeout;
+            let overdue: Vec<u64> = link
+                .outstanding
+                .iter()
+                .filter(|&(_, &sent)| sent <= horizon)
+                .map(|(&seq, _)| seq)
+                .collect();
+            let missed = !overdue.is_empty();
+            for seq in overdue {
+                link.outstanding.remove(&seq);
+            }
+            if missed {
+                link.loss = ewma(link.loss, 1.0, self.config.ewma_alpha);
+                link.misses_on_provider += 1;
+                link.total_misses += 1;
+                if link.up && link.total_misses >= self.config.down_misses {
+                    link.up = false;
+                    reoriginate = true;
+                } else if link.providers > 1
+                    && link.misses_on_provider >= self.config.isp_switch_misses
+                {
+                    link.active_provider = (link.active_provider + 1) % link.providers;
+                    link.misses_on_provider = 0;
+                    out.push(ConnAction::SwitchProvider {
+                        link: i,
+                        isp_index: link.active_provider,
+                    });
+                }
+            }
+            // Send this round's hello.
+            link.next_seq += 1;
+            let seq = link.next_seq;
+            link.outstanding.insert(seq, now);
+            out.push(ConnAction::Send { link: i, msg: Control::Hello { seq, sent_at: now } });
+        }
+        if reoriginate {
+            self.originate(None, out);
+        } else if now.saturating_since(self.last_refresh) >= self.config.refresh_interval {
+            self.last_refresh = now;
+            self.originate(None, out);
+        }
+    }
+
+    /// Handles an incoming hello on local link `link`: answer with an ack.
+    pub fn on_hello(&mut self, link: usize, seq: u64, sent_at: SimTime, out: &mut Vec<ConnAction>) {
+        // Receiving anything proves the link is alive in the incoming
+        // direction; the ack lets the sender prove the round trip.
+        out.push(ConnAction::Send { link, msg: Control::HelloAck { seq, echo_sent_at: sent_at } });
+    }
+
+    /// Handles a hello acknowledgment: updates quality and liveness.
+    pub fn on_hello_ack(
+        &mut self,
+        now: SimTime,
+        link: usize,
+        seq: u64,
+        echo_sent_at: SimTime,
+        out: &mut Vec<ConnAction>,
+    ) {
+        let alpha = self.config.ewma_alpha;
+        let l = &mut self.links[link];
+        if l.outstanding.remove(&seq).is_none() {
+            return; // stale or duplicate ack
+        }
+        let rtt_ms = now.saturating_since(echo_sent_at).as_millis_f64();
+        l.latency_ms = ewma(l.latency_ms, (rtt_ms / 2.0).max(0.01), alpha);
+        l.loss = ewma(l.loss, 0.0, alpha);
+        l.misses_on_provider = 0;
+        l.total_misses = 0;
+        if !l.up {
+            l.up = true;
+            self.originate(None, out);
+        }
+    }
+
+    /// Handles a flooded LSA arriving on local link `arrived_on`.
+    pub fn on_lsa(&mut self, lsa: Lsa, arrived_on: Option<usize>, out: &mut Vec<ConnAction>) {
+        if lsa.origin == self.me {
+            return; // our own advertisement echoed back
+        }
+        let newer = self.lsdb.get(&lsa.origin).is_none_or(|prev| lsa.seq > prev.seq);
+        if !newer {
+            return;
+        }
+        let changed = self
+            .lsdb
+            .get(&lsa.origin)
+            .is_none_or(|prev| prev.links != lsa.links);
+        self.lsdb.insert(lsa.origin, lsa.clone());
+        // Flood onward regardless (peers may have missed it).
+        out.push(ConnAction::Flood { except: arrived_on, msg: Control::Lsa(lsa) });
+        if changed {
+            self.version += 1;
+            out.push(ConnAction::TopologyChanged);
+        }
+    }
+
+    /// Force-originates a fresh LSA (used at startup and on link flaps).
+    pub fn originate(&mut self, arrived_on: Option<usize>, out: &mut Vec<ConnAction>) {
+        let lsa = self.build_own_lsa();
+        self.lsdb.insert(self.me, lsa.clone());
+        self.version += 1;
+        out.push(ConnAction::Flood { except: arrived_on, msg: Control::Lsa(lsa) });
+        out.push(ConnAction::TopologyChanged);
+    }
+
+    fn build_own_lsa(&mut self) -> Lsa {
+        self.own_seq += 1;
+        Lsa {
+            origin: self.me,
+            seq: self.own_seq,
+            links: self
+                .links
+                .iter()
+                .map(|l| {
+                    let latency =
+                        if l.latency_ms > 0.0 { l.latency_ms } else { l.nominal_latency_ms };
+                    LinkAdvert {
+                        edge: l.edge,
+                        up: l.up,
+                        // Quantize so measurement noise does not make every
+                        // periodic refresh look like a topology change (and
+                        // trigger fleet-wide recomputation).
+                        latency_ms: (latency * 4.0).round() / 4.0,
+                        loss: (l.loss * 50.0).round() / 50.0,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds the current shared topology view: the configured topology with
+    /// per-edge liveness and expected-latency costs from the LSDB.
+    ///
+    /// An edge is usable only if **no** endpoint advertises it down (a link
+    /// one side cannot hear on is no good to either). The cost is the mean
+    /// advertised latency inflated by expected retransmissions,
+    /// `latency / (1 - loss)`, so lossy links are avoided when alternatives
+    /// exist.
+    #[must_use]
+    pub fn current_graph(&self) -> Graph {
+        let mut g = self.topology.clone();
+        // Collect advertisements per edge.
+        let mut up_votes: HashMap<EdgeId, (bool, f64, f64, u32)> = HashMap::new();
+        for lsa in self.lsdb.values() {
+            for ad in &lsa.links {
+                let entry = up_votes.entry(ad.edge).or_insert((true, 0.0, 0.0, 0));
+                entry.0 &= ad.up;
+                entry.1 += ad.latency_ms;
+                entry.2 += ad.loss;
+                entry.3 += 1;
+            }
+        }
+        for e in self.topology.edges() {
+            match up_votes.get(&e) {
+                Some(&(up, lat_sum, loss_sum, n)) if n > 0 => {
+                    if !up {
+                        // Effectively remove the edge from path computation.
+                        g.set_weight(e, f64::INFINITY.min(1e12));
+                    } else {
+                        let lat = lat_sum / f64::from(n);
+                        let loss = (loss_sum / f64::from(n)).clamp(0.0, 0.99);
+                        g.set_weight(e, (lat / (1.0 - loss)).max(0.01));
+                    }
+                }
+                _ => {
+                    // No advertisement yet: keep the configured weight.
+                }
+            }
+        }
+        g
+    }
+}
+
+fn ewma(prev: f64, sample: f64, alpha: f64) -> f64 {
+    prev * (1.0 - alpha) + sample * alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo3() -> Graph {
+        // Triangle 0-1-2 with 10ms links.
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 10.0);
+        g.add_edge(NodeId(1), NodeId(2), 10.0);
+        g.add_edge(NodeId(2), NodeId(0), 10.0);
+        g
+    }
+
+    fn monitor() -> ConnectivityMonitor {
+        // Node 0 has links e0 (to 1) and e2 (to 2), each with 2 providers.
+        ConnectivityMonitor::new(
+            NodeId(0),
+            topo3(),
+            vec![(EdgeId(0), 2, 10.0), (EdgeId(2), 2, 10.0)],
+            ConnectivityConfig::default(),
+        )
+    }
+
+    fn tick_times(mon: &mut ConnectivityMonitor, from_ms: u64, rounds: u64) -> Vec<ConnAction> {
+        let mut out = Vec::new();
+        for r in 0..rounds {
+            mon.on_tick(SimTime::from_millis(from_ms + r * 100), &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn tick_sends_hello_per_link() {
+        let mut mon = monitor();
+        let out = tick_times(&mut mon, 0, 1);
+        let hellos = out
+            .iter()
+            .filter(|a| matches!(a, ConnAction::Send { msg: Control::Hello { .. }, .. }))
+            .count();
+        assert_eq!(hellos, 2);
+    }
+
+    #[test]
+    fn hello_gets_acked_and_ack_updates_quality() {
+        let mut mon = monitor();
+        let mut out = Vec::new();
+        mon.on_hello(0, 7, SimTime::from_millis(5), &mut out);
+        assert_eq!(
+            out,
+            vec![ConnAction::Send {
+                link: 0,
+                msg: Control::HelloAck { seq: 7, echo_sent_at: SimTime::from_millis(5) }
+            }]
+        );
+
+        // Our own hello out and its ack back: rtt 20ms -> latency ~10ms.
+        let mut out = Vec::new();
+        mon.on_tick(SimTime::from_millis(100), &mut out);
+        let seq = out
+            .iter()
+            .find_map(|a| match a {
+                ConnAction::Send { link: 0, msg: Control::Hello { seq, .. } } => Some(*seq),
+                _ => None,
+            })
+            .unwrap();
+        let mut out = Vec::new();
+        mon.on_hello_ack(SimTime::from_millis(120), 0, seq, SimTime::from_millis(100), &mut out);
+        let (lat, loss) = mon.link_quality(0);
+        assert!((lat - 10.0).abs() < 0.5, "lat={lat}");
+        assert!(loss < 0.01);
+        assert!(mon.link_up(0));
+    }
+
+    #[test]
+    fn sustained_misses_switch_provider_then_declare_down() {
+        let mut mon = monitor();
+        let mut out = Vec::new();
+        // 7 ticks with no acks: misses accumulate from tick 2 on.
+        for r in 0..7 {
+            mon.on_tick(SimTime::from_millis(r * 100), &mut out);
+        }
+        let switches: Vec<usize> = out
+            .iter()
+            .filter_map(|a| match a {
+                ConnAction::SwitchProvider { link: 0, isp_index } => Some(*isp_index),
+                _ => None,
+            })
+            .collect();
+        assert!(!switches.is_empty(), "provider switch attempted before down");
+        assert!(!mon.link_up(0), "link declared down after down_misses");
+        // A fresh LSA was flooded announcing the change.
+        assert!(out.iter().any(|a| matches!(a, ConnAction::Flood { msg: Control::Lsa(_), .. })));
+        assert!(out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)));
+    }
+
+    #[test]
+    fn ack_after_down_brings_link_back() {
+        let mut mon = monitor();
+        let mut out = Vec::new();
+        for r in 0..7 {
+            mon.on_tick(SimTime::from_millis(r * 100), &mut out);
+        }
+        assert!(!mon.link_up(0));
+        // The last outstanding hello finally gets acked.
+        let seq = out
+            .iter()
+            .rev()
+            .find_map(|a| match a {
+                ConnAction::Send { link: 0, msg: Control::Hello { seq, .. } } => Some(*seq),
+                _ => None,
+            })
+            .unwrap();
+        let mut out = Vec::new();
+        mon.on_hello_ack(SimTime::from_millis(720), 0, seq, SimTime::from_millis(600), &mut out);
+        assert!(mon.link_up(0));
+        assert!(out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)));
+    }
+
+    #[test]
+    fn lsa_flooding_accepts_newer_rejects_stale() {
+        let mut mon = monitor();
+        let v0 = mon.version();
+        let lsa1 = Lsa {
+            origin: NodeId(1),
+            seq: 1,
+            links: vec![LinkAdvert { edge: EdgeId(1), up: true, latency_ms: 10.0, loss: 0.0 }],
+        };
+        let mut out = Vec::new();
+        mon.on_lsa(lsa1.clone(), Some(0), &mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            ConnAction::Flood { except: Some(0), msg: Control::Lsa(l) } if l.origin == NodeId(1)
+        )));
+        assert!(mon.version() > v0);
+
+        // Same seq again: ignored entirely.
+        let mut out = Vec::new();
+        mon.on_lsa(lsa1, Some(1), &mut out);
+        assert!(out.is_empty());
+
+        // Newer seq with identical content: flooded but no topology change.
+        let lsa2 = Lsa {
+            origin: NodeId(1),
+            seq: 2,
+            links: vec![LinkAdvert { edge: EdgeId(1), up: true, latency_ms: 10.0, loss: 0.0 }],
+        };
+        let v1 = mon.version();
+        let mut out = Vec::new();
+        mon.on_lsa(lsa2, Some(0), &mut out);
+        assert!(out.iter().any(|a| matches!(a, ConnAction::Flood { .. })));
+        assert!(!out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)));
+        assert_eq!(mon.version(), v1);
+    }
+
+    #[test]
+    fn current_graph_excludes_links_any_side_reports_down() {
+        let mut mon = monitor();
+        let mut out = Vec::new();
+        mon.on_lsa(
+            Lsa {
+                origin: NodeId(1),
+                seq: 1,
+                links: vec![
+                    LinkAdvert { edge: EdgeId(0), up: false, latency_ms: 10.0, loss: 0.0 },
+                    LinkAdvert { edge: EdgeId(1), up: true, latency_ms: 10.0, loss: 0.0 },
+                ],
+            },
+            None,
+            &mut out,
+        );
+        let g = mon.current_graph();
+        // Edge 0 reported down by node 1 -> effectively unusable.
+        assert!(g.weight(EdgeId(0)) > 1e9);
+        // Edge 1 is normal.
+        assert!(g.weight(EdgeId(1)) < 100.0);
+    }
+
+    #[test]
+    fn current_graph_penalizes_lossy_links() {
+        let mut mon = monitor();
+        let mut out = Vec::new();
+        mon.on_lsa(
+            Lsa {
+                origin: NodeId(1),
+                seq: 1,
+                links: vec![LinkAdvert { edge: EdgeId(1), up: true, latency_ms: 10.0, loss: 0.5 }],
+            },
+            None,
+            &mut out,
+        );
+        let g = mon.current_graph();
+        assert!((g.weight(EdgeId(1)) - 20.0).abs() < 1e-6, "10ms / (1-0.5)");
+    }
+
+    #[test]
+    fn own_lsa_echo_is_ignored() {
+        let mut mon = monitor();
+        let own = Lsa { origin: NodeId(0), seq: 99, links: vec![] };
+        let mut out = Vec::new();
+        mon.on_lsa(own, Some(0), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn periodic_refresh_refloods_own_lsa() {
+        let mut mon = monitor();
+        let mut out = Vec::new();
+        // Default refresh is 5s; tick past it.
+        for r in 0..52 {
+            mon.on_tick(SimTime::from_millis(r * 100), &mut out);
+        }
+        let own_floods = out
+            .iter()
+            .filter(|a| matches!(
+                a,
+                ConnAction::Flood { msg: Control::Lsa(l), .. } if l.origin == NodeId(0)
+            ))
+            .count();
+        assert!(own_floods >= 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! Group State: shared multicast/anycast membership (§II-B, §III-B).
+//!
+//! "All of the overlay nodes share information about whether they have
+//! clients interested in a particular multicast group... The two-level
+//! hierarchy makes this state sharing practical by allowing each overlay
+//! node to track only which of its own connected clients are members of a
+//! particular group and which other overlay nodes are relevant to that
+//! group; an overlay node does not need to maintain any information about
+//! clients connected to the other overlay nodes."
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use son_topo::NodeId;
+
+use crate::addr::{GroupId, VirtualPort};
+use crate::packet::GroupUpdate;
+
+/// What the group table asks the node to do.
+#[derive(Debug, PartialEq)]
+pub enum GroupAction {
+    /// Flood a membership update on all links except `except`.
+    Flood {
+        /// Local link index the update arrived on, if any.
+        except: Option<usize>,
+        /// The update.
+        update: GroupUpdate,
+    },
+}
+
+/// The per-node group membership table.
+#[derive(Debug)]
+pub struct GroupTable {
+    me: NodeId,
+    /// Local clients per group.
+    local: BTreeMap<GroupId, BTreeSet<VirtualPort>>,
+    /// Node-level membership learned from peers: origin -> (seq, groups).
+    remote: HashMap<NodeId, (u64, BTreeSet<GroupId>)>,
+    own_seq: u64,
+    /// Bumped whenever node-level membership changes.
+    version: u64,
+}
+
+impl GroupTable {
+    /// Creates an empty table for node `me`.
+    #[must_use]
+    pub fn new(me: NodeId) -> Self {
+        GroupTable { me, local: BTreeMap::new(), remote: HashMap::new(), own_seq: 0, version: 1 }
+    }
+
+    /// The membership version; consumers recompute caches when it changes.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// A local client joins a group. Only receivers need to join; any
+    /// client can send to the group.
+    pub fn join(&mut self, group: GroupId, client: VirtualPort, out: &mut Vec<GroupAction>) {
+        let set = self.local.entry(group).or_default();
+        let newly_relevant = set.is_empty();
+        set.insert(client);
+        if newly_relevant {
+            self.announce(out);
+        }
+    }
+
+    /// A local client leaves a group.
+    pub fn leave(&mut self, group: GroupId, client: VirtualPort, out: &mut Vec<GroupAction>) {
+        let mut now_empty = false;
+        if let Some(set) = self.local.get_mut(&group) {
+            set.remove(&client);
+            now_empty = set.is_empty();
+        }
+        if now_empty {
+            self.local.remove(&group);
+            self.announce(out);
+        }
+    }
+
+    /// Removes every membership of a disconnecting client.
+    pub fn drop_client(&mut self, client: VirtualPort, out: &mut Vec<GroupAction>) {
+        let groups: Vec<GroupId> = self
+            .local
+            .iter()
+            .filter(|(_, set)| set.contains(&client))
+            .map(|(&g, _)| g)
+            .collect();
+        let mut changed = false;
+        for g in groups {
+            if let Some(set) = self.local.get_mut(&g) {
+                set.remove(&client);
+                if set.is_empty() {
+                    self.local.remove(&g);
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            self.announce(out);
+        }
+    }
+
+    /// Handles a flooded membership update arriving on `arrived_on`.
+    pub fn on_update(
+        &mut self,
+        update: GroupUpdate,
+        arrived_on: Option<usize>,
+        out: &mut Vec<GroupAction>,
+    ) {
+        if update.origin == self.me {
+            return;
+        }
+        let newer = self.remote.get(&update.origin).is_none_or(|(seq, _)| update.seq > *seq);
+        if !newer {
+            return;
+        }
+        let groups: BTreeSet<GroupId> = update.groups.iter().copied().collect();
+        let changed = self
+            .remote
+            .get(&update.origin)
+            .is_none_or(|(_, prev)| *prev != groups);
+        self.remote.insert(update.origin, (update.seq, groups));
+        out.push(GroupAction::Flood { except: arrived_on, update });
+        if changed {
+            self.version += 1;
+        }
+    }
+
+    /// Re-floods the node's own membership (periodic refresh).
+    pub fn announce(&mut self, out: &mut Vec<GroupAction>) {
+        self.own_seq += 1;
+        self.version += 1;
+        out.push(GroupAction::Flood {
+            except: None,
+            update: GroupUpdate {
+                origin: self.me,
+                seq: self.own_seq,
+                groups: self.local.keys().copied().collect(),
+            },
+        });
+    }
+
+    /// The overlay nodes that currently have clients in `group`
+    /// (including this node, if applicable), in ascending id order.
+    #[must_use]
+    pub fn members_of(&self, group: GroupId) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .remote
+            .iter()
+            .filter(|(_, (_, groups))| groups.contains(&group))
+            .map(|(&n, _)| n)
+            .collect();
+        if self.local.contains_key(&group) {
+            nodes.push(self.me);
+        }
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// Local client ports subscribed to `group`.
+    #[must_use]
+    pub fn local_members(&self, group: GroupId) -> Vec<VirtualPort> {
+        self.local.get(&group).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// `true` if this node has any local client in `group`.
+    #[must_use]
+    pub fn locally_relevant(&self, group: GroupId) -> bool {
+        self.local.contains_key(&group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G: GroupId = GroupId(7);
+
+    #[test]
+    fn first_join_floods_membership() {
+        let mut t = GroupTable::new(NodeId(0));
+        let mut out = Vec::new();
+        t.join(G, VirtualPort(1), &mut out);
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            GroupAction::Flood { update, .. } => {
+                assert_eq!(update.origin, NodeId(0));
+                assert_eq!(update.groups, vec![G]);
+            }
+        }
+        // Second local client: node-level membership unchanged, no re-flood.
+        let mut out = Vec::new();
+        t.join(G, VirtualPort(2), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(t.local_members(G), vec![VirtualPort(1), VirtualPort(2)]);
+    }
+
+    #[test]
+    fn last_leave_floods_membership() {
+        let mut t = GroupTable::new(NodeId(0));
+        let mut out = Vec::new();
+        t.join(G, VirtualPort(1), &mut out);
+        t.join(G, VirtualPort(2), &mut out);
+        out.clear();
+        t.leave(G, VirtualPort(1), &mut out);
+        assert!(out.is_empty(), "still one member left");
+        t.leave(G, VirtualPort(2), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(!t.locally_relevant(G));
+    }
+
+    #[test]
+    fn remote_updates_tracked_by_seq() {
+        let mut t = GroupTable::new(NodeId(0));
+        let mut out = Vec::new();
+        t.on_update(GroupUpdate { origin: NodeId(2), seq: 2, groups: vec![G] }, Some(1), &mut out);
+        assert_eq!(t.members_of(G), vec![NodeId(2)]);
+        assert!(matches!(&out[0], GroupAction::Flood { except: Some(1), .. }));
+
+        // Stale update ignored.
+        let mut out = Vec::new();
+        t.on_update(GroupUpdate { origin: NodeId(2), seq: 1, groups: vec![] }, None, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(t.members_of(G), vec![NodeId(2)]);
+
+        // Newer update replaces.
+        let mut out = Vec::new();
+        t.on_update(GroupUpdate { origin: NodeId(2), seq: 3, groups: vec![] }, None, &mut out);
+        assert!(t.members_of(G).is_empty());
+    }
+
+    #[test]
+    fn members_include_self_and_are_sorted() {
+        let mut t = GroupTable::new(NodeId(1));
+        let mut out = Vec::new();
+        t.on_update(GroupUpdate { origin: NodeId(3), seq: 1, groups: vec![G] }, None, &mut out);
+        t.on_update(GroupUpdate { origin: NodeId(0), seq: 1, groups: vec![G] }, None, &mut out);
+        t.join(G, VirtualPort(9), &mut out);
+        assert_eq!(t.members_of(G), vec![NodeId(0), NodeId(1), NodeId(3)]);
+    }
+
+    #[test]
+    fn drop_client_cleans_all_memberships() {
+        let mut t = GroupTable::new(NodeId(0));
+        let mut out = Vec::new();
+        t.join(GroupId(1), VirtualPort(5), &mut out);
+        t.join(GroupId(2), VirtualPort(5), &mut out);
+        t.join(GroupId(2), VirtualPort(6), &mut out);
+        out.clear();
+        t.drop_client(VirtualPort(5), &mut out);
+        assert!(!t.locally_relevant(GroupId(1)));
+        assert!(t.locally_relevant(GroupId(2)), "port 6 remains");
+        assert_eq!(out.len(), 1, "one re-announce covers all changes");
+    }
+
+    #[test]
+    fn version_bumps_only_on_change() {
+        let mut t = GroupTable::new(NodeId(0));
+        let v0 = t.version();
+        let mut out = Vec::new();
+        t.on_update(GroupUpdate { origin: NodeId(2), seq: 1, groups: vec![G] }, None, &mut out);
+        let v1 = t.version();
+        assert!(v1 > v0);
+        // Same content, newer seq: flooded but no version bump.
+        t.on_update(GroupUpdate { origin: NodeId(2), seq: 2, groups: vec![G] }, None, &mut out);
+        assert_eq!(t.version(), v1);
+    }
+
+    #[test]
+    fn own_update_echo_ignored() {
+        let mut t = GroupTable::new(NodeId(0));
+        let mut out = Vec::new();
+        t.on_update(GroupUpdate { origin: NodeId(0), seq: 50, groups: vec![G] }, Some(0), &mut out);
+        assert!(out.is_empty());
+        assert!(t.members_of(G).is_empty());
+    }
+}

@@ -1,0 +1,16 @@
+//! Shared state between overlay nodes (§II-B).
+//!
+//! "A key feature of the software architecture is its support for state
+//! sharing among the overlay nodes." Two kinds of state are maintained:
+//!
+//! * [`connectivity`] — the Connectivity Graph Maintenance component:
+//!   hello-based liveness and quality probing of incident links, link-state
+//!   advertisements flooded to all nodes, and the resulting shared topology
+//!   view that enables sub-second rerouting.
+//! * [`groups`] — the Group State component: which overlay nodes currently
+//!   have clients in which multicast/anycast groups. The two-level
+//!   hierarchy keeps this practical: a node tracks only its *own* clients'
+//!   memberships and learns the node-level summary from its peers.
+
+pub mod connectivity;
+pub mod groups;

@@ -1,0 +1,344 @@
+//! Shortest paths over the overlay topology (the basis of link-state
+//! routing, multicast trees, and anycast target selection).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{EdgeId, EdgeMask, Graph, NodeId};
+
+/// A single path through the overlay: the nodes visited and the edges taken.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Nodes in order, starting at the source and ending at the destination.
+    pub nodes: Vec<NodeId>,
+    /// Edges in order; `edges.len() == nodes.len() - 1`.
+    pub edges: Vec<EdgeId>,
+    /// Total cost of the path.
+    pub cost: f64,
+}
+
+impl Path {
+    /// The trivial path at a single node.
+    #[must_use]
+    pub fn trivial(node: NodeId) -> Self {
+        Path { nodes: vec![node], edges: Vec::new(), cost: 0.0 }
+    }
+
+    /// Number of hops (edges).
+    #[must_use]
+    pub fn hops(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edge mask stamping exactly this path.
+    #[must_use]
+    pub fn mask(&self) -> EdgeMask {
+        self.edges.iter().copied().collect()
+    }
+
+    /// The destination node.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: a path always has at least one node.
+    #[must_use]
+    pub fn dst(&self) -> NodeId {
+        *self.nodes.last().expect("path is never empty")
+    }
+}
+
+/// The shortest-path tree from one source, as produced by [`dijkstra`].
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    src: NodeId,
+    dist: Vec<f64>,
+    /// For each node, the (parent node, edge to parent) on the tree.
+    parent: Vec<Option<(NodeId, EdgeId)>>,
+}
+
+impl ShortestPaths {
+    /// The source this tree was computed from.
+    #[must_use]
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Distance to `node`, or `None` if unreachable.
+    #[must_use]
+    pub fn dist(&self, node: NodeId) -> Option<f64> {
+        let d = self.dist[node.0];
+        d.is_finite().then_some(d)
+    }
+
+    /// Whether `node` is reachable from the source.
+    #[must_use]
+    pub fn reaches(&self, node: NodeId) -> bool {
+        self.dist[node.0].is_finite()
+    }
+
+    /// The tree parent of `node`: the previous node on its shortest path and
+    /// the edge connecting them. `None` for the source and unreachable nodes.
+    #[must_use]
+    pub fn parent(&self, node: NodeId) -> Option<(NodeId, EdgeId)> {
+        self.parent[node.0]
+    }
+
+    /// The first hop (neighbor of the source) on the way to `dst`, or `None`
+    /// if unreachable or `dst` is the source. This is what a link-state
+    /// forwarding table stores.
+    #[must_use]
+    pub fn next_hop(&self, dst: NodeId) -> Option<(NodeId, EdgeId)> {
+        if dst == self.src || !self.reaches(dst) {
+            return None;
+        }
+        let mut cur = dst;
+        let mut hop = self.parent[cur.0]?;
+        while hop.0 != self.src {
+            cur = hop.0;
+            hop = self.parent[cur.0]?;
+        }
+        // `hop` is (src, edge src->cur); report the neighbor, i.e. `cur`.
+        Some((cur, hop.1))
+    }
+
+    /// Reconstructs the full path to `dst`, or `None` if unreachable.
+    #[must_use]
+    pub fn path_to(&self, dst: NodeId) -> Option<Path> {
+        if !self.reaches(dst) {
+            return None;
+        }
+        let mut nodes = vec![dst];
+        let mut edges = Vec::new();
+        let mut cur = dst;
+        while cur != self.src {
+            let (p, e) = self.parent[cur.0]?;
+            nodes.push(p);
+            edges.push(e);
+            cur = p;
+        }
+        nodes.reverse();
+        edges.reverse();
+        Some(Path { nodes, edges, cost: self.dist[dst.0] })
+    }
+
+    /// The union of tree edges reaching every node in `targets` — a
+    /// source-rooted multicast tree restricted to the interested members.
+    #[must_use]
+    pub fn tree_mask(&self, targets: &[NodeId]) -> EdgeMask {
+        let mut mask = EdgeMask::EMPTY;
+        for &t in targets {
+            if !self.reaches(t) {
+                continue;
+            }
+            let mut cur = t;
+            while cur != self.src {
+                let Some((p, e)) = self.parent[cur.0] else { break };
+                if mask.contains(e) {
+                    break; // the rest of the branch is already in the tree
+                }
+                mask.insert(e);
+                cur = p;
+            }
+        }
+        mask
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance, tie-broken by node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Runs Dijkstra's algorithm from `src` using the graph's edge weights.
+///
+/// # Panics
+///
+/// Panics if `src` is out of range.
+#[must_use]
+pub fn dijkstra(graph: &Graph, src: NodeId) -> ShortestPaths {
+    dijkstra_with(graph, src, |e| graph.weight(e))
+}
+
+/// Runs Dijkstra's algorithm with a custom per-edge cost. Edges whose cost is
+/// `f64::INFINITY` are treated as absent (e.g. links currently down), as are
+/// edges outside any mask the caller encodes into the cost function.
+///
+/// # Panics
+///
+/// Panics if `src` is out of range or a cost is negative/NaN.
+#[must_use]
+pub fn dijkstra_with<F: Fn(EdgeId) -> f64>(graph: &Graph, src: NodeId, cost: F) -> ShortestPaths {
+    assert!(src.0 < graph.node_count(), "source out of range");
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src.0] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: src });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u.0] {
+            continue;
+        }
+        for (v, e) in graph.neighbors(u) {
+            let w = cost(e);
+            if w == f64::INFINITY {
+                continue;
+            }
+            assert!(w >= 0.0 && !w.is_nan(), "negative or NaN edge cost");
+            let nd = d + w;
+            // Deterministic tie-break: keep the lower-indexed parent edge.
+            if nd < dist[v.0]
+                || (nd == dist[v.0]
+                    && parent[v.0].is_some_and(|(_, pe)| e.0 < pe.0))
+            {
+                dist[v.0] = nd;
+                parent[v.0] = Some((u, e));
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+    ShortestPaths { src, dist, parent }
+}
+
+/// Shortest path between two nodes, or `None` if disconnected.
+#[must_use]
+pub fn shortest_path(graph: &Graph, src: NodeId, dst: NodeId) -> Option<Path> {
+    if src == dst {
+        return Some(Path::trivial(src));
+    }
+    dijkstra(graph, src).path_to(dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 6-node graph: a cheap long chain 0-1-2-5 (cost 3) and an expensive
+    /// direct edge 0-5 (cost 10), plus a pendant 3-4 component.
+    fn g() -> Graph {
+        let mut g = Graph::new(6);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        g.add_edge(NodeId(2), NodeId(5), 1.0);
+        g.add_edge(NodeId(0), NodeId(5), 10.0);
+        g.add_edge(NodeId(3), NodeId(4), 1.0);
+        g
+    }
+
+    #[test]
+    fn finds_cheapest_path_not_fewest_hops() {
+        let p = shortest_path(&g(), NodeId(0), NodeId(5)).unwrap();
+        assert_eq!(p.cost, 3.0);
+        assert_eq!(p.nodes, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(5)]);
+        assert_eq!(p.hops(), 3);
+    }
+
+    #[test]
+    fn trivial_and_unreachable() {
+        let g = g();
+        let p = shortest_path(&g, NodeId(2), NodeId(2)).unwrap();
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.cost, 0.0);
+        assert!(shortest_path(&g, NodeId(0), NodeId(3)).is_none());
+        let sp = dijkstra(&g, NodeId(0));
+        assert!(!sp.reaches(NodeId(4)));
+        assert_eq!(sp.dist(NodeId(4)), None);
+    }
+
+    #[test]
+    fn next_hop_matches_path() {
+        let sp = dijkstra(&g(), NodeId(0));
+        let (nh, edge) = sp.next_hop(NodeId(5)).unwrap();
+        assert_eq!(nh, NodeId(1));
+        assert_eq!(edge, EdgeId(0));
+        assert_eq!(sp.next_hop(NodeId(0)), None, "no next hop to self");
+        assert_eq!(sp.next_hop(NodeId(4)), None, "no next hop to unreachable");
+    }
+
+    #[test]
+    fn custom_cost_can_exclude_edges() {
+        let g = g();
+        // Down the chain's middle edge: forced onto the direct expensive edge.
+        let sp = dijkstra_with(&g, NodeId(0), |e| {
+            if e == EdgeId(1) {
+                f64::INFINITY
+            } else {
+                g.weight(e)
+            }
+        });
+        let p = sp.path_to(NodeId(5)).unwrap();
+        assert_eq!(p.edges, vec![EdgeId(3)]);
+        assert_eq!(p.cost, 10.0);
+    }
+
+    #[test]
+    fn path_mask_round_trips() {
+        let p = shortest_path(&g(), NodeId(0), NodeId(5)).unwrap();
+        let mask = p.mask();
+        assert_eq!(mask.len(), 3);
+        for e in &p.edges {
+            assert!(mask.contains(*e));
+        }
+    }
+
+    #[test]
+    fn tree_mask_covers_targets_without_redundancy() {
+        // Star: 0 center, leaves 1..4, plus leaf-to-leaf edge that the SPT
+        // must not use.
+        let mut g = Graph::new(5);
+        let mut spokes = Vec::new();
+        for i in 1..5 {
+            spokes.push(g.add_edge(NodeId(0), NodeId(i), 1.0));
+        }
+        g.add_edge(NodeId(1), NodeId(2), 5.0);
+        let sp = dijkstra(&g, NodeId(0));
+        let mask = sp.tree_mask(&[NodeId(1), NodeId(3)]);
+        assert_eq!(mask.len(), 2);
+        assert!(mask.contains(spokes[0]));
+        assert!(mask.contains(spokes[2]));
+        // Targets sharing a branch do not duplicate edges.
+        let chain_mask = {
+            let mut c = Graph::new(4);
+            let e0 = c.add_edge(NodeId(0), NodeId(1), 1.0);
+            let e1 = c.add_edge(NodeId(1), NodeId(2), 1.0);
+            let e2 = c.add_edge(NodeId(2), NodeId(3), 1.0);
+            let sp = dijkstra(&c, NodeId(0));
+            let m = sp.tree_mask(&[NodeId(2), NodeId(3)]);
+            assert!(m.contains(e0) && m.contains(e1) && m.contains(e2));
+            m
+        };
+        assert_eq!(chain_mask.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_among_equal_cost_paths() {
+        // Two equal-cost 2-hop routes 0-1-3 and 0-2-3; the tie-break must be
+        // stable run to run.
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(0), NodeId(2), 1.0);
+        g.add_edge(NodeId(1), NodeId(3), 1.0);
+        g.add_edge(NodeId(2), NodeId(3), 1.0);
+        let p1 = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
+        let p2 = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(p1.cost, 2.0);
+    }
+}

@@ -1,0 +1,504 @@
+//! The overlay topology graph and the unified source-route bitmask.
+//!
+//! The paper's source-based routing "can be implemented via a unified
+//! source-based routing mechanism in which each packet is stamped with a
+//! bitmask indicating exactly the set of overlay links it should traverse
+//! (where each bit in the bitmask represents an overlay link)" (§II-B).
+//! [`EdgeMask`] is that bitmask; [`Graph`] numbers its undirected edges so
+//! edge *i* corresponds to bit *i*.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr, BitOrAssign, Not};
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies an overlay node within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// Identifies an undirected overlay link within a [`Graph`]; doubles as the
+/// bit index in an [`EdgeMask`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Maximum number of overlay links an [`EdgeMask`] can address.
+///
+/// Structured overlays need only "a few tens of well situated overlay
+/// nodes" (§II-A), so 256 links is generous.
+pub const MAX_EDGES: usize = 256;
+
+const WORDS: usize = MAX_EDGES / 64;
+
+/// A fixed-size bitmask over overlay links: bit *i* set means the packet
+/// should traverse edge *i* (the paper's unified source-route stamp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct EdgeMask {
+    words: [u64; WORDS],
+}
+
+impl EdgeMask {
+    /// The empty mask (no edges).
+    pub const EMPTY: EdgeMask = EdgeMask { words: [0; WORDS] };
+
+    /// Creates a mask containing the given edges.
+    #[must_use]
+    pub fn from_edges<I: IntoIterator<Item = EdgeId>>(edges: I) -> Self {
+        let mut mask = EdgeMask::EMPTY;
+        for e in edges {
+            mask.insert(e);
+        }
+        mask
+    }
+
+    /// Adds an edge to the mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge index is `>= MAX_EDGES`.
+    pub fn insert(&mut self, edge: EdgeId) {
+        assert!(edge.0 < MAX_EDGES, "edge index {} exceeds MAX_EDGES", edge.0);
+        self.words[edge.0 / 64] |= 1 << (edge.0 % 64);
+    }
+
+    /// Removes an edge from the mask.
+    pub fn remove(&mut self, edge: EdgeId) {
+        if edge.0 < MAX_EDGES {
+            self.words[edge.0 / 64] &= !(1 << (edge.0 % 64));
+        }
+    }
+
+    /// Whether the mask contains an edge.
+    #[must_use]
+    pub fn contains(&self, edge: EdgeId) -> bool {
+        edge.0 < MAX_EDGES && self.words[edge.0 / 64] & (1 << (edge.0 % 64)) != 0
+    }
+
+    /// Number of edges in the mask.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if no edge is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the edges in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(EdgeId(wi * 64 + b))
+                }
+            })
+        })
+    }
+
+    /// `true` if every edge of `other` is also in `self`.
+    #[must_use]
+    pub fn is_superset(&self, other: &EdgeMask) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == *b)
+    }
+}
+
+impl BitOr for EdgeMask {
+    type Output = EdgeMask;
+    fn bitor(self, rhs: EdgeMask) -> EdgeMask {
+        let mut out = self;
+        for (w, r) in out.words.iter_mut().zip(&rhs.words) {
+            *w |= r;
+        }
+        out
+    }
+}
+
+impl BitOrAssign for EdgeMask {
+    fn bitor_assign(&mut self, rhs: EdgeMask) {
+        *self = *self | rhs;
+    }
+}
+
+impl BitAnd for EdgeMask {
+    type Output = EdgeMask;
+    fn bitand(self, rhs: EdgeMask) -> EdgeMask {
+        let mut out = self;
+        for (w, r) in out.words.iter_mut().zip(&rhs.words) {
+            *w &= r;
+        }
+        out
+    }
+}
+
+impl Not for EdgeMask {
+    type Output = EdgeMask;
+    fn not(self) -> EdgeMask {
+        let mut out = self;
+        for w in out.words.iter_mut() {
+            *w = !*w;
+        }
+        out
+    }
+}
+
+impl FromIterator<EdgeId> for EdgeMask {
+    fn from_iter<I: IntoIterator<Item = EdgeId>>(iter: I) -> Self {
+        EdgeMask::from_edges(iter)
+    }
+}
+
+impl fmt::Display for EdgeMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// An undirected, weighted overlay topology.
+///
+/// Nodes are dense indices `0..n`; edges are numbered in insertion order and
+/// map one-to-one onto [`EdgeMask`] bits. Weights are link costs (typically
+/// one-way latency in milliseconds).
+///
+/// # Examples
+///
+/// ```
+/// use son_topo::graph::{Graph, NodeId};
+///
+/// let mut g = Graph::new(3);
+/// let ab = g.add_edge(NodeId(0), NodeId(1), 10.0);
+/// let bc = g.add_edge(NodeId(1), NodeId(2), 10.0);
+/// assert_eq!(g.edge_count(), 2);
+/// assert_eq!(g.endpoints(ab), (NodeId(0), NodeId(1)));
+/// assert_eq!(g.neighbors(NodeId(1)).count(), 2);
+/// # let _ = bc;
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    node_count: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    weights: Vec<f64>,
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl Graph {
+    /// Creates a graph with `nodes` isolated nodes.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        Graph {
+            node_count: nodes,
+            edges: Vec::new(),
+            weights: Vec::new(),
+            adj: vec![Vec::new(); nodes],
+        }
+    }
+
+    /// Adds an undirected edge with the given weight and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range, the endpoints are equal,
+    /// the weight is not finite and positive, or [`MAX_EDGES`] is exceeded.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId, weight: f64) -> EdgeId {
+        assert!(a.0 < self.node_count && b.0 < self.node_count, "endpoint out of range");
+        assert_ne!(a, b, "self-loops are not allowed");
+        assert!(weight.is_finite() && weight > 0.0, "weight must be finite and positive");
+        assert!(self.edges.len() < MAX_EDGES, "too many edges for EdgeMask");
+        let id = EdgeId(self.edges.len());
+        self.edges.push((a, b));
+        self.weights.push(weight);
+        self.adj[a.0].push((b, id));
+        self.adj[b.0].push((a, id));
+        id
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count).map(NodeId)
+    }
+
+    /// All edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.edges.len()).map(EdgeId)
+    }
+
+    /// The `(a, b)` endpoints of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge id is out of range.
+    #[must_use]
+    pub fn endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        self.edges[edge.0]
+    }
+
+    /// The weight of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge id is out of range.
+    #[must_use]
+    pub fn weight(&self, edge: EdgeId) -> f64 {
+        self.weights[edge.0]
+    }
+
+    /// Updates the weight of an edge (link-quality changes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge id is out of range or the weight is invalid.
+    pub fn set_weight(&mut self, edge: EdgeId, weight: f64) {
+        assert!(weight.is_finite() && weight > 0.0, "weight must be finite and positive");
+        self.weights[edge.0] = weight;
+    }
+
+    /// Given one endpoint of an edge, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an endpoint of `edge`.
+    #[must_use]
+    pub fn other_endpoint(&self, edge: EdgeId, node: NodeId) -> NodeId {
+        let (a, b) = self.edges[edge.0];
+        if node == a {
+            b
+        } else if node == b {
+            a
+        } else {
+            panic!("{node} is not an endpoint of {edge}");
+        }
+    }
+
+    /// Iterates `(neighbor, edge)` pairs of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        self.adj[node.0].iter().copied()
+    }
+
+    /// The degree of a node.
+    #[must_use]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj[node.0].len()
+    }
+
+    /// Finds the edge between two nodes, if any.
+    #[must_use]
+    pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        self.adj[a.0].iter().find(|&&(n, _)| n == b).map(|&(_, e)| e)
+    }
+
+    /// A mask containing every edge (the paper's constrained flooding stamp).
+    #[must_use]
+    pub fn full_mask(&self) -> EdgeMask {
+        self.edges().collect()
+    }
+
+    /// Total weight of the edges in a mask.
+    #[must_use]
+    pub fn mask_weight(&self, mask: &EdgeMask) -> f64 {
+        mask.iter().map(|e| self.weight(e)).sum()
+    }
+
+    /// The set of nodes reachable from `src` using only edges in `mask`,
+    /// refusing to traverse through nodes in `blocked` (messages may still
+    /// *reach* a blocked node; they are not forwarded onward from it).
+    ///
+    /// This models dissemination over a source-routed subgraph in which the
+    /// blocked (compromised) nodes silently drop traffic.
+    #[must_use]
+    pub fn reachable_through(
+        &self,
+        src: NodeId,
+        mask: &EdgeMask,
+        blocked: &[NodeId],
+    ) -> Vec<NodeId> {
+        let mut seen = vec![false; self.node_count];
+        let mut queue = std::collections::VecDeque::new();
+        seen[src.0] = true;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            if u != src && blocked.contains(&u) {
+                continue; // delivered to the node, but it won't forward
+            }
+            for (v, e) in self.neighbors(u) {
+                if mask.contains(e) && !seen[v.0] {
+                    seen[v.0] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        (0..self.node_count).filter(|&i| seen[i]).map(NodeId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 2.0);
+        g.add_edge(NodeId(2), NodeId(0), 3.0);
+        g
+    }
+
+    #[test]
+    fn mask_insert_remove_contains() {
+        let mut m = EdgeMask::EMPTY;
+        assert!(m.is_empty());
+        m.insert(EdgeId(0));
+        m.insert(EdgeId(63));
+        m.insert(EdgeId(64));
+        m.insert(EdgeId(255));
+        assert_eq!(m.len(), 4);
+        assert!(m.contains(EdgeId(63)));
+        assert!(m.contains(EdgeId(64)));
+        assert!(!m.contains(EdgeId(65)));
+        m.remove(EdgeId(63));
+        assert!(!m.contains(EdgeId(63)));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn mask_iter_is_sorted() {
+        let m = EdgeMask::from_edges([EdgeId(200), EdgeId(3), EdgeId(64)]);
+        let ids: Vec<usize> = m.iter().map(|e| e.0).collect();
+        assert_eq!(ids, vec![3, 64, 200]);
+    }
+
+    #[test]
+    fn mask_set_operations() {
+        let a = EdgeMask::from_edges([EdgeId(1), EdgeId(2)]);
+        let b = EdgeMask::from_edges([EdgeId(2), EdgeId(3)]);
+        assert_eq!((a | b).len(), 3);
+        assert_eq!((a & b).len(), 1);
+        assert!((a & b).contains(EdgeId(2)));
+        assert!((a | b).is_superset(&a));
+        assert!(!a.is_superset(&b));
+        let mut c = a;
+        c |= b;
+        assert_eq!(c, a | b);
+    }
+
+    #[test]
+    fn mask_display() {
+        let m = EdgeMask::from_edges([EdgeId(5), EdgeId(1)]);
+        assert_eq!(m.to_string(), "{e1,e5}");
+        assert_eq!(EdgeMask::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_EDGES")]
+    fn mask_rejects_out_of_range() {
+        let mut m = EdgeMask::EMPTY;
+        m.insert(EdgeId(MAX_EDGES));
+    }
+
+    #[test]
+    fn graph_basics() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert_eq!(g.endpoints(EdgeId(1)), (NodeId(1), NodeId(2)));
+        assert_eq!(g.weight(EdgeId(2)), 3.0);
+        assert_eq!(g.other_endpoint(EdgeId(0), NodeId(0)), NodeId(1));
+        assert_eq!(g.other_endpoint(EdgeId(0), NodeId(1)), NodeId(0));
+        assert_eq!(g.edge_between(NodeId(0), NodeId(2)), Some(EdgeId(2)));
+        assert_eq!(g.edge_between(NodeId(0), NodeId(0)), None);
+    }
+
+    #[test]
+    fn set_weight_updates() {
+        let mut g = triangle();
+        g.set_weight(EdgeId(0), 9.0);
+        assert_eq!(g.weight(EdgeId(0)), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn non_positive_weight_rejected() {
+        let mut g = Graph::new(2);
+        g.add_edge(NodeId(0), NodeId(1), 0.0);
+    }
+
+    #[test]
+    fn full_mask_and_weight() {
+        let g = triangle();
+        let full = g.full_mask();
+        assert_eq!(full.len(), 3);
+        assert_eq!(g.mask_weight(&full), 6.0);
+    }
+
+    #[test]
+    fn reachable_through_respects_mask_and_blocked() {
+        // path 0-1-2-3
+        let mut g = Graph::new(4);
+        let e0 = g.add_edge(NodeId(0), NodeId(1), 1.0);
+        let e1 = g.add_edge(NodeId(1), NodeId(2), 1.0);
+        let e2 = g.add_edge(NodeId(2), NodeId(3), 1.0);
+
+        let all = EdgeMask::from_edges([e0, e1, e2]);
+        assert_eq!(
+            g.reachable_through(NodeId(0), &all, &[]),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        // Without e1 the far side is unreachable.
+        let partial = EdgeMask::from_edges([e0, e2]);
+        assert_eq!(g.reachable_through(NodeId(0), &partial, &[]), vec![NodeId(0), NodeId(1)]);
+        // A compromised node 1 receives but does not forward.
+        assert_eq!(
+            g.reachable_through(NodeId(0), &all, &[NodeId(1)]),
+            vec![NodeId(0), NodeId(1)]
+        );
+        // A blocked *source* still floods (the source is never "dropped").
+        assert_eq!(g.reachable_through(NodeId(0), &all, &[NodeId(0)]).len(), 4);
+    }
+}

@@ -1,0 +1,133 @@
+//! Overlay multicast trees and anycast target selection.
+//!
+//! "All of the overlay nodes share information about whether they have
+//! clients interested in a particular multicast group, making it possible to
+//! disseminate multicast messages to all relevant nodes or to select the
+//! best target for a given anycast message" (§II-B). Given the member set,
+//! this module builds the source-rooted shortest-path tree spanning the
+//! members, and picks the nearest member for anycast.
+
+use crate::dijkstra::dijkstra;
+use crate::graph::{EdgeMask, Graph, NodeId};
+
+/// The multicast tree rooted at `source` reaching every node in `members`
+/// (members unreachable from the source are skipped). The result is an edge
+/// mask suitable for source-based routing of the multicast flow.
+///
+/// Only receivers join the group; any node may send to it, so the tree is
+/// recomputed per source. The tree is the union of shortest paths, which
+/// shares branches and is therefore far cheaper than per-receiver unicast.
+#[must_use]
+pub fn multicast_tree(graph: &Graph, source: NodeId, members: &[NodeId]) -> EdgeMask {
+    let sp = dijkstra(graph, source);
+    sp.tree_mask(members)
+}
+
+/// The cost of reaching each member by unicast along shortest paths — the
+/// baseline the paper's multicast saves over (sum of per-receiver path
+/// weights, shared links counted once per receiver).
+#[must_use]
+pub fn unicast_mesh_cost(graph: &Graph, source: NodeId, members: &[NodeId]) -> f64 {
+    let sp = dijkstra(graph, source);
+    members.iter().filter_map(|&m| sp.dist(m)).sum()
+}
+
+/// Picks the best (closest by path cost) member of `members` from the
+/// perspective of `from`, for anycast delivery; ties break to the lowest
+/// node id. Returns `None` if no member is reachable.
+#[must_use]
+pub fn anycast_target(graph: &Graph, from: NodeId, members: &[NodeId]) -> Option<NodeId> {
+    let sp = dijkstra(graph, from);
+    members
+        .iter()
+        .filter_map(|&m| sp.dist(m).map(|d| (d, m)))
+        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)))
+        .map(|(_, m)| m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A star with a long tail:
+    /// center 0; leaves 1,2,3 at cost 1; chain 3-4-5 extending outward.
+    fn star_tail() -> Graph {
+        let mut g = Graph::new(6);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(0), NodeId(2), 1.0);
+        g.add_edge(NodeId(0), NodeId(3), 1.0);
+        g.add_edge(NodeId(3), NodeId(4), 1.0);
+        g.add_edge(NodeId(4), NodeId(5), 1.0);
+        g
+    }
+
+    #[test]
+    fn tree_spans_exactly_the_needed_branches() {
+        let g = star_tail();
+        let tree = multicast_tree(&g, NodeId(0), &[NodeId(1), NodeId(5)]);
+        assert_eq!(tree.len(), 4, "edges 0-1, 0-3, 3-4, 4-5");
+        assert!(!tree.contains(g.edge_between(NodeId(0), NodeId(2)).unwrap()));
+    }
+
+    #[test]
+    fn tree_shares_common_branches() {
+        let g = star_tail();
+        // Members 4 and 5 share the 0-3-4 prefix: the tree uses edges
+        // {0-3, 3-4, 4-5} at cost 3, while per-receiver unicast pays 2+3=5.
+        let tree = multicast_tree(&g, NodeId(0), &[NodeId(4), NodeId(5)]);
+        assert_eq!(g.mask_weight(&tree), 3.0);
+        assert_eq!(unicast_mesh_cost(&g, NodeId(0), &[NodeId(4), NodeId(5)]), 5.0);
+    }
+
+    #[test]
+    fn tree_savings_grow_with_group_size() {
+        let g = star_tail();
+        let members = [NodeId(1), NodeId(2), NodeId(3), NodeId(4), NodeId(5)];
+        let tree_cost = g.mask_weight(&multicast_tree(&g, NodeId(0), &members));
+        let mesh_cost = unicast_mesh_cost(&g, NodeId(0), &members);
+        assert_eq!(tree_cost, 5.0, "every edge exactly once");
+        assert_eq!(mesh_cost, 1.0 + 1.0 + 1.0 + 2.0 + 3.0);
+        assert!(tree_cost < mesh_cost);
+    }
+
+    #[test]
+    fn empty_membership_gives_empty_tree() {
+        let g = star_tail();
+        assert!(multicast_tree(&g, NodeId(0), &[]).is_empty());
+        assert_eq!(unicast_mesh_cost(&g, NodeId(0), &[]), 0.0);
+    }
+
+    #[test]
+    fn unreachable_members_are_skipped() {
+        let mut g = Graph::new(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        // 2,3 form a separate component.
+        g.add_edge(NodeId(2), NodeId(3), 1.0);
+        let tree = multicast_tree(&g, NodeId(0), &[NodeId(1), NodeId(3)]);
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn anycast_picks_nearest_member() {
+        let g = star_tail();
+        assert_eq!(anycast_target(&g, NodeId(5), &[NodeId(1), NodeId(4)]), Some(NodeId(4)));
+        assert_eq!(anycast_target(&g, NodeId(0), &[NodeId(5), NodeId(2)]), Some(NodeId(2)));
+        // Sender that is itself a member selects itself (distance zero).
+        assert_eq!(anycast_target(&g, NodeId(2), &[NodeId(2), NodeId(1)]), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn anycast_tie_breaks_to_lowest_id() {
+        let g = star_tail();
+        // 1 and 2 are both at distance 1 from 0.
+        assert_eq!(anycast_target(&g, NodeId(0), &[NodeId(2), NodeId(1)]), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn anycast_none_when_unreachable() {
+        let mut g = Graph::new(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        assert_eq!(anycast_target(&g, NodeId(0), &[NodeId(2)]), None);
+        assert_eq!(anycast_target(&g, NodeId(0), &[]), None);
+    }
+}

@@ -1,0 +1,273 @@
+//! The overlay topology designer (§II-A).
+//!
+//! "To exploit physical disjointness available in the underlying networks,
+//! the overlay node locations and connections are selected strategically...
+//! Overlay links are designed to be short (on the order of 10ms)... it is
+//! not normally advised to build a continent- or global-sized overlay as a
+//! clique."
+//!
+//! Given candidate links (site pairs with latencies), [`design_overlay`]
+//! selects a topology that (a) uses only links under the latency bound,
+//! (b) is connected, and (c) meets a minimum vertex-connectivity target so
+//! that redundant dissemination has disjoint paths to work with — while
+//! using as few links as possible (shortest candidates first, greedily
+//! keeping only links that are still needed).
+
+use crate::disjoint::k_node_disjoint_paths;
+use crate::graph::{Graph, NodeId};
+
+/// A candidate overlay link the designer may use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateLink {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// One-way latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+/// Why the designer could not meet its targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// Even using every candidate under the bound, the sites are not
+    /// connected.
+    Disconnected,
+    /// Connected, but the requested vertex connectivity is unattainable with
+    /// the given candidates (reports the worst pair found).
+    ConnectivityUnattainable {
+        /// A pair that cannot reach the requested disjoint-path count.
+        pair: (NodeId, NodeId),
+        /// The best disjoint-path count achievable for that pair.
+        achieved: usize,
+    },
+}
+
+impl std::fmt::Display for DesignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesignError::Disconnected => write!(f, "candidate links do not connect all sites"),
+            DesignError::ConnectivityUnattainable { pair, achieved } => write!(
+                f,
+                "pair {}-{} reaches only {achieved} disjoint paths with the given candidates",
+                pair.0, pair.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+/// Designs an overlay topology over `sites` sites.
+///
+/// Uses only candidates with latency ≤ `max_link_ms`; guarantees every node
+/// pair has ≥ `min_disjoint` node-disjoint paths (1 = connected); prefers
+/// short links, and prunes links whose removal does not violate the target.
+///
+/// # Errors
+///
+/// See [`DesignError`].
+///
+/// # Panics
+///
+/// Panics if `sites == 0` or `min_disjoint == 0`.
+pub fn design_overlay(
+    sites: usize,
+    candidates: &[CandidateLink],
+    max_link_ms: f64,
+    min_disjoint: usize,
+) -> Result<Graph, DesignError> {
+    assert!(sites > 0, "need at least one site");
+    assert!(min_disjoint > 0, "min_disjoint must be at least 1");
+    // Start from every usable candidate, shortest first.
+    let mut usable: Vec<CandidateLink> = candidates
+        .iter()
+        .copied()
+        .filter(|c| c.latency_ms <= max_link_ms && c.a != c.b)
+        .collect();
+    usable.sort_by(|x, y| {
+        x.latency_ms
+            .partial_cmp(&y.latency_ms)
+            .expect("finite latency")
+            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+    });
+    usable.dedup_by_key(|c| (c.a.min(c.b), c.a.max(c.b)));
+
+    let build = |links: &[CandidateLink]| {
+        let mut g = Graph::new(sites);
+        for c in links {
+            g.add_edge(c.a, c.b, c.latency_ms);
+        }
+        g
+    };
+
+    // Check feasibility with everything included.
+    let full = build(&usable);
+    if let Some(err) = check(&full, min_disjoint) {
+        return Err(err);
+    }
+
+    // Prune: walk candidates longest-first; drop a link if the target still
+    // holds without it. Greedy reverse-delete keeps the design sparse while
+    // preserving the connectivity invariant at every step.
+    let mut kept = usable.clone();
+    let mut idx = kept.len();
+    while idx > 0 {
+        idx -= 1;
+        if kept.len() <= sites.saturating_sub(1) {
+            break; // cannot go below a spanning tree
+        }
+        let mut trial = kept.clone();
+        trial.remove(idx);
+        let g = build(&trial);
+        if check(&g, min_disjoint).is_none() {
+            kept = trial;
+        }
+    }
+    Ok(build(&kept))
+}
+
+/// Verifies the min-disjoint-paths target for every pair; `None` if met.
+fn check(g: &Graph, min_disjoint: usize) -> Option<DesignError> {
+    for a in g.nodes() {
+        for b in g.nodes() {
+            if b <= a {
+                continue;
+            }
+            let dp = k_node_disjoint_paths(g, a, b, min_disjoint);
+            if dp.is_empty() {
+                return Some(DesignError::Disconnected);
+            }
+            if dp.len() < min_disjoint {
+                return Some(DesignError::ConnectivityUnattainable {
+                    pair: (a, b),
+                    achieved: dp.len(),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Builds the candidate set from site coordinates: every pair within the
+/// latency bound, at fiber latency (distance × route factor / fiber speed).
+#[must_use]
+pub fn candidates_from_coordinates(
+    coords: &[(f64, f64)],
+    max_link_ms: f64,
+    km_per_ms: f64,
+    route_factor: f64,
+) -> Vec<CandidateLink> {
+    let mut out = Vec::new();
+    for i in 0..coords.len() {
+        for j in i + 1..coords.len() {
+            let (x1, y1) = coords[i];
+            let (x2, y2) = coords[j];
+            let km = ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt();
+            let latency_ms = km * route_factor / km_per_ms;
+            if latency_ms <= max_link_ms {
+                out.push(CandidateLink { a: NodeId(i), b: NodeId(j), latency_ms });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Five sites on a line, 400 km apart (2.4 ms per hop at defaults).
+    fn line_coords() -> Vec<(f64, f64)> {
+        (0..5).map(|i| (f64::from(i) * 400.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn candidates_respect_the_bound() {
+        let cands = candidates_from_coordinates(&line_coords(), 5.0, 200.0, 1.2);
+        // 400km=2.4ms and 800km=4.8ms qualify; 1200km=7.2ms does not.
+        assert!(cands.iter().all(|c| c.latency_ms <= 5.0));
+        assert_eq!(cands.len(), 4 + 3);
+    }
+
+    #[test]
+    fn design_connected_line() {
+        let cands = candidates_from_coordinates(&line_coords(), 5.0, 200.0, 1.2);
+        let g = design_overlay(5, &cands, 5.0, 1).expect("feasible");
+        // A spanning design: 4 links suffice for connectivity, and pruning
+        // should get close to that.
+        assert!(g.edge_count() <= 5, "pruned design, got {}", g.edge_count());
+        let sp = crate::dijkstra(&g, NodeId(0));
+        assert!(g.nodes().all(|v| sp.reaches(v)));
+    }
+
+    #[test]
+    fn design_biconnected_needs_more_links() {
+        // A ring of 6 sites: 2-connectivity requires the full cycle.
+        let coords: Vec<(f64, f64)> = (0..6)
+            .map(|i| {
+                let a = f64::from(i) * std::f64::consts::TAU / 6.0;
+                (1000.0 * a.cos(), 1000.0 * a.sin())
+            })
+            .collect();
+        let cands = candidates_from_coordinates(&coords, 8.0, 200.0, 1.2);
+        let g = design_overlay(6, &cands, 8.0, 2).expect("feasible");
+        // Every pair has 2 node-disjoint paths.
+        for a in g.nodes() {
+            for b in g.nodes() {
+                if b > a {
+                    assert_eq!(k_node_disjoint_paths(&g, a, b, 2).len(), 2);
+                }
+            }
+        }
+        // And it is sparse: a clique would have 15 edges.
+        assert!(g.edge_count() < 15, "got {}", g.edge_count());
+        assert!(g.edge_count() >= 6, "2-connectivity needs at least a cycle");
+    }
+
+    #[test]
+    fn disconnected_sites_are_reported() {
+        // Two clusters too far apart for the bound.
+        let coords = vec![(0.0, 0.0), (100.0, 0.0), (10_000.0, 0.0), (10_100.0, 0.0)];
+        let cands = candidates_from_coordinates(&coords, 3.0, 200.0, 1.2);
+        assert_eq!(design_overlay(4, &cands, 3.0, 1).unwrap_err(), DesignError::Disconnected);
+    }
+
+    #[test]
+    fn unattainable_connectivity_names_a_pair() {
+        // A line cannot be 2-connected: interior nodes are cut vertices.
+        let cands = candidates_from_coordinates(&line_coords(), 3.0, 200.0, 1.2);
+        match design_overlay(5, &cands, 3.0, 2) {
+            Err(DesignError::ConnectivityUnattainable { achieved, .. }) => {
+                assert_eq!(achieved, 1);
+            }
+            other => panic!("expected unattainable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pruning_prefers_short_links() {
+        // Triangle where one side is much longer: for connectivity (k=1)
+        // the long side must be pruned away.
+        let cands = vec![
+            CandidateLink { a: NodeId(0), b: NodeId(1), latency_ms: 1.0 },
+            CandidateLink { a: NodeId(1), b: NodeId(2), latency_ms: 1.0 },
+            CandidateLink { a: NodeId(0), b: NodeId(2), latency_ms: 9.0 },
+        ];
+        let g = design_overlay(3, &cands, 10.0, 1).expect("feasible");
+        assert_eq!(g.edge_count(), 2);
+        let total: f64 = g.edges().map(|e| g.weight(e)).sum();
+        assert_eq!(total, 2.0, "the 9ms link was pruned");
+    }
+
+    #[test]
+    fn duplicate_candidates_are_deduped() {
+        let cands = vec![
+            CandidateLink { a: NodeId(0), b: NodeId(1), latency_ms: 1.0 },
+            CandidateLink { a: NodeId(1), b: NodeId(0), latency_ms: 2.0 },
+        ];
+        let g = design_overlay(2, &cands, 10.0, 1).expect("feasible");
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.weight(crate::EdgeId(0)), 1.0, "shortest duplicate wins");
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based tests over randomly generated overlay topologies.
+//!
+//! Invariants checked:
+//! * Dijkstra's distances satisfy the triangle inequality along returned
+//!   paths, and path costs equal the sum of their edge weights.
+//! * `k_node_disjoint_paths` returns genuinely node-disjoint valid paths,
+//!   with the first equal in cost to the plain shortest path.
+//! * With k disjoint paths, removing any k-1 interior nodes leaves the
+//!   destination reachable (the paper's §IV-B guarantee).
+//! * Multicast trees reach every reachable member at no more than unicast
+//!   mesh cost.
+//! * Dissemination graphs are supersets of the 2-disjoint-path mask and
+//!   subsets of the flooding mask.
+
+use proptest::prelude::*;
+use son_topo::dijkstra::{dijkstra, shortest_path};
+use son_topo::disjoint::{are_node_disjoint, k_node_disjoint_paths};
+use son_topo::dissemination::{connects, robust_dissemination_graph};
+use son_topo::graph::{Graph, NodeId};
+use son_topo::multicast::{anycast_target, multicast_tree, unicast_mesh_cost};
+
+/// Strategy: a connected random graph of 4..=12 nodes. We first build a
+/// random spanning tree (guaranteeing connectivity), then sprinkle extra
+/// edges.
+fn arb_connected_graph() -> impl Strategy<Value = Graph> {
+    (4usize..=12).prop_flat_map(|n| {
+        let tree_parents = proptest::collection::vec(0usize..usize::MAX, n - 1);
+        let extra = proptest::collection::vec((0usize..n, 0usize..n, 1u32..50), 0..(2 * n));
+        let weights = proptest::collection::vec(1u32..50, n - 1);
+        (Just(n), tree_parents, weights, extra).prop_map(|(n, parents, weights, extra)| {
+            let mut g = Graph::new(n);
+            for i in 1..n {
+                let p = parents[i - 1] % i;
+                g.add_edge(NodeId(p), NodeId(i), f64::from(weights[i - 1]));
+            }
+            for (a, b, w) in extra {
+                if a != b && g.edge_between(NodeId(a), NodeId(b)).is_none() {
+                    g.add_edge(NodeId(a), NodeId(b), f64::from(w));
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dijkstra_path_cost_equals_edge_sum(g in arb_connected_graph()) {
+        let sp = dijkstra(&g, NodeId(0));
+        for v in g.nodes() {
+            let path = sp.path_to(v).expect("connected graph");
+            let edge_sum: f64 = path.edges.iter().map(|&e| g.weight(e)).sum();
+            prop_assert!((path.cost - edge_sum).abs() < 1e-9);
+            prop_assert_eq!(path.nodes.len(), path.edges.len() + 1);
+            prop_assert_eq!(*path.nodes.first().unwrap(), NodeId(0));
+            prop_assert_eq!(path.dst(), v);
+        }
+    }
+
+    #[test]
+    fn dijkstra_respects_triangle_inequality(g in arb_connected_graph()) {
+        let sp = dijkstra(&g, NodeId(0));
+        for e in g.edges() {
+            let (a, b) = g.endpoints(e);
+            let da = sp.dist(a).unwrap();
+            let db = sp.dist(b).unwrap();
+            prop_assert!(db <= da + g.weight(e) + 1e-9);
+            prop_assert!(da <= db + g.weight(e) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn disjoint_paths_are_disjoint_and_valid(g in arb_connected_graph(), k in 1usize..4) {
+        let n = g.node_count();
+        let (src, dst) = (NodeId(0), NodeId(n - 1));
+        let dp = k_node_disjoint_paths(&g, src, dst, k);
+        prop_assert!(!dp.is_empty(), "graph is connected");
+        prop_assert!(dp.len() <= k);
+        prop_assert!(are_node_disjoint(&dp.paths));
+        for p in &dp.paths {
+            // Path is contiguous and uses real edges.
+            prop_assert_eq!(*p.nodes.first().unwrap(), src);
+            prop_assert_eq!(p.dst(), dst);
+            for (i, &e) in p.edges.iter().enumerate() {
+                let (a, b) = g.endpoints(e);
+                let (u, v) = (p.nodes[i], p.nodes[i + 1]);
+                prop_assert!((a, b) == (u, v) || (a, b) == (v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn first_disjoint_path_is_shortest(g in arb_connected_graph()) {
+        let n = g.node_count();
+        let (src, dst) = (NodeId(0), NodeId(n - 1));
+        let dp = k_node_disjoint_paths(&g, src, dst, 1);
+        let sp = shortest_path(&g, src, dst).unwrap();
+        prop_assert!((dp.paths[0].cost - sp.cost).abs() < 1e-9,
+            "min-cost single flow = shortest path");
+    }
+
+    #[test]
+    fn k_disjoint_survive_k_minus_1_interior_failures(g in arb_connected_graph()) {
+        let n = g.node_count();
+        let (src, dst) = (NodeId(0), NodeId(n - 1));
+        let dp = k_node_disjoint_paths(&g, src, dst, 3);
+        let k = dp.len();
+        prop_assume!(k >= 2);
+        let mask = dp.mask();
+        // Knock out all interior nodes of k-1 of the paths simultaneously.
+        for skip in 0..k {
+            let blocked: Vec<NodeId> = dp
+                .paths
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .flat_map(|(_, p)| p.nodes[1..p.nodes.len() - 1].to_vec())
+                .collect();
+            prop_assert!(
+                connects(&g, &mask, src, dst, &blocked),
+                "path {skip} should survive when the others are cut"
+            );
+        }
+    }
+
+    #[test]
+    fn multicast_tree_reaches_members_cheaper_than_mesh(
+        g in arb_connected_graph(),
+        member_seed in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let members: Vec<NodeId> = g
+            .nodes()
+            .skip(1)
+            .filter(|v| member_seed[v.0 % member_seed.len()])
+            .collect();
+        let tree = multicast_tree(&g, NodeId(0), &members);
+        for &m in &members {
+            prop_assert!(connects(&g, &tree, NodeId(0), m, &[]));
+        }
+        let tree_cost = g.mask_weight(&tree);
+        let mesh_cost = unicast_mesh_cost(&g, NodeId(0), &members);
+        prop_assert!(tree_cost <= mesh_cost + 1e-9);
+    }
+
+    #[test]
+    fn anycast_target_is_a_nearest_member(
+        g in arb_connected_graph(),
+        member_seed in proptest::collection::vec(any::<bool>(), 12),
+    ) {
+        let members: Vec<NodeId> = g
+            .nodes()
+            .filter(|v| member_seed[v.0 % member_seed.len()])
+            .collect();
+        prop_assume!(!members.is_empty());
+        let target = anycast_target(&g, NodeId(0), &members).unwrap();
+        let sp = dijkstra(&g, NodeId(0));
+        let best = members.iter().map(|&m| sp.dist(m).unwrap()).fold(f64::INFINITY, f64::min);
+        prop_assert!((sp.dist(target).unwrap() - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dissemination_graph_sandwiched_between_paths_and_flood(g in arb_connected_graph()) {
+        let n = g.node_count();
+        let (src, dst) = (NodeId(0), NodeId(n - 1));
+        let robust = robust_dissemination_graph(&g, src, dst);
+        let two = k_node_disjoint_paths(&g, src, dst, 2).mask();
+        let flood = g.full_mask();
+        prop_assert!(robust.is_superset(&two));
+        prop_assert!(flood.is_superset(&robust));
+        prop_assert!(connects(&g, &robust, src, dst, &[]));
+    }
+
+    #[test]
+    fn edge_mask_roundtrip(indices in proptest::collection::btree_set(0usize..256, 0..40)) {
+        use son_topo::graph::{EdgeId, EdgeMask};
+        let mask: EdgeMask = indices.iter().map(|&i| EdgeId(i)).collect();
+        prop_assert_eq!(mask.len(), indices.len());
+        let back: Vec<usize> = mask.iter().map(|e| e.0).collect();
+        let expect: Vec<usize> = indices.into_iter().collect();
+        prop_assert_eq!(back, expect);
+    }
+}

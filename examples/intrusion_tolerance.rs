@@ -1,0 +1,142 @@
+//! Intrusion-tolerant monitoring and control (§IV-B): the overlay itself is
+//! under attack.
+//!
+//! ```text
+//! cargo run --release --example intrusion_tolerance
+//! ```
+//!
+//! Two compromised overlay nodes participate correctly in the control plane
+//! but blackhole transit data, while a third floods junk traffic toward the
+//! control center. SCADA-style telemetry keeps flowing thanks to constrained
+//! flooding + fair priority scheduling; reliable control commands ride
+//! IT-Reliable with backpressure.
+
+use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
+use son_netsim::sim::Simulation;
+use son_netsim::time::{SimDuration, SimTime};
+use son_overlay::adversary::Behavior;
+use son_overlay::builder::{continental_overlay, OverlayBuilder};
+use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
+use son_overlay::node::OverlayNode;
+use son_overlay::{
+    Destination, FlowSpec, LinkService, NodeConfig, OverlayAddr, RoutingService, SourceRoute, Wire,
+};
+use son_topo::NodeId;
+
+const CONTROL_CENTER: NodeId = NodeId(0); // NYC
+const SUBSTATION: NodeId = NodeId(11); // LA
+// ATL and DEN are compromised: they sit on the cheap southern and central
+// routes but do not form a vertex cut (the paper's guarantee only holds
+// "provided that some correct path through the overlay still exists").
+const BLACKHOLES: [usize; 2] = [3, 8]; // ATL, DEN
+const FLOODER: usize = 7; // HOU compromised, floods the control center
+
+fn main() {
+    let sc = continental_us(DEFAULT_CONVERGENCE);
+    let (topo, _) = continental_overlay(&sc);
+    let mut config = NodeConfig { auth_enabled: true, ..Default::default() };
+     // §IV-B: per-node keys, per-packet tags
+    config.it_rate_bps = Some(4_000_000);
+    let mut sim: Simulation<Wire> = Simulation::new(1337);
+    let overlay = OverlayBuilder::new(topo).node_config(config).build(&mut sim);
+
+    for &bad in &BLACKHOLES {
+        sim.proc_mut::<OverlayNode>(overlay.daemon(NodeId(bad)))
+            .unwrap()
+            .set_behavior(Behavior::Blackhole);
+    }
+    sim.proc_mut::<OverlayNode>(overlay.daemon(NodeId(FLOODER))).unwrap().set_behavior(
+        Behavior::Flood {
+            dst: Destination::Unicast(OverlayAddr::new(CONTROL_CENTER, 70)),
+            rate_pps: 2000,
+            size: 1000,
+        },
+    );
+
+    // Telemetry: substation -> control center, flooded + priority-fair.
+    let telemetry_spec = FlowSpec::best_effort()
+        .with_routing(RoutingService::SourceBased(SourceRoute::ConstrainedFlooding))
+        .with_link(LinkService::ItPriority);
+    // Control: control center -> substation, IT-Reliable over redundant
+    // dissemination (a reliable protocol on a single path through a
+    // blackhole would stall forever — §IV-B pairs fair scheduling WITH
+    // redundant dissemination).
+    let control_spec = FlowSpec::reliable()
+        .with_link(LinkService::ItReliable)
+        .with_routing(RoutingService::SourceBased(SourceRoute::ConstrainedFlooding));
+
+    let center = sim.add_process(ClientProcess::new(ClientConfig {
+        daemon: overlay.daemon(CONTROL_CENTER),
+        port: 70,
+        joins: vec![],
+        flows: vec![ClientFlow {
+            local_flow: 1,
+            dst: Destination::Unicast(OverlayAddr::new(SUBSTATION, 71)),
+            spec: control_spec,
+            workload: Workload::Cbr {
+                size: 256,
+                interval: SimDuration::from_millis(100),
+                count: 200,
+                start: SimTime::from_secs(1),
+            },
+        }],
+    }));
+    let substation = sim.add_process(ClientProcess::new(ClientConfig {
+        daemon: overlay.daemon(SUBSTATION),
+        port: 71,
+        joins: vec![],
+        flows: vec![ClientFlow {
+            local_flow: 1,
+            dst: Destination::Unicast(OverlayAddr::new(CONTROL_CENTER, 70)),
+            spec: telemetry_spec,
+            workload: Workload::Cbr {
+                size: 512,
+                interval: SimDuration::from_millis(20),
+                count: 1000,
+                start: SimTime::from_secs(1),
+            },
+        }],
+    }));
+    sim.run_until(SimTime::from_secs(30));
+
+    let telemetry_sent = sim.proc_ref::<ClientProcess>(substation).unwrap().sent(1);
+    let center_client = sim.proc_ref::<ClientProcess>(center).unwrap();
+    let telemetry = center_client
+        .recv
+        .iter()
+        .find(|(k, _)| k.src.node == SUBSTATION)
+        .map(|(_, r)| r.clone())
+        .unwrap_or_default();
+    let commands_sent = center_client.sent(1);
+    let sub_client = sim.proc_ref::<ClientProcess>(substation).unwrap();
+    let commands = sub_client.recv.values().next().cloned().unwrap_or_default();
+    let mut telemetry_lat = telemetry.latency_ms.clone();
+
+    println!("attack: {} blackhole nodes + 1 flooder (2000 pps at the control center)\n", BLACKHOLES.len());
+    println!(
+        "telemetry (flooding + IT-Priority): {}/{} delivered, p99 {:.1} ms, {} app dups",
+        telemetry.received,
+        telemetry_sent,
+        telemetry_lat.quantile(0.99).unwrap_or(f64::NAN),
+        telemetry.app_duplicates,
+    );
+    println!(
+        "control  (IT-Reliable)            : {}/{} delivered in order ({} ooo)",
+        commands.received, commands_sent, commands.out_of_order,
+    );
+    let mut junk_dropped = 0;
+    let mut adversary_dropped = 0;
+    for &d in &overlay.daemons {
+        let m = sim.proc_ref::<OverlayNode>(d).unwrap().metrics();
+        junk_dropped += m.counters.get("unused");
+        adversary_dropped += m.adversary_dropped;
+    }
+    let _ = junk_dropped;
+    println!("\npackets eaten by the blackholes   : {adversary_dropped}");
+    println!("flooder junk injected             : {}",
+        sim.proc_ref::<OverlayNode>(overlay.daemon(NodeId(FLOODER))).unwrap().metrics().adversary_injected);
+    println!("\nDespite compromised overlay nodes with valid credentials, every");
+    println!("telemetry reading and every control command made it through.");
+    assert_eq!(telemetry.received, telemetry_sent);
+    assert_eq!(commands.received, commands_sent);
+}

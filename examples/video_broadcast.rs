@@ -1,0 +1,104 @@
+//! Broadcast-quality video transport over the continental overlay (§III-A).
+//!
+//! ```text
+//! cargo run --release --example video_broadcast
+//! ```
+//!
+//! A stadium feed in Miami is multicast to four broadcast stations across
+//! the country over lossy links. We run the same stream twice — best effort
+//! vs the Reliable Data Link — and print the decoder-level quality report
+//! for each station.
+
+use son_apps::video::{score, VideoProfile};
+use son_netsim::loss::LossConfig;
+use son_netsim::sim::Simulation;
+use son_netsim::time::{SimDuration, SimTime};
+use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
+use son_overlay::builder::{continental_overlay, OverlayBuilder};
+use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess};
+use son_overlay::{Destination, FlowSpec, GroupId, Wire};
+use son_topo::NodeId;
+
+const STATIONS: [(&str, usize); 4] = [("NYC", 0), ("CHI", 5), ("SEA", 9), ("LA", 11)];
+const STADIUM: usize = 4; // MIA
+const GROUP: GroupId = GroupId(7);
+
+fn run(spec: FlowSpec) -> Vec<(String, f64, f64, f64)> {
+    let sc = continental_us(DEFAULT_CONVERGENCE);
+    let (topo, _) = continental_overlay(&sc);
+    let mut sim: Simulation<Wire> = Simulation::new(99);
+    let overlay = OverlayBuilder::new(topo)
+        .default_loss(LossConfig::bursts(
+            SimDuration::from_millis(990),
+            SimDuration::from_millis(10),
+        ))
+        .build(&mut sim);
+
+    let stations: Vec<_> = STATIONS
+        .iter()
+        .map(|&(_, n)| {
+            sim.add_process(ClientProcess::new(ClientConfig {
+                daemon: overlay.daemon(NodeId(n)),
+                port: 80,
+                joins: vec![GROUP],
+                flows: vec![],
+            }))
+        })
+        .collect();
+
+    let profile = VideoProfile::broadcast_sd();
+    let tx = sim.add_process(ClientProcess::new(ClientConfig {
+        daemon: overlay.daemon(NodeId(STADIUM)),
+        port: 81,
+        joins: vec![],
+        flows: vec![ClientFlow {
+            local_flow: 1,
+            dst: Destination::Multicast(GROUP),
+            spec,
+            workload: profile.workload(SimTime::from_secs(1), SimDuration::from_secs(30)),
+        }],
+    }));
+    sim.run_until(SimTime::from_secs(40));
+
+    let sent = sim.proc_ref::<ClientProcess>(tx).unwrap().sent(1);
+    stations
+        .iter()
+        .zip(STATIONS.iter())
+        .map(|(&p, &(name, _))| {
+            let client = sim.proc_ref::<ClientProcess>(p).unwrap();
+            let recv = client.recv.values().next().cloned().unwrap_or_default();
+            let report = score(&recv, sent, &profile, None);
+            (
+                name.to_string(),
+                report.delivered_frac,
+                report.mean_latency_ms,
+                report.continuity_100ms,
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    println!("MIA stadium feed ({} Mbit/s MPEG-TS) -> 4 stations, 1% bursty loss/link\n",
+        VideoProfile::broadcast_sd().bitrate_bps / 1_000_000);
+    for (label, spec) in [
+        ("BEST EFFORT (native-Internet-like)", FlowSpec::best_effort()),
+        ("RELIABLE DATA LINK (hop-by-hop recovery)", FlowSpec::reliable()),
+    ] {
+        println!("--- {label} ---");
+        println!(
+            "{:>8} {:>10} {:>10} {:>16}",
+            "station", "delivered", "mean ms", "continuity@100ms"
+        );
+        for (name, frac, mean, continuity) in run(spec) {
+            println!(
+                "{name:>8} {:>9.2}% {mean:>10.2} {:>15.2}%",
+                frac * 100.0,
+                continuity * 100.0
+            );
+        }
+        println!();
+    }
+    println!("The overlay's hop-by-hop recovery turns a freezing, lossy feed into");
+    println!("broadcast-quality delivery at a few ms of added latency.");
+}

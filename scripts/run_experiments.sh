@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Regenerates every experiment of EXPERIMENTS.md (deterministic seeds).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+experiments=(fig3 nm_strikes rerouting overhead multicast intrusion fairness \
+             manipulation compound dedup global scada ablation)
+for e in "${experiments[@]}"; do
+  echo "==================================================================="
+  cargo run --release -q -p son-bench --bin "exp_$e"
+done

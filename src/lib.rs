@@ -1,0 +1,8 @@
+//! # Structured Overlay Networks
+//!
+//! Umbrella crate re-exporting the workspace members. See the README for a
+//! tour; start with [`overlay`] for the overlay node software architecture.
+pub use son_apps as apps;
+pub use son_netsim as netsim;
+pub use son_overlay as overlay;
+pub use son_topo as topo;
