@@ -29,7 +29,10 @@ impl HapticProfile {
     /// A typical haptic control loop: 500 Hz of 64-byte samples.
     #[must_use]
     pub fn standard() -> Self {
-        HapticProfile { packet_size: 64, rate_hz: 500 }
+        HapticProfile {
+            packet_size: 64,
+            rate_hz: 500,
+        }
     }
 
     /// The workload carrying `duration` of this stream.
@@ -53,7 +56,9 @@ impl HapticProfile {
 pub fn manipulation_spec(hop_budget: SimDuration) -> FlowSpec {
     FlowSpec::best_effort()
         .with_routing(RoutingService::SourceBased(SourceRoute::DisseminationGraph))
-        .with_link(LinkService::Realtime(RealtimeParams::single_strike(hop_budget)))
+        .with_link(LinkService::Realtime(RealtimeParams::single_strike(
+            hop_budget,
+        )))
         .with_ordered(true)
         .with_deadline(ONE_WAY_DEADLINE)
 }
@@ -62,7 +67,9 @@ pub fn manipulation_spec(hop_budget: SimDuration) -> FlowSpec {
 #[must_use]
 pub fn single_path_spec(hop_budget: SimDuration) -> FlowSpec {
     FlowSpec::best_effort()
-        .with_link(LinkService::Realtime(RealtimeParams::single_strike(hop_budget)))
+        .with_link(LinkService::Realtime(RealtimeParams::single_strike(
+            hop_budget,
+        )))
         .with_ordered(true)
         .with_deadline(ONE_WAY_DEADLINE)
 }
@@ -78,15 +85,17 @@ pub fn disjoint_paths_spec(k: u8, hop_budget: SimDuration) -> FlowSpec {
 /// disjoint but shares fate where routes overlap.
 #[must_use]
 pub fn overlapping_paths_spec(k: u8, hop_budget: SimDuration) -> FlowSpec {
-    manipulation_spec(hop_budget)
-        .with_routing(RoutingService::SourceBased(SourceRoute::OverlappingPaths(k)))
+    manipulation_spec(hop_budget).with_routing(RoutingService::SourceBased(
+        SourceRoute::OverlappingPaths(k),
+    ))
 }
 
 /// Upper bound: time-constrained flooding.
 #[must_use]
 pub fn flooding_spec(hop_budget: SimDuration) -> FlowSpec {
-    manipulation_spec(hop_budget)
-        .with_routing(RoutingService::SourceBased(SourceRoute::ConstrainedFlooding))
+    manipulation_spec(hop_budget).with_routing(RoutingService::SourceBased(
+        SourceRoute::ConstrainedFlooding,
+    ))
 }
 
 /// How the manipulation session felt.
@@ -131,7 +140,9 @@ mod tests {
     fn standard_profile_cadence() {
         let p = HapticProfile::standard();
         match p.workload(SimTime::ZERO, SimDuration::from_secs(2)) {
-            Workload::Cbr { interval, count, .. } => {
+            Workload::Cbr {
+                interval, count, ..
+            } => {
                 assert_eq!(interval, SimDuration::from_millis(2));
                 assert_eq!(count, 1000);
             }
@@ -156,7 +167,10 @@ mod tests {
             }
             other => panic!("unexpected link service {other:?}"),
         }
-        assert!(matches!(single_path_spec(budget).routing, RoutingService::LinkState));
+        assert!(matches!(
+            single_path_spec(budget).routing,
+            RoutingService::LinkState
+        ));
         assert!(matches!(
             disjoint_paths_spec(3, budget).routing,
             RoutingService::SourceBased(SourceRoute::DisjointPaths(3))

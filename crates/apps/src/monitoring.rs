@@ -11,9 +11,7 @@
 use serde::{Deserialize, Serialize};
 use son_netsim::time::{SimDuration, SimTime};
 use son_overlay::client::{ClientConfig, ClientFlow, FlowRecv, Workload};
-use son_overlay::{
-    Destination, FlowSpec, GroupId, LinkService, OverlayHandle, Priority,
-};
+use son_overlay::{Destination, FlowSpec, GroupId, LinkService, OverlayHandle, Priority};
 use son_topo::NodeId;
 
 /// The multicast group telemetry flows into.
@@ -33,7 +31,8 @@ const DEVICE_PORT: u16 = 203;
 pub fn telemetry_spec(intrusion_tolerant: bool) -> FlowSpec {
     let spec = FlowSpec::best_effort();
     if intrusion_tolerant {
-        spec.with_link(LinkService::ItPriority).with_priority(Priority::NORMAL)
+        spec.with_link(LinkService::ItPriority)
+            .with_priority(Priority::NORMAL)
     } else {
         spec
     }
@@ -206,7 +205,14 @@ mod tests {
             false,
         );
         let op = operator(&overlay, NodeId(1));
-        let ctl = controller(&overlay, NodeId(0), 100, SimDuration::from_millis(500), 8, false);
+        let ctl = controller(
+            &overlay,
+            NodeId(0),
+            100,
+            SimDuration::from_millis(500),
+            8,
+            false,
+        );
         let dev = device(&overlay, NodeId(2));
         let s1 = sim.add_process(ClientProcess::new(s1));
         let _s2 = sim.add_process(ClientProcess::new(s2));
@@ -222,7 +228,9 @@ mod tests {
         let s1_flow = op_client
             .recv
             .iter()
-            .find(|(k, _)| k.src.node == NodeId(0) && k.dst() == Destination::Multicast(TELEMETRY_GROUP))
+            .find(|(k, _)| {
+                k.src.node == NodeId(0) && k.dst() == Destination::Multicast(TELEMETRY_GROUP)
+            })
             .map(|(_, r)| r)
             .unwrap();
         let report = score_telemetry(s1_flow, sent);
@@ -262,9 +270,9 @@ mod tests {
             SimDuration::from_secs(5),
             true,
         );
-        cfg.flows[0].spec = cfg.flows[0]
-            .spec
-            .with_routing(RoutingService::SourceBased(SourceRoute::ConstrainedFlooding));
+        cfg.flows[0].spec = cfg.flows[0].spec.with_routing(RoutingService::SourceBased(
+            SourceRoute::ConstrainedFlooding,
+        ));
         let s = sim.add_process(ClientProcess::new(cfg));
         let op = sim.add_process(ClientProcess::new(operator(&overlay, NodeId(3))));
         sim.run_until(SimTime::from_secs(8));
@@ -272,7 +280,10 @@ mod tests {
         let op_client = sim.proc_ref::<ClientProcess>(op).unwrap();
         let flow = op_client.recv.values().next().cloned().unwrap_or_default();
         let report = score_telemetry(&flow, sent);
-        assert_eq!(report.completeness, 1.0, "flooding routes around the blackhole");
+        assert_eq!(
+            report.completeness, 1.0,
+            "flooding routes around the blackhole"
+        );
     }
 
     #[test]

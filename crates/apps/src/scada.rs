@@ -117,7 +117,8 @@ impl Msg {
     #[must_use]
     pub fn decode(b: &[u8]) -> Option<Msg> {
         let u64at = |i: usize| -> Option<u64> {
-            b.get(i..i + 8).map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+            b.get(i..i + 8)
+                .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
         };
         match *b.first()? {
             0 => Some(Msg::Event(u64at(1)?, u64at(9)?)),
@@ -275,7 +276,8 @@ impl Replica {
                 if let Some((e, t0)) = commit {
                     self.committed += 1;
                     let now = ctx.now().as_nanos();
-                    self.commit_latency_ms.record((now.saturating_sub(t0)) as f64 / 1e6);
+                    self.commit_latency_ms
+                        .record((now.saturating_sub(t0)) as f64 / 1e6);
                     self.send_after_crypto(ctx, FLOW_DEVICES, Msg::Command(seq, e, t0));
                 }
             }
@@ -290,7 +292,12 @@ impl Process<Wire> for Replica {
         let send = |ctx: &mut Ctx<'_, Wire>, op| {
             ctx.send_direct(daemon, CLIENT_IPC_DELAY, Wire::FromClient(op));
         };
-        send(ctx, ClientOp::Connect { port: self.config.port });
+        send(
+            ctx,
+            ClientOp::Connect {
+                port: self.config.port,
+            },
+        );
         send(ctx, ClientOp::Join(REPLICA_GROUP));
         send(ctx, ClientOp::Join(MONITOR_GROUP));
         send(
@@ -318,7 +325,9 @@ impl Process<Wire> for Replica {
         _pipe: Option<PipeId>,
         msg: Wire,
     ) {
-        let Wire::ToClient(SessionEvent::Deliver { payload, .. }) = msg else { return };
+        let Wire::ToClient(SessionEvent::Deliver { payload, .. }) = msg else {
+            return;
+        };
         // Crypto verification cost is charged on the send side lump sum;
         // decoding is free in the simulator.
         if let Some(m) = Msg::decode(&payload) {
@@ -391,14 +400,19 @@ impl Process<Wire> for Device {
         _pipe: Option<PipeId>,
         msg: Wire,
     ) {
-        let Wire::ToClient(SessionEvent::Deliver { payload, .. }) = msg else { return };
-        let Some(Msg::Command(seq, _event, t0)) = Msg::decode(&payload) else { return };
+        let Wire::ToClient(SessionEvent::Deliver { payload, .. }) = msg else {
+            return;
+        };
+        let Some(Msg::Command(seq, _event, t0)) = Msg::decode(&payload) else {
+            return;
+        };
         if self.commands.contains_key(&seq) {
             self.duplicate_copies += 1;
             return;
         }
         self.commands.insert(seq, ctx.now());
-        self.latency_ms.record((ctx.now().as_nanos().saturating_sub(t0)) as f64 / 1e6);
+        self.latency_ms
+            .record((ctx.now().as_nanos().saturating_sub(t0)) as f64 / 1e6);
     }
 }
 
@@ -425,7 +439,14 @@ impl FieldUnit {
         count: u64,
         spec: FlowSpec,
     ) -> Self {
-        FieldUnit { daemon, port, interval, count, sent: 0, spec }
+        FieldUnit {
+            daemon,
+            port,
+            interval,
+            count,
+            sent: 0,
+            spec,
+        }
     }
 
     /// Events emitted so far.
@@ -507,15 +528,33 @@ mod tests {
     }
 
     /// n=4 replicas on a 4-node overlay, field unit and device on the ends.
-    fn scada_sim(faults: [ReplicaFault; 4]) -> (Simulation<Wire>, Vec<ProcessId>, ProcessId, ProcessId) {
+    fn scada_sim(
+        faults: [ReplicaFault; 4],
+    ) -> (Simulation<Wire>, Vec<ProcessId>, ProcessId, ProcessId) {
         let mut topo = son_topo::Graph::new(6);
         // replicas at 1..=4 in a diamond-ish mesh; field unit at 0, device at 5.
-        for (a, b) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (3, 4), (3, 5), (4, 5), (1, 4), (2, 3)] {
+        for (a, b) in [
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 3),
+            (2, 4),
+            (3, 4),
+            (3, 5),
+            (4, 5),
+            (1, 4),
+            (2, 3),
+        ] {
             topo.add_edge(NodeId(a), NodeId(b), 5.0);
         }
-        let config = son_overlay::NodeConfig { auth_enabled: true, ..Default::default() };
+        let config = son_overlay::NodeConfig {
+            auth_enabled: true,
+            ..Default::default()
+        };
         let mut sim: Simulation<Wire> = Simulation::new(77);
-        let overlay = OverlayBuilder::new(topo).node_config(config).build(&mut sim);
+        let overlay = OverlayBuilder::new(topo)
+            .node_config(config)
+            .build(&mut sim);
         let replicas: Vec<ProcessId> = (0..4u16)
             .map(|i| {
                 sim.add_process(Replica::new(ReplicaConfig {
@@ -547,13 +586,22 @@ mod tests {
         assert_eq!(sent, 20);
         for &r in &replicas {
             let rep = sim.proc_ref::<Replica>(r).unwrap();
-            assert_eq!(rep.committed, 20, "every correct replica commits every event");
+            assert_eq!(
+                rep.committed, 20,
+                "every correct replica commits every event"
+            );
         }
         let dev = sim.proc_ref::<Device>(device).unwrap();
         assert_eq!(dev.commands.len(), 20);
-        assert!(dev.duplicate_copies > 0, "other replicas' copies arrive and are ignored");
+        assert!(
+            dev.duplicate_copies > 0,
+            "other replicas' copies arrive and are ignored"
+        );
         let lat = dev.latency_ms.clone();
-        assert!(lat.max().unwrap() < 100.0, "well inside the SCADA budget on 5ms links");
+        assert!(
+            lat.max().unwrap() < 100.0,
+            "well inside the SCADA budget on 5ms links"
+        );
     }
 
     #[test]

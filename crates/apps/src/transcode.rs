@@ -94,7 +94,12 @@ impl TranscoderProcess {
 
 impl Process<Wire> for TranscoderProcess {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Wire>) {
-        self.daemon_send(ctx, ClientOp::Connect { port: self.config.port });
+        self.daemon_send(
+            ctx,
+            ClientOp::Connect {
+                port: self.config.port,
+            },
+        );
         self.daemon_send(ctx, ClientOp::Join(self.config.input_group));
         self.daemon_send(
             ctx,
@@ -116,7 +121,10 @@ impl Process<Wire> for TranscoderProcess {
         _pipe: Option<PipeId>,
         msg: Wire,
     ) {
-        let Wire::ToClient(SessionEvent::Deliver { size, created_at, .. }) = msg else {
+        let Wire::ToClient(SessionEvent::Deliver {
+            size, created_at, ..
+        }) = msg
+        else {
             return;
         };
         if !self.active {
@@ -143,7 +151,11 @@ impl Process<Wire> for TranscoderProcess {
                 self.emitted += 1;
                 self.daemon_send(
                     ctx,
-                    ClientOp::Send { local_flow: FLOW_OUT, size, payload: Bytes::new() },
+                    ClientOp::Send {
+                        local_flow: FLOW_OUT,
+                        size,
+                        payload: Bytes::new(),
+                    },
                 );
             }
         }
@@ -246,7 +258,7 @@ mod tests {
         // 1316 * 0.25 = 329.
         let counters = sim.counters();
         let _ = counters; // sizes are validated implicitly by pipe byte counters
-        // A focused check: the transform math.
+                          // A focused check: the transform math.
         let out = ((1316f64 * 0.25).round() as usize).max(1);
         assert_eq!(out, 329);
     }

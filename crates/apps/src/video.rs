@@ -25,19 +25,28 @@ impl VideoProfile {
     /// MPEG-TS-style packets (7 × 188 bytes).
     #[must_use]
     pub fn broadcast_sd() -> Self {
-        VideoProfile { bitrate_bps: 8_000_000, packet_size: 1316 }
+        VideoProfile {
+            bitrate_bps: 8_000_000,
+            packet_size: 1316,
+        }
     }
 
     /// High-definition feed: 20 Mbit/s.
     #[must_use]
     pub fn broadcast_hd() -> Self {
-        VideoProfile { bitrate_bps: 20_000_000, packet_size: 1316 }
+        VideoProfile {
+            bitrate_bps: 20_000_000,
+            packet_size: 1316,
+        }
     }
 
     /// A lighter proxy/preview stream.
     #[must_use]
     pub fn proxy() -> Self {
-        VideoProfile { bitrate_bps: 1_000_000, packet_size: 1316 }
+        VideoProfile {
+            bitrate_bps: 1_000_000,
+            packet_size: 1316,
+        }
     }
 
     /// The inter-packet gap this profile produces.
@@ -75,8 +84,7 @@ impl VideoProfile {
     /// NM-Strikes with ordered, deadline-bound delivery (§IV-A).
     #[must_use]
     pub fn live_spec(&self, deadline: SimDuration, params: RealtimeParams) -> FlowSpec {
-        FlowSpec::live_video(deadline)
-            .with_link(son_overlay::LinkService::Realtime(params))
+        FlowSpec::live_video(deadline).with_link(son_overlay::LinkService::Realtime(params))
     }
 }
 
@@ -151,7 +159,9 @@ impl GopProfile {
     /// The VBR workload carrying `duration` of this stream.
     #[must_use]
     pub fn workload(&self, start: SimTime, duration: SimDuration) -> Workload {
-        Workload::Trace { schedule: std::sync::Arc::new(self.schedule(start, duration)) }
+        Workload::Trace {
+            schedule: std::sync::Arc::new(self.schedule(start, duration)),
+        }
     }
 }
 
@@ -198,8 +208,7 @@ pub fn score(
 ) -> VideoQualityReport {
     assert!(sent > 0, "cannot score an empty stream");
     let mut latency = recv.latency_ms.clone();
-    let freeze_threshold =
-        profile.packet_interval().as_millis_f64() * FREEZE_INTERVALS;
+    let freeze_threshold = profile.packet_interval().as_millis_f64() * FREEZE_INTERVALS;
     let mut freezes = 0;
     let mut longest: f64 = 0.0;
     for w in recv.arrivals.windows(2) {
@@ -214,8 +223,7 @@ pub fn score(
         Some(d) => latency.fraction_within(d.as_millis_f64()).unwrap_or(0.0),
     };
     let delivered_frac = recv.received as f64 / sent as f64;
-    let continuity_100ms =
-        latency.fraction_within(100.0).unwrap_or(0.0) * delivered_frac;
+    let continuity_100ms = latency.fraction_within(100.0).unwrap_or(0.0) * delivered_frac;
     VideoQualityReport {
         delivered_frac,
         mean_latency_ms: latency.mean().unwrap_or(0.0),
@@ -247,7 +255,9 @@ mod tests {
     fn workload_shape() {
         let p = VideoProfile::proxy();
         match p.workload(SimTime::from_millis(500), SimDuration::from_secs(2)) {
-            Workload::Cbr { size, count, start, .. } => {
+            Workload::Cbr {
+                size, count, start, ..
+            } => {
                 assert_eq!(size, 1316);
                 assert_eq!(count, p.packets_in(SimDuration::from_secs(2)));
                 assert_eq!(start, SimTime::from_millis(500));

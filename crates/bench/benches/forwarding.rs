@@ -13,8 +13,8 @@ use son_overlay::dedup::DedupTable;
 use son_overlay::linkproto::{
     BestEffortLink, FecLink, ItPriorityLink, LinkProto, RealtimeLink, ReliableLink,
 };
-use son_overlay::service::FecParams;
 use son_overlay::packet::{DataPacket, LinkCtl};
+use son_overlay::service::FecParams;
 use son_overlay::service::{FlowSpec, RealtimeParams};
 use son_topo::NodeId;
 
@@ -60,7 +60,10 @@ fn bench_forwarding(c: &mut Criterion) {
             link.on_send(SimTime::ZERO, pkt(seq), &mut out);
             link.on_ctl(
                 SimTime::ZERO,
-                LinkCtl::ReliableAck { cum: seq, selective: vec![] },
+                LinkCtl::ReliableAck {
+                    cum: seq,
+                    selective: vec![],
+                },
                 &mut out,
             );
             out.clear();

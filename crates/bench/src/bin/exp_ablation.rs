@@ -39,7 +39,9 @@ fn failover_run(hello_ms: u64, down_misses: u32) -> (f64, f64) {
         ..Default::default()
     };
     let mut sim: Simulation<Wire> = Simulation::new(81);
-    let overlay = OverlayBuilder::new(topo).node_config(config).build(&mut sim);
+    let overlay = OverlayBuilder::new(topo)
+        .node_config(config)
+        .build(&mut sim);
     let rx = sim.add_process(ClientProcess::new(ClientConfig {
         daemon: overlay.daemon(NodeId(3)),
         port: RX_PORT,
@@ -67,7 +69,11 @@ fn failover_run(hello_ms: u64, down_misses: u32) -> (f64, f64) {
         sim.schedule(SimTime::from_secs(3), ScenarioEvent::DisablePipe(ba));
     }
     sim.run_until(SimTime::from_secs(10));
-    let recv = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv().clone();
+    let recv = sim
+        .proc_ref::<ClientProcess>(rx)
+        .unwrap()
+        .sole_recv()
+        .clone();
     let outage = recv
         .arrivals
         .windows(2)
@@ -104,9 +110,16 @@ fn spacing_run(budget_ms: u64) -> (f64, f64) {
 }
 
 fn rto_run(factor: f64) -> (f64, f64) {
-    let config = NodeConfig { rto_factor: factor, ..Default::default() };
-    let mut run =
-        UnicastRun::new(chain_topology(5, 10.0), FlowSpec::reliable(), NodeId(0), NodeId(4));
+    let config = NodeConfig {
+        rto_factor: factor,
+        ..Default::default()
+    };
+    let mut run = UnicastRun::new(
+        chain_topology(5, 10.0),
+        FlowSpec::reliable(),
+        NodeId(0),
+        NodeId(4),
+    );
     run.node_config = config;
     run.loss = LossConfig::Bernoulli { p: 0.02 };
     run.count = 10_000;
@@ -115,15 +128,33 @@ fn rto_run(factor: f64) -> (f64, f64) {
     run.seed = 83;
     let out = run.run();
     let mut lat = out.recv.latency_ms.clone();
-    (lat.quantile(0.999).unwrap_or(f64::NAN), out.wire.overhead_ratio())
+    (
+        lat.quantile(0.999).unwrap_or(f64::NAN),
+        out.wire.overhead_ratio(),
+    )
 }
 
 fn main() {
-    banner("E13 / ablations", "the design choices behind sub-second rerouting and burst recovery");
+    banner(
+        "E13 / ablations",
+        "the design choices behind sub-second rerouting and burst recovery",
+    );
 
     println!("-- hello cadence vs failover (link cut at t=3s) --");
-    table_header(&[("hello", 8), ("misses", 7), ("outage ms", 10), ("ctl msgs/s/link", 15)]);
-    for (hello, misses) in [(50u64, 3u32), (100, 3), (100, 5), (250, 3), (500, 3), (1000, 3)] {
+    table_header(&[
+        ("hello", 8),
+        ("misses", 7),
+        ("outage ms", 10),
+        ("ctl msgs/s/link", 15),
+    ]);
+    for (hello, misses) in [
+        (50u64, 3u32),
+        (100, 3),
+        (100, 5),
+        (250, 3),
+        (500, 3),
+        (1000, 3),
+    ] {
         let (outage, ctl) = failover_run(hello, misses);
         row(&[
             (format!("{hello}ms"), 8),

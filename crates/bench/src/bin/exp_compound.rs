@@ -6,9 +6,9 @@
 //! facility fails; the overlay's shared group state re-resolves the anycast
 //! to the surviving facility and the compound flow continues.
 
-use son_bench::{banner, f, row, table_header, RX_PORT, TX_PORT};
 use son_apps::transcode::{TranscoderConfig, TranscoderProcess, OUTPUT_GROUP, TRANSCODE_GROUP};
 use son_apps::video::VideoProfile;
+use son_bench::{banner, f, row, table_header, RX_PORT, TX_PORT};
 use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
 use son_netsim::sim::Simulation;
 use son_netsim::time::{SimDuration, SimTime};
@@ -90,7 +90,8 @@ fn run(fail_primary: bool) -> (u64, u64, u64, Vec<u64>, f64, f64) {
         })
         .collect();
     // Failover gap: longest delivery gap at the first CDN after the failure.
-    let gap = sim.proc_ref::<ClientProcess>(cdns[0])
+    let gap = sim
+        .proc_ref::<ClientProcess>(cdns[0])
         .unwrap()
         .recv
         .values()
@@ -119,7 +120,15 @@ fn main() {
     for fail in [false, true] {
         let (sent, a, b, per_cdn, stage1, gap) = run(fail);
         row(&[
-            (if fail { "A fails at t=10s" } else { "no failure" }.to_string(), 18),
+            (
+                if fail {
+                    "A fails at t=10s"
+                } else {
+                    "no failure"
+                }
+                .to_string(),
+                18,
+            ),
             (sent.to_string(), 6),
             (a.to_string(), 10),
             (b.to_string(), 10),

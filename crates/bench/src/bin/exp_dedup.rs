@@ -46,8 +46,9 @@ fn main() {
         ),
         (
             "flooding",
-            FlowSpec::best_effort()
-                .with_routing(RoutingService::SourceBased(SourceRoute::ConstrainedFlooding)),
+            FlowSpec::best_effort().with_routing(RoutingService::SourceBased(
+                SourceRoute::ConstrainedFlooding,
+            )),
         ),
     ];
     let count = 500u64;
@@ -105,7 +106,11 @@ fn main() {
             }],
         }));
         sim.run_until(SimTime::from_secs(10));
-        let recv = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv().clone();
+        let recv = sim
+            .proc_ref::<ClientProcess>(rx)
+            .unwrap()
+            .sole_recv()
+            .clone();
         let kills = sim
             .proc_ref::<OverlayNode>(overlay.daemon(NodeId(2)))
             .unwrap()

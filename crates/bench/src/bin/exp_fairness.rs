@@ -44,7 +44,9 @@ fn run(service: LinkService, attack_multiplier: u64) -> (f64, f64, f64) {
         ..Default::default()
     };
     let mut sim: Simulation<Wire> = Simulation::new(61 + attack_multiplier);
-    let overlay = OverlayBuilder::new(topology()).node_config(config).build(&mut sim);
+    let overlay = OverlayBuilder::new(topology())
+        .node_config(config)
+        .build(&mut sim);
     let sink = sim.add_process(ClientProcess::new(ClientConfig {
         daemon: overlay.daemon(NodeId(6)),
         port: RX_PORT,
@@ -90,8 +92,9 @@ fn run(service: LinkService, attack_multiplier: u64) -> (f64, f64, f64) {
     };
     let window = RUN_FOR.saturating_since(MEASURE_FROM).as_secs_f64();
     let offered_correct = window / CORRECT_INTERVAL.as_secs_f64();
-    let correct_fracs: Vec<f64> =
-        (0..4).map(|i| delivered_after(i) as f64 / offered_correct).collect();
+    let correct_fracs: Vec<f64> = (0..4)
+        .map(|i| delivered_after(i) as f64 / offered_correct)
+        .collect();
     let attacker = delivered_after(4) as f64;
     let total: f64 = (0..5).map(|i| delivered_after(i) as f64).sum();
     let mean_correct = correct_fracs.iter().sum::<f64>() / 4.0;

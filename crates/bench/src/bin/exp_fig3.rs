@@ -13,7 +13,9 @@
 //! loss rate and report delivery latency for the packets that needed
 //! recovery, plus overall smoothness (jitter).
 
-use son_bench::{banner, f, row, table_header, UnicastRun};
+use son_bench::{
+    banner, export_registry, f, finish_export, obs_sink, row, table_header, UnicastRun,
+};
 use son_netsim::loss::LossConfig;
 use son_netsim::time::SimDuration;
 use son_overlay::builder::chain_topology;
@@ -36,6 +38,8 @@ fn main() {
         ("p99 ms", 8),
         ("jitter ms", 9),
     ]);
+
+    let mut sink = obs_sink("exp_fig3");
 
     // The end-to-end loss probability is matched: one 50ms link at loss p_e
     // vs five 10ms links each at p such that 1-(1-p)^5 = p_e.
@@ -64,6 +68,10 @@ fn main() {
             run.run_for = SimDuration::from_secs(150);
             run.seed = 1_000 + (e2e_loss * 1e4) as u64;
             let out = run.run();
+            if let Some(sink) = &mut sink {
+                let tag = format!("{label}@{:.2}%", loss * 100.0);
+                let _ = export_registry(sink, &tag, &out.registry);
+            }
 
             let mut lat = out.recv.latency_ms.clone();
             // "Late" deliveries are those well above the no-loss baseline
@@ -98,6 +106,9 @@ fn main() {
         }
     }
 
+    if let Some(sink) = sink {
+        finish_export(sink);
+    }
     println!();
     println!("Shape check (paper): recovered-packet latency ~150ms end-to-end vs ~70ms");
     println!("hop-by-hop — hop-by-hop recovery cuts recovery latency by ~2x or more and");

@@ -106,8 +106,7 @@ fn main() {
     println!("\nlive video NYC -> SYD (200ms bound, 1% bursty loss/link):");
     println!(
         "  delivered within bound: {:.2}%  (p50 {:.1}ms, max {:.1}ms)",
-        100.0 * recv.received as f64 / sent as f64
-            * l.fraction_within(200.0).unwrap_or(0.0),
+        100.0 * recv.received as f64 / sent as f64 * l.fraction_within(200.0).unwrap_or(0.0),
         l.quantile(0.5).unwrap_or(f64::NAN),
         l.max().unwrap_or(f64::NAN),
     );

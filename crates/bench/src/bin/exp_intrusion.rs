@@ -11,18 +11,20 @@
 //! placed adversarially (on the best path first) and randomly — across the
 //! routing schemes, reporting delivery rate and wire cost.
 
-use son_bench::{banner, f, row, table_header, RX_PORT, TX_PORT};
+use son_bench::{
+    banner, export_registry, f, finish_export, gather_registry, obs_sink, row, table_header,
+    RX_PORT, TX_PORT,
+};
 use son_netsim::rng::SimRng;
 use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
 use son_netsim::sim::Simulation;
 use son_netsim::time::{SimDuration, SimTime};
+use son_obs::JsonlSink;
 use son_overlay::adversary::Behavior;
 use son_overlay::builder::{continental_overlay, OverlayBuilder};
 use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
 use son_overlay::node::OverlayNode;
-use son_overlay::{
-    Destination, FlowSpec, OverlayAddr, RoutingService, SourceRoute, Wire,
-};
+use son_overlay::{Destination, FlowSpec, OverlayAddr, RoutingService, SourceRoute, Wire};
 use son_topo::{Graph, NodeId};
 
 const COUNT: u64 = 300;
@@ -41,7 +43,9 @@ fn schemes() -> Vec<(&'static str, FlowSpec)> {
         ),
         (
             "2 overlapping",
-            base.with_routing(RoutingService::SourceBased(SourceRoute::OverlappingPaths(2))),
+            base.with_routing(RoutingService::SourceBased(SourceRoute::OverlappingPaths(
+                2,
+            ))),
         ),
         (
             "dissem. graph",
@@ -49,16 +53,24 @@ fn schemes() -> Vec<(&'static str, FlowSpec)> {
         ),
         (
             "flooding",
-            base.with_routing(RoutingService::SourceBased(SourceRoute::ConstrainedFlooding)),
+            base.with_routing(RoutingService::SourceBased(
+                SourceRoute::ConstrainedFlooding,
+            )),
         ),
     ]
 }
 
 /// Picks `k` compromised interior nodes: adversarial = along the best path
 /// first; random = uniform over interior nodes.
-fn pick_compromised(topo: &Graph, src: NodeId, dst: NodeId, k: usize, adversarial: bool, rng: &mut SimRng) -> Vec<NodeId> {
-    let interior: Vec<NodeId> =
-        topo.nodes().filter(|&v| v != src && v != dst).collect();
+fn pick_compromised(
+    topo: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+    adversarial: bool,
+    rng: &mut SimRng,
+) -> Vec<NodeId> {
+    let interior: Vec<NodeId> = topo.nodes().filter(|&v| v != src && v != dst).collect();
     if adversarial {
         // Interior nodes of the shortest path, then of the second disjoint
         // path, etc.
@@ -91,12 +103,21 @@ fn pick_compromised(topo: &Graph, src: NodeId, dst: NodeId, k: usize, adversaria
     }
 }
 
-fn run_once(topo: &Graph, spec: FlowSpec, compromised: &[NodeId], seed: u64) -> (f64, f64, u64) {
+fn run_once(
+    topo: &Graph,
+    spec: FlowSpec,
+    compromised: &[NodeId],
+    seed: u64,
+    sink: &mut Option<JsonlSink>,
+    tag: &str,
+) -> (f64, f64, u64) {
     let (src, dst) = (NodeId(0), NodeId(11)); // NYC -> LA
     let mut sim: Simulation<Wire> = Simulation::new(seed);
     let overlay = OverlayBuilder::new(topo.clone()).build(&mut sim);
     for &bad in compromised {
-        sim.proc_mut::<OverlayNode>(overlay.daemon(bad)).unwrap().set_behavior(Behavior::Blackhole);
+        sim.proc_mut::<OverlayNode>(overlay.daemon(bad))
+            .unwrap()
+            .set_behavior(Behavior::Blackhole);
     }
     let rx = sim.add_process(ClientProcess::new(ClientConfig {
         daemon: overlay.daemon(dst),
@@ -121,8 +142,16 @@ fn run_once(topo: &Graph, spec: FlowSpec, compromised: &[NodeId], seed: u64) -> 
         }],
     }));
     sim.run_until(SimTime::from_secs(12));
-    let received =
-        sim.proc_ref::<ClientProcess>(rx).unwrap().recv.values().map(|r| r.received).sum::<u64>();
+    if let Some(sink) = sink {
+        let _ = export_registry(sink, tag, &gather_registry(&sim, &overlay));
+    }
+    let received = sim
+        .proc_ref::<ClientProcess>(rx)
+        .unwrap()
+        .recv
+        .values()
+        .map(|r| r.received)
+        .sum::<u64>();
     let mut forwarded = 0;
     let mut dups = 0;
     for &d in &overlay.daemons {
@@ -130,7 +159,11 @@ fn run_once(topo: &Graph, spec: FlowSpec, compromised: &[NodeId], seed: u64) -> 
         forwarded += m.forwarded;
         dups += m.dedup_suppressed;
     }
-    (received as f64 / COUNT as f64, forwarded as f64 / COUNT as f64, dups)
+    (
+        received as f64 / COUNT as f64,
+        forwarded as f64 / COUNT as f64,
+        dups,
+    )
 }
 
 fn main() {
@@ -142,11 +175,16 @@ fn main() {
     let sc = continental_us(DEFAULT_CONVERGENCE);
     let (topo, _) = continental_overlay(&sc);
     let mut rng = SimRng::seed(0xbad);
+    let mut sink = obs_sink("exp_intrusion");
 
     for adversarial in [true, false] {
         println!(
             "\n-- compromised nodes placed {} --",
-            if adversarial { "ADVERSARIALLY (best paths first)" } else { "randomly (5-trial mean)" }
+            if adversarial {
+                "ADVERSARIALLY (best paths first)"
+            } else {
+                "randomly (5-trial mean)"
+            }
         );
         table_header(&[
             ("scheme", 14),
@@ -163,16 +201,18 @@ fn main() {
                 let trials = if adversarial { 1 } else { 5 };
                 let mut total = 0.0;
                 for t in 0..trials {
-                    let bad = pick_compromised(
+                    let bad =
+                        pick_compromised(&topo, NodeId(0), NodeId(11), k, adversarial, &mut rng);
+                    let placement = if adversarial { "adversarial" } else { "random" };
+                    let tag = format!("{name}/k={k}/{placement}/t={t}");
+                    let (frac, tx, _) = run_once(
                         &topo,
-                        NodeId(0),
-                        NodeId(11),
-                        k,
-                        adversarial,
-                        &mut rng,
+                        spec,
+                        &bad,
+                        900 + k as u64 * 10 + t as u64,
+                        &mut sink,
+                        &tag,
                     );
-                    let (frac, tx, _) =
-                        run_once(&topo, spec, &bad, 900 + k as u64 * 10 + t as u64);
                     total += frac;
                     if k == 0 {
                         // The scheme's intrinsic wire cost, measured with no
@@ -180,13 +220,19 @@ fn main() {
                         cost = tx;
                     }
                 }
-                cells.push((f(total / if adversarial { 1.0 } else { 5.0 } * 100.0, 1) + "%", 8));
+                cells.push((
+                    f(total / if adversarial { 1.0 } else { 5.0 } * 100.0, 1) + "%",
+                    8,
+                ));
             }
             cells.push((f(cost, 1), 7));
             row(&cells);
         }
     }
 
+    if let Some(sink) = sink {
+        finish_export(sink);
+    }
     println!();
     println!("Shape check (paper): single path dies at the first on-path compromise;");
     println!("k disjoint paths deliver 100% up to k-1 compromises and can fail at k.");

@@ -14,8 +14,8 @@
 //! We grid protocols × routing schemes and report the paper's metric: the
 //! fraction of commands delivered within 65 ms, plus wire cost.
 
-use son_bench::{banner, f, row, table_header, RX_PORT, TX_PORT};
 use son_apps::manipulation::{self, HapticProfile};
+use son_bench::{banner, f, row, table_header, RX_PORT, TX_PORT};
 use son_netsim::loss::LossConfig;
 use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
 use son_netsim::sim::Simulation;
@@ -36,7 +36,9 @@ fn run(spec: FlowSpec, loss_rate: f64, seed: u64) -> (f64, f64, f64, f64) {
     // endpoints are within 2 hops of NYC.
     let near: Vec<NodeId> = {
         let spt = son_topo::dijkstra_with(&topo, SRC, |_| 1.0);
-        topo.nodes().filter(|&v| spt.dist(v).unwrap_or(99.0) <= 1.0).collect()
+        topo.nodes()
+            .filter(|&v| spt.dist(v).unwrap_or(99.0) <= 1.0)
+            .collect()
     };
     let mut builder = OverlayBuilder::new(topo.clone());
     for e in topo.edges() {
@@ -55,7 +57,10 @@ fn run(spec: FlowSpec, loss_rate: f64, seed: u64) -> (f64, f64, f64, f64) {
         joins: vec![],
         flows: vec![],
     }));
-    let profile = HapticProfile { packet_size: 64, rate_hz: 1000 };
+    let profile = HapticProfile {
+        packet_size: 64,
+        rate_hz: 1000,
+    };
     let tx = sim.add_process(ClientProcess::new(ClientConfig {
         daemon: overlay.daemon(SRC),
         port: TX_PORT,
@@ -101,7 +106,10 @@ fn main() {
     let schemes: Vec<(&str, FlowSpec)> = vec![
         ("single path", manipulation::single_path_spec(budget)),
         ("2 disjoint", manipulation::disjoint_paths_spec(2, budget)),
-        ("2 overlapping", manipulation::overlapping_paths_spec(2, budget)),
+        (
+            "2 overlapping",
+            manipulation::overlapping_paths_spec(2, budget),
+        ),
         ("3 disjoint", manipulation::disjoint_paths_spec(3, budget)),
         ("dissem. graph", manipulation::manipulation_spec(budget)),
         ("flooding", manipulation::flooding_spec(budget)),

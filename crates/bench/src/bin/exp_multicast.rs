@@ -10,13 +10,13 @@
 //! per receiver, and verify every receiver got the full stream either way.
 
 use son_bench::{banner, f, row, table_header, RX_PORT, TX_PORT};
+use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
 use son_netsim::sim::Simulation;
 use son_netsim::time::{SimDuration, SimTime};
 use son_overlay::builder::{continental_overlay, OverlayBuilder};
 use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
 use son_overlay::node::OverlayNode;
 use son_overlay::{Destination, FlowSpec, GroupId, OverlayAddr, Wire};
-use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
 use son_topo::NodeId;
 
 const COUNT: u64 = 500;
@@ -121,7 +121,12 @@ fn main() {
             (f(uni_per, 2), 14),
             (f(uni_per / tree_per, 2) + "x", 8),
             (
-                if tree_min >= COUNT && uni_min >= COUNT { "yes" } else { "NO" }.to_string(),
+                if tree_min >= COUNT && uni_min >= COUNT {
+                    "yes"
+                } else {
+                    "NO"
+                }
+                .to_string(),
                 9,
             ),
         ]);

@@ -11,9 +11,12 @@
 //! by the paper's metric: fraction of packets delivered within the 200 ms
 //! bound, and wire overhead versus the 1 + M·p prediction.
 
-use son_bench::{banner, f, row, table_header, UnicastRun};
+use son_bench::{
+    banner, export_registry, f, finish_export, obs_sink, row, table_header, UnicastRun,
+};
 use son_netsim::loss::LossConfig;
 use son_netsim::time::SimDuration;
+use son_obs::JsonlSink;
 use son_overlay::builder::chain_topology;
 use son_overlay::service::FecParams;
 use son_overlay::{FlowSpec, LinkService, RealtimeParams};
@@ -21,7 +24,13 @@ use son_topo::NodeId;
 
 const DEADLINE_MS: f64 = 200.0;
 
-fn run_one(spec: FlowSpec, loss: LossConfig, seed: u64) -> (f64, f64, f64, u64) {
+fn run_one(
+    spec: FlowSpec,
+    loss: LossConfig,
+    seed: u64,
+    sink: &mut Option<JsonlSink>,
+    tag: &str,
+) -> (f64, f64, f64, u64) {
     let mut run = UnicastRun::new(chain_topology(5, 10.0), spec, NodeId(0), NodeId(4));
     run.loss = loss;
     run.count = 30_000;
@@ -30,6 +39,9 @@ fn run_one(spec: FlowSpec, loss: LossConfig, seed: u64) -> (f64, f64, f64, u64) 
     run.run_for = SimDuration::from_secs(120);
     run.seed = seed;
     let out = run.run();
+    if let Some(sink) = sink {
+        let _ = export_registry(sink, tag, &out.registry);
+    }
     let within = out
         .recv
         .latency_ms
@@ -49,10 +61,26 @@ fn main() {
     );
 
     let bursts = [
-        ("1% loss, 5ms bursts", LossConfig::bursts(SimDuration::from_millis(495), SimDuration::from_millis(5)), 0.01),
-        ("1% loss, 20ms bursts", LossConfig::bursts(SimDuration::from_millis(1980), SimDuration::from_millis(20)), 0.01),
-        ("5% loss, 20ms bursts", LossConfig::bursts(SimDuration::from_millis(380), SimDuration::from_millis(20)), 0.05),
-        ("5% loss, 50ms bursts", LossConfig::bursts(SimDuration::from_millis(950), SimDuration::from_millis(50)), 0.05),
+        (
+            "1% loss, 5ms bursts",
+            LossConfig::bursts(SimDuration::from_millis(495), SimDuration::from_millis(5)),
+            0.01,
+        ),
+        (
+            "1% loss, 20ms bursts",
+            LossConfig::bursts(SimDuration::from_millis(1980), SimDuration::from_millis(20)),
+            0.01,
+        ),
+        (
+            "5% loss, 20ms bursts",
+            LossConfig::bursts(SimDuration::from_millis(380), SimDuration::from_millis(20)),
+            0.05,
+        ),
+        (
+            "5% loss, 50ms bursts",
+            LossConfig::bursts(SimDuration::from_millis(950), SimDuration::from_millis(50)),
+            0.05,
+        ),
     ];
 
     table_header(&[
@@ -64,9 +92,16 @@ fn main() {
         ("1+Mp", 6),
     ]);
 
+    let mut sink = obs_sink("exp_nm_strikes");
     for (burst_label, loss, p) in &bursts {
         let mut protos: Vec<(String, FlowSpec, Option<f64>)> = vec![
-            ("best effort".into(), FlowSpec::best_effort().with_ordered(true).with_deadline(SimDuration::from_millis(200)), None),
+            (
+                "best effort".into(),
+                FlowSpec::best_effort()
+                    .with_ordered(true)
+                    .with_deadline(SimDuration::from_millis(200)),
+                None,
+            ),
             ("reliable (hbh)".into(), FlowSpec::reliable(), None),
         ];
         for (n, m) in [(1u8, 1u8), (2, 2), (3, 2), (3, 3)] {
@@ -95,8 +130,14 @@ fn main() {
             ));
         }
         for (name, spec, predicted) in protos {
-            let (within, p999, overhead, _) =
-                run_one(spec, loss.clone(), 7_000 + (*p * 1e3) as u64);
+            let tag = format!("{burst_label}/{name}");
+            let (within, p999, overhead, _) = run_one(
+                spec,
+                loss.clone(),
+                7_000 + (*p * 1e3) as u64,
+                &mut sink,
+                &tag,
+            );
             row(&[
                 (burst_label.to_string(), 22),
                 (name, 16),
@@ -109,6 +150,9 @@ fn main() {
         println!();
     }
 
+    if let Some(sink) = sink {
+        finish_export(sink);
+    }
     println!("Shape check (paper): NM-Strikes keeps ~all packets within the 200ms bound even");
     println!("with correlated bursts (more strikes help as bursts lengthen); best effort loses");
     println!("p% outright; hop-by-hop reliable recovers everything but blows the deadline tail;");

@@ -67,7 +67,13 @@ fn main() {
         }
     }
 
-    table_header(&[("metric", 28), ("p50", 8), ("mean", 8), ("p95", 8), ("max", 8)]);
+    table_header(&[
+        ("metric", 28),
+        ("p50", 8),
+        ("mean", 8),
+        ("p95", 8),
+        ("max", 8),
+    ]);
     let pr = |name: &str, p: &mut son_netsim::stats::Percentiles| {
         row(&[
             (name.to_string(), 28),
@@ -89,7 +95,10 @@ fn main() {
             s
         );
     }
-    println!("per-hop processing charged: {:.3} ms (paper: <1 ms)", hop_ms);
+    println!(
+        "per-hop processing charged: {:.3} ms (paper: <1 ms)",
+        hop_ms
+    );
     println!();
     println!("Shape check (paper): overlay stretch stays small (typically <1.2x) because");
     println!("overlay links follow the same fiber; the processing cost per intermediate");

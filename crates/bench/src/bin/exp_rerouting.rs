@@ -13,7 +13,10 @@
 //! * **Overlay, a whole link dies** — every provider pipe of one overlay
 //!   link is cut; link-state flooding reroutes around it.
 
-use son_bench::{banner, f, row, table_header, RX_PORT, TX_PORT};
+use son_bench::{
+    banner, export_registry, f, finish_export, gather_registry, obs_sink, row, table_header,
+    RX_PORT, TX_PORT,
+};
 use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
 use son_netsim::sim::{ScenarioEvent, Simulation};
 use son_netsim::time::{SimDuration, SimTime};
@@ -64,6 +67,8 @@ fn main() {
         ("outage seen", 12),
         ("recovered", 10),
     ]);
+
+    let mut sink = obs_sink("exp_rerouting");
 
     // ---- Internet baseline: one "overlay" link NYC->LA on one ISP. -------
     {
@@ -117,6 +122,9 @@ fn main() {
         // Cutting one edge of the route is enough to blackhole it.
         sim.schedule(FAIL_AT, ScenarioEvent::FailUnderlayEdge(route[0]));
         sim.run_until(RUN_FOR);
+        if let Some(sink) = &mut sink {
+            let _ = export_registry(sink, "internet_baseline", &gather_registry(&sim, &overlay));
+        }
         let (gap, flowing) = outage(sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv());
         row(&[
             ("Internet path (1 ISP, no overlay)".into(), 34),
@@ -162,15 +170,23 @@ fn main() {
         }));
         // Cut the first-hop overlay link of the NYC->LA route: one
         // provider's pipe pair, or all of them.
-        let edge = son_topo::shortest_path(&topo, nyc, la).expect("route").edges[0];
+        let edge = son_topo::shortest_path(&topo, nyc, la)
+            .expect("route")
+            .edges[0];
         let pairs = &overlay.edge_pipes[&edge];
-        let victims: Vec<_> =
-            if kill_all { pairs.clone() } else { vec![pairs[0]] };
+        let victims: Vec<_> = if kill_all {
+            pairs.clone()
+        } else {
+            vec![pairs[0]]
+        };
         for (ab, ba) in victims {
             sim.schedule(FAIL_AT, ScenarioEvent::DisablePipe(ab));
             sim.schedule(FAIL_AT, ScenarioEvent::DisablePipe(ba));
         }
         sim.run_until(RUN_FOR);
+        if let Some(sink) = &mut sink {
+            let _ = export_registry(sink, what, &gather_registry(&sim, &overlay));
+        }
         let client = sim.proc_ref::<ClientProcess>(rx).unwrap();
         let (gap, flowing) = outage(client.sole_recv());
         // Count provider switches / reroutes across daemons for the record.
@@ -182,13 +198,19 @@ fn main() {
             reroutes += m.counters.get("reroutes");
         }
         row(&[
-            (format!("{what} [{switches} switches, {reroutes} reroutes]"), 34),
+            (
+                format!("{what} [{switches} switches, {reroutes} reroutes]"),
+                34,
+            ),
             (how.to_string(), 26),
             (f(gap.as_secs_f64() * 1000.0, 0) + "ms", 12),
             (if flowing { "yes" } else { "NO" }.to_string(), 10),
         ]);
     }
 
+    if let Some(sink) = sink {
+        finish_export(sink);
+    }
     println!();
     println!("Shape check (paper): the native Internet path blackholes for ~the BGP");
     println!("convergence time (40s); the overlay masks a single-provider fault by");

@@ -15,10 +15,8 @@
 //! replicas, and report the end-to-end event→actuation latency against the
 //! 100–200 ms budget.
 
+use son_apps::scada::{agreement_spec, Device, FieldUnit, Replica, ReplicaConfig, ReplicaFault};
 use son_bench::{banner, f, row, table_header};
-use son_apps::scada::{
-    agreement_spec, Device, FieldUnit, Replica, ReplicaConfig, ReplicaFault,
-};
 use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
 use son_netsim::sim::Simulation;
 use son_netsim::time::{SimDuration, SimTime};
@@ -35,9 +33,14 @@ const EVENTS: u64 = 50;
 fn run(n: u16, silent: u16, equivocating: u16) -> (usize, f64, f64, f64) {
     let sc = continental_us(DEFAULT_CONVERGENCE);
     let (topo, _) = continental_overlay(&sc);
-    let config = NodeConfig { auth_enabled: true, ..Default::default() };
+    let config = NodeConfig {
+        auth_enabled: true,
+        ..Default::default()
+    };
     let mut sim: Simulation<Wire> = Simulation::new(1200 + u64::from(n));
-    let overlay = OverlayBuilder::new(topo).node_config(config).build(&mut sim);
+    let overlay = OverlayBuilder::new(topo)
+        .node_config(config)
+        .build(&mut sim);
 
     for i in 0..n {
         // Faulty replicas are the highest-indexed ones (never the leader;

@@ -8,6 +8,7 @@
 use son_netsim::loss::LossConfig;
 use son_netsim::sim::Simulation;
 use son_netsim::time::{SimDuration, SimTime};
+use son_obs::{registry_rows, Json, JsonlSink, Registry};
 use son_overlay::builder::OverlayBuilder;
 use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, FlowRecv, Workload};
 use son_overlay::node::OverlayNode;
@@ -59,6 +60,10 @@ pub struct UnicastOutcome {
     pub dedup_suppressed: u64,
     /// Total daemon-level forwards (transmission count onto links).
     pub forwarded: u64,
+    /// Every daemon's metrics registry absorbed into one experiment-wide
+    /// view, plus the simulator's pipe-level counters — ready for
+    /// [`export_registry`].
+    pub registry: Registry,
 }
 
 /// Configuration of one unicast harness run.
@@ -161,7 +166,72 @@ pub fn harvest(
         .cloned()
         .unwrap_or_default();
     let (wire, dedup_suppressed, forwarded) = wire_stats(sim, overlay, service);
-    UnicastOutcome { sent, recv, wire, dedup_suppressed, forwarded }
+    let registry = gather_registry(sim, overlay);
+    UnicastOutcome {
+        sent,
+        recv,
+        wire,
+        dedup_suppressed,
+        forwarded,
+        registry,
+    }
+}
+
+/// Absorbs every daemon's metrics registry into one experiment-wide
+/// registry, and folds in the simulator's pipe-level counters (labelled
+/// `layer=pipe`) so cross-layer accounting lives in one place.
+#[must_use]
+pub fn gather_registry(sim: &Simulation<Wire>, overlay: &OverlayHandle) -> Registry {
+    let mut reg = Registry::new();
+    for &d in &overlay.daemons {
+        let node = sim.proc_ref::<OverlayNode>(d).expect("daemon");
+        reg.absorb(node.obs().registry());
+    }
+    for (name, value) in sim.counters().iter() {
+        let id = reg.counter(name, &[("layer", "pipe")]);
+        reg.add(id, value);
+    }
+    reg
+}
+
+/// Writes one JSONL row per instrument of `reg` into `sink`, tagging each
+/// row with `run` so several runs can share one experiment file. Schema is
+/// documented in `EXPERIMENTS.md`.
+///
+/// # Errors
+///
+/// Propagates the I/O error if a write fails.
+pub fn export_registry(sink: &mut JsonlSink, run: &str, reg: &Registry) -> std::io::Result<()> {
+    for mut row in registry_rows(reg) {
+        if let Json::Obj(pairs) = &mut row {
+            pairs.insert(0, ("run".to_owned(), Json::str(run)));
+        }
+        sink.write(&row)?;
+    }
+    Ok(())
+}
+
+/// Creates the JSONL sink for `experiment` under the obs dir, or explains
+/// why export is off (an unwritable directory disables export, it does not
+/// fail the experiment).
+#[must_use]
+pub fn obs_sink(experiment: &str) -> Option<JsonlSink> {
+    match JsonlSink::for_experiment(experiment) {
+        Ok(sink) => Some(sink),
+        Err(e) => {
+            eprintln!("obs: export disabled ({e})");
+            None
+        }
+    }
+}
+
+/// Flushes `sink` and prints the standard "wrote N rows" banner.
+pub fn finish_export(sink: JsonlSink) {
+    let rows = sink.rows();
+    match sink.finish() {
+        Ok(path) => println!("obs: wrote {rows} rows to {}", path.display()),
+        Err(e) => eprintln!("obs: export failed ({e})"),
+    }
 }
 
 /// Aggregates link-protocol and node statistics across all daemons.
@@ -226,20 +296,32 @@ mod tests {
 
     #[test]
     fn unicast_run_delivers() {
-        let mut run =
-            UnicastRun::new(chain_topology(3, 10.0), FlowSpec::reliable(), NodeId(0), NodeId(2));
+        let mut run = UnicastRun::new(
+            chain_topology(3, 10.0),
+            FlowSpec::reliable(),
+            NodeId(0),
+            NodeId(2),
+        );
         run.count = 50;
         let out = run.run();
         assert_eq!(out.sent, 50);
         assert_eq!(out.recv.received, 50);
-        assert_eq!(out.wire.overhead_ratio(), 1.0, "no loss, no retransmissions");
+        assert_eq!(
+            out.wire.overhead_ratio(),
+            1.0,
+            "no loss, no retransmissions"
+        );
         assert!(out.forwarded >= 100, "two hops per packet");
     }
 
     #[test]
     fn unicast_run_with_loss_recovers() {
-        let mut run =
-            UnicastRun::new(chain_topology(3, 10.0), FlowSpec::reliable(), NodeId(0), NodeId(2));
+        let mut run = UnicastRun::new(
+            chain_topology(3, 10.0),
+            FlowSpec::reliable(),
+            NodeId(0),
+            NodeId(2),
+        );
         run.count = 200;
         run.loss = LossConfig::Bernoulli { p: 0.05 };
         let out = run.run();

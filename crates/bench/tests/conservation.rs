@@ -1,0 +1,105 @@
+//! Cross-layer packet conservation: every data packet put on a wire is
+//! either delivered to a client or attributed to exactly one drop counter.
+//!
+//! This is the accounting identity the unified drop taxonomy exists to make
+//! checkable: the simulator tags data-plane pipe drops `data.drop.<reason>`
+//! (keyed by `DropClass`), and the overlay node counts its own drops under
+//! the same `drop.<reason>` names with a `node` label. Summing the ledger
+//! against the sender's count must balance exactly — any unattributed loss
+//! is a bug in either the instrumentation or the forwarding path.
+//!
+//! The runs use the Best Effort service: it neither retransmits nor buffers,
+//! so each client send corresponds to exactly one end-to-end forwarding
+//! attempt and the identity holds packet-for-packet. (Recovery protocols
+//! intentionally break per-packet accounting — one send may cross a pipe
+//! five times.)
+
+use proptest::prelude::*;
+use son_bench::UnicastRun;
+use son_netsim::loss::LossConfig;
+use son_netsim::time::SimDuration;
+use son_obs::Registry;
+use son_overlay::builder::chain_topology;
+use son_overlay::FlowSpec;
+use son_topo::NodeId;
+
+/// Sums the ledger: (delivered to clients, data drops inside pipes, drops
+/// at overlay nodes or link protocols).
+fn ledger(reg: &Registry) -> (u64, u64, u64) {
+    let delivered = reg.counter_total("node.delivered_local");
+    let mut pipe_drops = 0;
+    let mut node_drops = 0;
+    for (desc, v) in reg.counters() {
+        if desc.name.starts_with("data.drop.") {
+            pipe_drops += v;
+        } else if desc.name.starts_with("drop.") && desc.labels.iter().any(|(k, _)| k == "node") {
+            node_drops += v;
+        }
+    }
+    (delivered, pipe_drops, node_drops)
+}
+
+fn lossy_run(loss_millis: u64, seed: u64, hops: usize, ttl: u8) -> UnicastRun {
+    let last = NodeId(hops);
+    let mut run = UnicastRun::new(
+        chain_topology(hops + 1, 5.0),
+        FlowSpec::best_effort(),
+        NodeId(0),
+        last,
+    );
+    run.loss = LossConfig::Bernoulli {
+        p: loss_millis as f64 / 1000.0,
+    };
+    run.count = 150;
+    run.interval = SimDuration::from_millis(5);
+    run.run_for = SimDuration::from_secs(10);
+    run.seed = seed;
+    run.node_config.ttl = ttl;
+    run
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn data_packets_are_conserved_under_loss(
+        loss_millis in 0u64..300,
+        seed in 0u64..1_000_000,
+        hops in 1usize..4,
+    ) {
+        let run = lossy_run(loss_millis, seed, hops, 32);
+        let sent = run.count;
+        let out = run.run();
+        prop_assert_eq!(out.sent, sent);
+        let (delivered, pipe_drops, node_drops) = ledger(&out.registry);
+        prop_assert_eq!(
+            sent,
+            delivered + pipe_drops + node_drops,
+            "sent {} != delivered {} + pipe drops {} + node drops {}",
+            sent, delivered, pipe_drops, node_drops
+        );
+    }
+}
+
+#[test]
+fn ttl_exhaustion_shows_up_in_the_ledger() {
+    // A 4-hop chain with a 2-hop budget: every packet that survives the
+    // pipes dies of TTL exhaustion at the third node, attributed.
+    let run = lossy_run(50, 7, 4, 2);
+    let sent = run.count;
+    let out = run.run();
+    let (delivered, pipe_drops, node_drops) = ledger(&out.registry);
+    assert_eq!(delivered, 0, "nothing can cross 4 hops on a 2-hop budget");
+    assert!(node_drops > 0, "TTL drops must be attributed");
+    assert_eq!(out.registry.counter_total("drop.ttl"), node_drops);
+    assert_eq!(sent, delivered + pipe_drops + node_drops);
+}
+
+#[test]
+fn perfect_run_attributes_nothing() {
+    let run = lossy_run(0, 1, 2, 32);
+    let sent = run.count;
+    let out = run.run();
+    let (delivered, pipe_drops, node_drops) = ledger(&out.registry);
+    assert_eq!((delivered, pipe_drops, node_drops), (sent, 0, 0));
+}

@@ -34,7 +34,10 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -71,7 +74,10 @@ impl<E> Default for EventQueue<E> {
 
 impl<E> std::fmt::Debug for Entry<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Entry").field("at", &self.at).field("seq", &self.seq).finish()
+        f.debug_struct("Entry")
+            .field("at", &self.at)
+            .field("seq", &self.seq)
+            .finish()
     }
 }
 
@@ -79,7 +85,11 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), live: Default::default(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: Default::default(),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `payload` to fire at `at` and returns a cancellation handle.
@@ -191,7 +201,9 @@ mod tests {
     #[test]
     fn len_accounts_for_cancellations() {
         let mut q = EventQueue::new();
-        let ids: Vec<_> = (0..10).map(|i| q.schedule(SimTime::from_millis(i), i)).collect();
+        let ids: Vec<_> = (0..10)
+            .map(|i| q.schedule(SimTime::from_millis(i), i))
+            .collect();
         for id in &ids[..4] {
             q.cancel(*id);
         }
@@ -204,6 +216,9 @@ mod tests {
         assert!(q.is_empty());
         assert!(q.pop().is_none());
         assert_eq!(q.peek_time(), None);
-        assert!(!q.cancel(EventId(99)), "cancelling a never-issued id is a no-op");
+        assert!(
+            !q.cancel(EventId(99)),
+            "cancelling a never-issued id is a no-op"
+        );
     }
 }

@@ -10,6 +10,7 @@
 //! Overlay links are built from two pipes, one per direction.
 
 use serde::{Deserialize, Serialize};
+use son_obs::DropClass;
 
 use crate::loss::{LossConfig, LossProcess};
 use crate::process::ProcessId;
@@ -69,7 +70,10 @@ impl PipeConfig {
     /// A lossless pipe with the given fixed latency and infinite bandwidth.
     #[must_use]
     pub fn with_latency(latency: SimDuration) -> Self {
-        PipeConfig { latency, ..Default::default() }
+        PipeConfig {
+            latency,
+            ..Default::default()
+        }
     }
 
     /// Sets the loss model.
@@ -118,16 +122,22 @@ pub enum DropReason {
 }
 
 impl DropReason {
-    /// Stable label for counters.
+    /// This reason's class in the cross-layer drop taxonomy.
+    #[must_use]
+    pub fn class(self) -> DropClass {
+        match self {
+            DropReason::Loss => DropClass::Loss,
+            DropReason::QueueFull => DropClass::QueueFull,
+            DropReason::Blackholed => DropClass::Blackholed,
+            DropReason::NoRoute => DropClass::NoRoute,
+            DropReason::Down => DropClass::Down,
+        }
+    }
+
+    /// Stable label for counters (delegates to the unified taxonomy).
     #[must_use]
     pub fn label(self) -> &'static str {
-        match self {
-            DropReason::Loss => "drop.loss",
-            DropReason::QueueFull => "drop.queue_full",
-            DropReason::Blackholed => "drop.blackholed",
-            DropReason::NoRoute => "drop.no_route",
-            DropReason::Down => "drop.down",
-        }
+        self.class().label()
     }
 }
 
@@ -228,10 +238,16 @@ impl Pipe {
     }
 
     /// The underlay edges the pipe currently traverses, if bound and routable.
-    pub fn current_route(&self, now: SimTime, underlay: &mut Option<Underlay>) -> Option<Vec<UEdgeId>> {
+    pub fn current_route(
+        &self,
+        now: SimTime,
+        underlay: &mut Option<Underlay>,
+    ) -> Option<Vec<UEdgeId>> {
         let binding = self.config.binding.as_ref()?;
         let ul = underlay.as_mut()?;
-        ul.resolve(now, binding.attachment, binding.from, binding.to).ok().map(|p| p.edges)
+        ul.resolve(now, binding.attachment, binding.from, binding.to)
+            .ok()
+            .map(|p| p.edges)
     }
 
     /// Offers one packet of `size_bytes` to the pipe at `now`.
@@ -269,9 +285,7 @@ impl Pipe {
             };
             match ul.resolve(now, binding.attachment, binding.from, binding.to) {
                 Ok(path) => path.latency,
-                Err(ResolveError::Blackholed) => {
-                    return Transmit::Dropped(DropReason::Blackholed)
-                }
+                Err(ResolveError::Blackholed) => return Transmit::Dropped(DropReason::Blackholed),
                 Err(ResolveError::NoRoute) => return Transmit::Dropped(DropReason::NoRoute),
             }
         } else {
@@ -298,7 +312,10 @@ impl Pipe {
         let jitter = if self.config.jitter.is_zero() {
             SimDuration::ZERO
         } else {
-            SimDuration::from_nanos(self.rng.uniform_u64(0, self.config.jitter.as_nanos().max(1)))
+            SimDuration::from_nanos(
+                self.rng
+                    .uniform_u64(0, self.config.jitter.as_nanos().max(1)),
+            )
         };
         Transmit::Arrives(departure + propagation + jitter)
     }
@@ -363,20 +380,29 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         assert_eq!(a1, SimTime::from_millis(11));
-        assert_eq!(a2, SimTime::from_millis(12), "second packet waits for the serializer");
+        assert_eq!(
+            a2,
+            SimTime::from_millis(12),
+            "second packet waits for the serializer"
+        );
     }
 
     #[test]
     fn queue_overflow_drops_tail() {
         // 8 Mbps, queue of 2000 bytes: two queued packets fit, the third drops.
-        let mut p = pipe(
-            PipeConfig::with_latency(SimDuration::from_millis(1)).bandwidth(8_000_000, 2000),
-        );
+        let mut p =
+            pipe(PipeConfig::with_latency(SimDuration::from_millis(1)).bandwidth(8_000_000, 2000));
         let mut ul = None;
         // Backlog (including the packet in serialization) is capped at 2000
         // bytes, so two packets fit and the third is tail-dropped.
-        assert!(matches!(p.transmit(SimTime::ZERO, 1000, &mut ul), Transmit::Arrives(_)));
-        assert!(matches!(p.transmit(SimTime::ZERO, 1000, &mut ul), Transmit::Arrives(_)));
+        assert!(matches!(
+            p.transmit(SimTime::ZERO, 1000, &mut ul),
+            Transmit::Arrives(_)
+        ));
+        assert!(matches!(
+            p.transmit(SimTime::ZERO, 1000, &mut ul),
+            Transmit::Arrives(_)
+        ));
         match p.transmit(SimTime::ZERO, 1000, &mut ul) {
             Transmit::Dropped(DropReason::QueueFull) => {}
             other => panic!("expected queue drop, got {other:?}"),
@@ -398,13 +424,15 @@ mod tests {
             Transmit::Dropped(DropReason::Down)
         );
         p.set_enabled(true);
-        assert!(matches!(p.transmit(SimTime::ZERO, 10, &mut ul), Transmit::Arrives(_)));
+        assert!(matches!(
+            p.transmit(SimTime::ZERO, 10, &mut ul),
+            Transmit::Arrives(_)
+        ));
     }
 
     #[test]
     fn bernoulli_loss_drops_roughly_p() {
-        let mut p =
-            pipe(PipeConfig::default().loss(LossConfig::Bernoulli { p: 0.25 }));
+        let mut p = pipe(PipeConfig::default().loss(LossConfig::Bernoulli { p: 0.25 }));
         let mut ul = None;
         let mut drops = 0;
         for _ in 0..10_000 {
@@ -443,12 +471,19 @@ mod tests {
         let edge = b.fiber(isp, a, c);
         let mut underlay = Some(b.build(SimDuration::from_secs(40)));
 
-        let binding = PipeBinding { attachment: Attachment::OnNet(isp), from: a, to: c };
+        let binding = PipeBinding {
+            attachment: Attachment::OnNet(isp),
+            from: a,
+            to: c,
+        };
         let mut p = pipe(PipeConfig::default().bound(binding));
 
         match p.transmit(SimTime::ZERO, 10, &mut underlay) {
             Transmit::Arrives(at) => {
-                assert!((at.as_millis_f64() - 6.0).abs() < 1e-6, "1000km*1.2/200 = 6ms")
+                assert!(
+                    (at.as_millis_f64() - 6.0).abs() < 1e-6,
+                    "1000km*1.2/200 = 6ms"
+                )
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -457,7 +492,10 @@ mod tests {
             Some(vec![edge])
         );
 
-        underlay.as_mut().unwrap().fail_edge(edge, SimTime::from_secs(1));
+        underlay
+            .as_mut()
+            .unwrap()
+            .fail_edge(edge, SimTime::from_secs(1));
         assert_eq!(
             p.transmit(SimTime::from_secs(2), 10, &mut underlay),
             Transmit::Dropped(DropReason::Blackholed)

@@ -45,7 +45,12 @@ impl LossConfig {
     /// and a fully lossy bad state.
     #[must_use]
     pub fn bursts(mean_good: SimDuration, mean_bad: SimDuration) -> Self {
-        LossConfig::GilbertElliott { mean_good, mean_bad, loss_good: 0.0, loss_bad: 1.0 }
+        LossConfig::GilbertElliott {
+            mean_good,
+            mean_bad,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        }
     }
 
     /// The long-run average loss rate this configuration produces.
@@ -54,7 +59,12 @@ impl LossConfig {
         match *self {
             LossConfig::Perfect => 0.0,
             LossConfig::Bernoulli { p } => p,
-            LossConfig::GilbertElliott { mean_good, mean_bad, loss_good, loss_bad } => {
+            LossConfig::GilbertElliott {
+                mean_good,
+                mean_bad,
+                loss_good,
+                loss_bad,
+            } => {
                 let g = mean_good.as_secs_f64();
                 let b = mean_bad.as_secs_f64();
                 if g + b == 0.0 {
@@ -82,7 +92,12 @@ impl LossConfig {
         match *self {
             LossConfig::Perfect => Ok(()),
             LossConfig::Bernoulli { p } => check_p("p", p),
-            LossConfig::GilbertElliott { mean_good, mean_bad, loss_good, loss_bad } => {
+            LossConfig::GilbertElliott {
+                mean_good,
+                mean_bad,
+                loss_good,
+                loss_bad,
+            } => {
                 check_p("loss_good", loss_good)?;
                 check_p("loss_bad", loss_bad)?;
                 if mean_good.is_zero() && mean_bad.is_zero() {
@@ -119,7 +134,12 @@ impl LossProcess {
         }
         // `state_until` starts expired with `in_bad = true`, so the first
         // advance flips into the good state and draws a good-state dwell.
-        LossProcess { config, in_bad: true, state_until: SimTime::ZERO, outages: Vec::new() }
+        LossProcess {
+            config,
+            in_bad: true,
+            state_until: SimTime::ZERO,
+            outages: Vec::new(),
+        }
     }
 
     /// Adds a hard outage window `[from, until)`: every packet offered during
@@ -137,13 +157,22 @@ impl LossProcess {
 
     /// Decides whether a packet offered at `now` is dropped.
     pub fn drops(&mut self, now: SimTime, rng: &mut SimRng) -> bool {
-        if self.outages.iter().any(|&(from, until)| now >= from && now < until) {
+        if self
+            .outages
+            .iter()
+            .any(|&(from, until)| now >= from && now < until)
+        {
             return true;
         }
         match self.config {
             LossConfig::Perfect => false,
             LossConfig::Bernoulli { p } => rng.chance(p),
-            LossConfig::GilbertElliott { mean_good, mean_bad, loss_good, loss_bad } => {
+            LossConfig::GilbertElliott {
+                mean_good,
+                mean_bad,
+                loss_good,
+                loss_bad,
+            } => {
                 // Advance the two-state chain continuously to `now`: on each
                 // expiry flip the state and draw the new state's dwell time.
                 while self.state_until <= now {
@@ -185,13 +214,20 @@ mod tests {
 
     #[test]
     fn perfect_never_drops() {
-        assert_eq!(count_drops(LossConfig::Perfect, 10_000, SimDuration::from_millis(1), 1), 0);
+        assert_eq!(
+            count_drops(LossConfig::Perfect, 10_000, SimDuration::from_millis(1), 1),
+            0
+        );
     }
 
     #[test]
     fn bernoulli_rate_is_calibrated() {
-        let drops =
-            count_drops(LossConfig::Bernoulli { p: 0.02 }, 100_000, SimDuration::from_millis(1), 2);
+        let drops = count_drops(
+            LossConfig::Bernoulli { p: 0.02 },
+            100_000,
+            SimDuration::from_millis(1),
+            2,
+        );
         let rate = drops as f64 / 100_000.0;
         assert!((rate - 0.02).abs() < 0.003, "rate={rate}");
     }
@@ -203,7 +239,10 @@ mod tests {
         assert!((expected - 0.01).abs() < 1e-9);
         let drops = count_drops(cfg, 2_000_000, SimDuration::from_micros(100), 3);
         let rate = drops as f64 / 2_000_000.0;
-        assert!((rate - expected).abs() < 0.004, "rate={rate} expected={expected}");
+        assert!(
+            (rate - expected).abs() < 0.004,
+            "rate={rate} expected={expected}"
+        );
     }
 
     #[test]

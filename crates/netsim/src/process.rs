@@ -22,6 +22,24 @@ impl std::fmt::Display for ProcessId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerId(pub(crate) crate::event::EventId);
 
+/// Classification of a message for observability attribution.
+///
+/// The simulator tallies dropped *data* packets separately from control
+/// traffic (acks, hellos, link-state floods), so an experiment can state
+/// exact conservation: data packets sent = delivered + attributed drops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageKind {
+    /// Application payload, identified by flow and sequence number.
+    Data {
+        /// Flow identifier.
+        flow: u64,
+        /// Sequence number within the flow.
+        seq: u64,
+    },
+    /// Protocol control traffic.
+    Control,
+}
+
 /// The type carried by simulation messages.
 ///
 /// Messages must be cloneable (redundant dissemination duplicates them) and
@@ -29,6 +47,13 @@ pub struct TimerId(pub(crate) crate::event::EventId);
 pub trait SimMessage: Clone + std::fmt::Debug + 'static {
     /// The number of bytes this message occupies on the wire.
     fn wire_size(&self) -> usize;
+
+    /// Classification for drop attribution. Defaults to
+    /// [`MessageKind::Control`]; message types carrying application payload
+    /// override this so pipe drops are attributed to the data plane.
+    fn kind(&self) -> MessageKind {
+        MessageKind::Control
+    }
 }
 
 impl SimMessage for Vec<u8> {

@@ -41,7 +41,10 @@ impl SimRng {
     /// Creates the root stream for a run from a master seed.
     #[must_use]
     pub fn seed(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed), seed }
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
     }
 
     /// Derives an independent child stream identified by `label`.
@@ -109,7 +112,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is not finite and positive.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "mean must be finite and positive");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be finite and positive"
+        );
         let u: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
         -mean * u.ln()
     }
@@ -241,7 +247,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "a 100-element shuffle staying sorted is ~impossible");
+        assert_ne!(
+            v, sorted,
+            "a 100-element shuffle staying sorted is ~impossible"
+        );
     }
 
     #[test]

@@ -71,8 +71,10 @@ const US_CITIES: [(&str, f64, f64); 12] = [
 #[must_use]
 pub fn continental_us(convergence: SimDuration) -> Scenario {
     let mut b = UnderlayBuilder::new();
-    let cities: Vec<CityId> =
-        US_CITIES.iter().map(|&(name, x, y)| b.city(name, x, y)).collect();
+    let cities: Vec<CityId> = US_CITIES
+        .iter()
+        .map(|&(name, x, y)| b.city(name, x, y))
+        .collect();
     let names: Vec<&'static str> = US_CITIES.iter().map(|&(n, ..)| n).collect();
     let find = |n: &str| cities[names.iter().position(|&x| x == n).unwrap()];
 
@@ -234,8 +236,10 @@ const WORLD_LINKS: [(&str, &str, f64); 28] = [
 #[must_use]
 pub fn global_20(convergence: SimDuration) -> Scenario {
     let mut b = UnderlayBuilder::new();
-    let cities: Vec<CityId> =
-        WORLD_CITIES.iter().map(|&(name, x, y)| b.city(name, x, y)).collect();
+    let cities: Vec<CityId> = WORLD_CITIES
+        .iter()
+        .map(|&(name, x, y)| b.city(name, x, y))
+        .collect();
     let names: Vec<&'static str> = WORLD_CITIES.iter().map(|&(n, ..)| n).collect();
     let find = |n: &str| cities[names.iter().position(|&x| x == n).unwrap()];
 
@@ -260,7 +264,13 @@ pub fn global_20(convergence: SimDuration) -> Scenario {
         isps.push(isp);
         edges_by_isp.push(edges);
     }
-    Scenario { underlay: b.build(convergence), cities, city_names: names, isps, edges_by_isp }
+    Scenario {
+        underlay: b.build(convergence),
+        cities,
+        city_names: names,
+        isps,
+        edges_by_isp,
+    }
 }
 
 /// A linear chain of `n` cities spaced so each hop is exactly `hop_latency`
@@ -270,8 +280,9 @@ pub fn chain(n: usize, hop_latency: SimDuration, convergence: SimDuration) -> Sc
     assert!(n >= 2, "a chain needs at least two cities");
     let mut b = UnderlayBuilder::new();
     let names: Vec<&'static str> = (0..n).map(|_| "hop").collect();
-    let cities: Vec<CityId> =
-        (0..n).map(|i| b.city(&format!("H{i}"), i as f64 * 1000.0, 0.0)).collect();
+    let cities: Vec<CityId> = (0..n)
+        .map(|i| b.city(&format!("H{i}"), i as f64 * 1000.0, 0.0))
+        .collect();
     let isp = b.isp("ChainNet");
     for &c in &cities {
         b.router(isp, c);
@@ -318,7 +329,9 @@ mod tests {
         let nyc = sc.city("NYC");
         let sf = sc.city("SF");
         for &isp in &sc.isps {
-            let p = ul.resolve(SimTime::ZERO, Attachment::OnNet(isp), nyc, sf).unwrap();
+            let p = ul
+                .resolve(SimTime::ZERO, Attachment::OnNet(isp), nyc, sf)
+                .unwrap();
             let ms = p.latency.as_millis_f64();
             // The paper cites ~35-40ms propagation to cross a continent; our
             // geometry lands in the same band per provider.
@@ -352,7 +365,12 @@ mod tests {
         let sc = chain(6, SimDuration::from_millis(10), DEFAULT_CONVERGENCE);
         let mut ul = sc.underlay.clone();
         let p = ul
-            .resolve(SimTime::ZERO, Attachment::OnNet(sc.isps[0]), sc.cities[0], sc.cities[5])
+            .resolve(
+                SimTime::ZERO,
+                Attachment::OnNet(sc.isps[0]),
+                sc.cities[0],
+                sc.cities[5],
+            )
             .unwrap();
         assert_eq!(p.latency, SimDuration::from_millis(50));
         assert_eq!(p.edges.len(), 5);
@@ -402,7 +420,10 @@ mod tests {
             }
         }
         assert!(worst <= 160.0, "worst pair {worst}ms");
-        assert!(worst >= 100.0, "a global topology should have long pairs: {worst}ms");
+        assert!(
+            worst >= 100.0,
+            "a global topology should have long pairs: {worst}ms"
+        );
     }
 
     #[test]
@@ -410,8 +431,12 @@ mod tests {
         let sc = global_20(DEFAULT_CONVERGENCE);
         let mut ul = sc.underlay.clone();
         let (nyc, tyo) = (sc.city("NYC"), sc.city("TYO"));
-        let p0 = ul.resolve(SimTime::ZERO, Attachment::OnNet(sc.isps[0]), nyc, tyo).unwrap();
-        let p1 = ul.resolve(SimTime::ZERO, Attachment::OnNet(sc.isps[1]), nyc, tyo).unwrap();
+        let p0 = ul
+            .resolve(SimTime::ZERO, Attachment::OnNet(sc.isps[0]), nyc, tyo)
+            .unwrap();
+        let p1 = ul
+            .resolve(SimTime::ZERO, Attachment::OnNet(sc.isps[1]), nyc, tyo)
+            .unwrap();
         assert!(p1.latency > p0.latency);
         let ratio = p1.latency.as_millis_f64() / p0.latency.as_millis_f64();
         assert!((1.0..1.1).contains(&ratio), "ratio {ratio}");
@@ -441,8 +466,7 @@ pub fn dumbbell(
     assert!(left > 0 && right > 0, "both sides need cities");
     let mut b = UnderlayBuilder::new();
     let mut cities = Vec::new();
-    let names: Vec<&'static str> = std::iter::repeat_n("dumbbell", left + right + 2)
-        .collect();
+    let names: Vec<&'static str> = std::iter::repeat_n("dumbbell", left + right + 2).collect();
     for i in 0..left {
         cities.push(b.city(&format!("L{i}"), 0.0, i as f64 * 100.0));
     }
@@ -523,7 +547,12 @@ mod shape_tests {
         let mut ul = sc.underlay.clone();
         // L0 (index 0) to R1 (index 6): 2 + 20 + 2 ms.
         let p = ul
-            .resolve(SimTime::ZERO, Attachment::OnNet(sc.isps[0]), sc.cities[0], sc.cities[6])
+            .resolve(
+                SimTime::ZERO,
+                Attachment::OnNet(sc.isps[0]),
+                sc.cities[0],
+                sc.cities[6],
+            )
             .unwrap();
         assert_eq!(p.latency, SimDuration::from_millis(24));
         assert_eq!(p.edges.len(), 3);
@@ -535,12 +564,22 @@ mod shape_tests {
         let mut ul = sc.underlay.clone();
         // Opposite nodes: 3 hops either way.
         let p = ul
-            .resolve(SimTime::ZERO, Attachment::OnNet(sc.isps[0]), sc.cities[0], sc.cities[3])
+            .resolve(
+                SimTime::ZERO,
+                Attachment::OnNet(sc.isps[0]),
+                sc.cities[0],
+                sc.cities[3],
+            )
             .unwrap();
         assert_eq!(p.latency, SimDuration::from_millis(15));
         // Adjacent: one hop.
         let p = ul
-            .resolve(SimTime::ZERO, Attachment::OnNet(sc.isps[0]), sc.cities[0], sc.cities[1])
+            .resolve(
+                SimTime::ZERO,
+                Attachment::OnNet(sc.isps[0]),
+                sc.cities[0],
+                sc.cities[1],
+            )
             .unwrap();
         assert_eq!(p.edges.len(), 1);
     }
@@ -552,7 +591,12 @@ mod shape_tests {
         ul.fail_edge(sc.edges_by_isp[0][0], SimTime::ZERO);
         // After convergence the long way round still connects 0 and 1.
         let p = ul
-            .resolve(SimTime::from_secs(60), Attachment::OnNet(sc.isps[0]), sc.cities[0], sc.cities[1])
+            .resolve(
+                SimTime::from_secs(60),
+                Attachment::OnNet(sc.isps[0]),
+                sc.cities[0],
+                sc.cities[1],
+            )
             .unwrap();
         assert_eq!(p.edges.len(), 4, "the long way around the ring");
     }

@@ -39,7 +39,7 @@ use std::any::Any;
 use crate::event::{EventId, EventQueue};
 use crate::link::{Pipe, PipeConfig, PipeId, Transmit};
 use crate::loss::LossConfig;
-use crate::process::{Process, ProcessId, SimMessage, TimerId};
+use crate::process::{MessageKind, Process, ProcessId, SimMessage, TimerId};
 use crate::rng::SimRng;
 use crate::stats::Counters;
 use crate::time::{SimDuration, SimTime};
@@ -70,8 +70,16 @@ pub enum ScenarioEvent {
 }
 
 enum Event<M> {
-    Deliver { to: ProcessId, from: ProcessId, pipe: Option<PipeId>, msg: M },
-    Timer { proc: ProcessId, token: u64 },
+    Deliver {
+        to: ProcessId,
+        from: ProcessId,
+        pipe: Option<PipeId>,
+        msg: M,
+    },
+    Timer {
+        proc: ProcessId,
+        token: u64,
+    },
     Scenario(ScenarioEvent),
 }
 
@@ -128,7 +136,10 @@ impl<M: SimMessage> std::fmt::Debug for Simulation<M> {
 
 impl<'a, M: SimMessage> std::fmt::Debug for Ctx<'a, M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Ctx").field("pid", &self.pid).field("now", &self.core.now).finish()
+        f.debug_struct("Ctx")
+            .field("pid", &self.pid)
+            .field("now", &self.core.now)
+            .finish()
     }
 }
 
@@ -229,7 +240,15 @@ impl<M: SimMessage> Simulation<M> {
     /// Injects a message into `to` at time `at` (from a virtual "outside"
     /// process id equal to `to`; `pipe` is `None`).
     pub fn post(&mut self, at: SimTime, to: ProcessId, msg: M) {
-        self.core.queue.schedule(at, Event::Deliver { to, from: to, pipe: None, msg });
+        self.core.queue.schedule(
+            at,
+            Event::Deliver {
+                to,
+                from: to,
+                pipe: None,
+                msg,
+            },
+        );
     }
 
     /// Schedules a scripted world change.
@@ -309,7 +328,10 @@ impl<M: SimMessage> Simulation<M> {
 
     fn dispatch_start(&mut self, pid: ProcessId) {
         if let Some(mut p) = self.procs[pid.0].take() {
-            let mut ctx = Ctx { core: &mut self.core, pid };
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                pid,
+            };
             p.on_start(&mut ctx);
             self.procs[pid.0] = Some(p);
         }
@@ -345,13 +367,21 @@ impl<M: SimMessage> Simulation<M> {
 
     fn dispatch(&mut self, event: Event<M>) {
         match event {
-            Event::Deliver { to, from, pipe, msg } => {
+            Event::Deliver {
+                to,
+                from,
+                pipe,
+                msg,
+            } => {
                 if !self.core.proc_up[to.0] {
                     self.core.counters.incr("drop.process_down");
                     return;
                 }
                 if let Some(mut p) = self.procs[to.0].take() {
-                    let mut ctx = Ctx { core: &mut self.core, pid: to };
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        pid: to,
+                    };
                     p.on_message(&mut ctx, from, pipe, msg);
                     self.procs[to.0] = Some(p);
                 }
@@ -361,7 +391,10 @@ impl<M: SimMessage> Simulation<M> {
                     return;
                 }
                 if let Some(mut p) = self.procs[proc.0].take() {
-                    let mut ctx = Ctx { core: &mut self.core, pid: proc };
+                    let mut ctx = Ctx {
+                        core: &mut self.core,
+                        pid: proc,
+                    };
                     p.on_timer(&mut ctx, token);
                     self.procs[proc.0] = Some(p);
                 }
@@ -448,30 +481,56 @@ impl<'a, M: SimMessage> Ctx<'a, M> {
         let size = msg.wire_size();
         let now = self.core.now;
         let p = &mut self.core.pipes[pipe.0];
-        assert_eq!(p.src(), self.pid, "process {} does not own pipe {pipe:?}", self.pid);
+        assert_eq!(
+            p.src(),
+            self.pid,
+            "process {} does not own pipe {pipe:?}",
+            self.pid
+        );
         let dst = p.dst();
         let outcome = p.transmit(now, size, &mut self.core.underlay);
         if let Some(tracer) = &mut self.core.tracer {
             let traced = match outcome {
                 Transmit::Arrives(at) => TraceOutcome::Delivered { arrival: at },
-                Transmit::Dropped(reason) => TraceOutcome::Dropped(reason.label()),
+                Transmit::Dropped(reason) => TraceOutcome::Dropped(reason.class()),
             };
             tracer.record(
                 now,
-                TraceKind::PipeSend { from: self.pid, to: dst, pipe, bytes: size, outcome: traced },
+                TraceKind::PipeSend {
+                    from: self.pid,
+                    to: dst,
+                    pipe,
+                    bytes: size,
+                    outcome: traced,
+                },
             );
         }
+        let is_data = matches!(msg.kind(), MessageKind::Data { .. });
         match outcome {
             Transmit::Arrives(at) => {
                 self.core.counters.incr("pipe.delivered");
                 self.core.counters.add("pipe.bytes", size as u64);
+                if is_data {
+                    self.core.counters.incr("data.pipe.delivered");
+                }
                 self.core.queue.schedule(
                     at,
-                    Event::Deliver { to: dst, from: self.pid, pipe: Some(pipe), msg },
+                    Event::Deliver {
+                        to: dst,
+                        from: self.pid,
+                        pipe: Some(pipe),
+                        msg,
+                    },
                 );
             }
             Transmit::Dropped(reason) => {
                 self.core.counters.incr(reason.label());
+                if is_data {
+                    // Attribute data-plane drops separately so conservation
+                    // (sent = delivered + attributed drops) is checkable
+                    // without control traffic muddying the ledger.
+                    self.core.counters.incr(&format!("data.{}", reason.label()));
+                }
             }
         }
     }
@@ -484,10 +543,22 @@ impl<'a, M: SimMessage> Ctx<'a, M> {
         if let Some(tracer) = &mut self.core.tracer {
             tracer.record(
                 self.core.now,
-                TraceKind::DirectSend { from: self.pid, to, bytes: msg.wire_size() },
+                TraceKind::DirectSend {
+                    from: self.pid,
+                    to,
+                    bytes: msg.wire_size(),
+                },
             );
         }
-        self.core.queue.schedule(at, Event::Deliver { to, from: self.pid, pipe: None, msg });
+        self.core.queue.schedule(
+            at,
+            Event::Deliver {
+                to,
+                from: self.pid,
+                pipe: None,
+                msg,
+            },
+        );
     }
 
     /// Sets a timer firing after `delay`, delivering `token` to `on_timer`.
@@ -497,7 +568,13 @@ impl<'a, M: SimMessage> Ctx<'a, M> {
     }
 
     fn schedule_timer_at(&mut self, at: SimTime, token: u64) -> EventId {
-        self.core.queue.schedule(at, Event::Timer { proc: self.pid, token })
+        self.core.queue.schedule(
+            at,
+            Event::Timer {
+                proc: self.pid,
+                token,
+            },
+        )
     }
 
     /// Cancels a pending timer; returns `false` if it already fired.
@@ -584,9 +661,19 @@ mod tests {
 
     fn cbr_sim(loss: LossConfig) -> (Simulation<Msg>, ProcessId, ProcessId) {
         let mut sim = Simulation::new(7);
-        let tx = sim.add_process(Sender { pipe: None, remaining: 100, interval: SimDuration::from_millis(10) });
-        let rx = sim.add_process(Receiver { arrivals: Vec::new() });
-        let pipe = sim.pipe(tx, rx, PipeConfig::with_latency(SimDuration::from_millis(5)).loss(loss));
+        let tx = sim.add_process(Sender {
+            pipe: None,
+            remaining: 100,
+            interval: SimDuration::from_millis(10),
+        });
+        let rx = sim.add_process(Receiver {
+            arrivals: Vec::new(),
+        });
+        let pipe = sim.pipe(
+            tx,
+            rx,
+            PipeConfig::with_latency(SimDuration::from_millis(5)).loss(loss),
+        );
         sim.proc_mut::<Sender>(tx).unwrap().pipe = Some(pipe);
         (sim, tx, rx)
     }
@@ -629,7 +716,9 @@ mod tests {
         sim.run_until(SimTime::from_secs(5));
         let arrivals = &sim.proc_ref::<Receiver>(rx).unwrap().arrivals;
         // Packets arriving in [100, 500) are dropped at the process.
-        assert!(arrivals.iter().all(|&t| t < SimTime::from_millis(100) || t >= SimTime::from_millis(500)));
+        assert!(arrivals
+            .iter()
+            .all(|&t| t < SimTime::from_millis(100) || t >= SimTime::from_millis(500)));
         assert!(sim.counters().get("drop.process_down") > 0);
         assert!(!arrivals.is_empty());
     }
@@ -637,8 +726,14 @@ mod tests {
     #[test]
     fn disable_pipe_scenario_blocks_traffic() {
         let (mut sim, _, rx) = cbr_sim(LossConfig::Perfect);
-        sim.schedule(SimTime::from_millis(100), ScenarioEvent::DisablePipe(PipeId(0)));
-        sim.schedule(SimTime::from_millis(300), ScenarioEvent::EnablePipe(PipeId(0)));
+        sim.schedule(
+            SimTime::from_millis(100),
+            ScenarioEvent::DisablePipe(PipeId(0)),
+        );
+        sim.schedule(
+            SimTime::from_millis(300),
+            ScenarioEvent::EnablePipe(PipeId(0)),
+        );
         sim.run_until(SimTime::from_secs(5));
         let arrivals = &sim.proc_ref::<Receiver>(rx).unwrap().arrivals;
         let blocked = arrivals
@@ -694,7 +789,9 @@ mod tests {
         }
         let mut sim = Simulation::new(1);
         let a = sim.add_process(Relay { target: None });
-        let b = sim.add_process(Receiver { arrivals: Vec::new() });
+        let b = sim.add_process(Receiver {
+            arrivals: Vec::new(),
+        });
         sim.proc_mut::<Relay>(a).unwrap().target = Some(b);
         sim.post(SimTime::from_millis(1), a, vec![1]);
         sim.run_until_idle();
@@ -714,11 +811,22 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
                 ctx.send(self.pipe, vec![]);
             }
-            fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: ProcessId, _: Option<PipeId>, _: Msg) {}
+            fn on_message(
+                &mut self,
+                _: &mut Ctx<'_, Msg>,
+                _: ProcessId,
+                _: Option<PipeId>,
+                _: Msg,
+            ) {
+            }
         }
         let mut sim = Simulation::new(1);
-        let a = sim.add_process(Receiver { arrivals: Vec::new() });
-        let b = sim.add_process(Receiver { arrivals: Vec::new() });
+        let a = sim.add_process(Receiver {
+            arrivals: Vec::new(),
+        });
+        let b = sim.add_process(Receiver {
+            arrivals: Vec::new(),
+        });
         let ab = sim.pipe(a, b, PipeConfig::default());
         let rogue = sim.add_process(Rogue { pipe: ab });
         let _ = rogue;
@@ -728,7 +836,9 @@ mod tests {
     #[test]
     fn proc_ref_wrong_type_is_none() {
         let mut sim: Simulation<Msg> = Simulation::new(1);
-        let a = sim.add_process(Receiver { arrivals: Vec::new() });
+        let a = sim.add_process(Receiver {
+            arrivals: Vec::new(),
+        });
         assert!(sim.proc_ref::<Sender>(a).is_none());
         assert!(sim.proc_ref::<Receiver>(a).is_some());
     }
@@ -746,7 +856,14 @@ mod tests {
                 let _ = keep;
                 assert!(ctx.cancel_timer(cancel));
             }
-            fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: ProcessId, _: Option<PipeId>, _: Msg) {}
+            fn on_message(
+                &mut self,
+                _: &mut Ctx<'_, Msg>,
+                _: ProcessId,
+                _: Option<PipeId>,
+                _: Msg,
+            ) {
+            }
             fn on_timer(&mut self, _: &mut Ctx<'_, Msg>, token: u64) {
                 self.fired.push(token);
             }
@@ -767,10 +884,18 @@ mod fingerprint_tests {
         out: Option<PipeId>,
     }
     impl Process<Vec<u8>> for Bouncer {
-        fn on_message(&mut self, ctx: &mut Ctx<'_, Vec<u8>>, _: ProcessId, p: Option<PipeId>, m: Vec<u8>) {
+        fn on_message(
+            &mut self,
+            ctx: &mut Ctx<'_, Vec<u8>>,
+            _: ProcessId,
+            p: Option<PipeId>,
+            m: Vec<u8>,
+        ) {
             // Injected messages (pipe None) start the bounce on `out`;
             // pipe arrivals bounce back over the reverse direction.
-            if let Some(pipe) = p.and_then(|p| ctx.reverse_pipe(p)).or(self.out) { ctx.send(pipe, m) }
+            if let Some(pipe) = p.and_then(|p| ctx.reverse_pipe(p)).or(self.out) {
+                ctx.send(pipe, m)
+            }
         }
     }
 
@@ -803,7 +928,10 @@ mod fingerprint_tests {
         // pick seeds verified to differ (the check is deterministic).
         let fps: Vec<u64> = (0..8).map(run).collect();
         let distinct: std::collections::HashSet<u64> = fps.iter().copied().collect();
-        assert!(distinct.len() > 1, "at least two of eight seeds must differ: {fps:?}");
+        assert!(
+            distinct.len() > 1,
+            "at least two of eight seeds must differ: {fps:?}"
+        );
     }
 
     #[test]
@@ -824,7 +952,14 @@ mod trace_integration_tests {
 
     struct Sink;
     impl Process<Vec<u8>> for Sink {
-        fn on_message(&mut self, _: &mut Ctx<'_, Vec<u8>>, _: ProcessId, _: Option<PipeId>, _: Vec<u8>) {}
+        fn on_message(
+            &mut self,
+            _: &mut Ctx<'_, Vec<u8>>,
+            _: ProcessId,
+            _: Option<PipeId>,
+            _: Vec<u8>,
+        ) {
+        }
     }
     struct Pitcher {
         out: PipeId,
@@ -834,7 +969,14 @@ mod trace_integration_tests {
         fn on_start(&mut self, ctx: &mut Ctx<'_, Vec<u8>>) {
             ctx.set_timer(SimDuration::from_millis(1), 0);
         }
-        fn on_message(&mut self, _: &mut Ctx<'_, Vec<u8>>, _: ProcessId, _: Option<PipeId>, _: Vec<u8>) {}
+        fn on_message(
+            &mut self,
+            _: &mut Ctx<'_, Vec<u8>>,
+            _: ProcessId,
+            _: Option<PipeId>,
+            _: Vec<u8>,
+        ) {
+        }
         fn on_timer(&mut self, ctx: &mut Ctx<'_, Vec<u8>>, _: u64) {
             if self.n > 0 {
                 self.n -= 1;
@@ -850,7 +992,10 @@ mod trace_integration_tests {
         sim.enable_tracing(1000);
         let b = sim.add_process(Sink);
         let a_pipe_placeholder = PipeId(0);
-        let a = sim.add_process(Pitcher { out: a_pipe_placeholder, n: 50 });
+        let a = sim.add_process(Pitcher {
+            out: a_pipe_placeholder,
+            n: 50,
+        });
         let pipe = sim.pipe(
             a,
             b,
@@ -874,7 +1019,10 @@ mod trace_integration_tests {
             .filter(|e| {
                 matches!(
                     e.kind,
-                    TraceKind::PipeSend { outcome: TraceOutcome::Delivered { .. }, .. }
+                    TraceKind::PipeSend {
+                        outcome: TraceOutcome::Delivered { .. },
+                        ..
+                    }
                 )
             })
             .count();
@@ -882,10 +1030,15 @@ mod trace_integration_tests {
         assert!(drops > 5, "30% loss must show up: {drops}");
         assert!(trace.events().any(|e| e.kind == TraceKind::Crash(b)));
         assert!(trace.events().any(|e| e.kind == TraceKind::Restart(b)));
-        // Drop labels are the pipe's stable counter labels.
+        // Drops carry their class from the unified taxonomy.
         for e in trace.drops() {
-            if let TraceKind::PipeSend { outcome: TraceOutcome::Dropped(label), .. } = e.kind {
-                assert_eq!(label, "drop.loss");
+            if let TraceKind::PipeSend {
+                outcome: TraceOutcome::Dropped(class),
+                ..
+            } = e.kind
+            {
+                assert_eq!(class, son_obs::DropClass::Loss);
+                assert_eq!(class.label(), "drop.loss");
             }
         }
     }

@@ -23,7 +23,13 @@ impl Summary {
     /// Creates an empty summary.
     #[must_use]
     pub fn new() -> Self {
-        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -110,7 +116,10 @@ impl Percentiles {
     /// Creates an empty sampler.
     #[must_use]
     pub fn new() -> Self {
-        Percentiles { samples: Vec::new(), sorted: true }
+        Percentiles {
+            samples: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Adds one observation.
@@ -142,7 +151,8 @@ impl Percentiles {
             return None;
         }
         if !self.sorted {
-            self.samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
             self.sorted = true;
         }
         let pos = q * (self.samples.len() - 1) as f64;
@@ -180,7 +190,10 @@ impl Percentiles {
     /// Largest observation, or `None` when empty.
     #[must_use]
     pub fn max(&self) -> Option<f64> {
-        self.samples.iter().copied().fold(None, |acc, x| Some(acc.map_or(x, |m: f64| m.max(x))))
+        self.samples
+            .iter()
+            .copied()
+            .fold(None, |acc, x| Some(acc.map_or(x, |m: f64| m.max(x))))
     }
 
     /// Read-only view of the raw samples (in insertion order until a quantile
@@ -194,7 +207,10 @@ impl Percentiles {
 impl FromIterator<f64> for Percentiles {
     fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
         let samples: Vec<f64> = iter.into_iter().collect();
-        Percentiles { samples, sorted: false }
+        Percentiles {
+            samples,
+            sorted: false,
+        }
     }
 }
 
@@ -225,7 +241,12 @@ impl Histogram {
     pub fn new(bound: f64, buckets: usize) -> Self {
         assert!(buckets > 0, "need at least one bucket");
         assert!(bound > 0.0, "bound must be positive");
-        Histogram { bucket_width: bound / buckets as f64, buckets: vec![0; buckets], overflow: 0, count: 0 }
+        Histogram {
+            bucket_width: bound / buckets as f64,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+        }
     }
 
     /// Adds one observation (negative values clamp to the first bucket).
@@ -257,7 +278,10 @@ impl Histogram {
 
     /// Iterates `(bucket_lower_bound, count)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
-        self.buckets.iter().enumerate().map(|(i, &c)| (i as f64 * self.bucket_width, c))
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as f64 * self.bucket_width, c))
     }
 }
 
@@ -332,7 +356,10 @@ impl TimeSeries {
     /// Useful for measuring outage durations seen by a periodic flow.
     #[must_use]
     pub fn longest_gap(&self) -> Option<SimDuration> {
-        self.points.windows(2).map(|w| w[1].0.saturating_since(w[0].0)).max()
+        self.points
+            .windows(2)
+            .map(|w| w[1].0.saturating_since(w[0].0))
+            .max()
     }
 }
 

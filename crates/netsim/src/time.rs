@@ -139,7 +139,10 @@ impl SimDuration {
     /// Panics if `ms` is negative or not finite.
     #[must_use]
     pub fn from_millis_f64(ms: f64) -> Self {
-        assert!(ms.is_finite() && ms >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((ms * 1e6).round() as u64)
     }
 
@@ -150,7 +153,10 @@ impl SimDuration {
     /// Panics if `s` is negative or not finite.
     #[must_use]
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1e9).round() as u64)
     }
 
@@ -272,7 +278,10 @@ impl Mul<u64> for SimDuration {
 impl Mul<f64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: f64) -> SimDuration {
-        assert!(rhs.is_finite() && rhs >= 0.0, "duration factor must be finite, non-negative");
+        assert!(
+            rhs.is_finite() && rhs >= 0.0,
+            "duration factor must be finite, non-negative"
+        );
         SimDuration((self.0 as f64 * rhs).round() as u64)
     }
 }
@@ -351,8 +360,10 @@ mod tests {
 
     #[test]
     fn duration_sum_and_ordering() {
-        let total: SimDuration =
-            [1u64, 2, 3].iter().map(|&ms| SimDuration::from_millis(ms)).sum();
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&ms| SimDuration::from_millis(ms))
+            .sum();
         assert_eq!(total, SimDuration::from_millis(6));
         assert!(SimDuration::from_millis(1) < SimDuration::from_millis(2));
         assert_eq!(

@@ -10,6 +10,8 @@
 
 use std::collections::VecDeque;
 
+use son_obs::DropClass;
+
 use crate::link::PipeId;
 use crate::process::ProcessId;
 use crate::time::SimTime;
@@ -22,9 +24,9 @@ pub enum TraceOutcome {
         /// Arrival time at the far end.
         arrival: SimTime,
     },
-    /// Dropped, with the drop-reason label (see
-    /// [`DropReason::label`](crate::link::DropReason::label)).
-    Dropped(&'static str),
+    /// Dropped, classified in the unified cross-layer taxonomy (see
+    /// [`DropReason::class`](crate::link::DropReason::class)).
+    Dropped(DropClass),
 }
 
 /// One recorded event.
@@ -85,7 +87,12 @@ impl Tracer {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "tracer capacity must be positive");
-        Tracer { ring: VecDeque::with_capacity(capacity), capacity, recorded: 0, dropped_records: 0 }
+        Tracer {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            recorded: 0,
+            dropped_records: 0,
+        }
     }
 
     /// Records one event.
@@ -130,8 +137,25 @@ impl Tracer {
         self.ring.iter().filter(|e| {
             matches!(
                 e.kind,
-                TraceKind::PipeSend { outcome: TraceOutcome::Dropped(_), .. }
+                TraceKind::PipeSend {
+                    outcome: TraceOutcome::Dropped(_),
+                    ..
+                }
             )
+        })
+    }
+
+    /// The retained drops on one specific pipe, oldest first, with each
+    /// drop's class. Answers "what is dying on *this* link" directly,
+    /// where [`Tracer::involving`] mixes both endpoints' other traffic in.
+    pub fn drops_on(&self, pipe: PipeId) -> impl Iterator<Item = (&TraceEvent, DropClass)> {
+        self.ring.iter().filter_map(move |e| match e.kind {
+            TraceKind::PipeSend {
+                pipe: p,
+                outcome: TraceOutcome::Dropped(class),
+                ..
+            } if p == pipe => Some((e, class)),
+            _ => None,
         })
     }
 }
@@ -143,7 +167,11 @@ mod tests {
     fn ev(i: u64) -> (SimTime, TraceKind) {
         (
             SimTime::from_millis(i),
-            TraceKind::DirectSend { from: ProcessId(0), to: ProcessId(1), bytes: i as usize },
+            TraceKind::DirectSend {
+                from: ProcessId(0),
+                to: ProcessId(1),
+                bytes: i as usize,
+            },
         )
     }
 
@@ -168,7 +196,14 @@ mod tests {
             t.record(at, k);
         }
         let times: Vec<SimTime> = t.events().map(|e| e.at).collect();
-        assert_eq!(times, vec![SimTime::from_millis(7), SimTime::from_millis(8), SimTime::from_millis(9)]);
+        assert_eq!(
+            times,
+            vec![
+                SimTime::from_millis(7),
+                SimTime::from_millis(8),
+                SimTime::from_millis(9)
+            ]
+        );
         assert_eq!(t.recorded(), 10);
         assert_eq!(t.evicted(), 7);
     }
@@ -183,7 +218,7 @@ mod tests {
                 to: ProcessId(1),
                 pipe: PipeId(0),
                 bytes: 10,
-                outcome: TraceOutcome::Dropped("drop.loss"),
+                outcome: TraceOutcome::Dropped(DropClass::Loss),
             },
         );
         t.record(SimTime::ZERO, TraceKind::Crash(ProcessId(2)));
@@ -191,6 +226,44 @@ mod tests {
         assert_eq!(t.involving(ProcessId(2)).count(), 1);
         assert_eq!(t.involving(ProcessId(9)).count(), 0);
         assert_eq!(t.drops().count(), 1);
+    }
+
+    #[test]
+    fn drops_on_filters_by_pipe_and_classifies() {
+        let mut t = Tracer::new(10);
+        let send = |pipe: usize, outcome: TraceOutcome| TraceKind::PipeSend {
+            from: ProcessId(0),
+            to: ProcessId(1),
+            pipe: PipeId(pipe),
+            bytes: 10,
+            outcome,
+        };
+        t.record(
+            SimTime::ZERO,
+            send(0, TraceOutcome::Dropped(DropClass::Loss)),
+        );
+        t.record(
+            SimTime::ZERO,
+            send(1, TraceOutcome::Dropped(DropClass::QueueFull)),
+        );
+        t.record(
+            SimTime::ZERO,
+            send(
+                0,
+                TraceOutcome::Delivered {
+                    arrival: SimTime::ZERO,
+                },
+            ),
+        );
+        t.record(
+            SimTime::ZERO,
+            send(0, TraceOutcome::Dropped(DropClass::Blackholed)),
+        );
+        let on0: Vec<DropClass> = t.drops_on(PipeId(0)).map(|(_, c)| c).collect();
+        assert_eq!(on0, vec![DropClass::Loss, DropClass::Blackholed]);
+        assert_eq!(t.drops_on(PipeId(1)).count(), 1);
+        assert_eq!(t.drops_on(PipeId(7)).count(), 0);
+        assert_eq!(t.drops().count(), 3);
     }
 
     #[test]

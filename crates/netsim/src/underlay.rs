@@ -160,12 +160,19 @@ impl UnderlayBuilder {
     /// Creates an empty builder with a default 1 ms peering-hop latency.
     #[must_use]
     pub fn new() -> Self {
-        UnderlayBuilder { peering_latency: SimDuration::from_millis(1), ..Default::default() }
+        UnderlayBuilder {
+            peering_latency: SimDuration::from_millis(1),
+            ..Default::default()
+        }
     }
 
     /// Adds a city at plane coordinates given in kilometres.
     pub fn city(&mut self, name: &str, x_km: f64, y_km: f64) -> CityId {
-        self.cities.push(City { name: name.to_owned(), x_km, y_km });
+        self.cities.push(City {
+            name: name.to_owned(),
+            x_km,
+            y_km,
+        });
         CityId(self.cities.len() - 1)
     }
 
@@ -190,7 +197,11 @@ impl UnderlayBuilder {
         let id = RouterId(self.routers.len());
         let prev = self.isps[isp.0].routers_by_city.insert(city, id);
         assert!(prev.is_none(), "ISP already has a router in this city");
-        self.routers.push(Router { isp, city, up: true });
+        self.routers.push(Router {
+            isp,
+            city,
+            up: true,
+        });
         id
     }
 
@@ -221,7 +232,13 @@ impl UnderlayBuilder {
         let ra = self.isps[isp.0].routers_by_city[&a];
         let rb = self.isps[isp.0].routers_by_city[&b];
         let id = UEdgeId(self.edges.len());
-        self.edges.push(UEdge { isp, a: ra, b: rb, latency, up: true });
+        self.edges.push(UEdge {
+            isp,
+            a: ra,
+            b: rb,
+            latency,
+            up: true,
+        });
         self.isps[isp.0].edges.push(id);
         id
     }
@@ -373,8 +390,7 @@ impl Underlay {
             .map(UEdgeId)
             .filter(|&e| {
                 let (a, b) = self.edge_cities(e);
-                self.distance_km(center, a) <= radius_km
-                    || self.distance_km(center, b) <= radius_km
+                self.distance_km(center, a) <= radius_km || self.distance_km(center, b) <= radius_km
             })
             .collect()
     }
@@ -455,18 +471,30 @@ impl Underlay {
         to: CityId,
     ) -> Result<ResolvedPath, ResolveError> {
         self.maybe_reconverge(isp, now);
-        let ra = *self.isps[isp.0].routers_by_city.get(&from).ok_or(ResolveError::NoRoute)?;
-        let rb = *self.isps[isp.0].routers_by_city.get(&to).ok_or(ResolveError::NoRoute)?;
+        let ra = *self.isps[isp.0]
+            .routers_by_city
+            .get(&from)
+            .ok_or(ResolveError::NoRoute)?;
+        let rb = *self.isps[isp.0]
+            .routers_by_city
+            .get(&to)
+            .ok_or(ResolveError::NoRoute)?;
         if !self.routers[ra.0].up || !self.routers[rb.0].up {
             // An endpoint POP being down is visible immediately (the access
             // link is dead), not a stale-routing artifact.
             return Err(ResolveError::Blackholed);
         }
         if ra == rb {
-            return Ok(ResolvedPath { latency: SimDuration::ZERO, edges: Vec::new() });
+            return Ok(ResolvedPath {
+                latency: SimDuration::ZERO,
+                edges: Vec::new(),
+            });
         }
-        let path =
-            self.isps[isp.0].routes.get(&(ra, rb)).cloned().ok_or(ResolveError::NoRoute)?;
+        let path = self.isps[isp.0]
+            .routes
+            .get(&(ra, rb))
+            .cloned()
+            .ok_or(ResolveError::NoRoute)?;
         let mut latency = SimDuration::ZERO;
         for &eid in &path {
             let e = &self.edges[eid.0];
@@ -475,7 +503,10 @@ impl Underlay {
             }
             latency += e.latency;
         }
-        Ok(ResolvedPath { latency, edges: path })
+        Ok(ResolvedPath {
+            latency,
+            edges: path,
+        })
     }
 
     fn mark_dirty(&mut self, isp: IspId, now: SimTime) {
@@ -496,8 +527,7 @@ impl Underlay {
 
     /// Recomputes one ISP's shortest-path table over its live components.
     fn recompute_isp(&mut self, isp: IspId) {
-        let routers: Vec<RouterId> =
-            self.isps[isp.0].routers_by_city.values().copied().collect();
+        let routers: Vec<RouterId> = self.isps[isp.0].routers_by_city.values().copied().collect();
         // Adjacency over live routers/edges.
         let mut adj: HashMap<RouterId, Vec<(RouterId, UEdgeId, SimDuration)>> = HashMap::new();
         for &eid in &self.isps[isp.0].edges {
@@ -579,8 +609,14 @@ mod tests {
     #[test]
     fn shortest_path_prefers_direct_link() {
         let (mut ul, [nyc, _, den, _], isp, edges) = line_underlay();
-        let p = ul.resolve(SimTime::ZERO, Attachment::OnNet(isp), nyc, den).unwrap();
-        assert_eq!(p.edges, vec![edges[3]], "direct 2000km beats 2x1000km + hop");
+        let p = ul
+            .resolve(SimTime::ZERO, Attachment::OnNet(isp), nyc, den)
+            .unwrap();
+        assert_eq!(
+            p.edges,
+            vec![edges[3]],
+            "direct 2000km beats 2x1000km + hop"
+        );
         // 2000 km * 1.2 / 200 km/ms = 12 ms
         assert!((p.latency.as_millis_f64() - 12.0).abs() < 1e-6);
     }
@@ -588,7 +624,9 @@ mod tests {
     #[test]
     fn same_city_is_zero_latency() {
         let (mut ul, [nyc, ..], isp, _) = line_underlay();
-        let p = ul.resolve(SimTime::ZERO, Attachment::OnNet(isp), nyc, nyc).unwrap();
+        let p = ul
+            .resolve(SimTime::ZERO, Attachment::OnNet(isp), nyc, nyc)
+            .unwrap();
         assert_eq!(p.latency, SimDuration::ZERO);
         assert!(p.edges.is_empty());
     }
@@ -618,23 +656,36 @@ mod tests {
         ul.fail_edge(edges[3], SimTime::ZERO);
         let converged = SimTime::from_secs(50);
         assert_eq!(
-            ul.resolve(converged, Attachment::OnNet(isp), nyc, den).unwrap().edges.len(),
-            2
-        );
-        ul.repair_edge(edges[3], converged);
-        // Still on the long path until reconvergence...
-        assert_eq!(
-            ul.resolve(converged + SimDuration::from_secs(1), Attachment::OnNet(isp), nyc, den)
+            ul.resolve(converged, Attachment::OnNet(isp), nyc, den)
                 .unwrap()
                 .edges
                 .len(),
             2
         );
+        ul.repair_edge(edges[3], converged);
+        // Still on the long path until reconvergence...
+        assert_eq!(
+            ul.resolve(
+                converged + SimDuration::from_secs(1),
+                Attachment::OnNet(isp),
+                nyc,
+                den
+            )
+            .unwrap()
+            .edges
+            .len(),
+            2
+        );
         // ...then back on the direct link.
         assert_eq!(
-            ul.resolve(converged + SimDuration::from_secs(41), Attachment::OnNet(isp), nyc, den)
-                .unwrap()
-                .edges,
+            ul.resolve(
+                converged + SimDuration::from_secs(41),
+                Attachment::OnNet(isp),
+                nyc,
+                den
+            )
+            .unwrap()
+            .edges,
             vec![edges[3]]
         );
     }
@@ -652,7 +703,9 @@ mod tests {
             Err(ResolveError::NoRoute)
         );
         // Other destinations are unaffected once converged.
-        assert!(ul.resolve(SimTime::from_secs(60), Attachment::OnNet(isp), nyc, den).is_ok());
+        assert!(ul
+            .resolve(SimTime::from_secs(60), Attachment::OnNet(isp), nyc, den)
+            .is_ok());
     }
 
     #[test]
@@ -689,7 +742,10 @@ mod tests {
             ul.resolve(t, Attachment::OnNet(isp1), nyc, chi),
             Err(ResolveError::Blackholed)
         );
-        assert!(ul.resolve(t, Attachment::OnNet(isp2), nyc, chi).is_ok(), "second ISP unaffected");
+        assert!(
+            ul.resolve(t, Attachment::OnNet(isp2), nyc, chi).is_ok(),
+            "second ISP unaffected"
+        );
     }
 
     #[test]
@@ -711,7 +767,10 @@ mod tests {
         let p = ul
             .resolve(
                 SimTime::ZERO,
-                Attachment::OffNet { src_isp: isp1, dst_isp: isp2 },
+                Attachment::OffNet {
+                    src_isp: isp1,
+                    dst_isp: isp2,
+                },
                 nyc,
                 sf,
             )
@@ -795,6 +854,8 @@ mod region_tests {
         for e in victims {
             ul.repair_edge(e, SimTime::from_secs(60));
         }
-        assert!(ul.resolve(SimTime::from_secs(101), Attachment::OnNet(isp), a, far).is_ok());
+        assert!(ul
+            .resolve(SimTime::from_secs(101), Attachment::OnNet(isp), a, far)
+            .is_ok());
     }
 }

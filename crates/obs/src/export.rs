@@ -1,0 +1,375 @@
+//! Experiment export: JSONL and CSV sinks plus a human-readable summary.
+//!
+//! Experiments write one [`Json`] object per line (JSONL) so downstream
+//! analysis can stream rows without a parser that holds the whole file; CSV
+//! is available for spreadsheet-shaped tables. [`registry_rows`] converts a
+//! [`Registry`] snapshot into export rows with a stable schema (documented
+//! in `EXPERIMENTS.md`), and [`summary`] renders the same snapshot as an
+//! aligned text table for the terminal.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::hist::LatencyHistogram;
+use crate::json::Json;
+use crate::registry::Registry;
+
+/// Environment variable overriding the export directory.
+pub const OBS_DIR_ENV: &str = "SON_OBS_DIR";
+
+/// The export directory: `$SON_OBS_DIR` if set, else `target/obs`.
+/// The directory is created if missing.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the directory cannot be created.
+pub fn obs_dir() -> io::Result<PathBuf> {
+    let dir =
+        std::env::var_os(OBS_DIR_ENV).map_or_else(|| PathBuf::from("target/obs"), PathBuf::from);
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+fn create_buffered(path: &Path) -> io::Result<BufWriter<File>> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    Ok(BufWriter::new(File::create(path)?))
+}
+
+/// A buffered JSONL file sink: one JSON object per line.
+#[derive(Debug)]
+pub struct JsonlSink {
+    path: PathBuf,
+    out: BufWriter<File>,
+    rows: u64,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let out = create_buffered(&path)?;
+        Ok(JsonlSink { path, out, rows: 0 })
+    }
+
+    /// Creates `<obs_dir>/<name>.jsonl`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the directory or file cannot be created.
+    pub fn for_experiment(name: &str) -> io::Result<Self> {
+        JsonlSink::create(obs_dir()?.join(format!("{name}.jsonl")))
+    }
+
+    /// Appends one row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the write fails.
+    pub fn write(&mut self, row: &Json) -> io::Result<()> {
+        let mut line = String::with_capacity(128);
+        row.render(&mut line);
+        line.push('\n');
+        self.out.write_all(line.as_bytes())?;
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Rows written so far.
+    #[must_use]
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// The sink's path (for "wrote N rows to ..." banners).
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushes buffered rows to disk and returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the flush fails.
+    pub fn finish(mut self) -> io::Result<PathBuf> {
+        self.out.flush()?;
+        Ok(self.path)
+    }
+}
+
+/// A buffered CSV file sink with a fixed column count.
+#[derive(Debug)]
+pub struct CsvSink {
+    path: PathBuf,
+    out: BufWriter<File>,
+    columns: usize,
+}
+
+impl CsvSink {
+    /// Creates (truncating) the file at `path` and writes the header row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the file cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn create(path: impl AsRef<Path>, header: &[&str]) -> io::Result<Self> {
+        assert!(
+            !header.is_empty(),
+            "CSV header must have at least one column"
+        );
+        let path = path.as_ref().to_path_buf();
+        let out = create_buffered(&path)?;
+        let mut sink = CsvSink {
+            path,
+            out,
+            columns: header.len(),
+        };
+        sink.row(header)?;
+        Ok(sink)
+    }
+
+    /// Appends one row; fields are escaped as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the write fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field count differs from the header's.
+    pub fn row<S: AsRef<str>>(&mut self, fields: &[S]) -> io::Result<()> {
+        assert_eq!(fields.len(), self.columns, "CSV row width mismatch");
+        let mut line = String::with_capacity(64);
+        for (i, f) in fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&csv_field(f.as_ref()));
+        }
+        line.push('\n');
+        self.out.write_all(line.as_bytes())
+    }
+
+    /// The sink's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flushes buffered rows to disk and returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the flush fails.
+    pub fn finish(mut self) -> io::Result<PathBuf> {
+        self.out.flush()?;
+        Ok(self.path)
+    }
+}
+
+/// Escapes one CSV field (quoted when it contains a comma, quote, or newline).
+#[must_use]
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        s.to_owned()
+    }
+}
+
+/// A registry snapshot as export rows.
+///
+/// Schema (`kind` discriminates):
+/// - counters: `{"kind":"counter","name":..,"labels":{..},"value":N}`
+/// - gauges: `{"kind":"gauge","name":..,"labels":{..},"value":X}`
+/// - histograms: `{"kind":"hist","name":..,"labels":{..},"count":N,
+///   "p50_ms":..,"p90_ms":..,"p99_ms":..,"max_ms":..,"mean_ms":..}`
+///   (milliseconds, since instruments record nanoseconds)
+#[must_use]
+pub fn registry_rows(reg: &Registry) -> Vec<Json> {
+    let labels_obj = |labels: &[(String, String)]| {
+        Json::Obj(
+            labels
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                .collect(),
+        )
+    };
+    let mut rows = Vec::new();
+    for (desc, v) in reg.counters() {
+        rows.push(Json::obj(vec![
+            ("kind", Json::str("counter")),
+            ("name", Json::Str(desc.name.clone())),
+            ("labels", labels_obj(&desc.labels)),
+            ("value", Json::U64(v)),
+        ]));
+    }
+    for (desc, v) in reg.gauges() {
+        rows.push(Json::obj(vec![
+            ("kind", Json::str("gauge")),
+            ("name", Json::Str(desc.name.clone())),
+            ("labels", labels_obj(&desc.labels)),
+            ("value", Json::F64(v)),
+        ]));
+    }
+    for (desc, h) in reg.histograms() {
+        let mut row = vec![
+            ("kind", Json::str("hist")),
+            ("name", Json::Str(desc.name.clone())),
+            ("labels", labels_obj(&desc.labels)),
+        ];
+        row.extend(hist_fields(h));
+        rows.push(Json::obj(row));
+    }
+    rows
+}
+
+/// The standard histogram summary fields as JSON pairs (milliseconds).
+#[must_use]
+pub fn hist_fields(h: &LatencyHistogram) -> Vec<(&'static str, Json)> {
+    vec![
+        ("count", Json::U64(h.count())),
+        ("p50_ms", Json::F64(h.p50() as f64 / 1e6)),
+        ("p90_ms", Json::F64(h.p90() as f64 / 1e6)),
+        ("p99_ms", Json::F64(h.p99() as f64 / 1e6)),
+        ("max_ms", Json::F64(h.max() as f64 / 1e6)),
+        ("mean_ms", Json::F64(h.mean() / 1e6)),
+    ]
+}
+
+/// Renders a registry snapshot as an aligned text table (counters sorted by
+/// key, then gauges, then histogram quantiles).
+#[must_use]
+pub fn summary(reg: &Registry) -> String {
+    let mut counters: Vec<(String, u64)> = reg.counters().map(|(d, v)| (d.key(), v)).collect();
+    counters.sort();
+    let mut gauges: Vec<(String, f64)> = reg.gauges().map(|(d, v)| (d.key(), v)).collect();
+    gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut hists: Vec<(String, &LatencyHistogram)> =
+        reg.histograms().map(|(d, h)| (d.key(), h)).collect();
+    hists.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let width = counters
+        .iter()
+        .map(|(k, _)| k.len())
+        .chain(gauges.iter().map(|(k, _)| k.len()))
+        .chain(hists.iter().map(|(k, _)| k.len()))
+        .max()
+        .unwrap_or(0);
+
+    let mut out = String::new();
+    for (k, v) in &counters {
+        out.push_str(&format!("{k:<width$}  {v}\n"));
+    }
+    for (k, v) in &gauges {
+        out.push_str(&format!("{k:<width$}  {v:.3}\n"));
+    }
+    for (k, h) in &hists {
+        out.push_str(&format!(
+            "{k:<width$}  n={} p50={:.3}ms p90={:.3}ms p99={:.3}ms max={:.3}ms\n",
+            h.count(),
+            h.p50() as f64 / 1e6,
+            h.p90() as f64 / 1e6,
+            h.p99() as f64 / 1e6,
+            h.max() as f64 / 1e6,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("son_obs_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_object_per_line() {
+        let path = tmp("rows.jsonl");
+        let mut sink = JsonlSink::create(&path).unwrap();
+        sink.write(&Json::obj(vec![("a", Json::U64(1))])).unwrap();
+        sink.write(&Json::obj(vec![("b", Json::str("two"))]))
+            .unwrap();
+        assert_eq!(sink.rows(), 2);
+        let written = sink.finish().unwrap();
+        let content = fs::read_to_string(&written).unwrap();
+        assert_eq!(content, "{\"a\":1}\n{\"b\":\"two\"}\n");
+        fs::remove_file(written).unwrap();
+    }
+
+    #[test]
+    fn csv_sink_escapes_and_checks_width() {
+        let path = tmp("rows.csv");
+        let mut sink = CsvSink::create(&path, &["name", "value"]).unwrap();
+        sink.row(&["plain", "1"]).unwrap();
+        sink.row(&["needs,quote", "say \"hi\""]).unwrap();
+        let written = sink.finish().unwrap();
+        let content = fs::read_to_string(&written).unwrap();
+        assert_eq!(
+            content,
+            "name,value\nplain,1\n\"needs,quote\",\"say \"\"hi\"\"\"\n"
+        );
+        fs::remove_file(written).unwrap();
+    }
+
+    #[test]
+    fn registry_rows_cover_all_instruments() {
+        let mut reg = Registry::new();
+        let c = reg.counter("node.forwarded", &[("node", "1")]);
+        reg.add(c, 9);
+        let g = reg.gauge("link.window", &[]);
+        reg.set(g, 4.0);
+        let h = reg.histogram("e2e.latency_ns", &[("flow", "7")]);
+        reg.observe(h, 2_000_000);
+        let rows = registry_rows(&reg);
+        assert_eq!(rows.len(), 3);
+        let rendered: Vec<String> = rows.iter().map(Json::to_json).collect();
+        assert!(rendered[0].contains("\"kind\":\"counter\""));
+        assert!(rendered[0].contains("\"value\":9"));
+        assert!(rendered[1].contains("\"kind\":\"gauge\""));
+        assert!(rendered[2].contains("\"kind\":\"hist\""));
+        assert!(rendered[2].contains("\"count\":1"));
+        assert!(rendered[2].contains("\"p50_ms\":2"));
+    }
+
+    #[test]
+    fn summary_aligns_and_sorts() {
+        let mut reg = Registry::new();
+        let b = reg.counter("b.second", &[]);
+        reg.add(b, 2);
+        let a = reg.counter("a.first", &[]);
+        reg.add(a, 1);
+        let h = reg.histogram("lat", &[]);
+        reg.observe(h, 1_000_000);
+        let s = summary(&reg);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("a.first"));
+        assert!(lines[1].starts_with("b.second"));
+        assert!(lines[2].contains("n=1"));
+    }
+}

@@ -1,0 +1,315 @@
+//! Log-bucketed latency histograms.
+//!
+//! [`LatencyHistogram`] records durations in nanoseconds into power-of-two
+//! buckets: bucket *i* (for *i* ≥ 1) covers `(2^(i-1), 2^i]` ns, bucket 0
+//! covers `[0, 1]`. Recording is O(1) with no allocation after
+//! construction, quantiles are read out with linear interpolation inside the
+//! resolved bucket (≤ 2× relative error by construction, far better in
+//! practice for smooth distributions), and two histograms merge exactly —
+//! unlike sample-keeping percentile estimators, which either grow without
+//! bound or subsample.
+
+/// Number of buckets: zero bucket + one per possible leading-bit position.
+const BUCKETS: usize = 65;
+
+/// A fixed-size log₂-bucketed histogram of durations in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// Bucket index for a value: bucket 0 covers `[0, 1]`, bucket `i` (≥ 1)
+/// covers `(2^(i-1), 2^i]`.
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - (v - 1).leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` in nanoseconds.
+fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        1
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        1u64 << i
+    }
+}
+
+/// Exclusive lower bound of bucket `i` in nanoseconds (inclusive 0 for the
+/// zero bucket).
+fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one duration in nanoseconds.
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[bucket_of(nanos)] += 1;
+        self.count += 1;
+        self.sum += u128::from(nanos);
+        self.min = self.min.min(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value in nanoseconds, or 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value in nanoseconds, or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of recorded values in nanoseconds, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds, or 0 when empty.
+    ///
+    /// The answer is exact to the resolved bucket and linearly interpolated
+    /// within it, clamped to the observed `[min, max]` so the tails never
+    /// overshoot the data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `0.0..=1.0`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0, 1], got {q}"
+        );
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the target sample, 1-based: ceil(q * count), at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                // Interpolate position within this bucket.
+                let into = (rank - seen) as f64 / c as f64;
+                let lo = bucket_lo(i) as f64;
+                let hi = bucket_hi(i) as f64;
+                let v = lo + (hi - lo) * into;
+                return (v as u64).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Shorthand for the 50th percentile in nanoseconds.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Shorthand for the 90th percentile in nanoseconds.
+    #[must_use]
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// Shorthand for the 99th percentile in nanoseconds.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds another histogram into this one. Merging is exact: the result
+    /// is identical to having recorded every value into one histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lo_exclusive_ns, hi_inclusive_ns, count)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lo(i), bucket_hi(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(5), 3);
+        assert_eq!(bucket_of(1 << 20), 20);
+        assert_eq!(bucket_of((1 << 20) + 1), 21);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Each value lies within its bucket's (lo, hi] range.
+        for v in [1u64, 2, 3, 4, 5, 1023, 1024, 1025, u64::MAX] {
+            let i = bucket_of(v);
+            assert!(v <= bucket_hi(i), "{v} above hi of bucket {i}");
+            assert!(i == 0 || v > bucket_lo(i), "{v} below lo of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn single_value_quantiles() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_000);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 1_000_000, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_bounded_by_bucket() {
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 200, 400, 800, 1600, 3200] {
+            h.record(v);
+        }
+        let p50 = h.p50();
+        // Exact p50 (rank 3 of 6) is 400; bucket (256, 512] bounds the error.
+        assert!(p50 > 256 && p50 <= 512, "p50={p50}");
+        assert_eq!(h.min(), 100);
+        assert_eq!(h.max(), 3200);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for v in [5u64, 17, 200, 90_000] {
+            a.record(v);
+            combined.record(v);
+        }
+        for v in [3u64, 1_000_000, 64] {
+            b.record(v);
+            combined.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.min(), combined.min());
+        assert_eq!(a.max(), combined.max());
+        assert_eq!(a.mean(), combined.mean());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), combined.quantile(q), "q={q}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        fn percentiles_are_monotone(values in proptest::collection::vec(0u64..10_000_000_000, 1..300)) {
+            let mut h = LatencyHistogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+            let mut prev = 0u64;
+            for &q in &qs {
+                let v = h.quantile(q);
+                prop_assert!(v >= prev, "quantile({q}) = {v} < previous {prev}");
+                prop_assert!(v >= h.min() && v <= h.max());
+                prev = v;
+            }
+            prop_assert_eq!(h.count(), values.len() as u64);
+        }
+
+        fn quantile_within_a_factor_of_two(values in proptest::collection::vec(1u64..1_000_000_000, 1..200), qi in 0usize..5) {
+            let q = [0.1, 0.5, 0.9, 0.95, 0.99][qi];
+            let mut h = LatencyHistogram::new();
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for &v in &values {
+                h.record(v);
+            }
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = sorted[rank - 1];
+            let est = h.quantile(q);
+            // The estimate lands in the exact value's bucket or is clamped to
+            // observed min/max, so it is within 2x below and 2x above.
+            prop_assert!(est <= exact.saturating_mul(2), "est={est} exact={exact}");
+            prop_assert!(est >= exact / 2, "est={est} exact={exact}");
+        }
+    }
+}

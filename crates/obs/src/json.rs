@@ -1,0 +1,160 @@
+//! Minimal JSON rendering for JSONL export.
+//!
+//! The export formats only ever *write* JSON, and the build environment is
+//! offline, so instead of a serde backend this module renders a small
+//! [`Json`] value tree by hand with correct string escaping. Numbers follow
+//! JSON rules: non-finite floats render as `null`.
+
+use core::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (`null` if not finite).
+    F64(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object from `(&str, Json)` pairs.
+    #[must_use]
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Convenience constructor for a string value.
+    #[must_use]
+    pub fn str(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+
+    /// Renders into `out` (single line, no trailing newline).
+    pub fn render(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => {
+                if v.is_finite() {
+                    // `{}` prints the shortest representation that round-trips.
+                    let _ = write!(out, "{v}");
+                    // Bare integers like `3` are valid JSON numbers already.
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders to a fresh string.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out);
+        out
+    }
+}
+
+/// Writes `s` as a quoted, escaped JSON string into `out`.
+pub fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_json(), "null");
+        assert_eq!(Json::Bool(true).to_json(), "true");
+        assert_eq!(Json::U64(42).to_json(), "42");
+        assert_eq!(Json::I64(-7).to_json(), "-7");
+        assert_eq!(Json::F64(2.5).to_json(), "2.5");
+        assert_eq!(Json::F64(f64::NAN).to_json(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(Json::str("plain").to_json(), "\"plain\"");
+        assert_eq!(Json::str("a\"b\\c").to_json(), "\"a\\\"b\\\\c\"");
+        assert_eq!(
+            Json::str("line\nbreak\ttab").to_json(),
+            "\"line\\nbreak\\ttab\""
+        );
+        assert_eq!(Json::str("\u{1}").to_json(), "\"\\u0001\"");
+        assert_eq!(
+            Json::str("unicode: émoji ✓").to_json(),
+            "\"unicode: émoji ✓\""
+        );
+    }
+
+    #[test]
+    fn composites_render() {
+        let v = Json::obj(vec![
+            ("name", Json::str("run")),
+            ("values", Json::Arr(vec![Json::U64(1), Json::U64(2)])),
+            ("nested", Json::obj(vec![("ok", Json::Bool(false))])),
+        ]);
+        assert_eq!(
+            v.to_json(),
+            r#"{"name":"run","values":[1,2],"nested":{"ok":false}}"#
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! # son-obs — cross-layer observability for the structured-overlay stack
+//!
+//! Shared instrumentation used by the simulator (`son-netsim`), the overlay
+//! daemon (`son-overlay`), and the experiment harness (`son-bench`):
+//!
+//! - a [`registry::Registry`] of typed, labelled instruments — counters,
+//!   gauges, and log₂-bucketed [`hist::LatencyHistogram`]s — addressed by
+//!   copyable index handles so the hot path costs a `Vec` index plus an add;
+//! - packet-lifecycle [`span::SpanRing`]s recording per-hop
+//!   enqueue/dequeue/transmit/deliver/recover/drop events in simulation
+//!   time, bounded per node;
+//! - the unified [`taxonomy::DropClass`] drop-reason taxonomy shared by
+//!   every layer that discards packets, so "packets in = packets delivered +
+//!   packets dropped" is checkable with every drop attributed;
+//! - [`export`] sinks (JSONL, CSV) and a text [`export::summary`] used by
+//!   the experiment binaries.
+//!
+//! The crate is dependency-free and knows nothing about the simulator;
+//! durations are plain `u64` nanoseconds (matching `SimTime::as_nanos`).
+//! Observability is designed to be zero-cost when disabled: callers hold an
+//! `Option<...>`/enabled flag and skip the calls entirely.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod export;
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod span;
+pub mod taxonomy;
+
+pub use export::{obs_dir, registry_rows, summary, CsvSink, JsonlSink};
+pub use hist::LatencyHistogram;
+pub use json::Json;
+pub use registry::{CounterId, GaugeId, HistId, InstrumentDesc, Registry};
+pub use span::{PacketKey, SpanEvent, SpanRing, SpanStage};
+pub use taxonomy::DropClass;
+
+/// One-stop imports for instrumented components.
+pub mod prelude {
+    pub use crate::export::{obs_dir, registry_rows, summary, CsvSink, JsonlSink};
+    pub use crate::hist::LatencyHistogram;
+    pub use crate::json::Json;
+    pub use crate::registry::{CounterId, GaugeId, HistId, Registry};
+    pub use crate::span::{PacketKey, SpanEvent, SpanRing, SpanStage};
+    pub use crate::taxonomy::DropClass;
+}

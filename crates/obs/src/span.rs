@@ -1,0 +1,184 @@
+//! Packet-lifecycle spans.
+//!
+//! A span event marks one stage of a packet's life at one hop — enqueued
+//! into a protocol send buffer, dequeued for (re)transmission, put on the
+//! wire, delivered to the application, recovered by a retransmission, or
+//! dropped with a [`DropClass`]. Each node keeps its own bounded
+//! [`SpanRing`] (extending the netsim `Tracer` ring-buffer pattern up the
+//! stack), so memory is constant regardless of run length and a post-mortem
+//! can replay the last N events per node.
+//!
+//! Timestamps are simulation-time nanoseconds, matching `SimTime::as_nanos`.
+
+use std::collections::VecDeque;
+
+use crate::taxonomy::DropClass;
+
+/// A packet's identity: flow plus sequence number within the flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketKey {
+    /// Flow identifier.
+    pub flow: u64,
+    /// Sequence number within the flow.
+    pub seq: u64,
+}
+
+/// One stage in a packet's life at one hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanStage {
+    /// Entered a protocol send buffer.
+    Enqueue,
+    /// Left the send buffer for (re)transmission.
+    Dequeue,
+    /// Put on the wire (offered to a pipe).
+    Transmit,
+    /// Delivered upward to the application at this hop.
+    Deliver,
+    /// Recovered — a retransmission or FEC repair filled the gap.
+    Recover,
+    /// Discarded, with the unified drop class.
+    Drop(DropClass),
+}
+
+impl SpanStage {
+    /// Stable label for export.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            SpanStage::Enqueue => "enqueue",
+            SpanStage::Dequeue => "dequeue",
+            SpanStage::Transmit => "transmit",
+            SpanStage::Deliver => "deliver",
+            SpanStage::Recover => "recover",
+            SpanStage::Drop(_) => "drop",
+        }
+    }
+}
+
+/// One recorded lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Simulation time in nanoseconds.
+    pub at_ns: u64,
+    /// Which packet.
+    pub packet: PacketKey,
+    /// What happened.
+    pub stage: SpanStage,
+    /// Local link index the event occurred on, if any.
+    pub link: Option<u32>,
+}
+
+/// A bounded ring of [`SpanEvent`]s (oldest evicted first).
+#[derive(Debug)]
+pub struct SpanRing {
+    ring: VecDeque<SpanEvent>,
+    capacity: usize,
+    recorded: u64,
+}
+
+impl SpanRing {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "span ring capacity must be positive");
+        SpanRing {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            recorded: 0,
+        }
+    }
+
+    /// Records one event.
+    pub fn record(&mut self, event: SpanEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(event);
+        self.recorded += 1;
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.ring.iter()
+    }
+
+    /// Retained events for one packet, oldest first.
+    pub fn for_packet(&self, packet: PacketKey) -> impl Iterator<Item = &SpanEvent> + '_ {
+        self.ring.iter().filter(move |e| e.packet == packet)
+    }
+
+    /// Retained drop events, oldest first.
+    pub fn drops(&self) -> impl Iterator<Item = &SpanEvent> {
+        self.ring
+            .iter()
+            .filter(|e| matches!(e.stage, SpanStage::Drop(_)))
+    }
+
+    /// Total events ever recorded, including evicted ones.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events evicted by the ring bound.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.recorded - self.ring.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, seq: u64, stage: SpanStage) -> SpanEvent {
+        SpanEvent {
+            at_ns: t,
+            packet: PacketKey { flow: 1, seq },
+            stage,
+            link: Some(0),
+        }
+    }
+
+    #[test]
+    fn ring_bounds_memory() {
+        let mut r = SpanRing::new(3);
+        for i in 0..10 {
+            r.record(ev(i, i, SpanStage::Transmit));
+        }
+        assert_eq!(r.events().count(), 3);
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.evicted(), 7);
+        assert_eq!(r.events().next().unwrap().at_ns, 7);
+    }
+
+    #[test]
+    fn per_packet_filter() {
+        let mut r = SpanRing::new(16);
+        r.record(ev(0, 1, SpanStage::Enqueue));
+        r.record(ev(1, 2, SpanStage::Enqueue));
+        r.record(ev(2, 1, SpanStage::Transmit));
+        r.record(ev(3, 1, SpanStage::Drop(DropClass::Loss)));
+        let pkt = PacketKey { flow: 1, seq: 1 };
+        let stages: Vec<SpanStage> = r.for_packet(pkt).map(|e| e.stage).collect();
+        assert_eq!(
+            stages,
+            vec![
+                SpanStage::Enqueue,
+                SpanStage::Transmit,
+                SpanStage::Drop(DropClass::Loss)
+            ]
+        );
+        assert_eq!(r.drops().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SpanRing::new(0);
+    }
+}

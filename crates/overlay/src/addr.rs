@@ -27,7 +27,10 @@ impl OverlayAddr {
     /// Creates an address.
     #[must_use]
     pub fn new(node: NodeId, port: u16) -> Self {
-        OverlayAddr { node, port: VirtualPort(port) }
+        OverlayAddr {
+            node,
+            port: VirtualPort(port),
+        }
     }
 }
 
@@ -126,13 +129,50 @@ impl FlowKey {
     /// Builds the key for a flow from `src` to `dst`.
     #[must_use]
     pub fn new(src: OverlayAddr, dst: Destination) -> Self {
-        FlowKey { src, dst: dst.into() }
+        FlowKey {
+            src,
+            dst: dst.into(),
+        }
     }
 
     /// The destination as a `Destination`.
     #[must_use]
     pub fn dst(&self) -> Destination {
         self.dst.into()
+    }
+
+    /// A stable 64-bit identity of this flow, used to attribute simulator
+    /// drops and packet-lifecycle spans to flows (FNV-1a over the key's
+    /// components, independent of `Hash` implementation details).
+    #[must_use]
+    pub fn stable_id(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.src.node.0 as u64);
+        mix(u64::from(self.src.port.0));
+        match self.dst {
+            DestKey::Unicast(a) => {
+                mix(1);
+                mix(a.node.0 as u64);
+                mix(u64::from(a.port.0));
+            }
+            DestKey::Multicast(g) => {
+                mix(2);
+                mix(u64::from(g.0));
+            }
+            DestKey::Anycast(g) => {
+                mix(3);
+                mix(u64::from(g.0));
+            }
+        }
+        h
     }
 }
 
@@ -158,7 +198,10 @@ mod tests {
 
     #[test]
     fn destination_group_extraction() {
-        assert_eq!(Destination::Unicast(OverlayAddr::new(NodeId(0), 1)).group(), None);
+        assert_eq!(
+            Destination::Unicast(OverlayAddr::new(NodeId(0), 1)).group(),
+            None
+        );
         assert_eq!(Destination::Multicast(GroupId(4)).group(), Some(GroupId(4)));
         assert_eq!(Destination::Anycast(GroupId(4)).group(), Some(GroupId(4)));
     }
@@ -174,6 +217,29 @@ mod tests {
             let back: Destination = key.into();
             assert_eq!(back, d);
         }
+    }
+
+    #[test]
+    fn stable_ids_distinguish_flows() {
+        use std::collections::BTreeSet;
+        let mut ids = BTreeSet::new();
+        for n in 0..4 {
+            for p in 0..4 {
+                let src = OverlayAddr::new(NodeId(n), p);
+                ids.insert(
+                    FlowKey::new(src, Destination::Unicast(OverlayAddr::new(NodeId(9), 1)))
+                        .stable_id(),
+                );
+                ids.insert(FlowKey::new(src, Destination::Multicast(GroupId(1))).stable_id());
+                ids.insert(FlowKey::new(src, Destination::Anycast(GroupId(1))).stable_id());
+            }
+        }
+        assert_eq!(ids.len(), 48, "no collisions across 48 distinct flows");
+        let fk = FlowKey::new(
+            OverlayAddr::new(NodeId(1), 2),
+            Destination::Multicast(GroupId(3)),
+        );
+        assert_eq!(fk.stable_id(), fk.stable_id(), "deterministic");
     }
 
     #[test]

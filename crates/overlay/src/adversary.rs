@@ -127,21 +127,36 @@ mod tests {
     fn verdicts_match_behaviours() {
         assert_eq!(Behavior::Correct.forward_verdict(&pkt(0)), Verdict::Forward);
         assert_eq!(Behavior::Blackhole.forward_verdict(&pkt(0)), Verdict::Drop);
-        let sel = Behavior::SelectiveDrop { victims: vec![NodeId(3)] };
+        let sel = Behavior::SelectiveDrop {
+            victims: vec![NodeId(3)],
+        };
         assert_eq!(sel.forward_verdict(&pkt(3)), Verdict::Drop);
         assert_eq!(sel.forward_verdict(&pkt(4)), Verdict::Forward);
         assert_eq!(
-            Behavior::Delay { extra: SimDuration::from_millis(30) }.forward_verdict(&pkt(0)),
+            Behavior::Delay {
+                extra: SimDuration::from_millis(30)
+            }
+            .forward_verdict(&pkt(0)),
             Verdict::Delay(SimDuration::from_millis(30))
         );
-        assert_eq!(Behavior::Duplicate { copies: 1 }.forward_verdict(&pkt(0)), Verdict::Duplicate(2));
-        assert_eq!(Behavior::Misroute.forward_verdict(&pkt(0)), Verdict::Misroute);
+        assert_eq!(
+            Behavior::Duplicate { copies: 1 }.forward_verdict(&pkt(0)),
+            Verdict::Duplicate(2)
+        );
+        assert_eq!(
+            Behavior::Misroute.forward_verdict(&pkt(0)),
+            Verdict::Misroute
+        );
         let flood = Behavior::Flood {
             dst: Destination::Unicast(OverlayAddr::new(NodeId(1), 1)),
             rate_pps: 100,
             size: 100,
         };
-        assert_eq!(flood.forward_verdict(&pkt(0)), Verdict::Forward, "flooders still forward");
+        assert_eq!(
+            flood.forward_verdict(&pkt(0)),
+            Verdict::Forward,
+            "flooders still forward"
+        );
         assert!(Behavior::Correct.is_correct());
         assert!(!flood.is_correct());
     }

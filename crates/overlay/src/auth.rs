@@ -141,7 +141,10 @@ mod tests {
             OverlayAddr::new(NodeId(1), 5),
             Destination::Multicast(GroupId(1)),
         );
-        assert!(!reg.verify(NodeId(1), other_flow, 9, 100, tag), "wrong dest");
+        assert!(
+            !reg.verify(NodeId(1), other_flow, 9, 100, tag),
+            "wrong dest"
+        );
     }
 
     #[test]

@@ -167,7 +167,11 @@ impl OverlayBuilder {
         let mut edge_pipes: HashMap<EdgeId, Vec<(PipeId, PipeId)>> = HashMap::new();
         for e in self.topology.edges() {
             let (a, b) = self.topology.endpoints(e);
-            let loss = self.per_edge_loss.get(&e).unwrap_or(&self.default_loss).clone();
+            let loss = self
+                .per_edge_loss
+                .get(&e)
+                .unwrap_or(&self.default_loss)
+                .clone();
             let mut pairs = Vec::new();
             match &self.placement {
                 None => {
@@ -211,7 +215,11 @@ impl OverlayBuilder {
                         let config = PipeConfig::with_latency(HOP_PROCESSING)
                             .jitter(self.jitter)
                             .loss(loss.clone())
-                            .bound(PipeBinding { attachment, from: ca, to: cb });
+                            .bound(PipeBinding {
+                                attachment,
+                                from: ca,
+                                to: cb,
+                            });
                         pairs.push(sim.connect(daemons[a.0], daemons[b.0], config));
                     }
                 }
@@ -242,7 +250,12 @@ impl OverlayBuilder {
             }
         }
 
-        OverlayHandle { daemons, edge_pipes, topology: self.topology, keys }
+        OverlayHandle {
+            daemons,
+            edge_pipes,
+            topology: self.topology,
+            keys,
+        }
     }
 }
 
@@ -288,7 +301,12 @@ pub fn continental_overlay(scenario: &son_netsim::scenario::Scenario) -> (Graph,
                 continue;
             }
             let latency = ul
-                .resolve(son_netsim::time::SimTime::ZERO, Attachment::OnNet(isp), ca, cb)
+                .resolve(
+                    son_netsim::time::SimTime::ZERO,
+                    Attachment::OnNet(isp),
+                    ca,
+                    cb,
+                )
                 .map(|p| p.latency.as_millis_f64())
                 .unwrap_or(10.0);
             if latency > MAX_OVERLAY_LINK_MS {
@@ -326,7 +344,12 @@ pub fn global_overlay(scenario: &son_netsim::scenario::Scenario) -> (Graph, Vec<
                 continue;
             }
             let latency = ul
-                .resolve(son_netsim::time::SimTime::ZERO, Attachment::OnNet(isp), ca, cb)
+                .resolve(
+                    son_netsim::time::SimTime::ZERO,
+                    Attachment::OnNet(isp),
+                    ca,
+                    cb,
+                )
                 .map(|p| p.latency.as_millis_f64())
                 .unwrap_or(10.0);
             if latency > MAX_GLOBAL_LINK_MS {
@@ -392,7 +415,11 @@ mod tests {
             .build(&mut sim);
         // Every city hosts all three providers, so every link has 3 pairs.
         for e in topo.edges() {
-            assert_eq!(handle.edge_pipes[&e].len(), 3, "edge {e} should be triple-homed");
+            assert_eq!(
+                handle.edge_pipes[&e].len(),
+                3,
+                "edge {e} should be triple-homed"
+            );
         }
     }
 
@@ -409,7 +436,11 @@ mod tests {
         }
         // Links are short (§II-A: ~10ms apart).
         for e in topo.edges() {
-            assert!(topo.weight(e) <= MAX_OVERLAY_LINK_MS, "overlay link {e} too long: {}", topo.weight(e));
+            assert!(
+                topo.weight(e) <= MAX_OVERLAY_LINK_MS,
+                "overlay link {e} too long: {}",
+                topo.weight(e)
+            );
         }
     }
 }

@@ -138,7 +138,12 @@ impl ClientProcess {
         let sends = config
             .flows
             .iter()
-            .map(|f| FlowSend { flow: f.clone(), sent: 0, paused: false, withheld: 0 })
+            .map(|f| FlowSend {
+                flow: f.clone(),
+                sent: 0,
+                paused: false,
+                withheld: 0,
+            })
             .collect();
         ClientProcess {
             config,
@@ -187,7 +192,12 @@ impl ClientProcess {
             let s = &self.sends[idx];
             match &s.flow.workload {
                 Workload::None => return,
-                Workload::Cbr { interval, count, start, .. } => {
+                Workload::Cbr {
+                    interval,
+                    count,
+                    start,
+                    ..
+                } => {
                     if s.sent + s.withheld >= *count {
                         (SimDuration::ZERO, true)
                     } else if first {
@@ -196,7 +206,12 @@ impl ClientProcess {
                         (*interval, false)
                     }
                 }
-                Workload::Poisson { mean_interval, count, start, .. } => {
+                Workload::Poisson {
+                    mean_interval,
+                    count,
+                    start,
+                    ..
+                } => {
                     if s.sent + s.withheld >= *count {
                         (SimDuration::ZERO, true)
                     } else if first {
@@ -242,19 +257,17 @@ impl ClientProcess {
             *self.sent_counts.entry(local_flow).or_insert(0) += 1;
             self.daemon_send(
                 ctx,
-                ClientOp::Send { local_flow, size, payload: Bytes::new() },
+                ClientOp::Send {
+                    local_flow,
+                    size,
+                    payload: Bytes::new(),
+                },
             );
         }
         self.schedule_next(ctx, idx, false);
     }
 
-    fn record_delivery(
-        &mut self,
-        now: SimTime,
-        flow: FlowKey,
-        seq: u64,
-        created_at: SimTime,
-    ) {
+    fn record_delivery(&mut self, now: SimTime, flow: FlowKey, seq: u64, created_at: SimTime) {
         let r = self.recv.entry(flow).or_default();
         if !r.seen.insert(seq) {
             r.app_duplicates += 1;
@@ -278,14 +291,23 @@ impl ClientProcess {
 
 impl Process<Wire> for ClientProcess {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Wire>) {
-        self.daemon_send(ctx, ClientOp::Connect { port: self.config.port });
+        self.daemon_send(
+            ctx,
+            ClientOp::Connect {
+                port: self.config.port,
+            },
+        );
         for g in self.config.joins.clone() {
             self.daemon_send(ctx, ClientOp::Join(g));
         }
         for f in self.config.flows.clone() {
             self.daemon_send(
                 ctx,
-                ClientOp::OpenFlow { local_flow: f.local_flow, dst: f.dst, spec: f.spec },
+                ClientOp::OpenFlow {
+                    local_flow: f.local_flow,
+                    dst: f.dst,
+                    spec: f.spec,
+                },
             );
         }
         for idx in 0..self.sends.len() {
@@ -303,18 +325,31 @@ impl Process<Wire> for ClientProcess {
         let Wire::ToClient(event) = msg else { return };
         match event {
             SessionEvent::Connected { addr } => self.addr = Some(addr),
-            SessionEvent::Deliver { flow, seq, created_at, .. } => {
+            SessionEvent::Deliver {
+                flow,
+                seq,
+                created_at,
+                ..
+            } => {
                 self.record_delivery(ctx.now(), flow, seq, created_at);
             }
             SessionEvent::FlowPaused { local_flow } => {
                 self.pause_events += 1;
-                if let Some(s) = self.sends.iter_mut().find(|s| s.flow.local_flow == local_flow) {
+                if let Some(s) = self
+                    .sends
+                    .iter_mut()
+                    .find(|s| s.flow.local_flow == local_flow)
+                {
                     s.paused = true;
                 }
             }
             SessionEvent::FlowResumed { local_flow } => {
                 self.resume_events += 1;
-                if let Some(s) = self.sends.iter_mut().find(|s| s.flow.local_flow == local_flow) {
+                if let Some(s) = self
+                    .sends
+                    .iter_mut()
+                    .find(|s| s.flow.local_flow == local_flow)
+                {
                     s.paused = false;
                 }
             }
@@ -348,9 +383,24 @@ mod tests {
             joins: vec![],
             flows: vec![],
         });
-        c.record_delivery(SimTime::from_millis(15), flow_key(), 1, SimTime::from_millis(5));
-        c.record_delivery(SimTime::from_millis(27), flow_key(), 2, SimTime::from_millis(15));
-        c.record_delivery(SimTime::from_millis(30), flow_key(), 2, SimTime::from_millis(15));
+        c.record_delivery(
+            SimTime::from_millis(15),
+            flow_key(),
+            1,
+            SimTime::from_millis(5),
+        );
+        c.record_delivery(
+            SimTime::from_millis(27),
+            flow_key(),
+            2,
+            SimTime::from_millis(15),
+        );
+        c.record_delivery(
+            SimTime::from_millis(30),
+            flow_key(),
+            2,
+            SimTime::from_millis(15),
+        );
         let r = c.sole_recv();
         assert_eq!(r.received, 2);
         assert_eq!(r.app_duplicates, 1);

@@ -33,7 +33,11 @@ struct FlowWindow {
 
 impl FlowWindow {
     fn new() -> Self {
-        FlowWindow { high: 0, bits: vec![0; (WINDOW as usize).div_ceil(64)], any: false }
+        FlowWindow {
+            high: 0,
+            bits: vec![0; (WINDOW as usize).div_ceil(64)],
+            any: false,
+        }
     }
 
     fn bit(&mut self, seq: u64) -> (usize, u64) {
@@ -99,7 +103,11 @@ impl DedupTable {
     /// Returns `true` if this is the **first** copy (process it), `false`
     /// if it is a duplicate (drop it).
     pub fn first_sighting(&mut self, flow: FlowKey, seq: u64) -> bool {
-        let dup = self.flows.entry(flow).or_insert_with(FlowWindow::new).test_and_set(seq);
+        let dup = self
+            .flows
+            .entry(flow)
+            .or_insert_with(FlowWindow::new)
+            .test_and_set(seq);
         if dup {
             self.duplicates += 1;
         } else {
@@ -139,7 +147,10 @@ mod tests {
     use son_topo::NodeId;
 
     fn flow(n: usize) -> FlowKey {
-        FlowKey::new(OverlayAddr::new(NodeId(n), 1), Destination::Multicast(GroupId(0)))
+        FlowKey::new(
+            OverlayAddr::new(NodeId(n), 1),
+            Destination::Multicast(GroupId(0)),
+        )
     }
 
     #[test]

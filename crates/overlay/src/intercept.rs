@@ -41,7 +41,10 @@ impl InterceptPolicy {
     /// A policy applying one spec to everything.
     #[must_use]
     pub fn uniform(spec: FlowSpec) -> Self {
-        InterceptPolicy { default_spec: spec, rules: Vec::new() }
+        InterceptPolicy {
+            default_spec: spec,
+            rules: Vec::new(),
+        }
     }
 
     /// Adds a per-destination rule.
@@ -133,15 +136,31 @@ impl Process<Wire> for Interceptor {
                         f
                     }
                 };
-                self.daemon_send(ctx, ClientOp::Send { local_flow, size, payload });
+                self.daemon_send(
+                    ctx,
+                    ClientOp::Send {
+                        local_flow,
+                        size,
+                        payload,
+                    },
+                );
             }
             // Inbound: an overlay delivery, re-materialized as a raw datagram.
-            Wire::ToClient(SessionEvent::Deliver { flow, size, payload, .. }) => {
+            Wire::ToClient(SessionEvent::Deliver {
+                flow,
+                size,
+                payload,
+                ..
+            }) => {
                 self.delivered_in += 1;
                 ctx.send_direct(
                     self.app,
                     CLIENT_IPC_DELAY,
-                    Wire::Raw { to: flow.src, size, payload },
+                    Wire::Raw {
+                        to: flow.src,
+                        size,
+                        payload,
+                    },
                 );
             }
             _ => {}
@@ -171,8 +190,23 @@ impl LegacyApp {
     /// Creates an app that sends `count` datagrams of `size` bytes to `dst`
     /// every `interval`, starting at `start`.
     #[must_use]
-    pub fn new(dst: OverlayAddr, size: usize, interval: SimDuration, count: u64, start: SimTime) -> Self {
-        LegacyApp { shim: None, dst, size, interval, count, start, sent: 0, received: Vec::new() }
+    pub fn new(
+        dst: OverlayAddr,
+        size: usize,
+        interval: SimDuration,
+        count: u64,
+        start: SimTime,
+    ) -> Self {
+        LegacyApp {
+            shim: None,
+            dst,
+            size,
+            interval,
+            count,
+            start,
+            sent: 0,
+            received: Vec::new(),
+        }
     }
 
     /// Routes this app's traffic through `shim` (set after the interceptor
@@ -208,7 +242,11 @@ impl Process<Wire> for LegacyApp {
             ctx.send_direct(
                 shim,
                 CLIENT_IPC_DELAY,
-                Wire::Raw { to: self.dst, size: self.size, payload: Bytes::new() },
+                Wire::Raw {
+                    to: self.dst,
+                    size: self.size,
+                    payload: Bytes::new(),
+                },
             );
         }
         ctx.set_timer(self.interval, 0);
@@ -228,8 +266,8 @@ mod tests {
     fn policy_matching() {
         let a = OverlayAddr::new(NodeId(1), 5);
         let b = OverlayAddr::new(NodeId(2), 5);
-        let policy = InterceptPolicy::uniform(FlowSpec::best_effort())
-            .with_rule(a, FlowSpec::reliable());
+        let policy =
+            InterceptPolicy::uniform(FlowSpec::best_effort()).with_rule(a, FlowSpec::reliable());
         assert_eq!(policy.spec_for(a).link, LinkService::Reliable);
         assert_eq!(policy.spec_for(b).link, LinkService::BestEffort);
     }
@@ -283,9 +321,16 @@ mod tests {
         let a = sim.proc_ref::<LegacyApp>(app_a).unwrap();
         assert_eq!(a.sent, 300);
         let b = sim.proc_ref::<LegacyApp>(app_b).unwrap();
-        assert_eq!(b.received.len(), 300, "reliable policy recovered all losses");
+        assert_eq!(
+            b.received.len(),
+            300,
+            "reliable policy recovered all losses"
+        );
         // Every datagram appears to come from A's overlay address.
-        assert!(b.received.iter().all(|&(_, from)| from == OverlayAddr::new(NodeId(0), 80)));
+        assert!(b
+            .received
+            .iter()
+            .all(|&(_, from)| from == OverlayAddr::new(NodeId(0), 80)));
         let shim = sim.proc_ref::<Interceptor>(shim_a).unwrap();
         assert_eq!(shim.intercepted_out, 300);
     }
@@ -312,14 +357,33 @@ mod tests {
         let app2 = mk_app(&mut sim, dst_safe);
         let policy = InterceptPolicy::uniform(FlowSpec::best_effort())
             .with_rule(dst_safe, FlowSpec::reliable());
-        let shim1 = sim.add_process(Interceptor::new(overlay.daemon(NodeId(0)), app1, 70, policy.clone()));
-        let shim2 = sim.add_process(Interceptor::new(overlay.daemon(NodeId(0)), app2, 71, policy));
+        let shim1 = sim.add_process(Interceptor::new(
+            overlay.daemon(NodeId(0)),
+            app1,
+            70,
+            policy.clone(),
+        ));
+        let shim2 = sim.add_process(Interceptor::new(
+            overlay.daemon(NodeId(0)),
+            app2,
+            71,
+            policy,
+        ));
         sim.proc_mut::<LegacyApp>(app1).unwrap().attach(shim1);
         sim.proc_mut::<LegacyApp>(app2).unwrap().attach(shim2);
 
         // Receivers for both ports.
-        for (port, app_dst) in [(91u16, OverlayAddr::new(NodeId(0), 70)), (92, OverlayAddr::new(NodeId(0), 71))] {
-            let rx_app = sim.add_process(LegacyApp::new(app_dst, 1, SimDuration::MAX, 0, SimTime::MAX));
+        for (port, app_dst) in [
+            (91u16, OverlayAddr::new(NodeId(0), 70)),
+            (92, OverlayAddr::new(NodeId(0), 71)),
+        ] {
+            let rx_app = sim.add_process(LegacyApp::new(
+                app_dst,
+                1,
+                SimDuration::MAX,
+                0,
+                SimTime::MAX,
+            ));
             let rx_shim = sim.add_process(Interceptor::new(
                 overlay.daemon(NodeId(2)),
                 rx_app,
@@ -331,7 +395,9 @@ mod tests {
         sim.run_until(SimTime::from_secs(5));
 
         // The daemon at node 0 carried one best-effort and one reliable flow.
-        let node = sim.proc_ref::<crate::node::OverlayNode>(overlay.daemon(NodeId(0))).unwrap();
+        let node = sim
+            .proc_ref::<crate::node::OverlayNode>(overlay.daemon(NodeId(0)))
+            .unwrap();
         assert_eq!(node.service_stats(LinkService::BestEffort).sent, 50);
         assert_eq!(node.service_stats(LinkService::Reliable).sent, 50);
     }

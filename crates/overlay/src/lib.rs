@@ -64,6 +64,7 @@ pub mod intercept;
 pub mod linkproto;
 pub mod metrics;
 pub mod node;
+pub mod obs;
 pub mod packet;
 pub mod routing;
 pub mod service;
@@ -74,5 +75,6 @@ pub use addr::{Destination, FlowKey, GroupId, OverlayAddr, VirtualPort};
 pub use builder::{OverlayBuilder, OverlayHandle};
 pub use client::{ClientConfig, ClientFlow, ClientProcess, Workload};
 pub use node::{NodeConfig, OverlayNode};
+pub use obs::NodeObs;
 pub use packet::{ClientOp, DataPacket, SessionEvent, Wire};
 pub use service::{FlowSpec, LinkService, Priority, RealtimeParams, RoutingService, SourceRoute};

@@ -69,7 +69,11 @@ mod tests {
     fn ignores_control_and_timers() {
         let mut be = BestEffortLink::new();
         let mut out = Vec::new();
-        be.on_ctl(SimTime::ZERO, LinkCtl::ReliableNack { missing: vec![1] }, &mut out);
+        be.on_ctl(
+            SimTime::ZERO,
+            LinkCtl::ReliableNack { missing: vec![1] },
+            &mut out,
+        );
         be.on_timer(SimTime::ZERO, 7, &mut out);
         assert!(out.is_empty());
     }

@@ -23,11 +23,12 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use son_netsim::time::{SimDuration, SimTime};
+use son_obs::DropClass;
 
 use crate::addr::{FlowKey, OverlayAddr};
 use crate::packet::{DataPacket, LinkCtl};
 
-use super::{LinkAction, LinkProto, LinkProtoStats, Pacer};
+use super::{LinkAction, LinkEvent, LinkProto, LinkProtoStats, Pacer};
 
 /// Timer token used by all schedulers for "serializer free" events.
 const TOKEN_TX_DONE: u32 = 0;
@@ -83,21 +84,32 @@ impl ItPriorityLink {
         self.queues.get(&source).map_or(0, VecDeque::len)
     }
 
-    fn evict(&mut self, source: OverlayAddr) {
+    fn evict(&mut self, source: OverlayAddr, out: &mut Vec<LinkAction>) {
         // "The oldest lowest priority message for that source" is dropped.
-        let Some(q) = self.queues.get_mut(&source) else { return };
-        let Some(min_prio) = q.iter().map(|p| p.spec.priority).min() else { return };
+        let Some(q) = self.queues.get_mut(&source) else {
+            return;
+        };
+        let Some(min_prio) = q.iter().map(|p| p.spec.priority).min() else {
+            return;
+        };
         if let Some(pos) = q.iter().position(|p| p.spec.priority == min_prio) {
             q.remove(pos);
             self.stats.dropped += 1;
+            out.push(LinkAction::Observe(LinkEvent::Drop(DropClass::BufferFull)));
         }
     }
 
     fn pump(&mut self, now: SimTime, out: &mut Vec<LinkAction>) {
         while !self.tx_pending && self.pacer.idle(now) {
-            let Some(source) = self.rr.pop_front() else { return };
-            let Some(q) = self.queues.get_mut(&source) else { continue };
-            let Some(mut pkt) = q.pop_front() else { continue };
+            let Some(source) = self.rr.pop_front() else {
+                return;
+            };
+            let Some(q) = self.queues.get_mut(&source) else {
+                continue;
+            };
+            let Some(mut pkt) = q.pop_front() else {
+                continue;
+            };
             if !q.is_empty() {
                 self.rr.push_back(source); // stays in the rotation
             }
@@ -108,7 +120,10 @@ impl ItPriorityLink {
             out.push(LinkAction::Transmit(pkt));
             if !busy.is_zero() {
                 self.tx_pending = true;
-                out.push(LinkAction::Timer { delay: busy, token: TOKEN_TX_DONE });
+                out.push(LinkAction::Timer {
+                    delay: busy,
+                    token: TOKEN_TX_DONE,
+                });
             }
         }
     }
@@ -122,7 +137,7 @@ impl LinkProto for ItPriorityLink {
         let was_empty = q.is_empty();
         q.push_back(pkt);
         if q.len() > self.per_source_cap {
-            self.evict(source);
+            self.evict(source, out);
         }
         if was_empty && !self.queues[&source].is_empty() && !self.rr.contains(&source) {
             self.rr.push_back(source);
@@ -172,7 +187,11 @@ struct ItFlowState {
 
 impl Default for ItFlowState {
     fn default() -> Self {
-        ItFlowState { queue: VecDeque::new(), credits: IT_RELIABLE_WINDOW, paused: false }
+        ItFlowState {
+            queue: VecDeque::new(),
+            credits: IT_RELIABLE_WINDOW,
+            paused: false,
+        }
     }
 }
 
@@ -234,14 +253,19 @@ impl ItReliableLink {
     /// Remaining downstream credits of one flow.
     #[must_use]
     pub fn credits(&self, flow: FlowKey) -> u32 {
-        self.flows.get(&flow).map_or(IT_RELIABLE_WINDOW, |f| f.credits)
+        self.flows
+            .get(&flow)
+            .map_or(IT_RELIABLE_WINDOW, |f| f.credits)
     }
 
     fn arm_rto(&mut self, seq: u64, out: &mut Vec<LinkAction>) {
         let token = self.next_token;
         self.next_token = self.next_token.wrapping_add(1).max(TOKEN_BASE);
         self.rto_purpose.insert(token, seq);
-        out.push(LinkAction::Timer { delay: self.rto, token });
+        out.push(LinkAction::Timer {
+            delay: self.rto,
+            token,
+        });
     }
 
     fn pump(&mut self, now: SimTime, out: &mut Vec<LinkAction>) {
@@ -249,7 +273,9 @@ impl ItReliableLink {
             // Round-robin across flows that have both data and credits.
             let mut chosen = None;
             for _ in 0..self.rr.len() {
-                let Some(flow) = self.rr.pop_front() else { break };
+                let Some(flow) = self.rr.pop_front() else {
+                    break;
+                };
                 let st = self.flows.get(&flow).expect("rr entries have state");
                 if !st.queue.is_empty() && st.credits > 0 {
                     chosen = Some(flow);
@@ -282,7 +308,10 @@ impl ItReliableLink {
             out.push(LinkAction::Transmit(pkt));
             if !busy.is_zero() {
                 self.tx_pending = true;
-                out.push(LinkAction::Timer { delay: busy, token: TOKEN_TX_DONE });
+                out.push(LinkAction::Timer {
+                    delay: busy,
+                    token: TOKEN_TX_DONE,
+                });
             }
         }
     }
@@ -296,6 +325,7 @@ impl LinkProto for ItReliableLink {
         if st.queue.len() >= HARD_CAP {
             // The source ignored backpressure; refusing is all that is left.
             self.stats.dropped += 1;
+            out.push(LinkAction::Observe(LinkEvent::Drop(DropClass::BufferFull)));
             return;
         }
         let was_empty = st.queue.is_empty();
@@ -358,9 +388,12 @@ impl LinkProto for ItReliableLink {
             self.pump(now, out);
             return;
         }
-        let Some(seq) = self.rto_purpose.remove(&token) else { return };
+        let Some(seq) = self.rto_purpose.remove(&token) else {
+            return;
+        };
         if let Some(pkt) = self.unacked.get(&seq) {
             self.stats.retransmitted += 1;
+            out.push(LinkAction::Observe(LinkEvent::Retransmit));
             out.push(LinkAction::Transmit(pkt.clone()));
             self.arm_rto(seq, out);
         }
@@ -370,7 +403,10 @@ impl LinkProto for ItReliableLink {
         // The node consumed a packet we delivered earlier: grant the upstream
         // sender one more credit for this flow.
         self.stats.ctl_sent += 1;
-        out.push(LinkAction::TransmitCtl(LinkCtl::Credit { flow, credits: 1 }));
+        out.push(LinkAction::TransmitCtl(LinkCtl::Credit {
+            flow,
+            credits: 1,
+        }));
     }
 
     fn stats(&self) -> LinkProtoStats {
@@ -420,7 +456,9 @@ impl FifoLink {
 
     fn pump(&mut self, now: SimTime, out: &mut Vec<LinkAction>) {
         while !self.tx_pending && self.pacer.idle(now) {
-            let Some(mut pkt) = self.queue.pop_front() else { return };
+            let Some(mut pkt) = self.queue.pop_front() else {
+                return;
+            };
             self.next_link_seq += 1;
             pkt.link_seq = self.next_link_seq;
             let busy = self.pacer.start(now, pkt.wire_size());
@@ -428,7 +466,10 @@ impl FifoLink {
             out.push(LinkAction::Transmit(pkt));
             if !busy.is_zero() {
                 self.tx_pending = true;
-                out.push(LinkAction::Timer { delay: busy, token: TOKEN_TX_DONE });
+                out.push(LinkAction::Timer {
+                    delay: busy,
+                    token: TOKEN_TX_DONE,
+                });
             }
         }
     }
@@ -439,6 +480,7 @@ impl LinkProto for FifoLink {
         self.stats.sent += 1;
         if self.queue.len() >= self.cap {
             self.stats.dropped += 1; // tail drop, no matter whose packet
+            out.push(LinkAction::Observe(LinkEvent::Drop(DropClass::BufferFull)));
             return;
         }
         self.queue.push_back(pkt);
@@ -474,7 +516,11 @@ mod tests {
     /// takes 148 us to serialize.
     const RATE: Option<u64> = Some(8_000_000);
 
-    fn drain(link: &mut dyn LinkProto, mut now: SimTime, actions: &mut Vec<LinkAction>) -> Vec<DataPacket> {
+    fn drain(
+        link: &mut dyn LinkProto,
+        mut now: SimTime,
+        actions: &mut Vec<LinkAction>,
+    ) -> Vec<DataPacket> {
         // Fire TX_DONE timers until the scheduler goes quiet, collecting
         // transmissions in order. RTO timers (token != 0) are ignored: these
         // tests exercise scheduling, not loss recovery, and RTOs re-arm
@@ -517,7 +563,11 @@ mod tests {
         assert_eq!(one, 10, "correct source 1 fully served");
         assert_eq!(two, 10, "correct source 2 fully served");
         // The attacker was capped at its buffer; most of its flood dropped.
-        assert!(link.stats().dropped >= 80, "dropped={}", link.stats().dropped);
+        assert!(
+            link.stats().dropped >= 80,
+            "dropped={}",
+            link.stats().dropped
+        );
         assert!(!sent.is_empty());
     }
 
@@ -543,11 +593,9 @@ mod tests {
         low3.spec.priority = Priority::LOW;
         link2.on_send(SimTime::ZERO, low3, &mut out);
         assert!(link2.stats().dropped >= 1);
-        let remaining: Vec<u64> = (0..link2.queue_len(crate::addr::OverlayAddr::new(
-            son_topo::NodeId(1),
-            1,
-        )) as u64)
-            .collect();
+        let remaining: Vec<u64> =
+            (0..link2.queue_len(crate::addr::OverlayAddr::new(son_topo::NodeId(1), 1)) as u64)
+                .collect();
         assert!(!remaining.is_empty());
         let _ = link; // silence
     }
@@ -565,8 +613,10 @@ mod tests {
         }
         let _ = drain(&mut link, SimTime::ZERO, &mut out);
         let fb = link.forwarded_by_source().clone();
-        let correct =
-            fb.get(&crate::addr::OverlayAddr::new(son_topo::NodeId(1), 1)).copied().unwrap_or(0);
+        let correct = fb
+            .get(&crate::addr::OverlayAddr::new(son_topo::NodeId(1), 1))
+            .copied()
+            .unwrap_or(0);
         assert_eq!(correct, 0, "FIFO tail drop starves the late correct source");
         assert!(link.stats().dropped > 900);
     }
@@ -580,11 +630,18 @@ mod tests {
             link.on_send(SimTime::ZERO, pkt_from(1, i, 100), &mut out);
         }
         let sent = transmitted(&out).len();
-        assert_eq!(sent as u32, IT_RELIABLE_WINDOW, "window caps unacked transmissions");
+        assert_eq!(
+            sent as u32, IT_RELIABLE_WINDOW,
+            "window caps unacked transmissions"
+        );
         assert_eq!(link.credits(flow), 0);
         // A credit grant releases exactly one more.
         out.clear();
-        link.on_ctl(SimTime::ZERO, LinkCtl::Credit { flow, credits: 1 }, &mut out);
+        link.on_ctl(
+            SimTime::ZERO,
+            LinkCtl::Credit { flow, credits: 1 },
+            &mut out,
+        );
         assert_eq!(transmitted(&out).len(), 1);
     }
 
@@ -597,15 +654,27 @@ mod tests {
         let mut paused = false;
         for i in 0..(IT_RELIABLE_WINDOW as u64 + PAUSE_AT as u64 + 2) {
             link.on_send(SimTime::ZERO, pkt_from(1, i, 100), &mut out);
-            if out.iter().any(|a| matches!(a, LinkAction::PauseFlow(f) if *f == flow)) {
+            if out
+                .iter()
+                .any(|a| matches!(a, LinkAction::PauseFlow(f) if *f == flow))
+            {
                 paused = true;
             }
         }
         assert!(paused, "backpressure must reach the source");
         out.clear();
         // Granting plenty of credits drains the queue and resumes the flow.
-        link.on_ctl(SimTime::ZERO, LinkCtl::Credit { flow, credits: IT_RELIABLE_WINDOW }, &mut out);
-        assert!(out.iter().any(|a| matches!(a, LinkAction::ResumeFlow(f) if *f == flow)));
+        link.on_ctl(
+            SimTime::ZERO,
+            LinkCtl::Credit {
+                flow,
+                credits: IT_RELIABLE_WINDOW,
+            },
+            &mut out,
+        );
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, LinkAction::ResumeFlow(f) if *f == flow)));
     }
 
     #[test]
@@ -636,7 +705,10 @@ mod tests {
         out.clear();
         link.on_ctl(
             SimTime::from_millis(51),
-            LinkCtl::ReliableAck { cum: 1, selective: vec![] },
+            LinkCtl::ReliableAck {
+                cum: 1,
+                selective: vec![],
+            },
             &mut out,
         );
         link.on_timer(SimTime::from_millis(100), rto2, &mut out);

@@ -20,7 +20,7 @@ use son_netsim::time::SimTime;
 use crate::packet::{DataPacket, LinkCtl};
 use crate::service::{FecParams, LinkService};
 
-use super::{LinkAction, LinkProto, LinkProtoStats};
+use super::{LinkAction, LinkEvent, LinkProto, LinkProtoStats};
 
 /// Receiver-side memory horizon, in blocks.
 const BLOCK_MEMORY: u64 = 64;
@@ -33,6 +33,17 @@ struct BlockState {
     repairs: Vec<Vec<DataPacket>>,
     /// Sequence numbers already delivered upward.
     delivered: BTreeSet<u64>,
+    /// When the first transmission of this block arrived, bounding the
+    /// observed recovery latency by the block duration.
+    first_seen: Option<SimTime>,
+}
+
+impl BlockState {
+    fn note_seen(&mut self, now: SimTime) {
+        if self.first_seen.is_none() {
+            self.first_seen = Some(now);
+        }
+    }
 }
 
 /// FEC link protocol instance (one link, both directions).
@@ -57,7 +68,9 @@ impl FecLink {
     /// Panics if the parameters are invalid.
     #[must_use]
     pub fn new(params: FecParams) -> Self {
-        params.validate().unwrap_or_else(|e| panic!("invalid FEC params: {e}"));
+        params
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid FEC params: {e}"));
         FecLink {
             params,
             next_seq: 0,
@@ -81,15 +94,20 @@ impl FecLink {
 
     /// Attempts reconstruction: with `have + repairs >= k`, every missing
     /// packet of the block is recoverable from the repair headers.
-    fn try_recover(&mut self, start: u64, out: &mut Vec<LinkAction>) {
+    fn try_recover(&mut self, now: SimTime, start: u64, out: &mut Vec<LinkAction>) {
         let k = u64::from(self.params.k);
-        let Some(state) = self.blocks.get_mut(&start) else { return };
+        let Some(state) = self.blocks.get_mut(&start) else {
+            return;
+        };
         let have = state.have.len() as u64;
         let repairs = state.repairs.len() as u64;
         if have >= k || have + repairs < k || state.repairs.is_empty() {
             return;
         }
-        // Reconstruct all missing data packets of the block.
+        // Reconstruct all missing data packets of the block. Recovery
+        // latency is measured from the block's first arrival — FEC has no
+        // per-packet gap detection, so the block span is the honest bound.
+        let since_first = now.saturating_since(state.first_seen.unwrap_or(now));
         let covered = state.repairs[0].clone();
         for pkt in covered {
             if !state.have.contains(&pkt.link_seq) {
@@ -97,6 +115,9 @@ impl FecLink {
                 state.delivered.insert(pkt.link_seq);
                 self.recovered += 1;
                 self.stats.received += 1;
+                out.push(LinkAction::Observe(LinkEvent::Recovered {
+                    after: since_first,
+                }));
                 out.push(LinkAction::Deliver(pkt));
             }
         }
@@ -133,6 +154,7 @@ impl LinkProto for FecLink {
                 // Repairs are full-width extra transmissions: account them
                 // as overhead so the (k+r)/k cost shows up in the ratio.
                 self.stats.retransmitted += 1;
+                out.push(LinkAction::Observe(LinkEvent::Retransmit));
                 out.push(LinkAction::TransmitCtl(LinkCtl::FecRepair {
                     block_start,
                     index,
@@ -143,9 +165,10 @@ impl LinkProto for FecLink {
         }
     }
 
-    fn on_data(&mut self, _now: SimTime, pkt: DataPacket, out: &mut Vec<LinkAction>) {
+    fn on_data(&mut self, now: SimTime, pkt: DataPacket, out: &mut Vec<LinkAction>) {
         let start = self.block_start(pkt.link_seq);
         let state = self.blocks.entry(start).or_default();
+        state.note_seen(now);
         if state.delivered.contains(&pkt.link_seq) {
             self.stats.dup_received += 1;
             return;
@@ -154,15 +177,23 @@ impl LinkProto for FecLink {
         state.delivered.insert(pkt.link_seq);
         self.stats.received += 1;
         out.push(LinkAction::Deliver(pkt));
-        self.try_recover(start, out);
+        self.try_recover(now, start, out);
         self.prune();
     }
 
-    fn on_ctl(&mut self, _now: SimTime, ctl: LinkCtl, out: &mut Vec<LinkAction>) {
-        let LinkCtl::FecRepair { block_start, covered, .. } = ctl else { return };
+    fn on_ctl(&mut self, now: SimTime, ctl: LinkCtl, out: &mut Vec<LinkAction>) {
+        let LinkCtl::FecRepair {
+            block_start,
+            covered,
+            ..
+        } = ctl
+        else {
+            return;
+        };
         let state = self.blocks.entry(block_start).or_default();
+        state.note_seen(now);
         state.repairs.push(covered);
-        self.try_recover(block_start, out);
+        self.try_recover(now, block_start, out);
         self.prune();
     }
 
@@ -196,9 +227,11 @@ mod tests {
         actions
             .iter()
             .filter_map(|a| match a {
-                LinkAction::TransmitCtl(LinkCtl::FecRepair { block_start, covered, .. }) => {
-                    Some((*block_start, covered.clone()))
-                }
+                LinkAction::TransmitCtl(LinkCtl::FecRepair {
+                    block_start,
+                    covered,
+                    ..
+                }) => Some((*block_start, covered.clone())),
                 _ => None,
             })
             .collect()
@@ -215,7 +248,11 @@ mod tests {
         assert_eq!(reps[1].0, 5);
         assert_eq!(reps[0].1.len(), 4);
         // Repair wire size is one max-size packet + header.
-        let ctl = LinkCtl::FecRepair { block_start: 1, index: 0, covered: reps[0].1.clone() };
+        let ctl = LinkCtl::FecRepair {
+            block_start: 1,
+            index: 0,
+            covered: reps[0].1.clone(),
+        };
         assert_eq!(ctl.wire_size(), 16 + 48 + 100);
     }
 
@@ -235,7 +272,11 @@ mod tests {
         assert_eq!(delivered(&rout).len(), 3);
         r.on_ctl(
             SimTime::ZERO,
-            LinkCtl::FecRepair { block_start: bs, index: 0, covered },
+            LinkCtl::FecRepair {
+                block_start: bs,
+                index: 0,
+                covered,
+            },
             &mut rout,
         );
         let seqs: Vec<u64> = delivered(&rout).iter().map(|p| p.link_seq).collect();
@@ -255,7 +296,11 @@ mod tests {
         r.on_data(SimTime::ZERO, data[3].clone(), &mut rout);
         r.on_ctl(
             SimTime::ZERO,
-            LinkCtl::FecRepair { block_start: bs, index: 0, covered },
+            LinkCtl::FecRepair {
+                block_start: bs,
+                index: 0,
+                covered,
+            },
             &mut rout,
         );
         assert_eq!(delivered(&rout).len(), 2, "2 + 1 repair < k: unrecoverable");
@@ -280,7 +325,15 @@ mod tests {
         r.on_data(SimTime::ZERO, data[0].clone(), &mut rout);
         r.on_data(SimTime::ZERO, data[1].clone(), &mut rout);
         for (bs, covered) in reps {
-            r.on_ctl(SimTime::ZERO, LinkCtl::FecRepair { block_start: bs, index: 0, covered }, &mut rout);
+            r.on_ctl(
+                SimTime::ZERO,
+                LinkCtl::FecRepair {
+                    block_start: bs,
+                    index: 0,
+                    covered,
+                },
+                &mut rout,
+            );
         }
         assert_eq!(delivered(&rout).len(), 4);
         assert_eq!(r.recovered(), 2);
@@ -297,7 +350,15 @@ mod tests {
         for p in [&data[0], &data[2], &data[3]] {
             r.on_data(SimTime::ZERO, (*p).clone(), &mut rout);
         }
-        r.on_ctl(SimTime::ZERO, LinkCtl::FecRepair { block_start: bs, index: 0, covered }, &mut rout);
+        r.on_ctl(
+            SimTime::ZERO,
+            LinkCtl::FecRepair {
+                block_start: bs,
+                index: 0,
+                covered,
+            },
+            &mut rout,
+        );
         rout.clear();
         // The "lost" packet finally arrives: already recovered -> duplicate.
         r.on_data(SimTime::ZERO, data[1].clone(), &mut rout);

@@ -22,6 +22,7 @@ pub mod realtime;
 pub mod reliable;
 
 use son_netsim::time::{SimDuration, SimTime};
+use son_obs::DropClass;
 
 use crate::addr::FlowKey;
 use crate::packet::{DataPacket, LinkCtl};
@@ -56,6 +57,30 @@ pub enum LinkAction {
     /// A packet of this flow has left the node (IT-Reliable): the daemon
     /// relays this to the flow's upstream link so it can grant a credit.
     Consumed(FlowKey),
+    /// An observability event: the protocol reports a recovery, a
+    /// retransmission, or a drop so the node can record it in its metrics
+    /// registry. Protocols emit these unconditionally; the node decides what
+    /// to record (detail-gated spans vs. always-on counters).
+    Observe(LinkEvent),
+}
+
+/// What a link protocol observed, reported via [`LinkAction::Observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// A retransmission (or FEC repair) was put on the wire.
+    Retransmit,
+    /// A previously missing packet was recovered `after` the receiver first
+    /// noticed the gap — the per-hop recovery latency the paper's Fig. 3/5
+    /// measure.
+    Recovered {
+        /// Time from gap detection (or first block arrival, for FEC) to the
+        /// recovered packet surfacing at the receiver.
+        after: SimDuration,
+    },
+    /// The protocol dropped a packet, classified in the unified cross-layer
+    /// taxonomy ([`DropClass::Expired`] for recovery-budget give-ups,
+    /// [`DropClass::BufferFull`] for queue overflow/eviction).
+    Drop(DropClass),
 }
 
 /// Counters every protocol instance reports.
@@ -132,7 +157,10 @@ impl Pacer {
     /// Creates a pacer with the given egress rate in **bits** per second.
     #[must_use]
     pub fn new(rate_bits_per_sec: Option<u64>) -> Self {
-        Pacer { rate_bps: rate_bits_per_sec, busy_until: SimTime::ZERO }
+        Pacer {
+            rate_bps: rate_bits_per_sec,
+            busy_until: SimTime::ZERO,
+        }
     }
 
     /// `true` if a transmission may start now.
@@ -231,7 +259,11 @@ mod tests {
 
     #[test]
     fn overhead_ratio_counts_retransmissions() {
-        let s = LinkProtoStats { sent: 100, retransmitted: 5, ..Default::default() };
+        let s = LinkProtoStats {
+            sent: 100,
+            retransmitted: 5,
+            ..Default::default()
+        };
         assert!((s.overhead_ratio() - 1.05).abs() < 1e-12);
         assert_eq!(LinkProtoStats::default().overhead_ratio(), 1.0);
     }

@@ -13,11 +13,12 @@
 use std::collections::{BTreeSet, HashMap};
 
 use son_netsim::time::{SimDuration, SimTime};
+use son_obs::DropClass;
 
 use crate::packet::{DataPacket, LinkCtl};
 use crate::service::{LinkService, RealtimeParams};
 
-use super::{LinkAction, LinkProto, LinkProtoStats};
+use super::{LinkAction, LinkEvent, LinkProto, LinkProtoStats};
 
 /// How long the sender retains history for retransmission, in budgets.
 const HISTORY_BUDGETS: u64 = 2;
@@ -44,7 +45,9 @@ pub struct RealtimeLink {
     requested: BTreeSet<u64>,
     // --- receiver state ---
     high: u64,
-    missing: HashMap<u64, u8>,
+    /// Missing sequence numbers: strike count so far and when the gap was
+    /// first noticed (for recovery-latency observation).
+    missing: HashMap<u64, (u8, SimTime)>,
     delivered: BTreeSet<u64>,
     // --- timers ---
     purposes: HashMap<u32, Purpose>,
@@ -65,7 +68,9 @@ impl RealtimeLink {
     /// Panics if the parameters are invalid.
     #[must_use]
     pub fn new(params: RealtimeParams) -> Self {
-        params.validate().unwrap_or_else(|e| panic!("invalid realtime params: {e}"));
+        params
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid realtime params: {e}"));
         RealtimeLink {
             params,
             next_seq: 0,
@@ -103,7 +108,8 @@ impl RealtimeLink {
 
     fn purge_history(&mut self, now: SimTime) {
         let horizon = self.params.budget.saturating_mul(HISTORY_BUDGETS);
-        self.history.retain(|_, (_, sent)| now.saturating_since(*sent) <= horizon);
+        self.history
+            .retain(|_, (_, sent)| now.saturating_since(*sent) <= horizon);
         let keep_from = self.next_seq.saturating_sub(4 * DELIVERED_MEMORY);
         self.requested = self.requested.split_off(&keep_from);
     }
@@ -140,7 +146,7 @@ impl LinkProto for RealtimeLink {
         }
     }
 
-    fn on_data(&mut self, _now: SimTime, pkt: DataPacket, out: &mut Vec<LinkAction>) {
+    fn on_data(&mut self, now: SimTime, pkt: DataPacket, out: &mut Vec<LinkAction>) {
         let seq = pkt.link_seq;
         if seq > self.high {
             // Gap: schedule N request strikes per missing packet, spread over
@@ -148,7 +154,7 @@ impl LinkProto for RealtimeLink {
             let spacing = self.params.spacing();
             let mut immediate = Vec::new();
             for g in self.high + 1..seq {
-                self.missing.insert(g, 1);
+                self.missing.insert(g, (1, now));
                 immediate.push(g);
                 for strike in 1..self.params.n_requests {
                     self.arm(
@@ -165,12 +171,15 @@ impl LinkProto for RealtimeLink {
             self.stats.received += 1;
             self.note_delivered(seq);
             out.push(LinkAction::Deliver(pkt));
-        } else if self.missing.remove(&seq).is_some() {
+        } else if let Some((_, noticed)) = self.missing.remove(&seq) {
             // A requested packet came back in time: deliver and implicitly
             // cancel remaining strikes (their timers become no-ops).
             self.recovered += 1;
             self.stats.received += 1;
             self.note_delivered(seq);
+            out.push(LinkAction::Observe(LinkEvent::Recovered {
+                after: now.saturating_since(noticed),
+            }));
             out.push(LinkAction::Deliver(pkt));
         } else if self.delivered.contains(&seq) {
             self.stats.dup_received += 1;
@@ -184,7 +193,9 @@ impl LinkProto for RealtimeLink {
     }
 
     fn on_ctl(&mut self, _now: SimTime, ctl: LinkCtl, out: &mut Vec<LinkAction>) {
-        let LinkCtl::RtRequest { seqs, .. } = ctl else { return };
+        let LinkCtl::RtRequest { seqs, .. } = ctl else {
+            return;
+        };
         let spacing = self.params.spacing();
         for seq in seqs {
             // Only the FIRST request for a packet schedules the M
@@ -192,20 +203,29 @@ impl LinkProto for RealtimeLink {
             if !self.requested.insert(seq) {
                 continue;
             }
-            let Some((pkt, _)) = self.history.get(&seq) else { continue };
+            let Some((pkt, _)) = self.history.get(&seq) else {
+                continue;
+            };
             self.stats.retransmitted += 1;
+            out.push(LinkAction::Observe(LinkEvent::Retransmit));
             out.push(LinkAction::Transmit(pkt.clone()));
             for copy in 1..self.params.m_retransmissions {
-                self.arm(spacing.saturating_mul(u64::from(copy)), Purpose::Retransmit { seq }, out);
+                self.arm(
+                    spacing.saturating_mul(u64::from(copy)),
+                    Purpose::Retransmit { seq },
+                    out,
+                );
             }
         }
     }
 
     fn on_timer(&mut self, _now: SimTime, token: u32, out: &mut Vec<LinkAction>) {
-        let Some(purpose) = self.purposes.remove(&token) else { return };
+        let Some(purpose) = self.purposes.remove(&token) else {
+            return;
+        };
         match purpose {
             Purpose::RequestStrike { seq, strike } => {
-                if let Some(strikes) = self.missing.get_mut(&seq) {
+                if let Some((strikes, _)) = self.missing.get_mut(&seq) {
                     *strikes += 1;
                     self.request_now(vec![seq], strike, out);
                 }
@@ -214,11 +234,15 @@ impl LinkProto for RealtimeLink {
                 if self.missing.remove(&seq).is_some() {
                     self.unrecovered += 1;
                     self.stats.dropped += 1;
+                    // The recovery budget ran out: the packet is lost for
+                    // timeliness purposes, classified as an expiry.
+                    out.push(LinkAction::Observe(LinkEvent::Drop(DropClass::Expired)));
                 }
             }
             Purpose::Retransmit { seq } => {
                 if let Some((pkt, _)) = self.history.get(&seq) {
                     self.stats.retransmitted += 1;
+                    out.push(LinkAction::Observe(LinkEvent::Retransmit));
                     out.push(LinkAction::Transmit(pkt.clone()));
                 }
             }
@@ -319,14 +343,28 @@ mod tests {
             s.on_send(SimTime::ZERO, p, &mut out);
         }
         out.clear();
-        s.on_ctl(SimTime::ZERO, LinkCtl::RtRequest { seqs: vec![2], strike: 0 }, &mut out);
+        s.on_ctl(
+            SimTime::ZERO,
+            LinkCtl::RtRequest {
+                seqs: vec![2],
+                strike: 0,
+            },
+            &mut out,
+        );
         // First copy immediately + 1 timer for the second copy (M=2).
         assert_eq!(transmitted(&out).len(), 1);
         assert_eq!(timers(&out).len(), 1);
         let (_, token) = timers(&out)[0];
         out.clear();
         // A second strike for the same seq is ignored.
-        s.on_ctl(SimTime::ZERO, LinkCtl::RtRequest { seqs: vec![2], strike: 1 }, &mut out);
+        s.on_ctl(
+            SimTime::ZERO,
+            LinkCtl::RtRequest {
+                seqs: vec![2],
+                strike: 1,
+            },
+            &mut out,
+        );
         assert!(transmitted(&out).is_empty());
         out.clear();
         // The scheduled copy fires.
@@ -357,6 +395,46 @@ mod tests {
     }
 
     #[test]
+    fn recovery_and_give_up_are_observed() {
+        let mut r = RealtimeLink::new(params());
+        let mut out = Vec::new();
+        recv_seq(&mut r, 1, &mut out);
+        // Gap noticed at t=0 (seq 2 missing when 3 arrives at t=0).
+        recv_seq(&mut r, 3, &mut out);
+        let give_up_token = timers(&out)
+            .into_iter()
+            .find(|(d, _)| *d == SimDuration::from_millis(100))
+            .unwrap()
+            .1;
+        out.clear();
+        // Seq 2 recovered 30 ms after the gap was noticed.
+        let mut p = pkt(2, 100);
+        p.link_seq = 2;
+        p.spec.link = LinkService::Realtime(params());
+        r.on_data(SimTime::from_millis(30), p, &mut out);
+        assert!(out.iter().any(|a| matches!(
+            a,
+            LinkAction::Observe(LinkEvent::Recovered { after }) if *after == SimDuration::from_millis(30)
+        )));
+        // The stale give-up timer observes nothing.
+        out.clear();
+        r.on_timer(SimTime::from_millis(100), give_up_token, &mut out);
+        assert!(out.is_empty());
+        // A genuine give-up reports an Expired drop.
+        recv_seq(&mut r, 5, &mut out);
+        let give_up2 = timers(&out)
+            .into_iter()
+            .find(|(d, _)| *d == SimDuration::from_millis(100))
+            .unwrap()
+            .1;
+        out.clear();
+        r.on_timer(SimTime::from_millis(200), give_up2, &mut out);
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, LinkAction::Observe(LinkEvent::Drop(DropClass::Expired)))));
+    }
+
+    #[test]
     fn duplicates_are_suppressed() {
         let mut r = RealtimeLink::new(params());
         let mut out = Vec::new();
@@ -371,7 +449,14 @@ mod tests {
     fn request_for_unknown_seq_is_ignored() {
         let mut s = RealtimeLink::new(params());
         let mut out = Vec::new();
-        s.on_ctl(SimTime::ZERO, LinkCtl::RtRequest { seqs: vec![99], strike: 0 }, &mut out);
+        s.on_ctl(
+            SimTime::ZERO,
+            LinkCtl::RtRequest {
+                seqs: vec![99],
+                strike: 0,
+            },
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 
@@ -388,7 +473,10 @@ mod tests {
         out.clear();
         s.on_ctl(
             SimTime::from_millis(11),
-            LinkCtl::RtRequest { seqs: (1..=100).collect(), strike: 0 },
+            LinkCtl::RtRequest {
+                seqs: (1..=100).collect(),
+                strike: 0,
+            },
             &mut out,
         );
         // Fire all scheduled second copies.

@@ -16,7 +16,7 @@ use son_netsim::time::{SimDuration, SimTime};
 
 use crate::packet::{DataPacket, LinkCtl};
 
-use super::{LinkAction, LinkProto, LinkProtoStats};
+use super::{LinkAction, LinkEvent, LinkProto, LinkProtoStats};
 
 /// Cap on how many missing sequence numbers one NACK reports.
 const MAX_NACK: usize = 64;
@@ -35,6 +35,9 @@ pub struct ReliableLink {
     // --- receiver state ---
     cum: u64,
     above: BTreeSet<u64>,
+    /// When each currently missing sequence number was first noticed, for
+    /// per-hop recovery-latency observation.
+    gap_noticed: HashMap<u64, SimTime>,
     stats: LinkProtoStats,
     /// High-water mark of the retransmission buffer, for memory accounting.
     max_unacked: usize,
@@ -56,6 +59,7 @@ impl ReliableLink {
             next_token: 0,
             cum: 0,
             above: BTreeSet::new(),
+            gap_noticed: HashMap::new(),
             stats: LinkProtoStats::default(),
             max_unacked: 0,
         }
@@ -77,13 +81,19 @@ impl ReliableLink {
         let token = self.next_token;
         self.next_token = self.next_token.wrapping_add(1);
         self.timer_purpose.insert(token, seq);
-        out.push(LinkAction::Timer { delay: self.rto, token });
+        out.push(LinkAction::Timer {
+            delay: self.rto,
+            token,
+        });
     }
 
     fn ack_now(&mut self, out: &mut Vec<LinkAction>) {
         let selective: Vec<u64> = self.above.iter().copied().take(MAX_SACK).collect();
         self.stats.ctl_sent += 1;
-        out.push(LinkAction::TransmitCtl(LinkCtl::ReliableAck { cum: self.cum, selective }));
+        out.push(LinkAction::TransmitCtl(LinkCtl::ReliableAck {
+            cum: self.cum,
+            selective,
+        }));
     }
 }
 
@@ -99,7 +109,7 @@ impl LinkProto for ReliableLink {
         self.arm_rto(seq, out);
     }
 
-    fn on_data(&mut self, _now: SimTime, pkt: DataPacket, out: &mut Vec<LinkAction>) {
+    fn on_data(&mut self, now: SimTime, pkt: DataPacket, out: &mut Vec<LinkAction>) {
         let seq = pkt.link_seq;
         let is_dup = seq <= self.cum || self.above.contains(&seq);
         if is_dup {
@@ -110,11 +120,21 @@ impl LinkProto for ReliableLink {
             return;
         }
         self.stats.received += 1;
+        if let Some(noticed) = self.gap_noticed.remove(&seq) {
+            // This packet fills a previously reported gap: a hop-local
+            // recovery, completed one NACK round trip after detection.
+            out.push(LinkAction::Observe(LinkEvent::Recovered {
+                after: now.saturating_since(noticed),
+            }));
+        }
         // Gap detection: everything between the highest sequence seen so far
         // and this packet is missing; request it immediately (fast path).
         let prev_high = self.above.iter().next_back().copied().unwrap_or(self.cum);
         if seq > prev_high + 1 {
             let missing: Vec<u64> = (prev_high + 1..seq).take(MAX_NACK).collect();
+            for &m in &missing {
+                self.gap_noticed.insert(m, now);
+            }
             self.stats.ctl_sent += 1;
             out.push(LinkAction::TransmitCtl(LinkCtl::ReliableNack { missing }));
         }
@@ -122,6 +142,10 @@ impl LinkProto for ReliableLink {
         while self.above.remove(&(self.cum + 1)) {
             self.cum += 1;
         }
+        // Gaps below the cumulative point are resolved; drop stale stamps so
+        // the map stays bounded by the reorder window.
+        let cum = self.cum;
+        self.gap_noticed.retain(|&s, _| s > cum);
         // Out-of-order forwarding: deliver upward immediately.
         out.push(LinkAction::Deliver(pkt));
         self.ack_now(out);
@@ -139,6 +163,7 @@ impl LinkProto for ReliableLink {
                 for seq in missing {
                     if let Some(pkt) = self.unacked.get(&seq) {
                         self.stats.retransmitted += 1;
+                        out.push(LinkAction::Observe(LinkEvent::Retransmit));
                         out.push(LinkAction::Transmit(pkt.clone()));
                     }
                 }
@@ -148,9 +173,12 @@ impl LinkProto for ReliableLink {
     }
 
     fn on_timer(&mut self, _now: SimTime, token: u32, out: &mut Vec<LinkAction>) {
-        let Some(seq) = self.timer_purpose.remove(&token) else { return };
+        let Some(seq) = self.timer_purpose.remove(&token) else {
+            return;
+        };
         if let Some(pkt) = self.unacked.get(&seq) {
             self.stats.retransmitted += 1;
+            out.push(LinkAction::Observe(LinkEvent::Retransmit));
             out.push(LinkAction::Transmit(pkt.clone()));
             self.arm_rto(seq, out);
         }
@@ -230,8 +258,21 @@ mod tests {
         }
         out.clear();
         // Ack seq 1; nack 1 (stale) and 2.
-        s.on_ctl(SimTime::ZERO, LinkCtl::ReliableAck { cum: 1, selective: vec![] }, &mut out);
-        s.on_ctl(SimTime::ZERO, LinkCtl::ReliableNack { missing: vec![1, 2] }, &mut out);
+        s.on_ctl(
+            SimTime::ZERO,
+            LinkCtl::ReliableAck {
+                cum: 1,
+                selective: vec![],
+            },
+            &mut out,
+        );
+        s.on_ctl(
+            SimTime::ZERO,
+            LinkCtl::ReliableNack {
+                missing: vec![1, 2],
+            },
+            &mut out,
+        );
         let tx = transmitted(&out);
         assert_eq!(tx.len(), 1);
         assert_eq!(tx[0].link_seq, 2);
@@ -246,7 +287,14 @@ mod tests {
             s.on_send(SimTime::ZERO, pkt(i, 100), &mut out);
         }
         assert_eq!(s.unacked_len(), 5);
-        s.on_ctl(SimTime::ZERO, LinkCtl::ReliableAck { cum: 2, selective: vec![4] }, &mut out);
+        s.on_ctl(
+            SimTime::ZERO,
+            LinkCtl::ReliableAck {
+                cum: 2,
+                selective: vec![4],
+            },
+            &mut out,
+        );
         assert_eq!(s.unacked_len(), 2, "3 and 5 remain");
         assert_eq!(s.max_unacked(), 5);
     }
@@ -263,7 +311,14 @@ mod tests {
         let (_, token2) = timers(&out)[0];
         out.clear();
         // Ack arrives; the next RTO must be a no-op.
-        s.on_ctl(SimTime::from_millis(41), LinkCtl::ReliableAck { cum: 1, selective: vec![] }, &mut out);
+        s.on_ctl(
+            SimTime::from_millis(41),
+            LinkCtl::ReliableAck {
+                cum: 1,
+                selective: vec![],
+            },
+            &mut out,
+        );
         s.on_timer(SimTime::from_millis(80), token2, &mut out);
         assert!(transmitted(&out).is_empty());
     }
@@ -279,7 +334,9 @@ mod tests {
         r.on_data(SimTime::ZERO, p, &mut out);
         assert!(delivered(&out).is_empty());
         assert_eq!(r.stats().dup_received, 1);
-        assert!(out.iter().any(|a| matches!(a, LinkAction::TransmitCtl(LinkCtl::ReliableAck { .. }))));
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, LinkAction::TransmitCtl(LinkCtl::ReliableAck { .. }))));
     }
 
     #[test]
@@ -304,6 +361,56 @@ mod tests {
             .unwrap();
         assert_eq!(last_ack, (3, vec![]));
         assert_eq!(delivered(&out).len(), 3, "all three forwarded immediately");
+    }
+
+    #[test]
+    fn gap_fill_reports_recovery_latency() {
+        let mut r = rl();
+        let mut out = Vec::new();
+        let mut p1 = pkt(1, 100);
+        p1.link_seq = 1;
+        r.on_data(SimTime::ZERO, p1, &mut out);
+        let mut p3 = pkt(3, 100);
+        p3.link_seq = 3;
+        r.on_data(SimTime::from_millis(10), p3, &mut out);
+        out.clear();
+        // The retransmitted seq 2 arrives 8 ms after the gap was noticed.
+        let mut p2 = pkt(2, 100);
+        p2.link_seq = 2;
+        r.on_data(SimTime::from_millis(18), p2, &mut out);
+        let recovered: Vec<SimDuration> = out
+            .iter()
+            .filter_map(|a| match a {
+                LinkAction::Observe(LinkEvent::Recovered { after }) => Some(*after),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(recovered, vec![SimDuration::from_millis(8)]);
+        // A fresh in-order packet reports nothing.
+        out.clear();
+        let mut p4 = pkt(4, 100);
+        p4.link_seq = 4;
+        r.on_data(SimTime::from_millis(20), p4, &mut out);
+        assert!(out.iter().all(|a| !matches!(a, LinkAction::Observe(_))));
+    }
+
+    #[test]
+    fn retransmissions_are_observed() {
+        let mut s = rl();
+        let mut out = Vec::new();
+        s.on_send(SimTime::ZERO, pkt(0, 100), &mut out);
+        out.clear();
+        s.on_ctl(
+            SimTime::ZERO,
+            LinkCtl::ReliableNack { missing: vec![1] },
+            &mut out,
+        );
+        assert_eq!(
+            out.iter()
+                .filter(|a| matches!(a, LinkAction::Observe(LinkEvent::Retransmit)))
+                .count(),
+            1
+        );
     }
 
     #[test]
@@ -356,7 +463,14 @@ mod cap_tests {
         for i in 0..10 {
             s.on_send(SimTime::ZERO, pkt(i, 10), &mut out);
         }
-        s.on_ctl(SimTime::ZERO, LinkCtl::ReliableAck { cum: 10, selective: vec![] }, &mut out);
+        s.on_ctl(
+            SimTime::ZERO,
+            LinkCtl::ReliableAck {
+                cum: 10,
+                selective: vec![],
+            },
+            &mut out,
+        );
         assert_eq!(s.unacked_len(), 0);
         assert_eq!(s.max_unacked(), 10, "high-water survives the drain");
     }

@@ -14,6 +14,7 @@ use son_netsim::link::PipeId;
 use son_netsim::process::{Process, ProcessId};
 use son_netsim::sim::Ctx;
 use son_netsim::time::SimDuration;
+use son_obs::{DropClass, SpanStage};
 use son_topo::{EdgeId, Graph, NodeId};
 
 use crate::addr::{Destination, FlowKey, VirtualPort};
@@ -21,13 +22,16 @@ use crate::adversary::{Behavior, Verdict};
 use crate::auth::KeyRegistry;
 use crate::dedup::DedupTable;
 use crate::linkproto::{
-    BestEffortLink, FecLink, FifoLink, ItPriorityLink, ItReliableLink, LinkAction, LinkProto,
-    LinkProtoStats, RealtimeLink, ReliableLink,
+    BestEffortLink, FecLink, FifoLink, ItPriorityLink, ItReliableLink, LinkAction, LinkEvent,
+    LinkProto, LinkProtoStats, RealtimeLink, ReliableLink,
 };
 use crate::metrics::NodeMetrics;
+use crate::obs::NodeObs;
 use crate::packet::{ClientOp, Control, DataPacket, Wire};
 use crate::routing::Forwarding;
-use crate::service::{FlowSpec, LinkService, RealtimeParams, RoutingService, SERVICE_SLOTS};
+use crate::service::{
+    slot_label, FlowSpec, LinkService, RealtimeParams, RoutingService, SERVICE_SLOTS,
+};
 use crate::session::{SessionAction, SessionTable};
 use crate::state::connectivity::{ConnAction, ConnectivityConfig, ConnectivityMonitor};
 use crate::state::groups::{GroupAction, GroupTable};
@@ -59,6 +63,9 @@ pub struct NodeConfig {
     pub auth_enabled: bool,
     /// Initial TTL stamped on packets at the ingress.
     pub ttl: u8,
+    /// Record per-packet lifecycle spans (counters are always on; this
+    /// additionally fills the node's bounded span ring).
+    pub obs_detail: bool,
 }
 
 impl Default for NodeConfig {
@@ -74,6 +81,7 @@ impl Default for NodeConfig {
             fec: crate::service::FecParams::light(),
             auth_enabled: false,
             ttl: 32,
+            obs_detail: false,
         }
     }
 }
@@ -127,7 +135,7 @@ pub struct OverlayNode {
     dedup: DedupTable,
     keys: KeyRegistry,
     behavior: Behavior,
-    metrics: NodeMetrics,
+    obs: NodeObs,
     /// Source-route stamps cached per flow, keyed by connectivity version.
     mask_cache: HashMap<FlowKey, (u64, son_topo::EdgeMask)>,
     /// Upstream link of each IT-Reliable flow (for credit grants).
@@ -160,7 +168,7 @@ impl OverlayNode {
             dedup: DedupTable::new(),
             keys,
             behavior: Behavior::Correct,
-            metrics: NodeMetrics::default(),
+            obs: NodeObs::new(me, config.obs_detail),
             mask_cache: HashMap::new(),
             it_upstream: HashMap::new(),
             delayed: HashMap::new(),
@@ -176,8 +184,10 @@ impl OverlayNode {
     /// simulation starts; incoming pipes are registered separately via
     /// [`OverlayNode::register_in_pipe`].
     pub fn wire_links(&mut self, links: Vec<(EdgeId, NodeId, Vec<PipeId>, f64)>) {
-        let conn_links: Vec<(EdgeId, usize, f64)> =
-            links.iter().map(|(e, _, pipes, lat)| (*e, pipes.len(), *lat)).collect();
+        let conn_links: Vec<(EdgeId, usize, f64)> = links
+            .iter()
+            .map(|(e, _, pipes, lat)| (*e, pipes.len(), *lat))
+            .collect();
         self.conn = ConnectivityMonitor::new(
             self.me,
             self.topology.clone(),
@@ -196,7 +206,10 @@ impl OverlayNode {
                     Box::new(BestEffortLink::new()),
                     Box::new(ReliableLink::new(rto)),
                     Box::new(RealtimeLink::new(self.config.realtime)),
-                    Box::new(ItPriorityLink::new(self.config.it_source_cap, self.config.it_rate_bps)),
+                    Box::new(ItPriorityLink::new(
+                        self.config.it_source_cap,
+                        self.config.it_rate_bps,
+                    )),
                     Box::new(ItReliableLink::new(rto, self.config.it_rate_bps)),
                     Box::new(FifoLink::new(self.config.fifo_cap, self.config.it_rate_bps)),
                     Box::new(FecLink::new(self.config.fec)),
@@ -230,10 +243,16 @@ impl OverlayNode {
         self.me
     }
 
-    /// Node metrics.
+    /// The legacy metrics view, snapshotted from the node's registry.
     #[must_use]
-    pub fn metrics(&self) -> &NodeMetrics {
-        &self.metrics
+    pub fn metrics(&self) -> NodeMetrics {
+        self.obs.snapshot()
+    }
+
+    /// The node's observability state: metrics registry and lifecycle spans.
+    #[must_use]
+    pub fn obs(&self) -> &NodeObs {
+        &self.obs
     }
 
     /// Link protocol statistics for `(local link index, service)`.
@@ -289,7 +308,13 @@ impl OverlayNode {
     pub fn status_report(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "node {} | topology v{} groups v{}", self.me, self.conn.version(), self.groups.version());
+        let _ = writeln!(
+            out,
+            "node {} | topology v{} groups v{}",
+            self.me,
+            self.conn.version(),
+            self.groups.version()
+        );
         for (i, port) in self.links.iter().enumerate() {
             let (lat, loss) = self.conn.link_quality(i);
             let _ = writeln!(
@@ -305,15 +330,16 @@ impl OverlayNode {
             );
         }
         let ports = self.sessions.ports();
-        let _ = writeln!(out, "  clients: {:?}", ports.iter().map(|p| p.0).collect::<Vec<_>>());
+        let _ = writeln!(
+            out,
+            "  clients: {:?}",
+            ports.iter().map(|p| p.0).collect::<Vec<_>>()
+        );
+        let m = self.obs.snapshot();
         let _ = writeln!(
             out,
             "  forwarded {} | delivered {} | dedup {} | unroutable {} | auth_fail {}",
-            self.metrics.forwarded,
-            self.metrics.delivered_local,
-            self.metrics.dedup_suppressed,
-            self.metrics.unroutable,
-            self.metrics.auth_failures,
+            m.forwarded, m.delivered_local, m.dedup_suppressed, m.unroutable, m.auth_failures,
         );
         out
     }
@@ -321,11 +347,18 @@ impl OverlayNode {
     /// Per-source forwarded counts of a link's IT-Priority scheduler
     /// (downcast helper for fairness experiments).
     #[must_use]
-    pub fn it_priority_forwarded(&self, link: usize) -> Option<Vec<(crate::addr::OverlayAddr, u64)>> {
+    pub fn it_priority_forwarded(
+        &self,
+        link: usize,
+    ) -> Option<Vec<(crate::addr::OverlayAddr, u64)>> {
         let proto = self.links.get(link)?.protos[LinkService::ItPriority.slot()].as_ref();
         let any: &dyn std::any::Any = proto as &dyn std::any::Any;
-        any.downcast_ref::<ItPriorityLink>()
-            .map(|p| p.forwarded_by_source().iter().map(|(&a, &c)| (a, c)).collect())
+        any.downcast_ref::<ItPriorityLink>().map(|p| {
+            p.forwarded_by_source()
+                .iter()
+                .map(|(&a, &c)| (a, c))
+                .collect()
+        })
     }
 
     /// Per-source forwarded counts of a link's FIFO baseline.
@@ -333,15 +366,27 @@ impl OverlayNode {
     pub fn fifo_forwarded(&self, link: usize) -> Option<Vec<(crate::addr::OverlayAddr, u64)>> {
         let proto = self.links.get(link)?.protos[LinkService::Fifo.slot()].as_ref();
         let any: &dyn std::any::Any = proto as &dyn std::any::Any;
-        any.downcast_ref::<FifoLink>()
-            .map(|p| p.forwarded_by_source().iter().map(|(&a, &c)| (a, c)).collect())
+        any.downcast_ref::<FifoLink>().map(|p| {
+            p.forwarded_by_source()
+                .iter()
+                .map(|(&a, &c)| (a, c))
+                .collect()
+        })
     }
 
     // --- internal helpers -------------------------------------------------
 
-    fn send_on_link(&self, ctx: &mut Ctx<'_, Wire>, link: usize, provider: Option<usize>, wire: Wire) {
+    fn send_on_link(
+        &self,
+        ctx: &mut Ctx<'_, Wire>,
+        link: usize,
+        provider: Option<usize>,
+        wire: Wire,
+    ) {
         let port = &self.links[link];
-        let idx = provider.unwrap_or(port.active_provider).min(port.out_pipes.len() - 1);
+        let idx = provider
+            .unwrap_or(port.active_provider)
+            .min(port.out_pipes.len() - 1);
         ctx.send(port.out_pipes[idx], wire);
     }
 
@@ -364,21 +409,44 @@ impl OverlayNode {
         slot: usize,
         actions: Vec<LinkAction>,
     ) {
+        // A protocol reports a recovery immediately before delivering the
+        // recovered packet; remember it so the next Deliver gets the span.
+        let mut pending_recover = false;
         for action in actions {
             match action {
                 LinkAction::Transmit(pkt) => {
+                    self.obs
+                        .span(ctx.now(), &pkt, SpanStage::Transmit, Some(link));
                     self.send_on_link(ctx, link, None, Wire::Data(pkt));
                 }
                 LinkAction::TransmitCtl(ctl) => {
-                    self.send_on_link(ctx, link, None, Wire::Ctl { slot: slot as u8, ctl });
+                    self.send_on_link(
+                        ctx,
+                        link,
+                        None,
+                        Wire::Ctl {
+                            slot: slot as u8,
+                            ctl,
+                        },
+                    );
                 }
                 LinkAction::Deliver(pkt) => {
+                    if std::mem::take(&mut pending_recover) {
+                        self.obs
+                            .span(ctx.now(), &pkt, SpanStage::Recover, Some(link));
+                    }
                     let in_edge = self.links[link].edge;
                     // Remember the upstream of IT-Reliable flows for credits.
                     if matches!(pkt.spec.link, LinkService::ItReliable) {
                         self.it_upstream.insert(pkt.flow, link);
                     }
                     self.handle_upward(ctx, pkt, Some(in_edge), Some(link));
+                }
+                LinkAction::Observe(event) => {
+                    if matches!(event, LinkEvent::Recovered { .. }) {
+                        pending_recover = true;
+                    }
+                    self.obs.link_event(slot_label(slot), event);
                 }
                 LinkAction::Timer { delay, token } => {
                     let encoded =
@@ -426,7 +494,12 @@ impl OverlayNode {
         }
     }
 
-    fn apply_conn_actions(&mut self, ctx: &mut Ctx<'_, Wire>, actions: Vec<ConnAction>, reply_provider: Option<usize>) {
+    fn apply_conn_actions(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        actions: Vec<ConnAction>,
+        reply_provider: Option<usize>,
+    ) {
         for action in actions {
             match action {
                 ConnAction::Send { link, msg } => {
@@ -442,12 +515,12 @@ impl OverlayNode {
                 ConnAction::SwitchProvider { link, isp_index } => {
                     let count = self.links[link].out_pipes.len();
                     self.links[link].active_provider = isp_index % count.max(1);
-                    self.metrics.counters.incr("provider_switches");
+                    self.obs.named("provider_switches");
                 }
                 ConnAction::TopologyChanged => {
                     self.forwarding.set_graph(self.conn.current_graph());
                     self.mask_cache.clear();
-                    self.metrics.counters.incr("reroutes");
+                    self.obs.named("reroutes");
                 }
             }
         }
@@ -457,7 +530,12 @@ impl OverlayNode {
         for GroupAction::Flood { except, update } in actions {
             for i in 0..self.links.len() {
                 if Some(i) != except {
-                    self.send_on_link(ctx, i, None, Wire::Control(Control::GroupUpdate(update.clone())));
+                    self.send_on_link(
+                        ctx,
+                        i,
+                        None,
+                        Wire::Control(Control::GroupUpdate(update.clone())),
+                    );
                 }
             }
         }
@@ -477,7 +555,11 @@ impl OverlayNode {
             Destination::Anycast(group) => {
                 if pkt.resolved_dst == Some(self.me) {
                     // Deliver to exactly one local member.
-                    self.groups.local_members(group).into_iter().take(1).collect()
+                    self.groups
+                        .local_members(group)
+                        .into_iter()
+                        .take(1)
+                        .collect()
                 } else {
                     Vec::new()
                 }
@@ -495,7 +577,10 @@ impl OverlayNode {
                 if addr.node == self.me {
                     Vec::new()
                 } else {
-                    self.forwarding.unicast_next_hop(addr.node).into_iter().collect()
+                    self.forwarding
+                        .unicast_next_hop(addr.node)
+                        .into_iter()
+                        .collect()
                 }
             }
             Destination::Multicast(group) => {
@@ -533,9 +618,13 @@ impl OverlayNode {
         let is_it_reliable = matches!(pkt.spec.link, LinkService::ItReliable);
         // Authentication: drop packets that do not verify (§IV-B).
         if self.config.auth_enabled
-            && !self.keys.verify(pkt.origin, pkt.flow, pkt.flow_seq, pkt.size, pkt.auth_tag)
+            && !self
+                .keys
+                .verify(pkt.origin, pkt.flow, pkt.flow_seq, pkt.size, pkt.auth_tag)
         {
-            self.metrics.auth_failures += 1;
+            self.obs.drop(DropClass::Auth);
+            self.obs
+                .span(ctx.now(), &pkt, SpanStage::Drop(DropClass::Auth), in_link);
             return;
         }
         // De-duplication for redundant dissemination: only the first copy is
@@ -543,7 +632,7 @@ impl OverlayNode {
         // copy is still *consumed* from its sender's perspective, so the
         // credit goes back (no leak under redundant routing).
         if pkt.mask.is_some() && !self.dedup.first_sighting(pkt.flow, pkt.flow_seq) {
-            self.metrics.dedup_suppressed += 1;
+            self.obs.drop(DropClass::DedupDuplicate);
             if is_it_reliable {
                 if let Some(link) = in_link {
                     self.grant_consumed(ctx, link, pkt.flow);
@@ -554,9 +643,13 @@ impl OverlayNode {
         // Local delivery.
         let targets = self.local_targets(&pkt);
         if !targets.is_empty() {
-            self.metrics.delivered_local += 1;
+            let now = ctx.now();
+            self.obs
+                .delivered_local(now.saturating_since(pkt.created_at).as_nanos());
+            self.obs.span(now, &pkt, SpanStage::Deliver, in_link);
             let mut sa = Vec::new();
-            self.sessions.deliver(ctx.now(), pkt.clone(), &targets, &mut sa);
+            self.sessions
+                .deliver(ctx.now(), pkt.clone(), &targets, &mut sa);
             self.apply_session_actions(ctx, sa);
         }
         // IT-Reliable credit accounting: a packet that terminates here (no
@@ -571,13 +664,40 @@ impl OverlayNode {
         self.forward_onward(ctx, pkt, in_edge);
     }
 
-    fn forward_onward(&mut self, ctx: &mut Ctx<'_, Wire>, mut pkt: DataPacket, in_edge: Option<EdgeId>) {
+    fn forward_onward(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        mut pkt: DataPacket,
+        in_edge: Option<EdgeId>,
+    ) {
         let outs = self.out_edges(&pkt, in_edge);
         if outs.is_empty() {
+            // A unicast/anycast packet that has not reached its destination
+            // and has no usable next hop is an unroutable drop (e.g. the
+            // route vanished mid-flight). An empty out-set is otherwise the
+            // normal end of dissemination: local delivery, a mask leaf, or
+            // no downstream group members.
+            let stranded = pkt.mask.is_none()
+                && match pkt.flow.dst() {
+                    Destination::Unicast(a) => a.node != self.me,
+                    Destination::Anycast(_) => pkt.resolved_dst.is_some_and(|d| d != self.me),
+                    Destination::Multicast(_) => false,
+                };
+            if stranded {
+                self.obs.drop(DropClass::Unroutable);
+                self.obs.span(
+                    ctx.now(),
+                    &pkt,
+                    SpanStage::Drop(DropClass::Unroutable),
+                    None,
+                );
+            }
             return;
         }
         if pkt.ttl == 0 {
-            self.metrics.dropped_ttl += 1;
+            self.obs.drop(DropClass::Ttl);
+            self.obs
+                .span(ctx.now(), &pkt, SpanStage::Drop(DropClass::Ttl), None);
             return;
         }
         pkt.ttl -= 1;
@@ -588,7 +708,9 @@ impl OverlayNode {
             match self.behavior.forward_verdict(&pkt) {
                 Verdict::Forward => {}
                 Verdict::Drop => {
-                    self.metrics.adversary_dropped += 1;
+                    self.obs.drop(DropClass::Adversary);
+                    self.obs
+                        .span(ctx.now(), &pkt, SpanStage::Drop(DropClass::Adversary), None);
                     return;
                 }
                 Verdict::Delay(extra) => {
@@ -613,11 +735,11 @@ impl OverlayNode {
                         .find(|e| Some(*e) != in_edge && !outs.contains(e));
                     match wrong {
                         Some(e) => {
-                            self.metrics.counters.incr("adversary_misrouted");
+                            self.obs.named("adversary_misrouted");
                             self.transmit_out(ctx, pkt, &[e]);
                         }
                         None => {
-                            self.metrics.adversary_dropped += 1;
+                            self.obs.drop(DropClass::Adversary);
                         }
                     }
                     return;
@@ -631,8 +753,11 @@ impl OverlayNode {
         let slot = pkt.spec.link.slot();
         let now = ctx.now();
         for &edge in outs {
-            let Some(&link) = self.edge_index.get(&edge) else { continue };
-            self.metrics.forwarded += 1;
+            let Some(&link) = self.edge_index.get(&edge) else {
+                continue;
+            };
+            self.obs.forwarded();
+            self.obs.span(now, &pkt, SpanStage::Enqueue, Some(link));
             let copy = pkt.clone();
             self.run_link_proto(ctx, link, slot, move |p, out| {
                 p.on_send(now, copy, out);
@@ -680,7 +805,7 @@ impl OverlayNode {
                                 Some(m)
                             }
                             None => {
-                                self.metrics.unroutable += 1;
+                                self.obs.drop(DropClass::Unroutable);
                                 return;
                             }
                         }
@@ -694,7 +819,7 @@ impl OverlayNode {
                 match self.forwarding.anycast_resolve(&members) {
                     Some(n) => Some(n),
                     None => {
-                        self.metrics.unroutable += 1;
+                        self.obs.drop(DropClass::Unroutable);
                         return;
                     }
                 }
@@ -729,20 +854,34 @@ impl OverlayNode {
         match op {
             ClientOp::Connect { port } => {
                 let mut sa = Vec::new();
-                if self.sessions.connect(VirtualPort(port), from, &mut sa).is_err() {
-                    self.metrics.counters.incr("connect_rejected");
+                if self
+                    .sessions
+                    .connect(VirtualPort(port), from, &mut sa)
+                    .is_err()
+                {
+                    self.obs.named("connect_rejected");
                 }
                 self.apply_session_actions(ctx, sa);
             }
-            ClientOp::OpenFlow { local_flow, dst, spec } => {
+            ClientOp::OpenFlow {
+                local_flow,
+                dst,
+                spec,
+            } => {
                 if let Some(port) = self.port_of(from) {
                     let _ = self.sessions.open_flow(port, local_flow, dst, spec);
                 }
             }
-            ClientOp::Send { local_flow, size, payload } => {
-                let Some(port) = self.port_of(from) else { return };
+            ClientOp::Send {
+                local_flow,
+                size,
+                payload,
+            } => {
+                let Some(port) = self.port_of(from) else {
+                    return;
+                };
                 let Ok((flow, spec, seq)) = self.sessions.next_send(port, local_flow) else {
-                    self.metrics.counters.incr("send_unknown_flow");
+                    self.obs.named("send_unknown_flow");
                     return;
                 };
                 self.ingress_send(ctx, flow, spec, seq, size, payload);
@@ -773,13 +912,29 @@ impl OverlayNode {
     }
 
     fn port_of(&self, proc: ProcessId) -> Option<VirtualPort> {
-        self.sessions.ports().into_iter().find(|&p| self.sessions.client_proc(p) == Some(proc))
+        self.sessions
+            .ports()
+            .into_iter()
+            .find(|&p| self.sessions.client_proc(p) == Some(proc))
     }
 
     fn flood_tick(&mut self, ctx: &mut Ctx<'_, Wire>) {
-        let Behavior::Flood { dst, rate_pps, size } = self.behavior.clone() else { return };
+        let Behavior::Flood {
+            dst,
+            rate_pps,
+            size,
+        } = self.behavior.clone()
+        else {
+            return;
+        };
         self.flood_seq += 1;
-        let flow = FlowKey::new(crate::addr::OverlayAddr { node: self.me, port: VirtualPort(0) }, dst);
+        let flow = FlowKey::new(
+            crate::addr::OverlayAddr {
+                node: self.me,
+                port: VirtualPort(0),
+            },
+            dst,
+        );
         let auth_tag = if self.config.auth_enabled {
             // A compromised node can authenticate junk it originates itself.
             self.keys.tag(self.me, flow, self.flood_seq, size)
@@ -800,7 +955,7 @@ impl OverlayNode {
             ttl: self.config.ttl,
             auth_tag,
         };
-        self.metrics.adversary_injected += 1;
+        self.obs.adversary_injected();
         self.forward_onward(ctx, pkt, None);
         let delay = SimDuration::from_secs_f64(1.0 / rate_pps.max(1) as f64);
         ctx.set_timer(delay, TOK_FLOOD);
@@ -822,7 +977,13 @@ impl Process<Wire> for OverlayNode {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Wire>, from: ProcessId, pipe: Option<PipeId>, msg: Wire) {
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        from: ProcessId,
+        pipe: Option<PipeId>,
+        msg: Wire,
+    ) {
         match msg {
             Wire::Data(pkt) => {
                 let Some(&(link, _)) = pipe.as_ref().and_then(|p| self.in_pipe_index.get(p)) else {
@@ -855,7 +1016,8 @@ impl Process<Wire> for OverlayNode {
                     }
                     Control::HelloAck { seq, echo_sent_at } => {
                         let mut ca = Vec::new();
-                        self.conn.on_hello_ack(ctx.now(), link, seq, echo_sent_at, &mut ca);
+                        self.conn
+                            .on_hello_ack(ctx.now(), link, seq, echo_sent_at, &mut ca);
                         self.apply_conn_actions(ctx, ca, None);
                     }
                     Control::Lsa(lsa) => {

@@ -1,0 +1,286 @@
+//! Per-node observability: the daemon's window into `son-obs`.
+//!
+//! [`NodeObs`] bundles the node's metrics [`Registry`] and packet-lifecycle
+//! [`SpanRing`] behind the recording API the daemon actually uses. Two cost
+//! tiers keep the forwarding path as cheap as the plain struct fields it
+//! replaced:
+//!
+//! - **Always on**: counters (one `Vec` index + add, pre-registered
+//!   handles) and the rare-event recovery/delivery histograms. These back
+//!   [`NodeMetrics`] snapshots and the experiment exporters, so they cannot
+//!   be opted out of.
+//! - **Detail** (`NodeConfig::obs_detail`): per-packet lifecycle span
+//!   events. Off by default; when off, [`NodeObs::span`] is a branch and a
+//!   return.
+//!
+//! Every instrument carries a `node=<id>` label so per-node registries can
+//! be [`Registry::absorb`]ed into one experiment-wide registry without
+//! collisions.
+
+use son_netsim::stats::Counters;
+use son_netsim::time::SimTime;
+use son_obs::{CounterId, DropClass, HistId, PacketKey, Registry, SpanEvent, SpanRing, SpanStage};
+use son_topo::NodeId;
+
+use crate::linkproto::LinkEvent;
+use crate::metrics::NodeMetrics;
+use crate::packet::DataPacket;
+
+/// Retained lifecycle events per node when detail is enabled.
+const SPAN_CAPACITY: usize = 4096;
+
+/// The daemon's observability state: registry, span ring, and the
+/// pre-registered handles for every hot-path counter.
+#[derive(Debug)]
+pub struct NodeObs {
+    registry: Registry,
+    spans: SpanRing,
+    detail: bool,
+    node_label: String,
+    forwarded: CounterId,
+    delivered_local: CounterId,
+    adversary_injected: CounterId,
+    drop_ttl: CounterId,
+    drop_auth: CounterId,
+    drop_dedup: CounterId,
+    drop_unroutable: CounterId,
+    drop_adversary: CounterId,
+    delivery_latency: HistId,
+}
+
+impl NodeObs {
+    /// Observability state for node `me`; `detail` additionally enables
+    /// per-packet span recording.
+    #[must_use]
+    pub fn new(me: NodeId, detail: bool) -> Self {
+        let node_label = me.0.to_string();
+        let mut registry = Registry::new();
+        let labels: &[(&str, &str)] = &[("node", &node_label)];
+        let forwarded = registry.counter("node.forwarded", labels);
+        let delivered_local = registry.counter("node.delivered_local", labels);
+        let adversary_injected = registry.counter("node.adversary_injected", labels);
+        let drop_ttl = registry.counter(DropClass::Ttl.label(), labels);
+        let drop_auth = registry.counter(DropClass::Auth.label(), labels);
+        let drop_dedup = registry.counter(DropClass::DedupDuplicate.label(), labels);
+        let drop_unroutable = registry.counter(DropClass::Unroutable.label(), labels);
+        let drop_adversary = registry.counter(DropClass::Adversary.label(), labels);
+        let delivery_latency = registry.histogram("node.delivery_latency_ns", labels);
+        NodeObs {
+            registry,
+            spans: SpanRing::new(SPAN_CAPACITY),
+            detail,
+            node_label,
+            forwarded,
+            delivered_local,
+            adversary_injected,
+            drop_ttl,
+            drop_auth,
+            drop_dedup,
+            drop_unroutable,
+            drop_adversary,
+            delivery_latency,
+        }
+    }
+
+    /// Whether per-packet span recording is enabled.
+    #[must_use]
+    pub fn detail(&self) -> bool {
+        self.detail
+    }
+
+    /// A packet was forwarded toward another node.
+    #[inline]
+    pub fn forwarded(&mut self) {
+        self.registry.inc(self.forwarded);
+    }
+
+    /// A packet was delivered to a local client; `latency` is its
+    /// origin-to-delivery time.
+    #[inline]
+    pub fn delivered_local(&mut self, latency_ns: u64) {
+        self.registry.inc(self.delivered_local);
+        self.registry.observe(self.delivery_latency, latency_ns);
+    }
+
+    /// Adversarial behaviour originated a junk packet.
+    #[inline]
+    pub fn adversary_injected(&mut self) {
+        self.registry.inc(self.adversary_injected);
+    }
+
+    /// The node dropped a packet for `class` (node-layer classes only; link
+    /// protocols report theirs through [`NodeObs::link_event`]).
+    pub fn drop(&mut self, class: DropClass) {
+        let id = match class {
+            DropClass::Ttl => self.drop_ttl,
+            DropClass::Auth => self.drop_auth,
+            DropClass::DedupDuplicate => self.drop_dedup,
+            DropClass::Unroutable => self.drop_unroutable,
+            DropClass::Adversary => self.drop_adversary,
+            other => {
+                let label = self.node_label.clone();
+                self.registry.counter(other.label(), &[("node", &label)])
+            }
+        };
+        self.registry.inc(id);
+    }
+
+    /// Bumps the ad-hoc counter `name` (kept dot-free so snapshots can route
+    /// it into [`NodeMetrics::counters`] under its historical name).
+    pub fn named(&mut self, name: &str) {
+        let label = self.node_label.clone();
+        let id = self.registry.counter(name, &[("node", &label)]);
+        self.registry.inc(id);
+    }
+
+    /// Records what a link protocol on `proto` observed: retransmissions and
+    /// protocol drops become counters, recoveries feed the per-proto
+    /// `link.recovery_ns` histogram.
+    pub fn link_event(&mut self, proto: &'static str, event: LinkEvent) {
+        let label = self.node_label.clone();
+        let labels: &[(&str, &str)] = &[("node", &label), ("proto", proto)];
+        match event {
+            LinkEvent::Retransmit => {
+                let id = self.registry.counter("link.retransmit", labels);
+                self.registry.inc(id);
+            }
+            LinkEvent::Recovered { after } => {
+                let id = self.registry.histogram("link.recovery_ns", labels);
+                self.registry.observe(id, after.as_nanos());
+            }
+            LinkEvent::Drop(class) => {
+                let id = self.registry.counter(class.label(), labels);
+                self.registry.inc(id);
+            }
+        }
+    }
+
+    /// Records a lifecycle span event for `pkt` (no-op unless detail is on).
+    #[inline]
+    pub fn span(&mut self, now: SimTime, pkt: &DataPacket, stage: SpanStage, link: Option<usize>) {
+        if !self.detail {
+            return;
+        }
+        self.spans.record(SpanEvent {
+            at_ns: now.as_nanos(),
+            packet: PacketKey {
+                flow: pkt.flow.stable_id(),
+                seq: pkt.flow_seq,
+            },
+            stage,
+            link: link.map(|l| l as u32),
+        });
+    }
+
+    /// The node's metrics registry.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Retained lifecycle events (empty unless detail is on).
+    #[must_use]
+    pub fn spans(&self) -> &SpanRing {
+        &self.spans
+    }
+
+    /// The legacy [`NodeMetrics`] view of the registry: typed fields from
+    /// the pre-registered counters, dot-free ad-hoc counters under their
+    /// historical names in [`NodeMetrics::counters`].
+    #[must_use]
+    pub fn snapshot(&self) -> NodeMetrics {
+        let mut counters = Counters::default();
+        for (desc, v) in self.registry.counters() {
+            if !desc.name.contains('.') && v > 0 {
+                counters.add(&desc.name, v);
+            }
+        }
+        NodeMetrics {
+            forwarded: self.registry.counter_value(self.forwarded),
+            delivered_local: self.registry.counter_value(self.delivered_local),
+            dropped_ttl: self.registry.counter_value(self.drop_ttl),
+            auth_failures: self.registry.counter_value(self.drop_auth),
+            dedup_suppressed: self.registry.counter_value(self.drop_dedup),
+            adversary_dropped: self.registry.counter_value(self.drop_adversary),
+            adversary_injected: self.registry.counter_value(self.adversary_injected),
+            unroutable: self.registry.counter_value(self.drop_unroutable),
+            counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use son_netsim::time::SimDuration;
+
+    use super::*;
+
+    #[test]
+    fn snapshot_mirrors_registry() {
+        let mut obs = NodeObs::new(NodeId(3), false);
+        obs.forwarded();
+        obs.forwarded();
+        obs.delivered_local(1_000);
+        obs.drop(DropClass::Ttl);
+        obs.drop(DropClass::Auth);
+        obs.named("provider_switches");
+        let m = obs.snapshot();
+        assert_eq!(m.forwarded, 2);
+        assert_eq!(m.delivered_local, 1);
+        assert_eq!(m.dropped_ttl, 1);
+        assert_eq!(m.auth_failures, 1);
+        assert_eq!(m.dedup_suppressed, 0);
+        assert_eq!(m.counters.get("provider_switches"), 1);
+        // Dotted names stay out of the ad-hoc view.
+        assert_eq!(m.counters.get("node.forwarded"), 0);
+    }
+
+    #[test]
+    fn link_events_register_per_proto_instruments() {
+        let mut obs = NodeObs::new(NodeId(0), false);
+        obs.link_event("reliable", LinkEvent::Retransmit);
+        obs.link_event(
+            "reliable",
+            LinkEvent::Recovered {
+                after: SimDuration::from_millis(8),
+            },
+        );
+        obs.link_event("realtime", LinkEvent::Drop(DropClass::Expired));
+        let r = obs.registry();
+        assert_eq!(
+            r.counter_named("link.retransmit", &[("node", "0"), ("proto", "reliable")]),
+            Some(1)
+        );
+        let h = r
+            .hist_named("link.recovery_ns", &[("node", "0"), ("proto", "reliable")])
+            .unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 8_000_000);
+        assert_eq!(
+            r.counter_named("drop.expired", &[("node", "0"), ("proto", "realtime")]),
+            Some(1)
+        );
+        // Per-proto drops aggregate with node drops under the same name.
+        obs.drop(DropClass::Expired);
+        assert_eq!(obs.registry().counter_total("drop.expired"), 2);
+    }
+
+    #[test]
+    fn spans_only_record_in_detail_mode() {
+        use crate::linkproto::testutil::pkt;
+        let p = pkt(7, 100);
+        let mut quiet = NodeObs::new(NodeId(1), false);
+        quiet.span(SimTime::from_millis(1), &p, SpanStage::Transmit, Some(0));
+        assert_eq!(quiet.spans().recorded(), 0);
+        let mut loud = NodeObs::new(NodeId(1), true);
+        loud.span(SimTime::from_millis(1), &p, SpanStage::Transmit, Some(0));
+        loud.span(SimTime::from_millis(2), &p, SpanStage::Deliver, None);
+        assert_eq!(loud.spans().recorded(), 2);
+        let key = PacketKey {
+            flow: p.flow.stable_id(),
+            seq: 7,
+        };
+        let stages: Vec<SpanStage> = loud.spans().for_packet(key).map(|e| e.stage).collect();
+        assert_eq!(stages, vec![SpanStage::Transmit, SpanStage::Deliver]);
+    }
+}

@@ -6,7 +6,7 @@
 //! binary encoding so bandwidth and overhead accounting are meaningful.
 
 use bytes::Bytes;
-use son_netsim::process::SimMessage;
+use son_netsim::process::{MessageKind, SimMessage};
 use son_netsim::time::SimTime;
 use son_topo::{EdgeId, EdgeMask, NodeId};
 
@@ -320,6 +320,19 @@ impl SimMessage for Wire {
             Wire::Raw { size, .. } => 8 + size,
         }
     }
+
+    fn kind(&self) -> MessageKind {
+        match self {
+            // Only overlay data packets are data-plane traffic; everything
+            // else (acks, hellos, LSAs, session IPC) is control for drop
+            // attribution purposes.
+            Wire::Data(d) => MessageKind::Data {
+                flow: d.flow.stable_id(),
+                seq: d.flow_seq,
+            },
+            _ => MessageKind::Control,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -368,22 +381,50 @@ mod tests {
 
     #[test]
     fn ctl_sizes_scale_with_content() {
-        let small = LinkCtl::ReliableAck { cum: 5, selective: vec![] };
-        let big = LinkCtl::ReliableAck { cum: 5, selective: vec![7, 9, 11] };
+        let small = LinkCtl::ReliableAck {
+            cum: 5,
+            selective: vec![],
+        };
+        let big = LinkCtl::ReliableAck {
+            cum: 5,
+            selective: vec![7, 9, 11],
+        };
         assert!(big.wire_size() > small.wire_size());
-        assert_eq!(LinkCtl::Credit { flow: packet(None, 0).flow, credits: 4 }.wire_size(), 32);
-        assert_eq!(LinkCtl::RtRequest { seqs: vec![1, 2], strike: 0 }.wire_size(), 17 + 16);
+        assert_eq!(
+            LinkCtl::Credit {
+                flow: packet(None, 0).flow,
+                credits: 4
+            }
+            .wire_size(),
+            32
+        );
+        assert_eq!(
+            LinkCtl::RtRequest {
+                seqs: vec![1, 2],
+                strike: 0
+            }
+            .wire_size(),
+            17 + 16
+        );
         assert_eq!(LinkCtl::ReliableNack { missing: vec![3] }.wire_size(), 24);
     }
 
     #[test]
     fn control_sizes_scale_with_content() {
-        let hello = Control::Hello { seq: 1, sent_at: SimTime::ZERO };
+        let hello = Control::Hello {
+            seq: 1,
+            sent_at: SimTime::ZERO,
+        };
         assert_eq!(hello.wire_size(), 24);
         let lsa = Control::Lsa(Lsa {
             origin: NodeId(0),
             seq: 1,
-            links: vec![LinkAdvert { edge: EdgeId(0), up: true, latency_ms: 10.0, loss: 0.0 }],
+            links: vec![LinkAdvert {
+                edge: EdgeId(0),
+                up: true,
+                latency_ms: 10.0,
+                loss: 0.0,
+            }],
         });
         assert_eq!(lsa.wire_size(), 29);
         let gu = Control::GroupUpdate(GroupUpdate {
@@ -395,10 +436,40 @@ mod tests {
     }
 
     #[test]
+    fn only_data_wires_are_data_kind() {
+        let p = packet(None, 100);
+        let expected = MessageKind::Data {
+            flow: p.flow.stable_id(),
+            seq: p.flow_seq,
+        };
+        assert_eq!(Wire::Data(p).kind(), expected);
+        assert_eq!(
+            Wire::Control(Control::Hello {
+                seq: 1,
+                sent_at: SimTime::ZERO
+            })
+            .kind(),
+            MessageKind::Control
+        );
+        assert_eq!(
+            Wire::Ctl {
+                slot: 1,
+                ctl: LinkCtl::ReliableNack { missing: vec![2] }
+            }
+            .kind(),
+            MessageKind::Control
+        );
+    }
+
+    #[test]
     fn wire_dispatches_sizes() {
         let w = Wire::Data(packet(None, 100));
         assert_eq!(w.wire_size(), DATA_HEADER_BYTES + 100);
-        let c = Wire::FromClient(ClientOp::Send { local_flow: 0, size: 500, payload: Bytes::new() });
+        let c = Wire::FromClient(ClientOp::Send {
+            local_flow: 0,
+            size: 500,
+            payload: Bytes::new(),
+        });
         assert_eq!(c.wire_size(), 516);
         let e = Wire::ToClient(SessionEvent::FlowPaused { local_flow: 0 });
         assert_eq!(e.wire_size(), 16);

@@ -41,7 +41,12 @@ impl Forwarding {
     /// view.
     #[must_use]
     pub fn new(me: NodeId, graph: Graph) -> Self {
-        Forwarding { me, graph, spt: HashMap::new(), mcast: HashMap::new() }
+        Forwarding {
+            me,
+            graph,
+            spt: HashMap::new(),
+            mcast: HashMap::new(),
+        }
     }
 
     /// Installs a fresh topology view (connectivity state changed) and
@@ -67,7 +72,9 @@ impl Forwarding {
         }
         // Forwarding tables are per-destination: route along the SPT rooted
         // at *this* node.
-        spt_entry(&self.graph, &mut self.spt, me).next_hop(dst).map(|(_, e)| e)
+        spt_entry(&self.graph, &mut self.spt, me)
+            .next_hop(dst)
+            .map(|(_, e)| e)
     }
 
     /// Link-state multicast: the edges this node forwards a packet from
@@ -187,7 +194,9 @@ fn spt_entry<'a>(
     cache: &'a mut HashMap<NodeId, ShortestPaths>,
     root: NodeId,
 ) -> &'a ShortestPaths {
-    cache.entry(root).or_insert_with(|| dijkstra_usable(graph, root))
+    cache
+        .entry(root)
+        .or_insert_with(|| dijkstra_usable(graph, root))
 }
 
 /// Dijkstra that refuses to traverse unusable (down) edges.
@@ -297,21 +306,35 @@ mod tests {
     #[test]
     fn source_route_masks() {
         let mut f = Forwarding::new(NodeId(0), square());
-        let two = f.source_route_mask(SourceRoute::DisjointPaths(2), NodeId(3)).unwrap();
+        let two = f
+            .source_route_mask(SourceRoute::DisjointPaths(2), NodeId(3))
+            .unwrap();
         assert!(two.contains(EdgeId(0)) && two.contains(EdgeId(1)));
         assert!(two.contains(EdgeId(2)) && two.contains(EdgeId(3)));
 
-        let flood = f.source_route_mask(SourceRoute::ConstrainedFlooding, NodeId(3)).unwrap();
+        let flood = f
+            .source_route_mask(SourceRoute::ConstrainedFlooding, NodeId(3))
+            .unwrap();
         assert_eq!(flood.len(), 5);
 
         let fixed = EdgeMask::from_edges([EdgeId(4)]);
-        assert_eq!(f.source_route_mask(SourceRoute::Static(fixed), NodeId(3)), Some(fixed));
+        assert_eq!(
+            f.source_route_mask(SourceRoute::Static(fixed), NodeId(3)),
+            Some(fixed)
+        );
 
-        let dg = f.source_route_mask(SourceRoute::DisseminationGraph, NodeId(3)).unwrap();
+        let dg = f
+            .source_route_mask(SourceRoute::DisseminationGraph, NodeId(3))
+            .unwrap();
         assert!(dg.is_superset(&two));
 
-        let overlap = f.source_route_mask(SourceRoute::OverlappingPaths(2), NodeId(3)).unwrap();
-        assert!(overlap.len() >= 2, "at least the shortest path plus a deviation");
+        let overlap = f
+            .source_route_mask(SourceRoute::OverlappingPaths(2), NodeId(3))
+            .unwrap();
+        assert!(
+            overlap.len() >= 2,
+            "at least the shortest path plus a deviation"
+        );
     }
 
     #[test]

@@ -148,6 +148,22 @@ impl LinkService {
 /// Number of distinct link-protocol slots a link multiplexes.
 pub(crate) const SERVICE_SLOTS: usize = 7;
 
+/// The metrics label of a protocol slot (the inverse of
+/// [`LinkService::slot`], for observability events that arrive tagged with a
+/// slot index rather than a service value).
+#[must_use]
+pub(crate) fn slot_label(slot: usize) -> &'static str {
+    match slot {
+        0 => "best_effort",
+        1 => "reliable",
+        2 => "realtime",
+        3 => "it_priority",
+        4 => "it_reliable",
+        5 => "fifo",
+        _ => "fec",
+    }
+}
+
 /// Parameters of the NM-Strikes real-time link protocol (Fig. 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RealtimeParams {
@@ -180,7 +196,11 @@ impl RealtimeParams {
     /// remote manipulation (§V-A).
     #[must_use]
     pub fn single_strike(budget: SimDuration) -> Self {
-        RealtimeParams { n_requests: 1, m_retransmissions: 1, budget }
+        RealtimeParams {
+            n_requests: 1,
+            m_retransmissions: 1,
+            budget,
+        }
     }
 
     /// The spacing between consecutive requests (and retransmissions):
@@ -348,17 +368,33 @@ mod tests {
 
     #[test]
     fn spacing_spreads_budget_over_all_strikes() {
-        let p = RealtimeParams { n_requests: 3, m_retransmissions: 2, budget: SimDuration::from_millis(100) };
+        let p = RealtimeParams {
+            n_requests: 3,
+            m_retransmissions: 2,
+            budget: SimDuration::from_millis(100),
+        };
         assert_eq!(p.spacing(), SimDuration::from_millis(20));
     }
 
     #[test]
     fn validate_rejects_degenerate_params() {
-        let bad_n = RealtimeParams { n_requests: 0, m_retransmissions: 1, budget: SimDuration::from_millis(1) };
+        let bad_n = RealtimeParams {
+            n_requests: 0,
+            m_retransmissions: 1,
+            budget: SimDuration::from_millis(1),
+        };
         assert!(bad_n.validate().is_err());
-        let bad_m = RealtimeParams { n_requests: 1, m_retransmissions: 0, budget: SimDuration::from_millis(1) };
+        let bad_m = RealtimeParams {
+            n_requests: 1,
+            m_retransmissions: 0,
+            budget: SimDuration::from_millis(1),
+        };
         assert!(bad_m.validate().is_err());
-        let bad_b = RealtimeParams { n_requests: 1, m_retransmissions: 1, budget: SimDuration::ZERO };
+        let bad_b = RealtimeParams {
+            n_requests: 1,
+            m_retransmissions: 1,
+            budget: SimDuration::ZERO,
+        };
         assert!(bad_b.validate().is_err());
     }
 

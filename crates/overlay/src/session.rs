@@ -138,16 +138,26 @@ impl SessionTable {
             return Err(SessionError::PortInUse(port));
         }
         self.clients.insert(port, proc);
-        let addr = OverlayAddr { node: self.me, port };
-        out.push(SessionAction::ToClient { port, event: SessionEvent::Connected { addr } });
+        let addr = OverlayAddr {
+            node: self.me,
+            port,
+        };
+        out.push(SessionAction::ToClient {
+            port,
+            event: SessionEvent::Connected { addr },
+        });
         Ok(addr)
     }
 
     /// Disconnects a client, dropping its flows.
     pub fn disconnect(&mut self, port: VirtualPort) {
         self.clients.remove(&port);
-        let gone: Vec<(VirtualPort, u32)> =
-            self.out_flows.keys().filter(|(p, _)| *p == port).copied().collect();
+        let gone: Vec<(VirtualPort, u32)> = self
+            .out_flows
+            .keys()
+            .filter(|(p, _)| *p == port)
+            .copied()
+            .collect();
         for k in gone {
             if let Some(f) = self.out_flows.remove(&k) {
                 self.by_key.remove(&f.key);
@@ -184,8 +194,22 @@ impl SessionTable {
         if !self.clients.contains_key(&port) {
             return Err(SessionError::NotConnected(port));
         }
-        let key = FlowKey::new(OverlayAddr { node: self.me, port }, dst);
-        self.out_flows.insert((port, local_flow), OutFlow { key, spec, next_seq: 0, paused: false });
+        let key = FlowKey::new(
+            OverlayAddr {
+                node: self.me,
+                port,
+            },
+            dst,
+        );
+        self.out_flows.insert(
+            (port, local_flow),
+            OutFlow {
+                key,
+                spec,
+                next_seq: 0,
+                paused: false,
+            },
+        );
         self.by_key.insert(key, (port, local_flow));
         Ok(key)
     }
@@ -242,7 +266,9 @@ impl SessionTable {
     /// Delivery statistics for an incoming flow.
     #[must_use]
     pub fn delivery_stats(&self, flow: FlowKey) -> DeliveryStats {
-        self.in_flows.get(&flow).map_or(DeliveryStats::default(), |f| f.stats)
+        self.in_flows
+            .get(&flow)
+            .map_or(DeliveryStats::default(), |f| f.stats)
     }
 
     /// Handles a packet that reached this node for local delivery to
@@ -328,9 +354,19 @@ impl SessionTable {
 
     /// Handles a deadline-release timer: skips missing sequence numbers so
     /// the buffered packet is delivered before it goes stale.
-    pub fn on_timer(&mut self, _now: SimTime, token: u32, targets: &[VirtualPort], out: &mut Vec<SessionAction>) {
-        let Some((flow, seq)) = self.timer_purpose.remove(&token) else { return };
-        let Some(state) = self.in_flows.get_mut(&flow) else { return };
+    pub fn on_timer(
+        &mut self,
+        _now: SimTime,
+        token: u32,
+        targets: &[VirtualPort],
+        out: &mut Vec<SessionAction>,
+    ) {
+        let Some((flow, seq)) = self.timer_purpose.remove(&token) else {
+            return;
+        };
+        let Some(state) = self.in_flows.get_mut(&flow) else {
+            return;
+        };
         if seq < state.next_expected || !state.buffer.contains_key(&seq) {
             return; // already delivered or otherwise resolved
         }
@@ -391,9 +427,10 @@ mod tests {
     fn delivered_seqs(out: &[SessionAction]) -> Vec<u64> {
         out.iter()
             .filter_map(|a| match a {
-                SessionAction::ToClient { event: SessionEvent::Deliver { seq, .. }, .. } => {
-                    Some(*seq)
-                }
+                SessionAction::ToClient {
+                    event: SessionEvent::Deliver { seq, .. },
+                    ..
+                } => Some(*seq),
                 _ => None,
             })
             .collect()
@@ -416,7 +453,10 @@ mod tests {
         assert_eq!(addr, OverlayAddr::new(NodeId(3), 7));
         assert!(matches!(
             out[0],
-            SessionAction::ToClient { event: SessionEvent::Connected { .. }, .. }
+            SessionAction::ToClient {
+                event: SessionEvent::Connected { .. },
+                ..
+            }
         ));
         assert_eq!(
             t.connect(VirtualPort(7), ProcessId(2), &mut out),
@@ -429,7 +469,12 @@ mod tests {
     fn open_flow_and_send_sequence() {
         let mut t = table();
         let key = t
-            .open_flow(P, 1, Destination::Multicast(GroupId(4)), FlowSpec::best_effort())
+            .open_flow(
+                P,
+                1,
+                Destination::Multicast(GroupId(4)),
+                FlowSpec::best_effort(),
+            )
             .unwrap();
         assert_eq!(key.src, OverlayAddr::new(NodeId(1), 2));
         let (_, _, s1) = t.next_send(P, 1).unwrap();
@@ -437,7 +482,12 @@ mod tests {
         assert_eq!((s1, s2), (1, 2));
         assert_eq!(t.next_send(P, 99), Err(SessionError::UnknownFlow(99)));
         assert!(t
-            .open_flow(VirtualPort(50), 1, Destination::Multicast(GroupId(4)), FlowSpec::best_effort())
+            .open_flow(
+                VirtualPort(50),
+                1,
+                Destination::Multicast(GroupId(4)),
+                FlowSpec::best_effort()
+            )
             .is_err());
     }
 
@@ -445,8 +495,18 @@ mod tests {
     fn unordered_delivery_is_immediate() {
         let mut t = table();
         let mut out = Vec::new();
-        t.deliver(SimTime::from_millis(10), pkt(5, FlowSpec::best_effort(), 0), &[P], &mut out);
-        t.deliver(SimTime::from_millis(11), pkt(2, FlowSpec::best_effort(), 0), &[P], &mut out);
+        t.deliver(
+            SimTime::from_millis(10),
+            pkt(5, FlowSpec::best_effort(), 0),
+            &[P],
+            &mut out,
+        );
+        t.deliver(
+            SimTime::from_millis(11),
+            pkt(2, FlowSpec::best_effort(), 0),
+            &[P],
+            &mut out,
+        );
         assert_eq!(delivered_seqs(&out), vec![5, 2]);
     }
 
@@ -456,7 +516,10 @@ mod tests {
         let mut out = Vec::new();
         let spec = FlowSpec::reliable();
         t.deliver(SimTime::from_millis(1), pkt(2, spec, 0), &[P], &mut out);
-        assert!(delivered_seqs(&out).is_empty(), "2 buffered until 1 arrives");
+        assert!(
+            delivered_seqs(&out).is_empty(),
+            "2 buffered until 1 arrives"
+        );
         t.deliver(SimTime::from_millis(2), pkt(3, spec, 0), &[P], &mut out);
         t.deliver(SimTime::from_millis(3), pkt(1, spec, 0), &[P], &mut out);
         assert_eq!(delivered_seqs(&out), vec![1, 2, 3]);
@@ -559,7 +622,12 @@ mod tests {
     fn backpressure_pause_resume_events() {
         let mut t = table();
         let key = t
-            .open_flow(P, 3, Destination::Unicast(OverlayAddr::new(NodeId(0), 1)), FlowSpec::reliable())
+            .open_flow(
+                P,
+                3,
+                Destination::Unicast(OverlayAddr::new(NodeId(0), 1)),
+                FlowSpec::reliable(),
+            )
             .unwrap();
         let mut out = Vec::new();
         t.pause_flow(key, &mut out);
@@ -567,7 +635,10 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert!(matches!(
             out[0],
-            SessionAction::ToClient { event: SessionEvent::FlowPaused { local_flow: 3 }, .. }
+            SessionAction::ToClient {
+                event: SessionEvent::FlowPaused { local_flow: 3 },
+                ..
+            }
         ));
         out.clear();
         t.resume_flow(key, &mut out);
@@ -579,7 +650,12 @@ mod tests {
     fn disconnect_cleans_flows() {
         let mut t = table();
         let key = t
-            .open_flow(P, 1, Destination::Unicast(OverlayAddr::new(NodeId(0), 1)), FlowSpec::reliable())
+            .open_flow(
+                P,
+                1,
+                Destination::Unicast(OverlayAddr::new(NodeId(0), 1)),
+                FlowSpec::reliable(),
+            )
             .unwrap();
         t.disconnect(P);
         assert_eq!(t.client_proc(P), None);

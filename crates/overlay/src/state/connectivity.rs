@@ -220,7 +220,10 @@ impl ConnectivityMonitor {
             link.next_seq += 1;
             let seq = link.next_seq;
             link.outstanding.insert(seq, now);
-            out.push(ConnAction::Send { link: i, msg: Control::Hello { seq, sent_at: now } });
+            out.push(ConnAction::Send {
+                link: i,
+                msg: Control::Hello { seq, sent_at: now },
+            });
         }
         if reoriginate {
             self.originate(None, out);
@@ -234,7 +237,13 @@ impl ConnectivityMonitor {
     pub fn on_hello(&mut self, link: usize, seq: u64, sent_at: SimTime, out: &mut Vec<ConnAction>) {
         // Receiving anything proves the link is alive in the incoming
         // direction; the ack lets the sender prove the round trip.
-        out.push(ConnAction::Send { link, msg: Control::HelloAck { seq, echo_sent_at: sent_at } });
+        out.push(ConnAction::Send {
+            link,
+            msg: Control::HelloAck {
+                seq,
+                echo_sent_at: sent_at,
+            },
+        });
     }
 
     /// Handles a hello acknowledgment: updates quality and liveness.
@@ -267,7 +276,10 @@ impl ConnectivityMonitor {
         if lsa.origin == self.me {
             return; // our own advertisement echoed back
         }
-        let newer = self.lsdb.get(&lsa.origin).is_none_or(|prev| lsa.seq > prev.seq);
+        let newer = self
+            .lsdb
+            .get(&lsa.origin)
+            .is_none_or(|prev| lsa.seq > prev.seq);
         if !newer {
             return;
         }
@@ -277,7 +289,10 @@ impl ConnectivityMonitor {
             .is_none_or(|prev| prev.links != lsa.links);
         self.lsdb.insert(lsa.origin, lsa.clone());
         // Flood onward regardless (peers may have missed it).
-        out.push(ConnAction::Flood { except: arrived_on, msg: Control::Lsa(lsa) });
+        out.push(ConnAction::Flood {
+            except: arrived_on,
+            msg: Control::Lsa(lsa),
+        });
         if changed {
             self.version += 1;
             out.push(ConnAction::TopologyChanged);
@@ -289,7 +304,10 @@ impl ConnectivityMonitor {
         let lsa = self.build_own_lsa();
         self.lsdb.insert(self.me, lsa.clone());
         self.version += 1;
-        out.push(ConnAction::Flood { except: arrived_on, msg: Control::Lsa(lsa) });
+        out.push(ConnAction::Flood {
+            except: arrived_on,
+            msg: Control::Lsa(lsa),
+        });
         out.push(ConnAction::TopologyChanged);
     }
 
@@ -302,8 +320,11 @@ impl ConnectivityMonitor {
                 .links
                 .iter()
                 .map(|l| {
-                    let latency =
-                        if l.latency_ms > 0.0 { l.latency_ms } else { l.nominal_latency_ms };
+                    let latency = if l.latency_ms > 0.0 {
+                        l.latency_ms
+                    } else {
+                        l.nominal_latency_ms
+                    };
                     LinkAdvert {
                         edge: l.edge,
                         up: l.up,
@@ -402,7 +423,15 @@ mod tests {
         let out = tick_times(&mut mon, 0, 1);
         let hellos = out
             .iter()
-            .filter(|a| matches!(a, ConnAction::Send { msg: Control::Hello { .. }, .. }))
+            .filter(|a| {
+                matches!(
+                    a,
+                    ConnAction::Send {
+                        msg: Control::Hello { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(hellos, 2);
     }
@@ -416,7 +445,10 @@ mod tests {
             out,
             vec![ConnAction::Send {
                 link: 0,
-                msg: Control::HelloAck { seq: 7, echo_sent_at: SimTime::from_millis(5) }
+                msg: Control::HelloAck {
+                    seq: 7,
+                    echo_sent_at: SimTime::from_millis(5)
+                }
             }]
         );
 
@@ -426,12 +458,21 @@ mod tests {
         let seq = out
             .iter()
             .find_map(|a| match a {
-                ConnAction::Send { link: 0, msg: Control::Hello { seq, .. } } => Some(*seq),
+                ConnAction::Send {
+                    link: 0,
+                    msg: Control::Hello { seq, .. },
+                } => Some(*seq),
                 _ => None,
             })
             .unwrap();
         let mut out = Vec::new();
-        mon.on_hello_ack(SimTime::from_millis(120), 0, seq, SimTime::from_millis(100), &mut out);
+        mon.on_hello_ack(
+            SimTime::from_millis(120),
+            0,
+            seq,
+            SimTime::from_millis(100),
+            &mut out,
+        );
         let (lat, loss) = mon.link_quality(0);
         assert!((lat - 10.0).abs() < 0.5, "lat={lat}");
         assert!(loss < 0.01);
@@ -453,10 +494,19 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert!(!switches.is_empty(), "provider switch attempted before down");
+        assert!(
+            !switches.is_empty(),
+            "provider switch attempted before down"
+        );
         assert!(!mon.link_up(0), "link declared down after down_misses");
         // A fresh LSA was flooded announcing the change.
-        assert!(out.iter().any(|a| matches!(a, ConnAction::Flood { msg: Control::Lsa(_), .. })));
+        assert!(out.iter().any(|a| matches!(
+            a,
+            ConnAction::Flood {
+                msg: Control::Lsa(_),
+                ..
+            }
+        )));
         assert!(out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)));
     }
 
@@ -473,12 +523,21 @@ mod tests {
             .iter()
             .rev()
             .find_map(|a| match a {
-                ConnAction::Send { link: 0, msg: Control::Hello { seq, .. } } => Some(*seq),
+                ConnAction::Send {
+                    link: 0,
+                    msg: Control::Hello { seq, .. },
+                } => Some(*seq),
                 _ => None,
             })
             .unwrap();
         let mut out = Vec::new();
-        mon.on_hello_ack(SimTime::from_millis(720), 0, seq, SimTime::from_millis(600), &mut out);
+        mon.on_hello_ack(
+            SimTime::from_millis(720),
+            0,
+            seq,
+            SimTime::from_millis(600),
+            &mut out,
+        );
         assert!(mon.link_up(0));
         assert!(out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)));
     }
@@ -490,7 +549,12 @@ mod tests {
         let lsa1 = Lsa {
             origin: NodeId(1),
             seq: 1,
-            links: vec![LinkAdvert { edge: EdgeId(1), up: true, latency_ms: 10.0, loss: 0.0 }],
+            links: vec![LinkAdvert {
+                edge: EdgeId(1),
+                up: true,
+                latency_ms: 10.0,
+                loss: 0.0,
+            }],
         };
         let mut out = Vec::new();
         mon.on_lsa(lsa1.clone(), Some(0), &mut out);
@@ -509,7 +573,12 @@ mod tests {
         let lsa2 = Lsa {
             origin: NodeId(1),
             seq: 2,
-            links: vec![LinkAdvert { edge: EdgeId(1), up: true, latency_ms: 10.0, loss: 0.0 }],
+            links: vec![LinkAdvert {
+                edge: EdgeId(1),
+                up: true,
+                latency_ms: 10.0,
+                loss: 0.0,
+            }],
         };
         let v1 = mon.version();
         let mut out = Vec::new();
@@ -528,8 +597,18 @@ mod tests {
                 origin: NodeId(1),
                 seq: 1,
                 links: vec![
-                    LinkAdvert { edge: EdgeId(0), up: false, latency_ms: 10.0, loss: 0.0 },
-                    LinkAdvert { edge: EdgeId(1), up: true, latency_ms: 10.0, loss: 0.0 },
+                    LinkAdvert {
+                        edge: EdgeId(0),
+                        up: false,
+                        latency_ms: 10.0,
+                        loss: 0.0,
+                    },
+                    LinkAdvert {
+                        edge: EdgeId(1),
+                        up: true,
+                        latency_ms: 10.0,
+                        loss: 0.0,
+                    },
                 ],
             },
             None,
@@ -550,7 +629,12 @@ mod tests {
             Lsa {
                 origin: NodeId(1),
                 seq: 1,
-                links: vec![LinkAdvert { edge: EdgeId(1), up: true, latency_ms: 10.0, loss: 0.5 }],
+                links: vec![LinkAdvert {
+                    edge: EdgeId(1),
+                    up: true,
+                    latency_ms: 10.0,
+                    loss: 0.5,
+                }],
             },
             None,
             &mut out,
@@ -562,7 +646,11 @@ mod tests {
     #[test]
     fn own_lsa_echo_is_ignored() {
         let mut mon = monitor();
-        let own = Lsa { origin: NodeId(0), seq: 99, links: vec![] };
+        let own = Lsa {
+            origin: NodeId(0),
+            seq: 99,
+            links: vec![],
+        };
         let mut out = Vec::new();
         mon.on_lsa(own, Some(0), &mut out);
         assert!(out.is_empty());
@@ -578,10 +666,12 @@ mod tests {
         }
         let own_floods = out
             .iter()
-            .filter(|a| matches!(
-                a,
-                ConnAction::Flood { msg: Control::Lsa(l), .. } if l.origin == NodeId(0)
-            ))
+            .filter(|a| {
+                matches!(
+                    a,
+                    ConnAction::Flood { msg: Control::Lsa(l), .. } if l.origin == NodeId(0)
+                )
+            })
             .count();
         assert!(own_floods >= 1);
     }

@@ -44,7 +44,13 @@ impl GroupTable {
     /// Creates an empty table for node `me`.
     #[must_use]
     pub fn new(me: NodeId) -> Self {
-        GroupTable { me, local: BTreeMap::new(), remote: HashMap::new(), own_seq: 0, version: 1 }
+        GroupTable {
+            me,
+            local: BTreeMap::new(),
+            remote: HashMap::new(),
+            own_seq: 0,
+            version: 1,
+        }
     }
 
     /// The membership version; consumers recompute caches when it changes.
@@ -110,7 +116,10 @@ impl GroupTable {
         if update.origin == self.me {
             return;
         }
-        let newer = self.remote.get(&update.origin).is_none_or(|(seq, _)| update.seq > *seq);
+        let newer = self
+            .remote
+            .get(&update.origin)
+            .is_none_or(|(seq, _)| update.seq > *seq);
         if !newer {
             return;
         }
@@ -120,7 +129,10 @@ impl GroupTable {
             .get(&update.origin)
             .is_none_or(|(_, prev)| *prev != groups);
         self.remote.insert(update.origin, (update.seq, groups));
-        out.push(GroupAction::Flood { except: arrived_on, update });
+        out.push(GroupAction::Flood {
+            except: arrived_on,
+            update,
+        });
         if changed {
             self.version += 1;
         }
@@ -160,7 +172,10 @@ impl GroupTable {
     /// Local client ports subscribed to `group`.
     #[must_use]
     pub fn local_members(&self, group: GroupId) -> Vec<VirtualPort> {
-        self.local.get(&group).map(|s| s.iter().copied().collect()).unwrap_or_default()
+        self.local
+            .get(&group)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// `true` if this node has any local client in `group`.
@@ -213,19 +228,49 @@ mod tests {
     fn remote_updates_tracked_by_seq() {
         let mut t = GroupTable::new(NodeId(0));
         let mut out = Vec::new();
-        t.on_update(GroupUpdate { origin: NodeId(2), seq: 2, groups: vec![G] }, Some(1), &mut out);
+        t.on_update(
+            GroupUpdate {
+                origin: NodeId(2),
+                seq: 2,
+                groups: vec![G],
+            },
+            Some(1),
+            &mut out,
+        );
         assert_eq!(t.members_of(G), vec![NodeId(2)]);
-        assert!(matches!(&out[0], GroupAction::Flood { except: Some(1), .. }));
+        assert!(matches!(
+            &out[0],
+            GroupAction::Flood {
+                except: Some(1),
+                ..
+            }
+        ));
 
         // Stale update ignored.
         let mut out = Vec::new();
-        t.on_update(GroupUpdate { origin: NodeId(2), seq: 1, groups: vec![] }, None, &mut out);
+        t.on_update(
+            GroupUpdate {
+                origin: NodeId(2),
+                seq: 1,
+                groups: vec![],
+            },
+            None,
+            &mut out,
+        );
         assert!(out.is_empty());
         assert_eq!(t.members_of(G), vec![NodeId(2)]);
 
         // Newer update replaces.
         let mut out = Vec::new();
-        t.on_update(GroupUpdate { origin: NodeId(2), seq: 3, groups: vec![] }, None, &mut out);
+        t.on_update(
+            GroupUpdate {
+                origin: NodeId(2),
+                seq: 3,
+                groups: vec![],
+            },
+            None,
+            &mut out,
+        );
         assert!(t.members_of(G).is_empty());
     }
 
@@ -233,8 +278,24 @@ mod tests {
     fn members_include_self_and_are_sorted() {
         let mut t = GroupTable::new(NodeId(1));
         let mut out = Vec::new();
-        t.on_update(GroupUpdate { origin: NodeId(3), seq: 1, groups: vec![G] }, None, &mut out);
-        t.on_update(GroupUpdate { origin: NodeId(0), seq: 1, groups: vec![G] }, None, &mut out);
+        t.on_update(
+            GroupUpdate {
+                origin: NodeId(3),
+                seq: 1,
+                groups: vec![G],
+            },
+            None,
+            &mut out,
+        );
+        t.on_update(
+            GroupUpdate {
+                origin: NodeId(0),
+                seq: 1,
+                groups: vec![G],
+            },
+            None,
+            &mut out,
+        );
         t.join(G, VirtualPort(9), &mut out);
         assert_eq!(t.members_of(G), vec![NodeId(0), NodeId(1), NodeId(3)]);
     }
@@ -258,11 +319,27 @@ mod tests {
         let mut t = GroupTable::new(NodeId(0));
         let v0 = t.version();
         let mut out = Vec::new();
-        t.on_update(GroupUpdate { origin: NodeId(2), seq: 1, groups: vec![G] }, None, &mut out);
+        t.on_update(
+            GroupUpdate {
+                origin: NodeId(2),
+                seq: 1,
+                groups: vec![G],
+            },
+            None,
+            &mut out,
+        );
         let v1 = t.version();
         assert!(v1 > v0);
         // Same content, newer seq: flooded but no version bump.
-        t.on_update(GroupUpdate { origin: NodeId(2), seq: 2, groups: vec![G] }, None, &mut out);
+        t.on_update(
+            GroupUpdate {
+                origin: NodeId(2),
+                seq: 2,
+                groups: vec![G],
+            },
+            None,
+            &mut out,
+        );
         assert_eq!(t.version(), v1);
     }
 
@@ -270,7 +347,15 @@ mod tests {
     fn own_update_echo_ignored() {
         let mut t = GroupTable::new(NodeId(0));
         let mut out = Vec::new();
-        t.on_update(GroupUpdate { origin: NodeId(0), seq: 50, groups: vec![G] }, Some(0), &mut out);
+        t.on_update(
+            GroupUpdate {
+                origin: NodeId(0),
+                seq: 50,
+                groups: vec![G],
+            },
+            Some(0),
+            &mut out,
+        );
         assert!(out.is_empty());
         assert!(t.members_of(G).is_empty());
     }

@@ -22,7 +22,10 @@ fn pair(
     to: NodeId,
     spec: FlowSpec,
     count: u64,
-) -> (son_netsim::process::ProcessId, son_netsim::process::ProcessId) {
+) -> (
+    son_netsim::process::ProcessId,
+    son_netsim::process::ProcessId,
+) {
     let rx = sim.add_process(ClientProcess::new(ClientConfig {
         daemon: overlay.daemon(to),
         port: RX,
@@ -50,16 +53,37 @@ fn pair(
 
 #[test]
 fn auth_enabled_traffic_flows_and_tags_verify() {
-    let config = NodeConfig { auth_enabled: true, ..Default::default() };
+    let config = NodeConfig {
+        auth_enabled: true,
+        ..Default::default()
+    };
     let mut sim: Simulation<Wire> = Simulation::new(91);
-    let overlay = OverlayBuilder::new(chain_topology(4, 10.0)).node_config(config).build(&mut sim);
-    let (tx, rx) = pair(&mut sim, &overlay, NodeId(0), NodeId(3), FlowSpec::reliable(), 100);
+    let overlay = OverlayBuilder::new(chain_topology(4, 10.0))
+        .node_config(config)
+        .build(&mut sim);
+    let (tx, rx) = pair(
+        &mut sim,
+        &overlay,
+        NodeId(0),
+        NodeId(3),
+        FlowSpec::reliable(),
+        100,
+    );
     sim.run_until(SimTime::from_secs(5));
     let sent = sim.proc_ref::<ClientProcess>(tx).unwrap().sent(1);
-    assert_eq!(sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv().received, sent);
+    assert_eq!(
+        sim.proc_ref::<ClientProcess>(rx)
+            .unwrap()
+            .sole_recv()
+            .received,
+        sent
+    );
     for &d in &overlay.daemons {
         assert_eq!(
-            sim.proc_ref::<OverlayNode>(d).unwrap().metrics().auth_failures,
+            sim.proc_ref::<OverlayNode>(d)
+                .unwrap()
+                .metrics()
+                .auth_failures,
             0,
             "correct traffic must verify"
         );
@@ -70,9 +94,14 @@ fn auth_enabled_traffic_flows_and_tags_verify() {
 fn flood_attacker_junk_verifies_as_its_own_but_cannot_forge() {
     // A compromised node floods with its own (valid) key: traffic passes
     // authentication — the defense is fairness, not cryptography (§IV-B).
-    let config = NodeConfig { auth_enabled: true, ..Default::default() };
+    let config = NodeConfig {
+        auth_enabled: true,
+        ..Default::default()
+    };
     let mut sim: Simulation<Wire> = Simulation::new(92);
-    let overlay = OverlayBuilder::new(chain_topology(3, 10.0)).node_config(config).build(&mut sim);
+    let overlay = OverlayBuilder::new(chain_topology(3, 10.0))
+        .node_config(config)
+        .build(&mut sim);
     sim.proc_mut::<OverlayNode>(overlay.daemon(NodeId(1)))
         .unwrap()
         .set_behavior(Behavior::Flood {
@@ -91,7 +120,13 @@ fn flood_attacker_junk_verifies_as_its_own_but_cannot_forge() {
     let junk: u64 = client.recv.values().map(|r| r.received).sum();
     assert!(junk > 1000, "authenticated junk is delivered: {junk}");
     for &d in &overlay.daemons {
-        assert_eq!(sim.proc_ref::<OverlayNode>(d).unwrap().metrics().auth_failures, 0);
+        assert_eq!(
+            sim.proc_ref::<OverlayNode>(d)
+                .unwrap()
+                .metrics()
+                .auth_failures,
+            0
+        );
     }
 }
 
@@ -101,14 +136,30 @@ fn delay_adversary_destroys_timeliness_not_delivery() {
     let overlay = OverlayBuilder::new(chain_topology(3, 10.0)).build(&mut sim);
     sim.proc_mut::<OverlayNode>(overlay.daemon(NodeId(1)))
         .unwrap()
-        .set_behavior(Behavior::Delay { extra: SimDuration::from_millis(150) });
-    let (tx, rx) = pair(&mut sim, &overlay, NodeId(0), NodeId(2), FlowSpec::best_effort(), 100);
+        .set_behavior(Behavior::Delay {
+            extra: SimDuration::from_millis(150),
+        });
+    let (tx, rx) = pair(
+        &mut sim,
+        &overlay,
+        NodeId(0),
+        NodeId(2),
+        FlowSpec::best_effort(),
+        100,
+    );
     sim.run_until(SimTime::from_secs(5));
     let sent = sim.proc_ref::<ClientProcess>(tx).unwrap().sent(1);
-    let recv = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv().clone();
+    let recv = sim
+        .proc_ref::<ClientProcess>(rx)
+        .unwrap()
+        .sole_recv()
+        .clone();
     assert_eq!(recv.received, sent, "delay adversary loses nothing");
     let min = recv.latency_ms.clone().quantile(0.0).unwrap();
-    assert!(min > 170.0, "every packet carries the 150ms penalty: {min}ms");
+    assert!(
+        min > 170.0,
+        "every packet carries the 150ms penalty: {min}ms"
+    );
 }
 
 #[test]
@@ -120,10 +171,22 @@ fn ttl_guard_kills_looping_static_masks() {
     // within the mask edges until dedup stops it; TTL is the backstop for
     // adversarial replays, exercised here via a duplicating adversary with
     // tiny TTL.
-    let config = NodeConfig { ttl: 2, ..Default::default() };
+    let config = NodeConfig {
+        ttl: 2,
+        ..Default::default()
+    };
     let mut sim: Simulation<Wire> = Simulation::new(94);
-    let overlay = OverlayBuilder::new(chain_topology(5, 10.0)).node_config(config).build(&mut sim);
-    let (_tx, rx) = pair(&mut sim, &overlay, NodeId(0), NodeId(4), FlowSpec::best_effort(), 50);
+    let overlay = OverlayBuilder::new(chain_topology(5, 10.0))
+        .node_config(config)
+        .build(&mut sim);
+    let (_tx, rx) = pair(
+        &mut sim,
+        &overlay,
+        NodeId(0),
+        NodeId(4),
+        FlowSpec::best_effort(),
+        50,
+    );
     sim.run_until(SimTime::from_secs(5));
     // 4 hops needed but TTL=2: nothing arrives, drops counted.
     let client = sim.proc_ref::<ClientProcess>(rx).unwrap();
@@ -131,7 +194,12 @@ fn ttl_guard_kills_looping_static_masks() {
     let ttl_drops: u64 = overlay
         .daemons
         .iter()
-        .map(|&d| sim.proc_ref::<OverlayNode>(d).unwrap().metrics().dropped_ttl)
+        .map(|&d| {
+            sim.proc_ref::<OverlayNode>(d)
+                .unwrap()
+                .metrics()
+                .dropped_ttl
+        })
         .sum();
     assert_eq!(ttl_drops, 50);
 }
@@ -184,8 +252,20 @@ fn misdelivery_does_not_happen_across_ports() {
         ],
     }));
     sim.run_until(SimTime::from_secs(3));
-    let a: u64 = sim.proc_ref::<ClientProcess>(rx_a).unwrap().recv.values().map(|r| r.received).sum();
-    let b: u64 = sim.proc_ref::<ClientProcess>(rx_b).unwrap().recv.values().map(|r| r.received).sum();
+    let a: u64 = sim
+        .proc_ref::<ClientProcess>(rx_a)
+        .unwrap()
+        .recv
+        .values()
+        .map(|r| r.received)
+        .sum();
+    let b: u64 = sim
+        .proc_ref::<ClientProcess>(rx_b)
+        .unwrap()
+        .recv
+        .values()
+        .map(|r| r.received)
+        .sum();
     assert_eq!((a, b), (30, 40));
 }
 
@@ -289,8 +369,14 @@ fn multihomed_link_keeps_flowing_when_active_pipe_dies() {
     topo.add_edge(NodeId(0), NodeId(1), 9.0);
     let mut sim: Simulation<Wire> = Simulation::new(97);
     sim.set_underlay(underlay);
-    let overlay = OverlayBuilder::new(topo).place_in_cities(vec![c0, c1]).build(&mut sim);
-    assert_eq!(overlay.edge_pipes[&son_topo::EdgeId(0)].len(), 2, "dual-homed");
+    let overlay = OverlayBuilder::new(topo)
+        .place_in_cities(vec![c0, c1])
+        .build(&mut sim);
+    assert_eq!(
+        overlay.edge_pipes[&son_topo::EdgeId(0)].len(),
+        2,
+        "dual-homed"
+    );
 
     let (_tx, rx) = pair(
         &mut sim,
@@ -306,7 +392,11 @@ fn multihomed_link_keeps_flowing_when_active_pipe_dies() {
         son_netsim::sim::ScenarioEvent::FailUnderlayEdge(son_netsim::underlay::UEdgeId(0)),
     );
     sim.run_until(SimTime::from_secs(8));
-    let recv = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv().clone();
+    let recv = sim
+        .proc_ref::<ClientProcess>(rx)
+        .unwrap()
+        .sole_recv()
+        .clone();
     let gap = recv
         .arrivals
         .windows(2)
@@ -321,7 +411,13 @@ fn multihomed_link_keeps_flowing_when_active_pipe_dies() {
     let switches: u64 = overlay
         .daemons
         .iter()
-        .map(|&d| sim.proc_ref::<OverlayNode>(d).unwrap().metrics().counters.get("provider_switches"))
+        .map(|&d| {
+            sim.proc_ref::<OverlayNode>(d)
+                .unwrap()
+                .metrics()
+                .counters
+                .get("provider_switches")
+        })
         .sum();
     assert!(switches >= 1);
 }
@@ -339,7 +435,9 @@ fn unroutable_source_based_flow_is_counted_not_wedged() {
         .with_routing(RoutingService::SourceBased(SourceRoute::DisjointPaths(2)));
     let (_tx1, _rx1) = pair(&mut sim, &overlay, NodeId(0), NodeId(3), spec, 20);
     sim.run_until(SimTime::from_secs(3));
-    let ingress = sim.proc_ref::<OverlayNode>(overlay.daemon(NodeId(0))).unwrap();
+    let ingress = sim
+        .proc_ref::<OverlayNode>(overlay.daemon(NodeId(0)))
+        .unwrap();
     assert_eq!(ingress.metrics().unroutable, 20);
 }
 
@@ -347,7 +445,14 @@ fn unroutable_source_based_flow_is_counted_not_wedged() {
 fn status_report_reflects_state() {
     let mut sim: Simulation<Wire> = Simulation::new(99);
     let overlay = OverlayBuilder::new(chain_topology(3, 10.0)).build(&mut sim);
-    let (_tx, _rx) = pair(&mut sim, &overlay, NodeId(0), NodeId(2), FlowSpec::reliable(), 50);
+    let (_tx, _rx) = pair(
+        &mut sim,
+        &overlay,
+        NodeId(0),
+        NodeId(2),
+        FlowSpec::reliable(),
+        50,
+    );
     sim.run_until(SimTime::from_secs(3));
     let report = sim
         .proc_ref::<OverlayNode>(overlay.daemon(NodeId(1)))
@@ -371,7 +476,14 @@ fn flapping_link_converges_to_final_state() {
     topo.add_edge(NodeId(2), NodeId(3), 15.0);
     let mut sim: Simulation<Wire> = Simulation::new(100);
     let overlay = OverlayBuilder::new(topo).build(&mut sim);
-    let (tx, rx) = pair(&mut sim, &overlay, NodeId(0), NodeId(3), FlowSpec::reliable(), 1500);
+    let (tx, rx) = pair(
+        &mut sim,
+        &overlay,
+        NodeId(0),
+        NodeId(3),
+        FlowSpec::reliable(),
+        1500,
+    );
     for cycle in 0..4u64 {
         let down_at = SimTime::from_secs(2 + cycle * 3);
         let up_at = down_at + SimDuration::from_secs(1);
@@ -384,7 +496,11 @@ fn flapping_link_converges_to_final_state() {
     }
     sim.run_until(SimTime::from_secs(30));
     let sent = sim.proc_ref::<ClientProcess>(tx).unwrap().sent(1);
-    let recv = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv().clone();
+    let recv = sim
+        .proc_ref::<ClientProcess>(rx)
+        .unwrap()
+        .sole_recv()
+        .clone();
     // Reliable + rerouting across four flaps: some packets may be skipped by
     // the 1s ordered-hold during blackout windows, but the stream keeps
     // flowing and ends healthy.
@@ -393,7 +509,9 @@ fn flapping_link_converges_to_final_state() {
         "{}/{sent} through four flaps",
         recv.received
     );
-    let node0 = sim.proc_ref::<OverlayNode>(overlay.daemon(NodeId(0))).unwrap();
+    let node0 = sim
+        .proc_ref::<OverlayNode>(overlay.daemon(NodeId(0)))
+        .unwrap();
     assert!(node0.connectivity().link_up(0), "final state is up");
 }
 
@@ -415,10 +533,21 @@ fn misrouting_node_is_corrected_by_downstream_routing() {
     sim.proc_mut::<OverlayNode>(overlay.daemon(NodeId(1)))
         .unwrap()
         .set_behavior(Behavior::Misroute);
-    let (t1, r1) = pair(&mut sim, &overlay, NodeId(0), NodeId(3), FlowSpec::best_effort(), 50);
+    let (t1, r1) = pair(
+        &mut sim,
+        &overlay,
+        NodeId(0),
+        NodeId(3),
+        FlowSpec::best_effort(),
+        50,
+    );
     sim.run_until(SimTime::from_secs(5));
     let sent = sim.proc_ref::<ClientProcess>(t1).unwrap().sent(1);
-    let recv = sim.proc_ref::<ClientProcess>(r1).unwrap().sole_recv().clone();
+    let recv = sim
+        .proc_ref::<ClientProcess>(r1)
+        .unwrap()
+        .sole_recv()
+        .clone();
     assert_eq!(recv.received, sent, "downstream nodes correct the misroute");
     // The detour 0-1-2-3 costs 27ms+ vs the intended 20ms path.
     let p50 = recv.latency_ms.clone().median().unwrap();
@@ -427,7 +556,11 @@ fn misrouting_node_is_corrected_by_downstream_routing() {
         .daemons
         .iter()
         .map(|&d| {
-            sim.proc_ref::<OverlayNode>(d).unwrap().metrics().counters.get("adversary_misrouted")
+            sim.proc_ref::<OverlayNode>(d)
+                .unwrap()
+                .metrics()
+                .counters
+                .get("adversary_misrouted")
         })
         .sum();
     assert_eq!(misrouted, 50);
@@ -447,10 +580,22 @@ fn misrouting_node_with_no_spare_link_degenerates_to_blackhole() {
     sim.proc_mut::<OverlayNode>(overlay.daemon(NodeId(1)))
         .unwrap()
         .set_behavior(Behavior::Misroute);
-    let (_t1, r1) = pair(&mut sim, &overlay, NodeId(0), NodeId(3), FlowSpec::best_effort(), 50);
+    let (_t1, r1) = pair(
+        &mut sim,
+        &overlay,
+        NodeId(0),
+        NodeId(3),
+        FlowSpec::best_effort(),
+        50,
+    );
     sim.run_until(SimTime::from_secs(5));
-    let got: u64 =
-        sim.proc_ref::<ClientProcess>(r1).unwrap().recv.values().map(|r| r.received).sum();
+    let got: u64 = sim
+        .proc_ref::<ClientProcess>(r1)
+        .unwrap()
+        .recv
+        .values()
+        .map(|r| r.received)
+        .sum();
     assert_eq!(got, 0);
     let dropped = sim
         .proc_ref::<OverlayNode>(overlay.daemon(NodeId(1)))
@@ -483,16 +628,29 @@ fn off_net_placement_crosses_peering_points() {
     topo.add_edge(NodeId(0), NodeId(1), 13.0);
     let mut sim: Simulation<Wire> = Simulation::new(103);
     sim.set_underlay(underlay);
-    let overlay = OverlayBuilder::new(topo).place_in_cities(vec![west, east]).build(&mut sim);
+    let overlay = OverlayBuilder::new(topo)
+        .place_in_cities(vec![west, east])
+        .build(&mut sim);
     assert_eq!(
         overlay.edge_pipes[&son_topo::EdgeId(0)].len(),
         1,
         "one off-net (WestNet x EastNet) binding"
     );
-    let (tx, rx) = pair(&mut sim, &overlay, NodeId(0), NodeId(1), FlowSpec::best_effort(), 50);
+    let (tx, rx) = pair(
+        &mut sim,
+        &overlay,
+        NodeId(0),
+        NodeId(1),
+        FlowSpec::best_effort(),
+        50,
+    );
     sim.run_until(SimTime::from_secs(5));
     let sent = sim.proc_ref::<ClientProcess>(tx).unwrap().sent(1);
-    let recv = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv().clone();
+    let recv = sim
+        .proc_ref::<ClientProcess>(rx)
+        .unwrap()
+        .sole_recv()
+        .clone();
     assert_eq!(recv.received, sent);
     // 2 x 1000km at 1.2/200 + 1ms peering + processing + IPC ~= 13.3ms.
     let p50 = recv.latency_ms.clone().median().unwrap();
@@ -520,10 +678,20 @@ fn crashed_daemon_recovers_and_traffic_resumes() {
         FlowSpec::best_effort(),
         u64::MAX,
     );
-    sim.schedule(SimTime::from_secs(3), ScenarioEvent::CrashProcess(overlay.daemon(NodeId(1))));
-    sim.schedule(SimTime::from_secs(6), ScenarioEvent::RestartProcess(overlay.daemon(NodeId(1))));
+    sim.schedule(
+        SimTime::from_secs(3),
+        ScenarioEvent::CrashProcess(overlay.daemon(NodeId(1))),
+    );
+    sim.schedule(
+        SimTime::from_secs(6),
+        ScenarioEvent::RestartProcess(overlay.daemon(NodeId(1))),
+    );
     sim.run_until(SimTime::from_secs(12));
-    let recv = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv().clone();
+    let recv = sim
+        .proc_ref::<ClientProcess>(rx)
+        .unwrap()
+        .sole_recv()
+        .clone();
     // Outage while neighbors detect the crash is bounded (sub-second),
     // and traffic flows at the end.
     let gap = recv
@@ -533,7 +701,10 @@ fn crashed_daemon_recovers_and_traffic_resumes() {
         .map(|w| w[1].0.saturating_since(w[0].0))
         .max()
         .unwrap();
-    assert!(gap < SimDuration::from_millis(1000), "crash detection + reroute: {gap}");
+    assert!(
+        gap < SimDuration::from_millis(1000),
+        "crash detection + reroute: {gap}"
+    );
     let last = recv.arrivals.last().unwrap().0;
     assert!(last > SimTime::from_millis(11_800), "flowing after restart");
     // After restart, the fast path is eventually used again: latency drops

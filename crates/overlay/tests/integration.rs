@@ -36,7 +36,10 @@ fn attach_pair(
     to: NodeId,
     spec: FlowSpec,
     workload: Workload,
-) -> (son_netsim::process::ProcessId, son_netsim::process::ProcessId) {
+) -> (
+    son_netsim::process::ProcessId,
+    son_netsim::process::ProcessId,
+) {
     let rx = sim.add_process(ClientProcess::new(ClientConfig {
         daemon: overlay.daemon(to),
         port: RX_PORT,
@@ -98,13 +101,19 @@ fn reliable_flow_recovers_all_losses_in_order() {
     assert_eq!(sender.sent(1), 500);
     let r = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv();
     assert_eq!(r.received, 500, "hop-by-hop ARQ recovers everything");
-    assert_eq!(r.out_of_order, 0, "destination reorder buffer holds the line");
+    assert_eq!(
+        r.out_of_order, 0,
+        "destination reorder buffer holds the line"
+    );
     assert_eq!(r.app_duplicates, 0);
     // Losses actually happened and were repaired at the link level.
     let mut retransmissions = 0;
     for d in &overlay.daemons {
-        retransmissions +=
-            sim.proc_ref::<OverlayNode>(*d).unwrap().service_stats(LinkService::Reliable).retransmitted;
+        retransmissions += sim
+            .proc_ref::<OverlayNode>(*d)
+            .unwrap()
+            .service_stats(LinkService::Reliable)
+            .retransmitted;
     }
     assert!(retransmissions > 0, "the loss model must have bitten");
 }
@@ -126,7 +135,11 @@ fn best_effort_loses_what_reliable_recovers() {
     sim.run_until(SimTime::from_secs(20));
     let r = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv();
     // ~1 - 0.98^5 ≈ 9.6% loss end to end.
-    assert!(r.received < 490, "best effort must lose packets: {}", r.received);
+    assert!(
+        r.received < 490,
+        "best effort must lose packets: {}",
+        r.received
+    );
     assert!(r.received > 400);
 }
 
@@ -153,10 +166,16 @@ fn realtime_flow_meets_deadline_under_bursty_loss() {
     let sent = sim.proc_ref::<ClientProcess>(tx).unwrap().sent(1);
     let r = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv();
     let delivered_frac = r.received as f64 / sent as f64;
-    assert!(delivered_frac > 0.99, "NM-Strikes should recover bursts: {delivered_frac}");
+    assert!(
+        delivered_frac > 0.99,
+        "NM-Strikes should recover bursts: {delivered_frac}"
+    );
     assert_eq!(r.app_duplicates, 0);
     let max = r.latency_ms.max().unwrap();
-    assert!(max <= 200.0 + 0.2, "every delivery within the bound: {max}ms");
+    assert!(
+        max <= 200.0 + 0.2,
+        "every delivery within the bound: {max}ms"
+    );
 }
 
 #[test]
@@ -198,11 +217,22 @@ fn multicast_reaches_all_members_efficiently() {
     // Node 4's daemon forwarded each packet ONCE (into the tree), and the
     // center fanned out to exactly 3 members: 4 transmissions per packet,
     // not 3 unicast paths x 2 hops = 6.
-    let center = sim.proc_ref::<OverlayNode>(overlay.daemon(NodeId(0))).unwrap();
+    let center = sim
+        .proc_ref::<OverlayNode>(overlay.daemon(NodeId(0)))
+        .unwrap();
     let center_fwd = center.metrics().forwarded;
-    assert_eq!(center_fwd, 300, "center fans out once per member: {center_fwd}");
-    let ingress = sim.proc_ref::<OverlayNode>(overlay.daemon(NodeId(4))).unwrap();
-    assert_eq!(ingress.metrics().forwarded, 100, "ingress sends one copy into the tree");
+    assert_eq!(
+        center_fwd, 300,
+        "center fans out once per member: {center_fwd}"
+    );
+    let ingress = sim
+        .proc_ref::<OverlayNode>(overlay.daemon(NodeId(4)))
+        .unwrap();
+    assert_eq!(
+        ingress.metrics().forwarded,
+        100,
+        "ingress sends one copy into the tree"
+    );
 }
 
 #[test]
@@ -236,7 +266,10 @@ fn anycast_delivers_to_nearest_member_only() {
     }));
     sim.run_until(SimTime::from_secs(3));
     assert_eq!(
-        sim.proc_ref::<ClientProcess>(near).unwrap().sole_recv().received,
+        sim.proc_ref::<ClientProcess>(near)
+            .unwrap()
+            .sole_recv()
+            .received,
         50,
         "anycast goes to the nearest member"
     );
@@ -308,9 +341,17 @@ fn disjoint_paths_survive_one_blackhole_node() {
     let sent = sim.proc_ref::<ClientProcess>(tx).unwrap().sent(1);
     let r = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv();
     assert_eq!(r.received, sent, "second disjoint path carries everything");
-    assert_eq!(r.app_duplicates, 0, "de-duplication suppresses the redundant copies");
-    let bad = sim.proc_ref::<OverlayNode>(overlay.daemon(NodeId(1))).unwrap();
-    assert!(bad.metrics().adversary_dropped > 0, "the attacker really dropped");
+    assert_eq!(
+        r.app_duplicates, 0,
+        "de-duplication suppresses the redundant copies"
+    );
+    let bad = sim
+        .proc_ref::<OverlayNode>(overlay.daemon(NodeId(1)))
+        .unwrap();
+    assert!(
+        bad.metrics().adversary_dropped > 0,
+        "the attacker really dropped"
+    );
 }
 
 #[test]
@@ -364,13 +405,17 @@ fn constrained_flooding_survives_while_any_correct_path_exists() {
             .unwrap()
             .set_behavior(son_overlay::adversary::Behavior::Blackhole);
     }
-    let spec = FlowSpec::best_effort()
-        .with_routing(RoutingService::SourceBased(SourceRoute::ConstrainedFlooding));
+    let spec = FlowSpec::best_effort().with_routing(RoutingService::SourceBased(
+        SourceRoute::ConstrainedFlooding,
+    ));
     let (tx, rx) = attach_pair(&mut sim, &overlay, NodeId(0), NodeId(8), spec, cbr(100, 10));
     sim.run_until(SimTime::from_secs(4));
     let sent = sim.proc_ref::<ClientProcess>(tx).unwrap().sent(1);
     let r = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv();
-    assert_eq!(r.received, sent, "path 0-3-6-7-8 is clean; flooding finds it");
+    assert_eq!(
+        r.received, sent,
+        "path 0-3-6-7-8 is clean; flooding finds it"
+    );
     assert_eq!(r.app_duplicates, 0);
 }
 
@@ -378,7 +423,10 @@ fn constrained_flooding_survives_while_any_correct_path_exists() {
 fn it_reliable_backpressure_reaches_the_source() {
     // 2-node overlay with a slow IT egress (64 kbit/s): the client must be
     // paused and resume later, and nothing may be lost.
-    let config = son_overlay::NodeConfig { it_rate_bps: Some(64_000), ..Default::default() };
+    let config = son_overlay::NodeConfig {
+        it_rate_bps: Some(64_000),
+        ..Default::default()
+    };
     let mut sim = Simulation::new(11);
     let overlay = OverlayBuilder::new(chain_topology(2, 10.0))
         .node_config(config)
@@ -388,11 +436,21 @@ fn it_reliable_backpressure_reaches_the_source() {
     let (tx, rx) = attach_pair(&mut sim, &overlay, NodeId(0), NodeId(1), spec, cbr(200, 2));
     sim.run_until(SimTime::from_secs(120));
     let sender = sim.proc_ref::<ClientProcess>(tx).unwrap();
-    assert!(sender.pause_events > 0, "backpressure must pause the client");
-    assert!(sender.resume_events > 0, "and release it as the queue drains");
+    assert!(
+        sender.pause_events > 0,
+        "backpressure must pause the client"
+    );
+    assert!(
+        sender.resume_events > 0,
+        "and release it as the queue drains"
+    );
     assert!(sender.withheld(1) > 0, "client honored the pause");
     let r = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv();
-    assert_eq!(r.received, sender.sent(1), "everything accepted was delivered");
+    assert_eq!(
+        r.received,
+        sender.sent(1),
+        "everything accepted was delivered"
+    );
     assert_eq!(r.app_duplicates, 0);
 }
 
@@ -413,7 +471,9 @@ fn it_priority_fairness_under_flooding_attacker() {
         ..Default::default()
     };
     let mut sim = Simulation::new(12);
-    let overlay = OverlayBuilder::new(topo).node_config(config).build(&mut sim);
+    let overlay = OverlayBuilder::new(topo)
+        .node_config(config)
+        .build(&mut sim);
 
     let sink = sim.add_process(ClientProcess::new(ClientConfig {
         daemon: overlay.daemon(NodeId(4)),
@@ -476,7 +536,9 @@ fn fifo_baseline_collapses_under_the_same_attack() {
         ..Default::default()
     };
     let mut sim = Simulation::new(13);
-    let overlay = OverlayBuilder::new(topo).node_config(config).build(&mut sim);
+    let overlay = OverlayBuilder::new(topo)
+        .node_config(config)
+        .build(&mut sim);
     let sink = sim.add_process(ClientProcess::new(ClientConfig {
         daemon: overlay.daemon(NodeId(4)),
         port: RX_PORT,
@@ -534,8 +596,13 @@ fn dedup_suppresses_wire_duplicates_from_duplicating_node() {
     let r = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv();
     assert_eq!(r.received, 100);
     assert_eq!(r.app_duplicates, 0, "client never sees duplicates");
-    let dst = sim.proc_ref::<OverlayNode>(overlay.daemon(NodeId(2))).unwrap();
-    assert!(dst.metrics().dedup_suppressed >= 100, "the extra copies died at the edge");
+    let dst = sim
+        .proc_ref::<OverlayNode>(overlay.daemon(NodeId(2)))
+        .unwrap();
+    assert!(
+        dst.metrics().dedup_suppressed >= 100,
+        "the extra copies died at the edge"
+    );
 }
 
 #[test]
@@ -591,7 +658,10 @@ fn fec_recovers_isolated_losses_without_feedback() {
         let s = node.service_stats(LinkService::Fec(FecParams::strong()));
         if s.sent > 0 {
             let ratio = s.overhead_ratio();
-            assert!((ratio - 1.3).abs() < 0.05, "fixed FEC overhead, got {ratio}");
+            assert!(
+                (ratio - 1.3).abs() < 0.05,
+                "fixed FEC overhead, got {ratio}"
+            );
         }
     }
 }
@@ -637,7 +707,10 @@ fn routing_avoids_lossy_links_once_quality_is_learned() {
     );
     // And the detour's latency (~20ms + overheads) confirms the path taken.
     let p50 = r.latency_ms.clone().median().unwrap();
-    assert!(p50 > 19.5, "p50 {p50}ms indicates the detour, not the 18ms direct link");
+    assert!(
+        p50 > 19.5,
+        "p50 {p50}ms indicates the detour, not the 18ms direct link"
+    );
 }
 
 #[test]

@@ -21,7 +21,11 @@ impl Path {
     /// The trivial path at a single node.
     #[must_use]
     pub fn trivial(node: NodeId) -> Self {
-        Path { nodes: vec![node], edges: Vec::new(), cost: 0.0 }
+        Path {
+            nodes: vec![node],
+            edges: Vec::new(),
+            cost: 0.0,
+        }
     }
 
     /// Number of hops (edges).
@@ -118,7 +122,11 @@ impl ShortestPaths {
         }
         nodes.reverse();
         edges.reverse();
-        Some(Path { nodes, edges, cost: self.dist[dst.0] })
+        Some(Path {
+            nodes,
+            edges,
+            cost: self.dist[dst.0],
+        })
     }
 
     /// The union of tree edges reaching every node in `targets` — a
@@ -132,7 +140,9 @@ impl ShortestPaths {
             }
             let mut cur = t;
             while cur != self.src {
-                let Some((p, e)) = self.parent[cur.0] else { break };
+                let Some((p, e)) = self.parent[cur.0] else {
+                    break;
+                };
                 if mask.contains(e) {
                     break; // the rest of the branch is already in the tree
                 }
@@ -191,7 +201,10 @@ pub fn dijkstra_with<F: Fn(EdgeId) -> f64>(graph: &Graph, src: NodeId, cost: F) 
     let mut parent: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[src.0] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: src });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: src,
+    });
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if d > dist[u.0] {
             continue;
@@ -204,9 +217,7 @@ pub fn dijkstra_with<F: Fn(EdgeId) -> f64>(graph: &Graph, src: NodeId, cost: F) 
             assert!(w >= 0.0 && !w.is_nan(), "negative or NaN edge cost");
             let nd = d + w;
             // Deterministic tie-break: keep the lower-indexed parent edge.
-            if nd < dist[v.0]
-                || (nd == dist[v.0]
-                    && parent[v.0].is_some_and(|(_, pe)| e.0 < pe.0))
+            if nd < dist[v.0] || (nd == dist[v.0] && parent[v.0].is_some_and(|(_, pe)| e.0 < pe.0))
             {
                 dist[v.0] = nd;
                 parent[v.0] = Some((u, e));

@@ -68,14 +68,35 @@ struct FlowNet {
 
 impl FlowNet {
     fn new(n: usize) -> Self {
-        FlowNet { arcs: vec![Vec::new(); n] }
+        FlowNet {
+            arcs: vec![Vec::new(); n],
+        }
     }
 
-    fn add(&mut self, from: usize, to: usize, cap: i32, cost: f64, edge: Option<crate::graph::EdgeId>) {
+    fn add(
+        &mut self,
+        from: usize,
+        to: usize,
+        cap: i32,
+        cost: f64,
+        edge: Option<crate::graph::EdgeId>,
+    ) {
         let rev_from = self.arcs[to].len();
         let rev_to = self.arcs[from].len();
-        self.arcs[from].push(Arc { to, cap, cost, rev: rev_from, edge });
-        self.arcs[to].push(Arc { to: from, cap: 0, cost: -cost, rev: rev_to, edge });
+        self.arcs[from].push(Arc {
+            to,
+            cap,
+            cost,
+            rev: rev_from,
+            edge,
+        });
+        self.arcs[to].push(Arc {
+            to: from,
+            cap: 0,
+            cost: -cost,
+            rev: rev_to,
+            edge,
+        });
     }
 }
 
@@ -88,7 +109,10 @@ impl FlowNet {
 #[must_use]
 pub fn k_node_disjoint_paths(graph: &Graph, src: NodeId, dst: NodeId, k: usize) -> DisjointPaths {
     assert_ne!(src, dst, "disjoint paths require distinct endpoints");
-    assert!(src.0 < graph.node_count() && dst.0 < graph.node_count(), "endpoint out of range");
+    assert!(
+        src.0 < graph.node_count() && dst.0 < graph.node_count(),
+        "endpoint out of range"
+    );
     let n = graph.node_count();
     // Node v maps to v_in = 2v, v_out = 2v + 1.
     let v_in = |v: NodeId| 2 * v.0;
@@ -275,7 +299,11 @@ mod tests {
         g.add_edge(NodeId(3), NodeId(4), 1.0); // e3
         g.add_edge(NodeId(1), NodeId(3), 0.5); // e4 tempts path 1: 0-1-3-4 (2.5)
         let dp = k_node_disjoint_paths(&g, NodeId(0), NodeId(4), 2);
-        assert_eq!(dp.len(), 2, "flow formulation must not be blocked by greedy choice");
+        assert_eq!(
+            dp.len(),
+            2,
+            "flow formulation must not be blocked by greedy choice"
+        );
         assert!(are_node_disjoint(&dp.paths));
         assert_eq!(dp.total_cost(), 2.0 + 5.0); // 0-3-4 and 0-1-4
     }
@@ -300,10 +328,16 @@ mod tests {
         let mask = dp.mask();
         for bad in [NodeId(1), NodeId(2)] {
             let reached = g.reachable_through(NodeId(0), &mask, &[bad]);
-            assert!(reached.contains(&NodeId(3)), "blocked by single node {bad:?}");
+            assert!(
+                reached.contains(&NodeId(3)),
+                "blocked by single node {bad:?}"
+            );
         }
         let reached = g.reachable_through(NodeId(0), &mask, &[NodeId(1), NodeId(2)]);
-        assert!(reached.contains(&NodeId(3)), "direct edge survives both cuts");
+        assert!(
+            reached.contains(&NodeId(3)),
+            "direct edge survives both cuts"
+        );
     }
 
     #[test]
@@ -315,10 +349,22 @@ mod tests {
 
     #[test]
     fn are_node_disjoint_detects_shared_interior() {
-        let p1 = Path { nodes: vec![NodeId(0), NodeId(1), NodeId(3)], edges: vec![], cost: 0.0 };
-        let p2 = Path { nodes: vec![NodeId(0), NodeId(1), NodeId(3)], edges: vec![], cost: 0.0 };
+        let p1 = Path {
+            nodes: vec![NodeId(0), NodeId(1), NodeId(3)],
+            edges: vec![],
+            cost: 0.0,
+        };
+        let p2 = Path {
+            nodes: vec![NodeId(0), NodeId(1), NodeId(3)],
+            edges: vec![],
+            cost: 0.0,
+        };
         assert!(!are_node_disjoint(&[p1.clone(), p2]));
-        let p3 = Path { nodes: vec![NodeId(0), NodeId(2), NodeId(3)], edges: vec![], cost: 0.0 };
+        let p3 = Path {
+            nodes: vec![NodeId(0), NodeId(2), NodeId(3)],
+            edges: vec![],
+            cost: 0.0,
+        };
         assert!(are_node_disjoint(&[p1, p3]));
     }
 }

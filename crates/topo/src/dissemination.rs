@@ -35,7 +35,11 @@ pub fn source_problematic_graph(
     // Cheapest neighbors of src first (deterministic order).
     let mut neighbors: Vec<_> = graph.neighbors(src).collect();
     neighbors.sort_by(|a, b| {
-        graph.weight(a.1).partial_cmp(&graph.weight(b.1)).expect("finite").then(a.0.cmp(&b.0))
+        graph
+            .weight(a.1)
+            .partial_cmp(&graph.weight(b.1))
+            .expect("finite")
+            .then(a.0.cmp(&b.0))
     });
     // Shortest-path forest toward dst avoiding src, so redundancy around the
     // source cannot collapse back through it.
@@ -96,7 +100,13 @@ pub fn constrained_flooding(graph: &Graph) -> EdgeMask {
 /// Utility: does `mask` connect `src` to `dst` when `blocked` nodes refuse
 /// to forward?
 #[must_use]
-pub fn connects(graph: &Graph, mask: &EdgeMask, src: NodeId, dst: NodeId, blocked: &[NodeId]) -> bool {
+pub fn connects(
+    graph: &Graph,
+    mask: &EdgeMask,
+    src: NodeId,
+    dst: NodeId,
+    blocked: &[NodeId],
+) -> bool {
     graph.reachable_through(src, mask, blocked).contains(&dst)
 }
 
@@ -193,7 +203,12 @@ mod tests {
         let g = grid();
         let robust = robust_dissemination_graph(&g, NodeId(0), NodeId(8));
         let flood = constrained_flooding(&g);
-        assert!(robust.len() < flood.len(), "{} !< {}", robust.len(), flood.len());
+        assert!(
+            robust.len() < flood.len(),
+            "{} !< {}",
+            robust.len(),
+            flood.len()
+        );
         assert_eq!(flood.len(), g.edge_count());
     }
 
@@ -203,7 +218,13 @@ mod tests {
         let flood = constrained_flooding(&g);
         // Cutting the full middle row+center disconnects corner to corner.
         assert!(connects(&g, &flood, NodeId(0), NodeId(8), &[NodeId(4)]));
-        assert!(connects(&g, &flood, NodeId(0), NodeId(8), &[NodeId(1), NodeId(4)]));
+        assert!(connects(
+            &g,
+            &flood,
+            NodeId(0),
+            NodeId(8),
+            &[NodeId(1), NodeId(4)]
+        ));
         assert!(!connects(
             &g,
             &flood,
@@ -217,7 +238,10 @@ mod tests {
     fn best_latency_within_respects_mask_and_blocks() {
         let g = grid();
         let full = constrained_flooding(&g);
-        assert_eq!(best_latency_within(&g, &full, NodeId(0), NodeId(8), &[]), Some(4.0));
+        assert_eq!(
+            best_latency_within(&g, &full, NodeId(0), NodeId(8), &[]),
+            Some(4.0)
+        );
         // Block the center: still 4 hops around the edge.
         assert_eq!(
             best_latency_within(&g, &full, NodeId(0), NodeId(8), &[NodeId(4)]),

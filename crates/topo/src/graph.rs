@@ -68,7 +68,11 @@ impl EdgeMask {
     ///
     /// Panics if the edge index is `>= MAX_EDGES`.
     pub fn insert(&mut self, edge: EdgeId) {
-        assert!(edge.0 < MAX_EDGES, "edge index {} exceeds MAX_EDGES", edge.0);
+        assert!(
+            edge.0 < MAX_EDGES,
+            "edge index {} exceeds MAX_EDGES",
+            edge.0
+        );
         self.words[edge.0 / 64] |= 1 << (edge.0 % 64);
     }
 
@@ -116,7 +120,10 @@ impl EdgeMask {
     /// `true` if every edge of `other` is also in `self`.
     #[must_use]
     pub fn is_superset(&self, other: &EdgeMask) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & b == *b)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == *b)
     }
 }
 
@@ -224,9 +231,15 @@ impl Graph {
     /// Panics if either endpoint is out of range, the endpoints are equal,
     /// the weight is not finite and positive, or [`MAX_EDGES`] is exceeded.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId, weight: f64) -> EdgeId {
-        assert!(a.0 < self.node_count && b.0 < self.node_count, "endpoint out of range");
+        assert!(
+            a.0 < self.node_count && b.0 < self.node_count,
+            "endpoint out of range"
+        );
         assert_ne!(a, b, "self-loops are not allowed");
-        assert!(weight.is_finite() && weight > 0.0, "weight must be finite and positive");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be finite and positive"
+        );
         assert!(self.edges.len() < MAX_EDGES, "too many edges for EdgeMask");
         let id = EdgeId(self.edges.len());
         self.edges.push((a, b));
@@ -284,7 +297,10 @@ impl Graph {
     ///
     /// Panics if the edge id is out of range or the weight is invalid.
     pub fn set_weight(&mut self, edge: EdgeId, weight: f64) {
-        assert!(weight.is_finite() && weight > 0.0, "weight must be finite and positive");
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be finite and positive"
+        );
         self.weights[edge.0] = weight;
     }
 
@@ -323,7 +339,10 @@ impl Graph {
     /// Finds the edge between two nodes, if any.
     #[must_use]
     pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
-        self.adj[a.0].iter().find(|&&(n, _)| n == b).map(|&(_, e)| e)
+        self.adj[a.0]
+            .iter()
+            .find(|&&(n, _)| n == b)
+            .map(|&(_, e)| e)
     }
 
     /// A mask containing every edge (the paper's constrained flooding stamp).
@@ -366,7 +385,10 @@ impl Graph {
                 }
             }
         }
-        (0..self.node_count).filter(|&i| seen[i]).map(NodeId).collect()
+        (0..self.node_count)
+            .filter(|&i| seen[i])
+            .map(NodeId)
+            .collect()
     }
 }
 
@@ -492,7 +514,10 @@ mod tests {
         );
         // Without e1 the far side is unreachable.
         let partial = EdgeMask::from_edges([e0, e2]);
-        assert_eq!(g.reachable_through(NodeId(0), &partial, &[]), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(
+            g.reachable_through(NodeId(0), &partial, &[]),
+            vec![NodeId(0), NodeId(1)]
+        );
         // A compromised node 1 receives but does not forward.
         assert_eq!(
             g.reachable_through(NodeId(0), &all, &[NodeId(1)]),

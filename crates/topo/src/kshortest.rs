@@ -18,7 +18,10 @@ use crate::graph::{EdgeMask, Graph, NodeId};
 #[must_use]
 pub fn k_shortest_paths(graph: &Graph, src: NodeId, dst: NodeId, k: usize) -> Vec<Path> {
     assert_ne!(src, dst, "k-shortest paths require distinct endpoints");
-    assert!(src.0 < graph.node_count() && dst.0 < graph.node_count(), "endpoint out of range");
+    assert!(
+        src.0 < graph.node_count() && dst.0 < graph.node_count(),
+        "endpoint out of range"
+    );
     let mut found: Vec<Path> = Vec::new();
     let Some(first) = shortest_avoiding(graph, src, dst, &[], &[]) else {
         return found;
@@ -43,8 +46,7 @@ pub fn k_shortest_paths(graph: &Graph, src: NodeId, dst: NodeId, k: usize) -> Ve
                 }
             }
             // Nodes of the root (except the spur) must not be revisited.
-            let banned_nodes: Vec<NodeId> =
-                root_nodes[..root_nodes.len() - 1].to_vec();
+            let banned_nodes: Vec<NodeId> = root_nodes[..root_nodes.len() - 1].to_vec();
             let Some(spur) = shortest_avoiding(graph, spur_node, dst, &banned_edges, &banned_nodes)
             else {
                 continue;
@@ -56,7 +58,10 @@ pub fn k_shortest_paths(graph: &Graph, src: NodeId, dst: NodeId, k: usize) -> Ve
             edges.extend_from_slice(&spur.edges);
             let cost = edges.iter().map(|&e| graph.weight(e)).sum();
             let candidate = Path { nodes, edges, cost };
-            let dup = found.iter().chain(candidates.iter()).any(|p| p.edges == candidate.edges);
+            let dup = found
+                .iter()
+                .chain(candidates.iter())
+                .any(|p| p.edges == candidate.edges);
             if !dup {
                 candidates.push(candidate);
             }
@@ -147,7 +152,11 @@ mod tests {
         assert_eq!(costs[3], 4.0);
         for p in &paths {
             let mut seen = std::collections::HashSet::new();
-            assert!(p.nodes.iter().all(|n| seen.insert(*n)), "loop in {:?}", p.nodes);
+            assert!(
+                p.nodes.iter().all(|n| seen.insert(*n)),
+                "loop in {:?}",
+                p.nodes
+            );
         }
     }
 

@@ -76,7 +76,10 @@ mod tests {
         // {0-3, 3-4, 4-5} at cost 3, while per-receiver unicast pays 2+3=5.
         let tree = multicast_tree(&g, NodeId(0), &[NodeId(4), NodeId(5)]);
         assert_eq!(g.mask_weight(&tree), 3.0);
-        assert_eq!(unicast_mesh_cost(&g, NodeId(0), &[NodeId(4), NodeId(5)]), 5.0);
+        assert_eq!(
+            unicast_mesh_cost(&g, NodeId(0), &[NodeId(4), NodeId(5)]),
+            5.0
+        );
     }
 
     #[test]
@@ -110,17 +113,29 @@ mod tests {
     #[test]
     fn anycast_picks_nearest_member() {
         let g = star_tail();
-        assert_eq!(anycast_target(&g, NodeId(5), &[NodeId(1), NodeId(4)]), Some(NodeId(4)));
-        assert_eq!(anycast_target(&g, NodeId(0), &[NodeId(5), NodeId(2)]), Some(NodeId(2)));
+        assert_eq!(
+            anycast_target(&g, NodeId(5), &[NodeId(1), NodeId(4)]),
+            Some(NodeId(4))
+        );
+        assert_eq!(
+            anycast_target(&g, NodeId(0), &[NodeId(5), NodeId(2)]),
+            Some(NodeId(2))
+        );
         // Sender that is itself a member selects itself (distance zero).
-        assert_eq!(anycast_target(&g, NodeId(2), &[NodeId(2), NodeId(1)]), Some(NodeId(2)));
+        assert_eq!(
+            anycast_target(&g, NodeId(2), &[NodeId(2), NodeId(1)]),
+            Some(NodeId(2))
+        );
     }
 
     #[test]
     fn anycast_tie_breaks_to_lowest_id() {
         let g = star_tail();
         // 1 and 2 are both at distance 1 from 0.
-        assert_eq!(anycast_target(&g, NodeId(0), &[NodeId(2), NodeId(1)]), Some(NodeId(1)));
+        assert_eq!(
+            anycast_target(&g, NodeId(0), &[NodeId(2), NodeId(1)]),
+            Some(NodeId(1))
+        );
     }
 
     #[test]

@@ -166,7 +166,11 @@ pub fn candidates_from_coordinates(
             let km = ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt();
             let latency_ms = km * route_factor / km_per_ms;
             if latency_ms <= max_link_ms {
-                out.push(CandidateLink { a: NodeId(i), b: NodeId(j), latency_ms });
+                out.push(CandidateLink {
+                    a: NodeId(i),
+                    b: NodeId(j),
+                    latency_ms,
+                });
             }
         }
     }
@@ -230,7 +234,10 @@ mod tests {
         // Two clusters too far apart for the bound.
         let coords = vec![(0.0, 0.0), (100.0, 0.0), (10_000.0, 0.0), (10_100.0, 0.0)];
         let cands = candidates_from_coordinates(&coords, 3.0, 200.0, 1.2);
-        assert_eq!(design_overlay(4, &cands, 3.0, 1).unwrap_err(), DesignError::Disconnected);
+        assert_eq!(
+            design_overlay(4, &cands, 3.0, 1).unwrap_err(),
+            DesignError::Disconnected
+        );
     }
 
     #[test]
@@ -250,9 +257,21 @@ mod tests {
         // Triangle where one side is much longer: for connectivity (k=1)
         // the long side must be pruned away.
         let cands = vec![
-            CandidateLink { a: NodeId(0), b: NodeId(1), latency_ms: 1.0 },
-            CandidateLink { a: NodeId(1), b: NodeId(2), latency_ms: 1.0 },
-            CandidateLink { a: NodeId(0), b: NodeId(2), latency_ms: 9.0 },
+            CandidateLink {
+                a: NodeId(0),
+                b: NodeId(1),
+                latency_ms: 1.0,
+            },
+            CandidateLink {
+                a: NodeId(1),
+                b: NodeId(2),
+                latency_ms: 1.0,
+            },
+            CandidateLink {
+                a: NodeId(0),
+                b: NodeId(2),
+                latency_ms: 9.0,
+            },
         ];
         let g = design_overlay(3, &cands, 10.0, 1).expect("feasible");
         assert_eq!(g.edge_count(), 2);
@@ -263,8 +282,16 @@ mod tests {
     #[test]
     fn duplicate_candidates_are_deduped() {
         let cands = vec![
-            CandidateLink { a: NodeId(0), b: NodeId(1), latency_ms: 1.0 },
-            CandidateLink { a: NodeId(1), b: NodeId(0), latency_ms: 2.0 },
+            CandidateLink {
+                a: NodeId(0),
+                b: NodeId(1),
+                latency_ms: 1.0,
+            },
+            CandidateLink {
+                a: NodeId(1),
+                b: NodeId(0),
+                latency_ms: 2.0,
+            },
         ];
         let g = design_overlay(2, &cands, 10.0, 1).expect("feasible");
         assert_eq!(g.edge_count(), 1);

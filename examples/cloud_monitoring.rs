@@ -45,7 +45,12 @@ fn main() {
         .collect();
     let operators: Vec<_> = OPERATORS
         .iter()
-        .map(|&n| sim.add_process(ClientProcess::new(monitoring::operator(&overlay, NodeId(n)))))
+        .map(|&n| {
+            sim.add_process(ClientProcess::new(monitoring::operator(
+                &overlay,
+                NodeId(n),
+            )))
+        })
         .collect();
     let devices: Vec<_> = DEVICES
         .iter()
@@ -61,7 +66,9 @@ fn main() {
     )));
 
     // Fail an overlay link mid-run: the overlay routes around it.
-    let victim = son_topo::shortest_path(&topo, NodeId(4), NodeId(0)).unwrap().edges[0];
+    let victim = son_topo::shortest_path(&topo, NodeId(4), NodeId(0))
+        .unwrap()
+        .edges[0];
     for &(ab, ba) in &overlay.edge_pipes[&victim] {
         sim.schedule(SimTime::from_secs(10), ScenarioEvent::DisablePipe(ab));
         sim.schedule(SimTime::from_secs(10), ScenarioEvent::DisablePipe(ba));

@@ -25,37 +25,44 @@ use son_topo::NodeId;
 
 const CONTROL_CENTER: NodeId = NodeId(0); // NYC
 const SUBSTATION: NodeId = NodeId(11); // LA
-// ATL and DEN are compromised: they sit on the cheap southern and central
-// routes but do not form a vertex cut (the paper's guarantee only holds
-// "provided that some correct path through the overlay still exists").
+                                       // ATL and DEN are compromised: they sit on the cheap southern and central
+                                       // routes but do not form a vertex cut (the paper's guarantee only holds
+                                       // "provided that some correct path through the overlay still exists").
 const BLACKHOLES: [usize; 2] = [3, 8]; // ATL, DEN
 const FLOODER: usize = 7; // HOU compromised, floods the control center
 
 fn main() {
     let sc = continental_us(DEFAULT_CONVERGENCE);
     let (topo, _) = continental_overlay(&sc);
-    let mut config = NodeConfig { auth_enabled: true, ..Default::default() };
-     // §IV-B: per-node keys, per-packet tags
+    let mut config = NodeConfig {
+        auth_enabled: true,
+        ..Default::default()
+    };
+    // §IV-B: per-node keys, per-packet tags
     config.it_rate_bps = Some(4_000_000);
     let mut sim: Simulation<Wire> = Simulation::new(1337);
-    let overlay = OverlayBuilder::new(topo).node_config(config).build(&mut sim);
+    let overlay = OverlayBuilder::new(topo)
+        .node_config(config)
+        .build(&mut sim);
 
     for &bad in &BLACKHOLES {
         sim.proc_mut::<OverlayNode>(overlay.daemon(NodeId(bad)))
             .unwrap()
             .set_behavior(Behavior::Blackhole);
     }
-    sim.proc_mut::<OverlayNode>(overlay.daemon(NodeId(FLOODER))).unwrap().set_behavior(
-        Behavior::Flood {
+    sim.proc_mut::<OverlayNode>(overlay.daemon(NodeId(FLOODER)))
+        .unwrap()
+        .set_behavior(Behavior::Flood {
             dst: Destination::Unicast(OverlayAddr::new(CONTROL_CENTER, 70)),
             rate_pps: 2000,
             size: 1000,
-        },
-    );
+        });
 
     // Telemetry: substation -> control center, flooded + priority-fair.
     let telemetry_spec = FlowSpec::best_effort()
-        .with_routing(RoutingService::SourceBased(SourceRoute::ConstrainedFlooding))
+        .with_routing(RoutingService::SourceBased(
+            SourceRoute::ConstrainedFlooding,
+        ))
         .with_link(LinkService::ItPriority);
     // Control: control center -> substation, IT-Reliable over redundant
     // dissemination (a reliable protocol on a single path through a
@@ -63,7 +70,9 @@ fn main() {
     // redundant dissemination).
     let control_spec = FlowSpec::reliable()
         .with_link(LinkService::ItReliable)
-        .with_routing(RoutingService::SourceBased(SourceRoute::ConstrainedFlooding));
+        .with_routing(RoutingService::SourceBased(
+            SourceRoute::ConstrainedFlooding,
+        ));
 
     let center = sim.add_process(ClientProcess::new(ClientConfig {
         daemon: overlay.daemon(CONTROL_CENTER),
@@ -112,7 +121,10 @@ fn main() {
     let commands = sub_client.recv.values().next().cloned().unwrap_or_default();
     let mut telemetry_lat = telemetry.latency_ms.clone();
 
-    println!("attack: {} blackhole nodes + 1 flooder (2000 pps at the control center)\n", BLACKHOLES.len());
+    println!(
+        "attack: {} blackhole nodes + 1 flooder (2000 pps at the control center)\n",
+        BLACKHOLES.len()
+    );
     println!(
         "telemetry (flooding + IT-Priority): {}/{} delivered, p99 {:.1} ms, {} app dups",
         telemetry.received,
@@ -133,8 +145,13 @@ fn main() {
     }
     let _ = junk_dropped;
     println!("\npackets eaten by the blackholes   : {adversary_dropped}");
-    println!("flooder junk injected             : {}",
-        sim.proc_ref::<OverlayNode>(overlay.daemon(NodeId(FLOODER))).unwrap().metrics().adversary_injected);
+    println!(
+        "flooder junk injected             : {}",
+        sim.proc_ref::<OverlayNode>(overlay.daemon(NodeId(FLOODER)))
+            .unwrap()
+            .metrics()
+            .adversary_injected
+    );
     println!("\nDespite compromised overlay nodes with valid credentials, every");
     println!("telemetry reading and every control command made it through.");
     assert_eq!(telemetry.received, telemetry_sent);

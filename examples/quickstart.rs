@@ -60,11 +60,22 @@ fn main() {
 
     // 6. Harvest.
     let sent = sim.proc_ref::<ClientProcess>(tx).unwrap().sent(1);
-    let recv = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv().clone();
+    let recv = sim
+        .proc_ref::<ClientProcess>(rx)
+        .unwrap()
+        .sole_recv()
+        .clone();
     let mut lat = recv.latency_ms.clone();
     println!("sent             : {sent}");
-    println!("delivered        : {} ({}%)", recv.received, 100 * recv.received / sent);
-    println!("in order         : {}", if recv.out_of_order == 0 { "yes" } else { "no" });
+    println!(
+        "delivered        : {} ({}%)",
+        recv.received,
+        100 * recv.received / sent
+    );
+    println!(
+        "in order         : {}",
+        if recv.out_of_order == 0 { "yes" } else { "no" }
+    );
     println!("app duplicates   : {}", recv.app_duplicates);
     println!("latency p50      : {:.2} ms", lat.median().unwrap());
     println!("latency p99      : {:.2} ms", lat.quantile(0.99).unwrap());

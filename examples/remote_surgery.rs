@@ -24,7 +24,12 @@ use son_topo::NodeId;
 const SURGEON: NodeId = NodeId(0); // NYC
 const ROBOT: NodeId = NodeId(11); // LA
 
-fn run(spec: FlowSpec) -> (manipulation::ManipulationReport, manipulation::ManipulationReport) {
+fn run(
+    spec: FlowSpec,
+) -> (
+    manipulation::ManipulationReport,
+    manipulation::ManipulationReport,
+) {
     let sc = continental_us(DEFAULT_CONVERGENCE);
     let (topo, _) = continental_overlay(&sc);
     // Bursty loss on the links around both endpoints (the problematic areas).
@@ -42,18 +47,16 @@ fn run(spec: FlowSpec) -> (manipulation::ManipulationReport, manipulation::Manip
     let overlay = builder.build(&mut sim);
 
     let profile = HapticProfile::standard();
-    let mk = |at: NodeId, to: NodeId, port, peer_port| {
-        ClientConfig {
-            daemon: overlay.daemon(at),
-            port,
-            joins: vec![],
-            flows: vec![ClientFlow {
-                local_flow: 1,
-                dst: Destination::Unicast(OverlayAddr::new(to, peer_port)),
-                spec,
-                workload: profile.workload(SimTime::from_secs(1), SimDuration::from_secs(20)),
-            }],
-        }
+    let mk = |at: NodeId, to: NodeId, port, peer_port| ClientConfig {
+        daemon: overlay.daemon(at),
+        port,
+        joins: vec![],
+        flows: vec![ClientFlow {
+            local_flow: 1,
+            dst: Destination::Unicast(OverlayAddr::new(to, peer_port)),
+            spec,
+            workload: profile.workload(SimTime::from_secs(1), SimDuration::from_secs(20)),
+        }],
     };
     let surgeon = sim.add_process(ClientProcess::new(mk(SURGEON, ROBOT, 10, 11)));
     let robot = sim.add_process(ClientProcess::new(mk(ROBOT, SURGEON, 11, 10)));
@@ -84,7 +87,10 @@ fn main() {
     let budget = SimDuration::from_millis(12);
     for (label, spec) in [
         ("shortest path only", manipulation::single_path_spec(budget)),
-        ("single-strike + dissemination graph", manipulation::manipulation_spec(budget)),
+        (
+            "single-strike + dissemination graph",
+            manipulation::manipulation_spec(budget),
+        ),
     ] {
         let (cmd, fb) = run(spec);
         println!("--- {label} ---");
@@ -101,7 +107,10 @@ fn main() {
             fb.lost
         );
         let loop_ok = cmd.on_time_frac * fb.on_time_frac;
-        println!("  closed loop within 130 ms RTT: ~{:.2}%\n", loop_ok * 100.0);
+        println!(
+            "  closed loop within 130 ms RTT: ~{:.2}%\n",
+            loop_ok * 100.0
+        );
     }
     println!("Targeted redundancy in the problematic areas buys the last fraction of");
     println!("a percent that makes the interaction feel local — with only ~20 ms of");

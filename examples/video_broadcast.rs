@@ -11,9 +11,9 @@
 
 use son_apps::video::{score, VideoProfile};
 use son_netsim::loss::LossConfig;
+use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
 use son_netsim::sim::Simulation;
 use son_netsim::time::{SimDuration, SimTime};
-use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
 use son_overlay::builder::{continental_overlay, OverlayBuilder};
 use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess};
 use son_overlay::{Destination, FlowSpec, GroupId, Wire};
@@ -79,11 +79,19 @@ fn run(spec: FlowSpec) -> Vec<(String, f64, f64, f64)> {
 }
 
 fn main() {
-    println!("MIA stadium feed ({} Mbit/s MPEG-TS) -> 4 stations, 1% bursty loss/link\n",
-        VideoProfile::broadcast_sd().bitrate_bps / 1_000_000);
+    println!(
+        "MIA stadium feed ({} Mbit/s MPEG-TS) -> 4 stations, 1% bursty loss/link\n",
+        VideoProfile::broadcast_sd().bitrate_bps / 1_000_000
+    );
     for (label, spec) in [
-        ("BEST EFFORT (native-Internet-like)", FlowSpec::best_effort()),
-        ("RELIABLE DATA LINK (hop-by-hop recovery)", FlowSpec::reliable()),
+        (
+            "BEST EFFORT (native-Internet-like)",
+            FlowSpec::best_effort(),
+        ),
+        (
+            "RELIABLE DATA LINK (hop-by-hop recovery)",
+            FlowSpec::reliable(),
+        ),
     ] {
         println!("--- {label} ---");
         println!(

@@ -1,0 +1,122 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `Criterion::bench_function` / `Bencher::iter` surface the
+//! workspace benches use, timing with `std::time::Instant` and printing a
+//! simple ns/iter line. When run as `cargo test` (the harness passes
+//! `--test`), benches execute one quick iteration so the suite stays fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimal benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench binaries with `--test`; in that mode only
+        // smoke-run each benchmark once.
+        let quick = std::env::args().any(|a| a == "--test");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Configure the target measurement time (accepted for API
+    /// compatibility; the shim keeps its fixed schedule).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Configure the sample count (accepted for API compatibility).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            quick: self.quick,
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        if self.quick {
+            println!("bench {name:<40} ok (smoke)");
+        } else {
+            println!(
+                "bench {name:<40} {:>12.1} ns/iter ({} iters)",
+                b.ns_per_iter, b.iters
+            );
+        }
+        self
+    }
+
+    /// No-op finalizer (criterion prints summaries here; the shim prints
+    /// per-benchmark lines as it goes).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    quick: bool,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.quick {
+            black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        // Warm up, then scale the iteration count so the timed section runs
+        // for roughly 0.2 s, bounded to keep total bench time reasonable.
+        let warm = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per = warm.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let iters = ((0.2 / per) as u64).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters;
+        self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// Declares a benchmark group: `criterion_group!(benches, f, g)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point: `criterion_main!(benches)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,40 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and id types to
+//! keep the door open for config files and snapshot formats, but nothing in
+//! the tree performs actual serde serialization (the observability layer
+//! writes JSONL by hand — see `son-obs`). This shim therefore provides the
+//! two traits as markers with blanket impls, plus no-op derive macros, so
+//! the annotations compile without crates.io access.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de {
+    //! Deserialization markers.
+    pub use super::DeserializeOwned;
+
+    #[cfg(feature = "derive")]
+    pub use serde_derive::Deserialize;
+}
+
+pub mod ser {
+    //! Serialization markers.
+    #[cfg(feature = "derive")]
+    pub use serde_derive::Serialize;
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's `serde` shim gives every type a blanket `Serialize` /
+//! `Deserialize` impl, so these derives only need to exist for
+//! `#[derive(Serialize, Deserialize)]` attributes to parse — they expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (the serde shim's blanket impl covers all types).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (the serde shim's blanket impl covers all types).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -17,9 +17,7 @@ use son_netsim::loss::LossConfig;
 use son_netsim::scenario::DEFAULT_CONVERGENCE;
 use son_netsim::sim::Simulation;
 use son_netsim::time::{SimDuration, SimTime};
-use son_overlay::builder::{
-    chain_topology, continental_overlay, global_overlay, OverlayBuilder,
-};
+use son_overlay::builder::{chain_topology, continental_overlay, global_overlay, OverlayBuilder};
 use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
 use son_overlay::node::OverlayNode;
 use son_overlay::service::FecParams;
@@ -137,7 +135,11 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}\n");
             }
             usage();
-            return if e.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            return if e.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
         }
     };
 
@@ -145,17 +147,32 @@ fn main() -> ExitCode {
     let (topo, from, to, label) = match args.topology.as_str() {
         "chain" => {
             let n = args.nodes.max(2);
-            (chain_topology(n, args.hop_ms), NodeId(0), NodeId(n - 1), format!("chain of {n}"))
+            (
+                chain_topology(n, args.hop_ms),
+                NodeId(0),
+                NodeId(n - 1),
+                format!("chain of {n}"),
+            )
         }
         "continental" => {
             let sc = son_netsim::scenario::continental_us(DEFAULT_CONVERGENCE);
             let (t, _) = continental_overlay(&sc);
-            (t, NodeId(0), NodeId(11), "continental US (NYC -> LA)".into())
+            (
+                t,
+                NodeId(0),
+                NodeId(11),
+                "continental US (NYC -> LA)".into(),
+            )
         }
         "global" => {
             let sc = son_netsim::scenario::global_20(DEFAULT_CONVERGENCE);
             let (t, _) = global_overlay(&sc);
-            (t, NodeId(0), NodeId(15), "global 20-city (NYC -> SYD)".into())
+            (
+                t,
+                NodeId(0),
+                NodeId(15),
+                "global 20-city (NYC -> SYD)".into(),
+            )
         }
         other => {
             eprintln!("error: unknown topology {other}");
@@ -245,7 +262,10 @@ fn main() -> ExitCode {
         .cloned()
         .unwrap_or_default();
     let mut lat = recv.latency_ms.clone();
-    println!("deployment : {label}, service={} routing={}", args.service, args.routing);
+    println!(
+        "deployment : {label}, service={} routing={}",
+        args.service, args.routing
+    );
     println!("loss model : {:?}", args.loss);
     println!("sent       : {sent}");
     println!(
@@ -275,7 +295,10 @@ fn main() -> ExitCode {
     let mut wire_sent = 0;
     let mut wire_re = 0;
     for &d in &overlay.daemons {
-        let s = sim.proc_ref::<OverlayNode>(d).expect("daemon").service_stats(link);
+        let s = sim
+            .proc_ref::<OverlayNode>(d)
+            .expect("daemon")
+            .service_stats(link);
         wire_sent += s.sent;
         wire_re += s.retransmitted;
     }
@@ -291,7 +314,12 @@ fn main() -> ExitCode {
     if args.inspect {
         println!("\n--- daemon status ---");
         for &d in &overlay.daemons {
-            print!("{}", sim.proc_ref::<OverlayNode>(d).expect("daemon").status_report());
+            print!(
+                "{}",
+                sim.proc_ref::<OverlayNode>(d)
+                    .expect("daemon")
+                    .status_report()
+            );
         }
     }
     ExitCode::SUCCESS

@@ -60,21 +60,41 @@ fn video_survives_fiber_cut_via_provider_switch() {
         .unwrap()
         .edges;
     for e in route {
-        sim.schedule(SimTime::from_secs(5), son_netsim::sim::ScenarioEvent::FailUnderlayEdge(e));
+        sim.schedule(
+            SimTime::from_secs(5),
+            son_netsim::sim::ScenarioEvent::FailUnderlayEdge(e),
+        );
     }
     sim.run_until(SimTime::from_secs(25));
 
     let sent = sim.proc_ref::<ClientProcess>(tx).unwrap().sent(1);
-    let recv = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv().clone();
+    let recv = sim
+        .proc_ref::<ClientProcess>(rx)
+        .unwrap()
+        .sole_recv()
+        .clone();
     let report = score(&recv, sent, &profile, None);
-    assert_eq!(report.delivered_frac, 1.0, "provider switch must be lossless to the app");
-    assert!(report.continuity_100ms > 0.99, "continuity {}", report.continuity_100ms);
+    assert_eq!(
+        report.delivered_frac, 1.0,
+        "provider switch must be lossless to the app"
+    );
+    assert!(
+        report.continuity_100ms > 0.99,
+        "continuity {}",
+        report.continuity_100ms
+    );
 
     // At least one daemon actually switched providers.
     let switches: u64 = overlay
         .daemons
         .iter()
-        .map(|&d| sim.proc_ref::<OverlayNode>(d).unwrap().metrics().counters.get("provider_switches"))
+        .map(|&d| {
+            sim.proc_ref::<OverlayNode>(d)
+                .unwrap()
+                .metrics()
+                .counters
+                .get("provider_switches")
+        })
         .sum();
     assert!(switches > 0, "the cut must have forced a provider switch");
 }
@@ -118,7 +138,11 @@ fn global_live_video_meets_200ms_bound() {
     }));
     sim.run_until(SimTime::from_secs(25));
     let sent = sim.proc_ref::<ClientProcess>(tx).unwrap().sent(1);
-    let recv = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv().clone();
+    let recv = sim
+        .proc_ref::<ClientProcess>(rx)
+        .unwrap()
+        .sole_recv()
+        .clone();
     assert!(
         recv.received as f64 > 0.98 * sent as f64,
         "{}/{sent} delivered",
@@ -138,9 +162,14 @@ fn scada_agreement_survives_compromised_overlay_node() {
     };
     let sc = continental_us(DEFAULT_CONVERGENCE);
     let (topo, _) = continental_overlay(&sc);
-    let config = son_overlay::NodeConfig { auth_enabled: true, ..Default::default() };
+    let config = son_overlay::NodeConfig {
+        auth_enabled: true,
+        ..Default::default()
+    };
     let mut sim: Simulation<Wire> = Simulation::new(73);
-    let overlay = OverlayBuilder::new(topo).node_config(config).build(&mut sim);
+    let overlay = OverlayBuilder::new(topo)
+        .node_config(config)
+        .build(&mut sim);
 
     // DAL's overlay node is compromised and blackholes transit data.
     sim.proc_mut::<OverlayNode>(overlay.daemon(NodeId(6)))
@@ -168,7 +197,11 @@ fn scada_agreement_survives_compromised_overlay_node() {
     ));
     sim.run_until(SimTime::from_secs(10));
     let dev = sim.proc_ref::<Device>(device).unwrap();
-    assert_eq!(dev.commands.len(), 30, "agreement must route around the blackhole");
+    assert_eq!(
+        dev.commands.len(),
+        30,
+        "agreement must route around the blackhole"
+    );
     let max = dev.latency_ms.clone().max().unwrap();
     assert!(max <= 200.0, "SCADA budget: {max}ms");
 }
@@ -209,8 +242,16 @@ fn full_deployment_is_deterministic() {
             }],
         }));
         sim.run_until(SimTime::from_secs(15));
-        let recv = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv().clone();
-        (recv.received, recv.latency_ms.samples().to_vec(), sim.events_processed())
+        let recv = sim
+            .proc_ref::<ClientProcess>(rx)
+            .unwrap()
+            .sole_recv()
+            .clone();
+        (
+            recv.received,
+            recv.latency_ms.samples().to_vec(),
+            sim.events_processed(),
+        )
     };
     let a = run();
     let b = run();
@@ -262,7 +303,13 @@ fn parallel_overlays_share_the_load() {
     }
     sim.run_until(SimTime::from_secs(5));
     for rx in rxs {
-        let got: u64 = sim.proc_ref::<ClientProcess>(rx).unwrap().recv.values().map(|r| r.received).sum();
+        let got: u64 = sim
+            .proc_ref::<ClientProcess>(rx)
+            .unwrap()
+            .recv
+            .values()
+            .map(|r| r.received)
+            .sum();
         assert_eq!(got, 100);
     }
     // Both shards actually carried traffic (the hash split the population).
@@ -276,7 +323,10 @@ fn parallel_overlays_share_the_load() {
                 .sum()
         })
         .collect();
-    assert!(carried.iter().all(|&c| c > 0), "both shards must serve flows: {carried:?}");
+    assert!(
+        carried.iter().all(|&c| c > 0),
+        "both shards must serve flows: {carried:?}"
+    );
 }
 
 /// A geographically correlated failure (regional blast) takes out every
@@ -288,7 +338,9 @@ fn regional_failure_is_routed_around() {
     let (topo, cities) = continental_overlay(&sc);
     let mut sim: Simulation<Wire> = Simulation::new(75);
     sim.set_underlay(sc.underlay.clone());
-    let overlay = OverlayBuilder::new(topo).place_in_cities(cities.clone()).build(&mut sim);
+    let overlay = OverlayBuilder::new(topo)
+        .place_in_cities(cities.clone())
+        .build(&mut sim);
     let nyc = NodeId(cities.iter().position(|&c| c == sc.city("NYC")).unwrap());
     let sf = NodeId(cities.iter().position(|&c| c == sc.city("SF")).unwrap());
 
@@ -317,7 +369,10 @@ fn regional_failure_is_routed_around() {
     // Blast everything within 700km of Denver at t=5s.
     let den = sc.city("DEN");
     let victims = sim.underlay().unwrap().edges_near(den, 700.0);
-    assert!(victims.len() >= 4, "the blast zone must cover several fibers");
+    assert!(
+        victims.len() >= 4,
+        "the blast zone must cover several fibers"
+    );
     for e in victims {
         sim.schedule(
             SimTime::from_secs(5),
@@ -325,7 +380,11 @@ fn regional_failure_is_routed_around() {
         );
     }
     sim.run_until(SimTime::from_secs(15));
-    let recv = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv().clone();
+    let recv = sim
+        .proc_ref::<ClientProcess>(rx)
+        .unwrap()
+        .sole_recv()
+        .clone();
     let gap = recv
         .arrivals
         .windows(2)
@@ -338,7 +397,10 @@ fn regional_failure_is_routed_around() {
         "the overlay must route around the region quickly, gap {gap}"
     );
     let last = recv.arrivals.last().unwrap().0;
-    assert!(last > SimTime::from_millis(14_800), "still flowing at the end");
+    assert!(
+        last > SimTime::from_millis(14_800),
+        "still flowing at the end"
+    );
 }
 
 /// A variable-bitrate GOP stream (big I-frame bursts every half second)
@@ -373,13 +435,25 @@ fn vbr_video_stream_over_lossy_overlay() {
             local_flow: 1,
             dst: Destination::Unicast(OverlayAddr::new(NodeId(3), 80)),
             spec: FlowSpec::reliable(),
-            workload: son_overlay::Workload::Trace { schedule: std::sync::Arc::new(schedule) },
+            workload: son_overlay::Workload::Trace {
+                schedule: std::sync::Arc::new(schedule),
+            },
         }],
     }));
     sim.run_until(SimTime::from_secs(20));
     let sent = sim.proc_ref::<ClientProcess>(tx).unwrap().sent(1);
-    assert_eq!(sent, expected_packets, "the trace drives exactly its schedule");
-    let recv = sim.proc_ref::<ClientProcess>(rx).unwrap().sole_recv().clone();
-    assert_eq!(recv.received, sent, "hop-by-hop recovery absorbs the bursts");
+    assert_eq!(
+        sent, expected_packets,
+        "the trace drives exactly its schedule"
+    );
+    let recv = sim
+        .proc_ref::<ClientProcess>(rx)
+        .unwrap()
+        .sole_recv()
+        .clone();
+    assert_eq!(
+        recv.received, sent,
+        "hop-by-hop recovery absorbs the bursts"
+    );
     assert_eq!(recv.out_of_order, 0);
 }
