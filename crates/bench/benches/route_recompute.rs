@@ -1,0 +1,49 @@
+//! Route-recomputation cost at 16/64/256 overlay nodes: what one node pays
+//! per real topology change (SPT rebuild into the dense next-hop table),
+//! per flow setup (k-disjoint paths, dissemination graph), and per snapshot
+//! freeze — the sub-second rerouting budget, measured.
+//!
+//! `spt_graph_hashmap_*` is the pre-snapshot Dijkstra over the pointer-based
+//! `Graph`; `spt_csr_dense_*` is the CSR index Dijkstra with reused scratch
+//! buffers that [`son_overlay::routing::Forwarding`] now runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use son_bench::ring_with_chords;
+use son_topo::csr::{Spt, SptScratch};
+use son_topo::{dijkstra, k_node_disjoint_paths, robust_dissemination_graph, NodeId};
+
+fn bench_route_recompute(c: &mut Criterion) {
+    for (n, chord_every) in [(16usize, 4usize), (64, 8), (256, 0)] {
+        let g = ring_with_chords(n, 10.0, chord_every);
+        let snap = g.freeze();
+        let mut scratch = SptScratch::new();
+        let mut spt = Spt::empty();
+        let (src, dst) = (NodeId(0), NodeId(n / 2 - 1));
+
+        c.bench_function(&format!("spt_graph_hashmap_{n}"), |b| {
+            b.iter(|| std::hint::black_box(dijkstra(&g, src)))
+        });
+
+        c.bench_function(&format!("spt_csr_dense_{n}"), |b| {
+            b.iter(|| {
+                snap.spt_with_into(src, |e| snap.weight(e), &mut scratch, &mut spt);
+                std::hint::black_box(spt.next_hop(dst))
+            })
+        });
+
+        c.bench_function(&format!("freeze_snapshot_{n}"), |b| {
+            b.iter(|| std::hint::black_box(g.freeze()))
+        });
+
+        c.bench_function(&format!("k_disjoint_k2_{n}"), |b| {
+            b.iter(|| std::hint::black_box(k_node_disjoint_paths(&g, src, dst, 2)))
+        });
+
+        c.bench_function(&format!("dissemination_rebuild_{n}"), |b| {
+            b.iter(|| std::hint::black_box(robust_dissemination_graph(&g, src, dst)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_route_recompute);
+criterion_main!(benches);

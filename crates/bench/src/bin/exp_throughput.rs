@@ -1,0 +1,372 @@
+//! EP — the data-plane fast path, measured (§II-D: "less than 1ms
+//! additional latency per intermediate overlay node" demands that route
+//! maintenance and per-packet work stay far off the critical path).
+//!
+//! Two measurements, both exported to `BENCH_forwarding.json` (override the
+//! path with `BENCH_OUT`) so the perf trajectory is tracked in-repo:
+//!
+//! 1. **Route recomputation** — the per-LSA-event cost of the pre-PR
+//!    full-invalidation path (clone the shared view, drop every cache,
+//!    rebuild) against the versioned-snapshot path (no-op LSAs cost a
+//!    version compare; real changes rebuild once), over a stream where 1 in
+//!    10 events is a real change — the steady-state mix the periodic LSA
+//!    refresh produces. The acceptance bar is ≥2× at 64 nodes.
+//! 2. **Forwarding throughput under churn** — multi-flow CBR over the
+//!    12-city continental overlay while links flap every couple of seconds,
+//!    reported as simulated packets forwarded per wall-clock second.
+//!
+//! `--smoke` shrinks both to a few seconds for CI.
+
+use std::time::Instant;
+
+use son_bench::{
+    banner, export_registry, f, finish_export, gather_registry, obs_sink, ring_with_chords, row,
+    table_header, RX_PORT, TX_PORT,
+};
+use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
+use son_netsim::sim::{ScenarioEvent, Simulation};
+use son_netsim::time::{SimDuration, SimTime};
+use son_obs::{Json, JsonlSink};
+use son_overlay::builder::{continental_overlay, OverlayBuilder};
+use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
+use son_overlay::node::OverlayNode;
+use son_overlay::packet::{LinkAdvert, Lsa};
+use son_overlay::routing::Forwarding;
+use son_overlay::state::connectivity::{ConnAction, ConnectivityConfig, ConnectivityMonitor};
+use son_overlay::{Destination, FlowSpec, OverlayAddr, Wire};
+use son_topo::{EdgeId, Graph, NodeId};
+
+/// One LSA event in 10 is a real change; the rest are the periodic refresh
+/// (identical link state, newer sequence number).
+const CHANGE_PERIOD: usize = 10;
+
+fn monitor_for(g: &Graph) -> ConnectivityMonitor {
+    let links: Vec<(EdgeId, usize, f64)> = g
+        .neighbors(NodeId(0))
+        .map(|(_, e)| (e, 1, g.weight(e)))
+        .collect();
+    ConnectivityMonitor::new(NodeId(0), g.clone(), links, ConnectivityConfig::default())
+}
+
+/// The LSA stream node 0 receives from node 1: every event re-advertises
+/// node 1's links, and the advertised latency flips every `CHANGE_PERIOD`
+/// events (so exactly 1 in `CHANGE_PERIOD` is a real topology change).
+fn lsa_stream(g: &Graph, events: usize) -> Vec<Lsa> {
+    let incident: Vec<EdgeId> = g.neighbors(NodeId(1)).map(|(_, e)| e).collect();
+    (0..events)
+        .map(|i| {
+            let lat = if (i / CHANGE_PERIOD).is_multiple_of(2) {
+                10.0
+            } else {
+                12.0
+            };
+            Lsa {
+                origin: NodeId(1),
+                seq: (i + 1) as u64,
+                links: incident
+                    .iter()
+                    .map(|&edge| LinkAdvert {
+                        edge,
+                        up: true,
+                        latency_ms: lat,
+                        loss: 0.0,
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+/// Pre-PR handling: every accepted LSA rebuilds the local topology view
+/// and drops every routing cache, whether or not anything changed.
+fn measure_legacy(g: &Graph, stream: &[Lsa]) -> f64 {
+    let mut mon = monitor_for(g);
+    let mut fwd = Forwarding::new(NodeId(0), g.clone());
+    let probe = NodeId(g.node_count() / 2);
+    let start = Instant::now();
+    for lsa in stream {
+        let mut out = Vec::new();
+        mon.on_lsa(lsa.clone(), None, &mut out);
+        fwd.set_graph(mon.current_graph());
+        std::hint::black_box(fwd.unicast_next_hop(probe));
+    }
+    start.elapsed().as_secs_f64() / stream.len() as f64 * 1e9
+}
+
+/// Post-PR handling: install the version-keyed shared snapshot only when
+/// the monitor signals a real change; lookups hit the dense table.
+fn measure_snapshot(g: &Graph, stream: &[Lsa]) -> f64 {
+    let mut mon = monitor_for(g);
+    let mut fwd = Forwarding::new(NodeId(0), g.clone());
+    let probe = NodeId(g.node_count() / 2);
+    let start = Instant::now();
+    for lsa in stream {
+        let mut out = Vec::new();
+        mon.on_lsa(lsa.clone(), None, &mut out);
+        if out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)) {
+            fwd.install(mon.snapshot(), mon.version());
+        }
+        std::hint::black_box(fwd.unicast_next_hop(probe));
+    }
+    start.elapsed().as_secs_f64() / stream.len() as f64 * 1e9
+}
+
+struct RecomputeResult {
+    nodes: usize,
+    legacy_ns: f64,
+    snapshot_ns: f64,
+}
+
+impl RecomputeResult {
+    fn speedup(&self) -> f64 {
+        self.legacy_ns / self.snapshot_ns.max(1e-9)
+    }
+}
+
+fn route_recompute(events: usize) -> Vec<RecomputeResult> {
+    [(16usize, 4usize), (64, 8), (256, 0)]
+        .into_iter()
+        .map(|(n, chord_every)| {
+            let g = ring_with_chords(n, 10.0, chord_every);
+            let stream = lsa_stream(&g, events);
+            // Warm both paths once (page in code, size caches) off-clock.
+            measure_legacy(&g, &stream[..events.min(20)]);
+            measure_snapshot(&g, &stream[..events.min(20)]);
+            RecomputeResult {
+                nodes: n,
+                legacy_ns: measure_legacy(&g, &stream),
+                snapshot_ns: measure_snapshot(&g, &stream),
+            }
+        })
+        .collect()
+}
+
+struct ThroughputResult {
+    sim_seconds: f64,
+    wall_seconds: f64,
+    forwarded: u64,
+    delivered: u64,
+    reroutes: u64,
+}
+
+impl ThroughputResult {
+    fn pkts_per_wall_s(&self) -> f64 {
+        self.forwarded as f64 / self.wall_seconds.max(1e-9)
+    }
+}
+
+/// Multi-flow CBR over the 12-city overlay with a link flapping every two
+/// seconds: the forwarding fast path under the exact conditions (churn +
+/// traffic) the paper's sub-second-rerouting claim assumes.
+fn throughput_under_churn(smoke: bool) -> (ThroughputResult, son_obs::Registry) {
+    let sc = continental_us(DEFAULT_CONVERGENCE);
+    let (topo, cities) = continental_overlay(&sc);
+    let mut sim: Simulation<Wire> = Simulation::new(7);
+    sim.set_underlay(sc.underlay);
+    let overlay = OverlayBuilder::new(topo.clone())
+        .place_in_cities(cities)
+        .build(&mut sim);
+
+    let run_for = if smoke {
+        SimTime::from_secs(3)
+    } else {
+        SimTime::from_secs(20)
+    };
+    let flows: &[(usize, usize)] = if smoke {
+        &[(0, 6), (1, 7), (2, 8)]
+    } else {
+        &[
+            (0, 6),
+            (1, 7),
+            (2, 8),
+            (3, 9),
+            (4, 10),
+            (5, 11),
+            (6, 0),
+            (7, 1),
+        ]
+    };
+    let mut rxs = Vec::new();
+    for (k, &(a, b)) in flows.iter().enumerate() {
+        let rx = sim.add_process(ClientProcess::new(ClientConfig {
+            daemon: overlay.daemon(NodeId(b)),
+            port: RX_PORT + k as u16,
+            joins: vec![],
+            flows: vec![],
+        }));
+        rxs.push(rx);
+        sim.add_process(ClientProcess::new(ClientConfig {
+            daemon: overlay.daemon(NodeId(a)),
+            port: TX_PORT + k as u16,
+            joins: vec![],
+            flows: vec![ClientFlow {
+                local_flow: 1,
+                dst: Destination::Unicast(OverlayAddr::new(NodeId(b), RX_PORT + k as u16)),
+                spec: FlowSpec::best_effort(),
+                workload: Workload::Cbr {
+                    size: 1000,
+                    interval: SimDuration::from_millis(2),
+                    count: u64::MAX,
+                    start: SimTime::from_millis(500),
+                },
+            }],
+        }));
+    }
+    // Churn: flap one overlay link per two-second window (down one second,
+    // back up the next), cycling over the topology's edges.
+    let edges: Vec<EdgeId> = topo.edges().collect();
+    let mut window = 0u64;
+    loop {
+        let down_at = SimTime::from_secs(1) + SimDuration::from_secs(2 * window);
+        if down_at >= run_for {
+            break;
+        }
+        let victim = edges[window as usize % edges.len()];
+        for &(ab, ba) in &overlay.edge_pipes[&victim] {
+            sim.schedule(down_at, ScenarioEvent::DisablePipe(ab));
+            sim.schedule(down_at, ScenarioEvent::DisablePipe(ba));
+            sim.schedule(
+                down_at + SimDuration::from_secs(1),
+                ScenarioEvent::EnablePipe(ab),
+            );
+            sim.schedule(
+                down_at + SimDuration::from_secs(1),
+                ScenarioEvent::EnablePipe(ba),
+            );
+        }
+        window += 1;
+    }
+
+    let wall = Instant::now();
+    sim.run_until(run_for);
+    let wall_seconds = wall.elapsed().as_secs_f64();
+
+    let mut forwarded = 0;
+    let mut reroutes = 0;
+    for &d in &overlay.daemons {
+        let m = sim.proc_ref::<OverlayNode>(d).unwrap().metrics();
+        forwarded += m.forwarded;
+        reroutes += m.counters.get("reroutes");
+    }
+    let delivered = rxs
+        .iter()
+        .map(|&rx| {
+            sim.proc_ref::<ClientProcess>(rx)
+                .unwrap()
+                .sole_recv()
+                .received
+        })
+        .sum();
+    (
+        ThroughputResult {
+            sim_seconds: run_for.as_secs_f64(),
+            wall_seconds,
+            forwarded,
+            delivered,
+            reroutes,
+        },
+        gather_registry(&sim, &overlay),
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "EP (data-plane fast path)",
+        "no-op LSAs cost a version compare; real changes rebuild once; forwarding stays hot under churn",
+    );
+
+    let bench_path =
+        std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_forwarding.json".to_owned());
+    let mut bench = JsonlSink::create(&bench_path).ok();
+    if bench.is_none() {
+        eprintln!("bench: cannot write {bench_path}; results print only");
+    }
+
+    // ---- 1: route recomputation, legacy vs snapshot. ---------------------
+    let events = if smoke { 200 } else { 2000 };
+    println!("route recomputation, {events} LSA events, 1 in {CHANGE_PERIOD} a real change:");
+    table_header(&[
+        ("nodes", 6),
+        ("legacy ns/event", 16),
+        ("snapshot ns/event", 18),
+        ("speedup", 8),
+    ]);
+    let results = route_recompute(events);
+    for r in &results {
+        row(&[
+            (r.nodes.to_string(), 6),
+            (f(r.legacy_ns, 0), 16),
+            (f(r.snapshot_ns, 0), 18),
+            (f(r.speedup(), 1) + "x", 8),
+        ]);
+        if let Some(sink) = &mut bench {
+            let _ = sink.write(&Json::obj(vec![
+                ("bench", Json::str("route_recompute")),
+                ("nodes", Json::U64(r.nodes as u64)),
+                ("lsa_events", Json::U64(events as u64)),
+                ("change_period", Json::U64(CHANGE_PERIOD as u64)),
+                ("legacy_ns_per_event", Json::F64(r.legacy_ns)),
+                ("snapshot_ns_per_event", Json::F64(r.snapshot_ns)),
+                ("speedup", Json::F64(r.speedup())),
+            ]));
+        }
+    }
+    let at64 = results.iter().find(|r| r.nodes == 64).expect("64-node row");
+    println!(
+        "\n64-node speedup: {:.1}x (acceptance bar: >= 2x)",
+        at64.speedup()
+    );
+    if !smoke {
+        assert!(
+            at64.speedup() >= 2.0,
+            "snapshot path must be >= 2x the full-invalidation path at 64 nodes"
+        );
+    }
+
+    // ---- 2: forwarding throughput under churn. ---------------------------
+    println!("\nforwarding under churn (12-city overlay, CBR flows, links flapping):");
+    let (t, registry) = throughput_under_churn(smoke);
+    table_header(&[
+        ("sim s", 8),
+        ("wall s", 8),
+        ("forwarded", 12),
+        ("delivered", 12),
+        ("reroutes", 10),
+        ("sim pkts/wall s", 16),
+    ]);
+    row(&[
+        (f(t.sim_seconds, 1), 8),
+        (f(t.wall_seconds, 2), 8),
+        (t.forwarded.to_string(), 12),
+        (t.delivered.to_string(), 12),
+        (t.reroutes.to_string(), 10),
+        (f(t.pkts_per_wall_s(), 0), 16),
+    ]);
+    if let Some(sink) = &mut bench {
+        let _ = sink.write(&Json::obj(vec![
+            ("bench", Json::str("exp_throughput")),
+            ("mode", Json::str(if smoke { "smoke" } else { "full" })),
+            ("sim_seconds", Json::F64(t.sim_seconds)),
+            ("wall_seconds", Json::F64(t.wall_seconds)),
+            ("forwarded", Json::U64(t.forwarded)),
+            ("delivered", Json::U64(t.delivered)),
+            ("reroutes", Json::U64(t.reroutes)),
+            ("sim_pkts_per_wall_s", Json::F64(t.pkts_per_wall_s())),
+        ]));
+    }
+    if let Some(sink) = bench {
+        let rows = sink.rows();
+        match sink.finish() {
+            Ok(path) => println!("\nbench: wrote {rows} rows to {}", path.display()),
+            Err(e) => eprintln!("bench: export failed ({e})"),
+        }
+    }
+
+    // Registry rows (per-node counters, pipe stats) go to the obs dir like
+    // every other experiment.
+    if let Some(mut sink) = obs_sink("exp_throughput") {
+        let _ = export_registry(&mut sink, "churn_throughput", &registry);
+        finish_export(sink);
+    }
+}

@@ -257,6 +257,27 @@ pub fn wire_stats(
     (wire, dedup, forwarded)
 }
 
+/// A ring of `n` nodes (`hop_ms` per link) plus a long chord every
+/// `chord_every` positions on the first half of the ring (`0` = plain
+/// ring). Scales the route-recompute benchmarks from 16 to 256 nodes while
+/// staying within the 256-edge source-route mask: at 256 nodes the ring
+/// alone uses every mask bit, so it carries no chords.
+#[must_use]
+pub fn ring_with_chords(n: usize, hop_ms: f64, chord_every: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        g.add_edge(NodeId(i), NodeId((i + 1) % n), hop_ms);
+    }
+    if chord_every > 0 {
+        let mut i = 0;
+        while i < n / 2 && g.edge_count() < son_topo::graph::MAX_EDGES {
+            g.add_edge(NodeId(i), NodeId(i + n / 2), hop_ms * 1.5);
+            i += chord_every;
+        }
+    }
+    g
+}
+
 /// Prints an experiment header.
 pub fn banner(id: &str, claim: &str) {
     println!("\n=== {id} ===");

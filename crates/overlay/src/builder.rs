@@ -409,7 +409,7 @@ mod tests {
         let sc = son_netsim::scenario::continental_us(SimDuration::from_secs(40));
         let (topo, cities) = continental_overlay(&sc);
         let mut sim = Simulation::new(1);
-        sim.set_underlay(sc.underlay.clone());
+        sim.set_underlay(sc.underlay);
         let handle = OverlayBuilder::new(topo.clone())
             .place_in_cities(cities)
             .build(&mut sim);

@@ -247,13 +247,15 @@ mod tests {
         assert_eq!(reps[0].0, 1);
         assert_eq!(reps[1].0, 5);
         assert_eq!(reps[0].1.len(), 4);
-        // Repair wire size is one max-size packet + header.
+        // Repair wire size is one max-size packet plus the k covered
+        // headers (payloads are stripped; only their descriptions ride).
         let ctl = LinkCtl::FecRepair {
             block_start: 1,
             index: 0,
             covered: reps[0].1.clone(),
         };
-        assert_eq!(ctl.wire_size(), 16 + 48 + 100);
+        assert_eq!(ctl.wire_size(), 16 + (48 + 100) + 48 * 4);
+        assert!(reps[0].1.iter().all(|p| p.payload.is_empty()));
     }
 
     #[test]

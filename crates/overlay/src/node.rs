@@ -17,7 +17,7 @@ use son_netsim::time::SimDuration;
 use son_obs::{DropClass, SpanStage};
 use son_topo::{EdgeId, Graph, NodeId};
 
-use crate::addr::{Destination, FlowKey, VirtualPort};
+use crate::addr::{Destination, FlowKey, GroupId, VirtualPort};
 use crate::adversary::{Behavior, Verdict};
 use crate::auth::KeyRegistry;
 use crate::dedup::DedupTable;
@@ -138,6 +138,11 @@ pub struct OverlayNode {
     obs: NodeObs,
     /// Source-route stamps cached per flow, keyed by connectivity version.
     mask_cache: HashMap<FlowKey, (u64, son_topo::EdgeMask)>,
+    /// Group member sets cached per group, keyed by the group-state version
+    /// (so the multicast fast path does not rebuild the `Vec` per packet).
+    member_cache: HashMap<GroupId, (u64, Vec<NodeId>)>,
+    /// Reusable out-edge buffer for the per-packet forwarding decision.
+    out_buf: Vec<EdgeId>,
     /// Upstream link of each IT-Reliable flow (for credit grants).
     it_upstream: HashMap<FlowKey, usize>,
     /// Packets held by a Delay adversary, keyed by timer token payload.
@@ -170,6 +175,8 @@ impl OverlayNode {
             behavior: Behavior::Correct,
             obs: NodeObs::new(me, config.obs_detail),
             mask_cache: HashMap::new(),
+            member_cache: HashMap::new(),
+            out_buf: Vec::new(),
             it_upstream: HashMap::new(),
             delayed: HashMap::new(),
             next_delay_token: 0,
@@ -518,7 +525,11 @@ impl OverlayNode {
                     self.obs.named("provider_switches");
                 }
                 ConnAction::TopologyChanged => {
-                    self.forwarding.set_graph(self.conn.current_graph());
+                    // The monitor only emits this on a real change, so the
+                    // version moved: install the shared snapshot (no graph
+                    // clone) and drop the version-scoped stamp cache.
+                    let snap = self.conn.snapshot();
+                    self.forwarding.install(snap, self.conn.version());
                     self.mask_cache.clear();
                     self.obs.named("reroutes");
                 }
@@ -567,32 +578,38 @@ impl OverlayNode {
         }
     }
 
-    /// The next-hop out-edges for forwarding a packet from this node.
-    fn out_edges(&mut self, pkt: &DataPacket, in_edge: Option<EdgeId>) -> Vec<EdgeId> {
+    /// Computes the next-hop out-edges for forwarding a packet from this
+    /// node into a caller-owned buffer (cleared first). Every consulted
+    /// source — the dense next-hop table, the multicast cache, the member
+    /// cache — is version-keyed, so a warm call allocates nothing.
+    fn out_edges_into(&mut self, pkt: &DataPacket, in_edge: Option<EdgeId>, out: &mut Vec<EdgeId>) {
+        out.clear();
         if let Some(mask) = &pkt.mask {
-            return self.forwarding.mask_out_edges(mask, in_edge);
+            self.forwarding.mask_out_edges_into(mask, in_edge, out);
+            return;
         }
         match pkt.flow.dst() {
             Destination::Unicast(addr) => {
-                if addr.node == self.me {
-                    Vec::new()
-                } else {
-                    self.forwarding
-                        .unicast_next_hop(addr.node)
-                        .into_iter()
-                        .collect()
+                if addr.node != self.me {
+                    out.extend(self.forwarding.unicast_next_hop(addr.node));
                 }
             }
             Destination::Multicast(group) => {
-                let members = self.groups.members_of(group);
-                self.forwarding.multicast_out_edges(pkt.origin, &members)
-            }
-            Destination::Anycast(_) => match pkt.resolved_dst {
-                Some(dst) if dst != self.me => {
-                    self.forwarding.unicast_next_hop(dst).into_iter().collect()
+                let gv = self.groups.version();
+                if self.member_cache.get(&group).is_none_or(|&(v, _)| v != gv) {
+                    let members = self.groups.members_of(group);
+                    self.member_cache.insert(group, (gv, members));
                 }
-                _ => Vec::new(),
-            },
+                let members = &self.member_cache[&group].1;
+                out.extend_from_slice(self.forwarding.multicast_out_edges(pkt.origin, members));
+            }
+            Destination::Anycast(_) => {
+                if let Some(dst) = pkt.resolved_dst {
+                    if dst != self.me {
+                        out.extend(self.forwarding.unicast_next_hop(dst));
+                    }
+                }
+            }
         }
     }
 
@@ -652,16 +669,22 @@ impl OverlayNode {
                 .deliver(ctx.now(), pkt.clone(), &targets, &mut sa);
             self.apply_session_actions(ctx, sa);
         }
+        // The forwarding decision, made once for both the IT-Reliable
+        // credit check and the onward transmission (the buffer is node
+        // state, reused across packets).
+        let mut outs = std::mem::take(&mut self.out_buf);
+        self.out_edges_into(&pkt, in_edge, &mut outs);
         // IT-Reliable credit accounting: a packet that terminates here (no
         // onward hop) is consumed the moment it arrives, so the neighbor
         // that sent this copy gets its credit back immediately.
         if let Some(link) = in_link {
-            if is_it_reliable && self.out_edges(&pkt, in_edge).is_empty() {
+            if is_it_reliable && outs.is_empty() {
                 self.grant_consumed(ctx, link, pkt.flow);
             }
         }
         // Onward forwarding.
-        self.forward_onward(ctx, pkt, in_edge);
+        self.forward_onward(ctx, pkt, in_edge, &outs);
+        self.out_buf = outs;
     }
 
     fn forward_onward(
@@ -669,8 +692,8 @@ impl OverlayNode {
         ctx: &mut Ctx<'_, Wire>,
         mut pkt: DataPacket,
         in_edge: Option<EdgeId>,
+        outs: &[EdgeId],
     ) {
-        let outs = self.out_edges(&pkt, in_edge);
         if outs.is_empty() {
             // A unicast/anycast packet that has not reached its destination
             // and has no usable next hop is an unroutable drop (e.g. the
@@ -722,7 +745,7 @@ impl OverlayNode {
                 }
                 Verdict::Duplicate(copies) => {
                     for _ in 1..copies {
-                        self.transmit_out(ctx, pkt.clone(), &outs);
+                        self.transmit_out(ctx, pkt.clone(), outs);
                     }
                 }
                 Verdict::Misroute => {
@@ -746,7 +769,7 @@ impl OverlayNode {
                 }
             }
         }
-        self.transmit_out(ctx, pkt, &outs);
+        self.transmit_out(ctx, pkt, outs);
     }
 
     fn transmit_out(&mut self, ctx: &mut Ctx<'_, Wire>, pkt: DataPacket, outs: &[EdgeId]) {
@@ -956,7 +979,10 @@ impl OverlayNode {
             auth_tag,
         };
         self.obs.adversary_injected();
-        self.forward_onward(ctx, pkt, None);
+        let mut outs = std::mem::take(&mut self.out_buf);
+        self.out_edges_into(&pkt, None, &mut outs);
+        self.forward_onward(ctx, pkt, None, &outs);
+        self.out_buf = outs;
         let delay = SimDuration::from_secs_f64(1.0 / rate_pps.max(1) as f64);
         ctx.set_timer(delay, TOK_FLOOD);
     }
@@ -1080,8 +1106,10 @@ impl Process<Wire> for OverlayNode {
                 let t = (token & 0xffff_ffff) as u32;
                 if let Some((pkt, in_edge)) = self.delayed.remove(&t) {
                     // Behaviour already charged its delay; forward now.
-                    let outs = self.out_edges(&pkt, in_edge);
+                    let mut outs = std::mem::take(&mut self.out_buf);
+                    self.out_edges_into(&pkt, in_edge, &mut outs);
                     self.transmit_out(ctx, pkt, &outs);
+                    self.out_buf = outs;
                 }
             }
             _ => {}

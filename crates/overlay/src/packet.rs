@@ -103,7 +103,10 @@ pub enum LinkCtl {
     },
     /// A FEC repair packet covering one block of data packets. Carries the
     /// headers of the covered packets (what a Reed–Solomon decode would
-    /// reconstruct); its wire size is charged as one full-size packet.
+    /// reconstruct); its wire size is charged as one full-size packet plus
+    /// the covered headers. Covered packets must have their payloads
+    /// stripped at construction (the repair symbol encodes them, it does
+    /// not carry them).
     FecRepair {
         /// First link sequence number of the covered block.
         block_start: u64,
@@ -123,9 +126,16 @@ impl LinkCtl {
             LinkCtl::ReliableNack { missing } => 16 + 8 * missing.len(),
             LinkCtl::RtRequest { seqs, .. } => 17 + 8 * seqs.len(),
             LinkCtl::Credit { .. } => 32,
-            // A repair symbol is as large as the largest covered packet.
+            // A repair symbol is as large as the largest covered packet,
+            // plus one header per covered packet so the decoder knows what
+            // it is reconstructing.
             LinkCtl::FecRepair { covered, .. } => {
+                debug_assert!(
+                    covered.iter().all(|p| p.payload.is_empty()),
+                    "FecRepair covered packets must be payload-stripped"
+                );
                 16 + covered.iter().map(DataPacket::wire_size).max().unwrap_or(0)
+                    + DATA_HEADER_BYTES * covered.len()
             }
         }
     }

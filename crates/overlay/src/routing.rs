@@ -8,12 +8,19 @@
 //! State component)."
 //!
 //! [`Forwarding`] is a pure decision engine over the current shared topology
-//! view; the node daemon consults it per packet. All computations are cached
-//! and invalidated by the connectivity/group state version counters.
+//! view; the node daemon consults it per packet. The view is an immutable
+//! [`TopoSnapshot`] shared by `Arc` with the connectivity monitor, tagged
+//! with the connectivity version: [`Forwarding::install`] with an unchanged
+//! version is a no-op (nothing recomputed, nothing invalidated), while a
+//! real change rebuilds the dense per-destination next-hop table in a single
+//! SPT pass and drops the version-scoped caches. Per-packet lookups are
+//! O(1) table reads and the multicast path returns a borrowed slice — no
+//! allocation on the data plane.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use son_topo::dijkstra::ShortestPaths;
+use son_topo::csr::{Spt, SptScratch, TopoSnapshot};
 use son_topo::{
     constrained_flooding, k_node_disjoint_paths, overlapping_paths_mask,
     robust_dissemination_graph, EdgeId, EdgeMask, Graph, NodeId,
@@ -29,109 +36,178 @@ const UNUSABLE: f64 = 1e9;
 #[derive(Debug)]
 pub struct Forwarding {
     me: NodeId,
-    graph: Graph,
-    /// Shortest-path trees by root, computed on demand.
-    spt: HashMap<NodeId, ShortestPaths>,
+    snap: Arc<TopoSnapshot>,
+    /// Connectivity version the snapshot and caches correspond to.
+    version: u64,
+    /// Dense per-destination next-hop table: the usable-cost SPT rooted at
+    /// `me`, rebuilt once per topology change.
+    my_spt: Spt,
+    /// Shortest-path trees by root (multicast origins), computed on demand.
+    spt: HashMap<NodeId, Spt>,
     /// Multicast out-edge sets by (origin, member-set fingerprint).
     mcast: HashMap<(NodeId, u64), Vec<EdgeId>>,
+    /// Reusable Dijkstra working memory.
+    scratch: SptScratch,
+    /// Total SPT computations performed (observability / regression tests).
+    spt_builds: u64,
+    /// Times a new topology view was actually installed.
+    installs: u64,
 }
 
 impl Forwarding {
     /// Creates a forwarding engine for node `me` over an initial topology
-    /// view.
+    /// view (installed as version 0).
     #[must_use]
     pub fn new(me: NodeId, graph: Graph) -> Self {
-        Forwarding {
+        let mut f = Forwarding {
             me,
-            graph,
+            snap: Arc::new(TopoSnapshot::new(graph)),
+            version: 0,
+            my_spt: Spt::empty(),
             spt: HashMap::new(),
             mcast: HashMap::new(),
-        }
+            scratch: SptScratch::new(),
+            spt_builds: 0,
+            installs: 0,
+        };
+        f.rebuild_my_spt();
+        f
     }
 
-    /// Installs a fresh topology view (connectivity state changed) and
-    /// drops every cache. This is the sub-second reroute moment.
-    pub fn set_graph(&mut self, graph: Graph) {
-        self.graph = graph;
+    /// Installs the shared topology view for connectivity `version`.
+    ///
+    /// If `version` matches the installed one this is a no-op: the snapshot
+    /// is unchanged by construction, so nothing is invalidated and nothing
+    /// is recomputed. On a real change the per-destination next-hop table
+    /// is rebuilt in one SPT pass (reusing the previous table's memory) and
+    /// the version-scoped caches are dropped.
+    pub fn install(&mut self, snap: Arc<TopoSnapshot>, version: u64) {
+        if version == self.version {
+            return;
+        }
+        self.snap = snap;
+        self.version = version;
         self.spt.clear();
         self.mcast.clear();
+        self.installs += 1;
+        self.rebuild_my_spt();
+    }
+
+    /// Installs a fresh topology view built from a plain graph. Legacy
+    /// entry point (and the pre-snapshot comparison path for benchmarks):
+    /// always freezes and recomputes, like every LSA arrival used to.
+    pub fn set_graph(&mut self, graph: Graph) {
+        let next = self.version.wrapping_add(1);
+        self.install(Arc::new(TopoSnapshot::new(graph)), next);
     }
 
     /// The current topology view.
     #[must_use]
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        self.snap.graph()
+    }
+
+    /// The connectivity version of the installed view.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Total SPT computations performed since creation. A cache hit does
+    /// no graph work, so this stays flat across repeated lookups.
+    #[must_use]
+    pub fn spt_builds(&self) -> u64 {
+        self.spt_builds
+    }
+
+    /// Times a new topology view was installed (caches invalidated).
+    /// A no-op [`Forwarding::install`] leaves this unchanged.
+    #[must_use]
+    pub fn installs(&self) -> u64 {
+        self.installs
     }
 
     /// Link-state unicast: the edge to forward on from this node toward
-    /// `dst`, or `None` if `dst` is unreachable or is this node.
-    pub fn unicast_next_hop(&mut self, dst: NodeId) -> Option<EdgeId> {
-        let me = self.me;
-        if dst == me {
-            return None;
-        }
-        // Forwarding tables are per-destination: route along the SPT rooted
-        // at *this* node.
-        spt_entry(&self.graph, &mut self.spt, me)
-            .next_hop(dst)
-            .map(|(_, e)| e)
+    /// `dst`, or `None` if `dst` is unreachable or is this node. O(1): one
+    /// dense-table read.
+    #[must_use]
+    pub fn unicast_next_hop(&self, dst: NodeId) -> Option<EdgeId> {
+        self.my_spt.next_hop(dst).map(|(_, e)| e)
     }
 
     /// Link-state multicast: the edges this node forwards a packet from
     /// `origin` on, given the group's member nodes. Every node computes the
     /// same origin-rooted tree from shared state, so the union of these
-    /// local decisions is exactly the tree.
-    pub fn multicast_out_edges(&mut self, origin: NodeId, members: &[NodeId]) -> Vec<EdgeId> {
-        let fp = fingerprint(members);
-        if let Some(cached) = self.mcast.get(&(origin, fp)) {
-            return cached.clone();
-        }
-        let me = self.me;
-        let spt = spt_entry(&self.graph, &mut self.spt, origin);
-        // The edge set of the origin-rooted tree spanning the members.
-        let tree = spt.tree_mask(members);
-        // This node forwards on tree edges whose *child* side is the far
-        // endpoint (i.e. edges by which some member's path leaves `me`).
-        let mut out = Vec::new();
-        for e in tree.iter() {
-            let (a, b) = self.graph.endpoints(e);
-            let far = if a == me {
-                b
-            } else if b == me {
-                a
+    /// local decisions is exactly the tree. Returns a borrowed slice into
+    /// the version-scoped cache — a hit does no graph work and no
+    /// allocation.
+    pub fn multicast_out_edges(&mut self, origin: NodeId, members: &[NodeId]) -> &[EdgeId] {
+        let key = (origin, fingerprint(members));
+        if !self.mcast.contains_key(&key) {
+            let Forwarding {
+                me,
+                ref snap,
+                ref my_spt,
+                ref mut spt,
+                ref mut scratch,
+                ref mut spt_builds,
+                ..
+            } = *self;
+            let spt = if origin == me {
+                my_spt
             } else {
-                continue;
+                spt_entry(snap, spt, scratch, spt_builds, origin)
             };
-            // `e` is downstream of me iff far's tree parent is me via e.
-            if spt.parent(far) == Some((me, e)) {
-                out.push(e);
+            // The edge set of the origin-rooted tree spanning the members.
+            let tree = spt.tree_mask(members);
+            // This node forwards on tree edges whose *child* side is the far
+            // endpoint (i.e. edges by which some member's path leaves `me`).
+            let mut out = Vec::new();
+            for e in tree.iter() {
+                let (a, b) = snap.endpoints(e);
+                let far = if a == me {
+                    b
+                } else if b == me {
+                    a
+                } else {
+                    continue;
+                };
+                // `e` is downstream of me iff far's tree parent is me via e.
+                if spt.parent(far) == Some((me, e)) {
+                    out.push(e);
+                }
             }
+            self.mcast.insert(key, out);
         }
-        self.mcast.insert((origin, fp), out.clone());
-        out
+        self.mcast.get(&key).map_or(&[], Vec::as_slice)
     }
 
     /// Anycast: resolve the best member node from this (ingress) node.
-    pub fn anycast_resolve(&mut self, members: &[NodeId]) -> Option<NodeId> {
+    #[must_use]
+    pub fn anycast_resolve(&self, members: &[NodeId]) -> Option<NodeId> {
         let me = self.me;
         if members.contains(&me) {
             return Some(me);
         }
-        let spt = spt_entry(&self.graph, &mut self.spt, me);
         members
             .iter()
-            .filter_map(|&m| spt.dist(m).map(|d| (d, m)))
+            .filter_map(|&m| self.my_spt.dist(m).map(|d| (d, m)))
             .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)))
             .map(|(_, m)| m)
     }
 
     /// Computes the source-route stamp for a flow from this node to
     /// `dst`, per the selected scheme. Returns `None` if no route exists.
+    ///
+    /// Runs against the frozen graph inside the snapshot — no topology
+    /// clone per stamp. Down links stay in the graph at weight 1e12, so
+    /// any path using one is worse than every real alternative and the
+    /// algorithms prune them naturally.
     pub fn source_route_mask(&mut self, scheme: SourceRoute, dst: NodeId) -> Option<EdgeMask> {
-        let usable = self.usable_graph();
+        let usable = self.snap.graph();
         match scheme {
             SourceRoute::DisjointPaths(k) => {
-                let dp = k_node_disjoint_paths(&usable, self.me, dst, usize::from(k.max(1)));
+                let dp = k_node_disjoint_paths(usable, self.me, dst, usize::from(k.max(1)));
                 if dp.is_empty() {
                     None
                 } else {
@@ -139,7 +215,7 @@ impl Forwarding {
                 }
             }
             SourceRoute::OverlappingPaths(k) => {
-                let mask = overlapping_paths_mask(&usable, self.me, dst, usize::from(k.max(1)));
+                let mask = overlapping_paths_mask(usable, self.me, dst, usize::from(k.max(1)));
                 if mask.is_empty() {
                     None
                 } else {
@@ -147,14 +223,14 @@ impl Forwarding {
                 }
             }
             SourceRoute::DisseminationGraph => {
-                let mask = robust_dissemination_graph(&usable, self.me, dst);
+                let mask = robust_dissemination_graph(usable, self.me, dst);
                 if mask.is_empty() {
                     None
                 } else {
                     Some(mask)
                 }
             }
-            SourceRoute::ConstrainedFlooding => Some(constrained_flooding(&self.graph)),
+            SourceRoute::ConstrainedFlooding => Some(constrained_flooding(usable)),
             SourceRoute::Static(mask) => Some(mask),
         }
     }
@@ -164,51 +240,66 @@ impl Forwarding {
     /// this floods the packet over exactly the stamped subgraph.
     #[must_use]
     pub fn mask_out_edges(&self, mask: &EdgeMask, arrived_on: Option<EdgeId>) -> Vec<EdgeId> {
-        self.graph
-            .neighbors(self.me)
-            .filter(|&(_, e)| mask.contains(e) && Some(e) != arrived_on)
-            .map(|(_, e)| e)
-            .collect()
+        let mut out = Vec::new();
+        self.mask_out_edges_into(mask, arrived_on, &mut out);
+        out
     }
 
-    /// A copy of the current view with down links removed entirely, for
-    /// algorithms that must not route over them.
-    fn usable_graph(&self) -> Graph {
-        // Rebuild, skipping unusable edges. Edge ids change, so translate
-        // the resulting masks back via endpoint lookup.
-        // Simpler: keep ids by cloning and leaving weights; the disjoint-path
-        // and dissemination algorithms treat huge weights as usable-but-bad,
-        // so instead build a filtered graph preserving edge ids is required.
-        // Graph does not support edge removal by design (ids are bitmask
-        // positions), so we pass the full graph but rely on weights: a down
-        // link costs 1e12, and any path using one is worse than every real
-        // alternative; prune those paths after the fact.
-        self.graph.clone()
+    /// Like [`Forwarding::mask_out_edges`], but appends into a caller-owned
+    /// buffer so the per-packet path allocates nothing once warm.
+    pub fn mask_out_edges_into(
+        &self,
+        mask: &EdgeMask,
+        arrived_on: Option<EdgeId>,
+        out: &mut Vec<EdgeId>,
+    ) {
+        out.extend(
+            self.snap
+                .neighbors(self.me)
+                .filter(|&(_, e)| mask.contains(e) && Some(e) != arrived_on)
+                .map(|(_, e)| e),
+        );
+    }
+
+    /// Rebuilds the dense next-hop table rooted at `me`, reusing its
+    /// allocations.
+    fn rebuild_my_spt(&mut self) {
+        let Forwarding {
+            me,
+            ref snap,
+            ref mut my_spt,
+            ref mut scratch,
+            ref mut spt_builds,
+            ..
+        } = *self;
+        snap.spt_with_into(me, |e| usable_cost(snap, e), scratch, my_spt);
+        *spt_builds += 1;
     }
 }
 
-/// Cache lookup with split borrows: `graph` stays immutably borrowed while
-/// the SPT cache takes the mutable borrow.
+/// Cache lookup with split borrows: the snapshot stays immutably borrowed
+/// while the SPT cache takes the mutable borrow.
 fn spt_entry<'a>(
-    graph: &Graph,
-    cache: &'a mut HashMap<NodeId, ShortestPaths>,
+    snap: &TopoSnapshot,
+    cache: &'a mut HashMap<NodeId, Spt>,
+    scratch: &mut SptScratch,
+    builds: &mut u64,
     root: NodeId,
-) -> &'a ShortestPaths {
-    cache
-        .entry(root)
-        .or_insert_with(|| dijkstra_usable(graph, root))
+) -> &'a Spt {
+    cache.entry(root).or_insert_with(|| {
+        *builds += 1;
+        snap.spt_with(root, |e| usable_cost(snap, e), scratch)
+    })
 }
 
-/// Dijkstra that refuses to traverse unusable (down) edges.
-fn dijkstra_usable(graph: &Graph, root: NodeId) -> ShortestPaths {
-    son_topo::dijkstra_with(graph, root, |e| {
-        let w = graph.weight(e);
-        if w >= UNUSABLE {
-            f64::INFINITY
-        } else {
-            w
-        }
-    })
+/// Edge cost that refuses to traverse unusable (down) edges.
+fn usable_cost(snap: &TopoSnapshot, e: EdgeId) -> f64 {
+    let w = snap.weight(e);
+    if w >= UNUSABLE {
+        f64::INFINITY
+    } else {
+        w
+    }
 }
 
 fn fingerprint(members: &[NodeId]) -> u64 {
@@ -237,7 +328,7 @@ mod tests {
 
     #[test]
     fn unicast_follows_shortest_path() {
-        let mut f = Forwarding::new(NodeId(0), square());
+        let f = Forwarding::new(NodeId(0), square());
         assert_eq!(f.unicast_next_hop(NodeId(3)), Some(EdgeId(0)));
         assert_eq!(f.unicast_next_hop(NodeId(0)), None, "no hop to self");
     }
@@ -257,7 +348,7 @@ mod tests {
     fn down_edge_is_never_used_even_if_only_route() {
         let mut g = Graph::new(2);
         g.add_edge(NodeId(0), NodeId(1), 1e12);
-        let mut f = Forwarding::new(NodeId(0), g);
+        let f = Forwarding::new(NodeId(0), g);
         assert_eq!(f.unicast_next_hop(NodeId(1)), None);
     }
 
@@ -266,11 +357,11 @@ mod tests {
         // Members at 1 and 3; origin 0. Tree: e0 (0->1), e1 (1->3).
         let mut f0 = Forwarding::new(NodeId(0), square());
         let out0 = f0.multicast_out_edges(NodeId(0), &[NodeId(1), NodeId(3)]);
-        assert_eq!(out0, vec![EdgeId(0)], "origin forwards only into the tree");
+        assert_eq!(out0, [EdgeId(0)], "origin forwards only into the tree");
 
         let mut f1 = Forwarding::new(NodeId(1), square());
         let out1 = f1.multicast_out_edges(NodeId(0), &[NodeId(1), NodeId(3)]);
-        assert_eq!(out1, vec![EdgeId(1)], "interior node forwards downstream");
+        assert_eq!(out1, [EdgeId(1)], "interior node forwards downstream");
 
         let mut f3 = Forwarding::new(NodeId(3), square());
         let out3 = f3.multicast_out_edges(NodeId(0), &[NodeId(1), NodeId(3)]);
@@ -284,18 +375,45 @@ mod tests {
     #[test]
     fn multicast_cache_invalidated_on_graph_change() {
         let mut f = Forwarding::new(NodeId(0), square());
-        let before = f.multicast_out_edges(NodeId(0), &[NodeId(3)]);
+        let before = f.multicast_out_edges(NodeId(0), &[NodeId(3)]).to_vec();
         assert_eq!(before, vec![EdgeId(0)]);
         let mut g = square();
         g.set_weight(EdgeId(0), 1e12);
         f.set_graph(g);
         let after = f.multicast_out_edges(NodeId(0), &[NodeId(3)]);
-        assert_eq!(after, vec![EdgeId(2)]);
+        assert_eq!(after, [EdgeId(2)]);
+    }
+
+    #[test]
+    fn multicast_cache_hit_does_no_graph_work() {
+        // From a non-origin node so the origin SPT is demand-built once.
+        let mut f = Forwarding::new(NodeId(1), square());
+        let members = [NodeId(1), NodeId(3)];
+        let first = f.multicast_out_edges(NodeId(0), &members).to_vec();
+        let builds = f.spt_builds();
+        for _ in 0..100 {
+            let again = f.multicast_out_edges(NodeId(0), &members);
+            assert_eq!(again, first.as_slice());
+        }
+        assert_eq!(f.spt_builds(), builds, "cache hits must not recompute");
+    }
+
+    #[test]
+    fn install_same_version_is_noop() {
+        let mut f = Forwarding::new(NodeId(0), square());
+        let _ = f.multicast_out_edges(NodeId(0), &[NodeId(3)]);
+        let builds = f.spt_builds();
+        let installs = f.installs();
+        // Re-install the same version (a no-op LSA refresh downstream).
+        let snap = Arc::new(square().freeze());
+        f.install(snap, f.version());
+        assert_eq!(f.spt_builds(), builds, "no recompute on unchanged version");
+        assert_eq!(f.installs(), installs, "no invalidation either");
     }
 
     #[test]
     fn anycast_prefers_self_then_nearest() {
-        let mut f = Forwarding::new(NodeId(0), square());
+        let f = Forwarding::new(NodeId(0), square());
         assert_eq!(f.anycast_resolve(&[NodeId(0), NodeId(3)]), Some(NodeId(0)));
         // dist(2) = 2 via e2 and dist(3) = 2 via 0-1-3: tie breaks to the
         // lower node id.
@@ -347,12 +465,21 @@ mod tests {
     }
 
     #[test]
+    fn mask_out_edges_into_appends_without_clearing() {
+        let f = Forwarding::new(NodeId(1), square());
+        let mask = EdgeMask::from_edges([EdgeId(0), EdgeId(1)]);
+        let mut buf = Vec::with_capacity(4);
+        f.mask_out_edges_into(&mask, Some(EdgeId(0)), &mut buf);
+        assert_eq!(buf, vec![EdgeId(1)]);
+    }
+
+    #[test]
     fn anycast_tie_break_is_lowest_id() {
         // 1 and 2 both at distance 1 from 0.
         let mut g = Graph::new(3);
         g.add_edge(NodeId(0), NodeId(1), 1.0);
         g.add_edge(NodeId(0), NodeId(2), 1.0);
-        let mut f = Forwarding::new(NodeId(0), g);
+        let f = Forwarding::new(NodeId(0), g);
         assert_eq!(f.anycast_resolve(&[NodeId(2), NodeId(1)]), Some(NodeId(1)));
     }
 }

@@ -14,9 +14,10 @@
 //! been exhausted.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use son_netsim::time::{SimDuration, SimTime};
-use son_topo::{EdgeId, Graph, NodeId};
+use son_topo::{EdgeId, Graph, NodeId, TopoSnapshot};
 
 use crate::packet::{Control, LinkAdvert, Lsa};
 
@@ -111,6 +112,11 @@ pub struct ConnectivityMonitor {
     /// The configured (static) overlay topology; LSAs overlay liveness and
     /// quality on top of it.
     topology: Graph,
+    /// The frozen shared view for [`ConnectivityMonitor::version`], built
+    /// lazily and reused until the version moves.
+    snapshot: Option<(u64, Arc<TopoSnapshot>)>,
+    /// Times the shared view was actually (re)built from the LSDB.
+    graph_builds: u64,
 }
 
 impl ConnectivityMonitor {
@@ -150,6 +156,8 @@ impl ConnectivityMonitor {
             last_refresh: SimTime::ZERO,
             version: 1,
             topology,
+            snapshot: None,
+            graph_builds: 0,
         };
         let own = mon.build_own_lsa();
         mon.lsdb.insert(me, own);
@@ -160,6 +168,34 @@ impl ConnectivityMonitor {
     #[must_use]
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The frozen shared topology view for the current version.
+    ///
+    /// Built from the LSDB at most once per version and shared by `Arc`:
+    /// repeated calls (and every consumer on this node) get the same
+    /// snapshot for free until the next real topology change. This is the
+    /// replacement for cloning [`ConnectivityMonitor::current_graph`] into
+    /// every consumer on every LSA.
+    #[must_use]
+    pub fn snapshot(&mut self) -> Arc<TopoSnapshot> {
+        if let Some((v, ref snap)) = self.snapshot {
+            if v == self.version {
+                return Arc::clone(snap);
+            }
+        }
+        self.graph_builds += 1;
+        let snap = Arc::new(TopoSnapshot::new(self.current_graph()));
+        self.snapshot = Some((self.version, Arc::clone(&snap)));
+        snap
+    }
+
+    /// Times the shared view was actually rebuilt from the LSDB; flat
+    /// across no-op LSAs and repeated [`ConnectivityMonitor::snapshot`]
+    /// calls at the same version.
+    #[must_use]
+    pub fn graph_builds(&self) -> u64 {
+        self.graph_builds
     }
 
     /// Whether a local link is currently considered up.
@@ -299,16 +335,26 @@ impl ConnectivityMonitor {
         }
     }
 
-    /// Force-originates a fresh LSA (used at startup and on link flaps).
+    /// Originates a fresh own LSA (used at startup, on link flaps, and on
+    /// the periodic refresh). The LSA is always flooded (peers may have
+    /// missed the last one), but the shared-view version only moves when
+    /// the advertised link state actually changed — a no-op refresh must
+    /// not trigger fleet-wide route recomputation.
     pub fn originate(&mut self, arrived_on: Option<usize>, out: &mut Vec<ConnAction>) {
         let lsa = self.build_own_lsa();
+        let changed = self
+            .lsdb
+            .get(&self.me)
+            .is_none_or(|prev| prev.links != lsa.links);
         self.lsdb.insert(self.me, lsa.clone());
-        self.version += 1;
         out.push(ConnAction::Flood {
             except: arrived_on,
             msg: Control::Lsa(lsa),
         });
-        out.push(ConnAction::TopologyChanged);
+        if changed {
+            self.version += 1;
+            out.push(ConnAction::TopologyChanged);
+        }
     }
 
     fn build_own_lsa(&mut self) -> Lsa {

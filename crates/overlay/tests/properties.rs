@@ -316,3 +316,176 @@ proptest! {
         }
     }
 }
+
+// --- routing / connectivity invariants (incremental recomputation) -------
+
+mod routing_props {
+    use std::sync::Arc;
+
+    use proptest::prelude::*;
+    use son_overlay::packet::{LinkAdvert, Lsa};
+    use son_overlay::routing::Forwarding;
+    use son_overlay::state::connectivity::{ConnAction, ConnectivityConfig, ConnectivityMonitor};
+    use son_topo::{EdgeId, Graph, NodeId};
+
+    /// Square 0-1-2-3 plus a pendant node 4 hanging off node 2: updates to
+    /// the pendant edge e4 never move routes among 0..=3.
+    fn topo5() -> Graph {
+        let mut g = Graph::new(5);
+        g.add_edge(NodeId(0), NodeId(1), 10.0); // e0
+        g.add_edge(NodeId(1), NodeId(2), 10.0); // e1
+        g.add_edge(NodeId(2), NodeId(3), 10.0); // e2
+        g.add_edge(NodeId(3), NodeId(0), 10.0); // e3
+        g.add_edge(NodeId(2), NodeId(4), 10.0); // e4 (pendant)
+        g
+    }
+
+    /// The monitor as node 0 sees it (incident links e0 and e3).
+    fn monitor0() -> ConnectivityMonitor {
+        ConnectivityMonitor::new(
+            NodeId(0),
+            topo5(),
+            vec![(EdgeId(0), 1, 10.0), (EdgeId(3), 1, 10.0)],
+            ConnectivityConfig::default(),
+        )
+    }
+
+    fn lsa_from_2(seq: u64, lat: f64, loss: f64, pendant_lat: f64) -> Lsa {
+        Lsa {
+            origin: NodeId(2),
+            seq,
+            links: vec![
+                LinkAdvert {
+                    edge: EdgeId(1),
+                    up: true,
+                    latency_ms: lat,
+                    loss,
+                },
+                LinkAdvert {
+                    edge: EdgeId(2),
+                    up: true,
+                    latency_ms: lat,
+                    loss,
+                },
+                LinkAdvert {
+                    edge: EdgeId(4),
+                    up: true,
+                    latency_ms: pendant_lat,
+                    loss,
+                },
+            ],
+        }
+    }
+
+    proptest! {
+        /// A newer LSA with byte-identical link state is a no-op end to
+        /// end: no version bump, no topology-view rebuild (same `Arc`), no
+        /// forwarding invalidation, no SPT recomputation.
+        #[test]
+        fn noop_lsa_invalidates_nothing(
+            lat in 1.0f64..50.0,
+            loss in 0.0f64..0.5,
+            pendant_lat in 1.0f64..50.0,
+        ) {
+            let mut mon = monitor0();
+            let mut out = Vec::new();
+            mon.on_lsa(lsa_from_2(1, lat, loss, pendant_lat), None, &mut out);
+            let mut fwd = Forwarding::new(NodeId(0), topo5());
+            fwd.install(mon.snapshot(), mon.version());
+            let _ = fwd.multicast_out_edges(NodeId(2), &[NodeId(0), NodeId(3)]);
+
+            let version = mon.version();
+            let graph_builds = mon.graph_builds();
+            let spt_builds = fwd.spt_builds();
+            let installs = fwd.installs();
+            let snap_before = mon.snapshot();
+
+            // Same advertised state, newer sequence number (the periodic
+            // refresh every node emits).
+            let mut out = Vec::new();
+            mon.on_lsa(lsa_from_2(2, lat, loss, pendant_lat), None, &mut out);
+
+            prop_assert_eq!(mon.version(), version, "no-op LSA must not bump version");
+            prop_assert!(
+                !out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)),
+                "no reroute signal on a no-op LSA"
+            );
+            let snap_after = mon.snapshot();
+            prop_assert!(
+                Arc::ptr_eq(&snap_before, &snap_after),
+                "no graph rebuild: the cached snapshot is returned as-is"
+            );
+            prop_assert_eq!(mon.graph_builds(), graph_builds);
+
+            fwd.install(snap_after, mon.version());
+            prop_assert_eq!(fwd.installs(), installs, "no cache invalidation");
+            prop_assert_eq!(fwd.spt_builds(), spt_builds, "no SPT recomputation");
+        }
+
+        /// Re-originating our own LSA without any link change (the periodic
+        /// refresh) floods but does not bump the version.
+        #[test]
+        fn noop_refresh_originate_keeps_version(reps in 1usize..5) {
+            let mut mon = monitor0();
+            let mut out = Vec::new();
+            mon.originate(None, &mut out);
+            let version = mon.version();
+            for _ in 0..reps {
+                let mut out = Vec::new();
+                mon.originate(None, &mut out);
+                prop_assert!(
+                    out.iter().any(|a| matches!(a, ConnAction::Flood { .. })),
+                    "refresh still floods (peers may have missed the last)"
+                );
+                prop_assert!(
+                    !out.iter().any(|a| matches!(a, ConnAction::TopologyChanged))
+                );
+            }
+            prop_assert_eq!(mon.version(), version);
+        }
+
+        /// An update to an unrelated edge (the pendant e4) leaves every
+        /// answer for untouched destinations byte-identical, across the
+        /// full invalidate-and-rebuild path.
+        #[test]
+        fn unrelated_edge_update_preserves_untouched_answers(
+            lat in 1.0f64..50.0,
+            pendant_before in 1.0f64..50.0,
+            pendant_after in 1.0f64..50.0,
+        ) {
+            let mut mon = monitor0();
+            let mut out = Vec::new();
+            mon.on_lsa(lsa_from_2(1, lat, 0.0, pendant_before), None, &mut out);
+            let mut fwd = Forwarding::new(NodeId(0), topo5());
+            fwd.install(mon.snapshot(), mon.version());
+
+            let untouched = [NodeId(1), NodeId(2), NodeId(3)];
+            let hops_before: Vec<_> =
+                untouched.iter().map(|&d| fwd.unicast_next_hop(d)).collect();
+            let mcast_before = fwd
+                .multicast_out_edges(NodeId(2), &[NodeId(0), NodeId(3)])
+                .to_vec();
+            let anycast_before = fwd.anycast_resolve(&[NodeId(1), NodeId(3)]);
+
+            // Node 2 re-advertises with only the pendant edge changed.
+            let mut out = Vec::new();
+            mon.on_lsa(lsa_from_2(2, lat, 0.0, pendant_after), None, &mut out);
+            fwd.install(mon.snapshot(), mon.version());
+            if pendant_after != pendant_before {
+                prop_assert!(
+                    out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)),
+                    "a real change must still reroute"
+                );
+            }
+
+            let hops_after: Vec<_> =
+                untouched.iter().map(|&d| fwd.unicast_next_hop(d)).collect();
+            prop_assert_eq!(hops_before, hops_after);
+            prop_assert_eq!(
+                mcast_before.as_slice(),
+                fwd.multicast_out_edges(NodeId(2), &[NodeId(0), NodeId(3)])
+            );
+            prop_assert_eq!(anycast_before, fwd.anycast_resolve(&[NodeId(1), NodeId(3)]));
+        }
+    }
+}

@@ -1,0 +1,549 @@
+//! Flat CSR (compressed sparse row) snapshot of the overlay topology — the
+//! routing hot path's view of the graph.
+//!
+//! [`Graph`] remains the builder/mutation layer: edges are added and
+//! re-weighted there. [`Graph::freeze`] compiles it into a [`TopoSnapshot`]
+//! whose adjacency lives in three flat arrays (row offsets, neighbor ids,
+//! edge ids), sized `u32`, in the exact neighbor order of the source graph.
+//! A snapshot is immutable and cheap to share (`Arc<TopoSnapshot>`), so a
+//! connectivity-state change costs one freeze fleet-wide view instead of a
+//! full `Graph` clone per consumer, and an *unchanged* link-state
+//! advertisement costs nothing at all.
+//!
+//! [`TopoSnapshot::spt_with`] runs an index-based Dijkstra over the CSR
+//! arrays into an owned [`Spt`] — the same tree [`dijkstra_with`] produces,
+//! plus a dense per-destination first-hop table so a forwarding lookup is
+//! O(1) instead of a parent-chain walk. A [`SptScratch`] carries the
+//! binary heap and work stack across runs so steady-state route
+//! recomputation performs no per-call heap allocation beyond the result.
+//!
+//! [`dijkstra_with`]: crate::dijkstra::dijkstra_with
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::graph::{EdgeId, EdgeMask, Graph, NodeId};
+
+/// Sentinel for "no node / no edge" in the dense `u32` tables.
+const NONE: u32 = u32::MAX;
+
+/// An immutable, flat-array view of a [`Graph`], optimised for repeated
+/// shortest-path computation and per-packet adjacency queries.
+///
+/// The snapshot also retains the frozen [`Graph`] it was built from, so the
+/// source-route algorithms (disjoint paths, dissemination graphs, k-shortest
+/// paths) that operate on `&Graph` run against the same topology without any
+/// per-call clone.
+#[derive(Debug, Clone)]
+pub struct TopoSnapshot {
+    graph: Graph,
+    /// CSR row offsets: node `u`'s incident slots are `row[u]..row[u+1]`.
+    row: Vec<u32>,
+    /// Far endpoint per adjacency slot.
+    adj_node: Vec<u32>,
+    /// Edge id per adjacency slot.
+    adj_edge: Vec<u32>,
+    /// Edge weights, flat by edge id (a copy of the graph's, kept dense for
+    /// cache-friendly cost functions).
+    weights: Vec<f64>,
+}
+
+impl TopoSnapshot {
+    /// Compiles a graph into a snapshot. Neighbor order is preserved
+    /// exactly, so tie-breaking matches [`dijkstra_with`] run on the source
+    /// graph.
+    ///
+    /// [`dijkstra_with`]: crate::dijkstra::dijkstra_with
+    #[must_use]
+    pub fn new(graph: Graph) -> Self {
+        let n = graph.node_count();
+        let mut row = Vec::with_capacity(n + 1);
+        let mut adj_node = Vec::with_capacity(2 * graph.edge_count());
+        let mut adj_edge = Vec::with_capacity(2 * graph.edge_count());
+        row.push(0);
+        for u in graph.nodes() {
+            for (v, e) in graph.neighbors(u) {
+                adj_node.push(v.0 as u32);
+                adj_edge.push(e.0 as u32);
+            }
+            row.push(adj_node.len() as u32);
+        }
+        let weights = graph.edges().map(|e| graph.weight(e)).collect();
+        TopoSnapshot {
+            graph,
+            row,
+            adj_node,
+            adj_edge,
+            weights,
+        }
+    }
+
+    /// The frozen builder-layer graph this snapshot was compiled from.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.row.len() - 1
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The weight of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge id is out of range.
+    #[must_use]
+    pub fn weight(&self, edge: EdgeId) -> f64 {
+        self.weights[edge.0]
+    }
+
+    /// The `(a, b)` endpoints of an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge id is out of range.
+    #[must_use]
+    pub fn endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        self.graph.endpoints(edge)
+    }
+
+    /// Iterates `(neighbor, edge)` pairs of a node, in the source graph's
+    /// neighbor order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, EdgeId)> + '_ {
+        let lo = self.row[node.0] as usize;
+        let hi = self.row[node.0 + 1] as usize;
+        (lo..hi).map(move |i| {
+            (
+                NodeId(self.adj_node[i] as usize),
+                EdgeId(self.adj_edge[i] as usize),
+            )
+        })
+    }
+
+    /// The degree of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    #[must_use]
+    pub fn degree(&self, node: NodeId) -> usize {
+        (self.row[node.0 + 1] - self.row[node.0]) as usize
+    }
+
+    /// Runs index-based Dijkstra from `src` using the snapshot weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    #[must_use]
+    pub fn spt(&self, src: NodeId, scratch: &mut SptScratch) -> Spt {
+        self.spt_with(src, |e| self.weights[e.0], scratch)
+    }
+
+    /// Runs index-based Dijkstra from `src` with a custom per-edge cost
+    /// (`f64::INFINITY` = edge absent, e.g. a link currently down), into a
+    /// fresh [`Spt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range.
+    #[must_use]
+    pub fn spt_with<F: Fn(EdgeId) -> f64>(
+        &self,
+        src: NodeId,
+        cost: F,
+        scratch: &mut SptScratch,
+    ) -> Spt {
+        let mut out = Spt::empty();
+        self.spt_with_into(src, cost, scratch, &mut out);
+        out
+    }
+
+    /// Like [`TopoSnapshot::spt_with`], but reuses the allocations of an
+    /// existing [`Spt`] — the steady-state recomputation path allocates
+    /// nothing once warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is out of range or a cost is negative/NaN (debug
+    /// builds).
+    pub fn spt_with_into<F: Fn(EdgeId) -> f64>(
+        &self,
+        src: NodeId,
+        cost: F,
+        scratch: &mut SptScratch,
+        out: &mut Spt,
+    ) {
+        let n = self.node_count();
+        assert!(src.0 < n, "source out of range");
+        out.src = src;
+        out.dist.clear();
+        out.dist.resize(n, f64::INFINITY);
+        out.parent_node.clear();
+        out.parent_node.resize(n, NONE);
+        out.parent_edge.clear();
+        out.parent_edge.resize(n, NONE);
+        scratch.heap.clear();
+
+        out.dist[src.0] = 0.0;
+        scratch.heap.push(HeapEntry {
+            dist: 0.0,
+            node: src.0 as u32,
+        });
+        while let Some(HeapEntry { dist: d, node: u }) = scratch.heap.pop() {
+            let u = u as usize;
+            if d > out.dist[u] {
+                continue;
+            }
+            let lo = self.row[u] as usize;
+            let hi = self.row[u + 1] as usize;
+            for i in lo..hi {
+                let e = self.adj_edge[i];
+                let w = cost(EdgeId(e as usize));
+                if w == f64::INFINITY {
+                    continue;
+                }
+                debug_assert!(w >= 0.0 && !w.is_nan(), "negative or NaN edge cost");
+                let v = self.adj_node[i] as usize;
+                let nd = d + w;
+                // Deterministic tie-break: keep the lower-indexed parent
+                // edge (matches `dijkstra_with` on the source graph).
+                if nd < out.dist[v]
+                    || (nd == out.dist[v] && out.parent_edge[v] != NONE && e < out.parent_edge[v])
+                {
+                    out.dist[v] = nd;
+                    out.parent_node[v] = u as u32;
+                    out.parent_edge[v] = e;
+                    scratch.heap.push(HeapEntry {
+                        dist: nd,
+                        node: v as u32,
+                    });
+                }
+            }
+        }
+        out.fill_first_hops(&mut scratch.stack);
+    }
+}
+
+impl Graph {
+    /// Freezes this graph into an immutable CSR [`TopoSnapshot`] (see the
+    /// [`csr`](crate::csr) module docs).
+    #[must_use]
+    pub fn freeze(&self) -> TopoSnapshot {
+        TopoSnapshot::new(self.clone())
+    }
+}
+
+/// Reusable working memory for [`TopoSnapshot`] shortest-path runs: the
+/// priority queue and the first-hop resolution stack. Keep one per routing
+/// engine and recomputation allocates nothing once warm.
+#[derive(Debug, Default)]
+pub struct SptScratch {
+    heap: BinaryHeap<HeapEntry>,
+    stack: Vec<u32>,
+}
+
+impl SptScratch {
+    /// Creates an empty scratch space.
+    #[must_use]
+    pub fn new() -> Self {
+        SptScratch::default()
+    }
+}
+
+/// A shortest-path tree over a [`TopoSnapshot`]: distances, tree parents,
+/// and a dense per-destination first-hop table (the forwarding table a
+/// link-state router actually consults, O(1) per lookup).
+#[derive(Debug, Clone)]
+pub struct Spt {
+    src: NodeId,
+    dist: Vec<f64>,
+    parent_node: Vec<u32>,
+    parent_edge: Vec<u32>,
+    first_hop_node: Vec<u32>,
+    first_hop_edge: Vec<u32>,
+}
+
+impl Spt {
+    /// An empty tree, for [`TopoSnapshot::spt_with_into`] reuse.
+    #[must_use]
+    pub fn empty() -> Self {
+        Spt {
+            src: NodeId(0),
+            dist: Vec::new(),
+            parent_node: Vec::new(),
+            parent_edge: Vec::new(),
+            first_hop_node: Vec::new(),
+            first_hop_edge: Vec::new(),
+        }
+    }
+
+    /// The source this tree was computed from.
+    #[must_use]
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Distance to `node`, or `None` if unreachable.
+    #[must_use]
+    pub fn dist(&self, node: NodeId) -> Option<f64> {
+        let d = self.dist[node.0];
+        d.is_finite().then_some(d)
+    }
+
+    /// Whether `node` is reachable from the source.
+    #[must_use]
+    pub fn reaches(&self, node: NodeId) -> bool {
+        self.dist[node.0].is_finite()
+    }
+
+    /// The tree parent of `node`: the previous node on its shortest path and
+    /// the edge connecting them. `None` for the source and unreachable nodes.
+    #[must_use]
+    pub fn parent(&self, node: NodeId) -> Option<(NodeId, EdgeId)> {
+        let p = self.parent_node[node.0];
+        (p != NONE).then(|| {
+            (
+                NodeId(p as usize),
+                EdgeId(self.parent_edge[node.0] as usize),
+            )
+        })
+    }
+
+    /// The first hop (neighbor of the source) on the way to `dst`, or `None`
+    /// if unreachable or `dst` is the source. O(1): reads the dense table.
+    #[must_use]
+    pub fn next_hop(&self, dst: NodeId) -> Option<(NodeId, EdgeId)> {
+        let n = self.first_hop_node[dst.0];
+        (n != NONE).then(|| {
+            (
+                NodeId(n as usize),
+                EdgeId(self.first_hop_edge[dst.0] as usize),
+            )
+        })
+    }
+
+    /// The union of tree edges reaching every node in `targets` — a
+    /// source-rooted multicast tree restricted to the interested members.
+    #[must_use]
+    pub fn tree_mask(&self, targets: &[NodeId]) -> EdgeMask {
+        let mut mask = EdgeMask::EMPTY;
+        for &t in targets {
+            if !self.reaches(t) {
+                continue;
+            }
+            let mut cur = t.0;
+            while cur != self.src.0 {
+                let p = self.parent_node[cur];
+                if p == NONE {
+                    break;
+                }
+                let e = EdgeId(self.parent_edge[cur] as usize);
+                if mask.contains(e) {
+                    break; // the rest of the branch is already in the tree
+                }
+                mask.insert(e);
+                cur = p as usize;
+            }
+        }
+        mask
+    }
+
+    /// Fills the dense first-hop table from the parent pointers in O(n)
+    /// amortized, resolving each chain once with path compression.
+    fn fill_first_hops(&mut self, stack: &mut Vec<u32>) {
+        let n = self.dist.len();
+        let src = self.src.0 as u32;
+        self.first_hop_node.clear();
+        self.first_hop_node.resize(n, NONE);
+        self.first_hop_edge.clear();
+        self.first_hop_edge.resize(n, NONE);
+        for v in 0..n as u32 {
+            if v == src || self.parent_node[v as usize] == NONE {
+                continue; // the source itself, or unreachable
+            }
+            stack.clear();
+            let mut cur = v;
+            // Walk up until a node with a known first hop, or a child of the
+            // source (its first hop is itself).
+            while self.first_hop_node[cur as usize] == NONE && self.parent_node[cur as usize] != src
+            {
+                stack.push(cur);
+                cur = self.parent_node[cur as usize];
+            }
+            let (hop_n, hop_e) = if self.parent_node[cur as usize] == src
+                && self.first_hop_node[cur as usize] == NONE
+            {
+                (cur, self.parent_edge[cur as usize])
+            } else {
+                (
+                    self.first_hop_node[cur as usize],
+                    self.first_hop_edge[cur as usize],
+                )
+            };
+            self.first_hop_node[cur as usize] = hop_n;
+            self.first_hop_edge[cur as usize] = hop_e;
+            for &w in stack.iter() {
+                self.first_hop_node[w as usize] = hop_n;
+                self.first_hop_edge[w as usize] = hop_e;
+            }
+        }
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: u32,
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance, tie-broken by node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl std::fmt::Debug for HeapEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HeapEntry({}, n{})", self.dist, self.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra_with;
+
+    /// A 6-node graph: a cheap long chain 0-1-2-5 (cost 3) and an expensive
+    /// direct edge 0-5 (cost 10), plus a pendant 3-4 component.
+    fn g() -> Graph {
+        let mut g = Graph::new(6);
+        g.add_edge(NodeId(0), NodeId(1), 1.0);
+        g.add_edge(NodeId(1), NodeId(2), 1.0);
+        g.add_edge(NodeId(2), NodeId(5), 1.0);
+        g.add_edge(NodeId(0), NodeId(5), 10.0);
+        g.add_edge(NodeId(3), NodeId(4), 1.0);
+        g
+    }
+
+    #[test]
+    fn snapshot_mirrors_graph_shape() {
+        let graph = g();
+        let snap = graph.freeze();
+        assert_eq!(snap.node_count(), graph.node_count());
+        assert_eq!(snap.edge_count(), graph.edge_count());
+        for u in graph.nodes() {
+            assert_eq!(snap.degree(u), graph.degree(u));
+            let a: Vec<_> = snap.neighbors(u).collect();
+            let b: Vec<_> = graph.neighbors(u).collect();
+            assert_eq!(a, b, "neighbor order must be preserved");
+        }
+        for e in graph.edges() {
+            assert_eq!(snap.weight(e), graph.weight(e));
+            assert_eq!(snap.endpoints(e), graph.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn spt_matches_graph_dijkstra() {
+        let graph = g();
+        let snap = graph.freeze();
+        let mut scratch = SptScratch::new();
+        for src in graph.nodes() {
+            let reference = dijkstra_with(&graph, src, |e| graph.weight(e));
+            let spt = snap.spt(src, &mut scratch);
+            for v in graph.nodes() {
+                assert_eq!(spt.dist(v), reference.dist(v), "dist {src}->{v}");
+                assert_eq!(spt.parent(v), reference.parent(v), "parent {src}->{v}");
+                assert_eq!(
+                    spt.next_hop(v),
+                    reference.next_hop(v),
+                    "next_hop {src}->{v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spt_cost_filter_excludes_edges() {
+        let graph = g();
+        let snap = graph.freeze();
+        let mut scratch = SptScratch::new();
+        // Down the chain's middle edge: forced onto the direct 0-5 edge.
+        let spt = snap.spt_with(
+            NodeId(0),
+            |e| {
+                if e == EdgeId(1) {
+                    f64::INFINITY
+                } else {
+                    snap.weight(e)
+                }
+            },
+            &mut scratch,
+        );
+        assert_eq!(spt.dist(NodeId(5)), Some(10.0));
+        assert_eq!(spt.next_hop(NodeId(5)), Some((NodeId(5), EdgeId(3))));
+    }
+
+    #[test]
+    fn next_hop_table_is_dense_and_correct() {
+        let graph = g();
+        let snap = graph.freeze();
+        let mut scratch = SptScratch::new();
+        let spt = snap.spt(NodeId(0), &mut scratch);
+        // All of 1, 2, 5 route via neighbor 1 on edge 0.
+        for dst in [NodeId(1), NodeId(2), NodeId(5)] {
+            assert_eq!(spt.next_hop(dst), Some((NodeId(1), EdgeId(0))));
+        }
+        assert_eq!(spt.next_hop(NodeId(0)), None, "no hop to self");
+        assert_eq!(spt.next_hop(NodeId(4)), None, "no hop to unreachable");
+    }
+
+    #[test]
+    fn tree_mask_matches_graph_version() {
+        let graph = g();
+        let snap = graph.freeze();
+        let mut scratch = SptScratch::new();
+        let spt = snap.spt(NodeId(0), &mut scratch);
+        let reference = dijkstra_with(&graph, NodeId(0), |e| graph.weight(e));
+        let targets = [NodeId(2), NodeId(5)];
+        assert_eq!(spt.tree_mask(&targets), reference.tree_mask(&targets));
+    }
+
+    #[test]
+    fn spt_into_reuses_allocations() {
+        let graph = g();
+        let snap = graph.freeze();
+        let mut scratch = SptScratch::new();
+        let mut spt = Spt::empty();
+        snap.spt_with_into(NodeId(0), |e| snap.weight(e), &mut scratch, &mut spt);
+        let first = spt.dist(NodeId(5));
+        snap.spt_with_into(NodeId(5), |e| snap.weight(e), &mut scratch, &mut spt);
+        assert_eq!(spt.src(), NodeId(5));
+        assert_eq!(spt.dist(NodeId(0)), first, "symmetric distance");
+        assert_eq!(spt.next_hop(NodeId(0)), Some((NodeId(2), EdgeId(2))));
+    }
+}

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod csr;
 pub mod dijkstra;
 pub mod disjoint;
 pub mod dissemination;
@@ -48,6 +49,7 @@ pub mod kshortest;
 pub mod multicast;
 pub mod spanner;
 
+pub use csr::{Spt, SptScratch, TopoSnapshot};
 pub use dijkstra::{dijkstra, dijkstra_with, shortest_path, Path, ShortestPaths};
 pub use disjoint::{are_node_disjoint, k_node_disjoint_paths, DisjointPaths};
 pub use dissemination::{

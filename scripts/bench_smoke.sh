@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Smoke-runs the data-plane benchmark suite: every criterion group in quick
+# mode plus the exp_throughput macro-benchmark in --smoke mode. Catches
+# benchmarks that no longer compile or panic without paying full-measurement
+# time. The throughput smoke writes its rows to a scratch file so the
+# committed BENCH_forwarding.json (full-run results) is left untouched.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo bench --workspace (smoke: --test)"
+cargo bench --workspace -- --test
+
+echo "==> exp_throughput --smoke"
+BENCH_OUT=target/obs/BENCH_forwarding.smoke.json \
+    cargo run --release -p son-bench --bin exp_throughput -- --smoke
+
+echo "Bench smoke passed."

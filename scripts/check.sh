@@ -18,4 +18,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> bench smoke"
+scripts/bench_smoke.sh
+
 echo "All checks passed."

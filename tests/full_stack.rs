@@ -21,7 +21,7 @@ fn video_survives_fiber_cut_via_provider_switch() {
     let (topo, cities) = continental_overlay(&sc);
     let mut sim: Simulation<Wire> = Simulation::new(71);
     sim.set_underlay(sc.underlay.clone());
-    let overlay = OverlayBuilder::new(topo.clone())
+    let overlay = OverlayBuilder::new(topo)
         .place_in_cities(cities.clone())
         .build(&mut sim);
 
@@ -148,7 +148,7 @@ fn global_live_video_meets_200ms_bound() {
         "{}/{sent} delivered",
         recv.received
     );
-    let max = recv.latency_ms.clone().max().unwrap();
+    let max = recv.latency_ms.max().unwrap();
     assert!(max <= 200.5, "every delivery within the bound: {max}ms");
 }
 
@@ -214,7 +214,7 @@ fn full_deployment_is_deterministic() {
         let sc = continental_us(DEFAULT_CONVERGENCE);
         let (topo, cities) = continental_overlay(&sc);
         let mut sim: Simulation<Wire> = Simulation::new(1234);
-        sim.set_underlay(sc.underlay.clone());
+        sim.set_underlay(sc.underlay);
         let overlay = OverlayBuilder::new(topo)
             .place_in_cities(cities)
             .default_loss(son_netsim::loss::LossConfig::Bernoulli { p: 0.01 })
