@@ -14,13 +14,17 @@
 //! intentionally break per-packet accounting — one send may cross a pipe
 //! five times.)
 
+use std::collections::HashMap;
+
 use proptest::prelude::*;
-use son_bench::UnicastRun;
+use son_bench::{gather_registry, UnicastRun};
 use son_netsim::loss::LossConfig;
-use son_netsim::time::SimDuration;
+use son_netsim::sim::Simulation;
+use son_netsim::time::{SimDuration, SimTime};
 use son_obs::Registry;
-use son_overlay::builder::chain_topology;
-use son_overlay::FlowSpec;
+use son_overlay::builder::{chain_topology, OverlayBuilder};
+use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
+use son_overlay::{Destination, FlowSpec, NodeConfig, OverlayAddr, Wire};
 use son_topo::NodeId;
 
 /// Sums the ledger: (delivered to clients, data drops inside pipes, drops
@@ -102,4 +106,134 @@ fn perfect_run_attributes_nothing() {
     let out = run.run();
     let (delivered, pipe_drops, node_drops) = ledger(&out.registry);
     assert_eq!((delivered, pipe_drops, node_drops), (sent, 0, 0));
+}
+
+// ---------------------------------------------------------------------------
+// Per-FlowKey conservation
+//
+// The aggregate identity above can hide cross-flow misattribution (flow A's
+// drop charged to flow B still balances in total). The `FlowTable` gives
+// every daemon per-flow counters labelled with the flow's stable id, so the
+// identity must also hold *per FlowKey*, summed over all daemons:
+//
+//     flow.sent == flow.delivered + flow.dropped
+//
+// Pipes are lossless here because pipe drops are deliberately not
+// flow-attributed (the pipe layer has no flow concept); Best Effort unicast
+// keeps the accounting packet-for-packet.
+// ---------------------------------------------------------------------------
+
+const PER_FLOW_COUNT: u64 = 60;
+
+/// `sum(flow.sent/delivered/dropped)` over all daemons, grouped by the
+/// `flow` label.
+fn flow_ledger(reg: &Registry) -> HashMap<String, (u64, u64, u64)> {
+    let mut per_flow: HashMap<String, (u64, u64, u64)> = HashMap::new();
+    for (desc, v) in reg.counters() {
+        let Some((_, label)) = desc.labels.iter().find(|(k, _)| k == "flow") else {
+            continue;
+        };
+        let e = per_flow.entry(label.clone()).or_default();
+        match desc.name.as_str() {
+            "flow.sent" => e.0 += v,
+            "flow.delivered" => e.1 += v,
+            "flow.dropped" => e.2 += v,
+            _ => {}
+        }
+    }
+    per_flow
+}
+
+/// Runs several Best Effort unicast flows from node 0 over a lossless
+/// 6-node chain (flow `i` targets `NodeId(dsts[i])` on its own port) and
+/// returns the experiment-wide registry.
+fn multi_flow_registry(seed: u64, ttl: u8, dsts: &[usize]) -> Registry {
+    let nodes = 6;
+    let mut sim: Simulation<Wire> = Simulation::new(seed);
+    let config = NodeConfig {
+        ttl,
+        ..NodeConfig::default()
+    };
+    let overlay = OverlayBuilder::new(chain_topology(nodes, 5.0))
+        .node_config(config)
+        .build(&mut sim);
+    for (i, &dst) in dsts.iter().enumerate() {
+        let rx_port = 70 + i as u16;
+        sim.add_process(ClientProcess::new(ClientConfig {
+            daemon: overlay.daemon(NodeId(dst)),
+            port: rx_port,
+            joins: vec![],
+            flows: vec![],
+        }));
+        sim.add_process(ClientProcess::new(ClientConfig {
+            daemon: overlay.daemon(NodeId(0)),
+            port: 50 + i as u16,
+            joins: vec![],
+            flows: vec![ClientFlow {
+                local_flow: 1,
+                dst: Destination::Unicast(OverlayAddr::new(NodeId(dst), rx_port)),
+                spec: FlowSpec::best_effort(),
+                workload: Workload::Cbr {
+                    size: 600,
+                    interval: SimDuration::from_millis(5),
+                    count: PER_FLOW_COUNT,
+                    start: SimTime::from_millis(500),
+                },
+            }],
+        }));
+    }
+    sim.run_until(SimTime::from_secs(5));
+    gather_registry(&sim, &overlay)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn conservation_holds_per_flow_key(
+        seed in 0u64..1_000_000,
+        ttl in 2u8..6,
+        dsts in proptest::collection::vec(1usize..6, 2..5),
+    ) {
+        let reg = multi_flow_registry(seed, ttl, &dsts);
+        let per_flow = flow_ledger(&reg);
+        prop_assert_eq!(per_flow.len(), dsts.len(), "one ledger entry per FlowKey");
+        let mut total_sent = 0;
+        for (flow, &(sent, delivered, dropped)) in &per_flow {
+            prop_assert_eq!(
+                sent,
+                delivered + dropped,
+                "flow {}: sent {} != delivered {} + dropped {}",
+                flow, sent, delivered, dropped
+            );
+            total_sent += sent;
+        }
+        prop_assert_eq!(total_sent, PER_FLOW_COUNT * dsts.len() as u64);
+    }
+}
+
+#[test]
+fn per_flow_ledger_separates_delivered_from_ttl_dropped_flows() {
+    // On a 3-hop budget, the 1-hop flow delivers everything and the 5-hop
+    // flow loses everything to TTL — and each flow's ledger says which.
+    let reg = multi_flow_registry(9, 3, &[1, 5]);
+    let per_flow = flow_ledger(&reg);
+    assert_eq!(per_flow.len(), 2);
+    let mut outcomes: Vec<(u64, u64, u64)> = per_flow.values().copied().collect();
+    outcomes.sort_by_key(|&(_, delivered, _)| std::cmp::Reverse(delivered));
+    assert_eq!(
+        outcomes[0],
+        (PER_FLOW_COUNT, PER_FLOW_COUNT, 0),
+        "1-hop flow: all delivered, nothing attributed"
+    );
+    assert_eq!(
+        outcomes[1],
+        (PER_FLOW_COUNT, 0, PER_FLOW_COUNT),
+        "5-hop flow: every packet attributed to a flow-labelled drop"
+    );
+    assert_eq!(
+        reg.counter_total("drop.ttl"),
+        PER_FLOW_COUNT,
+        "the flow-labelled drops are the TTL drops"
+    );
 }

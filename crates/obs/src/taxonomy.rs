@@ -38,6 +38,8 @@ pub enum DropClass {
     DedupDuplicate,
     /// The routing layer had no path to the destination.
     Unroutable,
+    /// The selected link had no usable provider pipe to send on.
+    NoProvider,
     /// A compromised node discarded it deliberately.
     Adversary,
     // -- link-protocol layer -----------------------------------------------
@@ -49,7 +51,7 @@ pub enum DropClass {
 
 impl DropClass {
     /// Every drop class, in declaration order (pipe, node, protocol layers).
-    pub const ALL: [DropClass; 12] = [
+    pub const ALL: [DropClass; 13] = [
         DropClass::Loss,
         DropClass::QueueFull,
         DropClass::Blackholed,
@@ -59,6 +61,7 @@ impl DropClass {
         DropClass::Auth,
         DropClass::DedupDuplicate,
         DropClass::Unroutable,
+        DropClass::NoProvider,
         DropClass::Adversary,
         DropClass::Expired,
         DropClass::BufferFull,
@@ -77,6 +80,7 @@ impl DropClass {
             DropClass::Auth => "drop.auth",
             DropClass::DedupDuplicate => "drop.dedup_duplicate",
             DropClass::Unroutable => "drop.unroutable",
+            DropClass::NoProvider => "drop.no_provider",
             DropClass::Adversary => "drop.adversary",
             DropClass::Expired => "drop.expired",
             DropClass::BufferFull => "drop.buffer_full",

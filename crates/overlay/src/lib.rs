@@ -60,6 +60,7 @@ pub mod auth;
 pub mod builder;
 pub mod client;
 pub mod dedup;
+pub mod flow;
 pub mod intercept;
 pub mod linkproto;
 pub mod metrics;
@@ -74,7 +75,8 @@ pub mod state;
 pub use addr::{Destination, FlowKey, GroupId, OverlayAddr, VirtualPort};
 pub use builder::{OverlayBuilder, OverlayHandle};
 pub use client::{ClientConfig, ClientFlow, ClientProcess, Workload};
-pub use node::{NodeConfig, OverlayNode};
-pub use obs::NodeObs;
+pub use flow::{FlowContext, FlowRole, FlowTable};
+pub use node::{NodeConfig, OverlayNode, TimerKey};
+pub use obs::{FlowObs, NodeObs};
 pub use packet::{ClientOp, DataPacket, SessionEvent, Wire};
 pub use service::{FlowSpec, LinkService, Priority, RealtimeParams, RoutingService, SourceRoute};

@@ -1,0 +1,475 @@
+//! The daemon's action and timer plumbing.
+//!
+//! Every level of the node is a pure state machine that *emits* typed
+//! actions ([`LinkAction`], [`SessionAction`], [`ConnAction`],
+//! [`GroupAction`]) instead of touching the simulator directly. This module
+//! unifies them: each typed batch is wrapped into [`NodeAction`]s and fed
+//! through one dispatch loop, which applies actions depth-first — a nested
+//! batch (e.g. the session events caused by a link-level pause) completes
+//! before the next action of the outer batch runs, exactly as the four
+//! hand-rolled `apply_*_actions` loops used to behave.
+//!
+//! Buffers are pooled in [`ActionBufs`] so steady-state dispatch allocates
+//! nothing, and every daemon timer token is the bit-packed encoding of a
+//! typed [`TimerKey`] (see [`super::timer`]).
+
+use son_netsim::link::PipeId;
+use son_netsim::process::{Process, ProcessId};
+use son_netsim::sim::Ctx;
+use son_netsim::time::SimDuration;
+use son_obs::SpanStage;
+
+use crate::addr::Destination;
+use crate::adversary::Behavior;
+use crate::linkproto::{LinkAction, LinkEvent, LinkProto};
+use crate::packet::{Control, SessionEvent, Wire};
+use crate::service::{slot_label, LinkService, SERVICE_SLOTS};
+use crate::session::SessionAction;
+use crate::state::connectivity::ConnAction;
+use crate::state::groups::GroupAction;
+
+use super::{OverlayNode, TimerKey, CLIENT_IPC_DELAY};
+
+/// One action emitted by any level of the node, tagged with the context the
+/// dispatch loop needs to apply it.
+#[derive(Debug)]
+pub enum NodeAction {
+    /// A link-protocol action from the protocol instance at `(link, slot)`.
+    Link {
+        /// Local link index the emitting protocol sits on.
+        link: usize,
+        /// The emitting protocol's service slot.
+        slot: usize,
+        /// What it asked for.
+        action: LinkAction,
+    },
+    /// A session-interface action.
+    Session(SessionAction),
+    /// A connectivity-monitor action; `reply_provider` pins provider-probe
+    /// replies to the provider path the probe arrived on.
+    Conn {
+        /// Provider index replies must use (`None` = active provider).
+        reply_provider: Option<usize>,
+        /// What the monitor asked for.
+        action: ConnAction,
+    },
+    /// A group-state action.
+    Group(GroupAction),
+}
+
+/// Pooled action buffers: one free list per action type, so the dispatch
+/// loop and the emitting state machines reuse vectors instead of allocating
+/// per event.
+#[derive(Debug, Default)]
+pub(super) struct ActionBufs {
+    node: Vec<Vec<NodeAction>>,
+    link: Vec<Vec<LinkAction>>,
+    session: Vec<Vec<SessionAction>>,
+    conn: Vec<Vec<ConnAction>>,
+    group: Vec<Vec<GroupAction>>,
+}
+
+impl ActionBufs {
+    fn take_node(&mut self) -> Vec<NodeAction> {
+        self.node.pop().unwrap_or_default()
+    }
+    fn put_node(&mut self, mut v: Vec<NodeAction>) {
+        v.clear();
+        self.node.push(v);
+    }
+    fn take_link(&mut self) -> Vec<LinkAction> {
+        self.link.pop().unwrap_or_default()
+    }
+    fn put_link(&mut self, mut v: Vec<LinkAction>) {
+        v.clear();
+        self.link.push(v);
+    }
+    pub(super) fn take_session(&mut self) -> Vec<SessionAction> {
+        self.session.pop().unwrap_or_default()
+    }
+    fn put_session(&mut self, mut v: Vec<SessionAction>) {
+        v.clear();
+        self.session.push(v);
+    }
+    pub(super) fn take_conn(&mut self) -> Vec<ConnAction> {
+        self.conn.pop().unwrap_or_default()
+    }
+    fn put_conn(&mut self, mut v: Vec<ConnAction>) {
+        v.clear();
+        self.conn.push(v);
+    }
+    pub(super) fn take_group(&mut self) -> Vec<GroupAction> {
+        self.group.pop().unwrap_or_default()
+    }
+    fn put_group(&mut self, mut v: Vec<GroupAction>) {
+        v.clear();
+        self.group.push(v);
+    }
+}
+
+impl OverlayNode {
+    /// Feeds one link-protocol instance and dispatches what it emitted.
+    /// `pending_recover` is scoped to this batch: nested batches start
+    /// fresh and the outer value is restored afterwards.
+    pub(super) fn run_link_proto(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        link: usize,
+        slot: usize,
+        feed: impl FnOnce(&mut dyn LinkProto, &mut Vec<LinkAction>),
+    ) {
+        let mut la = self.bufs.take_link();
+        feed(self.links[link].protos[slot].as_mut(), &mut la);
+        if la.is_empty() {
+            self.bufs.put_link(la);
+            return;
+        }
+        let mut batch = self.bufs.take_node();
+        batch.extend(
+            la.drain(..)
+                .map(|action| NodeAction::Link { link, slot, action }),
+        );
+        self.bufs.put_link(la);
+        let saved = std::mem::replace(&mut self.pending_recover, false);
+        self.dispatch(ctx, batch);
+        self.pending_recover = saved;
+    }
+
+    /// Dispatches a batch of session actions.
+    pub(super) fn dispatch_session(&mut self, ctx: &mut Ctx<'_, Wire>, mut sa: Vec<SessionAction>) {
+        if sa.is_empty() {
+            self.bufs.put_session(sa);
+            return;
+        }
+        let mut batch = self.bufs.take_node();
+        batch.extend(sa.drain(..).map(NodeAction::Session));
+        self.bufs.put_session(sa);
+        self.dispatch(ctx, batch);
+    }
+
+    /// Dispatches a batch of connectivity actions.
+    pub(super) fn dispatch_conn(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        mut ca: Vec<ConnAction>,
+        reply_provider: Option<usize>,
+    ) {
+        if ca.is_empty() {
+            self.bufs.put_conn(ca);
+            return;
+        }
+        let mut batch = self.bufs.take_node();
+        batch.extend(ca.drain(..).map(|action| NodeAction::Conn {
+            reply_provider,
+            action,
+        }));
+        self.bufs.put_conn(ca);
+        self.dispatch(ctx, batch);
+    }
+
+    /// Dispatches a batch of group actions.
+    pub(super) fn dispatch_group(&mut self, ctx: &mut Ctx<'_, Wire>, mut ga: Vec<GroupAction>) {
+        if ga.is_empty() {
+            self.bufs.put_group(ga);
+            return;
+        }
+        let mut batch = self.bufs.take_node();
+        batch.extend(ga.drain(..).map(NodeAction::Group));
+        self.bufs.put_group(ga);
+        self.dispatch(ctx, batch);
+    }
+
+    /// The one dispatch loop: applies each action in order (depth-first —
+    /// anything an action triggers completes before the next action runs)
+    /// and returns the batch vector to the pool.
+    fn dispatch(&mut self, ctx: &mut Ctx<'_, Wire>, mut batch: Vec<NodeAction>) {
+        for action in batch.drain(..) {
+            self.apply(ctx, action);
+        }
+        self.bufs.put_node(batch);
+    }
+
+    /// Applies one action from any level.
+    fn apply(&mut self, ctx: &mut Ctx<'_, Wire>, action: NodeAction) {
+        match action {
+            NodeAction::Link { link, slot, action } => self.apply_link(ctx, link, slot, action),
+            NodeAction::Session(action) => match action {
+                SessionAction::ToClient { port, event } => {
+                    if let Some(proc) = self.sessions.client_proc(port) {
+                        ctx.send_direct(proc, CLIENT_IPC_DELAY, Wire::ToClient(event));
+                    }
+                }
+                SessionAction::Timer { delay, token } => {
+                    ctx.set_timer(delay, TimerKey::Session { token }.encode());
+                }
+            },
+            NodeAction::Conn {
+                reply_provider,
+                action,
+            } => match action {
+                ConnAction::Send { link, msg } => {
+                    self.send_on_link(ctx, link, reply_provider, Wire::Control(msg));
+                }
+                ConnAction::Flood { except, msg } => {
+                    for i in 0..self.links.len() {
+                        if Some(i) != except {
+                            self.send_on_link(ctx, i, None, Wire::Control(msg.clone()));
+                        }
+                    }
+                }
+                ConnAction::SwitchProvider { link, isp_index } => {
+                    let count = self.links[link].out_pipes.len();
+                    self.links[link].active_provider = isp_index % count.max(1);
+                    self.obs.named("provider_switches");
+                }
+                ConnAction::TopologyChanged => {
+                    // The monitor only emits this on a real change, so the
+                    // version moved: install the shared snapshot (no graph
+                    // clone). Per-flow source-route stamps are keyed by the
+                    // version inside the FlowTable, so they go stale on
+                    // their own — no sweep needed.
+                    let snap = self.conn.snapshot();
+                    self.forwarding.install(snap, self.conn.version());
+                    self.obs.named("reroutes");
+                }
+            },
+            NodeAction::Group(GroupAction::Flood { except, update }) => {
+                for i in 0..self.links.len() {
+                    if Some(i) != except {
+                        self.send_on_link(
+                            ctx,
+                            i,
+                            None,
+                            Wire::Control(Control::GroupUpdate(update.clone())),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies one link-protocol action emitted by the `(link, slot)`
+    /// protocol instance.
+    fn apply_link(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        link: usize,
+        slot: usize,
+        action: LinkAction,
+    ) {
+        match action {
+            LinkAction::Transmit(pkt) => {
+                self.obs
+                    .span(ctx.now(), &pkt, SpanStage::Transmit, Some(link));
+                self.send_on_link(ctx, link, None, Wire::Data(pkt));
+            }
+            LinkAction::TransmitCtl(ctl) => {
+                self.send_on_link(
+                    ctx,
+                    link,
+                    None,
+                    Wire::Ctl {
+                        slot: slot as u8,
+                        ctl,
+                    },
+                );
+            }
+            LinkAction::Deliver(pkt) => {
+                if std::mem::take(&mut self.pending_recover) {
+                    self.obs
+                        .span(ctx.now(), &pkt, SpanStage::Recover, Some(link));
+                }
+                let in_edge = self.links[link].edge;
+                // Remember the upstream of IT-Reliable flows for credits.
+                if matches!(pkt.spec.link, LinkService::ItReliable) {
+                    self.flows.ensure(pkt.flow, pkt.spec, &mut self.obs);
+                    self.flows.set_upstream(&pkt.flow, link);
+                }
+                self.handle_upward(ctx, pkt, Some(in_edge), Some(link));
+            }
+            LinkAction::Observe(event) => {
+                if matches!(event, LinkEvent::Recovered { .. }) {
+                    self.pending_recover = true;
+                }
+                self.obs.link_event(slot_label(slot), event);
+            }
+            LinkAction::Timer { delay, token } => {
+                let key = TimerKey::Link {
+                    link: link as u16,
+                    slot: slot as u8,
+                    token,
+                };
+                ctx.set_timer(delay, key.encode());
+            }
+            LinkAction::PauseFlow(flow) => {
+                // The pause bit lives in the shared FlowTable; the owning
+                // client (present only at the ingress) is told exactly once
+                // per pause edge.
+                if self.flows.pause(&flow) {
+                    if let Some((port, local_flow)) = self.sessions.local_binding(&flow) {
+                        if let Some(proc) = self.sessions.client_proc(port) {
+                            ctx.send_direct(
+                                proc,
+                                CLIENT_IPC_DELAY,
+                                Wire::ToClient(SessionEvent::FlowPaused { local_flow }),
+                            );
+                        }
+                    }
+                }
+            }
+            LinkAction::ResumeFlow(flow) => {
+                if self.flows.resume(&flow) {
+                    if let Some((port, local_flow)) = self.sessions.local_binding(&flow) {
+                        if let Some(proc) = self.sessions.client_proc(port) {
+                            ctx.send_direct(
+                                proc,
+                                CLIENT_IPC_DELAY,
+                                Wire::ToClient(SessionEvent::FlowResumed { local_flow }),
+                            );
+                        }
+                    }
+                }
+            }
+            LinkAction::Consumed(flow) => {
+                // Grant a credit on the flow's upstream link, if any
+                // (none at the ingress node).
+                let now = ctx.now();
+                if let Some(up) = self.flows.upstream(&flow) {
+                    if up != link {
+                        self.run_link_proto(ctx, up, slot, move |p, out| {
+                            p.on_consumed(now, flow, out);
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Process<Wire> for OverlayNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        // Kick off the control plane.
+        ctx.set_timer(SimDuration::ZERO, TimerKey::ConnTick.encode());
+        let mut ca = self.bufs.take_conn();
+        self.conn.originate(None, &mut ca);
+        self.dispatch_conn(ctx, ca, None);
+        let mut ga = self.bufs.take_group();
+        self.groups.announce(&mut ga);
+        self.dispatch_group(ctx, ga);
+        if matches!(self.behavior, Behavior::Flood { .. }) {
+            ctx.set_timer(SimDuration::from_millis(1), TimerKey::Flood.encode());
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        from: ProcessId,
+        pipe: Option<PipeId>,
+        msg: Wire,
+    ) {
+        match msg {
+            Wire::Data(pkt) => {
+                let Some(&(link, _)) = pipe.as_ref().and_then(|p| self.in_pipe_index.get(p)) else {
+                    return;
+                };
+                let slot = pkt.spec.link.slot();
+                let now = ctx.now();
+                self.run_link_proto(ctx, link, slot, move |p, out| p.on_data(now, pkt, out));
+            }
+            Wire::Ctl { slot, ctl } => {
+                let Some(&(link, _)) = pipe.as_ref().and_then(|p| self.in_pipe_index.get(p)) else {
+                    return;
+                };
+                let slot = (slot as usize).min(SERVICE_SLOTS - 1);
+                let now = ctx.now();
+                self.run_link_proto(ctx, link, slot, move |p, out| p.on_ctl(now, ctl, out));
+            }
+            Wire::Control(control) => {
+                let Some(&(link, provider)) = pipe.as_ref().and_then(|p| self.in_pipe_index.get(p))
+                else {
+                    return;
+                };
+                match control {
+                    Control::Hello { seq, sent_at } => {
+                        let mut ca = self.bufs.take_conn();
+                        self.conn.on_hello(link, seq, sent_at, &mut ca);
+                        // Reply on the provider the probe used, so each
+                        // provider path is probed independently.
+                        self.dispatch_conn(ctx, ca, Some(provider));
+                    }
+                    Control::HelloAck { seq, echo_sent_at } => {
+                        let mut ca = self.bufs.take_conn();
+                        self.conn
+                            .on_hello_ack(ctx.now(), link, seq, echo_sent_at, &mut ca);
+                        self.dispatch_conn(ctx, ca, None);
+                    }
+                    Control::Lsa(lsa) => {
+                        let mut ca = self.bufs.take_conn();
+                        self.conn.on_lsa(lsa, Some(link), &mut ca);
+                        self.dispatch_conn(ctx, ca, None);
+                    }
+                    Control::GroupUpdate(update) => {
+                        let mut ga = self.bufs.take_group();
+                        self.groups.on_update(update, Some(link), &mut ga);
+                        self.dispatch_group(ctx, ga);
+                    }
+                }
+            }
+            Wire::FromClient(op) => self.on_client_op(ctx, from, op),
+            Wire::ToClient(_) | Wire::Raw { .. } => {
+                // Daemons never receive session events; raw datagrams go to
+                // interceptors, not daemons.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Wire>, token: u64) {
+        match TimerKey::decode(token) {
+            Some(TimerKey::ConnTick) => {
+                let mut ca = self.bufs.take_conn();
+                self.conn.on_tick(ctx.now(), &mut ca);
+                self.dispatch_conn(ctx, ca, None);
+                ctx.set_timer(
+                    self.config.connectivity.hello_interval,
+                    TimerKey::ConnTick.encode(),
+                );
+            }
+            Some(TimerKey::Link { link, slot, token }) => {
+                let (link, slot) = (link as usize, slot as usize);
+                if link < self.links.len() && slot < SERVICE_SLOTS {
+                    let now = ctx.now();
+                    self.run_link_proto(ctx, link, slot, move |p, out| {
+                        p.on_timer(now, token, out);
+                    });
+                }
+            }
+            Some(TimerKey::Session { token }) => {
+                if let Some(flow) = self.sessions.timer_flow(token) {
+                    let targets = match flow.dst() {
+                        Destination::Unicast(a) if a.node == self.me => vec![a.port],
+                        Destination::Multicast(g) => self.groups.local_members(g),
+                        Destination::Anycast(g) => {
+                            self.groups.local_members(g).into_iter().take(1).collect()
+                        }
+                        _ => Vec::new(),
+                    };
+                    let mut sa = self.bufs.take_session();
+                    self.sessions.on_timer(ctx.now(), token, &targets, &mut sa);
+                    self.dispatch_session(ctx, sa);
+                }
+            }
+            Some(TimerKey::Flood) => self.flood_tick(ctx),
+            Some(TimerKey::DelayedForward { token }) => {
+                if let Some((pkt, in_edge)) = self.delayed.remove(&token) {
+                    // Behaviour already charged its delay; forward now.
+                    let mut outs = std::mem::take(&mut self.out_buf);
+                    self.out_edges_into(&pkt, in_edge, &mut outs);
+                    self.transmit_out(ctx, pkt, &outs);
+                    self.out_buf = outs;
+                }
+            }
+            None => {}
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! The overlay node daemon: Fig. 2 assembled as the paper's three levels.
+//!
+//! An [`OverlayNode`] "acts as both server and router: as a server it
+//! accepts and serves client connections, while as a router it performs
+//! network functions such as forwarding packets destined for other overlay
+//! nodes". It runs as a single [`Process`](son_netsim::process::Process) in
+//! the simulator and is decomposed into the paper's §III architecture:
+//!
+//! - `session_level`: the session interface — client operations, local
+//!   delivery targets, backpressure events to clients;
+//! - `routing_level`: the routing level — per-packet forwarding decisions
+//!   over the shared connectivity/group state, ingress packet construction,
+//!   adversarial transit behaviour;
+//! - `link_level`: the link level — provider selection and the per-service
+//!   protocol instances on each incident link;
+//! - `dispatch`: the glue — every level emits typed actions which one
+//!   unified [`NodeAction`] loop applies, and every daemon timer is a typed
+//!   [`TimerKey`].
+//!
+//! The levels coordinate through shared state held here: the connectivity
+//! monitor, the group table, the forwarding tables — and, per flow, one
+//! [`FlowTable`] entry (spec, roles, upstream link, cached source-route
+//! stamp, pause state, per-flow counters) that all three levels consult
+//! instead of carrying their own side maps.
+
+mod dispatch;
+mod link_level;
+mod routing_level;
+mod session_level;
+mod timer;
+
+pub use dispatch::NodeAction;
+pub use timer::TimerKey;
+
+use std::collections::HashMap;
+
+use son_netsim::link::PipeId;
+use son_netsim::time::SimDuration;
+use son_topo::{EdgeId, Graph, NodeId};
+
+use crate::addr::GroupId;
+use crate::adversary::Behavior;
+use crate::auth::KeyRegistry;
+use crate::dedup::DedupTable;
+use crate::flow::FlowTable;
+use crate::linkproto::{
+    BestEffortLink, FecLink, FifoLink, ItPriorityLink, ItReliableLink, LinkProto, RealtimeLink,
+    ReliableLink,
+};
+use crate::metrics::NodeMetrics;
+use crate::obs::NodeObs;
+use crate::packet::DataPacket;
+use crate::routing::Forwarding;
+use crate::service::RealtimeParams;
+use crate::session::SessionTable;
+use crate::state::connectivity::{ConnectivityConfig, ConnectivityMonitor};
+use crate::state::groups::GroupTable;
+
+use dispatch::ActionBufs;
+
+/// Local IPC latency between a client and its colocated daemon.
+pub const CLIENT_IPC_DELAY: SimDuration = SimDuration::from_micros(50);
+
+/// Static configuration of an overlay node daemon.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Connectivity-monitor settings (hello cadence, down thresholds).
+    pub connectivity: ConnectivityConfig,
+    /// Reliable Data Link RTO as a multiple of the link's nominal latency.
+    pub rto_factor: f64,
+    /// Lower bound on the Reliable Data Link RTO.
+    pub rto_min: SimDuration,
+    /// Default NM-Strikes parameters (overridden per flow).
+    pub realtime: RealtimeParams,
+    /// Egress pacing rate for the fair schedulers, bits/second
+    /// (`None` disables pacing — fine when fairness is not under test).
+    pub it_rate_bps: Option<u64>,
+    /// Per-source buffer bound for IT-Priority, in packets.
+    pub it_source_cap: usize,
+    /// Shared buffer bound for the FIFO baseline, in packets.
+    pub fifo_cap: usize,
+    /// Default FEC code (overridden per flow).
+    pub fec: crate::service::FecParams,
+    /// Verify per-packet authentication tags and drop failures.
+    pub auth_enabled: bool,
+    /// Initial TTL stamped on packets at the ingress.
+    pub ttl: u8,
+    /// Record per-packet lifecycle spans (counters are always on; this
+    /// additionally fills the node's bounded span ring).
+    pub obs_detail: bool,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            connectivity: ConnectivityConfig::default(),
+            rto_factor: 3.0,
+            rto_min: SimDuration::from_millis(2),
+            realtime: RealtimeParams::live_tv(),
+            it_rate_bps: None,
+            it_source_cap: 64,
+            fifo_cap: 64,
+            fec: crate::service::FecParams::light(),
+            auth_enabled: false,
+            ttl: 32,
+            obs_detail: false,
+        }
+    }
+}
+
+/// One incident overlay link as seen by the daemon: the neighbor, one pipe
+/// pair per provider, and the per-service protocol instances.
+struct LinkPort {
+    edge: EdgeId,
+    neighbor: NodeId,
+    /// Outgoing pipes, one per provider binding.
+    out_pipes: Vec<PipeId>,
+    active_provider: usize,
+    protos: Vec<Box<dyn LinkProto>>,
+    /// Nominal one-way latency, for diagnostics.
+    #[allow(dead_code)]
+    nominal_latency_ms: f64,
+}
+
+impl std::fmt::Debug for LinkPort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkPort")
+            .field("edge", &self.edge)
+            .field("neighbor", &self.neighbor)
+            .field("providers", &self.out_pipes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The overlay node daemon.
+#[derive(Debug)]
+pub struct OverlayNode {
+    me: NodeId,
+    config: NodeConfig,
+    links: Vec<LinkPort>,
+    /// Incoming pipe -> (local link index, provider index).
+    in_pipe_index: HashMap<PipeId, (usize, usize)>,
+    /// Edge id -> local link index.
+    edge_index: HashMap<EdgeId, usize>,
+    conn: ConnectivityMonitor,
+    groups: GroupTable,
+    forwarding: Forwarding,
+    sessions: SessionTable,
+    /// The shared per-flow state all three levels consult.
+    flows: FlowTable,
+    dedup: DedupTable,
+    keys: KeyRegistry,
+    behavior: Behavior,
+    obs: NodeObs,
+    /// Group member sets cached per group, keyed by the group-state version
+    /// (so the multicast fast path does not rebuild the `Vec` per packet).
+    member_cache: HashMap<GroupId, (u64, Vec<NodeId>)>,
+    /// Reusable out-edge buffer for the per-packet forwarding decision.
+    out_buf: Vec<EdgeId>,
+    /// Reusable action buffers for the dispatch loop.
+    bufs: ActionBufs,
+    /// A protocol reports a recovery immediately before delivering the
+    /// recovered packet; set by `Observe(Recovered)` and consumed by the
+    /// next `Deliver` in the same link-action batch (saved/restored around
+    /// nested batches).
+    pending_recover: bool,
+    /// Packets held by a Delay adversary, keyed by timer token payload.
+    delayed: HashMap<u32, (DataPacket, Option<EdgeId>)>,
+    next_delay_token: u32,
+    flood_seq: u64,
+    /// The configured overlay topology (kept for re-wiring).
+    topology: Graph,
+}
+
+impl OverlayNode {
+    /// Creates an unwired daemon for node `me` over the configured
+    /// `topology`. The builder wires its links with
+    /// [`OverlayNode::wire_links`] once pipes exist (a daemon must exist in
+    /// the simulator before pipes to it can be created).
+    #[must_use]
+    pub fn new(me: NodeId, topology: Graph, keys: KeyRegistry, config: NodeConfig) -> Self {
+        let conn = ConnectivityMonitor::new(me, topology.clone(), Vec::new(), config.connectivity);
+        OverlayNode {
+            me,
+            forwarding: Forwarding::new(me, topology.clone()),
+            sessions: SessionTable::new(me),
+            groups: GroupTable::new(me),
+            conn,
+            links: Vec::new(),
+            in_pipe_index: HashMap::new(),
+            edge_index: HashMap::new(),
+            flows: FlowTable::new(),
+            dedup: DedupTable::new(),
+            keys,
+            behavior: Behavior::Correct,
+            obs: NodeObs::new(me, config.obs_detail),
+            member_cache: HashMap::new(),
+            out_buf: Vec::new(),
+            bufs: ActionBufs::default(),
+            pending_recover: false,
+            delayed: HashMap::new(),
+            next_delay_token: 0,
+            flood_seq: 0,
+            config,
+            topology,
+        }
+    }
+
+    /// Installs this node's incident links: `(edge, neighbor, out_pipes,
+    /// nominal_latency_ms)` in local link order. Must be called before the
+    /// simulation starts; incoming pipes are registered separately via
+    /// [`OverlayNode::register_in_pipe`].
+    pub fn wire_links(&mut self, links: Vec<(EdgeId, NodeId, Vec<PipeId>, f64)>) {
+        let conn_links: Vec<(EdgeId, usize, f64)> = links
+            .iter()
+            .map(|(e, _, pipes, lat)| (*e, pipes.len(), *lat))
+            .collect();
+        self.conn = ConnectivityMonitor::new(
+            self.me,
+            self.topology.clone(),
+            conn_links,
+            self.config.connectivity,
+        );
+        self.edge_index.clear();
+        self.links = links
+            .into_iter()
+            .enumerate()
+            .map(|(i, (edge, neighbor, out_pipes, nominal))| {
+                self.edge_index.insert(edge, i);
+                let rto = SimDuration::from_millis_f64(nominal * self.config.rto_factor)
+                    .max(self.config.rto_min);
+                let protos: Vec<Box<dyn LinkProto>> = vec![
+                    Box::new(BestEffortLink::new()),
+                    Box::new(ReliableLink::new(rto)),
+                    Box::new(RealtimeLink::new(self.config.realtime)),
+                    Box::new(ItPriorityLink::new(
+                        self.config.it_source_cap,
+                        self.config.it_rate_bps,
+                    )),
+                    Box::new(ItReliableLink::new(rto, self.config.it_rate_bps)),
+                    Box::new(FifoLink::new(self.config.fifo_cap, self.config.it_rate_bps)),
+                    Box::new(FecLink::new(self.config.fec)),
+                ];
+                LinkPort {
+                    edge,
+                    neighbor,
+                    out_pipes,
+                    active_provider: 0,
+                    protos,
+                    nominal_latency_ms: nominal,
+                }
+            })
+            .collect();
+    }
+
+    /// Registers the incoming pipe of `(link, provider)` so arrivals can be
+    /// attributed. Called by the builder.
+    pub fn register_in_pipe(&mut self, pipe: PipeId, link: usize, provider: usize) {
+        self.in_pipe_index.insert(pipe, (link, provider));
+    }
+
+    /// Marks this node as compromised with the given behaviour.
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        self.behavior = behavior;
+    }
+
+    /// This node's id in the overlay topology.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// The legacy metrics view, snapshotted from the node's registry.
+    #[must_use]
+    pub fn metrics(&self) -> NodeMetrics {
+        self.obs.snapshot()
+    }
+
+    /// The node's observability state: metrics registry and lifecycle spans.
+    #[must_use]
+    pub fn obs(&self) -> &NodeObs {
+        &self.obs
+    }
+
+    /// The session table (delivery stats, connected clients).
+    #[must_use]
+    pub fn sessions(&self) -> &SessionTable {
+        &self.sessions
+    }
+
+    /// The shared flow table (per-flow context across all three levels).
+    #[must_use]
+    pub fn flows(&self) -> &FlowTable {
+        &self.flows
+    }
+
+    /// The group table.
+    #[must_use]
+    pub fn groups(&self) -> &GroupTable {
+        &self.groups
+    }
+
+    /// The connectivity monitor.
+    #[must_use]
+    pub fn connectivity(&self) -> &ConnectivityMonitor {
+        &self.conn
+    }
+
+    /// The de-duplication table.
+    #[must_use]
+    pub fn dedup(&self) -> &DedupTable {
+        &self.dedup
+    }
+
+    /// Ensures a flow context exists for `pkt`'s flow and counts one
+    /// attributed per-flow drop (the node-level `drop.*` counter is the
+    /// caller's job — the two ledgers are deliberately separate).
+    pub(crate) fn flow_dropped(&mut self, pkt: &DataPacket) {
+        let fo = self.flows.ensure(pkt.flow, pkt.spec, &mut self.obs).obs();
+        self.obs.inc(fo.dropped);
+    }
+
+    /// A human-readable status snapshot: links with measured quality and
+    /// provider selection, shared-state versions, groups, and headline
+    /// counters — the operator's `spines_monitor`-style view.
+    #[must_use]
+    pub fn status_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "node {} | topology v{} groups v{} | {} flows",
+            self.me,
+            self.conn.version(),
+            self.groups.version(),
+            self.flows.len(),
+        );
+        for (i, port) in self.links.iter().enumerate() {
+            let (lat, loss) = self.conn.link_quality(i);
+            let _ = writeln!(
+                out,
+                "  link[{i}] {} -> {} | {} | provider {}/{} | {:.2}ms loss {:.1}%",
+                port.edge,
+                port.neighbor,
+                if self.conn.link_up(i) { "up" } else { "DOWN" },
+                port.active_provider + 1,
+                port.out_pipes.len(),
+                lat,
+                loss * 100.0,
+            );
+        }
+        let ports = self.sessions.ports();
+        let _ = writeln!(
+            out,
+            "  clients: {:?}",
+            ports.iter().map(|p| p.0).collect::<Vec<_>>()
+        );
+        let m = self.obs.snapshot();
+        let _ = writeln!(
+            out,
+            "  forwarded {} | delivered {} | dedup {} | unroutable {} | auth_fail {}",
+            m.forwarded, m.delivered_local, m.dedup_suppressed, m.unroutable, m.auth_failures,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_default_is_sane() {
+        let c = NodeConfig::default();
+        assert!(c.rto_factor > 1.0);
+        assert!(c.ttl > 8);
+        assert!(!c.auth_enabled);
+    }
+}

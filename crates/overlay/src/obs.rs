@@ -29,6 +29,26 @@ use crate::packet::DataPacket;
 /// Retained lifecycle events per node when detail is enabled.
 const SPAN_CAPACITY: usize = 4096;
 
+/// Pre-registered counter handles for one flow's life at this node, created
+/// once when the flow's [`FlowContext`](crate::flow::FlowContext) is built
+/// and then incremented handle-only on the hot path.
+///
+/// The instruments are named `flow.*` (not `drop.*`) so per-flow accounting
+/// never double-counts against the node-level drop ledger; each carries
+/// `node=<id>` and `flow=<stable_id hex>` labels, so absorbed experiment
+/// registries can be sliced per flow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowObs {
+    /// Packets this flow's client handed to the ingress (`flow.sent`).
+    pub sent: CounterId,
+    /// Packets delivered to local clients of this flow (`flow.delivered`).
+    pub delivered: CounterId,
+    /// Packets of this flow forwarded onto links (`flow.forwarded`).
+    pub forwarded: CounterId,
+    /// Packets of this flow this node dropped, any class (`flow.dropped`).
+    pub dropped: CounterId,
+}
+
 /// The daemon's observability state: registry, span ring, and the
 /// pre-registered handles for every hot-path counter.
 #[derive(Debug)]
@@ -130,6 +150,28 @@ impl NodeObs {
     pub fn named(&mut self, name: &str) {
         let label = self.node_label.clone();
         let id = self.registry.counter(name, &[("node", &label)]);
+        self.registry.inc(id);
+    }
+
+    /// Registers (or re-resolves) the per-flow counter handles for `flow`.
+    /// Called once per flow at context creation; the returned handles make
+    /// subsequent per-packet accounting a plain `Vec` index.
+    #[must_use]
+    pub fn flow_counters(&mut self, flow: &crate::addr::FlowKey) -> FlowObs {
+        let node = self.node_label.clone();
+        let fid = format!("{:016x}", flow.stable_id());
+        let labels: &[(&str, &str)] = &[("node", &node), ("flow", &fid)];
+        FlowObs {
+            sent: self.registry.counter("flow.sent", labels),
+            delivered: self.registry.counter("flow.delivered", labels),
+            forwarded: self.registry.counter("flow.forwarded", labels),
+            dropped: self.registry.counter("flow.dropped", labels),
+        }
+    }
+
+    /// Increments a pre-registered counter by handle (the per-flow hot path).
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
         self.registry.inc(id);
     }
 

@@ -240,6 +240,12 @@ pub enum ClientOp {
         /// Optional payload content.
         payload: Bytes,
     },
+    /// Close a previously opened flow: the daemon retires every per-flow
+    /// trace (flow context, dedup window, send state).
+    CloseFlow {
+        /// The flow handle from [`ClientOp::OpenFlow`].
+        local_flow: u32,
+    },
     /// Join a multicast/anycast group (receivers only need to join).
     Join(GroupId),
     /// Leave a group.

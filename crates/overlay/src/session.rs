@@ -73,7 +73,6 @@ struct OutFlow {
     key: FlowKey,
     spec: FlowSpec,
     next_seq: u64,
-    paused: bool,
 }
 
 /// Destination-side delivery statistics for one flow.
@@ -149,8 +148,10 @@ impl SessionTable {
         Ok(addr)
     }
 
-    /// Disconnects a client, dropping its flows.
-    pub fn disconnect(&mut self, port: VirtualPort) {
+    /// Disconnects a client, dropping its flows. Returns the keys of the
+    /// dropped flows so the node can retire their shared state (flow
+    /// contexts, dedup windows).
+    pub fn disconnect(&mut self, port: VirtualPort) -> Vec<FlowKey> {
         self.clients.remove(&port);
         let gone: Vec<(VirtualPort, u32)> = self
             .out_flows
@@ -158,11 +159,14 @@ impl SessionTable {
             .filter(|(p, _)| *p == port)
             .copied()
             .collect();
+        let mut keys = Vec::with_capacity(gone.len());
         for k in gone {
             if let Some(f) = self.out_flows.remove(&k) {
                 self.by_key.remove(&f.key);
+                keys.push(f.key);
             }
         }
+        keys
     }
 
     /// The simulator process serving a connected port.
@@ -207,11 +211,18 @@ impl SessionTable {
                 key,
                 spec,
                 next_seq: 0,
-                paused: false,
             },
         );
         self.by_key.insert(key, (port, local_flow));
         Ok(key)
+    }
+
+    /// Closes one outgoing flow, returning its key so the node can retire
+    /// the flow's shared state. `None` if the client never opened it.
+    pub fn close_flow(&mut self, port: VirtualPort, local_flow: u32) -> Option<FlowKey> {
+        let f = self.out_flows.remove(&(port, local_flow))?;
+        self.by_key.remove(&f.key);
+        Some(f.key)
     }
 
     /// Prepares the next send on a flow: returns `(key, spec, seq)` the node
@@ -233,34 +244,13 @@ impl SessionTable {
         Ok((f.key, f.spec, f.next_seq))
     }
 
-    /// Relays IT-Reliable backpressure to the client that owns `flow`.
-    pub fn pause_flow(&mut self, flow: FlowKey, out: &mut Vec<SessionAction>) {
-        if let Some(&(port, local_flow)) = self.by_key.get(&flow) {
-            if let Some(f) = self.out_flows.get_mut(&(port, local_flow)) {
-                if !f.paused {
-                    f.paused = true;
-                    out.push(SessionAction::ToClient {
-                        port,
-                        event: SessionEvent::FlowPaused { local_flow },
-                    });
-                }
-            }
-        }
-    }
-
-    /// Releases backpressure on `flow`.
-    pub fn resume_flow(&mut self, flow: FlowKey, out: &mut Vec<SessionAction>) {
-        if let Some(&(port, local_flow)) = self.by_key.get(&flow) {
-            if let Some(f) = self.out_flows.get_mut(&(port, local_flow)) {
-                if f.paused {
-                    f.paused = false;
-                    out.push(SessionAction::ToClient {
-                        port,
-                        event: SessionEvent::FlowResumed { local_flow },
-                    });
-                }
-            }
-        }
+    /// The local client binding of an outgoing flow — `(port, local id)` —
+    /// if this node originated it. Backpressure state itself lives in the
+    /// shared [`FlowTable`](crate::flow::FlowTable); the node uses this
+    /// binding to route pause/resume events to the owning client.
+    #[must_use]
+    pub fn local_binding(&self, flow: &FlowKey) -> Option<(VirtualPort, u32)> {
+        self.by_key.get(flow).copied()
     }
 
     /// Delivery statistics for an incoming flow.
@@ -619,7 +609,7 @@ mod tests {
     }
 
     #[test]
-    fn backpressure_pause_resume_events() {
+    fn local_binding_resolves_own_flows_only() {
         let mut t = table();
         let key = t
             .open_flow(
@@ -629,21 +619,31 @@ mod tests {
                 FlowSpec::reliable(),
             )
             .unwrap();
-        let mut out = Vec::new();
-        t.pause_flow(key, &mut out);
-        t.pause_flow(key, &mut out); // idempotent
-        assert_eq!(out.len(), 1);
-        assert!(matches!(
-            out[0],
-            SessionAction::ToClient {
-                event: SessionEvent::FlowPaused { local_flow: 3 },
-                ..
-            }
-        ));
-        out.clear();
-        t.resume_flow(key, &mut out);
-        t.resume_flow(key, &mut out);
-        assert_eq!(out.len(), 1);
+        assert_eq!(t.local_binding(&key), Some((P, 3)));
+        // A flow this node only transits has no binding.
+        let foreign = FlowKey::new(
+            OverlayAddr::new(NodeId(7), 1),
+            Destination::Unicast(OverlayAddr::new(NodeId(8), 2)),
+        );
+        assert_eq!(t.local_binding(&foreign), None);
+    }
+
+    #[test]
+    fn close_flow_removes_binding_and_send_state() {
+        let mut t = table();
+        let key = t
+            .open_flow(
+                P,
+                3,
+                Destination::Unicast(OverlayAddr::new(NodeId(0), 1)),
+                FlowSpec::reliable(),
+            )
+            .unwrap();
+        assert_eq!(t.close_flow(P, 99), None, "unknown flow");
+        assert_eq!(t.close_flow(P, 3), Some(key));
+        assert_eq!(t.local_binding(&key), None);
+        assert!(t.next_send(P, 3).is_err());
+        assert_eq!(t.close_flow(P, 3), None, "second close is a no-op");
     }
 
     #[test]
@@ -657,11 +657,10 @@ mod tests {
                 FlowSpec::reliable(),
             )
             .unwrap();
-        t.disconnect(P);
+        let dropped = t.disconnect(P);
+        assert_eq!(dropped, vec![key]);
         assert_eq!(t.client_proc(P), None);
         assert!(t.next_send(P, 1).is_err());
-        let mut out = Vec::new();
-        t.pause_flow(key, &mut out);
-        assert!(out.is_empty(), "no events for disconnected clients");
+        assert_eq!(t.local_binding(&key), None);
     }
 }

@@ -3,7 +3,9 @@
 # mode plus the exp_throughput macro-benchmark in --smoke mode. Catches
 # benchmarks that no longer compile or panic without paying full-measurement
 # time. The throughput smoke writes its rows to a scratch file so the
-# committed BENCH_forwarding.json (full-run results) is left untouched.
+# committed BENCH_forwarding.json (full-run results) is left untouched —
+# but the smoke result is compared against the committed smoke baseline row
+# and the script fails on a >30% throughput regression.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,7 +13,39 @@ echo "==> cargo bench --workspace (smoke: --test)"
 cargo bench --workspace -- --test
 
 echo "==> exp_throughput --smoke"
-BENCH_OUT=target/obs/BENCH_forwarding.smoke.json \
+SMOKE_OUT=target/obs/BENCH_forwarding.smoke.json
+BENCH_OUT="$SMOKE_OUT" \
     cargo run --release -p son-bench --bin exp_throughput -- --smoke
+
+# Throughput regression guard: extract sim_pkts_per_wall_s from the smoke
+# rows of the fresh run and of the committed baseline, and fail if the
+# fresh figure fell more than 30% below the baseline. (Wall-clock noise on
+# shared runners is why the bar is this generous; a real fast-path
+# regression shows up far larger.)
+extract_smoke_pps() {
+    grep '"bench":"exp_throughput"' "$1" | grep '"mode":"smoke"' \
+        | sed -n 's/.*"sim_pkts_per_wall_s":\([0-9.eE+-]*\).*/\1/p' | tail -1
+}
+baseline=$(extract_smoke_pps BENCH_forwarding.json)
+fresh=$(extract_smoke_pps "$SMOKE_OUT")
+if [ -z "$baseline" ]; then
+    echo "ERROR: no smoke-mode baseline row in BENCH_forwarding.json" >&2
+    echo "(regenerate: cargo run --release -p son-bench --bin exp_throughput," >&2
+    echo " then append the smoke row from a BENCH_OUT=... --smoke run)" >&2
+    exit 1
+fi
+if [ -z "$fresh" ]; then
+    echo "ERROR: smoke run wrote no exp_throughput row to $SMOKE_OUT" >&2
+    exit 1
+fi
+echo "smoke throughput: $fresh sim pkts/wall s (baseline $baseline)"
+awk -v fresh="$fresh" -v base="$baseline" 'BEGIN {
+    floor = base * 0.70;
+    if (fresh < floor) {
+        printf "ERROR: smoke throughput %.0f fell >30%% below the committed baseline %.0f (floor %.0f)\n", fresh, base, floor;
+        exit 1;
+    }
+    printf "throughput guard passed (floor %.0f)\n", floor;
+}'
 
 echo "Bench smoke passed."
