@@ -35,6 +35,7 @@ fn pkt(seq: u64) -> DataPacket {
         payload: Bytes::new(),
         ttl: 32,
         auth_tag: 0,
+        trace: None,
     }
 }
 

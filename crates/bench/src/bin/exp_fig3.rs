@@ -12,9 +12,16 @@
 //! versus five 10 ms links (recovery is hop-local). We sweep the per-link
 //! loss rate and report delivery latency for the packets that needed
 //! recovery, plus overall smoothness (jitter).
+//!
+//! Every run samples 1-in-16 packets for distributed tracing and snapshots
+//! the flight recorder once per simulated second; `son-trace` reconstructs
+//! the exported `exp_fig3.trace.jsonl` into per-packet timelines showing
+//! exactly where each recovery happened. `--smoke` runs a single reduced
+//! loss point for CI.
 
 use son_bench::{
-    banner, export_registry, f, finish_export, obs_sink, row, table_header, UnicastRun,
+    banner, export_registry, export_timeseries, export_traces, f, finish_export, obs_sink, row,
+    table_header, UnicastRun,
 };
 use son_netsim::loss::LossConfig;
 use son_netsim::time::SimDuration;
@@ -23,6 +30,7 @@ use son_overlay::FlowSpec;
 use son_topo::NodeId;
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
     banner(
         "E1 / Figure 3",
         "50ms end-to-end ARQ recovers at >=150ms; five 10ms hop-by-hop links recover at ~70ms",
@@ -40,10 +48,13 @@ fn main() {
     ]);
 
     let mut sink = obs_sink("exp_fig3");
+    let mut trace_sink = obs_sink("exp_fig3.trace");
+    let mut ts_sink = obs_sink("exp_fig3.metrics_ts");
 
     // The end-to-end loss probability is matched: one 50ms link at loss p_e
     // vs five 10ms links each at p such that 1-(1-p)^5 = p_e.
-    for &e2e_loss in &[0.005f64, 0.02, 0.05] {
+    let sweep: &[f64] = if smoke { &[0.02] } else { &[0.005, 0.02, 0.05] };
+    for &e2e_loss in sweep {
         let per_link = 1.0 - (1.0 - e2e_loss).powf(0.2);
         for (label, topo, loss, from, to) in [
             (
@@ -63,14 +74,22 @@ fn main() {
         ] {
             let mut run = UnicastRun::new(topo, FlowSpec::reliable(), from, to);
             run.loss = LossConfig::Bernoulli { p: loss };
-            run.count = 20_000;
+            run.count = if smoke { 4_000 } else { 20_000 };
             run.interval = SimDuration::from_millis(5);
-            run.run_for = SimDuration::from_secs(150);
+            run.run_for = SimDuration::from_secs(if smoke { 40 } else { 150 });
             run.seed = 1_000 + (e2e_loss * 1e4) as u64;
+            run.node_config.trace_sample = 16;
+            run.ts_cadence = Some(SimDuration::from_secs(1));
             let out = run.run();
+            let tag = format!("{label}@{:.2}%", loss * 100.0);
             if let Some(sink) = &mut sink {
-                let tag = format!("{label}@{:.2}%", loss * 100.0);
                 let _ = export_registry(sink, &tag, &out.registry);
+            }
+            if let Some(sink) = &mut trace_sink {
+                let _ = export_traces(sink, &tag, &out.traces);
+            }
+            if let Some(sink) = &mut ts_sink {
+                let _ = export_timeseries(sink, &tag, &out.timeseries);
             }
 
             let mut lat = out.recv.latency_ms.clone();
@@ -106,8 +125,8 @@ fn main() {
         }
     }
 
-    if let Some(sink) = sink {
-        finish_export(sink);
+    for s in [sink, trace_sink, ts_sink].into_iter().flatten() {
+        finish_export(s);
     }
     println!();
     println!("Shape check (paper): recovered-packet latency ~150ms end-to-end vs ~70ms");

@@ -14,12 +14,13 @@
 //!   link is cut; link-state flooding reroutes around it.
 
 use son_bench::{
-    banner, export_registry, f, finish_export, gather_registry, obs_sink, row, table_header,
-    RX_PORT, TX_PORT,
+    banner, default_tracked, export_registry, export_timeseries, export_traces, f, finish_export,
+    gather_registry, gather_traces, obs_sink, row, table_header, RX_PORT, TX_PORT,
 };
 use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
 use son_netsim::sim::{ScenarioEvent, Simulation};
 use son_netsim::time::{SimDuration, SimTime};
+use son_obs::TimeSeriesRing;
 use son_overlay::builder::{continental_overlay, OverlayBuilder};
 use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
 use son_overlay::node::OverlayNode;
@@ -69,6 +70,8 @@ fn main() {
     ]);
 
     let mut sink = obs_sink("exp_rerouting");
+    let mut trace_sink = obs_sink("exp_rerouting.trace");
+    let mut ts_sink = obs_sink("exp_rerouting.metrics_ts");
 
     // ---- Internet baseline: one "overlay" link NYC->LA on one ISP. -------
     {
@@ -148,8 +151,15 @@ fn main() {
         let la = NodeId(cities.iter().position(|&c| c == sc.city("LA")).unwrap());
         let mut sim: Simulation<Wire> = Simulation::new(32);
         sim.set_underlay(sc.underlay.clone());
+        // Sample 1-in-16 packets for tracing so the exported trace records
+        // the reroute markers and the rerouted packets' new paths.
+        let node_config = son_overlay::NodeConfig {
+            trace_sample: 16,
+            ..son_overlay::NodeConfig::default()
+        };
         let overlay = OverlayBuilder::new(topo.clone())
             .place_in_cities(cities.clone())
+            .node_config(node_config)
             .build(&mut sim);
         let rx = sim.add_process(ClientProcess::new(ClientConfig {
             daemon: overlay.daemon(la),
@@ -183,9 +193,18 @@ fn main() {
             sim.schedule(FAIL_AT, ScenarioEvent::DisablePipe(ab));
             sim.schedule(FAIL_AT, ScenarioEvent::DisablePipe(ba));
         }
-        sim.run_until(RUN_FOR);
+        let mut recorder = TimeSeriesRing::new(256, default_tracked());
+        sim.run_with_cadence(RUN_FOR, SimDuration::from_secs(1), |sim, at| {
+            recorder.snapshot_registry(at.as_nanos(), &gather_registry(sim, &overlay));
+        });
         if let Some(sink) = &mut sink {
             let _ = export_registry(sink, what, &gather_registry(&sim, &overlay));
+        }
+        if let Some(sink) = &mut trace_sink {
+            let _ = export_traces(sink, what, &gather_traces(&sim, &overlay));
+        }
+        if let Some(sink) = &mut ts_sink {
+            let _ = export_timeseries(sink, what, &recorder.rows());
         }
         let client = sim.proc_ref::<ClientProcess>(rx).unwrap();
         let (gap, flowing) = outage(client.sole_recv());
@@ -208,8 +227,8 @@ fn main() {
         ]);
     }
 
-    if let Some(sink) = sink {
-        finish_export(sink);
+    for s in [sink, trace_sink, ts_sink].into_iter().flatten() {
+        finish_export(s);
     }
     println!();
     println!("Shape check (paper): the native Internet path blackholes for ~the BGP");

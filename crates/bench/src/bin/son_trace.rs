@@ -1,0 +1,269 @@
+//! # son-trace — the distributed-trace analyzer
+//!
+//! Ingests `*.trace.jsonl` exports (schema in `EXPERIMENTS.md`),
+//! reconstructs each sampled packet's end-to-end timeline, and prints the
+//! aggregate per-hop latency attribution: queueing at each daemon,
+//! propagation-plus-recovery on each link, and gap-to-recovery latencies
+//! where a link protocol repaired a loss.
+//!
+//! ```text
+//! son-trace [--self-check] [--limit N] FILE...
+//! ```
+//!
+//! `--self-check` verifies every reconstructed timeline's causal
+//! consistency (monotone time, contiguous hops, exactly one terminal) and
+//! exits non-zero on a violation or an empty export — CI runs this against
+//! the smoke experiment. `--limit N` caps the example timelines printed
+//! (default 3).
+
+use std::process::ExitCode;
+
+use son_bench::{banner, f, row, table_header};
+use son_obs::trace::{attribute, median_ns, reconstruct, self_check, Terminal, Timeline};
+use son_obs::{Json, TraceEvent, TraceStage};
+
+struct Args {
+    self_check: bool,
+    limit: usize,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        self_check: false,
+        limit: 3,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--self-check" => args.self_check = true,
+            "--limit" => {
+                let v = it.next().ok_or("--limit needs a value")?;
+                args.limit = v.parse().map_err(|_| format!("bad --limit value {v:?}"))?;
+            }
+            "--help" | "-h" => {
+                return Err("usage: son-trace [--self-check] [--limit N] FILE...".to_owned())
+            }
+            _ if arg.starts_with('-') => return Err(format!("unknown flag {arg}")),
+            _ => args.files.push(arg),
+        }
+    }
+    if args.files.is_empty() {
+        return Err("usage: son-trace [--self-check] [--limit N] FILE...".to_owned());
+    }
+    Ok(args)
+}
+
+/// Reads one JSONL export, keeping the trace rows (tagged with their run
+/// configuration) and ignoring the other kinds (counter / ts rows share
+/// experiment files). Trace ids are only unique within one run — sweeps
+/// replay the same flow and sequence range per configuration — so every
+/// event keeps its `run` tag and analysis groups by (run, trace id).
+fn load(path: &str) -> Result<Vec<(String, TraceEvent)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let json = Json::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        if let Some(ev) = TraceEvent::from_row(&json) {
+            let run = json
+                .get("run")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_owned();
+            events.push((run, ev));
+        }
+    }
+    Ok(events)
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn print_timeline(tl: &Timeline) {
+    let path: Vec<String> = tl.path().iter().map(|n| format!("n{n}")).collect();
+    println!(
+        "  trace {:#018x}  flow {} seq {}  path {}  {}{}",
+        tl.trace_id,
+        tl.packet.flow,
+        tl.packet.seq,
+        path.join(" -> "),
+        match tl.terminal() {
+            Terminal::Delivered => "delivered".to_owned(),
+            Terminal::Dropped(c) => format!("dropped ({})", c.label()),
+            Terminal::LostInFlight => "lost in flight".to_owned(),
+        },
+        if tl.source_routed() {
+            "  [source-routed]"
+        } else {
+            ""
+        },
+    );
+    let start = tl.events.first().map_or(0, |e| e.at_ns);
+    for e in &tl.events {
+        let detail = match e.stage {
+            TraceStage::Recovered { after_ns } => format!("  after {:.2} ms", ms(after_ns)),
+            TraceStage::Drop(c) => format!("  {}", c.label()),
+            _ => String::new(),
+        };
+        println!(
+            "    +{:>9.3} ms  hop {}  n{:<4} {}{}",
+            ms(e.at_ns - start),
+            e.hop,
+            e.node,
+            e.stage.label(),
+            detail
+        );
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let mut by_run: std::collections::BTreeMap<String, Vec<TraceEvent>> =
+        std::collections::BTreeMap::new();
+    for file in &args.files {
+        for (run, ev) in load(file)? {
+            by_run.entry(run).or_default().push(ev);
+        }
+    }
+
+    // Reconstruct and self-check per run (trace ids collide across runs);
+    // the aggregate tables then pool every run's timelines.
+    let mut timelines = Vec::new();
+    let mut events_total = 0;
+    let mut markers_total = 0;
+    let mut violations = Vec::new();
+    for (run, events) in &mut by_run {
+        events.sort_by_key(|e| (e.at_ns, e.trace_id, e.hop, e.stage.rank()));
+        let report = self_check(events);
+        events_total += report.events;
+        markers_total += report.markers;
+        violations.extend(
+            report
+                .violations
+                .into_iter()
+                .map(|v| format!("[{run}] {v}")),
+        );
+        timelines.extend(reconstruct(events));
+    }
+
+    banner(
+        "son-trace",
+        "Per-packet end-to-end timelines from distributed trace events",
+    );
+    println!(
+        "events: {} per-packet, {} node-scope markers, {} timelines over {} runs",
+        events_total,
+        markers_total,
+        timelines.len(),
+        by_run.len()
+    );
+    let delivered: Vec<&Timeline> = timelines
+        .iter()
+        .filter(|t| t.terminal() == Terminal::Delivered)
+        .collect();
+    let dropped = timelines
+        .iter()
+        .filter(|t| matches!(t.terminal(), Terminal::Dropped(_)))
+        .count();
+    let lost = timelines
+        .iter()
+        .filter(|t| t.terminal() == Terminal::LostInFlight)
+        .count();
+    let recovered: Vec<&Timeline> = delivered
+        .iter()
+        .copied()
+        .filter(|t| t.recovery_ns() > 0)
+        .collect();
+    println!(
+        "terminals: {} delivered ({} via recovery), {} dropped, {} lost in flight",
+        delivered.len(),
+        recovered.len(),
+        dropped,
+        lost
+    );
+    let e2e: Vec<u64> = delivered.iter().filter_map(|t| t.e2e_ns()).collect();
+    let e2e_rec: Vec<u64> = recovered.iter().filter_map(|t| t.e2e_ns()).collect();
+    println!(
+        "e2e latency: p50 {:.2} ms over all delivered, p50 {:.2} ms over recovered",
+        ms(median_ns(&e2e)),
+        ms(median_ns(&e2e_rec))
+    );
+
+    if !timelines.is_empty() {
+        println!("\nper-hop attribution (hop h = h-th daemon and the link leaving it):");
+        table_header(&[
+            ("hop", 4),
+            ("arrivals", 9),
+            ("queue p50 ms", 13),
+            ("link p50 ms", 12),
+            ("recoveries", 11),
+            ("recovery p50 ms", 16),
+        ]);
+        for (hop, stat) in attribute(&timelines).iter().enumerate() {
+            row(&[
+                (hop.to_string(), 4),
+                (stat.arrivals.to_string(), 9),
+                (f(ms(median_ns(&stat.queue_ns)), 3), 13),
+                (f(ms(median_ns(&stat.link_ns)), 3), 12),
+                (stat.recoveries.to_string(), 11),
+                (f(ms(median_ns(&stat.recovery_ns)), 3), 16),
+            ]);
+        }
+    }
+
+    if args.limit > 0 {
+        // Show the most interesting examples first: recovered packets beat
+        // clean deliveries.
+        let mut examples: Vec<&Timeline> = recovered.clone();
+        examples.extend(delivered.iter().copied().filter(|t| t.recovery_ns() == 0));
+        if !examples.is_empty() {
+            println!("\nexample timelines:");
+            for tl in examples.iter().take(args.limit) {
+                print_timeline(tl);
+            }
+        }
+    }
+
+    if !violations.is_empty() {
+        println!("\ncausal-consistency violations:");
+        for v in &violations {
+            println!("  {v}");
+        }
+    }
+    if args.self_check {
+        if timelines.is_empty() {
+            println!("\nself-check: FAIL (no timelines reconstructed)");
+            return Ok(false);
+        }
+        if !violations.is_empty() {
+            println!(
+                "\nself-check: FAIL ({} violations over {} timelines)",
+                violations.len(),
+                timelines.len()
+            );
+            return Ok(false);
+        }
+        println!(
+            "\nself-check: ok ({} timelines, {} events causally consistent)",
+            timelines.len(),
+            events_total
+        );
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("son-trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

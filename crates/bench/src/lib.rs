@@ -8,7 +8,8 @@
 use son_netsim::loss::LossConfig;
 use son_netsim::sim::Simulation;
 use son_netsim::time::{SimDuration, SimTime};
-use son_obs::{registry_rows, Json, JsonlSink, Registry};
+use son_obs::trace::TraceEvent;
+use son_obs::{registry_rows, Json, JsonlSink, Registry, TimeSeriesRing};
 use son_overlay::builder::OverlayBuilder;
 use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, FlowRecv, Workload};
 use son_overlay::node::OverlayNode;
@@ -64,6 +65,14 @@ pub struct UnicastOutcome {
     /// view, plus the simulator's pipe-level counters — ready for
     /// [`export_registry`].
     pub registry: Registry,
+    /// Every daemon's trace events, merged and time-sorted — ready for
+    /// [`export_traces`]. Empty unless the run's `node_config` enables
+    /// sampling (`trace_sample > 0`).
+    pub traces: Vec<TraceEvent>,
+    /// Flight-recorder samples taken on the run's `ts_cadence`, as JSONL
+    /// rows — ready for [`export_timeseries`]. Empty when `ts_cadence` is
+    /// `None`.
+    pub timeseries: Vec<Json>,
 }
 
 /// Configuration of one unicast harness run.
@@ -91,6 +100,9 @@ pub struct UnicastRun {
     pub seed: u64,
     /// Virtual time horizon.
     pub run_for: SimDuration,
+    /// When set, the flight recorder snapshots the experiment-wide
+    /// counters ([`default_tracked`]) at this sim-clock cadence.
+    pub ts_cadence: Option<SimDuration>,
 }
 
 impl UnicastRun {
@@ -109,6 +121,7 @@ impl UnicastRun {
             interval: SimDuration::from_millis(10),
             seed: 42,
             run_for: SimDuration::from_secs(30),
+            ts_cadence: None,
         }
     }
 
@@ -142,8 +155,22 @@ impl UnicastRun {
                 },
             }],
         }));
-        sim.run_until(SimTime::ZERO + self.run_for);
-        harvest(&sim, &overlay, tx, rx, self.spec.link)
+        let until = SimTime::ZERO + self.run_for;
+        let timeseries = match self.ts_cadence {
+            None => {
+                sim.run_until(until);
+                Vec::new()
+            }
+            Some(cadence) => {
+                let mut recorder = TimeSeriesRing::new(4096, default_tracked());
+                sim.run_with_cadence(until, cadence, |sim, at| {
+                    let reg = gather_registry(sim, &overlay);
+                    recorder.snapshot_registry(at.as_nanos(), &reg);
+                });
+                recorder.rows()
+            }
+        };
+        harvest(&sim, &overlay, tx, rx, self.spec.link, timeseries)
     }
 }
 
@@ -155,6 +182,7 @@ pub fn harvest(
     tx: son_netsim::process::ProcessId,
     rx: son_netsim::process::ProcessId,
     service: LinkService,
+    timeseries: Vec<Json>,
 ) -> UnicastOutcome {
     let sent = sim.proc_ref::<ClientProcess>(tx).expect("sender").sent(1);
     let recv = sim
@@ -167,6 +195,7 @@ pub fn harvest(
         .unwrap_or_default();
     let (wire, dedup_suppressed, forwarded) = wire_stats(sim, overlay, service);
     let registry = gather_registry(sim, overlay);
+    let traces = gather_traces(sim, overlay);
     UnicastOutcome {
         sent,
         recv,
@@ -174,7 +203,79 @@ pub fn harvest(
         dedup_suppressed,
         forwarded,
         registry,
+        traces,
+        timeseries,
     }
+}
+
+/// The counters the flight recorder tracks by default: the cross-layer
+/// signals a post-mortem reads first (work done, recovery churn, routing
+/// churn).
+#[must_use]
+pub fn default_tracked() -> Vec<String> {
+    [
+        "node.forwarded",
+        "node.delivered_local",
+        "link.retransmit",
+        "link.loss_detected",
+        "reroutes",
+        "provider_switches",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect()
+}
+
+/// Merges every daemon's trace ring into one time-sorted event stream.
+/// Sorting is by `(at_ns, trace_id, hop, node)` so equal-time events from
+/// different daemons land in a deterministic order.
+#[must_use]
+pub fn gather_traces(sim: &Simulation<Wire>, overlay: &OverlayHandle) -> Vec<TraceEvent> {
+    let mut events: Vec<TraceEvent> = Vec::new();
+    for &d in &overlay.daemons {
+        let node = sim.proc_ref::<OverlayNode>(d).expect("daemon");
+        events.extend(node.obs().traces().events().copied());
+    }
+    events.sort_by_key(|e| (e.at_ns, e.trace_id, e.hop, e.node));
+    events
+}
+
+/// Writes one JSONL row per trace event into `sink`, tagging each row with
+/// `run`. Schema is documented in `EXPERIMENTS.md`.
+///
+/// # Errors
+///
+/// Propagates the I/O error if a write fails.
+pub fn export_traces(
+    sink: &mut JsonlSink,
+    run: &str,
+    events: &[TraceEvent],
+) -> std::io::Result<()> {
+    for event in events {
+        let mut row = event.row();
+        if let Json::Obj(pairs) = &mut row {
+            pairs.insert(0, ("run".to_owned(), Json::str(run)));
+        }
+        sink.write(&row)?;
+    }
+    Ok(())
+}
+
+/// Writes the flight recorder's samples into `sink`, tagging each row with
+/// `run`. Schema is documented in `EXPERIMENTS.md`.
+///
+/// # Errors
+///
+/// Propagates the I/O error if a write fails.
+pub fn export_timeseries(sink: &mut JsonlSink, run: &str, rows: &[Json]) -> std::io::Result<()> {
+    for row in rows {
+        let mut row = row.clone();
+        if let Json::Obj(pairs) = &mut row {
+            pairs.insert(0, ("run".to_owned(), Json::str(run)));
+        }
+        sink.write(&row)?;
+    }
+    Ok(())
 }
 
 /// Absorbs every daemon's metrics registry into one experiment-wide

@@ -179,10 +179,12 @@ impl CsvSink {
     }
 }
 
-/// Escapes one CSV field (quoted when it contains a comma, quote, or newline).
+/// Escapes one CSV field per RFC 4180: quoted when it contains a comma,
+/// quote, or either line-break character (CR was previously missed, which
+/// corrupted rows for label values carrying carriage returns).
 #[must_use]
 pub fn csv_field(s: &str) -> String {
-    if s.contains([',', '"', '\n']) {
+    if s.contains([',', '"', '\n', '\r']) {
         let mut out = String::with_capacity(s.len() + 2);
         out.push('"');
         for c in s.chars() {
@@ -334,6 +336,67 @@ mod tests {
             content,
             "name,value\nplain,1\n\"needs,quote\",\"say \"\"hi\"\"\"\n"
         );
+        fs::remove_file(written).unwrap();
+    }
+
+    /// A minimal RFC 4180 reader used only to verify the writer round-trips.
+    fn parse_csv(content: &str) -> Vec<Vec<String>> {
+        let mut rows = Vec::new();
+        let mut row = Vec::new();
+        let mut field = String::new();
+        let mut quoted = false;
+        let mut chars = content.chars().peekable();
+        while let Some(c) = chars.next() {
+            if quoted {
+                if c == '"' {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                } else {
+                    field.push(c);
+                }
+            } else {
+                match c {
+                    '"' => quoted = true,
+                    ',' => row.push(std::mem::take(&mut field)),
+                    '\n' => {
+                        row.push(std::mem::take(&mut field));
+                        rows.push(std::mem::take(&mut row));
+                    }
+                    _ => field.push(c),
+                }
+            }
+        }
+        if !field.is_empty() || !row.is_empty() {
+            row.push(field);
+            rows.push(row);
+        }
+        rows
+    }
+
+    #[test]
+    fn csv_fields_with_separators_and_breaks_round_trip() {
+        let path = tmp("roundtrip.csv");
+        let tricky = [
+            ["plain", "1"],
+            ["comma,inside", "quote \"inside\""],
+            ["line\nbreak", "carriage\rreturn"],
+            ["crlf\r\npair", "\"all\",of\nit\r"],
+        ];
+        let mut sink = CsvSink::create(&path, &["label", "value"]).unwrap();
+        for row in &tricky {
+            sink.row(row).unwrap();
+        }
+        let written = sink.finish().unwrap();
+        let content = fs::read_to_string(&written).unwrap();
+        let parsed = parse_csv(&content);
+        assert_eq!(parsed[0], vec!["label", "value"]);
+        for (expected, got) in tricky.iter().zip(&parsed[1..]) {
+            assert_eq!(got, expected);
+        }
         fs::remove_file(written).unwrap();
     }
 

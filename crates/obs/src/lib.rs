@@ -29,6 +29,8 @@ pub mod json;
 pub mod registry;
 pub mod span;
 pub mod taxonomy;
+pub mod timeseries;
+pub mod trace;
 
 pub use export::{obs_dir, registry_rows, summary, CsvSink, JsonlSink};
 pub use hist::LatencyHistogram;
@@ -36,6 +38,11 @@ pub use json::Json;
 pub use registry::{CounterId, GaugeId, HistId, InstrumentDesc, Registry};
 pub use span::{PacketKey, SpanEvent, SpanRing, SpanStage};
 pub use taxonomy::DropClass;
+pub use timeseries::{TimeSeriesRing, TsSample};
+pub use trace::{
+    attribute, median_ns, reconstruct, self_check, HopStat, SelfCheck, Terminal, Timeline,
+    TraceContext, TraceEvent, TraceRing, TraceStage, TRACE_CONTEXT_BYTES,
+};
 
 /// One-stop imports for instrumented components.
 pub mod prelude {
@@ -45,4 +52,6 @@ pub mod prelude {
     pub use crate::registry::{CounterId, GaugeId, HistId, Registry};
     pub use crate::span::{PacketKey, SpanEvent, SpanRing, SpanStage};
     pub use crate::taxonomy::DropClass;
+    pub use crate::timeseries::TimeSeriesRing;
+    pub use crate::trace::{TraceContext, TraceEvent, TraceRing, TraceStage};
 }

@@ -92,13 +92,17 @@ impl SpanRing {
         }
     }
 
-    /// Records one event.
-    pub fn record(&mut self, event: SpanEvent) {
-        if self.ring.len() == self.capacity {
+    /// Records one event; returns `true` if an older event was evicted to
+    /// make room (so callers can count overflow instead of losing history
+    /// silently).
+    pub fn record(&mut self, event: SpanEvent) -> bool {
+        let evicting = self.ring.len() == self.capacity;
+        if evicting {
             self.ring.pop_front();
         }
         self.ring.push_back(event);
         self.recorded += 1;
+        evicting
     }
 
     /// Retained events, oldest first.
@@ -147,9 +151,13 @@ mod tests {
     #[test]
     fn ring_bounds_memory() {
         let mut r = SpanRing::new(3);
+        let mut evictions = 0u64;
         for i in 0..10 {
-            r.record(ev(i, i, SpanStage::Transmit));
+            if r.record(ev(i, i, SpanStage::Transmit)) {
+                evictions += 1;
+            }
         }
+        assert_eq!(evictions, r.evicted());
         assert_eq!(r.events().count(), 3);
         assert_eq!(r.recorded(), 10);
         assert_eq!(r.evicted(), 7);

@@ -1,0 +1,170 @@
+//! The flight recorder: bounded time series of selected instruments.
+//!
+//! End-of-run registry totals answer *how much*; experiments about dynamics
+//! (reroute gaps, churn, recovery bursts) also need *when*. A
+//! [`TimeSeriesRing`] snapshots a fixed set of instrument values on a
+//! simulation-clock cadence (driven by the harness via
+//! `Simulation::run_with_cadence`), keeping the last `capacity` samples, and
+//! exports them as `metrics_ts.jsonl` rows alongside the trace export.
+
+use std::collections::VecDeque;
+
+use crate::json::Json;
+use crate::registry::Registry;
+
+/// One cadence tick: every tracked series sampled at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsSample {
+    /// Simulation time of the snapshot, nanoseconds.
+    pub at_ns: u64,
+    /// Values in tracked-series order.
+    pub values: Vec<f64>,
+}
+
+/// A bounded ring of periodic snapshots of named instrument values.
+#[derive(Debug)]
+pub struct TimeSeriesRing {
+    tracked: Vec<String>,
+    ring: VecDeque<TsSample>,
+    capacity: usize,
+    recorded: u64,
+}
+
+impl TimeSeriesRing {
+    /// Creates a recorder tracking `tracked` series names, keeping at most
+    /// `capacity` samples (oldest evicted first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or no series are tracked.
+    #[must_use]
+    pub fn new(capacity: usize, tracked: Vec<String>) -> Self {
+        assert!(capacity > 0, "time-series capacity must be positive");
+        assert!(!tracked.is_empty(), "must track at least one series");
+        TimeSeriesRing {
+            tracked,
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            recorded: 0,
+        }
+    }
+
+    /// The tracked series names, in sample order.
+    #[must_use]
+    pub fn tracked(&self) -> &[String] {
+        &self.tracked
+    }
+
+    /// Takes one snapshot at `at_ns`, reading each tracked series through
+    /// `read`. Returns `true` if an older sample was evicted.
+    pub fn snapshot_with(&mut self, at_ns: u64, mut read: impl FnMut(&str) -> f64) -> bool {
+        let values = self.tracked.iter().map(|name| read(name)).collect();
+        let evicting = self.ring.len() == self.capacity;
+        if evicting {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(TsSample { at_ns, values });
+        self.recorded += 1;
+        evicting
+    }
+
+    /// Takes one snapshot of counter totals (summed across label sets) from
+    /// `registry`. Series missing from the registry sample as 0.
+    pub fn snapshot_registry(&mut self, at_ns: u64, registry: &Registry) -> bool {
+        self.snapshot_with(at_ns, |name| registry.counter_total(name) as f64)
+    }
+
+    /// Retained samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &TsSample> {
+        self.ring.iter()
+    }
+
+    /// Total snapshots ever taken, including evicted ones.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Snapshots evicted by the ring bound.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.recorded - self.ring.len() as u64
+    }
+
+    /// The retained series as `metrics_ts.jsonl` rows, one per
+    /// (sample, series) pair: `{"kind":"ts","at_ns":…,"name":…,"value":…}`.
+    #[must_use]
+    pub fn rows(&self) -> Vec<Json> {
+        let mut rows = Vec::with_capacity(self.ring.len() * self.tracked.len());
+        for sample in &self.ring {
+            for (name, value) in self.tracked.iter().zip(&sample.values) {
+                rows.push(Json::obj(vec![
+                    ("kind", Json::str("ts")),
+                    ("at_ns", Json::U64(sample.at_ns)),
+                    ("name", Json::str(name)),
+                    ("value", Json::F64(*value)),
+                ]));
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn tracked() -> Vec<String> {
+        vec!["a".to_owned(), "b".to_owned()]
+    }
+
+    #[test]
+    fn snapshots_sample_every_series_in_order() {
+        let mut ts = TimeSeriesRing::new(8, tracked());
+        ts.snapshot_with(100, |name| if name == "a" { 1.0 } else { 2.0 });
+        ts.snapshot_with(200, |name| if name == "a" { 3.0 } else { 4.0 });
+        let samples: Vec<&TsSample> = ts.samples().collect();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].at_ns, 100);
+        assert_eq!(samples[0].values, vec![1.0, 2.0]);
+        assert_eq!(samples[1].values, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn ring_bounds_and_reports_eviction() {
+        let mut ts = TimeSeriesRing::new(2, tracked());
+        assert!(!ts.snapshot_with(1, |_| 0.0));
+        assert!(!ts.snapshot_with(2, |_| 0.0));
+        assert!(ts.snapshot_with(3, |_| 0.0));
+        assert_eq!(ts.recorded(), 3);
+        assert_eq!(ts.evicted(), 1);
+        assert_eq!(ts.samples().next().unwrap().at_ns, 2);
+    }
+
+    #[test]
+    fn registry_snapshots_sum_label_sets_and_default_missing_to_zero() {
+        let mut reg = Registry::new();
+        let c1 = reg.counter("a", &[("link", "0")]);
+        let c2 = reg.counter("a", &[("link", "1")]);
+        reg.inc(c1);
+        reg.add(c2, 4);
+        let mut ts = TimeSeriesRing::new(4, tracked());
+        ts.snapshot_registry(7, &reg);
+        let sample = ts.samples().next().unwrap();
+        assert_eq!(sample.values, vec![5.0, 0.0]);
+    }
+
+    #[test]
+    fn rows_carry_schema_fields() {
+        let mut ts = TimeSeriesRing::new(4, tracked());
+        ts.snapshot_with(50, |_| 9.0);
+        let rows = ts.rows();
+        assert_eq!(rows.len(), 2);
+        let parsed = Json::parse(&rows[0].to_json()).unwrap();
+        assert_eq!(parsed.get("kind").unwrap().as_str(), Some("ts"));
+        assert_eq!(parsed.get("at_ns").unwrap().as_u64(), Some(50));
+        assert_eq!(parsed.get("name").unwrap().as_str(), Some("a"));
+        assert_eq!(parsed.get("value").unwrap().as_f64(), Some(9.0));
+    }
+}

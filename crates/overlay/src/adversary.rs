@@ -120,6 +120,7 @@ mod tests {
             payload: Bytes::new(),
             ttl: 8,
             auth_tag: 0,
+            trace: None,
         }
     }
 

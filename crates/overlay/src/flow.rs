@@ -58,6 +58,9 @@ pub struct FlowContext {
     /// IT-Reliable backpressure state: `true` while the owning client is
     /// paused.
     paused: bool,
+    /// The flow's [`FlowKey::stable_id`], hashed once at creation: the
+    /// ingress trace sampler consults it per packet.
+    stable_id: u64,
     /// Pre-registered per-flow counter handles in the node's registry.
     obs: FlowObs,
 }
@@ -92,6 +95,12 @@ impl FlowContext {
     pub fn obs(&self) -> FlowObs {
         self.obs
     }
+
+    /// The flow's stable 64-bit identity, cached at context creation.
+    #[must_use]
+    pub fn stable_id(&self) -> u64 {
+        self.stable_id
+    }
 }
 
 /// The per-node flow table: one [`FlowContext`] per flow this node has
@@ -118,6 +127,7 @@ impl FlowTable {
             upstream: None,
             mask: None,
             paused: false,
+            stable_id: key.stable_id(),
             obs: obs.flow_counters(&key),
         })
     }

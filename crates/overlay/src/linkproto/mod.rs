@@ -69,6 +69,12 @@ pub enum LinkAction {
 pub enum LinkEvent {
     /// A retransmission (or FEC repair) was put on the wire.
     Retransmit,
+    /// The receiver noticed a sequence gap on this link and started
+    /// recovery (a NACK for Reliable, a strike schedule for NM-Strikes).
+    /// The lost packet itself has not arrived, so the event carries no
+    /// packet identity; it feeds the `link.loss_detected` counter and a
+    /// node-scope trace marker.
+    LossDetected,
     /// A previously missing packet was recovered `after` the receiver first
     /// noticed the gap — the per-hop recovery latency the paper's Fig. 3/5
     /// measure.
@@ -216,7 +222,14 @@ pub(crate) mod testutil {
             payload: Bytes::new(),
             ttl: 32,
             auth_tag: 0,
+            trace: None,
         }
+    }
+
+    /// Stamps a trace context on a test packet (hop as seen at this node).
+    pub fn traced(mut p: DataPacket, trace_id: u64, hop: u8) -> DataPacket {
+        p.trace = Some(son_obs::trace::TraceContext { id: trace_id, hop });
+        p
     }
 
     /// Extracts transmitted packets from an action list.
@@ -255,7 +268,75 @@ pub(crate) mod testutil {
 
 #[cfg(test)]
 mod tests {
+    use super::testutil::{delivered, pkt, traced, transmitted};
     use super::*;
+    use crate::service::RealtimeParams;
+
+    /// Every link protocol must carry the packet's trace context through
+    /// unchanged — the context is header state, owned by the routing level;
+    /// protocols rewrite only `link_seq`.
+    #[test]
+    fn protocols_propagate_trace_context() {
+        let now = SimTime::from_millis(1);
+        let protos: Vec<Box<dyn LinkProto>> = vec![
+            Box::new(BestEffortLink::default()),
+            Box::new(ReliableLink::new(SimDuration::from_millis(40))),
+            Box::new(RealtimeLink::new(RealtimeParams::live_tv())),
+            Box::new(FifoLink::new(64, None)),
+        ];
+        for mut proto in protos {
+            let mut out = Vec::new();
+            proto.on_send(now, traced(pkt(1, 100), 99, 2), &mut out);
+            let txs = transmitted(&out);
+            assert_eq!(txs.len(), 1);
+            let sent = txs[0].clone();
+            assert_eq!(
+                sent.trace,
+                Some(son_obs::trace::TraceContext { id: 99, hop: 2 }),
+                "{proto:?} lost the trace context on send"
+            );
+            let mut rx_out = Vec::new();
+            proto.on_data(now, sent, &mut rx_out);
+            let rx = delivered(&rx_out);
+            assert_eq!(rx.len(), 1);
+            assert_eq!(
+                rx[0].trace,
+                Some(son_obs::trace::TraceContext { id: 99, hop: 2 }),
+                "{proto:?} lost the trace context on receive"
+            );
+        }
+    }
+
+    /// Gap detection must be observable: both recovery protocols report
+    /// `LossDetected` the moment the receiver notices a sequence gap.
+    #[test]
+    fn receivers_report_loss_detected_on_gap() {
+        let now = SimTime::from_millis(1);
+        let loss_events = |out: &[LinkAction]| {
+            out.iter()
+                .filter(|a| matches!(a, LinkAction::Observe(LinkEvent::LossDetected)))
+                .count()
+        };
+
+        let mut rel = ReliableLink::new(SimDuration::from_millis(40));
+        let mut out = Vec::new();
+        let mut p1 = pkt(1, 100);
+        p1.link_seq = 1;
+        rel.on_data(now, p1, &mut out);
+        assert_eq!(loss_events(&out), 0, "in-order arrival is not a gap");
+        out.clear();
+        let mut p4 = pkt(4, 100);
+        p4.link_seq = 4;
+        rel.on_data(now, p4, &mut out);
+        assert_eq!(loss_events(&out), 2, "seqs 2 and 3 are missing");
+
+        let mut rt = RealtimeLink::new(RealtimeParams::live_tv());
+        let mut out = Vec::new();
+        let mut p2 = pkt(2, 100);
+        p2.link_seq = 2;
+        rt.on_data(now, p2, &mut out);
+        assert_eq!(loss_events(&out), 1, "seq 1 is missing");
+    }
 
     #[test]
     fn overhead_ratio_counts_retransmissions() {

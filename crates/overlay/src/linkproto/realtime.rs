@@ -155,6 +155,7 @@ impl LinkProto for RealtimeLink {
             let mut immediate = Vec::new();
             for g in self.high + 1..seq {
                 self.missing.insert(g, (1, now));
+                out.push(LinkAction::Observe(LinkEvent::LossDetected));
                 immediate.push(g);
                 for strike in 1..self.params.n_requests {
                     self.arm(

@@ -134,6 +134,7 @@ impl LinkProto for ReliableLink {
             let missing: Vec<u64> = (prev_high + 1..seq).take(MAX_NACK).collect();
             for &m in &missing {
                 self.gap_noticed.insert(m, now);
+                out.push(LinkAction::Observe(LinkEvent::LossDetected));
             }
             self.stats.ctl_sent += 1;
             out.push(LinkAction::TransmitCtl(LinkCtl::ReliableNack { missing }));

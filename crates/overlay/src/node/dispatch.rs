@@ -17,6 +17,7 @@ use son_netsim::link::PipeId;
 use son_netsim::process::{Process, ProcessId};
 use son_netsim::sim::Ctx;
 use son_netsim::time::SimDuration;
+use son_obs::trace::TraceStage;
 use son_obs::SpanStage;
 
 use crate::addr::Destination;
@@ -32,6 +33,12 @@ use super::{OverlayNode, TimerKey, CLIENT_IPC_DELAY};
 
 /// One action emitted by any level of the node, tagged with the context the
 /// dispatch loop needs to apply it.
+///
+/// `Link` dominates the enum's size because it carries a `DataPacket`
+/// inline; boxing it would put a heap allocation on the per-packet
+/// forwarding path, and actions only ever live briefly on the dispatch
+/// stack, so the size imbalance costs nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum NodeAction {
     /// A link-protocol action from the protocol instance at `(link, slot)`.
@@ -130,9 +137,11 @@ impl OverlayNode {
                 .map(|action| NodeAction::Link { link, slot, action }),
         );
         self.bufs.put_link(la);
-        let saved = std::mem::replace(&mut self.pending_recover, false);
+        let saved_recover = self.pending_recover.take();
+        let saved_retransmit = std::mem::replace(&mut self.pending_retransmit, false);
         self.dispatch(ctx, batch);
-        self.pending_recover = saved;
+        self.pending_recover = saved_recover;
+        self.pending_retransmit = saved_retransmit;
     }
 
     /// Dispatches a batch of session actions.
@@ -231,6 +240,9 @@ impl OverlayNode {
                     let snap = self.conn.snapshot();
                     self.forwarding.install(snap, self.conn.version());
                     self.obs.named("reroutes");
+                    if self.config.trace_sample > 0 {
+                        self.obs.trace_marker(ctx.now(), TraceStage::Reroute, None);
+                    }
                 }
             },
             NodeAction::Group(GroupAction::Flood { except, update }) => {
@@ -261,9 +273,21 @@ impl OverlayNode {
             LinkAction::Transmit(pkt) => {
                 self.obs
                     .span(ctx.now(), &pkt, SpanStage::Transmit, Some(link));
+                if let Some(tctx) = pkt.trace {
+                    let stage = if std::mem::take(&mut self.pending_retransmit) {
+                        TraceStage::Retransmit
+                    } else {
+                        TraceStage::Transmit
+                    };
+                    self.obs.trace(ctx.now(), tctx, &pkt, stage, Some(link));
+                }
                 self.send_on_link(ctx, link, None, Wire::Data(pkt));
             }
             LinkAction::TransmitCtl(ctl) => {
+                // FEC reports repair transmissions as retransmits but ships
+                // them as control; do not let the flag leak onto a later
+                // unrelated data transmit.
+                self.pending_retransmit = false;
                 self.send_on_link(
                     ctx,
                     link,
@@ -274,10 +298,29 @@ impl OverlayNode {
                     },
                 );
             }
-            LinkAction::Deliver(pkt) => {
-                if std::mem::take(&mut self.pending_recover) {
+            LinkAction::Deliver(mut pkt) => {
+                let recovered_after = self.pending_recover.take();
+                if recovered_after.is_some() {
                     self.obs
                         .span(ctx.now(), &pkt, SpanStage::Recover, Some(link));
+                }
+                // One more overlay link traversed: bump the trace hop so
+                // every event at this node carries the incremented count,
+                // then attribute the link's recovery latency to the arrival.
+                if let Some(tctx) = pkt.trace.as_mut() {
+                    tctx.hop = tctx.hop.saturating_add(1);
+                    let tctx = *tctx;
+                    if let Some(after) = recovered_after {
+                        self.obs.trace(
+                            ctx.now(),
+                            tctx,
+                            &pkt,
+                            TraceStage::Recovered {
+                                after_ns: after.as_nanos(),
+                            },
+                            Some(link),
+                        );
+                    }
                 }
                 let in_edge = self.links[link].edge;
                 // Remember the upstream of IT-Reliable flows for credits.
@@ -288,8 +331,18 @@ impl OverlayNode {
                 self.handle_upward(ctx, pkt, Some(in_edge), Some(link));
             }
             LinkAction::Observe(event) => {
-                if matches!(event, LinkEvent::Recovered { .. }) {
-                    self.pending_recover = true;
+                match event {
+                    LinkEvent::Recovered { after } => self.pending_recover = Some(after),
+                    LinkEvent::Retransmit => self.pending_retransmit = true,
+                    LinkEvent::LossDetected => {
+                        // A node-scope marker: the lost packet has no
+                        // identity yet. Only worth exporting on tracing runs.
+                        if self.config.trace_sample > 0 {
+                            self.obs
+                                .trace_marker(ctx.now(), TraceStage::LossDetected, Some(link));
+                        }
+                    }
+                    LinkEvent::Drop(_) => {}
                 }
                 self.obs.link_event(slot_label(slot), event);
             }

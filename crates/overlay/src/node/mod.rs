@@ -88,6 +88,11 @@ pub struct NodeConfig {
     /// Record per-packet lifecycle spans (counters are always on; this
     /// additionally fills the node's bounded span ring).
     pub obs_detail: bool,
+    /// Distributed-tracing sampling rate at this ingress: 1-in-`trace_sample`
+    /// packets get a [`son_obs::trace::TraceContext`] stamped in the header
+    /// (0 disables tracing). Transit nodes honor whatever the ingress
+    /// decided, so only ingress nodes of interest need this set.
+    pub trace_sample: u32,
 }
 
 impl Default for NodeConfig {
@@ -104,6 +109,7 @@ impl Default for NodeConfig {
             auth_enabled: false,
             ttl: 32,
             obs_detail: false,
+            trace_sample: 0,
         }
     }
 }
@@ -160,10 +166,16 @@ pub struct OverlayNode {
     /// Reusable action buffers for the dispatch loop.
     bufs: ActionBufs,
     /// A protocol reports a recovery immediately before delivering the
-    /// recovered packet; set by `Observe(Recovered)` and consumed by the
-    /// next `Deliver` in the same link-action batch (saved/restored around
-    /// nested batches).
-    pending_recover: bool,
+    /// recovered packet; set by `Observe(Recovered)` (carrying the
+    /// gap-to-recovery latency) and consumed by the next `Deliver` in the
+    /// same link-action batch (saved/restored around nested batches).
+    pending_recover: Option<SimDuration>,
+    /// A protocol reports a retransmission immediately before the
+    /// corresponding `Transmit`; same discipline as `pending_recover`, used
+    /// to distinguish retransmissions in the distributed trace. Cleared by
+    /// `TransmitCtl` too, because FEC reports its repair transmissions as
+    /// retransmits but ships them as control.
+    pending_retransmit: bool,
     /// Packets held by a Delay adversary, keyed by timer token payload.
     delayed: HashMap<u32, (DataPacket, Option<EdgeId>)>,
     next_delay_token: u32,
@@ -197,7 +209,8 @@ impl OverlayNode {
             member_cache: HashMap::new(),
             out_buf: Vec::new(),
             bufs: ActionBufs::default(),
-            pending_recover: false,
+            pending_recover: None,
+            pending_retransmit: false,
             delayed: HashMap::new(),
             next_delay_token: 0,
             flood_seq: 0,

@@ -10,7 +10,8 @@
 //! [`FlowTable`](crate::flow::FlowTable).
 
 use son_netsim::sim::Ctx;
-use son_netsim::time::SimDuration;
+use son_netsim::time::{SimDuration, SimTime};
+use son_obs::trace::{TraceContext, TraceStage};
 use son_obs::{DropClass, SpanStage};
 use son_topo::EdgeId;
 
@@ -23,6 +24,20 @@ use super::OverlayNode;
 use super::TimerKey;
 
 impl OverlayNode {
+    /// Records a per-packet trace event if the packet is sampled (carries a
+    /// [`TraceContext`]); free otherwise.
+    pub(super) fn trace_pkt(
+        &mut self,
+        now: SimTime,
+        pkt: &DataPacket,
+        stage: TraceStage,
+        link: Option<usize>,
+    ) {
+        if let Some(tctx) = pkt.trace {
+            self.obs.trace(now, tctx, pkt, stage, link);
+        }
+    }
+
     /// Local delivery targets of a packet, if any.
     pub(super) fn local_targets(&mut self, pkt: &DataPacket) -> Vec<VirtualPort> {
         match pkt.flow.dst() {
@@ -109,6 +124,7 @@ impl OverlayNode {
             self.obs.drop(DropClass::Auth);
             self.obs
                 .span(ctx.now(), &pkt, SpanStage::Drop(DropClass::Auth), in_link);
+            self.trace_pkt(ctx.now(), &pkt, TraceStage::Drop(DropClass::Auth), in_link);
             self.flow_dropped(&pkt);
             return;
         }
@@ -118,6 +134,12 @@ impl OverlayNode {
         // credit goes back (no leak under redundant routing).
         if pkt.mask.is_some() && !self.dedup.first_sighting(pkt.flow, pkt.flow_seq) {
             self.obs.drop(DropClass::DedupDuplicate);
+            self.trace_pkt(
+                ctx.now(),
+                &pkt,
+                TraceStage::Drop(DropClass::DedupDuplicate),
+                in_link,
+            );
             self.flow_dropped(&pkt);
             if is_it_reliable {
                 if let Some(link) = in_link {
@@ -133,6 +155,7 @@ impl OverlayNode {
             self.obs
                 .delivered_local(now.saturating_since(pkt.created_at).as_nanos());
             self.obs.span(now, &pkt, SpanStage::Deliver, in_link);
+            self.trace_pkt(now, &pkt, TraceStage::Deliver, in_link);
             let fo = self.flows.ensure(pkt.flow, pkt.spec, &mut self.obs).obs();
             self.obs.inc(fo.delivered);
             self.flows.mark_egress(&pkt.flow);
@@ -190,6 +213,12 @@ impl OverlayNode {
                     SpanStage::Drop(DropClass::Unroutable),
                     None,
                 );
+                self.trace_pkt(
+                    ctx.now(),
+                    &pkt,
+                    TraceStage::Drop(DropClass::Unroutable),
+                    None,
+                );
                 self.flow_dropped(&pkt);
             }
             return;
@@ -198,6 +227,7 @@ impl OverlayNode {
             self.obs.drop(DropClass::Ttl);
             self.obs
                 .span(ctx.now(), &pkt, SpanStage::Drop(DropClass::Ttl), None);
+            self.trace_pkt(ctx.now(), &pkt, TraceStage::Drop(DropClass::Ttl), None);
             self.flow_dropped(&pkt);
             return;
         }
@@ -212,6 +242,12 @@ impl OverlayNode {
                     self.obs.drop(DropClass::Adversary);
                     self.obs
                         .span(ctx.now(), &pkt, SpanStage::Drop(DropClass::Adversary), None);
+                    self.trace_pkt(
+                        ctx.now(),
+                        &pkt,
+                        TraceStage::Drop(DropClass::Adversary),
+                        None,
+                    );
                     self.flow_dropped(&pkt);
                     return;
                 }
@@ -268,6 +304,7 @@ impl OverlayNode {
             self.obs.forwarded();
             self.obs.inc(fo.forwarded);
             self.obs.span(now, &pkt, SpanStage::Enqueue, Some(link));
+            self.trace_pkt(now, &pkt, TraceStage::Enqueue, Some(link));
             let copy = pkt.clone();
             self.run_link_proto(ctx, link, slot, move |p, out| {
                 p.on_send(now, copy, out);
@@ -285,7 +322,9 @@ impl OverlayNode {
         size: usize,
         payload: bytes::Bytes,
     ) {
-        let fo = self.flows.ensure(flow, spec, &mut self.obs).obs();
+        let fc = self.flows.ensure(flow, spec, &mut self.obs);
+        let fo = fc.obs();
+        let flow_sid = fc.stable_id();
         self.flows.mark_ingress(&flow);
         self.obs.inc(fo.sent);
         // Source-route stamp, cached in the flow context against the
@@ -348,6 +387,10 @@ impl OverlayNode {
         } else {
             0
         };
+        // The ingress sampling decision: 1-in-`trace_sample` packets carry a
+        // trace context for their whole life; everyone downstream just
+        // checks header presence.
+        let trace = TraceContext::sample(flow_sid, seq, self.config.trace_sample);
         let pkt = DataPacket {
             flow,
             flow_seq: seq,
@@ -361,7 +404,16 @@ impl OverlayNode {
             payload,
             ttl: self.config.ttl,
             auth_tag,
+            trace,
         };
+        self.trace_pkt(
+            ctx.now(),
+            &pkt,
+            TraceStage::Ingress {
+                masked: pkt.mask.is_some(),
+            },
+            None,
+        );
         // handle_upward's dedup check records the first sighting at the
         // ingress, so copies looping back to the source are suppressed.
         self.handle_upward(ctx, pkt, None, None);
@@ -403,6 +455,7 @@ impl OverlayNode {
             payload: bytes::Bytes::new(),
             ttl: self.config.ttl,
             auth_tag,
+            trace: None,
         };
         self.obs.adversary_injected();
         let mut outs = std::mem::take(&mut self.out_buf);

@@ -19,6 +19,7 @@
 
 use son_netsim::stats::Counters;
 use son_netsim::time::SimTime;
+use son_obs::trace::{TraceContext, TraceEvent, TraceRing, TraceStage};
 use son_obs::{CounterId, DropClass, HistId, PacketKey, Registry, SpanEvent, SpanRing, SpanStage};
 use son_topo::NodeId;
 
@@ -28,6 +29,11 @@ use crate::packet::DataPacket;
 
 /// Retained lifecycle events per node when detail is enabled.
 const SPAN_CAPACITY: usize = 4096;
+
+/// Retained distributed-trace events per node. Traces are sampled (1/64-ish
+/// of packets) so this holds minutes of history; overflow is counted in
+/// `obs.trace_overflow` rather than lost silently.
+const TRACE_CAPACITY: usize = 32768;
 
 /// Pre-registered counter handles for one flow's life at this node, created
 /// once when the flow's [`FlowContext`](crate::flow::FlowContext) is built
@@ -55,8 +61,12 @@ pub struct FlowObs {
 pub struct NodeObs {
     registry: Registry,
     spans: SpanRing,
+    traces: TraceRing,
     detail: bool,
+    node_id: u32,
     node_label: String,
+    span_overflow: CounterId,
+    trace_overflow: CounterId,
     forwarded: CounterId,
     delivered_local: CounterId,
     adversary_injected: CounterId,
@@ -76,6 +86,8 @@ impl NodeObs {
         let node_label = me.0.to_string();
         let mut registry = Registry::new();
         let labels: &[(&str, &str)] = &[("node", &node_label)];
+        let span_overflow = registry.counter("obs.span_overflow", labels);
+        let trace_overflow = registry.counter("obs.trace_overflow", labels);
         let forwarded = registry.counter("node.forwarded", labels);
         let delivered_local = registry.counter("node.delivered_local", labels);
         let adversary_injected = registry.counter("node.adversary_injected", labels);
@@ -88,8 +100,12 @@ impl NodeObs {
         NodeObs {
             registry,
             spans: SpanRing::new(SPAN_CAPACITY),
+            traces: TraceRing::new(TRACE_CAPACITY),
             detail,
+            node_id: me.0 as u32,
             node_label,
+            span_overflow,
+            trace_overflow,
             forwarded,
             delivered_local,
             adversary_injected,
@@ -186,6 +202,10 @@ impl NodeObs {
                 let id = self.registry.counter("link.retransmit", labels);
                 self.registry.inc(id);
             }
+            LinkEvent::LossDetected => {
+                let id = self.registry.counter("link.loss_detected", labels);
+                self.registry.inc(id);
+            }
             LinkEvent::Recovered { after } => {
                 let id = self.registry.histogram("link.recovery_ns", labels);
                 self.registry.observe(id, after.as_nanos());
@@ -203,7 +223,7 @@ impl NodeObs {
         if !self.detail {
             return;
         }
-        self.spans.record(SpanEvent {
+        let evicted = self.spans.record(SpanEvent {
             at_ns: now.as_nanos(),
             packet: PacketKey {
                 flow: pkt.flow.stable_id(),
@@ -212,6 +232,55 @@ impl NodeObs {
             stage,
             link: link.map(|l| l as u32),
         });
+        if evicted {
+            self.registry.inc(self.span_overflow);
+        }
+    }
+
+    /// Records a distributed-trace event for a sampled packet. Always on:
+    /// the ingress made the sampling decision, so transit nodes record
+    /// regardless of their own configuration (the Dapper model).
+    pub fn trace(
+        &mut self,
+        now: SimTime,
+        ctx: TraceContext,
+        pkt: &DataPacket,
+        stage: TraceStage,
+        link: Option<usize>,
+    ) {
+        let evicted = self.traces.record(TraceEvent {
+            at_ns: now.as_nanos(),
+            trace_id: ctx.id,
+            node: self.node_id,
+            hop: ctx.hop,
+            packet: PacketKey {
+                flow: pkt.flow.stable_id(),
+                seq: pkt.flow_seq,
+            },
+            stage,
+            link: link.map(|l| l as u32),
+        });
+        if evicted {
+            self.registry.inc(self.trace_overflow);
+        }
+    }
+
+    /// Records a node-scope trace marker (reroute, loss-detected): an event
+    /// not tied to a sampled packet, exported with trace id 0 so the
+    /// analyzer can correlate it by time without building a timeline for it.
+    pub fn trace_marker(&mut self, now: SimTime, stage: TraceStage, link: Option<usize>) {
+        let evicted = self.traces.record(TraceEvent {
+            at_ns: now.as_nanos(),
+            trace_id: 0,
+            node: self.node_id,
+            hop: 0,
+            packet: PacketKey { flow: 0, seq: 0 },
+            stage,
+            link: link.map(|l| l as u32),
+        });
+        if evicted {
+            self.registry.inc(self.trace_overflow);
+        }
     }
 
     /// The node's metrics registry.
@@ -224,6 +293,13 @@ impl NodeObs {
     #[must_use]
     pub fn spans(&self) -> &SpanRing {
         &self.spans
+    }
+
+    /// Retained distributed-trace events (empty unless sampled packets
+    /// passed through this node).
+    #[must_use]
+    pub fn traces(&self) -> &TraceRing {
+        &self.traces
     }
 
     /// The legacy [`NodeMetrics`] view of the registry: typed fields from
@@ -305,6 +381,59 @@ mod tests {
         // Per-proto drops aggregate with node drops under the same name.
         obs.drop(DropClass::Expired);
         assert_eq!(obs.registry().counter_total("drop.expired"), 2);
+    }
+
+    #[test]
+    fn span_overflow_is_counted_not_silent() {
+        use crate::linkproto::testutil::pkt;
+        let mut obs = NodeObs::new(NodeId(2), true);
+        let extra = 37u64;
+        let total = SPAN_CAPACITY as u64 + extra;
+        for i in 0..total {
+            let p = pkt(i, 10);
+            obs.span(SimTime::from_millis(i), &p, SpanStage::Transmit, Some(0));
+        }
+        assert_eq!(obs.spans().recorded(), total);
+        assert_eq!(obs.spans().evicted(), extra);
+        assert_eq!(
+            obs.registry()
+                .counter_named("obs.span_overflow", &[("node", "2")]),
+            Some(extra),
+            "overflow counter must match evicted entries"
+        );
+    }
+
+    #[test]
+    fn traces_record_regardless_of_detail_and_count_overflow() {
+        use crate::linkproto::testutil::pkt;
+        let p = pkt(7, 100);
+        let ctx = TraceContext { id: 42, hop: 3 };
+        let mut obs = NodeObs::new(NodeId(5), false);
+        obs.trace(
+            SimTime::from_millis(1),
+            ctx,
+            &p,
+            TraceStage::Enqueue,
+            Some(1),
+        );
+        obs.trace_marker(SimTime::from_millis(2), TraceStage::Reroute, None);
+        assert_eq!(obs.traces().recorded(), 2);
+        let evs: Vec<&TraceEvent> = obs.traces().events().collect();
+        assert_eq!(evs[0].trace_id, 42);
+        assert_eq!(evs[0].hop, 3);
+        assert_eq!(evs[0].node, 5);
+        assert_eq!(evs[0].stage, TraceStage::Enqueue);
+        assert!(evs[1].is_marker());
+
+        for i in 0..TRACE_CAPACITY as u64 + 9 {
+            obs.trace_marker(SimTime::from_millis(i), TraceStage::LossDetected, None);
+        }
+        assert_eq!(
+            obs.registry()
+                .counter_named("obs.trace_overflow", &[("node", "5")]),
+            Some(11), // the 2 early events were evicted too
+        );
+        assert_eq!(obs.traces().evicted(), 11);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use bytes::Bytes;
 use son_netsim::process::{MessageKind, SimMessage};
 use son_netsim::time::SimTime;
+use son_obs::trace::{TraceContext, TRACE_CONTEXT_BYTES};
 use son_topo::{EdgeId, EdgeMask, NodeId};
 
 use crate::addr::{Destination, FlowKey, GroupId, OverlayAddr};
@@ -52,13 +53,24 @@ pub struct DataPacket {
     /// Authentication tag over (origin, flow, seq), keyed by the origin's
     /// node key; `0` when authentication is disabled.
     pub auth_tag: u64,
+    /// Distributed-tracing context. `Some` iff the ingress sampled this
+    /// packet; every daemon on the path then records trace events for it
+    /// and bumps the hop counter per overlay link.
+    pub trace: Option<TraceContext>,
 }
 
 impl DataPacket {
     /// The wire size of this packet.
     #[must_use]
     pub fn wire_size(&self) -> usize {
-        DATA_HEADER_BYTES + if self.mask.is_some() { MASK_BYTES } else { 0 } + self.size
+        DATA_HEADER_BYTES
+            + if self.mask.is_some() { MASK_BYTES } else { 0 }
+            + if self.trace.is_some() {
+                TRACE_CONTEXT_BYTES
+            } else {
+                0
+            }
+            + self.size
     }
 
     /// The unique end-to-end identity of the payload, used for duplicate
@@ -374,6 +386,7 @@ mod tests {
             payload: Bytes::new(),
             ttl: 32,
             auth_tag: 0,
+            trace: None,
         }
     }
 
@@ -383,6 +396,16 @@ mod tests {
         assert_eq!(
             packet(Some(EdgeMask::EMPTY), 1000).wire_size(),
             DATA_HEADER_BYTES + MASK_BYTES + 1000
+        );
+    }
+
+    #[test]
+    fn data_sizes_account_for_trace_context() {
+        let mut p = packet(None, 1000);
+        p.trace = Some(TraceContext { id: 9, hop: 0 });
+        assert_eq!(
+            p.wire_size(),
+            DATA_HEADER_BYTES + TRACE_CONTEXT_BYTES + 1000
         );
     }
 

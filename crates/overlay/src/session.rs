@@ -411,6 +411,7 @@ mod tests {
             payload: Bytes::new(),
             ttl: 32,
             auth_tag: 0,
+            trace: None,
         }
     }
 

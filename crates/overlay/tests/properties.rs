@@ -43,6 +43,7 @@ fn pkt(src_node: usize, flow_seq: u64) -> DataPacket {
         payload: bytes::Bytes::new(),
         ttl: 32,
         auth_tag: 0,
+        trace: None,
     }
 }
 

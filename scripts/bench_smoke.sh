@@ -48,4 +48,27 @@ awk -v fresh="$fresh" -v base="$baseline" 'BEGIN {
     printf "throughput guard passed (floor %.0f)\n", floor;
 }'
 
+# Tracing overhead guard: the same smoke run re-executes the workload with
+# 1-in-64 trace sampling on and writes a mode:"traced" row; sampled tracing
+# must cost at most 5% of forwarding throughput against the in-run untraced
+# figure (same machine, same moment — wall-clock noise mostly cancels).
+extract_traced_pps() {
+    grep '"bench":"exp_throughput"' "$1" | grep '"mode":"traced"' \
+        | sed -n 's/.*"sim_pkts_per_wall_s":\([0-9.eE+-]*\).*/\1/p' | tail -1
+}
+traced=$(extract_traced_pps "$SMOKE_OUT")
+if [ -z "$traced" ]; then
+    echo "ERROR: smoke run wrote no traced-mode exp_throughput row to $SMOKE_OUT" >&2
+    exit 1
+fi
+echo "traced throughput: $traced sim pkts/wall s (untraced $fresh)"
+awk -v traced="$traced" -v base="$fresh" 'BEGIN {
+    floor = base * 0.95;
+    if (traced < floor) {
+        printf "ERROR: traced throughput %.0f is >5%% below the untraced run %.0f (floor %.0f)\n", traced, base, floor;
+        exit 1;
+    }
+    printf "tracing overhead guard passed (floor %.0f)\n", floor;
+}'
+
 echo "Bench smoke passed."

@@ -24,4 +24,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "==> bench smoke"
 scripts/bench_smoke.sh
 
+echo "==> trace self-check (exp_fig3 --smoke + son-trace)"
+cargo run --release -q -p son-bench --bin exp_fig3 -- --smoke
+cargo run --release -q -p son-bench --bin son-trace -- \
+    --self-check --limit 1 target/obs/exp_fig3.trace.jsonl
+
 echo "All checks passed."

@@ -8,3 +8,7 @@ for e in "${experiments[@]}"; do
   echo "==================================================================="
   cargo run --release -q -p son-bench --bin "exp_$e"
 done
+echo "==================================================================="
+echo "JSONL exports under target/obs (CI uploads these as the experiment"
+echo "artifact; analyze traces with: son-trace target/obs/<exp>.trace.jsonl):"
+ls -l target/obs/*.jsonl 2>/dev/null || echo "  (none written)"
