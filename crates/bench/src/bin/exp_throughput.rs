@@ -86,7 +86,7 @@ fn measure_legacy(g: &Graph, stream: &[Lsa]) -> f64 {
     let start = Instant::now();
     for lsa in stream {
         let mut out = Vec::new();
-        mon.on_lsa(lsa.clone(), None, &mut out);
+        mon.on_lsa(SimTime::ZERO, lsa.clone(), None, &mut out);
         fwd.set_graph(mon.current_graph());
         std::hint::black_box(fwd.unicast_next_hop(probe));
     }
@@ -102,7 +102,7 @@ fn measure_snapshot(g: &Graph, stream: &[Lsa]) -> f64 {
     let start = Instant::now();
     for lsa in stream {
         let mut out = Vec::new();
-        mon.on_lsa(lsa.clone(), None, &mut out);
+        mon.on_lsa(SimTime::ZERO, lsa.clone(), None, &mut out);
         if out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)) {
             fwd.install(mon.snapshot(), mon.version());
         }
@@ -165,8 +165,12 @@ fn throughput_under_churn(smoke: bool, trace_sample: u32) -> (ThroughputResult, 
     let (topo, cities) = continental_overlay(&sc);
     let mut sim: Simulation<Wire> = Simulation::new(7);
     sim.set_underlay(sc.underlay);
+    // The traced rerun also runs the full anomaly watchdog (with adaptive
+    // sampling), so the ≤5% overhead gate prices the whole observability +
+    // remediation stack, not just the sampling.
     let node_config = son_overlay::NodeConfig {
         trace_sample,
+        watch: (trace_sample > 0).then(son_overlay::watch::WatchConfig::default),
         ..son_overlay::NodeConfig::default()
     };
     let overlay = OverlayBuilder::new(topo.clone())

@@ -7,7 +7,7 @@
 //! where a link protocol repaired a loss.
 //!
 //! ```text
-//! son-trace [--self-check] [--limit N] FILE...
+//! son-trace [--self-check] [--watch-audit] [--limit N] FILE...
 //! ```
 //!
 //! `--self-check` verifies every reconstructed timeline's causal
@@ -15,22 +15,35 @@
 //! exits non-zero on a violation or an empty export — CI runs this against
 //! the smoke experiment. `--limit N` caps the example timelines printed
 //! (default 3).
+//!
+//! `--watch-audit` switches to auditing `watch.jsonl` exports instead: it
+//! replays each run's watchdog audit stream and verifies that every
+//! remediation is explainable by a preceding detection — suspensions by a
+//! budget breach or blackhole signature on the same node and link, probes
+//! and readmissions by a preceding suspension, damping by the origin's
+//! recorded churn, shedding by queue growth. Exits non-zero on any
+//! unexplained action (or an empty export).
 
 use std::process::ExitCode;
 
 use son_bench::{banner, f, row, table_header};
 use son_obs::trace::{attribute, median_ns, reconstruct, self_check, Terminal, Timeline};
+use son_obs::watch::{WatchEvent, WatchKind};
 use son_obs::{Json, TraceEvent, TraceStage};
 
 struct Args {
     self_check: bool,
+    watch_audit: bool,
     limit: usize,
     files: Vec<String>,
 }
 
+const USAGE: &str = "usage: son-trace [--self-check] [--watch-audit] [--limit N] FILE...";
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         self_check: false,
+        watch_audit: false,
         limit: 3,
         files: Vec::new(),
     };
@@ -38,19 +51,18 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--self-check" => args.self_check = true,
+            "--watch-audit" => args.watch_audit = true,
             "--limit" => {
                 let v = it.next().ok_or("--limit needs a value")?;
                 args.limit = v.parse().map_err(|_| format!("bad --limit value {v:?}"))?;
             }
-            "--help" | "-h" => {
-                return Err("usage: son-trace [--self-check] [--limit N] FILE...".to_owned())
-            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
             _ if arg.starts_with('-') => return Err(format!("unknown flag {arg}")),
             _ => args.files.push(arg),
         }
     }
     if args.files.is_empty() {
-        return Err("usage: son-trace [--self-check] [--limit N] FILE...".to_owned());
+        return Err(USAGE.to_owned());
     }
     Ok(args)
 }
@@ -121,8 +133,177 @@ fn print_timeline(tl: &Timeline) {
     }
 }
 
+/// Reads one JSONL export, keeping the watch rows with their `run` tags.
+fn load_watch(path: &str) -> Result<Vec<(String, WatchEvent)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let json = Json::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        if let Some(ev) = WatchEvent::from_row(&json) {
+            let run = json
+                .get("run")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_owned();
+            events.push((run, ev));
+        }
+    }
+    Ok(events)
+}
+
+/// Replays one run's audit stream in order and verifies that every
+/// remediation has a preceding explanation. Events are already exported
+/// time-sorted with same-node insertion order preserved, so "preceding"
+/// includes same-instant pairs (detection emitted just before its
+/// remediation).
+fn audit_run(run: &str, events: &[WatchEvent], violations: &mut Vec<String>) {
+    use std::collections::HashSet;
+    // Evidence seen so far, keyed by what each remediation must cite.
+    let mut link_evidence: HashSet<(u32, u32)> = HashSet::new(); // budget/blackhole
+    let mut suspended: HashSet<(u32, u32)> = HashSet::new();
+    let mut churn: HashSet<u32> = HashSet::new(); // RerouteFlap per node
+    let mut damped: HashSet<(u32, u32)> = HashSet::new(); // (node, origin)
+    let mut growth: HashSet<u32> = HashSet::new();
+    let mut shedding: HashSet<u32> = HashSet::new();
+    let mut complain = |at_ns: u64, node: u32, what: &str| {
+        violations.push(format!(
+            "[{run}] t={:.3}ms n{node}: {what}",
+            at_ns as f64 / 1e6
+        ));
+    };
+    for e in events {
+        let link = e.link.unwrap_or(u32::MAX);
+        match e.kind {
+            WatchKind::RecoveryBudgetExceeded { .. } | WatchKind::SilentBlackhole { .. } => {
+                link_evidence.insert((e.node, link));
+            }
+            WatchKind::RerouteFlap { .. } => {
+                churn.insert(e.node);
+            }
+            WatchKind::RetransmitStorm { .. } => {}
+            WatchKind::QueueGrowth { .. } => {
+                growth.insert(e.node);
+            }
+            WatchKind::LinkSuspended { .. } => {
+                if !link_evidence.contains(&(e.node, link)) {
+                    complain(
+                        e.at_ns,
+                        e.node,
+                        &format!("link {link} suspended without budget/blackhole evidence"),
+                    );
+                }
+                suspended.insert((e.node, link));
+            }
+            WatchKind::LinkProbed { .. } => {
+                if !suspended.contains(&(e.node, link)) {
+                    complain(
+                        e.at_ns,
+                        e.node,
+                        &format!("link {link} probed, never suspended"),
+                    );
+                }
+            }
+            WatchKind::LinkReadmitted => {
+                if !suspended.remove(&(e.node, link)) {
+                    complain(
+                        e.at_ns,
+                        e.node,
+                        &format!("link {link} readmitted, never suspended"),
+                    );
+                }
+            }
+            WatchKind::FlapDamped { origin } => {
+                if !churn.contains(&e.node) {
+                    complain(
+                        e.at_ns,
+                        e.node,
+                        &format!("origin {origin} damped without recorded churn"),
+                    );
+                }
+                damped.insert((e.node, origin));
+            }
+            WatchKind::FlapReleased { origin } => {
+                if !damped.remove(&(e.node, origin)) {
+                    complain(
+                        e.at_ns,
+                        e.node,
+                        &format!("origin {origin} released, never damped"),
+                    );
+                }
+            }
+            WatchKind::ShedEngaged { .. } => {
+                if !growth.contains(&e.node) {
+                    complain(e.at_ns, e.node, "shedding engaged without queue growth");
+                }
+                shedding.insert(e.node);
+            }
+            WatchKind::ShedReleased => {
+                if !shedding.remove(&e.node) {
+                    complain(e.at_ns, e.node, "shedding released, never engaged");
+                }
+            }
+        }
+    }
+}
+
+fn run_watch_audit(args: &Args) -> Result<bool, String> {
+    let mut by_run: std::collections::BTreeMap<String, Vec<WatchEvent>> =
+        std::collections::BTreeMap::new();
+    for file in &args.files {
+        for (run, ev) in load_watch(file)? {
+            by_run.entry(run).or_default().push(ev);
+        }
+    }
+    banner(
+        "son-trace --watch-audit",
+        "Every watchdog remediation must be explained by a preceding detection",
+    );
+    let mut violations = Vec::new();
+    table_header(&[
+        ("run", 22),
+        ("events", 7),
+        ("detections", 11),
+        ("remediations", 13),
+        ("violations", 11),
+    ]);
+    let mut events_total = 0;
+    for (tag, events) in &by_run {
+        let before = violations.len();
+        audit_run(tag, events, &mut violations);
+        let remediations = events.iter().filter(|e| e.kind.is_remediation()).count();
+        events_total += events.len();
+        row(&[
+            (tag.clone(), 22),
+            (events.len().to_string(), 7),
+            ((events.len() - remediations).to_string(), 11),
+            (remediations.to_string(), 13),
+            ((violations.len() - before).to_string(), 11),
+        ]);
+    }
+    if !violations.is_empty() {
+        println!("\nunexplained remediations:");
+        for v in &violations {
+            println!("  {v}");
+        }
+        println!("\nwatch-audit: FAIL ({} violations)", violations.len());
+        return Ok(false);
+    }
+    if events_total == 0 {
+        println!("\nwatch-audit: FAIL (no watch events in the export)");
+        return Ok(false);
+    }
+    println!("\nwatch-audit: ok ({events_total} events, every remediation explained)");
+    Ok(true)
+}
+
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
+    if args.watch_audit {
+        return run_watch_audit(&args);
+    }
     let mut by_run: std::collections::BTreeMap<String, Vec<TraceEvent>> =
         std::collections::BTreeMap::new();
     for file in &args.files {

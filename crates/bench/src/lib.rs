@@ -5,6 +5,8 @@
 //! `EXPERIMENTS.md` for paper-vs-measured results). This library holds the
 //! shared runners and table-printing helpers.
 
+pub mod watchdog;
+
 use son_netsim::loss::LossConfig;
 use son_netsim::sim::Simulation;
 use son_netsim::time::{SimDuration, SimTime};
@@ -270,6 +272,44 @@ pub fn export_traces(
 pub fn export_timeseries(sink: &mut JsonlSink, run: &str, rows: &[Json]) -> std::io::Result<()> {
     for row in rows {
         let mut row = row.clone();
+        if let Json::Obj(pairs) = &mut row {
+            pairs.insert(0, ("run".to_owned(), Json::str(run)));
+        }
+        sink.write(&row)?;
+    }
+    Ok(())
+}
+
+/// Merges every daemon's watchdog audit ring into one time-sorted stream.
+/// Sorting is by `(at_ns, node, link)` so equal-time events from different
+/// daemons land in a deterministic order.
+#[must_use]
+pub fn gather_watch(
+    sim: &Simulation<Wire>,
+    overlay: &OverlayHandle,
+) -> Vec<son_obs::watch::WatchEvent> {
+    let mut events: Vec<son_obs::watch::WatchEvent> = Vec::new();
+    for &d in &overlay.daemons {
+        let node = sim.proc_ref::<OverlayNode>(d).expect("daemon");
+        events.extend(node.obs().watch_events().events().copied());
+    }
+    events.sort_by_key(|e| (e.at_ns, e.node, e.link));
+    events
+}
+
+/// Writes one `watch.jsonl` row per watchdog audit event into `sink`,
+/// tagging each row with `run`. Schema is documented in `EXPERIMENTS.md`.
+///
+/// # Errors
+///
+/// Propagates the I/O error if a write fails.
+pub fn export_watch(
+    sink: &mut JsonlSink,
+    run: &str,
+    events: &[son_obs::watch::WatchEvent],
+) -> std::io::Result<()> {
+    for event in events {
+        let mut row = event.row();
         if let Json::Obj(pairs) = &mut row {
             pairs.insert(0, ("run".to_owned(), Json::str(run)));
         }

@@ -1,0 +1,98 @@
+//! Regression locks for the `exp_watchdog` acceptance invariants, at a
+//! debug-friendly scale of the same campaign matrix:
+//!
+//! 1. the all-healthy control campaign triggers *zero* remediations (the
+//!    no-false-positive invariant),
+//! 2. turning the watchdog on strictly improves the delivered-within-
+//!    deadline fraction under the blackhole and flap campaigns,
+//! 3. a campaign run is a pure function of its seed — two identical runs
+//!    produce identical `Simulation::fingerprint()`s and watch histories.
+//!
+//! The full-scale numbers live in `exp_watchdog` (and its `--smoke` run in
+//! CI); these tests keep the *shape* of the result from regressing in plain
+//! `cargo test`.
+
+use son_bench::watchdog::{
+    blackhole_campaign, control_campaign, flap_campaign, CampaignBuilder, WatchdogRun,
+};
+use son_netsim::time::SimDuration;
+use son_overlay::watch::WatchConfig;
+
+const SEED: u64 = 71;
+
+/// The experiment defaults trimmed to a horizon debug builds can afford.
+/// The fault window opens at 4s, so 16s still leaves 12s of fault time.
+fn scaled(label: &str, build: CampaignBuilder) -> WatchdogRun {
+    let mut run = WatchdogRun::new(label, SEED, build);
+    run.run_for = SimDuration::from_secs(16);
+    run.count = 1200;
+    run
+}
+
+#[test]
+fn control_campaign_triggers_no_remediations() {
+    let out = scaled("control", control_campaign)
+        .with_watch(WatchConfig::default())
+        .run();
+    assert_eq!(
+        out.watch_events.len(),
+        0,
+        "healthy campaign raised watch events: first {:?}",
+        out.watch_events.first()
+    );
+    assert_eq!(out.suspensions(), 0);
+    assert!(
+        out.deadline_fraction() > 0.99,
+        "control deadline fraction {:.3}",
+        out.deadline_fraction()
+    );
+}
+
+#[test]
+fn watchdog_strictly_improves_blackhole_campaign() {
+    let off = scaled("blackhole.off", blackhole_campaign).run();
+    let on = scaled("blackhole.on", blackhole_campaign)
+        .with_watch(WatchConfig::default())
+        .run();
+    assert!(
+        on.within_deadline > off.within_deadline,
+        "watchdog must strictly improve delivered-within-deadline: on {} vs off {}",
+        on.within_deadline,
+        off.within_deadline
+    );
+    assert!(
+        on.suspensions() > 0,
+        "the improvement must come from a conviction, not luck"
+    );
+}
+
+#[test]
+fn watchdog_strictly_improves_flap_campaign() {
+    let off = scaled("flaps.off", flap_campaign).run();
+    let on = scaled("flaps.on", flap_campaign)
+        .with_watch(WatchConfig::default())
+        .run();
+    assert!(
+        on.within_deadline > off.within_deadline,
+        "watchdog must strictly improve delivered-within-deadline: on {} vs off {}",
+        on.within_deadline,
+        off.within_deadline
+    );
+    assert!(
+        on.count_events(|k| matches!(k, son_obs::watch::WatchKind::FlapDamped { .. })) > 0,
+        "the improvement must come from flap damping"
+    );
+}
+
+#[test]
+fn same_seed_replays_the_identical_campaign() {
+    let a = scaled("replay", blackhole_campaign)
+        .with_watch(WatchConfig::default())
+        .run();
+    let b = scaled("replay", blackhole_campaign)
+        .with_watch(WatchConfig::default())
+        .run();
+    assert_eq!(a.fingerprint, b.fingerprint, "simulation state diverged");
+    assert_eq!(a.watch_events, b.watch_events, "watch history diverged");
+    assert_eq!(a.within_deadline, b.within_deadline);
+}

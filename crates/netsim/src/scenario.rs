@@ -6,7 +6,12 @@
 //! cities but use distinct fiber, so multihoming buys real physical
 //! disjointness (§II-A).
 
-use crate::time::SimDuration;
+use crate::link::PipeId;
+use crate::loss::LossConfig;
+use crate::process::{ProcessId, SimMessage};
+use crate::rng::SimRng;
+use crate::sim::{ScenarioEvent, Simulation};
+use crate::time::{SimDuration, SimTime};
 use crate::underlay::{CityId, IspId, UEdgeId, Underlay, UnderlayBuilder};
 
 /// A built underlay plus the handles experiments need to reference it.
@@ -599,5 +604,361 @@ mod shape_tests {
             )
             .unwrap();
         assert_eq!(p.edges.len(), 4, "the long way around the ring");
+    }
+}
+
+/// A window during which one node (by harness-level ordinal) is compromised
+/// and silently blackholes transit traffic.
+///
+/// The simulator itself has no notion of overlay adversaries, so a campaign
+/// only *records* these windows; the harness that owns the overlay processes
+/// applies them (e.g. by toggling the node's forwarding behavior) when it
+/// schedules the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlackholeWindow {
+    /// Harness-level node ordinal (the harness maps it to a process).
+    pub node: usize,
+    /// When the compromise begins.
+    pub start: SimTime,
+    /// When the node reverts to correct forwarding.
+    pub end: SimTime,
+}
+
+/// A deterministic fault-injection campaign: a seeded schedule of scripted
+/// world changes ([`ScenarioEvent`]s) plus compromise windows, built by
+/// composing episode generators.
+///
+/// Every generator draws from its own [`SimRng`] stream forked from the
+/// campaign seed and a per-call index, so the schedule is a pure function of
+/// `(seed, composition order)` — the same campaign built twice is identical,
+/// byte for byte, which is what lets fault-injection runs assert
+/// [`Simulation::fingerprint`] equality across repeats.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Human-readable campaign name (exported with results).
+    pub name: String,
+    seed: u64,
+    calls: u64,
+    events: Vec<(SimTime, ScenarioEvent)>,
+    /// Compromise windows for the harness to apply at the overlay level.
+    pub blackhole_windows: Vec<BlackholeWindow>,
+}
+
+impl Campaign {
+    /// Creates an empty campaign. With no episodes composed in, it is the
+    /// all-healthy control: scheduling it changes nothing.
+    #[must_use]
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        Campaign {
+            name: name.into(),
+            seed,
+            calls: 0,
+            events: Vec::new(),
+            blackhole_windows: Vec::new(),
+        }
+    }
+
+    /// The master seed the episode streams are forked from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scripted schedule built so far, in insertion order.
+    #[must_use]
+    pub fn events(&self) -> &[(SimTime, ScenarioEvent)] {
+        &self.events
+    }
+
+    /// An independent stream for the next episode generator. Forked from the
+    /// seed and a running call index, so identical consecutive calls still
+    /// draw distinct (but reproducible) schedules.
+    fn episode_rng(&mut self, label: &str) -> SimRng {
+        let rng = SimRng::seed(self.seed).fork_idx(label, self.calls);
+        self.calls += 1;
+        rng
+    }
+
+    /// A uniformly random event time leaving room for `hold` before `end`.
+    fn draw_at(rng: &mut SimRng, window: (SimTime, SimTime), hold: SimDuration) -> SimTime {
+        let lo = window.0.as_nanos();
+        let hi = window.1.as_nanos().saturating_sub(hold.as_nanos()).max(lo);
+        SimTime::from_nanos(rng.uniform_u64(lo, hi))
+    }
+
+    /// Composes link-flap episodes: each edge fails `flaps_per_edge` times at
+    /// random instants inside `window`, each outage lasting `downtime`.
+    pub fn link_flaps(
+        &mut self,
+        edges: &[UEdgeId],
+        window: (SimTime, SimTime),
+        flaps_per_edge: usize,
+        downtime: SimDuration,
+    ) -> &mut Self {
+        let mut rng = self.episode_rng("campaign:link_flaps");
+        for &edge in edges {
+            for _ in 0..flaps_per_edge {
+                let at = Self::draw_at(&mut rng, window, downtime);
+                self.events
+                    .push((at, ScenarioEvent::FailUnderlayEdge(edge)));
+                self.events
+                    .push((at + downtime, ScenarioEvent::RepairUnderlayEdge(edge)));
+            }
+        }
+        self
+    }
+
+    /// Composes burst-loss episodes: each pipe switches to `loss` for `burst`
+    /// at `episodes` random instants inside `window`, then back to `restore`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn burst_loss(
+        &mut self,
+        pipes: &[PipeId],
+        window: (SimTime, SimTime),
+        episodes: usize,
+        loss: LossConfig,
+        burst: SimDuration,
+        restore: LossConfig,
+    ) -> &mut Self {
+        let mut rng = self.episode_rng("campaign:burst_loss");
+        for &pipe in pipes {
+            for _ in 0..episodes {
+                let at = Self::draw_at(&mut rng, window, burst);
+                self.events
+                    .push((at, ScenarioEvent::SetPipeLoss(pipe, loss.clone())));
+                self.events.push((
+                    at + burst,
+                    ScenarioEvent::SetPipeLoss(pipe, restore.clone()),
+                ));
+            }
+        }
+        self
+    }
+
+    /// Composes router (POP) failures: each listed POP fails once at a random
+    /// instant inside `window` and is repaired after `downtime`.
+    pub fn pop_failures(
+        &mut self,
+        pops: &[(IspId, CityId)],
+        window: (SimTime, SimTime),
+        downtime: SimDuration,
+    ) -> &mut Self {
+        let mut rng = self.episode_rng("campaign:pop_failures");
+        for &(isp, city) in pops {
+            let at = Self::draw_at(&mut rng, window, downtime);
+            self.events.push((at, ScenarioEvent::FailPop(isp, city)));
+            self.events
+                .push((at + downtime, ScenarioEvent::RepairPop(isp, city)));
+        }
+        self
+    }
+
+    /// Composes process crashes: each process crashes once at a random
+    /// instant inside `window` and restarts after `downtime`.
+    pub fn process_crashes(
+        &mut self,
+        procs: &[ProcessId],
+        window: (SimTime, SimTime),
+        downtime: SimDuration,
+    ) -> &mut Self {
+        let mut rng = self.episode_rng("campaign:process_crashes");
+        for &pid in procs {
+            let at = Self::draw_at(&mut rng, window, downtime);
+            self.events.push((at, ScenarioEvent::CrashProcess(pid)));
+            self.events
+                .push((at + downtime, ScenarioEvent::RestartProcess(pid)));
+        }
+        self
+    }
+
+    /// Composes BGP-blackhole-style windows: each pipe is administratively
+    /// disabled for `blackout` starting at a random instant inside `window` —
+    /// traffic vanishes with no link-down signal, as when a route is
+    /// withdrawn or hijacked upstream.
+    pub fn pipe_blackouts(
+        &mut self,
+        pipes: &[PipeId],
+        window: (SimTime, SimTime),
+        blackout: SimDuration,
+    ) -> &mut Self {
+        let mut rng = self.episode_rng("campaign:pipe_blackouts");
+        for &pipe in pipes {
+            let at = Self::draw_at(&mut rng, window, blackout);
+            self.events.push((at, ScenarioEvent::DisablePipe(pipe)));
+            self.events
+                .push((at + blackout, ScenarioEvent::EnablePipe(pipe)));
+        }
+        self
+    }
+
+    /// Composes one deterministic pipe outage: every listed pipe is disabled
+    /// at exactly `at` and re-enabled at `at + outage`. Unlike the seeded
+    /// episode generators this draws no randomness — it is the building
+    /// block for precise flap schedules (down/up/down/up at fixed times).
+    pub fn pipe_outage_at(
+        &mut self,
+        pipes: &[PipeId],
+        at: SimTime,
+        outage: SimDuration,
+    ) -> &mut Self {
+        for &pipe in pipes {
+            self.events.push((at, ScenarioEvent::DisablePipe(pipe)));
+            self.events
+                .push((at + outage, ScenarioEvent::EnablePipe(pipe)));
+        }
+        self
+    }
+
+    /// Records compromised-node windows for the harness: each listed node
+    /// ordinal silently blackholes transit traffic for the whole `window`.
+    pub fn compromise(&mut self, nodes: &[usize], window: (SimTime, SimTime)) -> &mut Self {
+        for &node in nodes {
+            self.blackhole_windows.push(BlackholeWindow {
+                node,
+                start: window.0,
+                end: window.1,
+            });
+        }
+        self
+    }
+
+    /// Schedules every scripted event into `sim`. Compromise windows are NOT
+    /// applied here — the harness owns the overlay processes and must apply
+    /// [`Campaign::blackhole_windows`] itself.
+    pub fn schedule_into<M: SimMessage>(&self, sim: &mut Simulation<M>) {
+        for (at, ev) in &self.events {
+            sim.schedule(*at, ev.clone());
+        }
+    }
+
+    /// A stable digest of the composed schedule (events and compromise
+    /// windows), for one-line same-seed determinism assertions.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = crate::rng::fnv1a(self.name.as_bytes());
+        let mut mix = |v: u64| h = crate::rng::splitmix(h ^ v);
+        for (at, ev) in &self.events {
+            mix(at.as_nanos());
+            mix(crate::rng::fnv1a(format!("{ev:?}").as_bytes()));
+        }
+        for w in &self.blackhole_windows {
+            mix(w.node as u64);
+            mix(w.start.as_nanos());
+            mix(w.end.as_nanos());
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod campaign_tests {
+    use super::*;
+
+    fn window() -> (SimTime, SimTime) {
+        (SimTime::from_secs(1), SimTime::from_secs(9))
+    }
+
+    fn full_campaign(seed: u64) -> Campaign {
+        let sc = ring(5, SimDuration::from_millis(5), DEFAULT_CONVERGENCE);
+        let mut c = Campaign::new("everything", seed);
+        c.link_flaps(
+            &sc.edges_by_isp[0][..2],
+            window(),
+            3,
+            SimDuration::from_millis(400),
+        )
+        .burst_loss(
+            &[PipeId(0), PipeId(1)],
+            window(),
+            2,
+            LossConfig::Bernoulli { p: 0.4 },
+            SimDuration::from_millis(250),
+            LossConfig::Perfect,
+        )
+        .pop_failures(
+            &[(sc.isps[0], sc.cities[2])],
+            window(),
+            SimDuration::from_secs(1),
+        )
+        .process_crashes(&[ProcessId(3)], window(), SimDuration::from_secs(1))
+        .pipe_blackouts(&[PipeId(2)], window(), SimDuration::from_secs(2))
+        .compromise(&[1, 3], window());
+        c
+    }
+
+    #[test]
+    fn same_seed_builds_the_identical_schedule() {
+        let (a, b) = (full_campaign(7), full_campaign(7));
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(format!("{:?}", a.events()), format!("{:?}", b.events()));
+        assert_eq!(a.blackhole_windows, b.blackhole_windows);
+        assert!(!a.events().is_empty());
+    }
+
+    #[test]
+    fn different_seeds_build_different_schedules() {
+        assert_ne!(full_campaign(7).digest(), full_campaign(8).digest());
+    }
+
+    #[test]
+    fn repeated_episode_calls_draw_distinct_streams() {
+        let sc = ring(4, SimDuration::from_millis(5), DEFAULT_CONVERGENCE);
+        let mut c = Campaign::new("twice", 11);
+        c.link_flaps(
+            &sc.edges_by_isp[0][..1],
+            window(),
+            1,
+            SimDuration::from_millis(100),
+        );
+        let first = format!("{:?}", c.events());
+        c.link_flaps(
+            &sc.edges_by_isp[0][..1],
+            window(),
+            1,
+            SimDuration::from_millis(100),
+        );
+        let second = format!("{:?}", &c.events()[2..]);
+        assert_ne!(first, second, "call index must vary the fork");
+    }
+
+    #[test]
+    fn control_campaign_is_empty() {
+        let c = Campaign::new("control", 1);
+        assert!(c.events().is_empty());
+        assert!(c.blackhole_windows.is_empty());
+    }
+
+    #[test]
+    fn events_never_escape_the_window() {
+        let c = full_campaign(21);
+        for (at, _) in c.events() {
+            assert!(*at >= window().0, "{at:?} before window");
+            assert!(*at <= window().1, "{at:?} after window");
+        }
+    }
+
+    #[test]
+    fn scheduled_runs_produce_identical_fingerprints() {
+        let run = || {
+            let sc = ring(5, SimDuration::from_millis(5), SimDuration::from_secs(2));
+            let mut c = Campaign::new("fp", 13);
+            c.link_flaps(
+                &sc.edges_by_isp[0],
+                window(),
+                2,
+                SimDuration::from_millis(300),
+            )
+            .pop_failures(
+                &[(sc.isps[0], sc.cities[0])],
+                window(),
+                SimDuration::from_secs(1),
+            );
+            let mut sim: Simulation<String> = Simulation::new(c.seed());
+            sim.set_underlay(sc.underlay.clone());
+            c.schedule_into(&mut sim);
+            sim.run_until(SimTime::from_secs(20));
+            sim.fingerprint()
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -31,6 +31,7 @@ pub mod span;
 pub mod taxonomy;
 pub mod timeseries;
 pub mod trace;
+pub mod watch;
 
 pub use export::{obs_dir, registry_rows, summary, CsvSink, JsonlSink};
 pub use hist::LatencyHistogram;
@@ -43,6 +44,7 @@ pub use trace::{
     attribute, median_ns, reconstruct, self_check, HopStat, SelfCheck, Terminal, Timeline,
     TraceContext, TraceEvent, TraceRing, TraceStage, TRACE_CONTEXT_BYTES,
 };
+pub use watch::{WatchEvent, WatchKind, WatchRing};
 
 /// One-stop imports for instrumented components.
 pub mod prelude {
@@ -54,4 +56,5 @@ pub mod prelude {
     pub use crate::taxonomy::DropClass;
     pub use crate::timeseries::TimeSeriesRing;
     pub use crate::trace::{TraceContext, TraceEvent, TraceRing, TraceStage};
+    pub use crate::watch::{WatchEvent, WatchKind, WatchRing};
 }

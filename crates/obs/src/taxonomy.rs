@@ -42,6 +42,8 @@ pub enum DropClass {
     NoProvider,
     /// A compromised node discarded it deliberately.
     Adversary,
+    /// The watchdog shed a low-priority flow's packet under overload.
+    Shed,
     // -- link-protocol layer -----------------------------------------------
     /// A real-time deadline expired before (re)transmission succeeded.
     Expired,
@@ -51,7 +53,7 @@ pub enum DropClass {
 
 impl DropClass {
     /// Every drop class, in declaration order (pipe, node, protocol layers).
-    pub const ALL: [DropClass; 13] = [
+    pub const ALL: [DropClass; 14] = [
         DropClass::Loss,
         DropClass::QueueFull,
         DropClass::Blackholed,
@@ -63,6 +65,7 @@ impl DropClass {
         DropClass::Unroutable,
         DropClass::NoProvider,
         DropClass::Adversary,
+        DropClass::Shed,
         DropClass::Expired,
         DropClass::BufferFull,
     ];
@@ -82,6 +85,7 @@ impl DropClass {
             DropClass::Unroutable => "drop.unroutable",
             DropClass::NoProvider => "drop.no_provider",
             DropClass::Adversary => "drop.adversary",
+            DropClass::Shed => "drop.shed",
             DropClass::Expired => "drop.expired",
             DropClass::BufferFull => "drop.buffer_full",
         }

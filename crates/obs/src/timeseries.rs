@@ -28,6 +28,10 @@ pub struct TimeSeriesRing {
     ring: VecDeque<TsSample>,
     capacity: usize,
     recorded: u64,
+    /// Next sample to drain, in recorded-stream coordinates.
+    cursor: u64,
+    /// Samples evicted before any drain saw them.
+    missed: u64,
 }
 
 impl TimeSeriesRing {
@@ -46,6 +50,8 @@ impl TimeSeriesRing {
             ring: VecDeque::with_capacity(capacity),
             capacity,
             recorded: 0,
+            cursor: 0,
+            missed: 0,
         }
     }
 
@@ -89,6 +95,32 @@ impl TimeSeriesRing {
     #[must_use]
     pub fn evicted(&self) -> u64 {
         self.recorded - self.ring.len() as u64
+    }
+
+    /// Drains the samples taken at or before `now_ns` that no earlier drain
+    /// has returned, oldest first, advancing the cursor past them — the
+    /// same never-reprocess contract as [`crate::trace::TraceRing::drain_since`].
+    pub fn drain_since(&mut self, now_ns: u64) -> impl Iterator<Item = &TsSample> {
+        let evicted = self.recorded - self.ring.len() as u64;
+        if evicted > self.cursor {
+            self.missed += evicted - self.cursor;
+            self.cursor = evicted;
+        }
+        let start = usize::try_from(self.cursor - evicted).expect("cursor within ring");
+        let fresh = self
+            .ring
+            .iter()
+            .skip(start)
+            .take_while(|s| s.at_ns <= now_ns)
+            .count();
+        self.cursor += fresh as u64;
+        self.ring.iter().skip(start).take(fresh)
+    }
+
+    /// Samples evicted before any [`TimeSeriesRing::drain_since`] saw them.
+    #[must_use]
+    pub fn drain_missed(&self) -> u64 {
+        self.missed
     }
 
     /// The retained series as `metrics_ts.jsonl` rows, one per
@@ -140,6 +172,20 @@ mod tests {
         assert_eq!(ts.recorded(), 3);
         assert_eq!(ts.evicted(), 1);
         assert_eq!(ts.samples().next().unwrap().at_ns, 2);
+    }
+
+    #[test]
+    fn drain_since_never_reprocesses_an_epoch() {
+        let mut ts = TimeSeriesRing::new(8, tracked());
+        ts.snapshot_with(10, |_| 1.0);
+        ts.snapshot_with(20, |_| 2.0);
+        ts.snapshot_with(30, |_| 3.0);
+        let ats: Vec<u64> = ts.drain_since(20).map(|s| s.at_ns).collect();
+        assert_eq!(ats, vec![10, 20]);
+        assert_eq!(ts.drain_since(20).count(), 0, "double-evaluation no-op");
+        let ats: Vec<u64> = ts.drain_since(40).map(|s| s.at_ns).collect();
+        assert_eq!(ats, vec![30]);
+        assert_eq!(ts.drain_missed(), 0);
     }
 
     #[test]

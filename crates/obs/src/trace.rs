@@ -234,11 +234,21 @@ impl TraceEvent {
 }
 
 /// A bounded ring of [`TraceEvent`]s (oldest evicted first), one per node.
+///
+/// Besides the export-side [`TraceRing::events`] view, the ring keeps a
+/// drain cursor for in-daemon consumers (the anomaly watchdog): each
+/// [`TraceRing::drain_since`] call yields only the events recorded since the
+/// previous drain, so a long-lived consumer never re-processes — or silently
+/// misses re-processing — events it already acted on.
 #[derive(Debug)]
 pub struct TraceRing {
     ring: VecDeque<TraceEvent>,
     capacity: usize,
     recorded: u64,
+    /// Next event to drain, in recorded-stream coordinates.
+    cursor: u64,
+    /// Events evicted before any drain saw them.
+    missed: u64,
 }
 
 impl TraceRing {
@@ -254,6 +264,8 @@ impl TraceRing {
             ring: VecDeque::with_capacity(capacity),
             capacity,
             recorded: 0,
+            cursor: 0,
+            missed: 0,
         }
     }
 
@@ -283,6 +295,36 @@ impl TraceRing {
     #[must_use]
     pub fn evicted(&self) -> u64 {
         self.recorded - self.ring.len() as u64
+    }
+
+    /// Drains the events recorded at or before `now_ns` that no earlier
+    /// drain has returned, oldest first, and advances the cursor past them.
+    /// Draining the same epoch twice is a no-op: the second call yields
+    /// nothing. Events stamped later than `now_ns` (recorded in the same
+    /// simulation instant, after the caller snapshotted its clock) stay
+    /// queued for the next drain.
+    pub fn drain_since(&mut self, now_ns: u64) -> impl Iterator<Item = &TraceEvent> {
+        let evicted = self.recorded - self.ring.len() as u64;
+        if evicted > self.cursor {
+            self.missed += evicted - self.cursor;
+            self.cursor = evicted;
+        }
+        let start = usize::try_from(self.cursor - evicted).expect("cursor within ring");
+        let fresh = self
+            .ring
+            .iter()
+            .skip(start)
+            .take_while(|e| e.at_ns <= now_ns)
+            .count();
+        self.cursor += fresh as u64;
+        self.ring.iter().skip(start).take(fresh)
+    }
+
+    /// Events evicted before any [`TraceRing::drain_since`] call saw them —
+    /// nonzero means the consumer's epoch is too long for the ring bound.
+    #[must_use]
+    pub fn drain_missed(&self) -> u64 {
+        self.missed
     }
 }
 
@@ -649,6 +691,36 @@ mod tests {
         assert_eq!(r.recorded(), 3);
         assert_eq!(r.evicted(), 1);
         assert_eq!(r.events().count(), 2);
+    }
+
+    #[test]
+    fn drain_since_never_reprocesses_an_epoch() {
+        let mut r = TraceRing::new(8);
+        r.record(ev(10, 1, 0, 0, TraceStage::Transmit));
+        r.record(ev(20, 2, 0, 0, TraceStage::Transmit));
+        r.record(ev(30, 3, 0, 0, TraceStage::Transmit));
+        // First evaluation of the epoch ending at t=20 sees two events …
+        let ids: Vec<u64> = r.drain_since(20).map(|e| e.trace_id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        // … and double-evaluation of the same epoch is a no-op.
+        assert_eq!(r.drain_since(20).count(), 0);
+        // The next epoch picks up exactly where the cursor left off.
+        let ids: Vec<u64> = r.drain_since(40).map(|e| e.trace_id).collect();
+        assert_eq!(ids, vec![3]);
+        assert_eq!(r.drain_since(40).count(), 0);
+        assert_eq!(r.drain_missed(), 0);
+    }
+
+    #[test]
+    fn drain_since_reports_events_lost_to_eviction() {
+        let mut r = TraceRing::new(2);
+        for i in 0..5 {
+            r.record(ev(i, i + 1, 0, 0, TraceStage::Transmit));
+        }
+        // Three events were evicted before the consumer ever drained.
+        let ids: Vec<u64> = r.drain_since(100).map(|e| e.trace_id).collect();
+        assert_eq!(ids, vec![4, 5]);
+        assert_eq!(r.drain_missed(), 3);
     }
 
     #[test]

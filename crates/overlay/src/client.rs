@@ -99,9 +99,21 @@ pub struct FlowRecv {
     pub max_seq: u64,
     /// Arrival times of deliveries (for gap/outage analysis).
     pub arrivals: Vec<(SimTime, u64)>,
+    /// Per-delivery one-way latencies in milliseconds, parallel to
+    /// `arrivals` (for delivered-within-deadline analysis).
+    pub latencies_ms: Vec<f64>,
     seen: std::collections::HashSet<u64>,
     last_latency_ms: Option<f64>,
     last_seq: u64,
+}
+
+impl FlowRecv {
+    /// Deliveries whose one-way latency was within `deadline`.
+    #[must_use]
+    pub fn within_deadline(&self, deadline: SimDuration) -> u64 {
+        let ms = deadline.as_millis_f64();
+        self.latencies_ms.iter().filter(|&&l| l <= ms).count() as u64
+    }
 }
 
 /// Send-side state of one outgoing flow.
@@ -286,6 +298,7 @@ impl ClientProcess {
         r.max_seq = r.max_seq.max(seq);
         r.received += 1;
         r.arrivals.push((now, seq));
+        r.latencies_ms.push(latency);
     }
 }
 

@@ -71,6 +71,7 @@ pub mod routing;
 pub mod service;
 pub mod session;
 pub mod state;
+pub mod watch;
 
 pub use addr::{Destination, FlowKey, GroupId, OverlayAddr, VirtualPort};
 pub use builder::{OverlayBuilder, OverlayHandle};
@@ -80,3 +81,4 @@ pub use node::{NodeConfig, OverlayNode, TimerKey};
 pub use obs::{FlowObs, NodeObs};
 pub use packet::{ClientOp, DataPacket, SessionEvent, Wire};
 pub use service::{FlowSpec, LinkService, Priority, RealtimeParams, RoutingService, SourceRoute};
+pub use watch::{AdaptiveSampler, WatchConfig, WatchState};

@@ -162,6 +162,10 @@ impl LinkProto for ItPriorityLink {
     fn stats(&self) -> LinkProtoStats {
         self.stats
     }
+
+    fn queue_depth(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -412,6 +416,11 @@ impl LinkProto for ItReliableLink {
     fn stats(&self) -> LinkProtoStats {
         self.stats
     }
+
+    fn queue_depth(&self) -> usize {
+        let queued: usize = self.flows.values().map(|f| f.queue.len()).sum();
+        queued + self.unacked.len()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -503,6 +512,10 @@ impl LinkProto for FifoLink {
 
     fn stats(&self) -> LinkProtoStats {
         self.stats
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.queue.len()
     }
 }
 

@@ -147,6 +147,14 @@ pub trait LinkProto: std::fmt::Debug + std::any::Any + Send {
 
     /// Current counters.
     fn stats(&self) -> LinkProtoStats;
+
+    /// Packets currently held in this protocol's send-side queues (scheduler
+    /// queues plus unacknowledged retransmission buffers). The anomaly
+    /// watchdog samples this each evaluation epoch to detect sustained queue
+    /// growth; protocols without buffering report 0.
+    fn queue_depth(&self) -> usize {
+        0
+    }
 }
 
 /// Egress pacing shared by the fair schedulers: models the node's per-link

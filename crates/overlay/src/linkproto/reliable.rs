@@ -188,6 +188,10 @@ impl LinkProto for ReliableLink {
     fn stats(&self) -> LinkProtoStats {
         self.stats
     }
+
+    fn queue_depth(&self) -> usize {
+        self.unacked.len()
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ use son_netsim::process::{Process, ProcessId};
 use son_netsim::sim::Ctx;
 use son_netsim::time::SimDuration;
 use son_obs::trace::TraceStage;
+use son_obs::watch::WatchKind;
 use son_obs::SpanStage;
 
 use crate::addr::Destination;
@@ -244,6 +245,33 @@ impl OverlayNode {
                         self.obs.trace_marker(ctx.now(), TraceStage::Reroute, None);
                     }
                 }
+                ConnAction::FlapDamped { origin, changes } => {
+                    // The damping evidence (the origin's LSA churn) and the
+                    // remediation are recorded as a detection/remediation
+                    // pair, so the offline audit can always explain the
+                    // action by a preceding observation.
+                    self.obs.watch_event(
+                        ctx.now(),
+                        WatchKind::RerouteFlap { reroutes: changes },
+                        None,
+                    );
+                    self.obs.watch_event(
+                        ctx.now(),
+                        WatchKind::FlapDamped {
+                            origin: origin.0 as u32,
+                        },
+                        None,
+                    );
+                }
+                ConnAction::FlapReleased { origin } => {
+                    self.obs.watch_event(
+                        ctx.now(),
+                        WatchKind::FlapReleased {
+                            origin: origin.0 as u32,
+                        },
+                        None,
+                    );
+                }
             },
             NodeAction::Group(GroupAction::Flood { except, update }) => {
                 for i in 0..self.links.len() {
@@ -323,6 +351,10 @@ impl OverlayNode {
                     }
                 }
                 let in_edge = self.links[link].edge;
+                // Honest receipt accounting for the watchdog: the packet
+                // surfaced from this link and is presumed to progress; the
+                // adversary check charges the credit back if it swallows it.
+                self.watch_note_received(link);
                 // Remember the upstream of IT-Reliable flows for credits.
                 if matches!(pkt.spec.link, LinkService::ItReliable) {
                     self.flows.ensure(pkt.flow, pkt.spec, &mut self.obs);
@@ -412,6 +444,9 @@ impl Process<Wire> for OverlayNode {
         if matches!(self.behavior, Behavior::Flood { .. }) {
             ctx.set_timer(SimDuration::from_millis(1), TimerKey::Flood.encode());
         }
+        if let Some(w) = &self.watch {
+            ctx.set_timer(w.config.epoch, TimerKey::WatchTick.encode());
+        }
     }
 
     fn on_message(
@@ -459,13 +494,19 @@ impl Process<Wire> for OverlayNode {
                     }
                     Control::Lsa(lsa) => {
                         let mut ca = self.bufs.take_conn();
-                        self.conn.on_lsa(lsa, Some(link), &mut ca);
+                        self.conn.on_lsa(ctx.now(), lsa, Some(link), &mut ca);
                         self.dispatch_conn(ctx, ca, None);
                     }
                     Control::GroupUpdate(update) => {
                         let mut ga = self.bufs.take_group();
                         self.groups.on_update(update, Some(link), &mut ga);
                         self.dispatch_group(ctx, ga);
+                    }
+                    Control::WatchReceipt {
+                        received,
+                        progressed,
+                    } => {
+                        self.on_watch_receipt(link, received, progressed);
                     }
                 }
             }
@@ -513,6 +554,12 @@ impl Process<Wire> for OverlayNode {
                 }
             }
             Some(TimerKey::Flood) => self.flood_tick(ctx),
+            Some(TimerKey::WatchTick) => {
+                self.watch_tick(ctx);
+                if let Some(w) = &self.watch {
+                    ctx.set_timer(w.config.epoch, TimerKey::WatchTick.encode());
+                }
+            }
             Some(TimerKey::DelayedForward { token }) => {
                 if let Some((pkt, in_edge)) = self.delayed.remove(&token) {
                     // Behaviour already charged its delay; forward now.

@@ -28,6 +28,7 @@ mod link_level;
 mod routing_level;
 mod session_level;
 mod timer;
+mod watch_level;
 
 pub use dispatch::NodeAction;
 pub use timer::TimerKey;
@@ -55,6 +56,7 @@ use crate::service::RealtimeParams;
 use crate::session::SessionTable;
 use crate::state::connectivity::{ConnectivityConfig, ConnectivityMonitor};
 use crate::state::groups::GroupTable;
+use crate::watch::{WatchConfig, WatchState};
 
 use dispatch::ActionBufs;
 
@@ -93,6 +95,11 @@ pub struct NodeConfig {
     /// (0 disables tracing). Transit nodes honor whatever the ingress
     /// decided, so only ingress nodes of interest need this set.
     pub trace_sample: u32,
+    /// The anomaly watchdog (`son-watch`): online detection of recovery
+    /// overruns, retransmit storms, reroute flaps, silent blackholes, and
+    /// queue growth, remediated by link suspension, LSA flap damping, and
+    /// low-priority shedding. `None` (the default) disables it entirely.
+    pub watch: Option<WatchConfig>,
 }
 
 impl Default for NodeConfig {
@@ -110,6 +117,7 @@ impl Default for NodeConfig {
             ttl: 32,
             obs_detail: false,
             trace_sample: 0,
+            watch: None,
         }
     }
 }
@@ -182,6 +190,8 @@ pub struct OverlayNode {
     flood_seq: u64,
     /// The configured overlay topology (kept for re-wiring).
     topology: Graph,
+    /// The anomaly watchdog's runtime state, when enabled.
+    watch: Option<WatchState>,
 }
 
 impl OverlayNode {
@@ -191,7 +201,15 @@ impl OverlayNode {
     /// the simulator before pipes to it can be created).
     #[must_use]
     pub fn new(me: NodeId, topology: Graph, keys: KeyRegistry, config: NodeConfig) -> Self {
-        let conn = ConnectivityMonitor::new(me, topology.clone(), Vec::new(), config.connectivity);
+        let mut conn =
+            ConnectivityMonitor::new(me, topology.clone(), Vec::new(), config.connectivity);
+        let watch = config
+            .watch
+            .clone()
+            .map(|wc| WatchState::new(wc, config.trace_sample));
+        if let Some(w) = &watch {
+            conn.set_flap_damping(Some(w.config.damping));
+        }
         OverlayNode {
             me,
             forwarding: Forwarding::new(me, topology.clone()),
@@ -216,6 +234,7 @@ impl OverlayNode {
             flood_seq: 0,
             config,
             topology,
+            watch,
         }
     }
 
@@ -234,6 +253,11 @@ impl OverlayNode {
             conn_links,
             self.config.connectivity,
         );
+        if let Some(w) = &mut self.watch {
+            self.conn.set_flap_damping(Some(w.config.damping));
+            let nominals: Vec<f64> = links.iter().map(|(_, _, _, lat)| *lat).collect();
+            w.wire(&nominals);
+        }
         self.edge_index.clear();
         self.links = links
             .into_iter()
@@ -323,6 +347,12 @@ impl OverlayNode {
     #[must_use]
     pub fn dedup(&self) -> &DedupTable {
         &self.dedup
+    }
+
+    /// The anomaly watchdog's state, when enabled.
+    #[must_use]
+    pub fn watch(&self) -> Option<&WatchState> {
+        self.watch.as_ref()
     }
 
     /// Ensures a flow context exists for `pkt`'s flow and counts one

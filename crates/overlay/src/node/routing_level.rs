@@ -249,6 +249,9 @@ impl OverlayNode {
                         None,
                     );
                     self.flow_dropped(&pkt);
+                    // The honest receipt accounting: the packet did not
+                    // progress, and the watchdog upstream will see it.
+                    self.watch_note_blackholed(in_edge);
                     return;
                 }
                 Verdict::Delay(extra) => {
@@ -327,6 +330,17 @@ impl OverlayNode {
         let flow_sid = fc.stable_id();
         self.flows.mark_ingress(&flow);
         self.obs.inc(fo.sent);
+        // Graceful overload shedding: while the watchdog's queue-growth
+        // controller is engaged, the lowest-priority flows are shed at the
+        // ingress. Counted against the flow's own ledger (sent = delivered
+        // + dropped still balances) under the dedicated `drop.shed` class.
+        if let Some(w) = &self.watch {
+            if w.shed.below > 0 && spec.priority.0 < w.shed.below {
+                self.obs.drop(DropClass::Shed);
+                self.obs.inc(fo.dropped);
+                return;
+            }
+        }
         // Source-route stamp, cached in the flow context against the
         // topology version (a reroute bumps the version, so stale stamps
         // miss on their own).
@@ -389,8 +403,13 @@ impl OverlayNode {
         };
         // The ingress sampling decision: 1-in-`trace_sample` packets carry a
         // trace context for their whole life; everyone downstream just
-        // checks header presence.
-        let trace = TraceContext::sample(flow_sid, seq, self.config.trace_sample);
+        // checks header presence. With the watchdog enabled, flows with
+        // recent loss/recovery/reroute events sample more densely.
+        let sample_rate = match &self.watch {
+            Some(w) => w.sampler.rate_for(flow_sid),
+            None => self.config.trace_sample,
+        };
+        let trace = TraceContext::sample(flow_sid, seq, sample_rate);
         let pkt = DataPacket {
             flow,
             flow_seq: seq,

@@ -13,6 +13,7 @@ const TAG_LINK: u64 = 2 << 56;
 const TAG_SESSION: u64 = 3 << 56;
 const TAG_FLOOD: u64 = 4 << 56;
 const TAG_DELAYED_FWD: u64 = 5 << 56;
+const TAG_WATCH_TICK: u64 = 6 << 56;
 const TAG_MASK: u64 = 0xff << 56;
 
 /// A typed daemon timer, bit-packed into the simulator's `u64` token.
@@ -47,6 +48,8 @@ pub enum TimerKey {
         /// Key into the daemon's delayed-packet map.
         token: u32,
     },
+    /// Periodic anomaly-watchdog evaluation epoch.
+    WatchTick,
 }
 
 impl TimerKey {
@@ -61,6 +64,7 @@ impl TimerKey {
             TimerKey::Session { token } => TAG_SESSION | token as u64,
             TimerKey::Flood => TAG_FLOOD,
             TimerKey::DelayedForward { token } => TAG_DELAYED_FWD | token as u64,
+            TimerKey::WatchTick => TAG_WATCH_TICK,
         }
     }
 
@@ -82,6 +86,7 @@ impl TimerKey {
             TAG_DELAYED_FWD => Some(TimerKey::DelayedForward {
                 token: (raw & 0xffff_ffff) as u32,
             }),
+            TAG_WATCH_TICK => Some(TimerKey::WatchTick),
             _ => None,
         }
     }
@@ -94,7 +99,7 @@ mod tests {
 
     /// Every representable key, at its boundary values.
     fn boundary_keys() -> Vec<TimerKey> {
-        let mut keys = vec![TimerKey::ConnTick, TimerKey::Flood];
+        let mut keys = vec![TimerKey::ConnTick, TimerKey::Flood, TimerKey::WatchTick];
         for token in [0u32, 1, 77, u32::MAX] {
             keys.push(TimerKey::Session { token });
             keys.push(TimerKey::DelayedForward { token });
@@ -145,12 +150,13 @@ mod tests {
         );
         assert_eq!(TimerKey::ConnTick.encode(), 1u64 << 56);
         assert_eq!(TimerKey::Flood.encode(), 4u64 << 56);
+        assert_eq!(TimerKey::WatchTick.encode(), 6u64 << 56);
     }
 
     #[test]
     fn unknown_tags_decode_to_none() {
         assert_eq!(TimerKey::decode(0), None);
-        assert_eq!(TimerKey::decode(6u64 << 56), None);
+        assert_eq!(TimerKey::decode(7u64 << 56), None);
         assert_eq!(TimerKey::decode(u64::MAX), None);
     }
 

@@ -20,6 +20,7 @@
 use son_netsim::stats::Counters;
 use son_netsim::time::SimTime;
 use son_obs::trace::{TraceContext, TraceEvent, TraceRing, TraceStage};
+use son_obs::watch::{WatchEvent, WatchKind, WatchRing};
 use son_obs::{CounterId, DropClass, HistId, PacketKey, Registry, SpanEvent, SpanRing, SpanStage};
 use son_topo::NodeId;
 
@@ -34,6 +35,10 @@ const SPAN_CAPACITY: usize = 4096;
 /// of packets) so this holds minutes of history; overflow is counted in
 /// `obs.trace_overflow` rather than lost silently.
 const TRACE_CAPACITY: usize = 32768;
+
+/// Retained watchdog audit events per node. Detections and remediations are
+/// rare by construction (per-epoch, per-link), so this holds whole runs.
+const WATCH_CAPACITY: usize = 4096;
 
 /// Pre-registered counter handles for one flow's life at this node, created
 /// once when the flow's [`FlowContext`](crate::flow::FlowContext) is built
@@ -62,6 +67,7 @@ pub struct NodeObs {
     registry: Registry,
     spans: SpanRing,
     traces: TraceRing,
+    watch: WatchRing,
     detail: bool,
     node_id: u32,
     node_label: String,
@@ -101,6 +107,7 @@ impl NodeObs {
             registry,
             spans: SpanRing::new(SPAN_CAPACITY),
             traces: TraceRing::new(TRACE_CAPACITY),
+            watch: WatchRing::new(WATCH_CAPACITY),
             detail,
             node_id: me.0 as u32,
             node_label,
@@ -281,6 +288,33 @@ impl NodeObs {
         if evicted {
             self.registry.inc(self.trace_overflow);
         }
+    }
+
+    /// Records one watchdog detection or remediation in the audit ring and
+    /// bumps its per-kind counter (`watch.<label>`, summable per node).
+    pub fn watch_event(&mut self, now: SimTime, kind: WatchKind, link: Option<usize>) {
+        let label = self.node_label.clone();
+        let name = format!("watch.{}", kind.label());
+        let id = self.registry.counter(&name, &[("node", &label)]);
+        self.registry.inc(id);
+        self.watch.record(WatchEvent {
+            at_ns: now.as_nanos(),
+            node: self.node_id,
+            link: link.map(|l| l as u32),
+            kind,
+        });
+    }
+
+    /// Retained watchdog audit events.
+    #[must_use]
+    pub fn watch_events(&self) -> &WatchRing {
+        &self.watch
+    }
+
+    /// Mutable access to the trace ring, for the watchdog's per-epoch
+    /// [`TraceRing::drain_since`] sweep.
+    pub fn traces_mut(&mut self) -> &mut TraceRing {
+        &mut self.traces
     }
 
     /// The node's metrics registry.

@@ -212,6 +212,19 @@ pub enum Control {
     Lsa(Lsa),
     /// Flooded group-membership advertisement.
     GroupUpdate(GroupUpdate),
+    /// Per-epoch forwarding receipt sent to the upstream neighbor when the
+    /// anomaly watchdog is enabled: how much data arrived on the link during
+    /// the last watch epoch and how much of it made progress (delivered,
+    /// forwarded, or legitimately dropped). A compromised node's *daemon*
+    /// reports honestly — only its forwarding verdicts are adversarial — so
+    /// a blackhole signs its own confession: `received` high, `progressed`
+    /// near zero.
+    WatchReceipt {
+        /// Data packets received on the link during the epoch.
+        received: u64,
+        /// How many of those made progress past the adversary check.
+        progressed: u64,
+    },
 }
 
 impl Control {
@@ -219,7 +232,7 @@ impl Control {
     #[must_use]
     pub fn wire_size(&self) -> usize {
         match self {
-            Control::Hello { .. } | Control::HelloAck { .. } => 24,
+            Control::Hello { .. } | Control::HelloAck { .. } | Control::WatchReceipt { .. } => 24,
             Control::Lsa(lsa) => 16 + 13 * lsa.links.len(),
             Control::GroupUpdate(gu) => 16 + 4 * gu.groups.len(),
         }

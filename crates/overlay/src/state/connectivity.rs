@@ -13,7 +13,7 @@
 //! link"), and only declares the overlay link down when every provider has
 //! been exhausted.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use son_netsim::time::{SimDuration, SimTime};
@@ -50,6 +50,46 @@ impl Default for ConnectivityConfig {
     }
 }
 
+/// LSA flap-damping parameters (enabled by the anomaly watchdog).
+///
+/// An origin whose advertised link state changes `threshold` or more times
+/// within `window` is *damped*: its later updates still enter the LSDB and
+/// are flooded onward (peers keep their own counsel), but they stop
+/// triggering local route recomputation until the origin stays stable for
+/// `dwell`.
+#[derive(Debug, Clone, Copy)]
+pub struct FlapDamping {
+    /// Content changes within `window` that trigger damping.
+    pub threshold: u32,
+    /// The sliding window over which changes are counted.
+    pub window: SimDuration,
+    /// How long an origin must stay stable before it is released.
+    pub dwell: SimDuration,
+}
+
+impl Default for FlapDamping {
+    fn default() -> Self {
+        FlapDamping {
+            threshold: 4,
+            window: SimDuration::from_secs(10),
+            dwell: SimDuration::from_secs(3),
+        }
+    }
+}
+
+/// Per-origin flap-damping bookkeeping.
+#[derive(Debug, Default)]
+struct FlapState {
+    /// Recent content-change instants, pruned to the damping window.
+    changes: VecDeque<SimTime>,
+    /// Whether the origin is currently damped.
+    suppressed: bool,
+    /// A damped update was deferred and must apply on release.
+    pending: bool,
+    /// The origin's last content change (dwell is measured from here).
+    last_change: SimTime,
+}
+
 /// What the monitor asks the node to do.
 #[derive(Debug, PartialEq)]
 pub enum ConnAction {
@@ -77,6 +117,20 @@ pub enum ConnAction {
     },
     /// The shared topology view changed; forwarding tables must recompute.
     TopologyChanged,
+    /// An oscillating LSA origin was damped after `changes` content changes
+    /// within the damping window (watchdog audit hook).
+    FlapDamped {
+        /// The damped origin.
+        origin: NodeId,
+        /// Content changes counted in the window.
+        changes: u64,
+    },
+    /// A damped origin stayed stable for the dwell period and was released
+    /// (watchdog audit hook).
+    FlapReleased {
+        /// The released origin.
+        origin: NodeId,
+    },
 }
 
 #[derive(Debug)]
@@ -91,6 +145,8 @@ struct LinkMonitor {
     misses_on_provider: u32,
     total_misses: u32,
     up: bool,
+    /// Watchdog suspension: advertised down regardless of hello liveness.
+    suspended: bool,
     latency_ms: f64,
     loss: f64,
     /// Nominal latency used until measurements arrive.
@@ -117,6 +173,10 @@ pub struct ConnectivityMonitor {
     snapshot: Option<(u64, Arc<TopoSnapshot>)>,
     /// Times the shared view was actually (re)built from the LSDB.
     graph_builds: u64,
+    /// LSA flap damping, when the watchdog enables it.
+    damping: Option<FlapDamping>,
+    /// Per-origin damping state (only populated while damping is enabled).
+    flap: HashMap<NodeId, FlapState>,
 }
 
 impl ConnectivityMonitor {
@@ -142,6 +202,7 @@ impl ConnectivityMonitor {
                 misses_on_provider: 0,
                 total_misses: 0,
                 up: true,
+                suspended: false,
                 latency_ms: nominal,
                 loss: 0.0,
                 nominal_latency_ms: nominal,
@@ -158,6 +219,8 @@ impl ConnectivityMonitor {
             topology,
             snapshot: None,
             graph_builds: 0,
+            damping: None,
+            flap: HashMap::new(),
         };
         let own = mon.build_own_lsa();
         mon.lsdb.insert(me, own);
@@ -208,6 +271,38 @@ impl ConnectivityMonitor {
     #[must_use]
     pub fn link_quality(&self, link: usize) -> (f64, f64) {
         (self.links[link].latency_ms, self.links[link].loss)
+    }
+
+    /// Enables (or disables) LSA flap damping; the watchdog turns this on.
+    pub fn set_flap_damping(&mut self, damping: Option<FlapDamping>) {
+        self.damping = damping;
+        if self.damping.is_none() {
+            self.flap.clear();
+        }
+    }
+
+    /// Whether a local link is watchdog-suspended.
+    #[must_use]
+    pub fn is_suspended(&self, link: usize) -> bool {
+        self.links[link].suspended
+    }
+
+    /// Suspends a local link: it keeps exchanging hellos (so recovery can
+    /// be measured) but is advertised down, steering the fleet's routes
+    /// around it. Originates the updated own LSA.
+    pub fn suspend_link(&mut self, link: usize, out: &mut Vec<ConnAction>) {
+        if !self.links[link].suspended {
+            self.links[link].suspended = true;
+            self.originate(None, out);
+        }
+    }
+
+    /// Lifts a watchdog suspension and re-advertises the link's true state.
+    pub fn release_link(&mut self, link: usize, out: &mut Vec<ConnAction>) {
+        if self.links[link].suspended {
+            self.links[link].suspended = false;
+            self.originate(None, out);
+        }
     }
 
     /// The periodic tick: sends hellos, evaluates misses, switches
@@ -267,6 +362,26 @@ impl ConnectivityMonitor {
             self.last_refresh = now;
             self.originate(None, out);
         }
+        // Release damped origins that stayed stable for the dwell period,
+        // applying any update that was deferred while they were damped.
+        if let Some(damping) = self.damping {
+            let mut released = Vec::new();
+            for (&origin, st) in &mut self.flap {
+                if st.suppressed && now.saturating_since(st.last_change) >= damping.dwell {
+                    st.suppressed = false;
+                    st.changes.clear();
+                    released.push((origin, std::mem::take(&mut st.pending)));
+                }
+            }
+            released.sort_by_key(|&(origin, _)| origin);
+            for (origin, pending) in released {
+                out.push(ConnAction::FlapReleased { origin });
+                if pending {
+                    self.version += 1;
+                    out.push(ConnAction::TopologyChanged);
+                }
+            }
+        }
     }
 
     /// Handles an incoming hello on local link `link`: answer with an ack.
@@ -308,7 +423,19 @@ impl ConnectivityMonitor {
     }
 
     /// Handles a flooded LSA arriving on local link `arrived_on`.
-    pub fn on_lsa(&mut self, lsa: Lsa, arrived_on: Option<usize>, out: &mut Vec<ConnAction>) {
+    ///
+    /// With flap damping enabled, an origin whose advertisements oscillate
+    /// faster than the damping threshold is suppressed: its updates still
+    /// enter the LSDB and flood onward, but route recomputation is deferred
+    /// until the origin stays stable for the dwell period (released by
+    /// [`ConnectivityMonitor::on_tick`]).
+    pub fn on_lsa(
+        &mut self,
+        now: SimTime,
+        lsa: Lsa,
+        arrived_on: Option<usize>,
+        out: &mut Vec<ConnAction>,
+    ) {
         if lsa.origin == self.me {
             return; // our own advertisement echoed back
         }
@@ -323,13 +450,42 @@ impl ConnectivityMonitor {
             .lsdb
             .get(&lsa.origin)
             .is_none_or(|prev| prev.links != lsa.links);
-        self.lsdb.insert(lsa.origin, lsa.clone());
+        let origin = lsa.origin;
+        self.lsdb.insert(origin, lsa.clone());
         // Flood onward regardless (peers may have missed it).
         out.push(ConnAction::Flood {
             except: arrived_on,
             msg: Control::Lsa(lsa),
         });
-        if changed {
+        if !changed {
+            return;
+        }
+        let mut deferred = false;
+        if let Some(damping) = self.damping {
+            let st = self.flap.entry(origin).or_default();
+            st.last_change = now;
+            st.changes.push_back(now);
+            while st
+                .changes
+                .front()
+                .is_some_and(|&t| now.saturating_since(t) > damping.window)
+            {
+                st.changes.pop_front();
+            }
+            if st.suppressed {
+                st.pending = true;
+                deferred = true;
+            } else if st.changes.len() as u32 >= damping.threshold {
+                st.suppressed = true;
+                st.pending = true;
+                deferred = true;
+                out.push(ConnAction::FlapDamped {
+                    origin,
+                    changes: st.changes.len() as u64,
+                });
+            }
+        }
+        if !deferred {
             self.version += 1;
             out.push(ConnAction::TopologyChanged);
         }
@@ -373,7 +529,7 @@ impl ConnectivityMonitor {
                     };
                     LinkAdvert {
                         edge: l.edge,
-                        up: l.up,
+                        up: l.up && !l.suspended,
                         // Quantize so measurement noise does not make every
                         // periodic refresh look like a topology change (and
                         // trigger fleet-wide recomputation).
@@ -603,7 +759,7 @@ mod tests {
             }],
         };
         let mut out = Vec::new();
-        mon.on_lsa(lsa1.clone(), Some(0), &mut out);
+        mon.on_lsa(SimTime::ZERO, lsa1.clone(), Some(0), &mut out);
         assert!(out.iter().any(|a| matches!(
             a,
             ConnAction::Flood { except: Some(0), msg: Control::Lsa(l) } if l.origin == NodeId(1)
@@ -612,7 +768,7 @@ mod tests {
 
         // Same seq again: ignored entirely.
         let mut out = Vec::new();
-        mon.on_lsa(lsa1, Some(1), &mut out);
+        mon.on_lsa(SimTime::ZERO, lsa1, Some(1), &mut out);
         assert!(out.is_empty());
 
         // Newer seq with identical content: flooded but no topology change.
@@ -628,7 +784,7 @@ mod tests {
         };
         let v1 = mon.version();
         let mut out = Vec::new();
-        mon.on_lsa(lsa2, Some(0), &mut out);
+        mon.on_lsa(SimTime::ZERO, lsa2, Some(0), &mut out);
         assert!(out.iter().any(|a| matches!(a, ConnAction::Flood { .. })));
         assert!(!out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)));
         assert_eq!(mon.version(), v1);
@@ -639,6 +795,7 @@ mod tests {
         let mut mon = monitor();
         let mut out = Vec::new();
         mon.on_lsa(
+            SimTime::ZERO,
             Lsa {
                 origin: NodeId(1),
                 seq: 1,
@@ -672,6 +829,7 @@ mod tests {
         let mut mon = monitor();
         let mut out = Vec::new();
         mon.on_lsa(
+            SimTime::ZERO,
             Lsa {
                 origin: NodeId(1),
                 seq: 1,
@@ -698,8 +856,148 @@ mod tests {
             links: vec![],
         };
         let mut out = Vec::new();
-        mon.on_lsa(own, Some(0), &mut out);
+        mon.on_lsa(SimTime::ZERO, own, Some(0), &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn suspension_advertises_link_down_and_release_restores_it() {
+        let mut mon = monitor();
+        let mut out = Vec::new();
+        mon.suspend_link(0, &mut out);
+        assert!(mon.is_suspended(0));
+        assert!(mon.link_up(0), "hello liveness is unaffected by suspension");
+        // The fresh own LSA advertises the suspended link down.
+        let lsa = out
+            .iter()
+            .find_map(|a| match a {
+                ConnAction::Flood {
+                    msg: Control::Lsa(l),
+                    ..
+                } if l.origin == NodeId(0) => Some(l.clone()),
+                _ => None,
+            })
+            .expect("suspension originates an LSA");
+        assert!(!lsa.links[0].up);
+        assert!(lsa.links[1].up);
+        assert!(out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)));
+        // Suspending again is a no-op.
+        let mut out = Vec::new();
+        mon.suspend_link(0, &mut out);
+        assert!(out.is_empty());
+        // Release restores the true state.
+        let mut out = Vec::new();
+        mon.release_link(0, &mut out);
+        assert!(!mon.is_suspended(0));
+        let lsa = out
+            .iter()
+            .find_map(|a| match a {
+                ConnAction::Flood {
+                    msg: Control::Lsa(l),
+                    ..
+                } if l.origin == NodeId(0) => Some(l.clone()),
+                _ => None,
+            })
+            .expect("release originates an LSA");
+        assert!(lsa.links[0].up);
+    }
+
+    fn flapping_lsa(seq: u64, up: bool) -> Lsa {
+        Lsa {
+            origin: NodeId(1),
+            seq,
+            links: vec![LinkAdvert {
+                edge: EdgeId(1),
+                up,
+                latency_ms: 10.0,
+                loss: 0.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn oscillating_origin_is_damped_and_released_after_dwell() {
+        let mut mon = monitor();
+        mon.set_flap_damping(Some(FlapDamping {
+            threshold: 4,
+            window: SimDuration::from_secs(10),
+            dwell: SimDuration::from_secs(3),
+        }));
+        // Four content changes within the window: damped on the fourth.
+        let mut reroutes = 0u32;
+        let mut damped_at = None;
+        for i in 0..6u64 {
+            let mut out = Vec::new();
+            mon.on_lsa(
+                SimTime::from_millis(i * 500),
+                flapping_lsa(i + 1, i % 2 == 0),
+                Some(0),
+                &mut out,
+            );
+            reroutes += out
+                .iter()
+                .filter(|a| matches!(a, ConnAction::TopologyChanged))
+                .count() as u32;
+            // Updates keep flooding onward even while damped.
+            assert!(out.iter().any(|a| matches!(a, ConnAction::Flood { .. })));
+            if let Some(ConnAction::FlapDamped { origin, changes }) = out
+                .iter()
+                .find(|a| matches!(a, ConnAction::FlapDamped { .. }))
+            {
+                assert_eq!(*origin, NodeId(1));
+                assert_eq!(*changes, 4);
+                damped_at = Some(i);
+            }
+        }
+        assert_eq!(damped_at, Some(3), "damped on the threshold-th change");
+        assert_eq!(reroutes, 3, "recomputation stops once damped");
+
+        // Stable for less than the dwell: still damped, no release.
+        let mut out = Vec::new();
+        mon.on_tick(SimTime::from_millis(4000), &mut out);
+        assert!(!out
+            .iter()
+            .any(|a| matches!(a, ConnAction::FlapReleased { .. })));
+
+        // Stable past the dwell: released, and the deferred update applies.
+        let mut out = Vec::new();
+        mon.on_tick(SimTime::from_millis(2500 + 3100), &mut out);
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, ConnAction::FlapReleased { origin } if *origin == NodeId(1))));
+        assert!(
+            out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)),
+            "deferred update triggers recomputation on release"
+        );
+        // A later lone change behaves normally again.
+        let mut out = Vec::new();
+        mon.on_lsa(
+            SimTime::from_millis(20_000),
+            flapping_lsa(50, true),
+            Some(0),
+            &mut out,
+        );
+        assert!(out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)));
+    }
+
+    #[test]
+    fn damping_disabled_means_every_change_recomputes() {
+        let mut mon = monitor();
+        let mut reroutes = 0u32;
+        for i in 0..6u64 {
+            let mut out = Vec::new();
+            mon.on_lsa(
+                SimTime::from_millis(i * 500),
+                flapping_lsa(i + 1, i % 2 == 0),
+                Some(0),
+                &mut out,
+            );
+            reroutes += out
+                .iter()
+                .filter(|a| matches!(a, ConnAction::TopologyChanged))
+                .count() as u32;
+        }
+        assert_eq!(reroutes, 6);
     }
 
     #[test]

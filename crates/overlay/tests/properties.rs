@@ -324,6 +324,7 @@ mod routing_props {
     use std::sync::Arc;
 
     use proptest::prelude::*;
+    use son_netsim::time::SimTime;
     use son_overlay::packet::{LinkAdvert, Lsa};
     use son_overlay::routing::Forwarding;
     use son_overlay::state::connectivity::{ConnAction, ConnectivityConfig, ConnectivityMonitor};
@@ -390,7 +391,7 @@ mod routing_props {
         ) {
             let mut mon = monitor0();
             let mut out = Vec::new();
-            mon.on_lsa(lsa_from_2(1, lat, loss, pendant_lat), None, &mut out);
+            mon.on_lsa(SimTime::ZERO, lsa_from_2(1, lat, loss, pendant_lat), None, &mut out);
             let mut fwd = Forwarding::new(NodeId(0), topo5());
             fwd.install(mon.snapshot(), mon.version());
             let _ = fwd.multicast_out_edges(NodeId(2), &[NodeId(0), NodeId(3)]);
@@ -404,7 +405,7 @@ mod routing_props {
             // Same advertised state, newer sequence number (the periodic
             // refresh every node emits).
             let mut out = Vec::new();
-            mon.on_lsa(lsa_from_2(2, lat, loss, pendant_lat), None, &mut out);
+            mon.on_lsa(SimTime::ZERO, lsa_from_2(2, lat, loss, pendant_lat), None, &mut out);
 
             prop_assert_eq!(mon.version(), version, "no-op LSA must not bump version");
             prop_assert!(
@@ -456,7 +457,7 @@ mod routing_props {
         ) {
             let mut mon = monitor0();
             let mut out = Vec::new();
-            mon.on_lsa(lsa_from_2(1, lat, 0.0, pendant_before), None, &mut out);
+            mon.on_lsa(SimTime::ZERO, lsa_from_2(1, lat, 0.0, pendant_before), None, &mut out);
             let mut fwd = Forwarding::new(NodeId(0), topo5());
             fwd.install(mon.snapshot(), mon.version());
 
@@ -470,7 +471,7 @@ mod routing_props {
 
             // Node 2 re-advertises with only the pendant edge changed.
             let mut out = Vec::new();
-            mon.on_lsa(lsa_from_2(2, lat, 0.0, pendant_after), None, &mut out);
+            mon.on_lsa(SimTime::ZERO, lsa_from_2(2, lat, 0.0, pendant_after), None, &mut out);
             fwd.install(mon.snapshot(), mon.version());
             if pendant_after != pendant_before {
                 prop_assert!(

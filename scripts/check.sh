@@ -29,4 +29,9 @@ cargo run --release -q -p son-bench --bin exp_fig3 -- --smoke
 cargo run --release -q -p son-bench --bin son-trace -- \
     --self-check --limit 1 target/obs/exp_fig3.trace.jsonl
 
+echo "==> watchdog smoke campaign (exp_watchdog --smoke + son-trace --watch-audit)"
+cargo run --release -q -p son-bench --bin exp_watchdog -- --smoke
+cargo run --release -q -p son-bench --bin son-trace -- \
+    --watch-audit target/obs/watch.jsonl
+
 echo "All checks passed."
