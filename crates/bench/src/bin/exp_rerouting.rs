@@ -194,8 +194,8 @@ fn main() {
             sim.schedule(FAIL_AT, ScenarioEvent::DisablePipe(ba));
         }
         let mut recorder = TimeSeriesRing::new(256, default_tracked());
-        sim.run_with_cadence(RUN_FOR, SimDuration::from_secs(1), |sim, at| {
-            recorder.snapshot_registry(at.as_nanos(), &gather_registry(sim, &overlay));
+        sim.run_with_cadence(RUN_FOR, SimDuration::from_secs(1), |sim, at, wall| {
+            recorder.snapshot_registry(at.as_nanos(), wall, &gather_registry(sim, &overlay));
         });
         if let Some(sink) = &mut sink {
             let _ = export_registry(sink, what, &gather_registry(&sim, &overlay));

@@ -1,0 +1,196 @@
+//! E16 — the scale observatory (§VII: the overlay is built to grow, so the
+//! repo tracks *how* it grows, not just whether it works).
+//!
+//! Sweeps seeded ring-with-chords overlays at N ∈ {64, 256, 1024} (4096
+//! behind `--full`, a multi-minute run; `--smoke` stops at 256 for CI) and
+//! reports, per N: simulated packets forwarded per wall-clock second,
+//! retained bytes per node broken down by subsystem, and the fleet-wide
+//! `route.rebuild` latency percentiles — what one topology change costs a
+//! daemon as the link-state view grows.
+//!
+//! Results land in two places:
+//!
+//! - `BENCH_scale.json` (override with `BENCH_OUT`): one locked row per N,
+//!   gated by `scripts/bench_smoke.sh` — bytes/node must stay sublinear in
+//!   N relative to the committed curve, and the profiler-on pass must stay
+//!   within the overhead budget.
+//! - `<obs dir>/scale.jsonl`: the same rows plus the absorbed profiler's
+//!   per-stage rows for each N (`run` = `n64`, `n256`, …), the input to
+//!   `son-trace --scale-report`.
+
+use son_bench::scale::{run_scale, ScaleResult, SCALE_FLOWS, SCALE_SEED};
+use son_bench::{banner, export_perf, export_rows, f, finish_export, obs_sink, row, table_header};
+use son_obs::{Json, JsonlSink};
+
+/// Virtual-time horizon per run: long enough for convergence, the mid-run
+/// link cut at 1.5s, recovery at 2.2s, and steady state after — and short
+/// of the 5s LSA refresh, whose fleet-wide flood would swamp the figures.
+const SIM_SECONDS: u64 = 3;
+
+/// Bytes/node is expected O(N) (every node holds the fleet's link state),
+/// so N=1024 vs N=64 should sit near 16×. The gate allows headroom for
+/// constant terms but catches anything superlinear per node.
+const SUBLINEAR_SLACK: f64 = 1.5;
+
+fn bench_row(r: &ScaleResult, mode: &str) -> Json {
+    let per_node: Vec<(String, Json)> = r
+        .bytes_per_node()
+        .into_iter()
+        .map(|(label, b)| (label.to_owned(), Json::F64(b)))
+        .collect();
+    let stage = r.reroute_stage();
+    Json::obj(vec![
+        ("bench", Json::str("exp_scale")),
+        ("mode", Json::str(mode)),
+        ("n", Json::U64(r.n as u64)),
+        ("seed", Json::U64(SCALE_SEED)),
+        ("flows", Json::U64(SCALE_FLOWS as u64)),
+        ("sim_seconds", Json::F64(r.sim_seconds)),
+        ("wall_seconds", Json::F64(r.wall_seconds)),
+        ("perf_wall_seconds", Json::F64(r.perf_wall_seconds)),
+        ("perf_overhead_pct", Json::F64(r.perf_overhead() * 100.0)),
+        ("forwarded", Json::U64(r.forwarded)),
+        ("delivered", Json::U64(r.delivered)),
+        ("reroutes", Json::U64(r.reroutes)),
+        ("sim_pkts_per_wall_s", Json::F64(r.pkts_per_wall_s())),
+        ("bytes_per_node", Json::Obj(per_node)),
+        ("bytes_per_node_total", Json::F64(r.bytes_per_node_total())),
+        ("bytes_per_node_state", Json::F64(r.bytes_per_node_state())),
+        (
+            "reroute_p50_ns",
+            Json::F64(stage.as_ref().map_or(0.0, |s| s.total_p50_ns)),
+        ),
+        (
+            "reroute_p99_ns",
+            Json::F64(stage.as_ref().map_or(0.0, |s| s.total_p99_ns)),
+        ),
+    ])
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let full = std::env::args().any(|a| a == "--full");
+    banner(
+        "E16 (scale observatory)",
+        "throughput, bytes/node by subsystem, and reroute latency as the overlay grows",
+    );
+
+    let sizes: &[usize] = if smoke {
+        &[64, 256]
+    } else if full {
+        &[64, 256, 1024, 4096]
+    } else {
+        &[64, 256, 1024]
+    };
+    let mode = if smoke { "smoke" } else { "full" };
+
+    let bench_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_scale.json".to_owned());
+    let mut bench = JsonlSink::create(&bench_path).ok();
+    if bench.is_none() {
+        eprintln!("bench: cannot write {bench_path}; results print only");
+    }
+    let mut obs = obs_sink("scale");
+
+    table_header(&[
+        ("n", 6),
+        ("wall s", 8),
+        ("pkts/wall s", 12),
+        ("KiB/node", 10),
+        ("state KiB", 10),
+        ("reroute p50", 12),
+        ("reroute p99", 12),
+        ("perf ovh", 9),
+    ]);
+    let mut results: Vec<ScaleResult> = Vec::new();
+    for &n in sizes {
+        let r = run_scale(n, SIM_SECONDS);
+        let stage = r.reroute_stage();
+        row(&[
+            (n.to_string(), 6),
+            (f(r.wall_seconds, 2), 8),
+            (f(r.pkts_per_wall_s(), 0), 12),
+            (f(r.bytes_per_node_total() / 1024.0, 1), 10),
+            (f(r.bytes_per_node_state() / 1024.0, 1), 10),
+            (
+                format!(
+                    "{:.0}us",
+                    stage.as_ref().map_or(0.0, |s| s.total_p50_ns) / 1e3
+                ),
+                12,
+            ),
+            (
+                format!(
+                    "{:.0}us",
+                    stage.as_ref().map_or(0.0, |s| s.total_p99_ns) / 1e3
+                ),
+                12,
+            ),
+            (format!("{:+.1}%", r.perf_overhead() * 100.0), 9),
+        ]);
+        let row = bench_row(&r, mode);
+        if let Some(sink) = &mut bench {
+            let _ = sink.write(&row);
+        }
+        if let Some(sink) = &mut obs {
+            let run = format!("n{n}");
+            let _ = export_rows(sink, &run, std::iter::once(row));
+            let _ = export_perf(sink, &run, &r.perf);
+        }
+        results.push(r);
+    }
+
+    // Subsystem breakdown at the largest N: where the bytes actually live.
+    let last = results.last().expect("at least one size");
+    println!("\nbytes/node by subsystem at n={}:", last.n);
+    let mut parts = last.bytes_per_node();
+    parts.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (label, b) in parts {
+        println!("  {label:>10}  {:>10.1} KiB", b / 1024.0);
+    }
+
+    // Top profiler stages at the largest N: where the wall-clock goes.
+    println!("\ntop profiler stages at n={} (by self time):", last.n);
+    table_header(&[
+        ("stage", 16),
+        ("count", 12),
+        ("self ms", 10),
+        ("total ms", 10),
+    ]);
+    for s in last.perf.top_by_self(10) {
+        row(&[
+            (s.label.to_string(), 16),
+            (s.count.to_string(), 12),
+            (f(s.self_ns / 1e6, 1), 10),
+            (f(s.total_ns / 1e6, 1), 10),
+        ]);
+    }
+
+    // The sublinearity invariant, asserted in-process on every run (the
+    // committed-curve comparison lives in scripts/bench_smoke.sh). Gated on
+    // *state* bytes/node — the fixed-capacity rings would mask growth.
+    let base = &results[0];
+    let top = results.last().expect("at least one size");
+    let ratio = top.bytes_per_node_state() / base.bytes_per_node_state().max(1.0);
+    let linear = top.n as f64 / base.n as f64;
+    println!(
+        "\nstate bytes/node growth n={}→{}: {ratio:.1}x (linear would be {linear:.0}x; budget {:.0}x)",
+        base.n,
+        top.n,
+        linear * SUBLINEAR_SLACK
+    );
+    assert!(
+        ratio <= linear * SUBLINEAR_SLACK,
+        "state bytes/node grew superlinearly: {ratio:.1}x over a {linear:.0}x size increase"
+    );
+
+    if let Some(sink) = bench {
+        let rows = sink.rows();
+        match sink.finish() {
+            Ok(path) => println!("\nbench: wrote {rows} rows to {}", path.display()),
+            Err(e) => eprintln!("bench: export failed ({e})"),
+        }
+    }
+    if let Some(sink) = obs {
+        finish_export(sink);
+    }
+}

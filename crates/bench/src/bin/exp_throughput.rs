@@ -159,17 +159,27 @@ impl ThroughputResult {
 /// seconds: the forwarding fast path under the exact conditions (churn +
 /// traffic) the paper's sub-second-rerouting claim assumes. `trace_sample`
 /// enables distributed tracing (0 = off) so the traced rerun measures the
-/// sampling overhead on the same workload.
-fn throughput_under_churn(smoke: bool, trace_sample: u32) -> (ThroughputResult, son_obs::Registry) {
+/// sampling overhead on the same workload; `perf` enables the wall-clock
+/// span profiler (daemons and event loop) so the profiled rerun prices the
+/// always-on profiler the same way.
+fn throughput_under_churn(
+    smoke: bool,
+    trace_sample: u32,
+    perf: bool,
+) -> (ThroughputResult, son_obs::Registry) {
     let sc = continental_us(DEFAULT_CONVERGENCE);
     let (topo, cities) = continental_overlay(&sc);
     let mut sim: Simulation<Wire> = Simulation::new(7);
     sim.set_underlay(sc.underlay);
+    if perf {
+        sim.enable_perf();
+    }
     // The traced rerun also runs the full anomaly watchdog (with adaptive
     // sampling), so the ≤5% overhead gate prices the whole observability +
     // remediation stack, not just the sampling.
     let node_config = son_overlay::NodeConfig {
         trace_sample,
+        perf,
         watch: (trace_sample > 0).then(son_overlay::watch::WatchConfig::default),
         ..son_overlay::NodeConfig::default()
     };
@@ -344,20 +354,26 @@ fn main() {
     // Iterations are interleaved (untraced, traced, untraced, ...) so a
     // load spike on the host degrades both modes instead of biasing one.
     let iters = if smoke { 10 } else { 3 };
-    let mut t = throughput_under_churn(smoke, 0);
-    let mut traced = throughput_under_churn(smoke, 64);
+    let mut t = throughput_under_churn(smoke, 0, false);
+    let mut traced = throughput_under_churn(smoke, 64, false);
+    let mut profiled = throughput_under_churn(smoke, 0, true);
     for _ in 1..iters {
-        let a = throughput_under_churn(smoke, 0);
+        let a = throughput_under_churn(smoke, 0, false);
         if a.0.wall_seconds < t.0.wall_seconds {
             t = a;
         }
-        let b = throughput_under_churn(smoke, 64);
+        let b = throughput_under_churn(smoke, 64, false);
         if b.0.wall_seconds < traced.0.wall_seconds {
             traced = b;
+        }
+        let c = throughput_under_churn(smoke, 0, true);
+        if c.0.wall_seconds < profiled.0.wall_seconds {
+            profiled = c;
         }
     }
     let (t, registry) = t;
     let (traced, _) = traced;
+    let (profiled, _) = profiled;
     table_header(&[
         ("mode", 8),
         ("sim s", 8),
@@ -368,7 +384,7 @@ fn main() {
         ("sim pkts/wall s", 16),
     ]);
     let base_mode = if smoke { "smoke" } else { "full" };
-    for (mode, r) in [(base_mode, &t), ("traced", &traced)] {
+    for (mode, r) in [(base_mode, &t), ("traced", &traced), ("perf", &profiled)] {
         row(&[
             (mode.to_string(), 8),
             (f(r.sim_seconds, 1), 8),
@@ -398,6 +414,10 @@ fn main() {
     println!(
         "\ntracing overhead: {:.1}% (traced vs untraced pkts/wall s; budget: <= 5%)",
         (1.0 - traced.pkts_per_wall_s() / t.pkts_per_wall_s()) * 100.0
+    );
+    println!(
+        "profiler overhead: {:.1}% (perf vs untraced pkts/wall s; budget: <= 5%)",
+        (1.0 - profiled.pkts_per_wall_s() / t.pkts_per_wall_s()) * 100.0
     );
     if let Some(sink) = bench {
         let rows = sink.rows();

@@ -1,0 +1,150 @@
+//! Shared JSONL-export plumbing for the experiment binaries.
+//!
+//! Every experiment writes the same way: open a sink per artifact under the
+//! obs dir, tag each row with a `run` label so several runs share one file,
+//! and finish with the "wrote N rows" banner. The per-artifact exporters
+//! ([`export_traces`], [`export_timeseries`], [`export_watch`],
+//! [`export_registry`]) are all one call to [`export_rows`] with a
+//! different row source — the row-tagging loop lives here exactly once.
+
+use son_obs::trace::TraceEvent;
+use son_obs::{registry_rows, Json, JsonlSink, Registry};
+
+/// Tags `row` with `run` as its first key (no-op on non-object rows).
+#[must_use]
+pub fn tag_run(mut row: Json, run: &str) -> Json {
+    if let Json::Obj(pairs) = &mut row {
+        pairs.insert(0, ("run".to_owned(), Json::str(run)));
+    }
+    row
+}
+
+/// Writes each row of `rows` into `sink`, tagged with `run`. Every
+/// per-artifact exporter funnels through here.
+///
+/// # Errors
+///
+/// Propagates the I/O error if a write fails.
+pub fn export_rows(
+    sink: &mut JsonlSink,
+    run: &str,
+    rows: impl IntoIterator<Item = Json>,
+) -> std::io::Result<()> {
+    for row in rows {
+        sink.write(&tag_run(row, run))?;
+    }
+    Ok(())
+}
+
+/// Writes one JSONL row per trace event into `sink`, tagging each row with
+/// `run`. Schema is documented in `EXPERIMENTS.md`.
+///
+/// # Errors
+///
+/// Propagates the I/O error if a write fails.
+pub fn export_traces(
+    sink: &mut JsonlSink,
+    run: &str,
+    events: &[TraceEvent],
+) -> std::io::Result<()> {
+    export_rows(sink, run, events.iter().map(TraceEvent::row))
+}
+
+/// Writes the flight recorder's samples into `sink`, tagging each row with
+/// `run`. Schema is documented in `EXPERIMENTS.md`.
+///
+/// # Errors
+///
+/// Propagates the I/O error if a write fails.
+pub fn export_timeseries(sink: &mut JsonlSink, run: &str, rows: &[Json]) -> std::io::Result<()> {
+    export_rows(sink, run, rows.iter().cloned())
+}
+
+/// Writes one `watch.jsonl` row per watchdog audit event into `sink`,
+/// tagging each row with `run`. Schema is documented in `EXPERIMENTS.md`.
+///
+/// # Errors
+///
+/// Propagates the I/O error if a write fails.
+pub fn export_watch(
+    sink: &mut JsonlSink,
+    run: &str,
+    events: &[son_obs::watch::WatchEvent],
+) -> std::io::Result<()> {
+    export_rows(
+        sink,
+        run,
+        events.iter().map(son_obs::watch::WatchEvent::row),
+    )
+}
+
+/// Writes one JSONL row per instrument of `reg` into `sink`, tagging each
+/// row with `run` so several runs can share one experiment file. Schema is
+/// documented in `EXPERIMENTS.md`.
+///
+/// # Errors
+///
+/// Propagates the I/O error if a write fails.
+pub fn export_registry(sink: &mut JsonlSink, run: &str, reg: &Registry) -> std::io::Result<()> {
+    export_rows(sink, run, registry_rows(reg))
+}
+
+/// Writes the profiler's per-stage rows into `sink`, tagged with `run`
+/// (`{"run":…,"kind":"perf","stage":…}`; see `EXPERIMENTS.md` E16).
+///
+/// # Errors
+///
+/// Propagates the I/O error if a write fails.
+pub fn export_perf(
+    sink: &mut JsonlSink,
+    run: &str,
+    perf: &son_obs::PerfRegistry,
+) -> std::io::Result<()> {
+    export_rows(sink, run, son_obs::perf_rows(perf))
+}
+
+/// Creates the JSONL sink for `experiment` under the obs dir, or explains
+/// why export is off (an unwritable directory disables export, it does not
+/// fail the experiment).
+#[must_use]
+pub fn obs_sink(experiment: &str) -> Option<JsonlSink> {
+    match JsonlSink::for_experiment(experiment) {
+        Ok(sink) => Some(sink),
+        Err(e) => {
+            eprintln!("obs: export disabled ({e})");
+            None
+        }
+    }
+}
+
+/// Flushes `sink` and prints the standard "wrote N rows" banner.
+pub fn finish_export(sink: JsonlSink) {
+    let rows = sink.rows();
+    match sink.finish() {
+        Ok(path) => println!("obs: wrote {rows} rows to {}", path.display()),
+        Err(e) => eprintln!("obs: export failed ({e})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_run_prepends_run_key() {
+        let row = Json::obj(vec![("kind", Json::str("ts")), ("value", Json::U64(3))]);
+        let tagged = tag_run(row, "warm");
+        let text = tagged.to_json();
+        assert!(
+            text.starts_with("{\"run\":\"warm\""),
+            "run key must lead: {text}"
+        );
+        assert_eq!(tagged.get("value").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn tag_run_passes_non_objects_through() {
+        let row = Json::U64(9);
+        assert_eq!(tag_run(row, "x").as_u64(), Some(9));
+    }
+}

@@ -5,13 +5,20 @@
 //! `EXPERIMENTS.md` for paper-vs-measured results). This library holds the
 //! shared runners and table-printing helpers.
 
+pub mod export;
+pub mod scale;
 pub mod watchdog;
+
+pub use export::{
+    export_perf, export_registry, export_rows, export_timeseries, export_traces, export_watch,
+    finish_export, obs_sink, tag_run,
+};
 
 use son_netsim::loss::LossConfig;
 use son_netsim::sim::Simulation;
 use son_netsim::time::{SimDuration, SimTime};
 use son_obs::trace::TraceEvent;
-use son_obs::{registry_rows, Json, JsonlSink, Registry, TimeSeriesRing};
+use son_obs::{Json, Registry, TimeSeriesRing};
 use son_overlay::builder::OverlayBuilder;
 use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, FlowRecv, Workload};
 use son_overlay::node::OverlayNode;
@@ -165,9 +172,9 @@ impl UnicastRun {
             }
             Some(cadence) => {
                 let mut recorder = TimeSeriesRing::new(4096, default_tracked());
-                sim.run_with_cadence(until, cadence, |sim, at| {
+                sim.run_with_cadence(until, cadence, |sim, at, wall| {
                     let reg = gather_registry(sim, &overlay);
-                    recorder.snapshot_registry(at.as_nanos(), &reg);
+                    recorder.snapshot_registry(at.as_nanos(), wall, &reg);
                 });
                 recorder.rows()
             }
@@ -242,44 +249,6 @@ pub fn gather_traces(sim: &Simulation<Wire>, overlay: &OverlayHandle) -> Vec<Tra
     events
 }
 
-/// Writes one JSONL row per trace event into `sink`, tagging each row with
-/// `run`. Schema is documented in `EXPERIMENTS.md`.
-///
-/// # Errors
-///
-/// Propagates the I/O error if a write fails.
-pub fn export_traces(
-    sink: &mut JsonlSink,
-    run: &str,
-    events: &[TraceEvent],
-) -> std::io::Result<()> {
-    for event in events {
-        let mut row = event.row();
-        if let Json::Obj(pairs) = &mut row {
-            pairs.insert(0, ("run".to_owned(), Json::str(run)));
-        }
-        sink.write(&row)?;
-    }
-    Ok(())
-}
-
-/// Writes the flight recorder's samples into `sink`, tagging each row with
-/// `run`. Schema is documented in `EXPERIMENTS.md`.
-///
-/// # Errors
-///
-/// Propagates the I/O error if a write fails.
-pub fn export_timeseries(sink: &mut JsonlSink, run: &str, rows: &[Json]) -> std::io::Result<()> {
-    for row in rows {
-        let mut row = row.clone();
-        if let Json::Obj(pairs) = &mut row {
-            pairs.insert(0, ("run".to_owned(), Json::str(run)));
-        }
-        sink.write(&row)?;
-    }
-    Ok(())
-}
-
 /// Merges every daemon's watchdog audit ring into one time-sorted stream.
 /// Sorting is by `(at_ns, node, link)` so equal-time events from different
 /// daemons land in a deterministic order.
@@ -297,27 +266,6 @@ pub fn gather_watch(
     events
 }
 
-/// Writes one `watch.jsonl` row per watchdog audit event into `sink`,
-/// tagging each row with `run`. Schema is documented in `EXPERIMENTS.md`.
-///
-/// # Errors
-///
-/// Propagates the I/O error if a write fails.
-pub fn export_watch(
-    sink: &mut JsonlSink,
-    run: &str,
-    events: &[son_obs::watch::WatchEvent],
-) -> std::io::Result<()> {
-    for event in events {
-        let mut row = event.row();
-        if let Json::Obj(pairs) = &mut row {
-            pairs.insert(0, ("run".to_owned(), Json::str(run)));
-        }
-        sink.write(&row)?;
-    }
-    Ok(())
-}
-
 /// Absorbs every daemon's metrics registry into one experiment-wide
 /// registry, and folds in the simulator's pipe-level counters (labelled
 /// `layer=pipe`) so cross-layer accounting lives in one place.
@@ -333,46 +281,6 @@ pub fn gather_registry(sim: &Simulation<Wire>, overlay: &OverlayHandle) -> Regis
         reg.add(id, value);
     }
     reg
-}
-
-/// Writes one JSONL row per instrument of `reg` into `sink`, tagging each
-/// row with `run` so several runs can share one experiment file. Schema is
-/// documented in `EXPERIMENTS.md`.
-///
-/// # Errors
-///
-/// Propagates the I/O error if a write fails.
-pub fn export_registry(sink: &mut JsonlSink, run: &str, reg: &Registry) -> std::io::Result<()> {
-    for mut row in registry_rows(reg) {
-        if let Json::Obj(pairs) = &mut row {
-            pairs.insert(0, ("run".to_owned(), Json::str(run)));
-        }
-        sink.write(&row)?;
-    }
-    Ok(())
-}
-
-/// Creates the JSONL sink for `experiment` under the obs dir, or explains
-/// why export is off (an unwritable directory disables export, it does not
-/// fail the experiment).
-#[must_use]
-pub fn obs_sink(experiment: &str) -> Option<JsonlSink> {
-    match JsonlSink::for_experiment(experiment) {
-        Ok(sink) => Some(sink),
-        Err(e) => {
-            eprintln!("obs: export disabled ({e})");
-            None
-        }
-    }
-}
-
-/// Flushes `sink` and prints the standard "wrote N rows" banner.
-pub fn finish_export(sink: JsonlSink) {
-    let rows = sink.rows();
-    match sink.finish() {
-        Ok(path) => println!("obs: wrote {rows} rows to {}", path.display()),
-        Err(e) => eprintln!("obs: export failed ({e})"),
-    }
 }
 
 /// Aggregates link-protocol and node statistics across all daemons.

@@ -1,0 +1,308 @@
+//! E16 — the scale observatory harness.
+//!
+//! Sweeps seeded ring-with-chords overlays over increasing node counts and
+//! measures, per N, the three axes the paper's scaling story rests on:
+//!
+//! 1. **Throughput** — simulated packets forwarded per wall-clock second
+//!    while CBR flows cross the overlay and one link fails mid-run.
+//! 2. **Memory** — retained bytes per node, broken down by subsystem via
+//!    [`son_overlay::node::OverlayNode::footprint`]. Per-node state holds
+//!    the full link-state view, so bytes/node grows O(N); the committed
+//!    `BENCH_scale.json` curve gates against anything worse (O(N²) per
+//!    node would mean O(N³) fleet-wide — a design regression).
+//! 3. **Reroute latency** — the `route.rebuild` profiler stage's total-time
+//!    percentiles: what one topology change costs a daemon, snapshot
+//!    rebuild plus Dijkstra, as N grows.
+//!
+//! Each N runs twice on the same seed: once with the profiler off (the
+//! clean throughput figure) and once with it on (profiler stages and the
+//! perf-overhead figure). The sim is deterministic, so both passes execute
+//! the identical event sequence and the wall-clock delta prices the
+//! profiler alone.
+
+use std::time::Instant;
+
+use son_netsim::sim::{ScenarioEvent, Simulation};
+use son_netsim::time::{SimDuration, SimTime};
+use son_obs::{FootprintReport, PerfRegistry, PerfStageStats};
+use son_overlay::builder::OverlayBuilder;
+use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
+use son_overlay::node::OverlayNode;
+use son_overlay::{Destination, FlowSpec, NodeConfig, OverlayAddr, Wire};
+use son_topo::{EdgeId, Graph, NodeId};
+
+use crate::{RX_PORT, TX_PORT};
+
+/// Master seed for every scale run: the sweep must be reproducible so the
+/// committed `BENCH_scale.json` curve is comparable across machines.
+pub const SCALE_SEED: u64 = 11;
+
+/// Cross-overlay CBR flows per run — constant across N so throughput
+/// differences isolate the per-node routing and data-path costs.
+pub const SCALE_FLOWS: usize = 8;
+
+/// A ring of `n` nodes (`hop_ms` per link) plus a chord from `i` to
+/// `i + n/2` every 16 positions on the first half. Unlike
+/// [`crate::ring_with_chords`] this does *not* stop at the 256-edge
+/// source-route mask: link-state unicast routing never builds edge masks,
+/// and the scale sweep needs topologies far past 256 edges.
+#[must_use]
+pub fn scale_topology(n: usize, hop_ms: f64) -> Graph {
+    assert!(
+        n >= 16 && n.is_multiple_of(2),
+        "scale topology needs an even n >= 16"
+    );
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        g.add_edge(NodeId(i), NodeId((i + 1) % n), hop_ms);
+    }
+    let mut i = 0;
+    while i < n / 2 {
+        g.add_edge(NodeId(i), NodeId(i + n / 2), hop_ms * 1.5);
+        i += 16;
+    }
+    g
+}
+
+/// One measured point of the sweep.
+pub struct ScaleResult {
+    /// Overlay size.
+    pub n: usize,
+    /// Virtual-time horizon of the run.
+    pub sim_seconds: f64,
+    /// Wall-clock cost of the profiler-off pass.
+    pub wall_seconds: f64,
+    /// Wall-clock cost of the profiler-on pass (same event sequence).
+    pub perf_wall_seconds: f64,
+    /// Data packets forwarded onto links, summed over daemons (perf-off).
+    pub forwarded: u64,
+    /// Packets the flow receivers logged (perf-off).
+    pub delivered: u64,
+    /// Route recomputations, summed over daemons (perf-off).
+    pub reroutes: u64,
+    /// Retained-bytes estimate summed over every daemon, by subsystem
+    /// (taken from the perf-off pass so profiler state is not charged).
+    pub footprint: FootprintReport,
+    /// Every daemon's profiler plus the event loop's, absorbed into one
+    /// fleet-wide view (from the perf-on pass).
+    pub perf: PerfRegistry,
+}
+
+impl ScaleResult {
+    /// Simulated packets forwarded per wall-clock second (perf-off pass).
+    #[must_use]
+    pub fn pkts_per_wall_s(&self) -> f64 {
+        self.forwarded as f64 / self.wall_seconds.max(1e-9)
+    }
+
+    /// Profiler overhead as a fraction of the perf-off wall time (may be
+    /// slightly negative from scheduler noise on short runs).
+    #[must_use]
+    pub fn perf_overhead(&self) -> f64 {
+        self.perf_wall_seconds / self.wall_seconds.max(1e-9) - 1.0
+    }
+
+    /// Average retained bytes per node, by subsystem label.
+    #[must_use]
+    pub fn bytes_per_node(&self) -> Vec<(&'static str, f64)> {
+        self.footprint
+            .parts()
+            .iter()
+            .map(|p| (p.label, p.bytes as f64 / self.n as f64))
+            .collect()
+    }
+
+    /// Average retained bytes per node, all subsystems.
+    #[must_use]
+    pub fn bytes_per_node_total(&self) -> f64 {
+        self.footprint.total() as f64 / self.n as f64
+    }
+
+    /// Average retained bytes per node excluding the fixed-capacity
+    /// observability rings (`rings`): the state that actually grows with N
+    /// — link-state DB, routing tables, topology — and the quantity the
+    /// sublinearity gate watches. Gating on the total would let the flat
+    /// ~MiB ring preallocation mask an O(N²)-per-node regression.
+    #[must_use]
+    pub fn bytes_per_node_state(&self) -> f64 {
+        let rings = self
+            .footprint
+            .parts()
+            .iter()
+            .find(|p| p.label == "rings")
+            .map_or(0, |p| p.bytes);
+        (self.footprint.total() - rings) as f64 / self.n as f64
+    }
+
+    /// The fleet-wide `route.rebuild` stage, if the perf pass recorded it:
+    /// what one topology change costs a daemon (snapshot + Dijkstra).
+    #[must_use]
+    pub fn reroute_stage(&self) -> Option<PerfStageStats> {
+        self.perf
+            .stats()
+            .into_iter()
+            .find(|s| s.label == "route.rebuild")
+    }
+}
+
+struct Pass {
+    wall_seconds: f64,
+    forwarded: u64,
+    delivered: u64,
+    reroutes: u64,
+    footprint: FootprintReport,
+    perf: PerfRegistry,
+}
+
+/// One deterministic run at size `n`: CBR flows crossing the overlay, one
+/// ring link cut at 1.5s and restored at 2.2s (forcing a fleet-wide
+/// reroute wave), horizon `sim_seconds`.
+fn run_pass(n: usize, sim_seconds: u64, perf: bool) -> Pass {
+    let topo = scale_topology(n, 10.0);
+    let mut sim: Simulation<Wire> = Simulation::new(SCALE_SEED);
+    if perf {
+        sim.enable_perf();
+    }
+    let overlay = OverlayBuilder::new(topo)
+        .node_config(NodeConfig {
+            perf,
+            ..NodeConfig::default()
+        })
+        .build(&mut sim);
+
+    // Flows from evenly spaced sources to (almost) the antipode: the +5
+    // offset keeps each path off a single chord so forwarding does real
+    // multi-hop work.
+    let mut rxs = Vec::new();
+    for k in 0..SCALE_FLOWS {
+        let a = k * n / SCALE_FLOWS;
+        let b = (a + n / 2 + 5) % n;
+        let rx = sim.add_process(ClientProcess::new(ClientConfig {
+            daemon: overlay.daemon(NodeId(b)),
+            port: RX_PORT + k as u16,
+            joins: vec![],
+            flows: vec![],
+        }));
+        rxs.push(rx);
+        sim.add_process(ClientProcess::new(ClientConfig {
+            daemon: overlay.daemon(NodeId(a)),
+            port: TX_PORT + k as u16,
+            joins: vec![],
+            flows: vec![ClientFlow {
+                local_flow: 1,
+                dst: Destination::Unicast(OverlayAddr::new(NodeId(b), RX_PORT + k as u16)),
+                spec: FlowSpec::best_effort(),
+                workload: Workload::Cbr {
+                    size: 1000,
+                    interval: SimDuration::from_millis(2),
+                    count: u64::MAX,
+                    start: SimTime::from_millis(500),
+                },
+            }],
+        }));
+    }
+
+    // Cut one ring link mid-run and bring it back: every daemon sees the
+    // failure LSA, rebuilds, then rebuilds again on recovery.
+    let victim = EdgeId(1);
+    for &(ab, ba) in &overlay.edge_pipes[&victim] {
+        sim.schedule(SimTime::from_millis(1500), ScenarioEvent::DisablePipe(ab));
+        sim.schedule(SimTime::from_millis(1500), ScenarioEvent::DisablePipe(ba));
+        sim.schedule(SimTime::from_millis(2200), ScenarioEvent::EnablePipe(ab));
+        sim.schedule(SimTime::from_millis(2200), ScenarioEvent::EnablePipe(ba));
+    }
+
+    let wall = Instant::now();
+    sim.run_until(SimTime::from_secs(sim_seconds));
+    let wall_seconds = wall.elapsed().as_secs_f64();
+
+    let mut forwarded = 0;
+    let mut reroutes = 0;
+    let mut footprint = FootprintReport::new();
+    let merged = PerfRegistry::new(false);
+    for &d in &overlay.daemons {
+        let node = sim.proc_ref::<OverlayNode>(d).expect("daemon");
+        let m = node.metrics();
+        forwarded += m.forwarded;
+        reroutes += m.counters.get("reroutes");
+        footprint.merge(&node.footprint());
+        merged.absorb(node.obs().perf());
+    }
+    if let Some(p) = sim.perf() {
+        merged.absorb(p);
+    }
+    let delivered = rxs
+        .iter()
+        .map(|&rx| {
+            sim.proc_ref::<ClientProcess>(rx)
+                .expect("receiver")
+                .sole_recv()
+                .received
+        })
+        .sum();
+    Pass {
+        wall_seconds,
+        forwarded,
+        delivered,
+        reroutes,
+        footprint,
+        perf: merged,
+    }
+}
+
+/// Measures one point of the sweep: the perf-off pass (throughput and
+/// footprints) followed by the perf-on pass (profiler stages) on the same
+/// seed and event sequence.
+#[must_use]
+pub fn run_scale(n: usize, sim_seconds: u64) -> ScaleResult {
+    let base = run_pass(n, sim_seconds, false);
+    let profiled = run_pass(n, sim_seconds, true);
+    debug_assert_eq!(
+        base.forwarded, profiled.forwarded,
+        "profiler must not perturb the simulation"
+    );
+    ScaleResult {
+        n,
+        sim_seconds: sim_seconds as f64,
+        wall_seconds: base.wall_seconds,
+        perf_wall_seconds: profiled.wall_seconds,
+        forwarded: base.forwarded,
+        delivered: base.delivered,
+        reroutes: base.reroutes,
+        footprint: base.footprint,
+        perf: profiled.perf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_topology_shape() {
+        let g = scale_topology(64, 10.0);
+        assert_eq!(g.node_count(), 64);
+        // 64 ring edges + chords at 0 and 16.
+        assert_eq!(g.edge_count(), 66);
+        let big = scale_topology(1024, 10.0);
+        assert!(big.edge_count() > son_topo::graph::MAX_EDGES);
+    }
+
+    #[test]
+    fn scale_point_measures_all_three_axes() {
+        let r = run_scale(16, 3);
+        assert!(r.delivered > 0, "flows must deliver");
+        assert!(r.forwarded > r.delivered, "multi-hop paths forward more");
+        assert!(r.reroutes > 0, "the link cut must trigger reroutes");
+        assert!(r.bytes_per_node_total() > 0.0);
+        let labels: Vec<&str> = r.footprint.parts().iter().map(|p| p.label).collect();
+        for want in ["routing", "lsdb", "topo", "rings"] {
+            assert!(labels.contains(&want), "missing footprint label {want}");
+        }
+        let stage = r.reroute_stage().expect("route.rebuild stage recorded");
+        assert!(stage.count > 0);
+        assert!(stage.total_p50_ns > 0.0);
+        // The profiled pass must replay the identical event sequence.
+        assert_eq!(r.forwarded, run_pass(16, 3, true).forwarded);
+    }
+}

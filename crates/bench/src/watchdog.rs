@@ -146,7 +146,7 @@ impl WatchdogRun {
         let windows = campaign.blackhole_windows.clone();
         let mut applied = vec![false; windows.len()];
         let until = SimTime::ZERO + self.run_for;
-        sim.run_with_cadence(until, SimDuration::from_millis(100), |sim, at| {
+        sim.run_with_cadence(until, SimDuration::from_millis(100), |sim, at, _wall| {
             for (i, w) in windows.iter().enumerate() {
                 let inside = at >= w.start && at < w.end;
                 if inside != applied[i] {
@@ -175,12 +175,19 @@ impl WatchdogRun {
         let within_deadline = recv.within_deadline(self.deadline);
         let watch_events = gather_watch(&sim, &overlay);
         let registry = gather_registry(&sim, &overlay);
+        let deliveries = recv
+            .arrivals
+            .iter()
+            .zip(&recv.latencies_ms)
+            .map(|(&(at, _), &lat_ms)| (at, lat_ms))
+            .collect();
         WatchdogOutcome {
             label: self.label,
             watch_enabled: self.watch.is_some(),
             sent,
             received: recv.received,
             within_deadline,
+            deliveries,
             watch_events,
             registry,
             fingerprint: sim.fingerprint(),
@@ -201,6 +208,10 @@ pub struct WatchdogOutcome {
     pub received: u64,
     /// Packets delivered within the run's deadline.
     pub within_deadline: u64,
+    /// Every delivery as (arrival time, one-way latency ms), in arrival
+    /// order — lets tests and reports attribute lateness to specific fault
+    /// episodes instead of judging only the run-total.
+    pub deliveries: Vec<(SimTime, f64)>,
     /// Every daemon's watchdog audit events, merged and time-sorted.
     pub watch_events: Vec<WatchEvent>,
     /// Experiment-wide metrics registry.
@@ -274,8 +285,15 @@ pub fn flap_campaign(_sc: &Scenario, ov: &OverlayHandle, g: &RunGeometry) -> Cam
     c
 }
 
-/// Burst-loss campaign: the first hop's pipes take repeated heavy-loss
-/// episodes, driving loss-recovery churn and retransmit storms.
+/// Burst-loss campaign: both directions of the flow's first two overlay
+/// hops degrade together in two long heavy-loss episodes. Loss this heavy
+/// makes the hello stream miss often enough that the degraded links'
+/// advertised state oscillates for the whole burst; without the watchdog
+/// every oscillation recomputes routes — onto and back off the lossy hop —
+/// and the flow keeps paying retransmission tax, while flap damping defers
+/// the churn and holds the flow on its detour. The episodes are
+/// deterministic ([`Campaign::pipe_loss_at`]) so both directions of a link
+/// degrade at once — one-sided loss lets acks through and halves the pain.
 #[must_use]
 pub fn burst_loss_campaign(_sc: &Scenario, ov: &OverlayHandle, g: &RunGeometry) -> Campaign {
     let mut c = Campaign::new("burst_loss", 0xB2);
@@ -288,14 +306,17 @@ pub fn burst_loss_campaign(_sc: &Scenario, ov: &OverlayHandle, g: &RunGeometry) 
             }
         }
     }
-    c.burst_loss(
-        &pipes,
-        fault_window(),
-        3,
-        son_netsim::loss::LossConfig::Bernoulli { p: 0.35 },
-        SimDuration::from_millis(800),
-        son_netsim::loss::LossConfig::Perfect,
-    );
+    let loss = son_netsim::loss::LossConfig::Bernoulli { p: 0.75 };
+    let restore = son_netsim::loss::LossConfig::Perfect;
+    for start_ms in [5_000, 9_500] {
+        c.pipe_loss_at(
+            &pipes,
+            SimTime::from_millis(start_ms),
+            SimDuration::from_millis(3_000),
+            loss.clone(),
+            restore.clone(),
+        );
+    }
     c
 }
 
@@ -309,21 +330,30 @@ pub fn blackhole_campaign(_sc: &Scenario, _ov: &OverlayHandle, g: &RunGeometry) 
     c
 }
 
-/// Router-failure campaign: a transit daemon crashes mid-run and restarts,
-/// plus a POP failure on one ISP under the route.
+/// Router-failure campaign: the route's first transit daemon flaps —
+/// repeated crash/restart cycles ([`Campaign::process_flaps`]), a router
+/// that reboot-loops instead of dying cleanly. The victim sits on the
+/// route's strongly-preferred first hop, so after every restart the
+/// fleet's routes converge straight back onto it just in time to eat the
+/// next crash, stranding each cycle's in-flight packets on the dead link
+/// until the daemon resurrects. With the watchdog on, LSA flap damping
+/// defers the oscillating origins' re-advertisements and traffic holds the
+/// stable detour through the remaining cycles.
+///
+/// (The fault must hit a *strongly-preferred* element: when a transit hop
+/// with a near-equal-cost detour fails once, the hello-measured loss
+/// penalty exiles it from the route for the rest of the run and later
+/// cycles are free for both sides — no room for the watchdog to help.)
 #[must_use]
-pub fn router_failure_campaign(sc: &Scenario, ov: &OverlayHandle, g: &RunGeometry) -> Campaign {
+pub fn router_failure_campaign(_sc: &Scenario, ov: &OverlayHandle, g: &RunGeometry) -> Campaign {
     let mut c = Campaign::new("router_failures", 0xD4);
     let victim = g.route.get(1).copied().unwrap_or(g.src);
-    c.process_crashes(
+    c.process_flaps(
         &[ov.daemon(victim)],
-        fault_window(),
-        SimDuration::from_secs(3),
-    );
-    c.pop_failures(
-        &[(sc.isps[0], sc.cities[0])],
-        fault_window(),
-        SimDuration::from_secs(4),
+        SimTime::from_secs(4),
+        6,
+        SimDuration::from_millis(1_000),
+        SimDuration::from_millis(1_000),
     );
     c
 }

@@ -4,7 +4,8 @@
 //! 1. the all-healthy control campaign triggers *zero* remediations (the
 //!    no-false-positive invariant),
 //! 2. turning the watchdog on strictly improves the delivered-within-
-//!    deadline fraction under the blackhole and flap campaigns,
+//!    deadline fraction under the blackhole, flap, burst-loss, and
+//!    router-failure campaigns,
 //! 3. a campaign run is a pure function of its seed — two identical runs
 //!    produce identical `Simulation::fingerprint()`s and watch histories.
 //!
@@ -13,7 +14,8 @@
 //! `cargo test`.
 
 use son_bench::watchdog::{
-    blackhole_campaign, control_campaign, flap_campaign, CampaignBuilder, WatchdogRun,
+    blackhole_campaign, burst_loss_campaign, control_campaign, flap_campaign,
+    router_failure_campaign, CampaignBuilder, WatchdogRun,
 };
 use son_netsim::time::SimDuration;
 use son_overlay::watch::WatchConfig;
@@ -81,6 +83,54 @@ fn watchdog_strictly_improves_flap_campaign() {
     assert!(
         on.count_events(|k| matches!(k, son_obs::watch::WatchKind::FlapDamped { .. })) > 0,
         "the improvement must come from flap damping"
+    );
+}
+
+#[test]
+fn watchdog_strictly_improves_burst_loss_campaign() {
+    let off = scaled("burst_loss.off", burst_loss_campaign).run();
+    let on = scaled("burst_loss.on", burst_loss_campaign)
+        .with_watch(WatchConfig::default())
+        .run();
+    assert!(
+        on.within_deadline > off.within_deadline,
+        "watchdog must strictly improve delivered-within-deadline: on {} vs off {}",
+        on.within_deadline,
+        off.within_deadline
+    );
+    assert!(
+        on.count_events(|k| matches!(k, son_obs::watch::WatchKind::FlapDamped { .. })) > 0,
+        "the improvement must come from damping the loss-driven link churn"
+    );
+}
+
+#[test]
+fn watchdog_strictly_improves_router_failure_campaign() {
+    let off = scaled("router_failures.off", router_failure_campaign).run();
+    let on = scaled("router_failures.on", router_failure_campaign)
+        .with_watch(WatchConfig::default())
+        .run();
+    assert!(
+        on.within_deadline > off.within_deadline,
+        "watchdog must strictly improve delivered-within-deadline: on {} vs off {}",
+        on.within_deadline,
+        off.within_deadline
+    );
+    assert!(
+        on.count_events(|k| matches!(k, son_obs::watch::WatchKind::FlapDamped { .. })) > 0,
+        "the improvement must come from damping the reboot-looping router"
+    );
+    // The first crash costs both sides the same stranded flush; the
+    // watchdog's value is confined to the later cycles. Check the on-run's
+    // lateness clusters only around the opening of the fault window.
+    let late_after_first_cycle = on
+        .deliveries
+        .iter()
+        .filter(|&&(at, lat_ms)| at.as_secs_f64() > 7.0 && lat_ms > 250.0)
+        .count();
+    assert_eq!(
+        late_after_first_cycle, 0,
+        "with damping engaged, later crash cycles must not strand packets"
     );
 }
 

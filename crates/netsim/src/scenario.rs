@@ -809,6 +809,54 @@ impl Campaign {
         self
     }
 
+    /// Composes one deterministic loss episode: every listed pipe switches
+    /// to `loss` at exactly `at` and back to `restore` at `at + burst`.
+    /// The deterministic sibling of [`Campaign::burst_loss`], for regimes
+    /// where episode timing must line up across pipes (both directions of a
+    /// link degrading together).
+    pub fn pipe_loss_at(
+        &mut self,
+        pipes: &[PipeId],
+        at: SimTime,
+        burst: SimDuration,
+        loss: LossConfig,
+        restore: LossConfig,
+    ) -> &mut Self {
+        for &pipe in pipes {
+            self.events
+                .push((at, ScenarioEvent::SetPipeLoss(pipe, loss.clone())));
+            self.events.push((
+                at + burst,
+                ScenarioEvent::SetPipeLoss(pipe, restore.clone()),
+            ));
+        }
+        self
+    }
+
+    /// Composes deterministic crash/restart cycles: each listed process
+    /// crashes at `start + k * (down + up)` and restarts `down` later, for
+    /// `cycles` cycles. Unlike [`Campaign::process_crashes`] (one random
+    /// crash per process) this models a flapping daemon — the repeated
+    /// up/down oscillation that LSA flap damping exists to absorb.
+    pub fn process_flaps(
+        &mut self,
+        procs: &[ProcessId],
+        start: SimTime,
+        cycles: usize,
+        down: SimDuration,
+        up: SimDuration,
+    ) -> &mut Self {
+        for &pid in procs {
+            for k in 0..cycles {
+                let at = start + (down + up) * (k as u64);
+                self.events.push((at, ScenarioEvent::CrashProcess(pid)));
+                self.events
+                    .push((at + down, ScenarioEvent::RestartProcess(pid)));
+            }
+        }
+        self
+    }
+
     /// Records compromised-node windows for the harness: each listed node
     /// ordinal silently blackholes transit traffic for the whole `window`.
     pub fn compromise(&mut self, nodes: &[usize], window: (SimTime, SimTime)) -> &mut Self {

@@ -102,10 +102,16 @@ pub struct SimCore<M: SimMessage> {
 }
 
 /// The simulation: a deterministic function of its configuration and seed.
+///
+/// The wall-clock epoch and optional [`son_obs::PerfRegistry`] observe the
+/// host's real time; they never feed back into simulated behaviour, so
+/// determinism (fingerprints, event counts) is unaffected.
 pub struct Simulation<M: SimMessage> {
     core: SimCore<M>,
     procs: Vec<Option<Box<dyn Process<M>>>>,
     started: bool,
+    wall_epoch: std::time::Instant,
+    perf: Option<son_obs::PerfRegistry>,
 }
 
 /// The handler-side view of the simulation, passed to every [`Process`] hook.
@@ -163,7 +169,31 @@ impl<M: SimMessage> Simulation<M> {
             },
             procs: Vec::new(),
             started: false,
+            wall_epoch: std::time::Instant::now(),
+            perf: None,
         }
+    }
+
+    /// Wall-clock nanoseconds since this simulation was created — the wall
+    /// time axis flight-recorder samples carry alongside simulated time.
+    #[must_use]
+    pub fn wall_ns(&self) -> u64 {
+        u64::try_from(self.wall_epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Enables the event-loop wall-clock profiler: every dispatched event
+    /// is attributed to a `sim.deliver` / `sim.timer` / `sim.scenario`
+    /// stage. Process-level spans recorded by handlers nest under these.
+    pub fn enable_perf(&mut self) {
+        let reg = son_obs::PerfRegistry::new(true);
+        reg.set_sample_every(son_obs::PERF_SAMPLE_EVERY);
+        self.perf = Some(reg);
+    }
+
+    /// The event-loop profiler, if [`Simulation::enable_perf`] was called.
+    #[must_use]
+    pub fn perf(&self) -> Option<&son_obs::PerfRegistry> {
+        self.perf.as_ref()
     }
 
     /// Installs the underlay model.
@@ -366,10 +396,12 @@ impl<M: SimMessage> Simulation<M> {
     }
 
     /// Runs until `until` like [`Simulation::run_until`], but pauses every
-    /// `cadence` of virtual time and calls `on_tick(self, now)` — the
-    /// clock-driven snapshot hook the flight recorder uses to sample
-    /// counters into a time series mid-run. The hook also fires at `until`
-    /// itself, so the final sample always lands on the horizon.
+    /// `cadence` of virtual time and calls `on_tick(self, now, wall_ns)` —
+    /// the clock-driven snapshot hook the flight recorder uses to sample
+    /// counters into a time series mid-run. `wall_ns` is
+    /// [`Simulation::wall_ns`] at the pause, so every sample carries both
+    /// clocks. The hook also fires at `until` itself, so the final sample
+    /// always lands on the horizon.
     ///
     /// Returns the number of events processed by this call.
     ///
@@ -380,14 +412,15 @@ impl<M: SimMessage> Simulation<M> {
         &mut self,
         until: SimTime,
         cadence: SimDuration,
-        mut on_tick: impl FnMut(&mut Simulation<M>, SimTime),
+        mut on_tick: impl FnMut(&mut Simulation<M>, SimTime, u64),
     ) -> u64 {
         assert!(cadence > SimDuration::ZERO, "cadence must be positive");
         let mut n = 0;
         loop {
             let horizon = (self.core.now + cadence).min(until);
             n += self.run_until(horizon);
-            on_tick(self, horizon);
+            let wall = self.wall_ns();
+            on_tick(self, horizon, wall);
             if horizon >= until {
                 return n;
             }
@@ -395,6 +428,21 @@ impl<M: SimMessage> Simulation<M> {
     }
 
     fn dispatch(&mut self, event: Event<M>) {
+        let token = match &self.perf {
+            Some(p) => p.enter(match &event {
+                Event::Deliver { .. } => "sim.deliver",
+                Event::Timer { .. } => "sim.timer",
+                Event::Scenario(_) => "sim.scenario",
+            }),
+            None => son_obs::PerfToken::skip(),
+        };
+        self.dispatch_inner(event);
+        if let Some(p) = &self.perf {
+            p.exit(token);
+        }
+    }
+
+    fn dispatch_inner(&mut self, event: Event<M>) {
         match event {
             Event::Deliver {
                 to,
@@ -734,7 +782,7 @@ mod tests {
         sim.run_with_cadence(
             SimTime::from_millis(250),
             SimDuration::from_millis(100),
-            |sim, at| {
+            |sim, at, _wall| {
                 let seen = sim.proc_ref::<Receiver>(rx).unwrap().arrivals.len();
                 ticks.push((at, seen));
             },

@@ -197,6 +197,12 @@ impl LatencyHistogram {
     }
 }
 
+impl crate::footprint::MemFootprint for LatencyHistogram {
+    fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<[u64; BUCKETS]>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

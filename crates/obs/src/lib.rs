@@ -24,8 +24,10 @@
 #![warn(missing_debug_implementations)]
 
 pub mod export;
+pub mod footprint;
 pub mod hist;
 pub mod json;
+pub mod perf;
 pub mod registry;
 pub mod span;
 pub mod taxonomy;
@@ -34,8 +36,10 @@ pub mod trace;
 pub mod watch;
 
 pub use export::{obs_dir, registry_rows, summary, CsvSink, JsonlSink};
+pub use footprint::{FootprintPart, FootprintReport, MemFootprint};
 pub use hist::LatencyHistogram;
 pub use json::Json;
+pub use perf::{perf_rows, PerfRegistry, PerfSpan, PerfStageStats, PerfToken, PERF_SAMPLE_EVERY};
 pub use registry::{CounterId, GaugeId, HistId, InstrumentDesc, Registry};
 pub use span::{PacketKey, SpanEvent, SpanRing, SpanStage};
 pub use taxonomy::DropClass;
@@ -49,8 +53,10 @@ pub use watch::{WatchEvent, WatchKind, WatchRing};
 /// One-stop imports for instrumented components.
 pub mod prelude {
     pub use crate::export::{obs_dir, registry_rows, summary, CsvSink, JsonlSink};
+    pub use crate::footprint::{FootprintReport, MemFootprint};
     pub use crate::hist::LatencyHistogram;
     pub use crate::json::Json;
+    pub use crate::perf::{PerfRegistry, PerfSpan};
     pub use crate::registry::{CounterId, GaugeId, HistId, Registry};
     pub use crate::span::{PacketKey, SpanEvent, SpanRing, SpanStage};
     pub use crate::taxonomy::DropClass;

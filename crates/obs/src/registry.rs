@@ -275,6 +275,48 @@ impl Registry {
     }
 }
 
+impl crate::footprint::MemFootprint for Registry {
+    fn footprint_bytes(&self) -> usize {
+        use crate::footprint::{btreemap_bytes, vec_bytes, MemFootprint};
+        let meta: usize = self
+            .counter_meta
+            .iter()
+            .chain(&self.gauge_meta)
+            .chain(&self.hist_meta)
+            .map(|d| {
+                d.name.len()
+                    + d.labels
+                        .iter()
+                        .map(|(k, v)| k.len() + v.len() + std::mem::size_of::<(String, String)>())
+                        .sum::<usize>()
+            })
+            .sum();
+        let keys: usize = self
+            .counter_index
+            .keys()
+            .chain(self.gauge_index.keys())
+            .chain(self.hist_index.keys())
+            .map(String::len)
+            .sum();
+        vec_bytes(&self.counters)
+            + vec_bytes(&self.counter_meta)
+            + vec_bytes(&self.gauges)
+            + vec_bytes(&self.gauge_meta)
+            + vec_bytes(&self.hists)
+            + vec_bytes(&self.hist_meta)
+            + self
+                .hists
+                .iter()
+                .map(MemFootprint::footprint_bytes)
+                .sum::<usize>()
+            + btreemap_bytes(&self.counter_index)
+            + btreemap_bytes(&self.gauge_index)
+            + btreemap_bytes(&self.hist_index)
+            + meta
+            + keys
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -135,6 +135,12 @@ impl SpanRing {
     }
 }
 
+impl crate::footprint::MemFootprint for SpanRing {
+    fn footprint_bytes(&self) -> usize {
+        crate::footprint::vecdeque_bytes(&self.ring)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,6 +17,9 @@ use crate::registry::Registry;
 pub struct TsSample {
     /// Simulation time of the snapshot, nanoseconds.
     pub at_ns: u64,
+    /// Wall-clock time of the snapshot, nanoseconds since the run's wall
+    /// epoch — lets rows be joined against wall-clock profiler data.
+    pub wall_ns: u64,
     /// Values in tracked-series order.
     pub values: Vec<f64>,
 }
@@ -61,23 +64,33 @@ impl TimeSeriesRing {
         &self.tracked
     }
 
-    /// Takes one snapshot at `at_ns`, reading each tracked series through
-    /// `read`. Returns `true` if an older sample was evicted.
-    pub fn snapshot_with(&mut self, at_ns: u64, mut read: impl FnMut(&str) -> f64) -> bool {
+    /// Takes one snapshot at simulation time `at_ns` / wall-clock time
+    /// `wall_ns`, reading each tracked series through `read`. Returns `true`
+    /// if an older sample was evicted.
+    pub fn snapshot_with(
+        &mut self,
+        at_ns: u64,
+        wall_ns: u64,
+        mut read: impl FnMut(&str) -> f64,
+    ) -> bool {
         let values = self.tracked.iter().map(|name| read(name)).collect();
         let evicting = self.ring.len() == self.capacity;
         if evicting {
             self.ring.pop_front();
         }
-        self.ring.push_back(TsSample { at_ns, values });
+        self.ring.push_back(TsSample {
+            at_ns,
+            wall_ns,
+            values,
+        });
         self.recorded += 1;
         evicting
     }
 
     /// Takes one snapshot of counter totals (summed across label sets) from
     /// `registry`. Series missing from the registry sample as 0.
-    pub fn snapshot_registry(&mut self, at_ns: u64, registry: &Registry) -> bool {
-        self.snapshot_with(at_ns, |name| registry.counter_total(name) as f64)
+    pub fn snapshot_registry(&mut self, at_ns: u64, wall_ns: u64, registry: &Registry) -> bool {
+        self.snapshot_with(at_ns, wall_ns, |name| registry.counter_total(name) as f64)
     }
 
     /// Retained samples, oldest first.
@@ -124,7 +137,8 @@ impl TimeSeriesRing {
     }
 
     /// The retained series as `metrics_ts.jsonl` rows, one per
-    /// (sample, series) pair: `{"kind":"ts","at_ns":…,"name":…,"value":…}`.
+    /// (sample, series) pair:
+    /// `{"kind":"ts","at_ns":…,"wall_ns":…,"name":…,"value":…}`.
     #[must_use]
     pub fn rows(&self) -> Vec<Json> {
         let mut rows = Vec::with_capacity(self.ring.len() * self.tracked.len());
@@ -133,12 +147,29 @@ impl TimeSeriesRing {
                 rows.push(Json::obj(vec![
                     ("kind", Json::str("ts")),
                     ("at_ns", Json::U64(sample.at_ns)),
+                    ("wall_ns", Json::U64(sample.wall_ns)),
                     ("name", Json::str(name)),
                     ("value", Json::F64(*value)),
                 ]));
             }
         }
         rows
+    }
+}
+
+impl crate::footprint::MemFootprint for TimeSeriesRing {
+    fn footprint_bytes(&self) -> usize {
+        let tracked: usize = self
+            .tracked
+            .iter()
+            .map(|s| s.len() + std::mem::size_of::<String>())
+            .sum();
+        let samples: usize = self
+            .ring
+            .iter()
+            .map(|s| crate::footprint::vec_bytes(&s.values))
+            .sum();
+        crate::footprint::vecdeque_bytes(&self.ring) + tracked + samples
     }
 }
 
@@ -154,8 +185,8 @@ mod tests {
     #[test]
     fn snapshots_sample_every_series_in_order() {
         let mut ts = TimeSeriesRing::new(8, tracked());
-        ts.snapshot_with(100, |name| if name == "a" { 1.0 } else { 2.0 });
-        ts.snapshot_with(200, |name| if name == "a" { 3.0 } else { 4.0 });
+        ts.snapshot_with(100, 1_100, |name| if name == "a" { 1.0 } else { 2.0 });
+        ts.snapshot_with(200, 2_200, |name| if name == "a" { 3.0 } else { 4.0 });
         let samples: Vec<&TsSample> = ts.samples().collect();
         assert_eq!(samples.len(), 2);
         assert_eq!(samples[0].at_ns, 100);
@@ -166,9 +197,9 @@ mod tests {
     #[test]
     fn ring_bounds_and_reports_eviction() {
         let mut ts = TimeSeriesRing::new(2, tracked());
-        assert!(!ts.snapshot_with(1, |_| 0.0));
-        assert!(!ts.snapshot_with(2, |_| 0.0));
-        assert!(ts.snapshot_with(3, |_| 0.0));
+        assert!(!ts.snapshot_with(1, 11, |_| 0.0));
+        assert!(!ts.snapshot_with(2, 22, |_| 0.0));
+        assert!(ts.snapshot_with(3, 33, |_| 0.0));
         assert_eq!(ts.recorded(), 3);
         assert_eq!(ts.evicted(), 1);
         assert_eq!(ts.samples().next().unwrap().at_ns, 2);
@@ -177,9 +208,9 @@ mod tests {
     #[test]
     fn drain_since_never_reprocesses_an_epoch() {
         let mut ts = TimeSeriesRing::new(8, tracked());
-        ts.snapshot_with(10, |_| 1.0);
-        ts.snapshot_with(20, |_| 2.0);
-        ts.snapshot_with(30, |_| 3.0);
+        ts.snapshot_with(10, 110, |_| 1.0);
+        ts.snapshot_with(20, 220, |_| 2.0);
+        ts.snapshot_with(30, 330, |_| 3.0);
         let ats: Vec<u64> = ts.drain_since(20).map(|s| s.at_ns).collect();
         assert_eq!(ats, vec![10, 20]);
         assert_eq!(ts.drain_since(20).count(), 0, "double-evaluation no-op");
@@ -196,7 +227,7 @@ mod tests {
         reg.inc(c1);
         reg.add(c2, 4);
         let mut ts = TimeSeriesRing::new(4, tracked());
-        ts.snapshot_registry(7, &reg);
+        ts.snapshot_registry(7, 70, &reg);
         let sample = ts.samples().next().unwrap();
         assert_eq!(sample.values, vec![5.0, 0.0]);
     }
@@ -204,12 +235,13 @@ mod tests {
     #[test]
     fn rows_carry_schema_fields() {
         let mut ts = TimeSeriesRing::new(4, tracked());
-        ts.snapshot_with(50, |_| 9.0);
+        ts.snapshot_with(50, 555, |_| 9.0);
         let rows = ts.rows();
         assert_eq!(rows.len(), 2);
         let parsed = Json::parse(&rows[0].to_json()).unwrap();
         assert_eq!(parsed.get("kind").unwrap().as_str(), Some("ts"));
         assert_eq!(parsed.get("at_ns").unwrap().as_u64(), Some(50));
+        assert_eq!(parsed.get("wall_ns").unwrap().as_u64(), Some(555));
         assert_eq!(parsed.get("name").unwrap().as_str(), Some("a"));
         assert_eq!(parsed.get("value").unwrap().as_f64(), Some(9.0));
     }

@@ -637,6 +637,12 @@ pub fn self_check(events: &[TraceEvent]) -> SelfCheck {
     }
 }
 
+impl crate::footprint::MemFootprint for TraceRing {
+    fn footprint_bytes(&self) -> usize {
+        crate::footprint::vecdeque_bytes(&self.ring)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

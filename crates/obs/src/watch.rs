@@ -292,6 +292,12 @@ impl WatchRing {
     }
 }
 
+impl crate::footprint::MemFootprint for WatchRing {
+    fn footprint_bytes(&self) -> usize {
+        crate::footprint::vecdeque_bytes(&self.ring)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

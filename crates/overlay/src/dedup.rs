@@ -140,6 +140,18 @@ impl DedupTable {
     }
 }
 
+impl son_obs::MemFootprint for DedupTable {
+    fn footprint_bytes(&self) -> usize {
+        use son_obs::footprint::{hashmap_bytes, vec_bytes};
+        hashmap_bytes(&self.flows)
+            + self
+                .flows
+                .values()
+                .map(|w| vec_bytes(&w.bits))
+                .sum::<usize>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

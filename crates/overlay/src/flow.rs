@@ -121,7 +121,8 @@ impl FlowTable {
     /// `obs`) if the flow is new. `spec` seeds the context on creation; an
     /// existing context keeps its original spec.
     pub fn ensure(&mut self, key: FlowKey, spec: FlowSpec, obs: &mut NodeObs) -> &mut FlowContext {
-        self.flows.entry(key).or_insert_with(|| FlowContext {
+        let token = obs.perf().enter("flow.ensure");
+        let fc = self.flows.entry(key).or_insert_with(|| FlowContext {
             spec,
             role: FlowRole::default(),
             upstream: None,
@@ -129,7 +130,9 @@ impl FlowTable {
             paused: false,
             stable_id: key.stable_id(),
             obs: obs.flow_counters(&key),
-        })
+        });
+        obs.perf().exit(token);
+        fc
     }
 
     /// The context for `key`, if the flow has been seen.
@@ -240,6 +243,14 @@ impl FlowTable {
     /// Iterates over the live flows.
     pub fn iter(&self) -> impl Iterator<Item = (&FlowKey, &FlowContext)> {
         self.flows.iter()
+    }
+}
+
+impl son_obs::MemFootprint for FlowTable {
+    fn footprint_bytes(&self) -> usize {
+        // FlowContext is inline (no owned heap), so the bucket array is the
+        // whole story.
+        son_obs::footprint::hashmap_bytes(&self.flows)
     }
 }
 

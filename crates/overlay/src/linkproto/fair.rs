@@ -166,6 +166,18 @@ impl LinkProto for ItPriorityLink {
     fn queue_depth(&self) -> usize {
         self.queues.values().map(VecDeque::len).sum()
     }
+
+    fn queue_bytes(&self) -> usize {
+        use son_obs::footprint::{btreemap_bytes, vecdeque_bytes};
+        btreemap_bytes(&self.queues)
+            + self
+                .queues
+                .values()
+                .map(|q| vecdeque_bytes(q) + q.iter().map(|p| p.payload.len()).sum::<usize>())
+                .sum::<usize>()
+            + vecdeque_bytes(&self.rr)
+            + btreemap_bytes(&self.forwarded_by_source)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -421,6 +433,29 @@ impl LinkProto for ItReliableLink {
         let queued: usize = self.flows.values().map(|f| f.queue.len()).sum();
         queued + self.unacked.len()
     }
+
+    fn queue_bytes(&self) -> usize {
+        use son_obs::footprint::{btreemap_bytes, btreeset_bytes, hashmap_bytes, vecdeque_bytes};
+        btreemap_bytes(&self.flows)
+            + self
+                .flows
+                .values()
+                .map(|f| {
+                    vecdeque_bytes(&f.queue)
+                        + f.queue.iter().map(|p| p.payload.len()).sum::<usize>()
+                })
+                .sum::<usize>()
+            + vecdeque_bytes(&self.rr)
+            + btreemap_bytes(&self.unacked)
+            + self
+                .unacked
+                .values()
+                .map(|p| p.payload.len())
+                .sum::<usize>()
+            + hashmap_bytes(&self.rto_purpose)
+            + btreeset_bytes(&self.recv_above)
+            + btreemap_bytes(&self.forwarded_by_flow)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -516,6 +551,13 @@ impl LinkProto for FifoLink {
 
     fn queue_depth(&self) -> usize {
         self.queue.len()
+    }
+
+    fn queue_bytes(&self) -> usize {
+        use son_obs::footprint::{btreemap_bytes, vecdeque_bytes};
+        vecdeque_bytes(&self.queue)
+            + self.queue.iter().map(|p| p.payload.len()).sum::<usize>()
+            + btreemap_bytes(&self.forwarded_by_source)
     }
 }
 

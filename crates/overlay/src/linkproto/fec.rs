@@ -202,6 +202,23 @@ impl LinkProto for FecLink {
     fn stats(&self) -> LinkProtoStats {
         self.stats
     }
+
+    fn queue_bytes(&self) -> usize {
+        use son_obs::footprint::{btreemap_bytes, btreeset_bytes, vec_bytes};
+        vec_bytes(&self.block)
+            + self.block.iter().map(|p| p.payload.len()).sum::<usize>()
+            + btreemap_bytes(&self.blocks)
+            + self
+                .blocks
+                .values()
+                .map(|b| {
+                    btreeset_bytes(&b.have)
+                        + btreeset_bytes(&b.delivered)
+                        + vec_bytes(&b.repairs)
+                        + b.repairs.iter().map(vec_bytes).sum::<usize>()
+                })
+                .sum::<usize>()
+    }
 }
 
 #[cfg(test)]

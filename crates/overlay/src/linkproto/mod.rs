@@ -155,6 +155,14 @@ pub trait LinkProto: std::fmt::Debug + std::any::Any + Send {
     fn queue_depth(&self) -> usize {
         0
     }
+
+    /// Estimated retained heap bytes of this protocol's buffers (queued and
+    /// unacknowledged packets, reassembly state), per the
+    /// [`son_obs::MemFootprint`] capacity-estimate policy. Protocols without
+    /// buffering report 0.
+    fn queue_bytes(&self) -> usize {
+        0
+    }
 }
 
 /// Egress pacing shared by the fair schedulers: models the node's per-link

@@ -253,6 +253,20 @@ impl LinkProto for RealtimeLink {
     fn stats(&self) -> LinkProtoStats {
         self.stats
     }
+
+    fn queue_bytes(&self) -> usize {
+        use son_obs::footprint::{btreeset_bytes, hashmap_bytes};
+        hashmap_bytes(&self.history)
+            + self
+                .history
+                .values()
+                .map(|(p, _)| p.payload.len())
+                .sum::<usize>()
+            + btreeset_bytes(&self.requested)
+            + hashmap_bytes(&self.missing)
+            + btreeset_bytes(&self.delivered)
+            + hashmap_bytes(&self.purposes)
+    }
 }
 
 #[cfg(test)]

@@ -192,6 +192,19 @@ impl LinkProto for ReliableLink {
     fn queue_depth(&self) -> usize {
         self.unacked.len()
     }
+
+    fn queue_bytes(&self) -> usize {
+        use son_obs::footprint::{btreemap_bytes, btreeset_bytes, hashmap_bytes};
+        btreemap_bytes(&self.unacked)
+            + self
+                .unacked
+                .values()
+                .map(|p| p.payload.len())
+                .sum::<usize>()
+            + hashmap_bytes(&self.timer_purpose)
+            + btreeset_bytes(&self.above)
+            + hashmap_bytes(&self.gap_noticed)
+    }
 }
 
 #[cfg(test)]

@@ -126,10 +126,12 @@ impl OverlayNode {
         slot: usize,
         feed: impl FnOnce(&mut dyn LinkProto, &mut Vec<LinkAction>),
     ) {
+        let token = self.obs.perf().enter("link.proto");
         let mut la = self.bufs.take_link();
         feed(self.links[link].protos[slot].as_mut(), &mut la);
         if la.is_empty() {
             self.bufs.put_link(la);
+            self.obs.perf().exit(token);
             return;
         }
         let mut batch = self.bufs.take_node();
@@ -143,6 +145,7 @@ impl OverlayNode {
         self.dispatch(ctx, batch);
         self.pending_recover = saved_recover;
         self.pending_retransmit = saved_retransmit;
+        self.obs.perf().exit(token);
     }
 
     /// Dispatches a batch of session actions.
@@ -237,9 +240,12 @@ impl OverlayNode {
                     // version moved: install the shared snapshot (no graph
                     // clone). Per-flow source-route stamps are keyed by the
                     // version inside the FlowTable, so they go stale on
-                    // their own — no sweep needed.
+                    // their own — no sweep needed. The span covers the lazy
+                    // snapshot (re)build and the Dijkstra recompute.
+                    let token = self.obs.perf().enter("route.rebuild");
                     let snap = self.conn.snapshot();
                     self.forwarding.install(snap, self.conn.version());
+                    self.obs.perf().exit(token);
                     self.obs.named("reroutes");
                     if self.config.trace_sample > 0 {
                         self.obs.trace_marker(ctx.now(), TraceStage::Reroute, None);
@@ -456,6 +462,28 @@ impl Process<Wire> for OverlayNode {
         pipe: Option<PipeId>,
         msg: Wire,
     ) {
+        let token = self.obs.perf().enter("node.on_message");
+        self.on_message_inner(ctx, from, pipe, msg);
+        self.obs.perf().exit(token);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Wire>, token: u64) {
+        let span = self.obs.perf().enter("node.on_timer");
+        self.on_timer_inner(ctx, token);
+        self.obs.perf().exit(span);
+    }
+}
+
+impl OverlayNode {
+    /// The message-handling body, split out so the [`Process`] entry point
+    /// can wrap it in a perf span despite the early-return guards.
+    fn on_message_inner(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        from: ProcessId,
+        pipe: Option<PipeId>,
+        msg: Wire,
+    ) {
         match msg {
             Wire::Data(pkt) => {
                 let Some(&(link, _)) = pipe.as_ref().and_then(|p| self.in_pipe_index.get(p)) else {
@@ -518,7 +546,9 @@ impl Process<Wire> for OverlayNode {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Wire>, token: u64) {
+    /// The timer-handling body; same split as
+    /// [`OverlayNode::on_message_inner`].
+    fn on_timer_inner(&mut self, ctx: &mut Ctx<'_, Wire>, token: u64) {
         match TimerKey::decode(token) {
             Some(TimerKey::ConnTick) => {
                 let mut ca = self.bufs.take_conn();
@@ -555,7 +585,9 @@ impl Process<Wire> for OverlayNode {
             }
             Some(TimerKey::Flood) => self.flood_tick(ctx),
             Some(TimerKey::WatchTick) => {
+                let span = self.obs.perf().enter("watch.epoch");
                 self.watch_tick(ctx);
+                self.obs.perf().exit(span);
                 if let Some(w) = &self.watch {
                     ctx.set_timer(w.config.epoch, TimerKey::WatchTick.encode());
                 }

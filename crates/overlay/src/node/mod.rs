@@ -95,6 +95,12 @@ pub struct NodeConfig {
     /// (0 disables tracing). Transit nodes honor whatever the ingress
     /// decided, so only ingress nodes of interest need this set.
     pub trace_sample: u32,
+    /// Enable the hot-path wall-clock profiler ([`son_obs::PerfRegistry`]):
+    /// hierarchical self/total-time spans around dispatch, routing
+    /// recomputation, link protocols, flow-table admission, and watchdog
+    /// epochs. Off by default; when off every instrumented site costs one
+    /// flag load.
+    pub perf: bool,
     /// The anomaly watchdog (`son-watch`): online detection of recovery
     /// overruns, retransmit storms, reroute flaps, silent blackholes, and
     /// queue growth, remediated by link suspension, LSA flap damping, and
@@ -117,6 +123,7 @@ impl Default for NodeConfig {
             ttl: 32,
             obs_detail: false,
             trace_sample: 0,
+            perf: false,
             watch: None,
         }
     }
@@ -223,7 +230,11 @@ impl OverlayNode {
             dedup: DedupTable::new(),
             keys,
             behavior: Behavior::Correct,
-            obs: NodeObs::new(me, config.obs_detail),
+            obs: {
+                let mut obs = NodeObs::new(me, config.obs_detail);
+                obs.set_perf_enabled(config.perf);
+                obs
+            },
             member_cache: HashMap::new(),
             out_buf: Vec::new(),
             bufs: ActionBufs::default(),
@@ -355,6 +366,65 @@ impl OverlayNode {
         self.watch.as_ref()
     }
 
+    /// Estimated retained heap bytes of this node's stateful subsystems,
+    /// attributed per subsystem. The parts (and what they cover):
+    ///
+    /// * `flows` — the shared [`FlowTable`];
+    /// * `routing` — [`Forwarding`]: the Arc-shared frozen topology view
+    ///   (charged here, once), the dense SPT/next-hop tables, multicast
+    ///   out-edge caches, and Dijkstra scratch;
+    /// * `lsdb` — the connectivity monitor minus its snapshot cache: LSA
+    ///   database, per-link hello state, flap-damping state, and its working
+    ///   copy of the configured topology;
+    /// * `dedup` — per-flow duplicate-suppression windows;
+    /// * `rings` — [`NodeObs`]: metrics registry, span/trace/watch rings,
+    ///   and the perf profiler;
+    /// * `linkq` — link-protocol send/receive buffers across all incident
+    ///   links ([`LinkProto::queue_bytes`]);
+    /// * `sessions` — client table, per-flow session state, and held
+    ///   out-of-order delivery buffers;
+    /// * `groups` — local and remote group membership;
+    /// * `topo` — the node's own configured-topology copy (kept for
+    ///   re-wiring) plus the member cache and dispatch scratch buffers.
+    ///
+    /// The total is the sum of the parts by construction.
+    #[must_use]
+    pub fn footprint(&self) -> son_obs::FootprintReport {
+        use son_obs::footprint::hashmap_bytes;
+        use son_obs::MemFootprint;
+        let mut report = son_obs::FootprintReport::new();
+        report.add("flows", self.flows.footprint_bytes());
+        report.add("routing", self.forwarding.footprint_bytes());
+        report.add("lsdb", self.conn.footprint_bytes());
+        report.add("dedup", self.dedup.footprint_bytes());
+        report.add("rings", self.obs.footprint_bytes());
+        let linkq: usize = self
+            .links
+            .iter()
+            .flat_map(|port| port.protos.iter())
+            .map(|proto| proto.queue_bytes())
+            .sum();
+        report.add("linkq", linkq);
+        report.add("sessions", self.sessions.footprint_bytes());
+        report.add("groups", self.groups.footprint_bytes());
+        let member_cache = hashmap_bytes(&self.member_cache)
+            + self
+                .member_cache
+                .values()
+                .map(|(_, m)| son_obs::footprint::vec_bytes(m))
+                .sum::<usize>();
+        report.add(
+            "topo",
+            self.topology.approx_bytes()
+                + member_cache
+                + son_obs::footprint::vec_bytes(&self.out_buf)
+                + hashmap_bytes(&self.in_pipe_index)
+                + hashmap_bytes(&self.edge_index)
+                + hashmap_bytes(&self.delayed),
+        );
+        report
+    }
+
     /// Ensures a flow context exists for `pkt`'s flow and counts one
     /// attributed per-flow drop (the node-level `drop.*` counter is the
     /// caller's job — the two ledgers are deliberately separate).
@@ -418,5 +488,43 @@ mod tests {
         assert!(c.rto_factor > 1.0);
         assert!(c.ttl > 8);
         assert!(!c.auth_enabled);
+        assert!(!c.perf, "profiler must be opt-in");
+    }
+
+    #[test]
+    fn footprint_rollup_equals_sum_of_parts() {
+        use son_obs::MemFootprint;
+        let mut topo = Graph::new(4);
+        topo.add_edge(NodeId(0), NodeId(1), 1.0);
+        topo.add_edge(NodeId(1), NodeId(2), 1.0);
+        topo.add_edge(NodeId(2), NodeId(3), 1.0);
+        let node = OverlayNode::new(
+            NodeId(1),
+            topo,
+            KeyRegistry::new(4, 7),
+            NodeConfig::default(),
+        );
+        let report = node.footprint();
+        let by_label: std::collections::HashMap<&str, usize> =
+            report.parts().iter().map(|p| (p.label, p.bytes)).collect();
+        // Every subsystem the issue names is attributed.
+        for label in [
+            "flows", "routing", "lsdb", "dedup", "rings", "linkq", "sessions", "groups", "topo",
+        ] {
+            assert!(by_label.contains_key(label), "missing subsystem {label}");
+        }
+        // The roll-up is exactly the sum of its parts.
+        let sum: usize = report.parts().iter().map(|p| p.bytes).sum();
+        assert_eq!(report.total(), sum);
+        // Spot-check parts against the subsystems they cover.
+        assert_eq!(by_label["flows"], node.flows().footprint_bytes());
+        assert_eq!(by_label["dedup"], node.dedup().footprint_bytes());
+        assert_eq!(by_label["rings"], node.obs().footprint_bytes());
+        assert_eq!(by_label["lsdb"], node.connectivity().footprint_bytes());
+        // A freshly built node already retains observability rings and the
+        // configured topology.
+        assert!(by_label["rings"] > 0);
+        assert!(by_label["topo"] > 0);
+        assert!(by_label["routing"] > 0);
     }
 }

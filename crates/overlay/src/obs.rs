@@ -21,7 +21,10 @@ use son_netsim::stats::Counters;
 use son_netsim::time::SimTime;
 use son_obs::trace::{TraceContext, TraceEvent, TraceRing, TraceStage};
 use son_obs::watch::{WatchEvent, WatchKind, WatchRing};
-use son_obs::{CounterId, DropClass, HistId, PacketKey, Registry, SpanEvent, SpanRing, SpanStage};
+use son_obs::{
+    CounterId, DropClass, HistId, MemFootprint, PacketKey, PerfRegistry, Registry, SpanEvent,
+    SpanRing, SpanStage,
+};
 use son_topo::NodeId;
 
 use crate::linkproto::LinkEvent;
@@ -68,6 +71,7 @@ pub struct NodeObs {
     spans: SpanRing,
     traces: TraceRing,
     watch: WatchRing,
+    perf: PerfRegistry,
     detail: bool,
     node_id: u32,
     node_label: String,
@@ -108,6 +112,7 @@ impl NodeObs {
             spans: SpanRing::new(SPAN_CAPACITY),
             traces: TraceRing::new(TRACE_CAPACITY),
             watch: WatchRing::new(WATCH_CAPACITY),
+            perf: PerfRegistry::new(false),
             detail,
             node_id: me.0 as u32,
             node_label,
@@ -129,6 +134,24 @@ impl NodeObs {
     #[must_use]
     pub fn detail(&self) -> bool {
         self.detail
+    }
+
+    /// The node's hot-path wall-clock profiler. Disabled by default; see
+    /// [`NodeObs::set_perf_enabled`]. Spans are entered/exited through the
+    /// borrow-free [`son_obs::PerfToken`] API so instrumented code can keep
+    /// `&mut self` access to the rest of the node between enter and exit.
+    #[must_use]
+    pub fn perf(&self) -> &PerfRegistry {
+        &self.perf
+    }
+
+    /// Runtime kill-switch for the wall-clock profiler. When off (the
+    /// default), every instrumented site costs one flag load.
+    pub fn set_perf_enabled(&mut self, enabled: bool) {
+        self.perf.set_enabled(enabled);
+        if enabled {
+            self.perf.set_sample_every(son_obs::PERF_SAMPLE_EVERY);
+        }
     }
 
     /// A packet was forwarded toward another node.
@@ -358,6 +381,17 @@ impl NodeObs {
             unroutable: self.registry.counter_value(self.drop_unroutable),
             counters,
         }
+    }
+}
+
+impl MemFootprint for NodeObs {
+    fn footprint_bytes(&self) -> usize {
+        self.registry.footprint_bytes()
+            + self.spans.footprint_bytes()
+            + self.traces.footprint_bytes()
+            + self.watch.footprint_bytes()
+            + self.perf.footprint_bytes()
+            + son_obs::footprint::string_bytes(&self.node_label)
     }
 }
 

@@ -158,24 +158,42 @@ impl Forwarding {
             } else {
                 spt_entry(snap, spt, scratch, spt_builds, origin)
             };
-            // The edge set of the origin-rooted tree spanning the members.
-            let tree = spt.tree_mask(members);
-            // This node forwards on tree edges whose *child* side is the far
-            // endpoint (i.e. edges by which some member's path leaves `me`).
             let mut out = Vec::new();
-            for e in tree.iter() {
-                let (a, b) = snap.endpoints(e);
-                let far = if a == me {
-                    b
-                } else if b == me {
-                    a
-                } else {
-                    continue;
-                };
-                // `e` is downstream of me iff far's tree parent is me via e.
-                if spt.parent(far) == Some((me, e)) {
-                    out.push(e);
+            if snap.edge_count() <= son_topo::graph::MAX_EDGES {
+                // The edge set of the origin-rooted tree spanning the
+                // members. This node forwards on tree edges whose *child*
+                // side is the far endpoint (i.e. edges by which some
+                // member's path leaves `me`).
+                let tree = spt.tree_mask(members);
+                for e in tree.iter() {
+                    let (a, b) = snap.endpoints(e);
+                    let far = if a == me {
+                        b
+                    } else if b == me {
+                        a
+                    } else {
+                        continue;
+                    };
+                    // `e` is downstream of me iff far's tree parent is me
+                    // via e.
+                    if spt.parent(far) == Some((me, e)) {
+                        out.push(e);
+                    }
                 }
+            } else {
+                // Beyond the EdgeMask capacity: walk each member's tree
+                // path instead of materializing a mask. Same edge set;
+                // sorted to match the mask path's ascending-id order.
+                for &m in members {
+                    let mut cur = m;
+                    while let Some((p, e)) = spt.parent(cur) {
+                        if p == me && !out.contains(&e) {
+                            out.push(e);
+                        }
+                        cur = p;
+                    }
+                }
+                out.sort_unstable();
             }
             self.mcast.insert(key, out);
         }
@@ -205,6 +223,13 @@ impl Forwarding {
     /// algorithms prune them naturally.
     pub fn source_route_mask(&mut self, scheme: SourceRoute, dst: NodeId) -> Option<EdgeMask> {
         let usable = self.snap.graph();
+        // EdgeMask stamps address at most MAX_EDGES edges; larger scale
+        // topologies cannot be source-routed, so the flow is refused here
+        // (the ingress reports it unroutable) instead of panicking inside
+        // the mask constructors.
+        if usable.edge_count() > son_topo::graph::MAX_EDGES {
+            return None;
+        }
         match scheme {
             SourceRoute::DisjointPaths(k) => {
                 let dp = k_node_disjoint_paths(usable, self.me, dst, usize::from(k.max(1)));
@@ -309,6 +334,26 @@ fn fingerprint(members: &[NodeId]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+impl son_obs::MemFootprint for Forwarding {
+    fn footprint_bytes(&self) -> usize {
+        use son_obs::footprint::{hashmap_bytes, vec_bytes};
+        // The Arc-shared snapshot is charged here (once per node), per the
+        // attribution policy in DESIGN.md: routing is the authoritative
+        // holder of the frozen shared view.
+        self.snap.approx_bytes()
+            + self.my_spt.approx_bytes()
+            + hashmap_bytes(&self.spt)
+            + self
+                .spt
+                .values()
+                .map(son_topo::Spt::approx_bytes)
+                .sum::<usize>()
+            + hashmap_bytes(&self.mcast)
+            + self.mcast.values().map(vec_bytes).sum::<usize>()
+            + self.scratch.approx_bytes()
+    }
 }
 
 #[cfg(test)]

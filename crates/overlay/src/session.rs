@@ -388,6 +388,26 @@ fn push_deliver(pkt: &DataPacket, targets: &[VirtualPort], out: &mut Vec<Session
     }
 }
 
+impl son_obs::MemFootprint for SessionTable {
+    fn footprint_bytes(&self) -> usize {
+        use son_obs::footprint::{btreemap_bytes, hashmap_bytes};
+        let held: usize = self
+            .in_flows
+            .values()
+            .map(|f| {
+                btreemap_bytes(&f.buffer)
+                    + f.buffer.values().map(|p| p.payload.len()).sum::<usize>()
+            })
+            .sum();
+        hashmap_bytes(&self.clients)
+            + hashmap_bytes(&self.out_flows)
+            + hashmap_bytes(&self.by_key)
+            + hashmap_bytes(&self.in_flows)
+            + hashmap_bytes(&self.timer_purpose)
+            + held
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -588,6 +588,34 @@ fn ewma(prev: f64, sample: f64, alpha: f64) -> f64 {
     prev * (1.0 - alpha) + sample * alpha
 }
 
+impl son_obs::MemFootprint for ConnectivityMonitor {
+    fn footprint_bytes(&self) -> usize {
+        use son_obs::footprint::{hashmap_bytes, vec_bytes, vecdeque_bytes};
+        // The cached `snapshot` is deliberately NOT counted here: routing
+        // holds the same Arc and attributes it (the shared view is charged
+        // once, under `routing`).
+        vec_bytes(&self.links)
+            + self
+                .links
+                .iter()
+                .map(|l| hashmap_bytes(&l.outstanding))
+                .sum::<usize>()
+            + hashmap_bytes(&self.lsdb)
+            + self
+                .lsdb
+                .values()
+                .map(|lsa| vec_bytes(&lsa.links))
+                .sum::<usize>()
+            + self.topology.approx_bytes()
+            + hashmap_bytes(&self.flap)
+            + self
+                .flap
+                .values()
+                .map(|f| vecdeque_bytes(&f.changes))
+                .sum::<usize>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -185,6 +185,20 @@ impl GroupTable {
     }
 }
 
+impl son_obs::MemFootprint for GroupTable {
+    fn footprint_bytes(&self) -> usize {
+        use son_obs::footprint::{btreemap_bytes, btreeset_bytes, hashmap_bytes};
+        btreemap_bytes(&self.local)
+            + self.local.values().map(btreeset_bytes).sum::<usize>()
+            + hashmap_bytes(&self.remote)
+            + self
+                .remote
+                .values()
+                .map(|(_, g)| btreeset_bytes(g))
+                .sum::<usize>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -90,6 +90,17 @@ impl TopoSnapshot {
         self.row.len() - 1
     }
 
+    /// Estimated retained heap bytes: the frozen graph plus the CSR arrays,
+    /// at allocated capacity (see [`Graph::approx_bytes`] for the policy).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.graph.approx_bytes()
+            + (self.row.capacity() + self.adj_node.capacity() + self.adj_edge.capacity())
+                * size_of::<u32>()
+            + self.weights.capacity() * size_of::<f64>()
+    }
+
     /// Number of edges.
     #[must_use]
     pub fn edge_count(&self) -> usize {
@@ -262,6 +273,13 @@ impl SptScratch {
     pub fn new() -> Self {
         SptScratch::default()
     }
+
+    /// Estimated retained heap bytes of the warm working memory.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.heap.capacity() * size_of::<HeapEntry>() + self.stack.capacity() * size_of::<u32>()
+    }
 }
 
 /// A shortest-path tree over a [`TopoSnapshot`]: distances, tree parents,
@@ -295,6 +313,19 @@ impl Spt {
     #[must_use]
     pub fn src(&self) -> NodeId {
         self.src
+    }
+
+    /// Estimated retained heap bytes of the dense per-destination arrays, at
+    /// allocated capacity (see [`Graph::approx_bytes`] for the policy).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.dist.capacity() * size_of::<f64>()
+            + (self.parent_node.capacity()
+                + self.parent_edge.capacity()
+                + self.first_hop_node.capacity()
+                + self.first_hop_edge.capacity())
+                * size_of::<u32>()
     }
 
     /// Distance to `node`, or `None` if unreachable.

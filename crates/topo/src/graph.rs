@@ -226,10 +226,15 @@ impl Graph {
 
     /// Adds an undirected edge with the given weight and returns its id.
     ///
+    /// The graph itself has no edge-count ceiling: scale topologies run
+    /// far past [`MAX_EDGES`]. Only [`EdgeMask`]-based source-route stamps
+    /// stay bounded by [`MAX_EDGES`]; producers of masks must check
+    /// [`Graph::edge_count`] and degrade to mask-free routing beyond it.
+    ///
     /// # Panics
     ///
     /// Panics if either endpoint is out of range, the endpoints are equal,
-    /// the weight is not finite and positive, or [`MAX_EDGES`] is exceeded.
+    /// or the weight is not finite and positive.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId, weight: f64) -> EdgeId {
         assert!(
             a.0 < self.node_count && b.0 < self.node_count,
@@ -240,13 +245,29 @@ impl Graph {
             weight.is_finite() && weight > 0.0,
             "weight must be finite and positive"
         );
-        assert!(self.edges.len() < MAX_EDGES, "too many edges for EdgeMask");
         let id = EdgeId(self.edges.len());
         self.edges.push((a, b));
         self.weights.push(weight);
         self.adj[a.0].push((b, id));
         self.adj[b.0].push((a, id));
         id
+    }
+
+    /// Estimated retained heap bytes: edge/weight/adjacency buffers at
+    /// their allocated capacity. Capacity-based (not length-based) so the
+    /// scale observatory sees what the allocator actually holds; allocator
+    /// overhead and the inline struct are not counted.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.edges.capacity() * size_of::<(NodeId, NodeId)>()
+            + self.weights.capacity() * size_of::<f64>()
+            + self.adj.capacity() * size_of::<Vec<(NodeId, EdgeId)>>()
+            + self
+                .adj
+                .iter()
+                .map(|v| v.capacity() * size_of::<(NodeId, EdgeId)>())
+                .sum::<usize>()
     }
 
     /// Number of nodes.

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Smoke-runs the data-plane benchmark suite: every criterion group in quick
-# mode plus the exp_throughput macro-benchmark in --smoke mode. Catches
-# benchmarks that no longer compile or panic without paying full-measurement
-# time. The throughput smoke writes its rows to a scratch file so the
-# committed BENCH_forwarding.json (full-run results) is left untouched —
-# but the smoke result is compared against the committed smoke baseline row
-# and the script fails on a >30% throughput regression.
+# mode plus the exp_throughput and exp_scale macro-benchmarks in --smoke
+# mode. Catches benchmarks that no longer compile or panic without paying
+# full-measurement time. The smoke runs write their rows to scratch files so
+# the committed BENCH_forwarding.json / BENCH_scale.json (full-run results)
+# are left untouched — but the smoke results are gated against the committed
+# baselines: >30% throughput regression, >5% tracing or profiler overhead,
+# superlinear per-node memory growth, and >10% per-node memory regression
+# all fail the script.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -69,6 +71,80 @@ awk -v traced="$traced" -v base="$fresh" 'BEGIN {
         exit 1;
     }
     printf "tracing overhead guard passed (floor %.0f)\n", floor;
+}'
+
+# Profiler overhead guard: the smoke run re-executes the workload a third
+# time with the wall-clock span profiler on (sampled event trees, see
+# son-obs::perf) and writes a mode:"perf" row; the always-on profiler must
+# also cost at most 5% against the in-run unprofiled figure.
+extract_perf_pps() {
+    grep '"bench":"exp_throughput"' "$1" | grep '"mode":"perf"' \
+        | sed -n 's/.*"sim_pkts_per_wall_s":\([0-9.eE+-]*\).*/\1/p' | tail -1
+}
+perf=$(extract_perf_pps "$SMOKE_OUT")
+if [ -z "$perf" ]; then
+    echo "ERROR: smoke run wrote no perf-mode exp_throughput row to $SMOKE_OUT" >&2
+    exit 1
+fi
+echo "profiled throughput: $perf sim pkts/wall s (unprofiled $fresh)"
+awk -v perf="$perf" -v base="$fresh" 'BEGIN {
+    floor = base * 0.95;
+    if (perf < floor) {
+        printf "ERROR: profiled throughput %.0f is >5%% below the unprofiled run %.0f (floor %.0f)\n", perf, base, floor;
+        exit 1;
+    }
+    printf "profiler overhead guard passed (floor %.0f)\n", floor;
+}'
+
+echo "==> exp_scale --smoke"
+SCALE_SMOKE_OUT=target/obs/BENCH_scale.smoke.json
+BENCH_OUT="$SCALE_SMOKE_OUT" \
+    cargo run --release -p son-bench --bin exp_scale -- --smoke
+
+# Sublinear-memory guards, against the numbers this run measured and the
+# committed curve. Memory is deterministic (no wall-clock noise), so the
+# bars are tight.
+#
+# 1. The committed BENCH_scale.json curve itself must be sublinear: state
+#    bytes/node at N=1024 within 1.5x-of-linear of N=64 (linear is 16x —
+#    every node holds the fleet's link state; superlinear per node would be
+#    an O(N^3) fleet).
+extract_state_bytes() {
+    grep '"bench":"exp_scale"' "$1" | grep "\"n\":$2," \
+        | sed -n 's/.*"bytes_per_node_state":\([0-9.eE+-]*\).*/\1/p' | tail -1
+}
+base64=$(extract_state_bytes BENCH_scale.json 64)
+base1024=$(extract_state_bytes BENCH_scale.json 1024)
+if [ -z "$base64" ] || [ -z "$base1024" ]; then
+    echo "ERROR: BENCH_scale.json lacks n=64/n=1024 rows with bytes_per_node_state" >&2
+    echo "(regenerate: cargo run --release -p son-bench --bin exp_scale)" >&2
+    exit 1
+fi
+echo "committed state bytes/node: $base64 (n=64) -> $base1024 (n=1024)"
+awk -v b64="$base64" -v b1024="$base1024" 'BEGIN {
+    cap = b64 * 16 * 1.5;
+    if (b1024 > cap) {
+        printf "ERROR: committed state bytes/node at n=1024 (%.0f) exceeds 1.5x-linear of n=64 (cap %.0f)\n", b1024, cap;
+        exit 1;
+    }
+    printf "committed sublinearity guard passed (%.1fx over 16x size, cap 24x)\n", b1024 / b64;
+}'
+# 2. The fresh smoke sweep must not regress per-node memory: state
+#    bytes/node at N=256 within 10% of the committed n=256 row.
+fresh256=$(extract_state_bytes "$SCALE_SMOKE_OUT" 256)
+base256=$(extract_state_bytes BENCH_scale.json 256)
+if [ -z "$fresh256" ] || [ -z "$base256" ]; then
+    echo "ERROR: missing n=256 bytes_per_node_state row (fresh or committed)" >&2
+    exit 1
+fi
+echo "n=256 state bytes/node: $fresh256 (committed $base256)"
+awk -v fresh="$fresh256" -v base="$base256" 'BEGIN {
+    cap = base * 1.10;
+    if (fresh > cap) {
+        printf "ERROR: n=256 state bytes/node %.0f grew >10%% over the committed %.0f (cap %.0f)\n", fresh, base, cap;
+        exit 1;
+    }
+    printf "memory regression guard passed (cap %.0f)\n", cap;
 }'
 
 echo "Bench smoke passed."
