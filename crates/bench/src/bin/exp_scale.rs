@@ -18,7 +18,7 @@
 //!   per-stage rows for each N (`run` = `n64`, `n256`, …), the input to
 //!   `son-trace --scale-report`.
 
-use son_bench::scale::{run_scale, ScaleResult, SCALE_FLOWS, SCALE_SEED};
+use son_bench::scale::{run_scale_sharded, ScaleResult, SCALE_FLOWS, SCALE_SEED};
 use son_bench::{banner, export_perf, export_rows, f, finish_export, obs_sink, row, table_header};
 use son_obs::{Json, JsonlSink};
 
@@ -64,16 +64,64 @@ fn bench_row(r: &ScaleResult, mode: &str) -> Json {
             "reroute_p99_ns",
             Json::F64(stage.as_ref().map_or(0.0, |s| s.total_p99_ns)),
         ),
+        ("shards", Json::U64(r.shards as u64)),
+        (
+            "shard_events",
+            Json::Arr(
+                r.shard_stats
+                    .loads
+                    .iter()
+                    .map(|l| Json::U64(l.events))
+                    .collect(),
+            ),
+        ),
+        (
+            "shard_cross_sends",
+            Json::Arr(
+                r.shard_stats
+                    .loads
+                    .iter()
+                    .map(|l| Json::U64(l.sent_cross))
+                    .collect(),
+            ),
+        ),
+        (
+            "merge_stall_ms",
+            Json::F64(
+                r.shard_stats
+                    .loads
+                    .iter()
+                    .map(|l| l.stall_ns as f64)
+                    .sum::<f64>()
+                    / 1e6,
+            ),
+        ),
+        ("queue_live", Json::U64(r.queue_stats.live as u64)),
+        (
+            "queue_tombstones_peak",
+            Json::U64(r.queue_stats.tombstones_peak as u64),
+        ),
+        ("queue_compactions", Json::U64(r.queue_stats.compactions)),
     ])
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let full = std::env::args().any(|a| a == "--full");
+    let args: Vec<String> = std::env::args().collect();
+    let shards: usize = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     banner(
         "E16 (scale observatory)",
         "throughput, bytes/node by subsystem, and reroute latency as the overlay grows",
     );
+    if shards > 1 {
+        println!("event engine: {shards} shards (bit-identical to sequential)");
+    }
 
     let sizes: &[usize] = if smoke {
         &[64, 256]
@@ -103,7 +151,7 @@ fn main() {
     ]);
     let mut results: Vec<ScaleResult> = Vec::new();
     for &n in sizes {
-        let r = run_scale(n, SIM_SECONDS);
+        let r = run_scale_sharded(n, SIM_SECONDS, shards);
         let stage = r.reroute_stage();
         row(&[
             (n.to_string(), 6),

@@ -166,6 +166,7 @@ fn throughput_under_churn(
     smoke: bool,
     trace_sample: u32,
     perf: bool,
+    shards: usize,
 ) -> (ThroughputResult, son_obs::Registry) {
     let sc = continental_us(DEFAULT_CONVERGENCE);
     let (topo, cities) = continental_overlay(&sc);
@@ -208,6 +209,7 @@ fn throughput_under_churn(
         ]
     };
     let mut rxs = Vec::new();
+    let mut clients = Vec::new();
     for (k, &(a, b)) in flows.iter().enumerate() {
         let rx = sim.add_process(ClientProcess::new(ClientConfig {
             daemon: overlay.daemon(NodeId(b)),
@@ -216,7 +218,8 @@ fn throughput_under_churn(
             flows: vec![],
         }));
         rxs.push(rx);
-        sim.add_process(ClientProcess::new(ClientConfig {
+        clients.push((rx, NodeId(b)));
+        let tx = sim.add_process(ClientProcess::new(ClientConfig {
             daemon: overlay.daemon(NodeId(a)),
             port: TX_PORT + k as u16,
             joins: vec![],
@@ -232,6 +235,16 @@ fn throughput_under_churn(
                 },
             }],
         }));
+        clients.push((tx, NodeId(a)));
+    }
+    if shards > 1 {
+        // City-block daemon partition; clients share their daemon's shard
+        // (zero-latency IPC must not cross a shard boundary).
+        let mut plan = overlay.shard_plan(shards, sim.process_count());
+        for &(client, node) in &clients {
+            overlay.colocate(&mut plan, client, node);
+        }
+        sim.set_shard_plan(Some(plan));
     }
     // Churn: flap one overlay link per two-second window (down one second,
     // back up the next), cycling over the topology's edges.
@@ -292,6 +305,13 @@ fn throughput_under_churn(
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let shards: usize = args
+        .iter()
+        .position(|a| a == "--shards")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     banner(
         "EP (data-plane fast path)",
         "no-op LSAs cost a version compare; real changes rebuild once; forwarding stays hot under churn",
@@ -354,26 +374,39 @@ fn main() {
     // Iterations are interleaved (untraced, traced, untraced, ...) so a
     // load spike on the host degrades both modes instead of biasing one.
     let iters = if smoke { 10 } else { 3 };
-    let mut t = throughput_under_churn(smoke, 0, false);
-    let mut traced = throughput_under_churn(smoke, 64, false);
-    let mut profiled = throughput_under_churn(smoke, 0, true);
+    let mut t = throughput_under_churn(smoke, 0, false, 1);
+    let mut traced = throughput_under_churn(smoke, 64, false, 1);
+    let mut profiled = throughput_under_churn(smoke, 0, true, 1);
+    let mut sharded = throughput_under_churn(smoke, 0, false, shards);
     for _ in 1..iters {
-        let a = throughput_under_churn(smoke, 0, false);
+        let a = throughput_under_churn(smoke, 0, false, 1);
         if a.0.wall_seconds < t.0.wall_seconds {
             t = a;
         }
-        let b = throughput_under_churn(smoke, 64, false);
+        let b = throughput_under_churn(smoke, 64, false, 1);
         if b.0.wall_seconds < traced.0.wall_seconds {
             traced = b;
         }
-        let c = throughput_under_churn(smoke, 0, true);
+        let c = throughput_under_churn(smoke, 0, true, 1);
         if c.0.wall_seconds < profiled.0.wall_seconds {
             profiled = c;
+        }
+        let d = throughput_under_churn(smoke, 0, false, shards);
+        if d.0.wall_seconds < sharded.0.wall_seconds {
+            sharded = d;
         }
     }
     let (t, registry) = t;
     let (traced, _) = traced;
     let (profiled, _) = profiled;
+    let (sharded, _) = sharded;
+    // The sharded engine must replay the sequential run bit for bit: same
+    // packets forwarded, delivered, and reroutes — only wall time may move.
+    assert_eq!(
+        (sharded.forwarded, sharded.delivered, sharded.reroutes),
+        (t.forwarded, t.delivered, t.reroutes),
+        "sharded run diverged from sequential"
+    );
     table_header(&[
         ("mode", 8),
         ("sim s", 8),
@@ -384,7 +417,12 @@ fn main() {
         ("sim pkts/wall s", 16),
     ]);
     let base_mode = if smoke { "smoke" } else { "full" };
-    for (mode, r) in [(base_mode, &t), ("traced", &traced), ("perf", &profiled)] {
+    for (mode, r) in [
+        (base_mode, &t),
+        ("traced", &traced),
+        ("perf", &profiled),
+        ("sharded", &sharded),
+    ] {
         row(&[
             (mode.to_string(), 8),
             (f(r.sim_seconds, 1), 8),
@@ -402,12 +440,24 @@ fn main() {
                     "trace_sample",
                     Json::U64(if mode == "traced" { 64 } else { 0 }),
                 ),
+                (
+                    "shards",
+                    Json::U64(if mode == "sharded" { shards as u64 } else { 1 }),
+                ),
+                (
+                    "host_parallelism",
+                    Json::U64(std::thread::available_parallelism().map_or(1, |p| p.get() as u64)),
+                ),
                 ("sim_seconds", Json::F64(r.sim_seconds)),
                 ("wall_seconds", Json::F64(r.wall_seconds)),
                 ("forwarded", Json::U64(r.forwarded)),
                 ("delivered", Json::U64(r.delivered)),
                 ("reroutes", Json::U64(r.reroutes)),
                 ("sim_pkts_per_wall_s", Json::F64(r.pkts_per_wall_s())),
+                (
+                    "speedup_vs_seq",
+                    Json::F64(r.pkts_per_wall_s() / t.pkts_per_wall_s().max(1e-9)),
+                ),
             ]));
         }
     }
@@ -418,6 +468,12 @@ fn main() {
     println!(
         "profiler overhead: {:.1}% (perf vs untraced pkts/wall s; budget: <= 5%)",
         (1.0 - profiled.pkts_per_wall_s() / t.pkts_per_wall_s()) * 100.0
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "sharded ({shards} shards, {cores} cores): {:.2}x vs sequential, bit-identical replay \
+         (gate >= 1.8x at 4 shards applies only when the host has >= 4 cores)",
+        sharded.pkts_per_wall_s() / t.pkts_per_wall_s().max(1e-9)
     );
     if let Some(sink) = bench {
         let rows = sink.rows();

@@ -364,6 +364,45 @@ fn run_scale_report(args: &Args) -> Result<bool, String> {
             (format!("{:+.1}%", num(p, "perf_overhead_pct")), 9),
         ]);
     }
+    // Event-engine occupancy and sharding columns (added with the PDES
+    // core): queue bloat and per-shard balance at each point.
+    println!("\nevent engine per point:");
+    table_header(&[
+        ("n", 6),
+        ("shards", 7),
+        ("events min..max", 16),
+        ("cross sends", 12),
+        ("stall ms", 9),
+        ("q live", 8),
+        ("tomb peak", 10),
+        ("compact", 8),
+    ]);
+    for p in &points {
+        let events: Vec<u64> = p
+            .get("shard_events")
+            .and_then(Json::as_arr)
+            .map(|a| a.iter().filter_map(Json::as_u64).collect())
+            .unwrap_or_default();
+        let cross: u64 = p
+            .get("shard_cross_sends")
+            .and_then(Json::as_arr)
+            .map(|a| a.iter().filter_map(Json::as_u64).sum())
+            .unwrap_or(0);
+        let span = match (events.iter().min(), events.iter().max()) {
+            (Some(lo), Some(hi)) => format!("{lo}..{hi}"),
+            _ => "-".to_owned(),
+        };
+        row(&[
+            (num(p, "n").to_string(), 6),
+            (format!("{}", num(p, "shards").max(1.0) as u64), 7),
+            (span, 16),
+            (cross.to_string(), 12),
+            (f(num(p, "merge_stall_ms"), 1), 9),
+            (format!("{}", num(p, "queue_live") as u64), 8),
+            (format!("{}", num(p, "queue_tombstones_peak") as u64), 10),
+            (format!("{}", num(p, "queue_compactions") as u64), 8),
+        ]);
+    }
     let last = points.last().expect("non-empty");
     let last_n = last.get("n").and_then(Json::as_u64).unwrap_or(0);
     if let Some(stages) = perf_rows.get(&format!("n{last_n}")) {

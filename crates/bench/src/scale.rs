@@ -22,12 +22,15 @@
 
 use std::time::Instant;
 
+use son_netsim::event::QueueStats;
+use son_netsim::shard::ShardStats;
 use son_netsim::sim::{ScenarioEvent, Simulation};
 use son_netsim::time::{SimDuration, SimTime};
 use son_obs::{FootprintReport, PerfRegistry, PerfStageStats};
 use son_overlay::builder::OverlayBuilder;
 use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
 use son_overlay::node::OverlayNode;
+use son_overlay::state::connectivity::ConnectivityConfig;
 use son_overlay::{Destination, FlowSpec, NodeConfig, OverlayAddr, Wire};
 use son_topo::{EdgeId, Graph, NodeId};
 
@@ -40,6 +43,13 @@ pub const SCALE_SEED: u64 = 11;
 /// Cross-overlay CBR flows per run — constant across N so throughput
 /// differences isolate the per-node routing and data-path costs.
 pub const SCALE_FLOWS: usize = 8;
+
+/// LSA rebuild hold-down used by every scale run. Without it, cold start
+/// is an O(N²) convergence storm: each of N daemons rebuilds routes once
+/// per arriving LSA during the initial flood (~N rebuilds per daemon).
+/// With the debounce the flood coalesces into a handful of rebuilds per
+/// daemon, so fleet-wide rebuilds stay O(N).
+pub const SCALE_HOLD_DOWN: SimDuration = SimDuration::from_millis(250);
 
 /// A ring of `n` nodes (`hop_ms` per link) plus a chord from `i` to
 /// `i + n/2` every 16 positions on the first half. Unlike
@@ -68,6 +78,13 @@ pub fn scale_topology(n: usize, hop_ms: f64) -> Graph {
 pub struct ScaleResult {
     /// Overlay size.
     pub n: usize,
+    /// Event-engine shards the run used (1 = sequential).
+    pub shards: usize,
+    /// Per-shard load and merge-stall figures (zeros when sequential),
+    /// from the perf-off pass.
+    pub shard_stats: ShardStats,
+    /// Event-queue occupancy and compaction counters (perf-off pass).
+    pub queue_stats: QueueStats,
     /// Virtual-time horizon of the run.
     pub sim_seconds: f64,
     /// Wall-clock cost of the profiler-off pass.
@@ -152,20 +169,29 @@ struct Pass {
     reroutes: u64,
     footprint: FootprintReport,
     perf: PerfRegistry,
+    shard_stats: ShardStats,
+    queue_stats: QueueStats,
 }
 
 /// One deterministic run at size `n`: CBR flows crossing the overlay, one
 /// ring link cut at 1.5s and restored at 2.2s (forcing a fleet-wide
-/// reroute wave), horizon `sim_seconds`.
-fn run_pass(n: usize, sim_seconds: u64, perf: bool) -> Pass {
+/// reroute wave), horizon `sim_seconds`. With `shards > 1` the event
+/// engine runs the conservative parallel core — bit-identical to
+/// sequential, so every figure except wall time matches `shards = 1`.
+fn run_pass(n: usize, sim_seconds: u64, perf: bool, shards: usize) -> Pass {
     let topo = scale_topology(n, 10.0);
     let mut sim: Simulation<Wire> = Simulation::new(SCALE_SEED);
     if perf {
         sim.enable_perf();
     }
+    let connectivity = ConnectivityConfig {
+        rebuild_hold_down: SCALE_HOLD_DOWN,
+        ..ConnectivityConfig::default()
+    };
     let overlay = OverlayBuilder::new(topo)
         .node_config(NodeConfig {
             perf,
+            connectivity,
             ..NodeConfig::default()
         })
         .build(&mut sim);
@@ -174,6 +200,7 @@ fn run_pass(n: usize, sim_seconds: u64, perf: bool) -> Pass {
     // offset keeps each path off a single chord so forwarding does real
     // multi-hop work.
     let mut rxs = Vec::new();
+    let mut clients = Vec::new();
     for k in 0..SCALE_FLOWS {
         let a = k * n / SCALE_FLOWS;
         let b = (a + n / 2 + 5) % n;
@@ -184,7 +211,8 @@ fn run_pass(n: usize, sim_seconds: u64, perf: bool) -> Pass {
             flows: vec![],
         }));
         rxs.push(rx);
-        sim.add_process(ClientProcess::new(ClientConfig {
+        clients.push((rx, NodeId(b)));
+        let tx = sim.add_process(ClientProcess::new(ClientConfig {
             daemon: overlay.daemon(NodeId(a)),
             port: TX_PORT + k as u16,
             joins: vec![],
@@ -200,6 +228,16 @@ fn run_pass(n: usize, sim_seconds: u64, perf: bool) -> Pass {
                 },
             }],
         }));
+        clients.push((tx, NodeId(a)));
+    }
+    if shards > 1 {
+        // Contiguous daemon blocks; clients ride their daemon's shard
+        // (client<->daemon IPC is zero-latency and must not cross shards).
+        let mut plan = overlay.shard_plan(shards, sim.process_count());
+        for &(client, node) in &clients {
+            overlay.colocate(&mut plan, client, node);
+        }
+        sim.set_shard_plan(Some(plan));
     }
 
     // Cut one ring link mid-run and bring it back: every daemon sees the
@@ -247,6 +285,8 @@ fn run_pass(n: usize, sim_seconds: u64, perf: bool) -> Pass {
         reroutes,
         footprint,
         perf: merged,
+        shard_stats: sim.shard_stats().clone(),
+        queue_stats: sim.queue_stats(),
     }
 }
 
@@ -255,14 +295,24 @@ fn run_pass(n: usize, sim_seconds: u64, perf: bool) -> Pass {
 /// seed and event sequence.
 #[must_use]
 pub fn run_scale(n: usize, sim_seconds: u64) -> ScaleResult {
-    let base = run_pass(n, sim_seconds, false);
-    let profiled = run_pass(n, sim_seconds, true);
+    run_scale_sharded(n, sim_seconds, 1)
+}
+
+/// [`run_scale`] on the sharded engine. The event sequence — and thus
+/// every figure but wall time — is bit-identical to `shards = 1`.
+#[must_use]
+pub fn run_scale_sharded(n: usize, sim_seconds: u64, shards: usize) -> ScaleResult {
+    let base = run_pass(n, sim_seconds, false, shards);
+    let profiled = run_pass(n, sim_seconds, true, shards);
     debug_assert_eq!(
         base.forwarded, profiled.forwarded,
         "profiler must not perturb the simulation"
     );
     ScaleResult {
         n,
+        shards: shards.max(1),
+        shard_stats: base.shard_stats,
+        queue_stats: base.queue_stats,
         sim_seconds: sim_seconds as f64,
         wall_seconds: base.wall_seconds,
         perf_wall_seconds: profiled.wall_seconds,
@@ -303,6 +353,35 @@ mod tests {
         assert!(stage.count > 0);
         assert!(stage.total_p50_ns > 0.0);
         // The profiled pass must replay the identical event sequence.
-        assert_eq!(r.forwarded, run_pass(16, 3, true).forwarded);
+        assert_eq!(r.forwarded, run_pass(16, 3, true, 1).forwarded);
+    }
+
+    #[test]
+    fn sharded_scale_run_matches_sequential() {
+        let seq = run_scale(16, 3);
+        let par = run_scale_sharded(16, 3, 4);
+        assert_eq!(par.shards, 4);
+        assert_eq!(seq.forwarded, par.forwarded);
+        assert_eq!(seq.delivered, par.delivered);
+        assert_eq!(seq.reroutes, par.reroutes);
+        assert_eq!(par.shard_stats.loads.len(), 4);
+        assert!(par.shard_stats.windows > 0);
+        assert!(
+            par.shard_stats.loads.iter().map(|l| l.events).sum::<u64>() > 0,
+            "per-shard event counts recorded"
+        );
+    }
+
+    #[test]
+    fn hold_down_caps_cold_start_rebuilds() {
+        // Without the hold-down each daemon rebuilds ~once per arriving
+        // LSA during the cold-start flood (~N per daemon → ~N^2 fleet-wide);
+        // with it the flood coalesces to a handful per daemon.
+        let r = run_scale(32, 3);
+        assert!(
+            r.reroutes <= 32 * 10,
+            "cold-start rebuild storm is back: {} reroutes at n=32",
+            r.reroutes
+        );
     }
 }

@@ -62,6 +62,9 @@ pub struct WatchdogRun {
     pub count: u64,
     /// CBR packet interval.
     pub interval: SimDuration,
+    /// Event-engine shards (1 = sequential; >1 runs the conservative
+    /// parallel core, bit-identical to sequential).
+    pub shards: usize,
 }
 
 impl WatchdogRun {
@@ -77,6 +80,7 @@ impl WatchdogRun {
             deadline: SimDuration::from_millis(250),
             count: 2500,
             interval: SimDuration::from_millis(10),
+            shards: 1,
         }
     }
 
@@ -84,6 +88,13 @@ impl WatchdogRun {
     #[must_use]
     pub fn with_watch(mut self, config: WatchConfig) -> Self {
         self.watch = Some(config);
+        self
+    }
+
+    /// Runs the campaign on the sharded event engine.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -139,6 +150,13 @@ impl WatchdogRun {
                 },
             }],
         }));
+
+        if self.shards > 1 {
+            let mut plan = overlay.shard_plan(self.shards, sim.process_count());
+            overlay.colocate(&mut plan, rx, dst);
+            overlay.colocate(&mut plan, tx, src);
+            sim.set_shard_plan(Some(plan));
+        }
 
         // Apply the campaign's compromise windows on a fine cadence: the
         // simulator has no notion of overlay adversaries, so the harness

@@ -1,0 +1,211 @@
+//! Determinism parity locks for the sharded conservative event engine.
+//!
+//! The contract under test: for any shard count K, a sharded run is
+//! **bit-identical** to the sequential run of the same `(topology,
+//! workload, seed)` — same `Simulation::fingerprint()`, same forwarded and
+//! delivered counts, same watchdog audit history. Sharding may only change
+//! wall-clock time, never results.
+//!
+//! Covered here: the scale observatory's ring (with the LSA rebuild
+//! hold-down active, so the debounce and the shard windows interleave), a
+//! chorded ring, the placed continental-US overlay (underlay-bound pipes,
+//! whose lookahead comes from real fiber latencies), and a watchdog
+//! fault-injection campaign (crash/restart flaps plus remediation).
+
+use son_bench::scale::{scale_topology, SCALE_HOLD_DOWN};
+use son_bench::watchdog::{router_failure_campaign, WatchdogRun};
+use son_bench::{ring_with_chords, RX_PORT, TX_PORT};
+use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
+use son_netsim::sim::{ScenarioEvent, Simulation};
+use son_netsim::time::{SimDuration, SimTime};
+use son_overlay::builder::{continental_overlay, OverlayBuilder};
+use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
+use son_overlay::node::OverlayNode;
+use son_overlay::state::connectivity::ConnectivityConfig;
+use son_overlay::watch::WatchConfig;
+use son_overlay::{Destination, FlowSpec, NodeConfig, OverlayAddr, Wire};
+use son_topo::{EdgeId, Graph, NodeId};
+
+/// What a run leaves behind; equality means the runs were identical.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    fingerprint: u64,
+    forwarded: u64,
+    delivered: u64,
+    reroutes: u64,
+}
+
+/// Builds the standard parity workload over `topo`: four CBR flows across
+/// the overlay, one edge cut at 800ms and restored at 1400ms, horizon 2s.
+/// With `placed` the overlay is bound to the continental-US underlay.
+fn observe(topo: &Graph, placed: bool, seed: u64, shards: usize) -> Observed {
+    let n = topo.node_count();
+    let mut sim: Simulation<Wire> = Simulation::new(seed);
+    let config = NodeConfig {
+        connectivity: ConnectivityConfig {
+            rebuild_hold_down: SCALE_HOLD_DOWN,
+            ..ConnectivityConfig::default()
+        },
+        ..NodeConfig::default()
+    };
+    let builder = OverlayBuilder::new(topo.clone()).node_config(config);
+    let (overlay, cut_edge) = if placed {
+        let sc = continental_us(DEFAULT_CONVERGENCE);
+        let (placed_topo, cities) = continental_overlay(&sc);
+        assert_eq!(placed_topo.node_count(), n, "caller passes the placed topo");
+        sim.set_underlay(sc.underlay);
+        let overlay = OverlayBuilder::new(placed_topo)
+            .node_config(NodeConfig {
+                connectivity: ConnectivityConfig {
+                    rebuild_hold_down: SCALE_HOLD_DOWN,
+                    ..ConnectivityConfig::default()
+                },
+                ..NodeConfig::default()
+            })
+            .place_in_cities(cities)
+            .build(&mut sim);
+        (overlay, EdgeId(1))
+    } else {
+        (builder.build(&mut sim), EdgeId(1))
+    };
+
+    let mut rxs = Vec::new();
+    let mut clients = Vec::new();
+    for k in 0..4usize {
+        let a = k * n / 4;
+        let b = (a + n / 2 + 1) % n;
+        let rx = sim.add_process(ClientProcess::new(ClientConfig {
+            daemon: overlay.daemon(NodeId(b)),
+            port: RX_PORT + k as u16,
+            joins: vec![],
+            flows: vec![],
+        }));
+        rxs.push(rx);
+        clients.push((rx, NodeId(b)));
+        let tx = sim.add_process(ClientProcess::new(ClientConfig {
+            daemon: overlay.daemon(NodeId(a)),
+            port: TX_PORT + k as u16,
+            joins: vec![],
+            flows: vec![ClientFlow {
+                local_flow: 1,
+                dst: Destination::Unicast(OverlayAddr::new(NodeId(b), RX_PORT + k as u16)),
+                spec: FlowSpec::best_effort(),
+                workload: Workload::Cbr {
+                    size: 1000,
+                    interval: SimDuration::from_millis(2),
+                    count: u64::MAX,
+                    start: SimTime::from_millis(400),
+                },
+            }],
+        }));
+        clients.push((tx, NodeId(a)));
+    }
+    for &(ab, ba) in &overlay.edge_pipes[&cut_edge] {
+        sim.schedule(SimTime::from_millis(800), ScenarioEvent::DisablePipe(ab));
+        sim.schedule(SimTime::from_millis(800), ScenarioEvent::DisablePipe(ba));
+        sim.schedule(SimTime::from_millis(1400), ScenarioEvent::EnablePipe(ab));
+        sim.schedule(SimTime::from_millis(1400), ScenarioEvent::EnablePipe(ba));
+    }
+    if shards > 1 {
+        let mut plan = overlay.shard_plan(shards, sim.process_count());
+        for &(client, node) in &clients {
+            overlay.colocate(&mut plan, client, node);
+        }
+        sim.set_shard_plan(Some(plan));
+    }
+
+    sim.run_until(SimTime::from_secs(2));
+
+    let mut forwarded = 0;
+    let mut reroutes = 0;
+    for &d in &overlay.daemons {
+        let m = sim.proc_ref::<OverlayNode>(d).expect("daemon").metrics();
+        forwarded += m.forwarded;
+        reroutes += m.counters.get("reroutes");
+    }
+    let delivered = rxs
+        .iter()
+        .map(|&rx| {
+            sim.proc_ref::<ClientProcess>(rx)
+                .expect("receiver")
+                .sole_recv()
+                .received
+        })
+        .sum();
+    Observed {
+        fingerprint: sim.fingerprint(),
+        forwarded,
+        delivered,
+        reroutes,
+    }
+}
+
+#[test]
+fn ring_parity_across_shard_counts_and_seeds() {
+    let topo = scale_topology(16, 10.0);
+    for seed in [3, 11] {
+        let seq = observe(&topo, false, seed, 1);
+        assert!(seq.delivered > 0, "workload must deliver (seed {seed})");
+        for shards in [2, 4, 8] {
+            let par = observe(&topo, false, seed, shards);
+            assert_eq!(
+                par, seq,
+                "shards={shards} seed={seed} diverged from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn chorded_ring_parity() {
+    let topo = ring_with_chords(24, 10.0, 4);
+    let seq = observe(&topo, false, 7, 1);
+    assert!(seq.delivered > 0);
+    for shards in [2, 4] {
+        let par = observe(&topo, false, 7, shards);
+        assert_eq!(par, seq, "shards={shards} diverged on the chorded ring");
+    }
+}
+
+#[test]
+fn continental_parity_with_underlay_bound_pipes() {
+    // The placed overlay's cross-shard lookahead comes from
+    // `Underlay::min_link_latency` — real fiber latencies, not configs.
+    let sc = continental_us(DEFAULT_CONVERGENCE);
+    let (topo, _) = continental_overlay(&sc);
+    let seq = observe(&topo, true, 5, 1);
+    assert!(seq.delivered > 0);
+    for shards in [2, 4] {
+        let par = observe(&topo, true, 5, shards);
+        assert_eq!(par, seq, "shards={shards} diverged on continental-US");
+    }
+}
+
+#[test]
+fn watchdog_campaign_parity_including_watch_history() {
+    // Fault injection (daemon crash/restart flaps) + watchdog remediation,
+    // run sequentially and sharded: fingerprints, delivery counts, and the
+    // complete watchdog audit history must all match.
+    let run = |shards: usize| {
+        let mut r = WatchdogRun::new("parity", 71, router_failure_campaign)
+            .with_watch(WatchConfig::default())
+            .with_shards(shards);
+        r.run_for = SimDuration::from_secs(12);
+        r.count = 800;
+        r.run()
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert_eq!(par.fingerprint, seq.fingerprint, "fingerprint diverged");
+    assert_eq!(par.sent, seq.sent);
+    assert_eq!(par.received, seq.received);
+    assert_eq!(par.within_deadline, seq.within_deadline);
+    assert_eq!(
+        par.watch_events, seq.watch_events,
+        "watchdog audit history diverged"
+    );
+    assert!(
+        !seq.watch_events.is_empty(),
+        "campaign must exercise the watchdog for the parity to mean anything"
+    );
+}

@@ -4,9 +4,44 @@
 //! increasing sequence number breaking ties so that events scheduled for the
 //! same instant fire in insertion order (FIFO). Determinism of the whole
 //! simulator rests on this tie-break.
+//!
+//! # Sharded operation
+//!
+//! The sharded simulation core (see [`crate::shard`]) splits one global
+//! queue into per-shard queues and later merges the leftovers back. Two
+//! extensions support this without perturbing the sequential semantics:
+//!
+//! * **Tie keys.** Every entry carries a [`TieKey`]; ordering is
+//!   `(at, key, seq)`. Sequentially scheduled entries all use
+//!   [`TieKey::ZERO`], so ordering degrades to the classic `(at, seq)`
+//!   FIFO and sequential runs are byte-identical to the pre-shard queue.
+//!   Sharded schedulers key every entry with its *lineage* — when it was
+//!   scheduled, by which handler invocation, and at which position within
+//!   that handler — which makes `(at, key)` globally unique across shards
+//!   *and* makes key order equal the sequential insertion order, so the
+//!   merged order is the sequential order no matter which shard's queue
+//!   an entry sat in.
+//! * **Identity / order split.** The cancellation handle ([`EventId`]) is
+//!   an identity drawn from a generation-tagged space, distinct from the
+//!   ordering `seq`. Partitioning moves entries between queues while
+//!   *preserving* their ids (timer handles held inside process state stay
+//!   valid across a partition/dissolve cycle) and reassigning seqs.
+//!   [`EventQueue::set_id_generation`] gives each shard a disjoint id
+//!   range so ids never collide when queues merge.
+//!
+//! # Tombstone compaction
+//!
+//! [`EventQueue::cancel`] leaves a tombstone in the heap; it is normally
+//! reclaimed when it surfaces at the top. Workloads that cancel many
+//! far-future timers (retransmission timers that almost always get acked)
+//! can accumulate tombstones faster than they surface, bloating the heap.
+//! When tombstones outnumber live entries the queue compacts: the heap is
+//! rebuilt retaining only live entries. [`EventQueue::stats`] exposes the
+//! occupancy and compaction counters for the scale observatory.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use crate::time::SimTime;
 
@@ -14,15 +49,176 @@ use crate::time::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(u64);
 
+/// Number of low bits of an [`EventId`] that hold the per-generation
+/// counter; the id generation occupies the bits above.
+const ID_GENERATION_SHIFT: u32 = 40;
+
+/// Deterministic tie-break key for cross-shard merging: an event's
+/// *scheduling lineage*.
+///
+/// Ordering of scheduled events is `(at, key, seq)`. Sequential scheduling
+/// uses [`TieKey::ZERO`] everywhere, reducing the order to `(at, seq)` —
+/// insertion-order FIFO. The sharded core keys every entry with a lineage
+/// node `(sched, parent, oseq)`: the virtual time of the schedule call, the
+/// key of the event whose handler made it, and the call's position within
+/// that handler. Comparing keys compares `sched` first, then the parents
+/// recursively, then `oseq` — which reproduces the sequential insertion
+/// order exactly (see `DESIGN.md` §12 for the proof sketch).
+///
+/// A flat `(sched, origin-pid, oseq)` key would *not*: two handlers firing
+/// at the same instant run in insertion order of their own events, not in
+/// process-id order, and whatever they schedule inherits that order. The
+/// parent link is what carries it across.
+///
+/// Nodes are `Arc`-shared, so a key is one allocation and siblings share
+/// their parent chain; chains stay alive only while descendants are live.
+#[derive(Debug, Clone)]
+pub struct TieKey(Option<Arc<KeyNode>>);
+
+#[derive(Debug)]
+struct KeyNode {
+    /// Virtual time at which the event was scheduled. Sequential insertion
+    /// order is non-decreasing in schedule time, so this is the major key.
+    sched: SimTime,
+    /// Key of the event whose handler made the schedule call ([`TieKey::ZERO`]
+    /// for partition-snapshot roots). When two schedule calls share `sched`,
+    /// sequential insertion order is their handlers' execution order — the
+    /// parents' key order, recursively.
+    parent: TieKey,
+    /// Position of the schedule call within its handler invocation (for
+    /// roots: position of the entry in the pre-partition snapshot).
+    oseq: u64,
+}
+
+impl TieKey {
+    /// The empty key used by sequential scheduling. Sorts before every
+    /// non-empty key, so a re-keyed snapshot still sorts after nothing.
+    pub const ZERO: TieKey = TieKey(None);
+
+    /// A lineage root: a pre-partition snapshot entry re-keyed with its
+    /// position `oseq` in the drained queue, stamped at partition time
+    /// `sched`. Roots sort among themselves by position and ahead of every
+    /// key minted at or after `sched` — exactly where the sequential queue
+    /// would have them.
+    #[must_use]
+    pub fn root(sched: SimTime, oseq: u64) -> TieKey {
+        TieKey::ZERO.child(sched, oseq)
+    }
+
+    /// The key for the `oseq`-th schedule call made at time `sched` by the
+    /// handler of the event keyed `self`.
+    #[must_use]
+    pub fn child(&self, sched: SimTime, oseq: u64) -> TieKey {
+        TieKey(Some(Arc::new(KeyNode {
+            sched,
+            parent: self.clone(),
+            oseq,
+        })))
+    }
+}
+
+impl Drop for KeyNode {
+    fn drop(&mut self) {
+        // Unlink the parent chain iteratively: dropping the last holder of
+        // a deep lineage (a long-lived self-rescheduling timer) must not
+        // recurse one stack frame per ancestor.
+        let mut parent = std::mem::replace(&mut self.parent, TieKey::ZERO);
+        while let Some(arc) = parent.0.take() {
+            match Arc::try_unwrap(arc) {
+                Ok(mut node) => {
+                    parent = std::mem::replace(&mut node.parent, TieKey::ZERO);
+                }
+                Err(_) => break, // still shared; its holder unlinks later
+            }
+        }
+    }
+}
+
+impl PartialEq for TieKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for TieKey {}
+impl PartialOrd for TieKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TieKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Lexicographic (sched, parent, oseq), unrolled iteratively so
+        // phase-locked lineages (identical sched at every level) cannot
+        // overflow the stack. Walk up while scheds tie, then resolve from
+        // the root side down: the first level whose parents differ — or,
+        // failing that, whose oseqs differ — decides.
+        let (mut a, mut b) = (&self.0, &other.0);
+        let mut oseqs: Vec<(u64, u64)> = Vec::new();
+        let base = loop {
+            match (a, b) {
+                (None, None) => break Ordering::Equal,
+                (None, Some(_)) => break Ordering::Less,
+                (Some(_), None) => break Ordering::Greater,
+                (Some(x), Some(y)) => {
+                    if Arc::ptr_eq(x, y) {
+                        break Ordering::Equal;
+                    }
+                    match x.sched.cmp(&y.sched) {
+                        Ordering::Equal => {
+                            oseqs.push((x.oseq, y.oseq));
+                            a = &x.parent.0;
+                            b = &y.parent.0;
+                        }
+                        unequal => break unequal,
+                    }
+                }
+            }
+        };
+        if base != Ordering::Equal {
+            return base;
+        }
+        for &(x, y) in oseqs.iter().rev() {
+            if x != y {
+                return x.cmp(&y);
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+/// Queue occupancy and maintenance counters, for the scale observatory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events scheduled and neither fired nor cancelled.
+    pub live: usize,
+    /// Cancelled entries still occupying the heap.
+    pub tombstones: usize,
+    /// High-water mark of `tombstones` over the queue's lifetime.
+    pub tombstones_peak: usize,
+    /// Times the heap was rebuilt to evict tombstones.
+    pub compactions: u64,
+}
+
+impl QueueStats {
+    /// Folds another queue's counters into this one (peaks max, counters
+    /// sum) — used when per-shard queues dissolve back into the global one.
+    pub fn absorb(&mut self, other: &QueueStats) {
+        self.tombstones_peak = self.tombstones_peak.max(other.tombstones_peak);
+        self.compactions += other.compactions;
+    }
+}
+
 struct Entry<E> {
     at: SimTime,
+    key: TieKey,
     seq: u64,
+    id: u64,
     payload: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -33,10 +229,12 @@ impl<E> PartialOrd for Entry<E> {
 }
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        // BinaryHeap is a max-heap; invert so the earliest (time, key, seq)
+        // pops first.
         other
             .at
             .cmp(&self.at)
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -44,7 +242,8 @@ impl<E> Ord for Entry<E> {
 /// A time-ordered queue of simulation events with FIFO tie-breaking.
 ///
 /// Cancellation is handled with a tombstone set: [`EventQueue::cancel`] is
-/// O(log n) amortized and cancelled events are skipped on pop.
+/// O(log n) amortized and cancelled events are skipped on pop. When
+/// tombstones outnumber live entries the heap is compacted in place.
 ///
 /// # Examples
 ///
@@ -58,12 +257,14 @@ impl<E> Ord for Entry<E> {
 /// let (at, what) = q.pop().unwrap();
 /// assert_eq!((at, what), (SimTime::from_millis(1), "sooner"));
 /// ```
-#[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    /// Sequence numbers scheduled and neither fired nor cancelled.
+    /// Ids scheduled and neither fired nor cancelled.
     live: std::collections::HashSet<u64>,
     next_seq: u64,
+    next_id: u64,
+    tombstones_peak: usize,
+    compactions: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -76,10 +277,26 @@ impl<E> std::fmt::Debug for Entry<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Entry")
             .field("at", &self.at)
+            .field("key", &self.key)
             .field("seq", &self.seq)
+            .field("id", &self.id)
             .finish()
     }
 }
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("live", &self.live.len())
+            .field("heap", &self.heap.len())
+            .field("next_seq", &self.next_seq)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Tombstones must exceed both the live count and this floor before a
+/// compaction triggers; tiny queues are not worth rebuilding.
+const COMPACT_FLOOR: usize = 64;
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
@@ -89,16 +306,82 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             live: Default::default(),
             next_seq: 0,
+            next_id: 0,
+            tombstones_peak: 0,
+            compactions: 0,
         }
+    }
+
+    fn push(&mut self, at: SimTime, key: TieKey, id: u64, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            key,
+            seq,
+            id,
+            payload,
+        });
+        let fresh = self.live.insert(id);
+        debug_assert!(fresh, "duplicate live event id {id:#x}");
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
     }
 
     /// Schedules `payload` to fire at `at` and returns a cancellation handle.
     pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Entry { at, seq, payload });
-        self.live.insert(seq);
-        EventId(seq)
+        let id = self.fresh_id();
+        self.push(at, TieKey::ZERO, id, payload);
+        EventId(id)
+    }
+
+    /// Schedules `payload` with an explicit tie-break key (sharded mode).
+    pub fn schedule_keyed(&mut self, at: SimTime, key: TieKey, payload: E) -> EventId {
+        let id = self.fresh_id();
+        self.push(at, key, id, payload);
+        EventId(id)
+    }
+
+    /// Re-inserts an entry that previously lived in another queue, keeping
+    /// its identity (so outstanding cancellation handles stay valid) and
+    /// its key. The caller must guarantee `id` cannot collide with ids this
+    /// queue will mint — see [`EventQueue::set_id_generation`].
+    pub fn restore(&mut self, at: SimTime, key: TieKey, id: EventId, payload: E) {
+        self.push(at, key, id.0, payload);
+    }
+
+    /// Moves the id counter to the start of generation `generation`:
+    /// subsequently minted ids are `generation << 40 | n`. Each shard queue
+    /// of one partition gets a distinct generation, so ids stay unique when
+    /// shard queues merge back — and outstanding timer handles from any
+    /// earlier generation can never be re-minted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generation would move the counter backwards (id
+    /// uniqueness would break) or overflows the id space.
+    pub fn set_id_generation(&mut self, generation: u64) {
+        assert!(
+            generation < 1 << (64 - ID_GENERATION_SHIFT),
+            "id generation overflow"
+        );
+        let base = generation << ID_GENERATION_SHIFT;
+        assert!(
+            base >= self.next_id,
+            "id generation must move forward (base {base} < next id {})",
+            self.next_id
+        );
+        self.next_id = base;
+    }
+
+    /// The id generation after all ids this queue has minted so far.
+    #[must_use]
+    pub fn next_id_generation(&self) -> u64 {
+        (self.next_id >> ID_GENERATION_SHIFT) + u64::from(self.next_id != 0)
     }
 
     /// Cancels a previously scheduled event.
@@ -106,23 +389,58 @@ impl<E> EventQueue<E> {
     /// Returns `true` if the event had not yet fired or been cancelled.
     /// Cancelling an already-fired event is a harmless no-op returning `false`.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.live.remove(&id.0)
+        let cancelled = self.live.remove(&id.0);
+        if cancelled {
+            let tombstones = self.tombstones();
+            self.tombstones_peak = self.tombstones_peak.max(tombstones);
+            if tombstones > self.live.len().max(COMPACT_FLOOR) {
+                self.compact();
+            }
+        }
+        cancelled
+    }
+
+    /// Rebuilds the heap retaining only live entries.
+    fn compact(&mut self) {
+        let live = &self.live;
+        self.heap.retain(|e| live.contains(&e.id));
+        self.compactions += 1;
     }
 
     /// Removes and returns the earliest non-cancelled event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.live.remove(&entry.seq) {
+            if self.live.remove(&entry.id) {
                 return Some((entry.at, entry.payload));
             }
         }
         None
     }
 
+    /// Removes and returns the earliest non-cancelled event along with its
+    /// key and identity — the partition/dissolve form of [`EventQueue::pop`].
+    pub fn pop_full(&mut self) -> Option<(SimTime, TieKey, EventId, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.live.remove(&entry.id) {
+                return Some((entry.at, entry.key, EventId(entry.id), entry.payload));
+            }
+        }
+        None
+    }
+
+    /// Drains the queue in firing order, preserving identities and keys.
+    pub fn drain_ordered(&mut self) -> Vec<(SimTime, TieKey, EventId, E)> {
+        let mut out = Vec::with_capacity(self.live.len());
+        while let Some(item) = self.pop_full() {
+            out.push(item);
+        }
+        out
+    }
+
     /// The time of the earliest pending event, without removing it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(entry) = self.heap.peek() {
-            if self.live.contains(&entry.seq) {
+            if self.live.contains(&entry.id) {
                 return Some(entry.at);
             }
             self.heap.pop();
@@ -140,6 +458,30 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.live.is_empty()
+    }
+
+    /// Cancelled entries still occupying the heap.
+    #[must_use]
+    pub fn tombstones(&self) -> usize {
+        self.heap.len() - self.live.len()
+    }
+
+    /// Occupancy and maintenance counters.
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            live: self.live.len(),
+            tombstones: self.tombstones(),
+            tombstones_peak: self.tombstones_peak,
+            compactions: self.compactions,
+        }
+    }
+
+    /// Folds another queue's maintenance counters into this one (shard
+    /// queues dissolving back into the global queue).
+    pub fn absorb_stats(&mut self, other: &QueueStats) {
+        self.tombstones_peak = self.tombstones_peak.max(other.tombstones_peak);
+        self.compactions += other.compactions;
     }
 }
 
@@ -220,5 +562,180 @@ mod tests {
             !q.cancel(EventId(99)),
             "cancelling a never-issued id is a no-op"
         );
+    }
+
+    #[test]
+    fn keyed_entries_order_by_key_before_seq() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        let key = |sched_us: u64, oseq: u64| TieKey::root(SimTime::from_micros(sched_us), oseq);
+        // Insert out of key order; pops must come back in key order.
+        q.schedule_keyed(t, key(5, 0), "late-sched");
+        q.schedule_keyed(t, key(1, 2), "early-sched-third");
+        q.schedule_keyed(t, key(1, 1), "early-sched-second");
+        q.schedule_keyed(t, key(1, 0), "early-sched-first");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(
+            order,
+            vec![
+                "early-sched-first",
+                "early-sched-second",
+                "early-sched-third",
+                "late-sched",
+            ]
+        );
+    }
+
+    #[test]
+    fn lineage_keys_order_by_parent_before_code_position() {
+        // Two handlers fire at the same instant `s`; the one keyed earlier
+        // ran first sequentially, so everything it scheduled must sort
+        // ahead of the later handler's output — regardless of oseq.
+        let s = SimTime::from_millis(1);
+        let t = SimTime::from_millis(2);
+        let first = TieKey::root(SimTime::ZERO, 0);
+        let second = TieKey::root(SimTime::ZERO, 1);
+        let mut q = EventQueue::new();
+        q.schedule_keyed(t, second.child(s, 0), "second-handler");
+        q.schedule_keyed(t, first.child(s, 7), "first-handler-late-call");
+        q.schedule_keyed(t, first.child(s, 2), "first-handler-early-call");
+        // A root re-keyed at `s` predates anything scheduled at `s`.
+        q.schedule_keyed(t, TieKey::root(s, 9), "snapshot-root");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(
+            order,
+            vec![
+                "snapshot-root",
+                "first-handler-early-call",
+                "first-handler-late-call",
+                "second-handler",
+            ]
+        );
+    }
+
+    #[test]
+    fn deep_phase_locked_lineages_compare_without_overflow() {
+        // Self-rescheduling timers build chains one node per tick; two
+        // phase-locked chains tie on `sched` at every level and resolve
+        // only at their roots. The comparison must be iterative.
+        let mut a = TieKey::root(SimTime::ZERO, 0);
+        let mut b = TieKey::root(SimTime::ZERO, 1);
+        for tick in 1..200_000u64 {
+            let now = SimTime::from_micros(tick);
+            a = a.child(now, 0);
+            b = b.child(now, 0);
+        }
+        assert!(a < b, "root order decides phase-locked ties");
+        assert!(a == a.clone());
+    }
+
+    #[test]
+    fn zero_keys_reduce_to_fifo() {
+        // schedule() and schedule_keyed(ZERO) interleave as pure FIFO.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        q.schedule(t, 0);
+        q.schedule_keyed(t, TieKey::ZERO, 1);
+        q.schedule(t, 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn restore_preserves_cancellation_identity() {
+        let mut donor = EventQueue::new();
+        let keep = donor.schedule(SimTime::from_millis(10), "keep");
+        let cancel = donor.schedule(SimTime::from_millis(20), "cancel");
+        let drained = donor.drain_ordered();
+        assert_eq!(drained.len(), 2);
+
+        let mut target = EventQueue::new();
+        target.set_id_generation(7);
+        for (at, key, id, payload) in drained {
+            target.restore(at, key, id, payload);
+        }
+        // The handle issued by the donor still cancels in the target.
+        assert!(target.cancel(cancel));
+        assert!(!target.cancel(cancel));
+        let order: Vec<&str> = std::iter::from_fn(|| target.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["keep"]);
+        let _ = keep;
+    }
+
+    #[test]
+    fn generations_keep_ids_disjoint() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        a.set_id_generation(1);
+        b.set_id_generation(2);
+        let ia = a.schedule(SimTime::from_millis(1), "a");
+        let ib = b.schedule(SimTime::from_millis(1), "b");
+        assert_ne!(ia, ib);
+
+        // Merge both into one queue; both handles remain distinct and valid.
+        let mut merged = EventQueue::new();
+        merged.set_id_generation(3);
+        for (at, key, id, p) in a.drain_ordered().into_iter().chain(b.drain_ordered()) {
+            merged.restore(at, key, id, p);
+        }
+        assert!(merged.cancel(ia));
+        assert_eq!(merged.pop().unwrap().1, "b");
+        assert!(!merged.cancel(ib), "already fired");
+    }
+
+    #[test]
+    fn next_id_generation_reports_past_minted_ids() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.next_id_generation(), 0);
+        q.schedule(SimTime::ZERO, ());
+        assert_eq!(q.next_id_generation(), 1);
+        q.set_id_generation(5);
+        q.schedule(SimTime::ZERO, ());
+        assert_eq!(q.next_id_generation(), 6);
+    }
+
+    #[test]
+    fn tombstones_compact_when_they_dominate() {
+        let mut q = EventQueue::new();
+        // A few live entries and a mountain of cancelled ones.
+        for i in 0..10i32 {
+            q.schedule(SimTime::from_millis(i as u64), i);
+        }
+        let doomed: Vec<_> = (0..200)
+            .map(|i| q.schedule(SimTime::from_secs(60 + i), -1))
+            .collect();
+        for id in doomed {
+            q.cancel(id);
+        }
+        let stats = q.stats();
+        assert_eq!(stats.live, 10);
+        assert!(stats.compactions >= 1, "compaction must trigger: {stats:?}");
+        assert!(
+            stats.tombstones <= stats.live.max(COMPACT_FLOOR),
+            "tombstones stay bounded after compaction: {stats:?}"
+        );
+        assert!(stats.tombstones_peak > COMPACT_FLOOR);
+        // Everything live still pops in order.
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_absorb_folds_peaks_and_sums() {
+        let a = QueueStats {
+            live: 1,
+            tombstones: 2,
+            tombstones_peak: 10,
+            compactions: 3,
+        };
+        let mut b = QueueStats {
+            live: 5,
+            tombstones: 0,
+            tombstones_peak: 4,
+            compactions: 2,
+        };
+        b.absorb(&a);
+        assert_eq!(b.tombstones_peak, 10);
+        assert_eq!(b.compactions, 5);
     }
 }

@@ -43,6 +43,7 @@ pub mod loss;
 pub mod process;
 pub mod rng;
 pub mod scenario;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;

@@ -44,7 +44,9 @@ pub enum MessageKind {
 ///
 /// Messages must be cloneable (redundant dissemination duplicates them) and
 /// report a wire size so pipes can model bandwidth and overhead accounting.
-pub trait SimMessage: Clone + std::fmt::Debug + 'static {
+/// They must also be `Send`: the sharded simulation core moves in-flight
+/// messages between worker threads at window barriers.
+pub trait SimMessage: Clone + std::fmt::Debug + Send + 'static {
     /// The number of bytes this message occupies on the wire.
     fn wire_size(&self) -> usize;
 
@@ -84,7 +86,12 @@ impl SimMessage for bytes::Bytes {
 /// The `Any` supertrait lets experiments downcast processes back to their
 /// concrete type after a run to harvest metrics
 /// (see [`Simulation::proc_ref`](crate::sim::Simulation::proc_ref)).
-pub trait Process<M: SimMessage>: Any {
+///
+/// The `Send` supertrait lets the sharded simulation core move process
+/// state machines onto worker threads; a process therefore cannot hold
+/// `Rc`/thread-bound interior mutability (plain owned state and `Arc`s of
+/// `Send + Sync` data are fine).
+pub trait Process<M: SimMessage>: Any + Send {
     /// Called once when the simulation starts.
     fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
         let _ = ctx;

@@ -95,6 +95,33 @@ impl Tracer {
         }
     }
 
+    /// The ring capacity this tracer was created with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Folds per-shard tracers back into this one after a sharded run.
+    /// Events merge in time order (stable across shards, so equal-time
+    /// events keep shard order — deterministic regardless of thread
+    /// timing); the ring bound applies as if they had been recorded here.
+    pub(crate) fn absorb_shards(&mut self, shards: impl Iterator<Item = Tracer>) {
+        let mut events: Vec<TraceEvent> = Vec::new();
+        for tracer in shards {
+            self.recorded += tracer.recorded;
+            self.dropped_records += tracer.dropped_records;
+            events.extend(tracer.ring);
+        }
+        events.sort_by_key(|e| e.at);
+        for e in events {
+            if self.ring.len() == self.capacity {
+                self.ring.pop_front();
+                self.dropped_records += 1;
+            }
+            self.ring.push_back(e);
+        }
+    }
+
     /// Records one event.
     pub fn record(&mut self, at: SimTime, kind: TraceKind) {
         if self.ring.len() == self.capacity {

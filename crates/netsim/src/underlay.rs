@@ -374,6 +374,16 @@ impl Underlay {
         }
     }
 
+    /// The minimum propagation latency over all fiber edges, up or down
+    /// (failures change availability, never latency). This is the sharded
+    /// simulator's conservative lookahead bound: every resolved path
+    /// crosses at least one fiber edge, so no bound pipe between distinct
+    /// cities can deliver faster than this.
+    #[must_use]
+    pub fn min_link_latency(&self) -> Option<SimDuration> {
+        self.edges.iter().map(|e| e.latency).min()
+    }
+
     /// Whether an edge is currently operational.
     #[must_use]
     pub fn edge_up(&self, edge: UEdgeId) -> bool {

@@ -146,6 +146,15 @@ impl Json {
         }
     }
 
+    /// The value as an array slice, if it is one.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Parses one JSON document (e.g. one JSONL row).
     ///
     /// Integral numbers without sign parse as [`Json::U64`], negative

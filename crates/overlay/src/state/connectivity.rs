@@ -36,6 +36,14 @@ pub struct ConnectivityConfig {
     pub refresh_interval: SimDuration,
     /// EWMA gain for loss/latency estimates.
     pub ewma_alpha: f64,
+    /// Hold-down for remote-LSA route recomputation: a changed LSA marks
+    /// the rebuild pending instead of firing it, and the rebuild runs on
+    /// the next tick after LSAs quiesce for this long (or after `4x` this
+    /// long under sustained churn, bounding staleness). `ZERO` disables
+    /// the debounce — every changed LSA recomputes immediately. This is
+    /// the cold-start defence: without it, N joining nodes each rebuild
+    /// O(N) times as the initial flood arrives LSA by LSA.
+    pub rebuild_hold_down: SimDuration,
 }
 
 impl Default for ConnectivityConfig {
@@ -46,6 +54,7 @@ impl Default for ConnectivityConfig {
             down_misses: 5,
             refresh_interval: SimDuration::from_secs(5),
             ewma_alpha: 0.2,
+            rebuild_hold_down: SimDuration::ZERO,
         }
     }
 }
@@ -177,6 +186,12 @@ pub struct ConnectivityMonitor {
     damping: Option<FlapDamping>,
     /// Per-origin damping state (only populated while damping is enabled).
     flap: HashMap<NodeId, FlapState>,
+    /// A remote-LSA change is waiting out the rebuild hold-down.
+    pending_topology: bool,
+    /// When the oldest deferred change arrived (bounds total deferral).
+    first_pending: SimTime,
+    /// When the newest deferred change arrived (quiesce measures from here).
+    last_pending: SimTime,
 }
 
 impl ConnectivityMonitor {
@@ -221,6 +236,9 @@ impl ConnectivityMonitor {
             graph_builds: 0,
             damping: None,
             flap: HashMap::new(),
+            pending_topology: false,
+            first_pending: SimTime::ZERO,
+            last_pending: SimTime::ZERO,
         };
         let own = mon.build_own_lsa();
         mon.lsdb.insert(me, own);
@@ -285,6 +303,15 @@ impl ConnectivityMonitor {
     #[must_use]
     pub fn is_suspended(&self, link: usize) -> bool {
         self.links[link].suspended
+    }
+
+    /// Moves the shared view forward now. Any debounced remote changes are
+    /// absorbed for free — the rebuild this triggers reads the full LSDB,
+    /// pending entries included — so the hold-down state resets.
+    fn bump_version(&mut self, out: &mut Vec<ConnAction>) {
+        self.pending_topology = false;
+        self.version += 1;
+        out.push(ConnAction::TopologyChanged);
     }
 
     /// Suspends a local link: it keeps exchanging hellos (so recovery can
@@ -377,9 +404,19 @@ impl ConnectivityMonitor {
             for (origin, pending) in released {
                 out.push(ConnAction::FlapReleased { origin });
                 if pending {
-                    self.version += 1;
-                    out.push(ConnAction::TopologyChanged);
+                    self.bump_version(out);
                 }
+            }
+        }
+        // Flush a debounced rebuild once remote LSAs have quiesced for the
+        // hold-down, or once the oldest deferred change has waited 4x the
+        // hold-down (sustained churn must not starve recomputation).
+        if self.pending_topology {
+            let hold = self.config.rebuild_hold_down;
+            if now.saturating_since(self.last_pending) >= hold
+                || now.saturating_since(self.first_pending) >= hold * 4
+            {
+                self.bump_version(out);
             }
         }
     }
@@ -486,8 +523,18 @@ impl ConnectivityMonitor {
             }
         }
         if !deferred {
-            self.version += 1;
-            out.push(ConnAction::TopologyChanged);
+            if self.config.rebuild_hold_down == SimDuration::ZERO {
+                self.bump_version(out);
+            } else {
+                // Debounce: mark pending and let the tick flush once the
+                // flood quiesces. Local changes (originate) and flap
+                // releases still recompute immediately.
+                if !self.pending_topology {
+                    self.pending_topology = true;
+                    self.first_pending = now;
+                }
+                self.last_pending = now;
+            }
         }
     }
 
@@ -508,8 +555,7 @@ impl ConnectivityMonitor {
             msg: Control::Lsa(lsa),
         });
         if changed {
-            self.version += 1;
-            out.push(ConnAction::TopologyChanged);
+            self.bump_version(out);
         }
     }
 
@@ -816,6 +862,120 @@ mod tests {
         assert!(out.iter().any(|a| matches!(a, ConnAction::Flood { .. })));
         assert!(!out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)));
         assert_eq!(mon.version(), v1);
+    }
+
+    fn changed_lsa(origin: usize, seq: u64, latency_ms: f64) -> Lsa {
+        Lsa {
+            origin: NodeId(origin),
+            seq,
+            links: vec![LinkAdvert {
+                edge: EdgeId(1),
+                up: true,
+                latency_ms,
+                loss: 0.0,
+            }],
+        }
+    }
+
+    fn held_monitor(hold_ms: u64) -> ConnectivityMonitor {
+        let config = ConnectivityConfig {
+            rebuild_hold_down: SimDuration::from_millis(hold_ms),
+            ..ConnectivityConfig::default()
+        };
+        ConnectivityMonitor::new(
+            NodeId(0),
+            topo3(),
+            vec![(EdgeId(0), 2, 10.0), (EdgeId(2), 2, 10.0)],
+            config,
+        )
+    }
+
+    #[test]
+    fn hold_down_coalesces_an_lsa_burst_into_one_rebuild() {
+        let mut mon = held_monitor(250);
+        let v0 = mon.version();
+        // A burst of 10 distinct changed LSAs 10ms apart: none recomputes.
+        for i in 0..10 {
+            let mut out = Vec::new();
+            mon.on_lsa(
+                SimTime::from_millis(i * 10),
+                changed_lsa((1 + i % 2) as usize, 1 + i / 2, 5.0 + i as f64),
+                Some(0),
+                &mut out,
+            );
+            assert!(
+                !out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)),
+                "LSA {i} recomputed during hold-down"
+            );
+        }
+        assert_eq!(mon.version(), v0);
+        // A tick inside the quiesce window still holds...
+        let mut out = Vec::new();
+        mon.on_tick(SimTime::from_millis(200), &mut out);
+        assert!(!out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)));
+        // ...and one past it flushes exactly one rebuild.
+        let mut out = Vec::new();
+        mon.on_tick(SimTime::from_millis(400), &mut out);
+        assert_eq!(
+            out.iter()
+                .filter(|a| matches!(a, ConnAction::TopologyChanged))
+                .count(),
+            1
+        );
+        assert_eq!(mon.version(), v0 + 1);
+        // Nothing pending afterwards: the next tick stays quiet.
+        let mut out = Vec::new();
+        mon.on_tick(SimTime::from_millis(500), &mut out);
+        assert!(!out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)));
+    }
+
+    #[test]
+    fn hold_down_flushes_under_sustained_churn() {
+        let mut mon = held_monitor(250);
+        let v0 = mon.version();
+        // Changed LSAs every 100ms forever: quiesce never happens, but the
+        // 4x bound forces a rebuild within 1s of the first deferral.
+        let mut flushed_at = None;
+        for i in 0..15u64 {
+            let now = SimTime::from_millis(i * 100);
+            let mut out = Vec::new();
+            mon.on_lsa(now, changed_lsa(1, i + 1, i as f64), Some(0), &mut out);
+            mon.on_tick(now, &mut out);
+            if out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)) {
+                flushed_at = Some(now);
+                break;
+            }
+        }
+        let at = flushed_at.expect("sustained churn starved the rebuild");
+        assert!(
+            at <= SimTime::from_millis(1000),
+            "forced flush too late: {at:?}"
+        );
+        assert_eq!(mon.version(), v0 + 1);
+    }
+
+    #[test]
+    fn local_origination_absorbs_pending_remote_changes() {
+        let mut mon = held_monitor(250);
+        let v0 = mon.version();
+        let mut out = Vec::new();
+        mon.on_lsa(
+            SimTime::from_millis(10),
+            changed_lsa(1, 1, 5.0),
+            Some(0),
+            &mut out,
+        );
+        assert!(!out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)));
+        // A local link change recomputes immediately and covers the pending
+        // remote change (the rebuild reads the whole LSDB).
+        let mut out = Vec::new();
+        mon.suspend_link(0, &mut out);
+        assert!(out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)));
+        assert_eq!(mon.version(), v0 + 1);
+        // No second, redundant flush later.
+        let mut out = Vec::new();
+        mon.on_tick(SimTime::from_millis(400), &mut out);
+        assert!(!out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)));
     }
 
     #[test]

@@ -73,6 +73,43 @@ awk -v traced="$traced" -v base="$fresh" 'BEGIN {
     printf "tracing overhead guard passed (floor %.0f)\n", floor;
 }'
 
+# Sharded scaling guard: the smoke run re-executes the workload on the
+# parallel engine (mode:"sharded", 4 shards by default) and records its
+# speedup over the in-run sequential figure. On hosts with >= 4 cores the
+# sharded engine must reach at least 1.8x; on smaller hosts the bar cannot
+# be met by construction (the shards time-slice one core), so the guard
+# SKIPS loudly instead of failing. Bit-identity of the sharded replay is
+# asserted inside exp_throughput itself and by the shard_parity suite.
+extract_sharded_field() {
+    grep '"bench":"exp_throughput"' "$1" | grep '"mode":"sharded"' \
+        | sed -n "s/.*\"$2\":\([0-9.eE+-]*\).*/\1/p" | tail -1
+}
+sharded_speedup=$(extract_sharded_field "$SMOKE_OUT" speedup_vs_seq)
+host_par=$(extract_sharded_field "$SMOKE_OUT" host_parallelism)
+if [ -z "$sharded_speedup" ] || [ -z "$host_par" ]; then
+    echo "ERROR: smoke run wrote no sharded-mode exp_throughput row to $SMOKE_OUT" >&2
+    exit 1
+fi
+if ! grep '"bench":"exp_throughput"' BENCH_forwarding.json | grep -q '"mode":"sharded"'; then
+    echo "ERROR: no sharded-mode baseline row in BENCH_forwarding.json" >&2
+    echo "(regenerate: cargo run --release -p son-bench --bin exp_throughput)" >&2
+    exit 1
+fi
+echo "sharded speedup: ${sharded_speedup}x vs sequential (host parallelism $host_par)"
+if [ "$host_par" -ge 4 ]; then
+    awk -v s="$sharded_speedup" 'BEGIN {
+        if (s < 1.8) {
+            printf "ERROR: sharded speedup %.2fx is below the 1.8x-at-4-shards gate\n", s;
+            exit 1;
+        }
+        printf "sharded scaling guard passed (%.2fx >= 1.8x)\n", s;
+    }'
+else
+    echo "SKIP: sharded scaling gate needs >= 4 cores; this host has $host_par." \
+         "The 1.8x-at-4-shards bar is not enforceable here — parity (bit-identical" \
+         "replay) was still checked."
+fi
+
 # Profiler overhead guard: the smoke run re-executes the workload a third
 # time with the wall-clock span profiler on (sampled event trees, see
 # son-obs::perf) and writes a mode:"perf" row; the always-on profiler must
@@ -146,5 +183,39 @@ awk -v fresh="$fresh256" -v base="$base256" 'BEGIN {
     }
     printf "memory regression guard passed (cap %.0f)\n", cap;
 }'
+
+# 3. Rebuild-storm guard: the LSA rebuild hold-down must keep cold-start
+#    route recomputation near O(N), not O(N^2). The committed n=1024 row
+#    must show at most 10,487 reroutes — 100x below the pre-hold-down
+#    baseline of 1,048,727 — and the fresh smoke sweep's n=256 row must
+#    stay within 10 reroutes/node.
+extract_reroutes() {
+    grep '"bench":"exp_scale"' "$1" | grep "\"n\":$2," \
+        | sed -n 's/.*"reroutes":\([0-9]*\).*/\1/p' | tail -1
+}
+storm1024=$(extract_reroutes BENCH_scale.json 1024)
+if [ -z "$storm1024" ]; then
+    echo "ERROR: BENCH_scale.json lacks an n=1024 row with reroutes" >&2
+    exit 1
+fi
+echo "committed n=1024 reroutes: $storm1024 (pre-hold-down baseline 1048727)"
+if [ "$storm1024" -gt 10487 ]; then
+    echo "ERROR: committed n=1024 reroutes $storm1024 exceeds the 10487 cap" \
+         "(100x under the 1048727 cold-start-storm baseline)" >&2
+    exit 1
+fi
+echo "rebuild-storm guard passed (committed: $storm1024 <= 10487)"
+fresh_storm256=$(extract_reroutes "$SCALE_SMOKE_OUT" 256)
+if [ -z "$fresh_storm256" ]; then
+    echo "ERROR: smoke sweep wrote no n=256 reroutes row to $SCALE_SMOKE_OUT" >&2
+    exit 1
+fi
+echo "fresh n=256 reroutes: $fresh_storm256"
+if [ "$fresh_storm256" -gt 2560 ]; then
+    echo "ERROR: fresh n=256 reroutes $fresh_storm256 exceeds 10/node (cap 2560):" \
+         "the rebuild hold-down stopped coalescing the cold-start storm" >&2
+    exit 1
+fi
+echo "fresh rebuild-storm guard passed ($fresh_storm256 <= 2560)"
 
 echo "Bench smoke passed."

@@ -12,6 +12,9 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> shard determinism parity suite (sequential vs --shards {2,4,8})"
+cargo test -q -p son-bench --test shard_parity
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
