@@ -1,0 +1,483 @@
+//! E18 — sim-vs-real parity: the same scenario file, the same node state
+//! machines, run twice — once inside the deterministic simulator, once as a
+//! multi-process UDP loopback cluster of `son-node` daemons — and compared.
+//!
+//! The claim under test is the transport abstraction itself: protocol code
+//! compiled once against `Ctx` must produce the same *protocol outcomes*
+//! whether its driver is the virtual-time event queue or wall-clock timers
+//! over real sockets. Outcomes, not bytes: the UDP leg schedules on a real
+//! OS, so wall-clock jitter is expected and the comparison uses tolerance
+//! bands (documented in `EXPERIMENTS.md` E18):
+//!
+//! * delivery ratio within ±5 pp (±10 pp for the blackout scenario, where
+//!   a reroute-timing difference of a second moves percentage points);
+//! * end-to-end p50 within ±20% + 5 ms;
+//! * zero codec decode errors and zero misattributed frames on the wire.
+//!
+//! Two scenario shapes: **E1** (the Fig. 3 chain, hop-by-hop recovery
+//! under per-link loss) and, in full mode, **E3** (a ring with a mid-run
+//! link blackout; both worlds must reroute rather than wait it out).
+//! `--smoke` runs E1 only over 4 processes in a few wall-seconds — the CI
+//! `udp_loopback_smoke` job. Results append to `BENCH_forwarding.json`
+//! (override with `BENCH_OUT`) as `"mode":"udp"` rows, replacing any
+//! previous `udp_parity` rows.
+
+use std::io::Read as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use son_bench::{banner, f, row, table_header, RX_PORT, TX_PORT};
+use son_netsim::loss::LossConfig;
+use son_netsim::sim::{ScenarioEvent, Simulation};
+use son_netsim::time::SimTime;
+use son_node::{unix_now_ns, Scenario, TopoKind};
+use son_obs::Json;
+use son_overlay::builder::OverlayBuilder;
+use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
+use son_overlay::{Destination, NodeConfig, OverlayAddr, Wire};
+use son_topo::NodeId;
+
+/// One leg's outcome, sim or UDP.
+#[derive(Debug, Clone, Copy)]
+struct Leg {
+    sent: u64,
+    received: u64,
+    p50_ms: f64,
+    p90_ms: f64,
+    max_gap_ms: f64,
+    decode_errors: u64,
+    unknown_pipe: u64,
+}
+
+impl Leg {
+    fn delivery(&self) -> f64 {
+        self.received as f64 / (self.sent as f64).max(1.0)
+    }
+}
+
+fn e1_scenario(smoke: bool) -> Scenario {
+    Scenario {
+        name: if smoke { "udp_e1_smoke" } else { "udp_e1" }.to_owned(),
+        topo: TopoKind::Chain,
+        nodes: if smoke { 4 } else { 8 },
+        hop_ms: if smoke { 5.0 } else { 10.0 },
+        loss: 0.01,
+        spec: "reliable".to_owned(),
+        deadline_ms: None,
+        from: 0,
+        to: if smoke { 3 } else { 7 },
+        count: if smoke { 300 } else { 2000 },
+        size: 200,
+        interval_us: 5_000,
+        start_ms: if smoke { 800 } else { 1_000 },
+        run_for_ms: if smoke { 4_000 } else { 16_000 },
+        seed: 1_000,
+        trace_sample: 8,
+        watch: false,
+        outage: None,
+    }
+}
+
+fn e3_scenario() -> Scenario {
+    Scenario {
+        name: "udp_e3".to_owned(),
+        topo: TopoKind::Ring,
+        nodes: 6,
+        hop_ms: 10.0,
+        loss: 0.0,
+        spec: "best_effort".to_owned(),
+        deadline_ms: None,
+        from: 0,
+        to: 3,
+        count: 2_400,
+        size: 200,
+        interval_us: 5_000,
+        start_ms: 1_000,
+        run_for_ms: 16_000,
+        seed: 2_000,
+        trace_sample: 8,
+        watch: true,
+        outage: Some(son_node::Outage {
+            a: 1,
+            b: 2,
+            from_ms: 4_000,
+            to_ms: 8_000,
+        }),
+    }
+}
+
+/// Runs the scenario inside the deterministic simulator.
+fn run_in_sim(s: &Scenario) -> Leg {
+    let topo = s.topology();
+    let mut sim: Simulation<Wire> = Simulation::new(s.seed);
+    let config = NodeConfig {
+        trace_sample: s.trace_sample,
+        watch: s.watch.then(son_overlay::watch::WatchConfig::default),
+        ..NodeConfig::default()
+    };
+    let loss = if s.loss > 0.0 {
+        LossConfig::Bernoulli { p: s.loss }
+    } else {
+        LossConfig::Perfect
+    };
+    let overlay = OverlayBuilder::new(topo.clone())
+        .node_config(config)
+        .default_loss(loss)
+        .build(&mut sim);
+    let rx = sim.add_process(ClientProcess::new(ClientConfig {
+        daemon: overlay.daemon(NodeId(s.to as usize)),
+        port: RX_PORT,
+        joins: vec![],
+        flows: vec![],
+    }));
+    let tx = sim.add_process(ClientProcess::new(ClientConfig {
+        daemon: overlay.daemon(NodeId(s.from as usize)),
+        port: TX_PORT,
+        joins: vec![],
+        flows: vec![ClientFlow {
+            local_flow: 1,
+            dst: Destination::Unicast(OverlayAddr::new(NodeId(s.to as usize), RX_PORT)),
+            spec: s.flow_spec().expect("scenario spec is valid"),
+            workload: Workload::Cbr {
+                size: s.size,
+                interval: s.interval(),
+                count: s.count,
+                start: SimTime::from_millis(s.start_ms),
+            },
+        }],
+    }));
+    if let Some(o) = s.outage {
+        let edge = topo
+            .edge_between(NodeId(o.a as usize), NodeId(o.b as usize))
+            .expect("outage edge exists");
+        let down = SimTime::from_millis(o.from_ms);
+        let up = SimTime::from_millis(o.to_ms);
+        for &(ab, ba) in &overlay.edge_pipes[&edge] {
+            sim.schedule(down, ScenarioEvent::DisablePipe(ab));
+            sim.schedule(down, ScenarioEvent::DisablePipe(ba));
+            sim.schedule(up, ScenarioEvent::EnablePipe(ab));
+            sim.schedule(up, ScenarioEvent::EnablePipe(ba));
+        }
+    }
+    sim.run_until(SimTime::from_millis(s.run_for_ms));
+
+    let sent = sim.proc_ref::<ClientProcess>(tx).expect("sender").sent(1);
+    let recv = sim
+        .proc_ref::<ClientProcess>(rx)
+        .expect("receiver")
+        .sole_recv();
+    let mut lat = recv.latency_ms.clone();
+    Leg {
+        sent,
+        received: recv.received,
+        p50_ms: lat.quantile(0.5).unwrap_or(0.0),
+        p90_ms: lat.quantile(0.9).unwrap_or(0.0),
+        max_gap_ms: max_gap_ms(&recv.arrivals),
+        decode_errors: 0,
+        unknown_pipe: 0,
+    }
+}
+
+fn max_gap_ms(arrivals: &[(SimTime, u64)]) -> f64 {
+    arrivals
+        .windows(2)
+        .map(|w| (w[1].0 - w[0].0).as_millis_f64())
+        .fold(0.0_f64, f64::max)
+}
+
+/// Locates the `son-node` binary next to this experiment binary.
+fn son_node_bin() -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = me.parent().ok_or("current_exe has no parent")?;
+    let bin = dir.join("son-node");
+    if bin.exists() {
+        Ok(bin)
+    } else {
+        Err(format!(
+            "{} not found — build it first (cargo build -p son-node)",
+            bin.display()
+        ))
+    }
+}
+
+/// Runs the scenario as a multi-process UDP loopback cluster and
+/// aggregates the per-process result files.
+fn run_on_udp(s: &Scenario, base_port: u16, dir: &Path) -> Result<Leg, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    let scenario_path = dir.join(format!("{}.scenario.json", s.name));
+    std::fs::write(&scenario_path, s.to_json())
+        .map_err(|e| format!("write {}: {e}", scenario_path.display()))?;
+    let bin = son_node_bin()?;
+
+    // Every daemon waits for this shared instant before starting its clock;
+    // the lead time covers process spawn and socket binding.
+    let epoch_ns = unix_now_ns() + 800_000_000;
+    let mut children = Vec::new();
+    for i in 0..s.nodes {
+        let out = dir.join(format!("{}.result.{i}.json", s.name));
+        let child = std::process::Command::new(&bin)
+            .arg("--scenario")
+            .arg(&scenario_path)
+            .arg("--node")
+            .arg(i.to_string())
+            .arg("--epoch")
+            .arg(epoch_ns.to_string())
+            .arg("--base-port")
+            .arg(base_port.to_string())
+            .arg("--out")
+            .arg(&out)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn {}: {e}", bin.display()))?;
+        children.push((i, child, out));
+    }
+
+    // Grace = epoch lead + scenario horizon + generous slack for a loaded
+    // host; a daemon past that is hung and gets killed.
+    let deadline = Instant::now() + Duration::from_millis(800 + s.run_for_ms + 15_000);
+    let mut failures = Vec::new();
+    for (i, child, _) in &mut children {
+        loop {
+            match child.try_wait() {
+                Ok(Some(status)) if status.success() => break,
+                Ok(Some(status)) => {
+                    let mut err = String::new();
+                    if let Some(mut e) = child.stderr.take() {
+                        let _ = e.read_to_string(&mut err);
+                    }
+                    failures.push(format!("node {i} exited {status}: {}", err.trim()));
+                    break;
+                }
+                Ok(None) if Instant::now() > deadline => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    failures.push(format!("node {i} hung past the deadline; killed"));
+                    break;
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(50)),
+                Err(e) => {
+                    failures.push(format!("node {i} wait: {e}"));
+                    break;
+                }
+            }
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+
+    let mut leg = Leg {
+        sent: 0,
+        received: 0,
+        p50_ms: 0.0,
+        p90_ms: 0.0,
+        max_gap_ms: 0.0,
+        decode_errors: 0,
+        unknown_pipe: 0,
+    };
+    for (i, _, out) in &children {
+        let text = std::fs::read_to_string(out)
+            .map_err(|e| format!("node {i} wrote no result ({}: {e})", out.display()))?;
+        let first = text
+            .lines()
+            .next()
+            .ok_or_else(|| format!("node {i}: empty result"))?;
+        let summary = Json::parse(first).map_err(|e| format!("node {i} summary: {e}"))?;
+        let get_u64 = |key: &str| summary.get(key).and_then(Json::as_u64).unwrap_or(0);
+        let get_f64 = |key: &str| summary.get(key).and_then(Json::as_f64);
+        leg.sent += get_u64("sent");
+        leg.received += get_u64("received");
+        leg.decode_errors += get_u64("decode_errors");
+        leg.unknown_pipe += get_u64("unknown_pipe");
+        if let Some(p) = get_f64("p50_ms") {
+            leg.p50_ms = p;
+        }
+        if let Some(p) = get_f64("p90_ms") {
+            leg.p90_ms = p;
+        }
+        if let Some(g) = get_f64("max_gap_ms") {
+            leg.max_gap_ms = g;
+        }
+    }
+    Ok(leg)
+}
+
+/// Appends fresh `udp_parity` rows to the bench file, dropping any rows a
+/// previous run wrote (the other benches' rows are preserved verbatim).
+fn update_bench(path: &str, rows: &[Json]) -> std::io::Result<()> {
+    let mut kept = String::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            if !line.contains("\"bench\":\"udp_parity\"") && !line.trim().is_empty() {
+                kept.push_str(line);
+                kept.push('\n');
+            }
+        }
+    }
+    for r in rows {
+        kept.push_str(&r.to_json());
+        kept.push('\n');
+    }
+    std::fs::write(path, kept)
+}
+
+struct Comparison {
+    scenario: Scenario,
+    sim: Leg,
+    udp: Leg,
+    delivery_band: f64,
+}
+
+fn compare(s: Scenario, delivery_band: f64, base_port: u16, dir: &Path) -> Comparison {
+    println!("\nscenario {}: {} nodes, spec {}", s.name, s.nodes, s.spec);
+    let sim = run_in_sim(&s);
+    let udp = match run_on_udp(&s, base_port, dir) {
+        Ok(leg) => leg,
+        Err(e) => panic!("UDP cluster failed for {}: {e}", s.name),
+    };
+    table_header(&[
+        ("leg", 5),
+        ("sent", 7),
+        ("recv", 7),
+        ("delivery", 9),
+        ("p50 ms", 8),
+        ("p90 ms", 8),
+        ("max gap ms", 11),
+    ]);
+    for (name, l) in [("sim", &sim), ("udp", &udp)] {
+        row(&[
+            (name.to_string(), 5),
+            (l.sent.to_string(), 7),
+            (l.received.to_string(), 7),
+            (f(l.delivery() * 100.0, 1) + "%", 9),
+            (f(l.p50_ms, 2), 8),
+            (f(l.p90_ms, 2), 8),
+            (f(l.max_gap_ms, 1), 11),
+        ]);
+    }
+    Comparison {
+        scenario: s,
+        sim,
+        udp,
+        delivery_band,
+    }
+}
+
+impl Comparison {
+    /// The E18 parity assertions; panics name the violated band.
+    fn check(&self) {
+        let name = &self.scenario.name;
+        assert_eq!(
+            self.udp.decode_errors, 0,
+            "{name}: the cluster saw undecodable frames"
+        );
+        assert_eq!(
+            self.udp.unknown_pipe, 0,
+            "{name}: frames arrived from unregistered (peer, provider) pairs"
+        );
+        assert_eq!(
+            self.udp.sent, self.scenario.count,
+            "{name}: the UDP sender did not finish its workload"
+        );
+        let dd = (self.udp.delivery() - self.sim.delivery()).abs();
+        assert!(
+            dd <= self.delivery_band,
+            "{name}: delivery ratio diverged: sim {:.3} vs udp {:.3} (band ±{:.0} pp)",
+            self.sim.delivery(),
+            self.udp.delivery(),
+            self.delivery_band * 100.0
+        );
+        let p50_band = (self.sim.p50_ms * 0.20).max(0.0) + 5.0;
+        assert!(
+            (self.udp.p50_ms - self.sim.p50_ms).abs() <= p50_band,
+            "{name}: p50 diverged: sim {:.2} ms vs udp {:.2} ms (band ±{:.2} ms)",
+            self.sim.p50_ms,
+            self.udp.p50_ms,
+            p50_band
+        );
+        if let Some(o) = self.scenario.outage {
+            let blackout_ms = (o.to_ms - o.from_ms) as f64;
+            assert!(
+                self.sim.max_gap_ms < blackout_ms && self.udp.max_gap_ms < blackout_ms,
+                "{name}: a leg waited out the blackout instead of rerouting \
+                 (sim gap {:.0} ms, udp gap {:.0} ms, blackout {blackout_ms:.0} ms)",
+                self.sim.max_gap_ms,
+                self.udp.max_gap_ms
+            );
+        }
+        println!(
+            "parity ok: delivery Δ {:.1} pp (band {:.0}), p50 Δ {:.2} ms (band {:.2})",
+            dd * 100.0,
+            self.delivery_band * 100.0,
+            (self.udp.p50_ms - self.sim.p50_ms).abs(),
+            p50_band
+        );
+    }
+
+    fn bench_row(&self, smoke: bool) -> Json {
+        Json::obj(vec![
+            ("bench", Json::str("udp_parity")),
+            ("mode", Json::str("udp")),
+            ("scenario", Json::str(&self.scenario.name)),
+            ("smoke", Json::Bool(smoke)),
+            ("nodes", Json::U64(self.scenario.nodes as u64)),
+            ("count", Json::U64(self.scenario.count)),
+            ("sim_delivery", Json::F64(self.sim.delivery())),
+            ("udp_delivery", Json::F64(self.udp.delivery())),
+            ("sim_p50_ms", Json::F64(self.sim.p50_ms)),
+            ("udp_p50_ms", Json::F64(self.udp.p50_ms)),
+            ("sim_p90_ms", Json::F64(self.sim.p90_ms)),
+            ("udp_p90_ms", Json::F64(self.udp.p90_ms)),
+            ("sim_max_gap_ms", Json::F64(self.sim.max_gap_ms)),
+            ("udp_max_gap_ms", Json::F64(self.udp.max_gap_ms)),
+            (
+                "delivery_delta",
+                Json::F64(self.udp.delivery() - self.sim.delivery()),
+            ),
+            ("udp_decode_errors", Json::U64(self.udp.decode_errors)),
+        ])
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let base_port: u16 = args
+        .iter()
+        .position(|a| a == "--base-port")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(47_600);
+    banner(
+        "E18 (sim-vs-real parity)",
+        "one scenario file, one protocol implementation, two drivers: \
+         virtual-time pipes and wall-clock UDP must agree on outcomes",
+    );
+    let dir = PathBuf::from(
+        std::env::var("UDP_PARITY_DIR").unwrap_or_else(|_| "target/obs/udp_parity".to_owned()),
+    );
+
+    let mut comparisons = vec![compare(e1_scenario(smoke), 0.05, base_port, &dir)];
+    if !smoke {
+        comparisons.push(compare(e3_scenario(), 0.10, base_port + 100, &dir));
+    }
+    for c in &comparisons {
+        c.check();
+    }
+
+    let bench_path =
+        std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_forwarding.json".to_owned());
+    let rows: Vec<Json> = comparisons.iter().map(|c| c.bench_row(smoke)).collect();
+    match update_bench(&bench_path, &rows) {
+        Ok(()) => println!(
+            "\nbench: wrote {} udp_parity rows to {bench_path}",
+            rows.len()
+        ),
+        Err(e) => eprintln!("bench: cannot update {bench_path}: {e}"),
+    }
+    println!(
+        "cluster artifacts (per-process results, trace exports): {}",
+        dir.display()
+    );
+}

@@ -49,6 +49,22 @@ use crate::time::SimTime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(u64);
 
+impl EventId {
+    /// Reconstructs an id from its raw bits. An id is only meaningful to
+    /// the queue (or driver) that minted it; drivers outside the simulator
+    /// mint their own id space with this.
+    #[must_use]
+    pub fn from_raw(raw: u64) -> EventId {
+        EventId(raw)
+    }
+
+    /// The raw bits of this id.
+    #[must_use]
+    pub fn as_raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// Number of low bits of an [`EventId`] that hold the per-generation
 /// counter; the id generation occupies the bits above.
 const ID_GENERATION_SHIFT: u32 = 40;

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod driver;
 pub mod event;
 pub mod link;
 pub mod loss;
@@ -52,6 +53,7 @@ pub mod underlay;
 
 /// One-stop imports for simulation authors.
 pub mod prelude {
+    pub use crate::driver::{Driver, Transport};
     pub use crate::link::{DropReason, PipeBinding, PipeConfig, PipeId};
     pub use crate::loss::LossConfig;
     pub use crate::process::{MessageKind, Process, ProcessId, SimMessage, TimerId};

@@ -22,6 +22,22 @@ impl std::fmt::Display for ProcessId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerId(pub(crate) crate::event::EventId);
 
+impl TimerId {
+    /// Reconstructs a timer handle from raw bits. Only meaningful to the
+    /// driver that minted it; non-sim drivers use this to mint handles in
+    /// their own id space.
+    #[must_use]
+    pub fn from_raw(raw: u64) -> TimerId {
+        TimerId(crate::event::EventId::from_raw(raw))
+    }
+
+    /// The raw bits of this handle.
+    #[must_use]
+    pub fn as_raw(self) -> u64 {
+        self.0.as_raw()
+    }
+}
+
 /// Classification of a message for observability attribution.
 ///
 /// The simulator tallies dropped *data* packets separately from control

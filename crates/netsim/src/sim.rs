@@ -129,9 +129,15 @@ pub struct Simulation<M: SimMessage> {
     shard_generation: u64,
 }
 
-/// The handler-side view of the simulation, passed to every [`Process`] hook.
+/// The handler-side view of the world, passed to every [`Process`] hook.
+///
+/// A `Ctx` is a thin view over a [`Driver`](crate::driver::Driver) with the
+/// acting process id curried in. Inside the simulator the driver is the
+/// [`SimCore`]; a real daemon constructs the same `Ctx` over its wall-clock
+/// driver via [`Ctx::from_driver`], so process state machines never know
+/// which world they run in.
 pub struct Ctx<'a, M: SimMessage> {
-    core: &'a mut SimCore<M>,
+    driver: &'a mut dyn crate::driver::Driver<M>,
     pid: ProcessId,
 }
 
@@ -159,7 +165,7 @@ impl<'a, M: SimMessage> std::fmt::Debug for Ctx<'a, M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Ctx")
             .field("pid", &self.pid)
-            .field("now", &self.core.now)
+            .field("now", &self.driver.now())
             .finish()
     }
 }
@@ -776,7 +782,7 @@ fn dispatch_inner<M: SimMessage>(
                 return;
             }
             if let Some(mut p) = procs[to.0].take() {
-                let mut ctx = Ctx { core, pid: to };
+                let mut ctx = Ctx::from_driver(core, to);
                 p.on_message(&mut ctx, from, pipe, msg);
                 procs[to.0] = Some(p);
             }
@@ -786,7 +792,7 @@ fn dispatch_inner<M: SimMessage>(
                 return;
             }
             if let Some(mut p) = procs[proc.0].take() {
-                let mut ctx = Ctx { core, pid: proc };
+                let mut ctx = Ctx::from_driver(core, proc);
                 p.on_timer(&mut ctx, token);
                 procs[proc.0] = Some(p);
             }
@@ -801,7 +807,7 @@ pub(crate) fn dispatch_start_on<M: SimMessage>(
     pid: ProcessId,
 ) {
     if let Some(mut p) = procs[pid.0].take() {
-        let mut ctx = Ctx { core, pid };
+        let mut ctx = Ctx::from_driver(core, pid);
         p.on_start(&mut ctx);
         procs[pid.0] = Some(p);
     }
@@ -945,47 +951,24 @@ impl<M: SimMessage> SimCore<M> {
         let key = self.next_key();
         self.queue.schedule_keyed(at, key, event)
     }
-}
 
-impl<'a, M: SimMessage> Ctx<'a, M> {
-    /// The current virtual time.
-    #[must_use]
-    pub fn now(&self) -> SimTime {
-        self.core.now
-    }
-
-    /// The id of the process this context belongs to.
-    #[must_use]
-    pub fn pid(&self) -> ProcessId {
-        self.pid
-    }
-
-    /// This process's deterministic RNG stream.
-    pub fn rng(&mut self) -> &mut SimRng {
-        &mut self.core.proc_rngs[self.pid.0]
-    }
-
-    /// Sends `msg` over `pipe`. Loss, queueing, and blackholes are modelled
-    /// by the pipe; drops are tallied in the global counters.
+    /// Sends `msg` from `pid` over `pipe` — the sim-driver send path: loss,
+    /// queueing, and blackholes are modelled by the pipe; drops are tallied
+    /// in the global counters.
     ///
     /// # Panics
     ///
-    /// Panics if `pipe` does not originate at this process.
-    pub fn send(&mut self, pipe: PipeId, msg: M) {
+    /// Panics if `pipe` does not originate at `pid`.
+    pub(crate) fn send_on_pipe(&mut self, pid: ProcessId, pipe: PipeId, msg: M) {
         let size = msg.wire_size();
-        let now = self.core.now;
-        let p = self.core.pipes[pipe.0]
+        let now = self.now;
+        let p = self.pipes[pipe.0]
             .as_mut()
             .expect("pipe checked out to another shard");
-        assert_eq!(
-            p.src(),
-            self.pid,
-            "process {} does not own pipe {pipe:?}",
-            self.pid
-        );
+        assert_eq!(p.src(), pid, "process {pid} does not own pipe {pipe:?}");
         let dst = p.dst();
-        let outcome = p.transmit(now, size, &mut self.core.underlay);
-        if let Some(tracer) = &mut self.core.tracer {
+        let outcome = p.transmit(now, size, &mut self.underlay);
+        if let Some(tracer) = &mut self.tracer {
             let traced = match outcome {
                 Transmit::Arrives(at) => TraceOutcome::Delivered { arrival: at },
                 Transmit::Dropped(reason) => TraceOutcome::Dropped(reason.class()),
@@ -993,7 +976,7 @@ impl<'a, M: SimMessage> Ctx<'a, M> {
             tracer.record(
                 now,
                 TraceKind::PipeSend {
-                    from: self.pid,
+                    from: pid,
                     to: dst,
                     pipe,
                     bytes: size,
@@ -1004,116 +987,153 @@ impl<'a, M: SimMessage> Ctx<'a, M> {
         let is_data = matches!(msg.kind(), MessageKind::Data { .. });
         match outcome {
             Transmit::Arrives(at) => {
-                self.core.counters.incr("pipe.delivered");
-                self.core.counters.add("pipe.bytes", size as u64);
+                self.counters.incr("pipe.delivered");
+                self.counters.add("pipe.bytes", size as u64);
                 if is_data {
-                    self.core.counters.incr("data.pipe.delivered");
+                    self.counters.incr("data.pipe.delivered");
                 }
-                self.core.schedule_deliver(
-                    self.pid,
+                self.schedule_deliver(
+                    pid,
                     at,
                     Event::Deliver {
                         to: dst,
-                        from: self.pid,
+                        from: pid,
                         pipe: Some(pipe),
                         msg,
                     },
                 );
             }
             Transmit::Dropped(reason) => {
-                self.core.counters.incr(reason.label());
+                self.counters.incr(reason.label());
                 if is_data {
                     // Attribute data-plane drops separately so conservation
                     // (sent = delivered + attributed drops) is checkable
                     // without control traffic muddying the ledger.
-                    self.core.counters.incr(&format!("data.{}", reason.label()));
+                    self.counters.incr(&format!("data.{}", reason.label()));
                 }
             }
         }
+    }
+
+    /// Sends `msg` from `pid` directly to `to` with a fixed `delay`,
+    /// bypassing any pipe (local IPC between a client and its colocated
+    /// daemon, or measurement harness taps).
+    pub(crate) fn send_direct_from(
+        &mut self,
+        pid: ProcessId,
+        to: ProcessId,
+        delay: SimDuration,
+        msg: M,
+    ) {
+        let at = self.now + delay;
+        if let Some(tracer) = &mut self.tracer {
+            tracer.record(
+                self.now,
+                TraceKind::DirectSend {
+                    from: pid,
+                    to,
+                    bytes: msg.wire_size(),
+                },
+            );
+        }
+        self.schedule_deliver(
+            pid,
+            at,
+            Event::Deliver {
+                to,
+                from: pid,
+                pipe: None,
+                msg,
+            },
+        );
+    }
+}
+
+impl<'a, M: SimMessage> Ctx<'a, M> {
+    /// Builds a context for `pid` over any [`Driver`](crate::driver::Driver)
+    /// — the simulator's core or a wall-clock daemon driver.
+    pub fn from_driver(driver: &'a mut dyn crate::driver::Driver<M>, pid: ProcessId) -> Self {
+        Ctx { driver, pid }
+    }
+
+    /// The current time on the driver's clock (virtual time in the sim,
+    /// epoch-anchored wall time in a real daemon).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.driver.now()
+    }
+
+    /// The id of the process this context belongs to.
+    #[must_use]
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// This process's deterministic RNG stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.driver.rng(self.pid)
+    }
+
+    /// Sends `msg` over `pipe`. In the sim, loss, queueing, and blackholes
+    /// are modelled by the pipe and drops are tallied in the global
+    /// counters; on a real transport the frame is encoded onto the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pipe` does not originate at this process.
+    pub fn send(&mut self, pipe: PipeId, msg: M) {
+        self.driver.send(self.pid, pipe, msg);
     }
 
     /// Sends `msg` directly to another process with a fixed `delay`,
     /// bypassing any pipe (local IPC between a client and its colocated
     /// daemon, or measurement harness taps).
     pub fn send_direct(&mut self, to: ProcessId, delay: SimDuration, msg: M) {
-        let at = self.core.now + delay;
-        if let Some(tracer) = &mut self.core.tracer {
-            tracer.record(
-                self.core.now,
-                TraceKind::DirectSend {
-                    from: self.pid,
-                    to,
-                    bytes: msg.wire_size(),
-                },
-            );
-        }
-        self.core.schedule_deliver(
-            self.pid,
-            at,
-            Event::Deliver {
-                to,
-                from: self.pid,
-                pipe: None,
-                msg,
-            },
-        );
+        self.driver.send_direct(self.pid, to, delay, msg);
     }
 
     /// Sets a timer firing after `delay`, delivering `token` to `on_timer`.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
-        let at = self.core.now + delay;
-        TimerId(self.core.schedule_timer(self.pid, at, token))
+        self.driver.set_timer(self.pid, delay, token)
     }
 
     /// Cancels a pending timer; returns `false` if it already fired.
     pub fn cancel_timer(&mut self, timer: TimerId) -> bool {
-        self.core.queue.cancel(timer.0)
+        self.driver.cancel_timer(self.pid, timer)
     }
 
     /// The reverse direction of a pipe pair created by
     /// [`Simulation::connect`], if registered.
     #[must_use]
     pub fn reverse_pipe(&self, pipe: PipeId) -> Option<PipeId> {
-        self.core.reverse.get(pipe.0).copied().flatten()
+        self.driver.reverse_pipe(pipe)
     }
 
     /// The far endpoint of a pipe.
     #[must_use]
     pub fn pipe_dst(&self, pipe: PipeId) -> ProcessId {
-        self.core.pipes[pipe.0]
-            .as_ref()
-            .expect("pipe checked out to another shard")
-            .dst()
+        self.driver.pipe_dst(pipe)
     }
 
     /// Re-binds a pipe to a different ISP attachment (the overlay's
     /// provider-switching capability).
     pub fn rebind_pipe(&mut self, pipe: PipeId, attachment: crate::underlay::Attachment) {
-        self.core.pipes[pipe.0]
-            .as_mut()
-            .expect("pipe checked out to another shard")
-            .rebind(attachment);
+        self.driver.rebind_pipe(pipe, attachment);
     }
 
     /// The underlay edges a pipe currently traverses, if bound and routable.
     pub fn pipe_route(&mut self, pipe: PipeId) -> Option<Vec<UEdgeId>> {
-        let now = self.core.now;
-        // Split borrows: take the pipe out conceptually via index.
-        let (pipes, underlay) = (&self.core.pipes, &mut self.core.underlay);
-        pipes[pipe.0]
-            .as_ref()
-            .expect("pipe checked out to another shard")
-            .current_route(now, underlay)
+        self.driver.pipe_route(pipe)
     }
 
     /// Increments a global counter.
     pub fn count(&mut self, name: &str) {
-        self.core.counters.incr(name);
+        self.driver.count(name);
     }
 
     /// Adds to a global counter.
     pub fn count_add(&mut self, name: &str, n: u64) {
-        self.core.counters.add(name, n);
+        self.driver.count_add(name, n);
     }
 }
 

@@ -1,0 +1,805 @@
+//! # son-node — the overlay daemon over real sockets
+//!
+//! The same [`OverlayNode`] state machine that runs inside the deterministic
+//! simulator, driven here by a wall-clock [`RealDriver`] over a real
+//! [`Transport`]: UDP sockets in the `son-node` binary, a deterministic
+//! in-memory virtual network in tests. Protocol code is compiled once and
+//! shared — the node never learns which world it is in, because everything
+//! it can observe arrives through [`son_netsim::sim::Ctx`], and every
+//! frame crosses the [`son_overlay::wire`] codec in both worlds.
+//!
+//! ## What the driver emulates, and what it doesn't
+//!
+//! On loopback UDP the physical network contributes microseconds, so the
+//! scenario's link characteristics — per-link latency, independent loss,
+//! blackout windows — are applied by the *sender's* driver before a frame
+//! reaches the socket, from the same seed the simulator uses. What is NOT
+//! emulated is scheduling: handler execution time, OS jitter, and socket
+//! batching are real. That is the point — the parity experiment
+//! (`exp_udp_parity`) checks that protocol outcomes survive the move from
+//! idealized to real execution, within stated tolerances.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod scenario;
+pub mod transport;
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::io;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use son_netsim::driver::{Driver, Transport};
+use son_netsim::link::PipeId;
+use son_netsim::process::{MessageKind, Process, ProcessId, SimMessage, TimerId};
+use son_netsim::rng::SimRng;
+use son_netsim::sim::Ctx;
+use son_netsim::stats::Counters;
+use son_netsim::time::{SimDuration, SimTime};
+use son_netsim::underlay::{Attachment, UEdgeId};
+use son_obs::{DropClass, Json};
+use son_overlay::auth::KeyRegistry;
+use son_overlay::builder::HOP_PROCESSING;
+use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
+use son_overlay::{Destination, NodeConfig, OverlayAddr, OverlayNode, Wire};
+use son_topo::NodeId;
+
+pub use scenario::{Outage, Scenario, TopoKind};
+pub use transport::{UdpTransport, VnetTransport};
+
+/// Receiver client port — matches the simulator harness (`son-bench`).
+pub const RX_PORT: u16 = 70;
+/// Sender client port — matches the simulator harness (`son-bench`).
+pub const TX_PORT: u16 = 50;
+/// Deployment master secret — matches `OverlayBuilder`'s, so sim and real
+/// daemons derive identical per-node authentication keys.
+pub const MASTER_SECRET: u64 = 0x5eed;
+
+/// The `from` pid handed to handlers for frames that arrived off the wire:
+/// the remote daemon has no local process id.
+const REMOTE_SENDER: ProcessId = ProcessId(usize::MAX);
+
+/// Nanoseconds since the Unix epoch, right now.
+#[must_use]
+pub fn unix_now_ns() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// A min-heap entry for an encoded frame awaiting its emulated link
+/// latency: `(peer index, codec bytes)` due at an absolute instant.
+type WireOutEntry = Reverse<At<(u32, Vec<u8>)>>;
+
+/// A payload scheduled for a future instant; ordered by `(due_ns, seq)` so
+/// heap pops are deterministic for equal deadlines.
+#[derive(Debug)]
+struct At<T> {
+    due_ns: u64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for At<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due_ns, self.seq) == (other.due_ns, other.seq)
+    }
+}
+impl<T> Eq for At<T> {}
+impl<T> PartialOrd for At<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for At<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due_ns, self.seq).cmp(&(other.due_ns, other.seq))
+    }
+}
+
+/// One direction of one emulated overlay link.
+#[derive(Debug, Clone)]
+struct PipeEnd {
+    /// Overlay node id of the far end (= transport peer index).
+    peer: u32,
+    /// Provider index, stamped on every datagram so the receiver can
+    /// attribute it to the right registered in-pipe.
+    provider: u8,
+    /// Whether the local daemon sends on this end.
+    outbound: bool,
+    /// Emulated one-way latency (scenario weight + hop processing).
+    latency: SimDuration,
+    /// Independent per-frame loss probability on sends.
+    loss: f64,
+    /// Blackout window `[from_ns, to_ns)`, if this link is the victim.
+    outage: Option<(u64, u64)>,
+}
+
+/// The wall-clock [`Driver`]: epoch-anchored time, a timer heap against the
+/// system clock, and sends that encode through the wire codec onto a
+/// transport after sender-side link emulation.
+///
+/// Time is frozen for the duration of one handler dispatch (the runtime
+/// refreshes it between dispatches), preserving the simulator's discipline
+/// that a handler observes a single consistent `now`.
+#[derive(Debug)]
+pub struct RealDriver {
+    epoch_ns: u64,
+    now: SimTime,
+    rngs: Vec<SimRng>,
+    link_rng: SimRng,
+    counters: Counters,
+    pipes: Vec<PipeEnd>,
+    timers: BinaryHeap<Reverse<(u64, u64)>>,
+    timer_meta: HashMap<u64, (ProcessId, u64)>,
+    next_timer_id: u64,
+    locals: BinaryHeap<Reverse<At<(ProcessId, ProcessId, Wire)>>>,
+    wire_out: BinaryHeap<WireOutEntry>,
+    next_seq: u64,
+    daemon: ProcessId,
+}
+
+impl RealDriver {
+    fn new(epoch_ns: u64, seed: u64, me: NodeId, n_procs: usize, pipes: Vec<PipeEnd>) -> Self {
+        let root = SimRng::seed(seed).fork_idx("node", me.0 as u64);
+        RealDriver {
+            epoch_ns,
+            now: SimTime::ZERO,
+            rngs: (0..n_procs as u64)
+                .map(|p| root.fork_idx("proc", p))
+                .collect(),
+            link_rng: root.fork("links"),
+            counters: Counters::new(),
+            pipes,
+            timers: BinaryHeap::new(),
+            timer_meta: HashMap::new(),
+            next_timer_id: 0,
+            locals: BinaryHeap::new(),
+            wire_out: BinaryHeap::new(),
+            next_seq: 0,
+            daemon: ProcessId(0),
+        }
+    }
+
+    /// Nanoseconds since the shared epoch (zero before it).
+    fn wall_ns(&self) -> u64 {
+        unix_now_ns().saturating_sub(self.epoch_ns)
+    }
+
+    /// Advances `now` to the wall clock; called between dispatches.
+    fn refresh_now(&mut self) {
+        self.now = SimTime::from_nanos(self.wall_ns());
+    }
+
+    fn drop_frame(&mut self, class: DropClass, is_data: bool) {
+        self.counters.incr(class.label());
+        if is_data {
+            self.counters.incr(&format!("data.{}", class.label()));
+        }
+    }
+
+    fn pop_due_timer(&mut self, now_ns: u64) -> Option<(ProcessId, u64)> {
+        loop {
+            let &Reverse((due, id)) = self.timers.peek()?;
+            if due > now_ns {
+                return None;
+            }
+            self.timers.pop();
+            // A missing entry means the timer was cancelled; drain past it.
+            if let Some(meta) = self.timer_meta.remove(&id) {
+                return Some(meta);
+            }
+        }
+    }
+
+    fn pop_due_local(&mut self, now_ns: u64) -> Option<(ProcessId, ProcessId, Wire)> {
+        if self
+            .locals
+            .peek()
+            .is_some_and(|Reverse(a)| a.due_ns <= now_ns)
+        {
+            return self.locals.pop().map(|Reverse(a)| a.item);
+        }
+        None
+    }
+
+    fn pop_due_wire(&mut self, now_ns: u64) -> Option<(u32, Vec<u8>)> {
+        if self
+            .wire_out
+            .peek()
+            .is_some_and(|Reverse(a)| a.due_ns <= now_ns)
+        {
+            return self.wire_out.pop().map(|Reverse(a)| a.item);
+        }
+        None
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    /// The driver's counter set (deliveries, drops by class, bytes).
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+}
+
+impl Driver<Wire> for RealDriver {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn rng(&mut self, pid: ProcessId) -> &mut SimRng {
+        &mut self.rngs[pid.0]
+    }
+
+    fn send(&mut self, pid: ProcessId, pipe: PipeId, msg: Wire) {
+        debug_assert_eq!(pid, self.daemon, "only the daemon owns link pipes");
+        let end = self.pipes[pipe.0].clone();
+        debug_assert!(end.outbound, "process {pid} sent on an inbound pipe");
+        let size = msg.wire_size();
+        let is_data = matches!(msg.kind(), MessageKind::Data { .. });
+        let now_ns = self.now.as_nanos();
+        if let Some((from, to)) = end.outage {
+            if now_ns >= from && now_ns < to {
+                self.drop_frame(DropClass::Down, is_data);
+                return;
+            }
+        }
+        if end.loss > 0.0 && self.link_rng.chance(end.loss) {
+            self.drop_frame(DropClass::Loss, is_data);
+            return;
+        }
+        let mut frame = Vec::with_capacity(size + 16);
+        frame.push(end.provider);
+        son_overlay::wire::encode_into(&msg, &mut frame)
+            .expect("link frames round-trip the wire codec losslessly");
+        self.counters.incr("pipe.sent");
+        self.counters.add("pipe.bytes", size as u64);
+        if is_data {
+            self.counters.incr("data.pipe.sent");
+        }
+        let due_ns = now_ns + end.latency.as_nanos();
+        let seq = self.next_seq();
+        self.wire_out.push(Reverse(At {
+            due_ns,
+            seq,
+            item: (end.peer, frame),
+        }));
+    }
+
+    fn send_direct(&mut self, pid: ProcessId, to: ProcessId, delay: SimDuration, msg: Wire) {
+        let due_ns = self.now.as_nanos() + delay.as_nanos();
+        let seq = self.next_seq();
+        self.locals.push(Reverse(At {
+            due_ns,
+            seq,
+            item: (pid, to, msg),
+        }));
+    }
+
+    fn set_timer(&mut self, pid: ProcessId, delay: SimDuration, token: u64) -> TimerId {
+        let id = self.next_timer_id;
+        self.next_timer_id += 1;
+        self.timer_meta.insert(id, (pid, token));
+        self.timers
+            .push(Reverse((self.now.as_nanos() + delay.as_nanos(), id)));
+        TimerId::from_raw(id)
+    }
+
+    fn cancel_timer(&mut self, _pid: ProcessId, timer: TimerId) -> bool {
+        self.timer_meta.remove(&timer.as_raw()).is_some()
+    }
+
+    fn reverse_pipe(&self, pipe: PipeId) -> Option<PipeId> {
+        // Pipe ends come in (out, in) pairs at 2k / 2k+1.
+        (pipe.0 < self.pipes.len()).then_some(PipeId(pipe.0 ^ 1))
+    }
+
+    fn pipe_dst(&self, pipe: PipeId) -> ProcessId {
+        // The far end of a real link is a remote daemon; no local pid
+        // exists for it. (No overlay code path consults this on pipes.)
+        let _ = pipe;
+        REMOTE_SENDER
+    }
+
+    fn rebind_pipe(&mut self, _pipe: PipeId, _attachment: Attachment) {
+        // No modelled underlay to rebind against.
+    }
+
+    fn pipe_route(&mut self, _pipe: PipeId) -> Option<Vec<UEdgeId>> {
+        None
+    }
+
+    fn count(&mut self, name: &str) {
+        self.counters.incr(name);
+    }
+
+    fn count_add(&mut self, name: &str, n: u64) {
+        self.counters.add(name, n);
+    }
+}
+
+/// One daemon plus its colocated clients, wired per a [`Scenario`], running
+/// over any [`Transport`]. This is the whole `son-node` process in library
+/// form — the binary adds only argument parsing and a UDP socket.
+pub struct NodeRuntime<T: Transport> {
+    driver: RealDriver,
+    transport: T,
+    procs: Vec<Option<Box<dyn Process<Wire>>>>,
+    in_pipes: HashMap<(u32, u8), PipeId>,
+    me: NodeId,
+    scenario: Scenario,
+    /// Datagrams that failed to decode (noise, truncation, version skew).
+    pub decode_errors: u64,
+    /// Well-formed frames from a `(peer, provider)` with no registered
+    /// in-pipe.
+    pub unknown_pipe: u64,
+}
+
+impl<T: Transport + std::fmt::Debug> std::fmt::Debug for NodeRuntime<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeRuntime")
+            .field("me", &self.me)
+            .field("scenario", &self.scenario.name)
+            .field("transport", &self.transport)
+            .field("procs", &self.procs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Transport> NodeRuntime<T> {
+    /// Builds the local slice of the scenario's overlay: the daemon, its
+    /// emulated link ends toward each topology neighbor, and the sender /
+    /// receiver client if this node hosts one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's flow spec is invalid (callers parse the
+    /// scenario first, which validates it).
+    #[must_use]
+    pub fn new(scenario: Scenario, me: NodeId, transport: T, epoch_ns: u64) -> NodeRuntime<T> {
+        let topo = scenario.topology();
+        let keys = KeyRegistry::new(scenario.nodes, MASTER_SECRET);
+        let mut config = NodeConfig::default();
+        if me.0 == scenario.from as usize {
+            config.trace_sample = scenario.trace_sample;
+        }
+        if scenario.watch {
+            config.watch = Some(son_overlay::watch::WatchConfig::default());
+        }
+        let mut node = OverlayNode::new(me, topo.clone(), keys, config);
+
+        // Mirror the builder's phase-3 wiring: neighbors in topology order,
+        // one provider pipe pair per edge, out at 2k and in at 2k+1.
+        let mut pipes = Vec::new();
+        let mut links = Vec::new();
+        let mut in_regs = Vec::new();
+        let mut in_pipes = HashMap::new();
+        for (neighbor, e) in topo.neighbors(me) {
+            let weight = topo.weight(e);
+            let latency = SimDuration::from_millis_f64(weight) + HOP_PROCESSING;
+            let victim = scenario.outage.filter(|o| {
+                let (a, b) = (me.0 as u32, neighbor.0 as u32);
+                (o.a, o.b) == (a, b) || (o.a, o.b) == (b, a)
+            });
+            let out_pipe = PipeId(pipes.len());
+            pipes.push(PipeEnd {
+                peer: neighbor.0 as u32,
+                provider: 0,
+                outbound: true,
+                latency,
+                loss: scenario.loss,
+                outage: victim.map(|o| (o.from_ms * 1_000_000, o.to_ms * 1_000_000)),
+            });
+            let in_pipe = PipeId(pipes.len());
+            pipes.push(PipeEnd {
+                peer: neighbor.0 as u32,
+                provider: 0,
+                outbound: false,
+                latency,
+                loss: 0.0,
+                outage: None,
+            });
+            in_regs.push((in_pipe, links.len(), 0));
+            in_pipes.insert((neighbor.0 as u32, 0u8), in_pipe);
+            links.push((e, neighbor, vec![out_pipe], weight));
+        }
+        node.wire_links(links);
+        for (pipe, link, prov) in in_regs {
+            node.register_in_pipe(pipe, link, prov);
+        }
+
+        let mut procs: Vec<Option<Box<dyn Process<Wire>>>> = vec![Some(Box::new(node))];
+        if me.0 == scenario.to as usize {
+            procs.push(Some(Box::new(ClientProcess::new(ClientConfig {
+                daemon: ProcessId(0),
+                port: RX_PORT,
+                joins: vec![],
+                flows: vec![],
+            }))));
+        }
+        if me.0 == scenario.from as usize {
+            procs.push(Some(Box::new(ClientProcess::new(ClientConfig {
+                daemon: ProcessId(0),
+                port: TX_PORT,
+                joins: vec![],
+                flows: vec![ClientFlow {
+                    local_flow: 1,
+                    dst: Destination::Unicast(OverlayAddr::new(
+                        NodeId(scenario.to as usize),
+                        RX_PORT,
+                    )),
+                    spec: scenario.flow_spec().expect("scenario validated at parse"),
+                    workload: Workload::Cbr {
+                        size: scenario.size,
+                        interval: scenario.interval(),
+                        count: scenario.count,
+                        start: SimTime::from_millis(scenario.start_ms),
+                    },
+                }],
+            }))));
+        }
+
+        let driver = RealDriver::new(epoch_ns, scenario.seed, me, procs.len(), pipes);
+        NodeRuntime {
+            driver,
+            transport,
+            procs,
+            in_pipes,
+            me,
+            scenario,
+            decode_errors: 0,
+            unknown_pipe: 0,
+        }
+    }
+
+    fn dispatch_start(&mut self, pid: ProcessId) {
+        let mut p = self.procs[pid.0].take().expect("process checked in");
+        let mut ctx = Ctx::from_driver(&mut self.driver, pid);
+        p.on_start(&mut ctx);
+        self.procs[pid.0] = Some(p);
+    }
+
+    fn dispatch_timer(&mut self, pid: ProcessId, token: u64) {
+        let mut p = self.procs[pid.0].take().expect("process checked in");
+        let mut ctx = Ctx::from_driver(&mut self.driver, pid);
+        p.on_timer(&mut ctx, token);
+        self.procs[pid.0] = Some(p);
+    }
+
+    fn dispatch_message(
+        &mut self,
+        to: ProcessId,
+        from: ProcessId,
+        pipe: Option<PipeId>,
+        msg: Wire,
+    ) {
+        let Some(slot) = self.procs.get_mut(to.0) else {
+            return;
+        };
+        let Some(mut p) = slot.take() else { return };
+        let mut ctx = Ctx::from_driver(&mut self.driver, to);
+        p.on_message(&mut ctx, from, pipe, msg);
+        self.procs[to.0] = Some(p);
+    }
+
+    fn deliver_datagram(&mut self, peer: usize, dgram: &[u8]) {
+        let Some((&provider, frame)) = dgram.split_first() else {
+            self.decode_errors += 1;
+            return;
+        };
+        let wire = match son_overlay::wire::decode(frame) {
+            Ok(w) => w,
+            Err(_) => {
+                self.decode_errors += 1;
+                self.driver.counters.incr("wire.decode_error");
+                return;
+            }
+        };
+        let peer32 = u32::try_from(peer).unwrap_or(u32::MAX);
+        let Some(&pipe) = self.in_pipes.get(&(peer32, provider)) else {
+            self.unknown_pipe += 1;
+            return;
+        };
+        self.driver.counters.incr("pipe.delivered");
+        if matches!(wire.kind(), MessageKind::Data { .. }) {
+            self.driver.counters.incr("data.pipe.delivered");
+        }
+        self.dispatch_message(ProcessId(0), REMOTE_SENDER, Some(pipe), wire);
+    }
+
+    /// Runs the daemon: waits for the shared epoch, starts every process,
+    /// then polls transport / timers / local IPC / due out-frames until the
+    /// scenario's horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first fatal transport error (a closed socket); emulated
+    /// loss and remote noise are not errors.
+    pub fn run(&mut self) -> io::Result<()> {
+        while unix_now_ns() < self.driver.epoch_ns {
+            let left = self.driver.epoch_ns - unix_now_ns();
+            std::thread::sleep(Duration::from_nanos(left.min(1_000_000)));
+        }
+        self.driver.refresh_now();
+        for pid in 0..self.procs.len() {
+            self.dispatch_start(ProcessId(pid));
+        }
+        let deadline_ns = self.scenario.run_for_ms * 1_000_000;
+        loop {
+            self.driver.refresh_now();
+            let now_ns = self.driver.now.as_nanos();
+            if now_ns >= deadline_ns {
+                return Ok(());
+            }
+            let mut idle = true;
+            for _ in 0..64 {
+                match self.transport.recv_from()? {
+                    Some((peer, dgram)) => {
+                        idle = false;
+                        self.deliver_datagram(peer, &dgram);
+                    }
+                    None => break,
+                }
+            }
+            while let Some((pid, token)) = self.driver.pop_due_timer(now_ns) {
+                idle = false;
+                self.dispatch_timer(pid, token);
+            }
+            while let Some((from, to, msg)) = self.driver.pop_due_local(now_ns) {
+                idle = false;
+                self.dispatch_message(to, from, None, msg);
+            }
+            while let Some((peer, frame)) = self.driver.pop_due_wire(now_ns) {
+                idle = false;
+                self.transport.send_to(peer as usize, &frame)?;
+            }
+            if idle {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+
+    /// The daemon's node state machine (for post-run harvesting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called mid-dispatch (the daemon is always checked in
+    /// between [`run`](Self::run) and harvesting).
+    #[must_use]
+    pub fn node(&self) -> &OverlayNode {
+        let p = self.procs[0].as_ref().expect("daemon checked in");
+        (p.as_ref() as &dyn Any)
+            .downcast_ref::<OverlayNode>()
+            .expect("pid 0 is the daemon")
+    }
+
+    /// The colocated clients (sender and/or receiver), if any.
+    #[must_use]
+    pub fn clients(&self) -> Vec<&ClientProcess> {
+        self.procs[1..]
+            .iter()
+            .filter_map(|s| s.as_ref())
+            .filter_map(|p| (p.as_ref() as &dyn Any).downcast_ref::<ClientProcess>())
+            .collect()
+    }
+
+    /// The driver's counters.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        self.driver.counters()
+    }
+
+    /// This node's summary as one JSONL row (`kind:"udp-node"`): client
+    /// outcomes, driver counters, and decode health. The parity harness
+    /// aggregates these across the cluster.
+    #[must_use]
+    pub fn report(&self) -> Json {
+        let mut sent = 0u64;
+        let mut received = 0u64;
+        let mut duplicates = 0u64;
+        let mut p50_ms = Json::Null;
+        let mut p90_ms = Json::Null;
+        let mut max_gap_ms = Json::Null;
+        let mut within_deadline = Json::Null;
+        for c in self.clients() {
+            sent += c.sent(1);
+            if let Some(recv) = c.recv.values().next() {
+                received += recv.received;
+                duplicates += recv.app_duplicates;
+                let mut lat = recv.latency_ms.clone();
+                if let Some(q) = lat.quantile(0.5) {
+                    p50_ms = Json::F64(q);
+                }
+                if let Some(q) = lat.quantile(0.9) {
+                    p90_ms = Json::F64(q);
+                }
+                let gap = recv
+                    .arrivals
+                    .windows(2)
+                    .map(|w| (w[1].0 - w[0].0).as_millis_f64())
+                    .fold(0.0_f64, f64::max);
+                if recv.arrivals.len() >= 2 {
+                    max_gap_ms = Json::F64(gap);
+                }
+                if let Some(d) = self.scenario.deadline_ms {
+                    let n = recv.within_deadline(SimDuration::from_millis_f64(d));
+                    within_deadline = Json::U64(n);
+                }
+            }
+        }
+        let counters = Json::Obj(
+            self.driver
+                .counters()
+                .iter()
+                .map(|(k, v)| (k.to_owned(), Json::U64(v)))
+                .collect(),
+        );
+        Json::obj(vec![
+            ("kind", Json::str("udp-node")),
+            ("scenario", Json::str(&self.scenario.name)),
+            ("node", Json::U64(self.me.0 as u64)),
+            ("sent", Json::U64(sent)),
+            ("received", Json::U64(received)),
+            ("app_duplicates", Json::U64(duplicates)),
+            ("p50_ms", p50_ms),
+            ("p90_ms", p90_ms),
+            ("max_gap_ms", max_gap_ms),
+            ("within_deadline", within_deadline),
+            ("decode_errors", Json::U64(self.decode_errors)),
+            ("unknown_pipe", Json::U64(self.unknown_pipe)),
+            ("counters", counters),
+        ])
+    }
+
+    /// This daemon's trace-ring rows, each with a `wall_ns` key appended:
+    /// the absolute wall-clock instant (`epoch + at_ns`), so rows exported
+    /// by different processes of a cluster merge onto one clock.
+    #[must_use]
+    pub fn trace_rows(&self) -> Vec<Json> {
+        self.node()
+            .obs()
+            .traces()
+            .events()
+            .map(|ev| {
+                let mut row = ev.row();
+                if let Json::Obj(ref mut pairs) = row {
+                    pairs.push((
+                        "wall_ns".to_owned(),
+                        Json::U64(self.driver.epoch_ns.saturating_add(ev.at_ns)),
+                    ));
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// This daemon's watchdog audit rows (empty when the watchdog is off),
+    /// with the same `wall_ns` key as the trace rows.
+    #[must_use]
+    pub fn watch_rows(&self) -> Vec<Json> {
+        self.node()
+            .obs()
+            .watch_events()
+            .events()
+            .map(|ev| {
+                let mut row = ev.row();
+                if let Json::Obj(ref mut pairs) = row {
+                    pairs.push((
+                        "wall_ns".to_owned(),
+                        Json::U64(self.driver.epoch_ns.saturating_add(ev.at_ns)),
+                    ));
+                }
+                row
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use son_obs::trace::TraceEvent;
+
+    fn loopback_scenario() -> Scenario {
+        Scenario {
+            name: "vnet_chain".to_owned(),
+            topo: TopoKind::Chain,
+            nodes: 3,
+            hop_ms: 2.0,
+            loss: 0.0,
+            spec: "best_effort".to_owned(),
+            deadline_ms: None,
+            from: 0,
+            to: 2,
+            count: 40,
+            size: 120,
+            interval_us: 10_000,
+            start_ms: 600,
+            run_for_ms: 1_700,
+            seed: 11,
+            trace_sample: 4,
+            watch: false,
+            outage: None,
+        }
+    }
+
+    /// Three runtimes over the in-memory vnet, each on its own thread like
+    /// the real processes they stand in for: every packet the sender's
+    /// client emits arrives at the receiver's client across two real codec
+    /// traversals per hop.
+    #[test]
+    fn vnet_chain_delivers_end_to_end() {
+        let scenario = loopback_scenario();
+        let links: Vec<(usize, usize)> = (0..scenario.nodes - 1).map(|i| (i, i + 1)).collect();
+        let nets = VnetTransport::mesh(scenario.nodes, &links);
+        let epoch = unix_now_ns() + 50_000_000;
+        let handles: Vec<_> = nets
+            .into_iter()
+            .enumerate()
+            .map(|(i, net)| {
+                let s = scenario.clone();
+                std::thread::spawn(move || {
+                    let mut rt = NodeRuntime::new(s, NodeId(i), net, epoch);
+                    rt.run().expect("vnet never fails");
+                    rt
+                })
+            })
+            .collect();
+        let runtimes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        let sent: u64 = runtimes
+            .iter()
+            .flat_map(|r| r.clients())
+            .map(|c| c.sent(1))
+            .sum();
+        let received: u64 = runtimes
+            .iter()
+            .flat_map(|r| r.clients())
+            .filter_map(|c| c.recv.values().next())
+            .map(|r| r.received)
+            .sum();
+        assert_eq!(sent, scenario.count, "sender finished its workload");
+        assert_eq!(
+            received, scenario.count,
+            "lossless chain delivers everything"
+        );
+        for rt in &runtimes {
+            assert_eq!(rt.decode_errors, 0, "node {} saw garbage", rt.me);
+            assert_eq!(rt.unknown_pipe, 0, "node {} mis-attributed a frame", rt.me);
+        }
+
+        // The ingress stamped trace contexts; rows must still satisfy the
+        // exporter's schema round-trip with wall_ns appended.
+        let rows = runtimes[0].trace_rows();
+        assert!(!rows.is_empty(), "ingress sampled traces");
+        for row in &rows {
+            assert!(row.get("wall_ns").is_some());
+            assert!(TraceEvent::from_row(row).is_some(), "row round-trips");
+        }
+    }
+
+    /// Timers fire in deadline order and cancellation sticks.
+    #[test]
+    fn driver_timers_fire_and_cancel() {
+        let mut d = RealDriver::new(unix_now_ns(), 1, NodeId(0), 1, vec![]);
+        d.refresh_now();
+        let keep = d.set_timer(ProcessId(0), SimDuration::from_nanos(0), 7);
+        let kill = d.set_timer(ProcessId(0), SimDuration::from_nanos(0), 8);
+        assert!(d.cancel_timer(ProcessId(0), kill));
+        assert!(
+            !d.cancel_timer(ProcessId(0), kill),
+            "second cancel is a no-op"
+        );
+        let now = d.now.as_nanos() + 1;
+        assert_eq!(d.pop_due_timer(now), Some((ProcessId(0), 7)));
+        assert_eq!(d.pop_due_timer(now), None, "cancelled timer never fires");
+        let _ = keep;
+    }
+}

@@ -1,0 +1,303 @@
+//! Scenario configs shared by the simulator and the UDP cluster harness.
+//!
+//! One JSON file describes a complete experiment — topology, link
+//! characteristics, the flow under test, and an optional mid-run link
+//! blackout — and both worlds consume it: `exp_udp_parity` runs it in-sim
+//! through the usual [`son_netsim`] pipes, and each `son-node` process
+//! builds its local slice of the same overlay from the same file. Keeping
+//! the description in one place is what makes "the sim is a peer of the
+//! real transport" checkable rather than aspirational.
+
+use son_netsim::time::SimDuration;
+use son_obs::Json;
+use son_overlay::FlowSpec;
+use son_topo::{Graph, NodeId};
+
+/// Overlay topology shape. The parity experiments only need the paper's
+/// two canonical shapes: the Fig. 3 chain (E1) and a ring, which gives
+/// every pair of nodes an alternate path for rerouting runs (E3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoKind {
+    /// A linear chain of `nodes` nodes.
+    Chain,
+    /// A chain plus the closing edge — one alternate path everywhere.
+    Ring,
+}
+
+/// A mid-run blackout of one overlay link, identified by its endpoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outage {
+    /// One endpoint of the victim edge.
+    pub a: u32,
+    /// The other endpoint.
+    pub b: u32,
+    /// Blackout start, ms after the epoch.
+    pub from_ms: u64,
+    /// Blackout end, ms after the epoch.
+    pub to_ms: u64,
+}
+
+/// One experiment, describable to both the simulator and a UDP cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name, carried into result rows.
+    pub name: String,
+    /// Topology shape.
+    pub topo: TopoKind,
+    /// Node count.
+    pub nodes: usize,
+    /// One-way latency per overlay link, ms.
+    pub hop_ms: f64,
+    /// Independent per-frame loss probability on every link direction.
+    pub loss: f64,
+    /// Link service of the flow under test: `best_effort` or `reliable`.
+    pub spec: String,
+    /// Optional end-to-end deadline for delivery accounting, ms.
+    pub deadline_ms: Option<f64>,
+    /// Sending overlay node.
+    pub from: u32,
+    /// Receiving overlay node.
+    pub to: u32,
+    /// Packets to send.
+    pub count: u64,
+    /// Payload bytes per packet.
+    pub size: usize,
+    /// Packet interval, µs.
+    pub interval_us: u64,
+    /// Workload start, ms after the epoch (leave room for routing to
+    /// converge: the daemons need a few hello rounds first).
+    pub start_ms: u64,
+    /// Run length, ms after the epoch.
+    pub run_for_ms: u64,
+    /// Master seed for every deterministic choice (loss rolls, per-process
+    /// RNG streams).
+    pub seed: u64,
+    /// Ingress trace sampling: 1-in-`trace_sample` packets carry a
+    /// `TraceContext` (0 disables).
+    pub trace_sample: u32,
+    /// Run the anomaly watchdog (`son-watch`) on every daemon; its audit
+    /// events are exported alongside the traces.
+    pub watch: bool,
+    /// Optional link blackout (E3-style rerouting scenarios).
+    pub outage: Option<Outage>,
+}
+
+impl Scenario {
+    /// Parses a scenario JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or ill-typed field.
+    pub fn parse(input: &str) -> Result<Scenario, String> {
+        let json = Json::parse(input)?;
+        let str_field = |key: &str| -> Result<String, String> {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("scenario: missing string field {key:?}"))
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            json.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("scenario: missing integer field {key:?}"))
+        };
+        let f64_field = |key: &str| -> Result<f64, String> {
+            json.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("scenario: missing number field {key:?}"))
+        };
+        let topo = match str_field("topology")?.as_str() {
+            "chain" => TopoKind::Chain,
+            "ring" => TopoKind::Ring,
+            other => return Err(format!("scenario: unknown topology {other:?}")),
+        };
+        let outage = match json.get("outage") {
+            None | Some(Json::Null) => None,
+            Some(o) => {
+                let field = |key: &str| -> Result<u64, String> {
+                    o.get(key)
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("scenario: outage is missing field {key:?}"))
+                };
+                Some(Outage {
+                    a: u32::try_from(field("a")?).map_err(|_| "outage node id".to_owned())?,
+                    b: u32::try_from(field("b")?).map_err(|_| "outage node id".to_owned())?,
+                    from_ms: field("from_ms")?,
+                    to_ms: field("to_ms")?,
+                })
+            }
+        };
+        let scenario = Scenario {
+            name: str_field("name")?,
+            topo,
+            nodes: usize::try_from(u64_field("nodes")?).map_err(|_| "node count".to_owned())?,
+            hop_ms: f64_field("hop_ms")?,
+            loss: json.get("loss").and_then(Json::as_f64).unwrap_or(0.0),
+            spec: str_field("spec")?,
+            deadline_ms: json.get("deadline_ms").and_then(Json::as_f64),
+            from: u32::try_from(u64_field("from")?).map_err(|_| "from".to_owned())?,
+            to: u32::try_from(u64_field("to")?).map_err(|_| "to".to_owned())?,
+            count: u64_field("count")?,
+            size: usize::try_from(u64_field("size")?).map_err(|_| "size".to_owned())?,
+            interval_us: u64_field("interval_us")?,
+            start_ms: u64_field("start_ms")?,
+            run_for_ms: u64_field("run_for_ms")?,
+            seed: u64_field("seed")?,
+            trace_sample: u32::try_from(
+                json.get("trace_sample").and_then(Json::as_u64).unwrap_or(0),
+            )
+            .map_err(|_| "trace_sample".to_owned())?,
+            watch: json.get("watch").and_then(Json::as_bool).unwrap_or(false),
+            outage,
+        };
+        if scenario.nodes < 2 {
+            return Err("scenario: need at least two nodes".to_owned());
+        }
+        if scenario.from as usize >= scenario.nodes || scenario.to as usize >= scenario.nodes {
+            return Err("scenario: from/to out of range".to_owned());
+        }
+        scenario.flow_spec()?;
+        Ok(scenario)
+    }
+
+    /// Renders the scenario back to its JSON document form.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut pairs = vec![
+            ("name", Json::str(&self.name)),
+            (
+                "topology",
+                Json::str(match self.topo {
+                    TopoKind::Chain => "chain",
+                    TopoKind::Ring => "ring",
+                }),
+            ),
+            ("nodes", Json::U64(self.nodes as u64)),
+            ("hop_ms", Json::F64(self.hop_ms)),
+            ("loss", Json::F64(self.loss)),
+            ("spec", Json::str(&self.spec)),
+        ];
+        if let Some(d) = self.deadline_ms {
+            pairs.push(("deadline_ms", Json::F64(d)));
+        }
+        pairs.extend([
+            ("from", Json::U64(u64::from(self.from))),
+            ("to", Json::U64(u64::from(self.to))),
+            ("count", Json::U64(self.count)),
+            ("size", Json::U64(self.size as u64)),
+            ("interval_us", Json::U64(self.interval_us)),
+            ("start_ms", Json::U64(self.start_ms)),
+            ("run_for_ms", Json::U64(self.run_for_ms)),
+            ("seed", Json::U64(self.seed)),
+            ("trace_sample", Json::U64(u64::from(self.trace_sample))),
+            ("watch", Json::Bool(self.watch)),
+        ]);
+        if let Some(o) = self.outage {
+            pairs.push((
+                "outage",
+                Json::obj(vec![
+                    ("a", Json::U64(u64::from(o.a))),
+                    ("b", Json::U64(u64::from(o.b))),
+                    ("from_ms", Json::U64(o.from_ms)),
+                    ("to_ms", Json::U64(o.to_ms)),
+                ]),
+            ));
+        }
+        Json::obj(pairs).to_json()
+    }
+
+    /// Builds the overlay graph this scenario describes.
+    #[must_use]
+    pub fn topology(&self) -> Graph {
+        let mut g = Graph::new(self.nodes);
+        for i in 0..self.nodes - 1 {
+            g.add_edge(NodeId(i), NodeId(i + 1), self.hop_ms);
+        }
+        if self.topo == TopoKind::Ring {
+            g.add_edge(NodeId(self.nodes - 1), NodeId(0), self.hop_ms);
+        }
+        g
+    }
+
+    /// The flow spec of the flow under test.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown `spec` string.
+    pub fn flow_spec(&self) -> Result<FlowSpec, String> {
+        let base = match self.spec.as_str() {
+            "best_effort" => FlowSpec::best_effort(),
+            "reliable" => FlowSpec::reliable(),
+            other => return Err(format!("scenario: unknown spec {other:?}")),
+        };
+        Ok(match self.deadline_ms {
+            Some(d) => base.with_deadline(SimDuration::from_millis_f64(d)),
+            None => base,
+        })
+    }
+
+    /// Packet interval as a duration.
+    #[must_use]
+    pub fn interval(&self) -> SimDuration {
+        SimDuration::from_nanos(self.interval_us * 1_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        Scenario {
+            name: "e1".to_owned(),
+            topo: TopoKind::Ring,
+            nodes: 5,
+            hop_ms: 10.0,
+            loss: 0.01,
+            spec: "reliable".to_owned(),
+            deadline_ms: Some(200.0),
+            from: 0,
+            to: 3,
+            count: 100,
+            size: 200,
+            interval_us: 5000,
+            start_ms: 500,
+            run_for_ms: 4000,
+            seed: 7,
+            trace_sample: 16,
+            watch: true,
+            outage: Some(Outage {
+                a: 1,
+                b: 2,
+                from_ms: 1000,
+                to_ms: 2000,
+            }),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let s = sample();
+        assert_eq!(Scenario::parse(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn ring_closes_the_chain() {
+        let s = sample();
+        assert_eq!(s.topology().edge_count(), 5);
+        let mut chain = s;
+        chain.topo = TopoKind::Chain;
+        assert_eq!(chain.topology().edge_count(), 4);
+    }
+
+    #[test]
+    fn rejects_bad_fields() {
+        assert!(Scenario::parse("{}").is_err());
+        let mut s = sample();
+        s.spec = "quantum".to_owned();
+        assert!(Scenario::parse(&s.to_json()).is_err());
+        let mut s = sample();
+        s.to = 9;
+        assert!(Scenario::parse(&s.to_json()).is_err());
+    }
+}

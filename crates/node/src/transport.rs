@@ -1,0 +1,161 @@
+//! Transport implementations: real UDP sockets and a deterministic
+//! in-memory virtual network for tests.
+//!
+//! Both implement [`son_netsim::driver::Transport`] — framed datagrams
+//! addressed by a dense peer index (the peer's overlay node id). The daemon
+//! runtime never knows which one it is running over.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+
+use son_netsim::driver::Transport;
+
+/// A [`Transport`] over one non-blocking [`UdpSocket`].
+///
+/// Peers are a fixed address book resolved at construction: peer index `i`
+/// (an overlay node id) maps to one socket address, and inbound datagrams
+/// are attributed to a peer by their source address. Datagrams from unknown
+/// addresses are dropped and counted — on an open socket that is ordinary
+/// background noise, not an error.
+#[derive(Debug)]
+pub struct UdpTransport {
+    socket: UdpSocket,
+    peers: Vec<Option<SocketAddr>>,
+    by_addr: HashMap<SocketAddr, usize>,
+    buf: Vec<u8>,
+    /// Datagrams dropped because their source address is not a known peer.
+    pub unknown_src: u64,
+}
+
+impl UdpTransport {
+    /// Binds `local` and records the peer address book; index `i` in
+    /// `peers` is peer `i` (`None` for ids that are not neighbors).
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind or `set_nonblocking` error.
+    pub fn bind(local: SocketAddr, peers: Vec<Option<SocketAddr>>) -> io::Result<UdpTransport> {
+        let socket = UdpSocket::bind(local)?;
+        socket.set_nonblocking(true)?;
+        let by_addr = peers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.map(|a| (a, i)))
+            .collect();
+        Ok(UdpTransport {
+            socket,
+            peers,
+            by_addr,
+            buf: vec![0u8; 64 * 1024],
+            unknown_src: 0,
+        })
+    }
+
+    /// The locally bound address (useful when binding port 0 in tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `local_addr` error.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+}
+
+impl Transport for UdpTransport {
+    fn send_to(&mut self, peer: usize, frame: &[u8]) -> io::Result<()> {
+        let addr = self
+            .peers
+            .get(peer)
+            .copied()
+            .flatten()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "unknown peer index"))?;
+        // A full OS buffer surfaces as WouldBlock on some platforms; that
+        // is datagram loss, not a daemon-fatal condition.
+        match self.socket.send_to(frame, addr) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn recv_from(&mut self) -> io::Result<Option<(usize, Vec<u8>)>> {
+        loop {
+            match self.socket.recv_from(&mut self.buf) {
+                Ok((n, src)) => match self.by_addr.get(&src) {
+                    Some(&peer) => return Ok(Some((peer, self.buf[..n].to_vec()))),
+                    None => {
+                        self.unknown_src += 1;
+                        continue;
+                    }
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(None),
+                // Linux surfaces async ICMP errors (peer not yet bound)
+                // as ConnectionRefused on the next receive; for datagrams
+                // that is history, not state — keep reading.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// A datagram in flight on the vnet: `(sender id, frame bytes)`.
+type VnetFrame = (usize, Vec<u8>);
+
+/// A deterministic in-memory [`Transport`]: every node holds a receiver and
+/// the senders of all its peers. Delivery is instantaneous and lossless —
+/// latency, loss, and outages are the [`RealDriver`](crate::RealDriver)'s
+/// job, exactly as on UDP, so tests over the vnet exercise the same link
+/// emulation code as the real thing.
+#[derive(Debug)]
+pub struct VnetTransport {
+    inbox: Receiver<VnetFrame>,
+    /// Sender handles to each peer's inbox, tagged with our own id.
+    peers: Vec<Option<(usize, Sender<VnetFrame>)>>,
+}
+
+impl VnetTransport {
+    /// Builds one connected transport per node for `n` nodes; `linked`
+    /// lists the node-id pairs that may exchange datagrams.
+    #[must_use]
+    pub fn mesh(n: usize, linked: &[(usize, usize)]) -> Vec<VnetTransport> {
+        let mut senders = Vec::with_capacity(n);
+        let mut nets: Vec<VnetTransport> = (0..n)
+            .map(|_| {
+                let (tx, rx) = channel();
+                senders.push(tx);
+                VnetTransport {
+                    inbox: rx,
+                    peers: vec![None; n],
+                }
+            })
+            .collect();
+        for &(a, b) in linked {
+            nets[a].peers[b] = Some((a, senders[b].clone()));
+            nets[b].peers[a] = Some((b, senders[a].clone()));
+        }
+        nets
+    }
+}
+
+impl Transport for VnetTransport {
+    fn send_to(&mut self, peer: usize, frame: &[u8]) -> io::Result<()> {
+        let (me, tx) = self
+            .peers
+            .get(peer)
+            .and_then(Option::as_ref)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "unknown peer index"))?;
+        // A hung-up peer is datagram loss, not an error.
+        let _ = tx.send((*me, frame.to_vec()));
+        Ok(())
+    }
+
+    fn recv_from(&mut self) -> io::Result<Option<(usize, Vec<u8>)>> {
+        match self.inbox.try_recv() {
+            Ok(pair) => Ok(Some(pair)),
+            Err(TryRecvError::Empty | TryRecvError::Disconnected) => Ok(None),
+        }
+    }
+}

@@ -72,6 +72,7 @@ pub mod service;
 pub mod session;
 pub mod state;
 pub mod watch;
+pub mod wire;
 
 pub use addr::{Destination, FlowKey, GroupId, OverlayAddr, VirtualPort};
 pub use builder::{OverlayBuilder, OverlayHandle};

@@ -36,6 +36,11 @@ impl OverlayNode {
             .unwrap_or(port.active_provider)
             .min(port.out_pipes.len() - 1);
         let pipe = port.out_pipes[idx];
+        // Every link frame passes through the wire codec, even in the sim:
+        // what the neighbor receives is what it would have decoded off a
+        // UDP datagram, so sim and real deployments stay byte-compatible.
+        let wire =
+            crate::wire::recode(&wire).expect("link frames round-trip the wire codec losslessly");
         ctx.send(pipe, wire);
     }
 

@@ -240,7 +240,7 @@ impl Control {
 }
 
 /// Client-to-daemon session operations (the session interface, §II-B).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ClientOp {
     /// Attach to the daemon on a virtual port.
     Connect {
@@ -280,7 +280,7 @@ pub enum ClientOp {
 }
 
 /// Daemon-to-client session events.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SessionEvent {
     /// The connection is established at this overlay address.
     Connected {
@@ -313,7 +313,7 @@ pub enum SessionEvent {
 }
 
 /// Everything that travels through the simulator in an overlay deployment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Wire {
     /// Overlay data between daemons.
     Data(DataPacket),

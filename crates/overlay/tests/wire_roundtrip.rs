@@ -1,0 +1,335 @@
+//! Wire-codec round-trip properties: `decode(encode(w)) == w` for every
+//! link-protocol frame and control packet the overlay can put on a link,
+//! plus byte-exact size assertions where the charged cost model documents
+//! a concrete figure (24-byte hello/receipt frames, 10-byte trace context,
+//! 32-byte source-route mask, the FEC repair formula).
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use rand::Rng;
+use son_netsim::time::{SimDuration, SimTime};
+use son_obs::trace::{TraceContext, TRACE_CONTEXT_BYTES};
+use son_overlay::addr::{DestKey, FlowKey, GroupId, OverlayAddr};
+use son_overlay::packet::{
+    Control, DataPacket, GroupUpdate, LinkAdvert, LinkCtl, Lsa, Wire, DATA_HEADER_BYTES, MASK_BYTES,
+};
+use son_overlay::service::{
+    FecParams, FlowSpec, LinkService, Priority, RealtimeParams, RoutingService, SourceRoute,
+};
+use son_overlay::wire::{decode, encode, FRAME_HEADER_BYTES};
+use son_topo::{EdgeId, EdgeMask, NodeId};
+
+fn gen_addr(rng: &mut TestRng) -> OverlayAddr {
+    OverlayAddr::new(
+        NodeId(rng.gen_range(0usize..5000)),
+        rng.gen_range(0u16..200),
+    )
+}
+
+fn gen_flow_key(rng: &mut TestRng) -> FlowKey {
+    let src = gen_addr(rng);
+    let dst = match rng.gen_range(0u8..3) {
+        0 => DestKey::Unicast(gen_addr(rng)),
+        1 => DestKey::Multicast(GroupId(rng.gen_range(0u32..1000))),
+        _ => DestKey::Anycast(GroupId(rng.gen_range(0u32..1000))),
+    };
+    FlowKey { src, dst }
+}
+
+fn gen_mask(rng: &mut TestRng) -> EdgeMask {
+    let n = rng.gen_range(0usize..12);
+    EdgeMask::from_edges((0..n).map(|_| EdgeId(rng.gen_range(0usize..256))))
+}
+
+fn gen_spec(rng: &mut TestRng) -> FlowSpec {
+    let routing = match rng.gen_range(0u8..6) {
+        0 => RoutingService::LinkState,
+        1 => RoutingService::SourceBased(SourceRoute::DisjointPaths(rng.gen_range(1u8..4))),
+        2 => RoutingService::SourceBased(SourceRoute::OverlappingPaths(rng.gen_range(1u8..4))),
+        3 => RoutingService::SourceBased(SourceRoute::DisseminationGraph),
+        4 => RoutingService::SourceBased(SourceRoute::ConstrainedFlooding),
+        _ => RoutingService::SourceBased(SourceRoute::Static(gen_mask(rng))),
+    };
+    let link = match rng.gen_range(0u8..7) {
+        0 => LinkService::BestEffort,
+        1 => LinkService::Reliable,
+        2 => LinkService::Realtime(RealtimeParams {
+            n_requests: rng.gen_range(1u8..5),
+            m_retransmissions: rng.gen_range(1u8..5),
+            budget: SimDuration::from_millis(rng.gen_range(1u64..500)),
+        }),
+        3 => LinkService::ItPriority,
+        4 => LinkService::ItReliable,
+        5 => LinkService::Fifo,
+        _ => LinkService::Fec(FecParams {
+            k: rng.gen_range(1u8..20),
+            r: rng.gen_range(1u8..5),
+        }),
+    };
+    FlowSpec {
+        routing,
+        link,
+        ordered: rng.gen_range(0u8..2) == 1,
+        deadline: if rng.gen_range(0u8..2) == 1 {
+            Some(SimDuration::from_millis(rng.gen_range(1u64..1000)))
+        } else {
+            None
+        },
+        priority: Priority(rng.gen_range(0u8..8)),
+    }
+}
+
+fn gen_data(rng: &mut TestRng, payload_stripped: bool) -> DataPacket {
+    let payload = if payload_stripped {
+        Bytes::new()
+    } else {
+        let n = rng.gen_range(0usize..64);
+        Bytes::from(
+            (0..n)
+                .map(|_| rng.gen_range(0u16..256) as u8)
+                .collect::<Vec<u8>>(),
+        )
+    };
+    DataPacket {
+        flow: gen_flow_key(rng),
+        flow_seq: rng.gen_range(0u64..u64::MAX),
+        origin: NodeId(rng.gen_range(0usize..5000)),
+        spec: gen_spec(rng),
+        mask: if rng.gen_range(0u8..2) == 1 {
+            Some(gen_mask(rng))
+        } else {
+            None
+        },
+        resolved_dst: if rng.gen_range(0u8..2) == 1 {
+            Some(NodeId(rng.gen_range(0usize..5000)))
+        } else {
+            None
+        },
+        link_seq: rng.gen_range(0u64..u64::MAX),
+        created_at: SimTime::from_nanos(rng.gen_range(0u64..u64::MAX / 2)),
+        size: rng.gen_range(0usize..100_000),
+        payload,
+        ttl: rng.gen_range(0u16..256) as u8,
+        auth_tag: rng.gen_range(0u64..u64::MAX),
+        trace: if rng.gen_range(0u8..2) == 1 {
+            Some(TraceContext {
+                id: rng.gen_range(0u64..u64::MAX),
+                hop: rng.gen_range(0u16..256) as u8,
+            })
+        } else {
+            None
+        },
+    }
+}
+
+fn gen_seqs(rng: &mut TestRng) -> Vec<u64> {
+    let n = rng.gen_range(0usize..20);
+    (0..n).map(|_| rng.gen_range(0u64..u64::MAX)).collect()
+}
+
+fn gen_ctl(rng: &mut TestRng) -> LinkCtl {
+    match rng.gen_range(0u8..5) {
+        0 => LinkCtl::ReliableAck {
+            cum: rng.gen_range(0u64..u64::MAX),
+            selective: gen_seqs(rng),
+        },
+        1 => LinkCtl::ReliableNack {
+            missing: gen_seqs(rng),
+        },
+        2 => LinkCtl::RtRequest {
+            seqs: gen_seqs(rng),
+            strike: rng.gen_range(0u8..4),
+        },
+        3 => LinkCtl::Credit {
+            flow: gen_flow_key(rng),
+            credits: rng.gen_range(0u32..u32::MAX),
+        },
+        _ => {
+            let n = rng.gen_range(0usize..6);
+            LinkCtl::FecRepair {
+                block_start: rng.gen_range(0u64..u64::MAX),
+                index: rng.gen_range(0u8..8),
+                covered: (0..n).map(|_| gen_data(rng, true)).collect(),
+            }
+        }
+    }
+}
+
+fn gen_control(rng: &mut TestRng) -> Control {
+    match rng.gen_range(0u8..5) {
+        0 => Control::Hello {
+            seq: rng.gen_range(0u64..u64::MAX),
+            sent_at: SimTime::from_nanos(rng.gen_range(0u64..u64::MAX / 2)),
+        },
+        1 => Control::HelloAck {
+            seq: rng.gen_range(0u64..u64::MAX),
+            echo_sent_at: SimTime::from_nanos(rng.gen_range(0u64..u64::MAX / 2)),
+        },
+        2 => {
+            let n = rng.gen_range(0usize..10);
+            Control::Lsa(Lsa {
+                origin: NodeId(rng.gen_range(0usize..5000)),
+                seq: rng.gen_range(0u64..u64::MAX),
+                links: (0..n)
+                    .map(|_| LinkAdvert {
+                        edge: EdgeId(rng.gen_range(0usize..256)),
+                        up: rng.gen_range(0u8..2) == 1,
+                        latency_ms: rng.gen_range(0.0f64..500.0),
+                        loss: rng.gen_range(0.0f64..1.0),
+                    })
+                    .collect(),
+            })
+        }
+        3 => {
+            let n = rng.gen_range(0usize..10);
+            Control::GroupUpdate(GroupUpdate {
+                origin: NodeId(rng.gen_range(0usize..5000)),
+                seq: rng.gen_range(0u64..u64::MAX),
+                groups: (0..n).map(|_| GroupId(rng.gen_range(0u32..1000))).collect(),
+            })
+        }
+        _ => Control::WatchReceipt {
+            received: rng.gen_range(0u64..u64::MAX),
+            progressed: rng.gen_range(0u64..u64::MAX),
+        },
+    }
+}
+
+fn round_trips(w: &Wire) -> bool {
+    let bytes = encode(w).expect("link frame must encode");
+    decode(&bytes).expect("encoded frame must decode") == *w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    fn data_frames_round_trip(w in any::<u64>().prop_perturb(|_, mut rng| Wire::Data(gen_data(&mut rng, false)))) {
+        prop_assert!(round_trips(&w));
+    }
+
+    fn link_ctl_frames_round_trip(w in any::<u64>().prop_perturb(|_, mut rng| Wire::Ctl {
+        slot: rng.gen_range(0u8..7),
+        ctl: gen_ctl(&mut rng),
+    })) {
+        prop_assert!(round_trips(&w));
+    }
+
+    fn control_frames_round_trip(w in any::<u64>().prop_perturb(|_, mut rng| Wire::Control(gen_control(&mut rng)))) {
+        prop_assert!(round_trips(&w));
+    }
+}
+
+fn base_packet() -> DataPacket {
+    DataPacket {
+        flow: FlowKey {
+            src: OverlayAddr::new(NodeId(1), 50),
+            dst: DestKey::Unicast(OverlayAddr::new(NodeId(2), 70)),
+        },
+        flow_seq: 7,
+        origin: NodeId(1),
+        spec: FlowSpec::reliable(),
+        mask: None,
+        resolved_dst: None,
+        link_seq: 3,
+        created_at: SimTime::from_millis(5),
+        size: 100,
+        payload: Bytes::new(),
+        ttl: 32,
+        auth_tag: 9,
+        trace: None,
+    }
+}
+
+/// Hello, HelloAck, and WatchReceipt frames are exactly the 24 bytes the
+/// cost model charges for them: 8-byte header + two `u64` fields.
+#[test]
+fn fixed_control_frames_match_charged_size() {
+    use son_netsim::process::SimMessage;
+    for c in [
+        Control::Hello {
+            seq: 1,
+            sent_at: SimTime::from_millis(2),
+        },
+        Control::HelloAck {
+            seq: 1,
+            echo_sent_at: SimTime::from_millis(2),
+        },
+        Control::WatchReceipt {
+            received: 10,
+            progressed: 9,
+        },
+    ] {
+        let w = Wire::Control(c);
+        let bytes = encode(&w).unwrap();
+        assert_eq!(bytes.len(), 24, "{w:?}");
+        assert_eq!(bytes.len(), w.wire_size(), "{w:?}");
+        assert_eq!(bytes.len(), FRAME_HEADER_BYTES + 16);
+    }
+}
+
+/// A present trace context costs exactly `TRACE_CONTEXT_BYTES` (10) on the
+/// wire — the flag-bit-signalled id + widened hop — and an absent one
+/// costs nothing, matching what the accounting model charges.
+#[test]
+fn trace_segment_costs_exactly_its_documented_bytes() {
+    let without = encode(&Wire::Data(base_packet())).unwrap();
+    let mut traced = base_packet();
+    traced.trace = Some(TraceContext { id: 42, hop: 3 });
+    let with = encode(&Wire::Data(traced)).unwrap();
+    assert_eq!(with.len() - without.len(), TRACE_CONTEXT_BYTES);
+    assert_eq!(TRACE_CONTEXT_BYTES, 10);
+}
+
+/// A present source-route mask costs exactly its 32 charged bytes (4 LE
+/// words for 256 edge bits); absence costs nothing.
+#[test]
+fn mask_segment_costs_exactly_its_charged_bytes() {
+    let without = encode(&Wire::Data(base_packet())).unwrap();
+    let mut masked = base_packet();
+    masked.mask = Some(EdgeMask::from_edges([EdgeId(0), EdgeId(63), EdgeId(255)]));
+    let with = encode(&Wire::Data(masked)).unwrap();
+    assert_eq!(with.len() - without.len(), MASK_BYTES);
+    assert_eq!(MASK_BYTES, 32);
+}
+
+/// The FEC repair cost model: 16 bytes of repair header, one max-size
+/// covered packet (the repair symbol), plus one data header per covered
+/// packet — and the encoded frame round-trips.
+#[test]
+fn fec_repair_matches_documented_formula_and_round_trips() {
+    let covered: Vec<DataPacket> = (0..3)
+        .map(|i| {
+            let mut p = base_packet();
+            p.link_seq = i;
+            p.size = 100 + 50 * i as usize;
+            p
+        })
+        .collect();
+    let max = covered.iter().map(DataPacket::wire_size).max().unwrap();
+    let repair = LinkCtl::FecRepair {
+        block_start: 0,
+        index: 0,
+        covered,
+    };
+    assert_eq!(repair.wire_size(), 16 + max + DATA_HEADER_BYTES * 3);
+    let w = Wire::Ctl {
+        slot: 6,
+        ctl: repair,
+    };
+    assert!(round_trips(&w));
+}
+
+/// Payload bytes survive the codec verbatim.
+#[test]
+fn payload_contents_round_trip() {
+    let mut p = base_packet();
+    p.payload = Bytes::from_static(b"structured overlay");
+    p.size = p.payload.len();
+    let w = Wire::Data(p);
+    let decoded = decode(&encode(&w).unwrap()).unwrap();
+    match decoded {
+        Wire::Data(d) => assert_eq!(&d.payload[..], b"structured overlay"),
+        other => panic!("decoded wrong variant: {other:?}"),
+    }
+}

@@ -37,4 +37,12 @@ cargo run --release -q -p son-bench --bin exp_watchdog -- --smoke
 cargo run --release -q -p son-bench --bin son-trace -- \
     --watch-audit target/obs/watch.jsonl
 
+echo "==> udp loopback smoke (son-node x4 over 127.0.0.1, sim-vs-real parity)"
+BENCH_OUT=target/obs/BENCH_udp_smoke.json \
+    cargo run --release -q -p son-bench --bin exp_udp_parity -- --smoke
+cat target/obs/udp_parity/udp_e1_smoke.result.*.json \
+    > target/obs/udp_parity/udp_e1_smoke.merged.jsonl
+cargo run --release -q -p son-bench --bin son-trace -- \
+    --self-check --limit 1 target/obs/udp_parity/udp_e1_smoke.merged.jsonl
+
 echo "All checks passed."
