@@ -19,6 +19,7 @@
 
 use std::time::Instant;
 
+use son_bench::telemetry::{sim_telemetry, EPOCH_NS};
 use son_bench::{
     banner, export_registry, f, finish_export, gather_registry, obs_sink, ring_with_chords, row,
     table_header, RX_PORT, TX_PORT,
@@ -26,6 +27,7 @@ use son_bench::{
 use son_netsim::scenario::{continental_us, DEFAULT_CONVERGENCE};
 use son_netsim::sim::{ScenarioEvent, Simulation};
 use son_netsim::time::{SimDuration, SimTime};
+use son_obs::snapshot::SnapshotProducer;
 use son_obs::{Json, JsonlSink};
 use son_overlay::builder::{continental_overlay, OverlayBuilder};
 use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
@@ -161,12 +163,16 @@ impl ThroughputResult {
 /// enables distributed tracing (0 = off) so the traced rerun measures the
 /// sampling overhead on the same workload; `perf` enables the wall-clock
 /// span profiler (daemons and event loop) so the profiled rerun prices the
-/// always-on profiler the same way.
+/// always-on profiler the same way; `telemetry` streams per-epoch
+/// [`son_obs::TelemetrySnapshot`] rows to
+/// `target/obs/exp_throughput.telemetry.jsonl` through `run_with_cadence`,
+/// so the traced row also prices the telemetry plane.
 fn throughput_under_churn(
     smoke: bool,
     trace_sample: u32,
     perf: bool,
     shards: usize,
+    telemetry: bool,
 ) -> (ThroughputResult, son_obs::Registry) {
     let sc = continental_us(DEFAULT_CONVERGENCE);
     let (topo, cities) = continental_overlay(&sc);
@@ -272,8 +278,33 @@ fn throughput_under_churn(
     }
 
     let wall = Instant::now();
-    sim.run_until(run_for);
+    let mut telemetry_rows = String::new();
+    if telemetry {
+        let mut producers: Vec<SnapshotProducer> = (0..overlay.daemons.len())
+            .map(|i| SnapshotProducer::new(i as u32))
+            .collect();
+        telemetry_rows.reserve(64 * 1024);
+        sim.run_with_cadence(
+            run_for,
+            SimDuration::from_nanos(EPOCH_NS),
+            |sim, at, _wall| {
+                for snap in sim_telemetry(sim, &overlay, &mut producers, at.as_nanos()) {
+                    snap.write_row_json(&mut telemetry_rows);
+                    telemetry_rows.push('\n');
+                }
+            },
+        );
+    } else {
+        sim.run_until(run_for);
+    }
     let wall_seconds = wall.elapsed().as_secs_f64();
+    if telemetry {
+        // Producing and serializing every epoch is priced inside the timed
+        // window above; the file itself lands afterwards, like every other
+        // obs export.
+        let _ = std::fs::create_dir_all("target/obs");
+        let _ = std::fs::write("target/obs/exp_throughput.telemetry.jsonl", &telemetry_rows);
+    }
 
     let mut forwarded = 0;
     let mut reroutes = 0;
@@ -373,25 +404,28 @@ fn main() {
     println!("\nforwarding under churn (12-city overlay, CBR flows, links flapping):");
     // Iterations are interleaved (untraced, traced, untraced, ...) so a
     // load spike on the host degrades both modes instead of biasing one.
-    let iters = if smoke { 10 } else { 3 };
-    let mut t = throughput_under_churn(smoke, 0, false, 1);
-    let mut traced = throughput_under_churn(smoke, 64, false, 1);
-    let mut profiled = throughput_under_churn(smoke, 0, true, 1);
-    let mut sharded = throughput_under_churn(smoke, 0, false, shards);
+    let iters = if smoke { 16 } else { 3 };
+    // The traced rerun carries the whole observability stack — sampling,
+    // watchdog, AND per-epoch telemetry emission — so the ≤5% gate prices
+    // telemetry too.
+    let mut t = throughput_under_churn(smoke, 0, false, 1, false);
+    let mut traced = throughput_under_churn(smoke, 64, false, 1, true);
+    let mut profiled = throughput_under_churn(smoke, 0, true, 1, false);
+    let mut sharded = throughput_under_churn(smoke, 0, false, shards, false);
     for _ in 1..iters {
-        let a = throughput_under_churn(smoke, 0, false, 1);
+        let a = throughput_under_churn(smoke, 0, false, 1, false);
         if a.0.wall_seconds < t.0.wall_seconds {
             t = a;
         }
-        let b = throughput_under_churn(smoke, 64, false, 1);
+        let b = throughput_under_churn(smoke, 64, false, 1, true);
         if b.0.wall_seconds < traced.0.wall_seconds {
             traced = b;
         }
-        let c = throughput_under_churn(smoke, 0, true, 1);
+        let c = throughput_under_churn(smoke, 0, true, 1, false);
         if c.0.wall_seconds < profiled.0.wall_seconds {
             profiled = c;
         }
-        let d = throughput_under_churn(smoke, 0, false, shards);
+        let d = throughput_under_churn(smoke, 0, false, shards, false);
         if d.0.wall_seconds < sharded.0.wall_seconds {
             sharded = d;
         }
@@ -441,6 +475,7 @@ fn main() {
                     "trace_sample",
                     Json::U64(if mode == "traced" { 64 } else { 0 }),
                 ),
+                ("telemetry", Json::Bool(mode == "traced")),
                 (
                     "shards",
                     Json::U64(if mode == "sharded" { shards as u64 } else { 1 }),

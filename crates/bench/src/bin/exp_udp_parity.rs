@@ -22,15 +22,19 @@
 //! (override with `BENCH_OUT`) as `"mode":"udp"` rows, replacing any
 //! previous `udp_parity` rows.
 
-use std::io::Read as _;
+use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use son_bench::telemetry::{sim_telemetry, ClusterState, EPOCH_NS};
 use son_bench::{banner, f, row, table_header, RX_PORT, TX_PORT};
 use son_netsim::loss::LossConfig;
 use son_netsim::sim::{ScenarioEvent, Simulation};
-use son_netsim::time::SimTime;
+use son_netsim::time::{SimDuration, SimTime};
 use son_node::{unix_now_ns, Scenario, TopoKind};
+use son_obs::snapshot::{SnapshotProducer, TelemetrySnapshot};
 use son_obs::Json;
 use son_overlay::builder::OverlayBuilder;
 use son_overlay::client::{ClientConfig, ClientFlow, ClientProcess, Workload};
@@ -106,8 +110,10 @@ fn e3_scenario() -> Scenario {
     }
 }
 
-/// Runs the scenario inside the deterministic simulator.
-fn run_in_sim(s: &Scenario) -> Leg {
+/// Runs the scenario inside the deterministic simulator, emitting the same
+/// telemetry rows the UDP leg streams — through `run_with_cadence`, into
+/// `<dir>/<name>.sim.telemetry.jsonl` — so one schema serves both legs.
+fn run_in_sim(s: &Scenario, dir: &Path) -> Leg {
     let topo = s.topology();
     let mut sim: Simulation<Wire> = Simulation::new(s.seed);
     let config = NodeConfig {
@@ -159,7 +165,24 @@ fn run_in_sim(s: &Scenario) -> Leg {
             sim.schedule(up, ScenarioEvent::EnablePipe(ba));
         }
     }
-    sim.run_until(SimTime::from_millis(s.run_for_ms));
+    let _ = std::fs::create_dir_all(dir);
+    let telemetry_path = dir.join(format!("{}.sim.telemetry.jsonl", s.name));
+    let mut telemetry = std::fs::File::create(&telemetry_path).ok();
+    let mut producers: Vec<SnapshotProducer> = (0..s.nodes)
+        .map(|i| SnapshotProducer::new(i as u32))
+        .collect();
+    sim.run_with_cadence(
+        SimTime::from_millis(s.run_for_ms),
+        SimDuration::from_nanos(EPOCH_NS),
+        |sim, at, _wall| {
+            let snaps = sim_telemetry(sim, &overlay, &mut producers, at.as_nanos());
+            if let Some(f) = telemetry.as_mut() {
+                for snap in &snaps {
+                    let _ = writeln!(f, "{}", snap.to_row().to_json());
+                }
+            }
+        },
+    );
 
     let sent = sim.proc_ref::<ClientProcess>(tx).expect("sender").sent(1);
     let recv = sim
@@ -200,14 +223,74 @@ fn son_node_bin() -> Result<PathBuf, String> {
     }
 }
 
+/// The in-process telemetry collector: binds the socket the daemons stream
+/// to, ingests every frame live into a [`ClusterState`], and records each
+/// snapshot as a JSONL row in arrival order — so replaying the recording
+/// must reproduce the live roll-up exactly.
+struct Collector {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<(ClusterState, u64)>,
+}
+
+fn spawn_collector(record_path: PathBuf) -> Result<Collector, String> {
+    let socket =
+        std::net::UdpSocket::bind("127.0.0.1:0").map_err(|e| format!("collector bind: {e}"))?;
+    let addr = socket
+        .local_addr()
+        .map_err(|e| format!("collector addr: {e}"))?;
+    socket
+        .set_read_timeout(Some(Duration::from_millis(50)))
+        .map_err(|e| format!("collector timeout: {e}"))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let mut live = ClusterState::new();
+        let mut bad_frames = 0u64;
+        let mut record = std::fs::File::create(&record_path).ok();
+        let mut buf = vec![0u8; 65_536];
+        loop {
+            match socket.recv_from(&mut buf) {
+                Ok((n, _)) => match TelemetrySnapshot::decode(&buf[..n]) {
+                    Ok(snap) => {
+                        if let Some(f) = record.as_mut() {
+                            let _ = writeln!(f, "{}", snap.to_row().to_json());
+                        }
+                        live.ingest(snap);
+                    }
+                    Err(_) => bad_frames += 1,
+                },
+                // Timeout / interrupt: check the stop flag and keep draining.
+                Err(_) if !thread_stop.load(Ordering::Relaxed) => {}
+                Err(_) => break,
+            }
+        }
+        (live, bad_frames)
+    });
+    Ok(Collector { addr, stop, handle })
+}
+
+/// What the telemetry plane saw over one UDP cluster run.
+#[derive(Debug, Clone, Copy, Default)]
+struct TelemetryOutcome {
+    snapshots: u64,
+    lost: u64,
+    nodes: u64,
+}
+
 /// Runs the scenario as a multi-process UDP loopback cluster and
-/// aggregates the per-process result files.
-fn run_on_udp(s: &Scenario, base_port: u16, dir: &Path) -> Result<Leg, String> {
+/// aggregates the per-process result files. Each daemon streams telemetry
+/// to an in-process collector; after the run, the live roll-up is asserted
+/// byte-identical to replaying the collector's own JSONL recording
+/// (acceptance: one schema, live and replay agree).
+fn run_on_udp(s: &Scenario, base_port: u16, dir: &Path) -> Result<(Leg, TelemetryOutcome), String> {
     std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
     let scenario_path = dir.join(format!("{}.scenario.json", s.name));
     std::fs::write(&scenario_path, s.to_json())
         .map_err(|e| format!("write {}: {e}", scenario_path.display()))?;
     let bin = son_node_bin()?;
+    let record_path = dir.join(format!("{}.udp.telemetry.jsonl", s.name));
+    let collector = spawn_collector(record_path.clone())?;
 
     // Every daemon waits for this shared instant before starting its clock;
     // the lead time covers process spawn and socket binding.
@@ -226,6 +309,8 @@ fn run_on_udp(s: &Scenario, base_port: u16, dir: &Path) -> Result<Leg, String> {
             .arg(base_port.to_string())
             .arg("--out")
             .arg(&out)
+            .arg("--telemetry")
+            .arg(collector.addr.to_string())
             .stdout(std::process::Stdio::null())
             .stderr(std::process::Stdio::piped())
             .spawn()
@@ -263,9 +348,40 @@ fn run_on_udp(s: &Scenario, base_port: u16, dir: &Path) -> Result<Leg, String> {
             }
         }
     }
+    // Every daemon has exited; give the last in-flight datagrams a beat,
+    // then stop the collector and compare live vs replay.
+    std::thread::sleep(Duration::from_millis(200));
+    collector.stop.store(true, Ordering::Relaxed);
+    let (live, bad_frames) = collector
+        .handle
+        .join()
+        .map_err(|_| "collector thread panicked".to_owned())?;
     if !failures.is_empty() {
         return Err(failures.join("; "));
     }
+    if bad_frames > 0 {
+        return Err(format!(
+            "collector received {bad_frames} undecodable telemetry frames"
+        ));
+    }
+    let mut replay = ClusterState::new();
+    let recorded =
+        std::fs::read_to_string(&record_path).map_err(|e| format!("telemetry recording: {e}"))?;
+    for line in recorded.lines().filter(|l| !l.trim().is_empty()) {
+        replay.ingest_line(line);
+    }
+    let live_rollup = live.rollup(5).to_json();
+    let replay_rollup = replay.rollup(5).to_json();
+    if live_rollup != replay_rollup {
+        return Err(format!(
+            "telemetry roll-up diverged between live ingest and JSONL replay:\nlive:   {live_rollup}\nreplay: {replay_rollup}"
+        ));
+    }
+    let telemetry = TelemetryOutcome {
+        snapshots: live.snapshots(),
+        lost: live.nodes().map(|(_, n)| n.lost).sum(),
+        nodes: live.node_count() as u64,
+    };
 
     let mut leg = Leg {
         sent: 0,
@@ -300,7 +416,7 @@ fn run_on_udp(s: &Scenario, base_port: u16, dir: &Path) -> Result<Leg, String> {
             leg.max_gap_ms = g;
         }
     }
-    Ok(leg)
+    Ok((leg, telemetry))
 }
 
 /// Appends fresh `udp_parity` rows to the bench file, dropping any rows a
@@ -331,11 +447,15 @@ struct Comparison {
 
 fn compare(s: Scenario, delivery_band: f64, base_port: u16, dir: &Path) -> Comparison {
     println!("\nscenario {}: {} nodes, spec {}", s.name, s.nodes, s.spec);
-    let sim = run_in_sim(&s);
-    let udp = match run_on_udp(&s, base_port, dir) {
-        Ok(leg) => leg,
+    let sim = run_in_sim(&s, dir);
+    let (udp, telemetry) = match run_on_udp(&s, base_port, dir) {
+        Ok(outcome) => outcome,
         Err(e) => panic!("UDP cluster failed for {}: {e}", s.name),
     };
+    println!(
+        "telemetry: {} snapshots from {} nodes ({} lost in flight); live == replay roll-up",
+        telemetry.snapshots, telemetry.nodes, telemetry.lost
+    );
     table_header(&[
         ("leg", 5),
         ("sent", 7),

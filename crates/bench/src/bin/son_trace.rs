@@ -13,8 +13,12 @@
 //! `--self-check` verifies every reconstructed timeline's causal
 //! consistency (monotone time, contiguous hops, exactly one terminal) and
 //! exits non-zero on a violation or an empty export — CI runs this against
-//! the smoke experiment. `--limit N` caps the example timelines printed
-//! (default 3).
+//! the smoke experiment. Any `kind:"telemetry"` rows in the inputs are
+//! validated too: per-node seq numbers must be monotone in export order
+//! with no duplicate `(node, seq)`, and seq gaps (snapshots lost in
+//! flight) are counted and reported rather than silently ignored — gaps
+//! are legal for a best-effort stream, silence about them is not.
+//! `--limit N` caps the example timelines printed (default 3).
 //!
 //! `--watch-audit` switches to auditing `watch.jsonl` exports instead: it
 //! replays each run's watchdog audit stream and verifies that every
@@ -140,6 +144,68 @@ fn print_timeline(tl: &Timeline) {
             detail
         );
     }
+}
+
+/// Seq accounting over the telemetry rows of one export set.
+#[derive(Debug, Default)]
+struct TelemetryCheck {
+    rows: u64,
+    nodes: std::collections::BTreeSet<u32>,
+    gaps: u64,
+    violations: Vec<String>,
+}
+
+/// Validates every `kind:"telemetry"` row in the given files: monotone seq
+/// per node in export order, no duplicate `(node, seq)`, gaps counted.
+fn check_telemetry(files: &[String]) -> Result<TelemetryCheck, String> {
+    use son_obs::snapshot::TelemetrySnapshot;
+    let mut check = TelemetryCheck::default();
+    let mut last_seq: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    let mut seen: std::collections::HashSet<(u32, u64)> = std::collections::HashSet::new();
+    for path in files {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let json = Json::parse(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+            let snap = match TelemetrySnapshot::from_row(&json) {
+                Ok(Some(snap)) => snap,
+                Ok(None) => continue,
+                Err(e) => {
+                    check
+                        .violations
+                        .push(format!("{path}:{}: broken telemetry row: {e}", i + 1));
+                    continue;
+                }
+            };
+            check.rows += 1;
+            check.nodes.insert(snap.node);
+            if !seen.insert((snap.node, snap.seq)) {
+                check.violations.push(format!(
+                    "{path}:{}: duplicate (node {}, seq {})",
+                    i + 1,
+                    snap.node,
+                    snap.seq
+                ));
+                continue;
+            }
+            match last_seq.get(&snap.node) {
+                Some(&prev) if snap.seq < prev => check.violations.push(format!(
+                    "{path}:{}: node {} seq {} after seq {} (not monotone)",
+                    i + 1,
+                    snap.node,
+                    snap.seq,
+                    prev
+                )),
+                Some(&prev) => check.gaps += snap.seq - prev - 1,
+                None => check.gaps += snap.seq, // seqs 0..first never exported
+            }
+            let e = last_seq.entry(snap.node).or_insert(0);
+            *e = (*e).max(snap.seq);
+        }
+    }
+    Ok(check)
 }
 
 /// Reads one JSONL export, keeping the watch rows with their `run` tags.
@@ -563,9 +629,28 @@ fn run() -> Result<bool, String> {
         }
     }
 
+    // Telemetry rows, when the inputs carry any: seq sanity plus explicit
+    // gap accounting (lost snapshots are visible, never silent).
+    let telemetry = check_telemetry(&args.files)?;
+    if telemetry.rows > 0 {
+        println!(
+            "\ntelemetry: {} rows over {} nodes, {} seq gaps (snapshots lost in flight), {} violations",
+            telemetry.rows,
+            telemetry.nodes.len(),
+            telemetry.gaps,
+            telemetry.violations.len()
+        );
+    }
+
     if !violations.is_empty() {
         println!("\ncausal-consistency violations:");
         for v in &violations {
+            println!("  {v}");
+        }
+    }
+    if !telemetry.violations.is_empty() {
+        println!("\ntelemetry violations:");
+        for v in &telemetry.violations {
             println!("  {v}");
         }
     }
@@ -582,10 +667,26 @@ fn run() -> Result<bool, String> {
             );
             return Ok(false);
         }
+        if !telemetry.violations.is_empty() {
+            println!(
+                "\nself-check: FAIL ({} telemetry violations over {} rows)",
+                telemetry.violations.len(),
+                telemetry.rows
+            );
+            return Ok(false);
+        }
         println!(
-            "\nself-check: ok ({} timelines, {} events causally consistent)",
+            "\nself-check: ok ({} timelines, {} events causally consistent{})",
             timelines.len(),
-            events_total
+            events_total,
+            if telemetry.rows > 0 {
+                format!(
+                    ", {} telemetry rows seq-consistent ({} gaps accounted)",
+                    telemetry.rows, telemetry.gaps
+                )
+            } else {
+                String::new()
+            }
         );
     }
     Ok(true)

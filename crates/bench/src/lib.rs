@@ -7,12 +7,14 @@
 
 pub mod export;
 pub mod scale;
+pub mod telemetry;
 pub mod watchdog;
 
 pub use export::{
     export_perf, export_registry, export_rows, export_timeseries, export_traces, export_watch,
     finish_export, obs_sink, tag_run,
 };
+pub use telemetry::{sim_telemetry, ClusterState, Gate, NodeState};
 
 use son_netsim::loss::LossConfig;
 use son_netsim::sim::Simulation;

@@ -1,0 +1,647 @@
+//! Cluster-side telemetry aggregation: the collector state behind `son-top`.
+//!
+//! A [`ClusterState`] ingests [`TelemetrySnapshot`]s from any mix of
+//! sources — decoded UDP frames off the collector socket, or replayed
+//! `kind:"telemetry"` JSONL rows — and maintains per-node liveness
+//! (received / lost / duplicate accounting off the seq numbers) plus the
+//! latest snapshot per node. [`ClusterState::rollup`] renders the cluster
+//! view `son-top` displays and CI gates on; it deliberately contains no
+//! wall-clock-derived field, so the same snapshots produce byte-identical
+//! roll-ups whether they arrived live or from a recording
+//! (`live_ingest_matches_jsonl_replay` in `exp_udp_parity` locks this).
+//!
+//! [`Gate`] implements the SLO grammar (`delivery>=0.95,stale<=2`): each
+//! clause names a numeric roll-up field, and a breach makes `son-top` exit
+//! non-zero so scripts can use it as a cluster health check.
+
+use std::collections::BTreeMap;
+
+use son_obs::snapshot::{HistDigest, TelemetrySnapshot};
+use son_obs::Json;
+
+/// Telemetry epoch assumed for staleness accounting, ns. Matches the
+/// emitter's default (`son_node::TELEMETRY_EPOCH_NS`).
+pub const EPOCH_NS: u64 = 500_000_000;
+
+/// Per-node collector state: the latest snapshot plus seq accounting.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// Most recent (highest-seq) snapshot from this node.
+    pub latest: TelemetrySnapshot,
+    /// Driver time of the first snapshot seen, ns.
+    pub first_at_ns: u64,
+    /// Snapshots ingested.
+    pub received: u64,
+    /// Seq numbers skipped (loss made visible by the numbering).
+    pub lost: u64,
+    /// Duplicate or reordered-late snapshots (seq at or below the max).
+    pub dup: u64,
+    /// Highest seq seen.
+    pub max_seq: u64,
+}
+
+/// The whole collector: per-node state keyed by node id (ordered, so every
+/// derived view is deterministic), plus ingest health.
+#[derive(Debug, Default)]
+pub struct ClusterState {
+    nodes: BTreeMap<u32, NodeState>,
+    /// Datagrams that failed the telemetry codec.
+    pub decode_errors: u64,
+}
+
+impl ClusterState {
+    /// An empty collector.
+    #[must_use]
+    pub fn new() -> ClusterState {
+        ClusterState::default()
+    }
+
+    /// Ingests one decoded snapshot, updating liveness accounting.
+    pub fn ingest(&mut self, snap: TelemetrySnapshot) {
+        match self.nodes.get_mut(&snap.node) {
+            None => {
+                self.nodes.insert(
+                    snap.node,
+                    NodeState {
+                        first_at_ns: snap.at_ns,
+                        received: 1,
+                        lost: snap.seq, // seqs 0..seq never arrived
+                        dup: 0,
+                        max_seq: snap.seq,
+                        latest: snap,
+                    },
+                );
+            }
+            Some(ns) => {
+                ns.received += 1;
+                if snap.seq > ns.max_seq {
+                    ns.lost += snap.seq - ns.max_seq - 1;
+                    ns.max_seq = snap.seq;
+                    ns.latest = snap;
+                } else {
+                    ns.dup += 1;
+                }
+            }
+        }
+    }
+
+    /// Ingests one UDP datagram; codec failures are counted, not fatal.
+    pub fn ingest_bytes(&mut self, frame: &[u8]) {
+        match TelemetrySnapshot::decode(frame) {
+            Ok(snap) => self.ingest(snap),
+            Err(_) => self.decode_errors += 1,
+        }
+    }
+
+    /// Ingests one JSONL line if it is a `kind:"telemetry"` row; other
+    /// kinds are ignored (experiment files interleave kinds), broken
+    /// telemetry rows are counted as decode errors.
+    pub fn ingest_line(&mut self, line: &str) {
+        let Ok(row) = Json::parse(line) else {
+            self.decode_errors += 1;
+            return;
+        };
+        match TelemetrySnapshot::from_row(&row) {
+            Ok(Some(snap)) => self.ingest(snap),
+            Ok(None) => {}
+            Err(_) => self.decode_errors += 1,
+        }
+    }
+
+    /// Nodes heard from.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Per-node state, node-id order.
+    pub fn nodes(&self) -> impl Iterator<Item = (&u32, &NodeState)> {
+        self.nodes.iter()
+    }
+
+    /// Total snapshots ingested.
+    #[must_use]
+    pub fn snapshots(&self) -> u64 {
+        self.nodes.values().map(|n| n.received).sum()
+    }
+
+    /// Sums the `total` of every counter whose key starts with `prefix`
+    /// across each node's latest snapshot.
+    fn sum_totals(&self, prefix: &str) -> u64 {
+        self.nodes
+            .values()
+            .flat_map(|n| n.latest.counters.iter())
+            .filter(|c| key_name(&c.key) == prefix || c.key.starts_with(prefix))
+            .map(|c| c.total)
+            .sum()
+    }
+
+    /// The cluster roll-up `son-top` renders and gates on. `top_n` bounds
+    /// the hot-link / hot-flow lists. Every field derives from snapshot
+    /// content only — no wall clock — so identical snapshot streams yield
+    /// identical roll-ups regardless of arrival timing.
+    #[must_use]
+    pub fn rollup(&self, top_n: usize) -> Json {
+        let latest_at = self
+            .nodes
+            .values()
+            .map(|n| n.latest.at_ns)
+            .max()
+            .unwrap_or(0);
+        let first_at = self
+            .nodes
+            .values()
+            .map(|n| n.first_at_ns)
+            .min()
+            .unwrap_or(0);
+        let stale = self
+            .nodes
+            .values()
+            .map(|n| (latest_at - n.latest.at_ns) / EPOCH_NS)
+            .max()
+            .unwrap_or(0);
+        let lost: u64 = self.nodes.values().map(|n| n.lost).sum();
+        let dup: u64 = self.nodes.values().map(|n| n.dup).sum();
+        let restarts: u64 = self.nodes.values().map(|n| n.latest.restarts).sum();
+
+        let sent = self.sum_totals("flow.sent");
+        let delivered = self.sum_totals("node.delivered_local");
+        let delivery = if sent == 0 {
+            1.0
+        } else {
+            delivered as f64 / sent as f64
+        };
+
+        // Drop taxonomy: aggregate by counter name, labels stripped.
+        let mut drops: BTreeMap<&str, u64> = BTreeMap::new();
+        for n in self.nodes.values() {
+            for c in &n.latest.counters {
+                let name = key_name(&c.key);
+                if name.starts_with("drop.") {
+                    *drops.entry(name).or_insert(0) += c.total;
+                }
+            }
+        }
+        let drops_total: u64 = drops.values().sum();
+
+        let reroutes = self.sum_totals("reroutes");
+        let span_s = latest_at.saturating_sub(first_at) as f64 / 1e9;
+        let reroutes_per_s = if span_s > 0.0 {
+            reroutes as f64 / span_s
+        } else {
+            0.0
+        };
+
+        let mut suspended = 0u64;
+        let mut probing = 0u64;
+        let mut queue_depth = 0u64;
+        let mut flows = 0u64;
+        let mut footprint = 0u64;
+        for n in self.nodes.values() {
+            suspended += n.latest.health.links.iter().filter(|l| l.suspended).count() as u64;
+            probing += n.latest.health.links.iter().filter(|l| l.probing).count() as u64;
+            queue_depth += n.latest.health.queue_depth;
+            flows += n.latest.health.flows;
+            footprint += n.latest.health.footprint_bytes;
+        }
+
+        // Cluster delivery latency: merge every node's latest digest.
+        let mut latency = HistDigest {
+            min: u64::MAX,
+            ..HistDigest::default()
+        };
+        for n in self.nodes.values() {
+            for h in &n.latest.hists {
+                if key_name(&h.key) == "node.delivery_latency_ns" {
+                    latency.merge(&h.digest);
+                }
+            }
+        }
+
+        // Hot links: suspended first, then deepest backlog; (node, link)
+        // breaks ties deterministically.
+        let mut links: Vec<(u64, u32, &son_obs::snapshot::LinkHealth)> = self
+            .nodes
+            .iter()
+            .flat_map(|(&id, n)| n.latest.health.links.iter().map(move |l| (id, l)))
+            .filter(|(_, l)| l.queue_depth > 0 || l.suspended || l.probing)
+            .map(|(id, l)| (l.queue_depth, id, l))
+            .collect();
+        links.sort_by(|a, b| {
+            b.2.suspended
+                .cmp(&a.2.suspended)
+                .then(b.0.cmp(&a.0))
+                .then(a.1.cmp(&b.1))
+                .then(a.2.link.cmp(&b.2.link))
+        });
+        let hot_links = links
+            .iter()
+            .take(top_n)
+            .map(|&(_, node, l)| {
+                Json::obj(vec![
+                    ("node", Json::U64(u64::from(node))),
+                    ("link", Json::U64(u64::from(l.link))),
+                    ("neighbor", Json::U64(u64::from(l.neighbor))),
+                    ("queue_depth", Json::U64(l.queue_depth)),
+                    ("suspended", Json::Bool(l.suspended)),
+                    ("probing", Json::Bool(l.probing)),
+                ])
+            })
+            .collect();
+
+        // Hot flows: last-epoch activity (deltas) of flow.* counters,
+        // grouped by the flow label across nodes.
+        let mut flow_heat: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+        for n in self.nodes.values() {
+            for c in &n.latest.counters {
+                if key_name(&c.key).starts_with("flow.") {
+                    if let Some(flow) = key_label(&c.key, "flow") {
+                        let e = flow_heat.entry(flow.to_owned()).or_insert((0, 0));
+                        e.0 += c.delta;
+                        e.1 += c.total;
+                    }
+                }
+            }
+        }
+        let mut heat: Vec<(&String, &(u64, u64))> = flow_heat.iter().collect();
+        heat.sort_by(|a, b| (b.1 .0, a.0).cmp(&(a.1 .0, b.0)));
+        let hot_flows = heat
+            .iter()
+            .take(top_n)
+            .map(|(flow, &(delta, total))| {
+                Json::obj(vec![
+                    ("flow", Json::str(flow)),
+                    ("delta", Json::U64(delta)),
+                    ("total", Json::U64(total)),
+                ])
+            })
+            .collect();
+
+        Json::obj(vec![
+            ("kind", Json::str("son-top")),
+            ("nodes", Json::U64(self.nodes.len() as u64)),
+            ("snapshots", Json::U64(self.snapshots())),
+            ("lost", Json::U64(lost)),
+            ("dup", Json::U64(dup)),
+            ("decode_errors", Json::U64(self.decode_errors)),
+            ("restarts", Json::U64(restarts)),
+            ("stale", Json::U64(stale)),
+            ("delivery", Json::F64(delivery)),
+            ("sent", Json::U64(sent)),
+            ("delivered", Json::U64(delivered)),
+            ("drops_total", Json::U64(drops_total)),
+            (
+                "drops",
+                Json::Obj(
+                    drops
+                        .iter()
+                        .map(|(k, &v)| ((*k).to_owned(), Json::U64(v)))
+                        .collect(),
+                ),
+            ),
+            ("reroutes", Json::U64(reroutes)),
+            ("reroutes_per_s", Json::F64(reroutes_per_s)),
+            ("suspended_links", Json::U64(suspended)),
+            ("probing_links", Json::U64(probing)),
+            ("queue_depth", Json::U64(queue_depth)),
+            ("flows", Json::U64(flows)),
+            ("footprint_bytes", Json::U64(footprint)),
+            (
+                "p50_latency_ms",
+                Json::F64(latency.p50() as f64 / 1_000_000.0),
+            ),
+            (
+                "p99_latency_ms",
+                Json::F64(latency.p99() as f64 / 1_000_000.0),
+            ),
+            ("hot_links", Json::Arr(hot_links)),
+            ("hot_flows", Json::Arr(hot_flows)),
+        ])
+    }
+}
+
+/// The counter name of a registry key: everything before the label block.
+#[must_use]
+pub fn key_name(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+/// The value of one label in a registry key (`name{k=v,k2=v2}`).
+#[must_use]
+pub fn key_label<'a>(key: &'a str, label: &str) -> Option<&'a str> {
+    let block = key.strip_suffix('}')?.split_once('{')?.1;
+    block.split(',').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == label).then_some(v)
+    })
+}
+
+// -------------------------------------------------------------------- gate
+
+/// Comparison operator of one gate clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateOp {
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `=`
+    Eq,
+}
+
+impl GateOp {
+    fn holds(self, value: f64, bound: f64) -> bool {
+        match self {
+            GateOp::Ge => value >= bound,
+            GateOp::Le => value <= bound,
+            GateOp::Gt => value > bound,
+            GateOp::Lt => value < bound,
+            GateOp::Eq => (value - bound).abs() < f64::EPSILON,
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            GateOp::Ge => ">=",
+            GateOp::Le => "<=",
+            GateOp::Gt => ">",
+            GateOp::Lt => "<",
+            GateOp::Eq => "=",
+        }
+    }
+}
+
+/// One SLO clause: a numeric roll-up field compared against a bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateClause {
+    /// Roll-up field name (`delivery`, `stale`, `lost`, ...).
+    pub metric: String,
+    /// Comparison.
+    pub op: GateOp,
+    /// Bound.
+    pub bound: f64,
+}
+
+/// A parsed `--gate` spec: all clauses must hold.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Gate {
+    /// The clauses, spec order.
+    pub clauses: Vec<GateClause>,
+}
+
+impl Gate {
+    /// Parses `metric OP value` clauses separated by commas, e.g.
+    /// `delivery>=0.95,stale<=2`. Metrics name numeric top-level fields of
+    /// [`ClusterState::rollup`].
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed clause.
+    pub fn parse(spec: &str) -> Result<Gate, String> {
+        let mut clauses = Vec::new();
+        for clause in spec.split(',').filter(|c| !c.trim().is_empty()) {
+            let clause = clause.trim();
+            let (op_at, op, op_len) = clause
+                .find(">=")
+                .map(|i| (i, GateOp::Ge, 2))
+                .or_else(|| clause.find("<=").map(|i| (i, GateOp::Le, 2)))
+                .or_else(|| clause.find('>').map(|i| (i, GateOp::Gt, 1)))
+                .or_else(|| clause.find('<').map(|i| (i, GateOp::Lt, 1)))
+                .or_else(|| clause.find('=').map(|i| (i, GateOp::Eq, 1)))
+                .ok_or_else(|| format!("gate clause {clause:?}: no operator (>=, <=, >, <, =)"))?;
+            let metric = clause[..op_at].trim();
+            if metric.is_empty() {
+                return Err(format!("gate clause {clause:?}: empty metric name"));
+            }
+            let bound = clause[op_at + op_len..]
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| format!("gate clause {clause:?}: bad bound: {e}"))?;
+            clauses.push(GateClause {
+                metric: metric.to_owned(),
+                op,
+                bound,
+            });
+        }
+        Ok(Gate { clauses })
+    }
+
+    /// Evaluates every clause against a roll-up; returns the breaches
+    /// (empty = healthy). Unknown or non-numeric metrics are breaches —
+    /// a typo must not silently pass a health check.
+    #[must_use]
+    pub fn breaches(&self, rollup: &Json) -> Vec<String> {
+        let mut out = Vec::new();
+        for c in &self.clauses {
+            let value = rollup.get(&c.metric).and_then(|v| match v {
+                Json::U64(u) => Some(*u as f64),
+                Json::F64(f) => Some(*f),
+                _ => None,
+            });
+            match value {
+                None => out.push(format!("{}: no such roll-up metric", c.metric)),
+                Some(v) if !c.op.holds(v, c.bound) => out.push(format!(
+                    "{} = {v} violates {} {} {}",
+                    c.metric,
+                    c.metric,
+                    c.op.symbol(),
+                    c.bound
+                )),
+                Some(_) => {}
+            }
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------- sim-leg hook
+
+use son_netsim::sim::Simulation;
+use son_obs::snapshot::SnapshotProducer;
+use son_overlay::node::OverlayNode;
+use son_overlay::{OverlayHandle, Wire};
+
+/// One sim-leg telemetry tick: renders a snapshot per daemon, exactly as
+/// the UDP leg's emitter would (wall_ns is 0 in-sim). `producers` must be
+/// one per daemon, `overlay.daemons` order. Observation only — the
+/// simulation's fingerprint is unchanged by emitting telemetry
+/// (`telemetry_does_not_perturb_fingerprint` locks this).
+#[must_use]
+pub fn sim_telemetry(
+    sim: &Simulation<Wire>,
+    overlay: &OverlayHandle,
+    producers: &mut [SnapshotProducer],
+    at_ns: u64,
+) -> Vec<TelemetrySnapshot> {
+    overlay
+        .daemons
+        .iter()
+        .zip(producers.iter_mut())
+        .map(|(&d, producer)| {
+            let node = sim.proc_ref::<OverlayNode>(d).expect("daemon");
+            producer.produce(at_ns, 0, node.obs().registry(), &node.telemetry_health())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use son_obs::snapshot::{CounterDelta, LinkHealth, NodeHealth};
+
+    fn snap(node: u32, seq: u64, sent: u64, delivered: u64) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            node,
+            seq,
+            restarts: 0,
+            at_ns: seq * EPOCH_NS,
+            wall_ns: 0,
+            uptime_ns: seq * EPOCH_NS,
+            health: NodeHealth {
+                queue_depth: 2,
+                links: vec![LinkHealth {
+                    link: 0,
+                    neighbor: node + 1,
+                    queue_depth: 2,
+                    suspended: seq > 2,
+                    probing: false,
+                }],
+                flows: 1,
+                footprint_bytes: 1000,
+            },
+            counters: vec![
+                CounterDelta {
+                    key: format!("flow.sent{{flow=f1,node={node}}}"),
+                    total: sent,
+                    delta: sent.min(10),
+                },
+                CounterDelta {
+                    key: format!("node.delivered_local{{node={node}}}"),
+                    total: delivered,
+                    delta: delivered.min(10),
+                },
+                CounterDelta {
+                    key: format!("drop.loss{{node={node}}}"),
+                    total: 3,
+                    delta: 0,
+                },
+            ],
+            hists: vec![],
+        }
+    }
+
+    #[test]
+    fn seq_accounting_sees_loss_and_duplicates() {
+        let mut c = ClusterState::new();
+        c.ingest(snap(0, 0, 10, 0));
+        c.ingest(snap(0, 1, 20, 0));
+        c.ingest(snap(0, 4, 50, 0)); // 2 and 3 lost
+        c.ingest(snap(0, 4, 50, 0)); // duplicate
+        c.ingest(snap(0, 3, 40, 0)); // late
+        let (_, ns) = c.nodes().next().unwrap();
+        assert_eq!(ns.received, 5);
+        assert_eq!(ns.lost, 2);
+        assert_eq!(ns.dup, 2);
+        assert_eq!(ns.max_seq, 4);
+        assert_eq!(ns.latest.seq, 4, "late arrival does not regress latest");
+    }
+
+    #[test]
+    fn first_snapshot_at_nonzero_seq_counts_prior_loss() {
+        let mut c = ClusterState::new();
+        c.ingest(snap(1, 5, 10, 0));
+        let (_, ns) = c.nodes().next().unwrap();
+        assert_eq!(ns.lost, 5, "seqs 0..5 never arrived");
+    }
+
+    #[test]
+    fn rollup_aggregates_across_nodes() {
+        let mut c = ClusterState::new();
+        c.ingest(snap(0, 3, 100, 0));
+        c.ingest(snap(1, 3, 0, 90));
+        let r = c.rollup(5);
+        assert_eq!(r.get("nodes").and_then(Json::as_u64), Some(2));
+        assert_eq!(r.get("sent").and_then(Json::as_u64), Some(100));
+        assert_eq!(r.get("delivered").and_then(Json::as_u64), Some(90));
+        assert_eq!(r.get("delivery").and_then(Json::as_f64), Some(0.9));
+        assert_eq!(r.get("drops_total").and_then(Json::as_u64), Some(6));
+        assert_eq!(r.get("suspended_links").and_then(Json::as_u64), Some(2));
+        assert_eq!(r.get("stale").and_then(Json::as_u64), Some(0));
+        let flows = r.get("hot_flows").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            flows[0].get("flow").and_then(Json::as_str),
+            Some("f1"),
+            "flow label grouped across nodes"
+        );
+    }
+
+    #[test]
+    fn stale_is_epochs_behind_the_freshest_node() {
+        let mut c = ClusterState::new();
+        c.ingest(snap(0, 10, 1, 1));
+        c.ingest(snap(1, 2, 1, 1)); // 8 epochs behind node 0
+        let r = c.rollup(5);
+        assert_eq!(r.get("stale").and_then(Json::as_u64), Some(8));
+    }
+
+    #[test]
+    fn gate_grammar_round_trips_and_evaluates() {
+        let gate = Gate::parse("delivery>=0.95, stale<=2,lost<10").unwrap();
+        assert_eq!(gate.clauses.len(), 3);
+        let healthy = Json::obj(vec![
+            ("delivery", Json::F64(0.99)),
+            ("stale", Json::U64(1)),
+            ("lost", Json::U64(0)),
+        ]);
+        assert!(gate.breaches(&healthy).is_empty());
+        let sick = Json::obj(vec![
+            ("delivery", Json::F64(0.5)),
+            ("stale", Json::U64(9)),
+            ("lost", Json::U64(0)),
+        ]);
+        let breaches = gate.breaches(&sick);
+        assert_eq!(breaches.len(), 2);
+        assert!(breaches[0].contains("delivery"));
+    }
+
+    #[test]
+    fn gate_rejects_garbage_and_unknown_metrics_breach() {
+        assert!(Gate::parse("delivery").is_err());
+        assert!(Gate::parse("delivery>=banana").is_err());
+        assert!(Gate::parse(">=2").is_err());
+        let gate = Gate::parse("no_such_metric>=1").unwrap();
+        assert_eq!(gate.breaches(&Json::obj(vec![])).len(), 1);
+    }
+
+    #[test]
+    fn key_helpers_parse_registry_keys() {
+        assert_eq!(key_name("flow.sent{flow=f1,node=3}"), "flow.sent");
+        assert_eq!(key_name("reroutes"), "reroutes");
+        assert_eq!(key_label("flow.sent{flow=f1,node=3}", "flow"), Some("f1"));
+        assert_eq!(key_label("flow.sent{flow=f1,node=3}", "node"), Some("3"));
+        assert_eq!(key_label("flow.sent{flow=f1}", "proto"), None);
+        assert_eq!(key_label("reroutes", "node"), None);
+    }
+
+    #[test]
+    fn bytes_and_rows_produce_identical_state() {
+        let snaps: Vec<TelemetrySnapshot> = (0u64..4)
+            .map(|s| snap(u32::from(s % 2 == 0), s, 10, 5))
+            .collect();
+        let mut via_bytes = ClusterState::new();
+        let mut via_rows = ClusterState::new();
+        for s in &snaps {
+            via_bytes.ingest_bytes(&s.encode().unwrap());
+            via_rows.ingest_line(&s.to_row().to_json());
+        }
+        assert_eq!(
+            via_bytes.rollup(10).to_json(),
+            via_rows.rollup(10).to_json(),
+            "one schema, two transports, same roll-up"
+        );
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! son-node --scenario FILE --node N --epoch UNIX_NS --base-port PORT \
-//!          [--host 127.0.0.1] [--out FILE]
+//!          [--host 127.0.0.1] [--out FILE] [--telemetry ADDR]
 //! ```
 //!
 //! One process is one overlay node of the scenario: it binds UDP port
@@ -11,6 +11,11 @@
 //! same clock), runs the scenario to its horizon, and writes a JSONL result
 //! file: one `kind:"udp-node"` summary row, then this daemon's trace rows
 //! (with `wall_ns`, so `son-trace` exports from different processes merge).
+//!
+//! With `--telemetry ADDR`, the daemon additionally streams one binary
+//! [`son_obs::TelemetrySnapshot`] every telemetry epoch to the collector at
+//! `ADDR` (normally a `son-top` listener) over a separate best-effort UDP
+//! socket — seq-numbered, so the collector sees loss instead of guessing.
 //!
 //! The cluster harness around this binary is `exp_udp_parity` in
 //! `son-bench`, which runs the same scenario file through the simulator and
@@ -23,8 +28,7 @@ use std::process::ExitCode;
 use son_node::{unix_now_ns, NodeRuntime, Scenario, UdpTransport};
 use son_topo::NodeId;
 
-const USAGE: &str =
-    "usage: son-node --scenario FILE --node N --epoch UNIX_NS --base-port PORT [--host IP] [--out FILE]";
+const USAGE: &str = "usage: son-node --scenario FILE --node N --epoch UNIX_NS --base-port PORT [--host IP] [--out FILE] [--telemetry ADDR]";
 
 struct Args {
     scenario: String,
@@ -33,6 +37,7 @@ struct Args {
     base_port: u16,
     host: IpAddr,
     out: Option<String>,
+    telemetry: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +47,7 @@ fn parse_args() -> Result<Args, String> {
     let mut base_port = None;
     let mut host: IpAddr = IpAddr::from([127, 0, 0, 1]);
     let mut out = None;
+    let mut telemetry = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -77,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--host: {e}"))?;
             }
             "--out" => out = Some(value("--out")?),
+            "--telemetry" => telemetry = Some(value("--telemetry")?),
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
         }
     }
@@ -87,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
         base_port: base_port.ok_or_else(|| format!("--base-port is required\n{USAGE}"))?,
         host,
         out,
+        telemetry,
     })
 }
 
@@ -120,6 +128,11 @@ fn run() -> Result<(), String> {
         eprintln!("son-node: warning: epoch is in the past; starting immediately");
     }
     let mut runtime = NodeRuntime::new(scenario, NodeId(args.node), transport, args.epoch_ns);
+    if let Some(collector) = &args.telemetry {
+        runtime
+            .enable_telemetry(collector)
+            .map_err(|e| format!("telemetry {collector}: {e}"))?;
+    }
     runtime.run().map_err(|e| format!("transport: {e}"))?;
 
     let report = runtime.report();

@@ -39,6 +39,7 @@ use son_netsim::sim::Ctx;
 use son_netsim::stats::Counters;
 use son_netsim::time::{SimDuration, SimTime};
 use son_netsim::underlay::{Attachment, UEdgeId};
+use son_obs::snapshot::SnapshotProducer;
 use son_obs::{DropClass, Json};
 use son_overlay::auth::KeyRegistry;
 use son_overlay::builder::HOP_PROCESSING;
@@ -60,6 +61,21 @@ pub const MASTER_SECRET: u64 = 0x5eed;
 /// The `from` pid handed to handlers for frames that arrived off the wire:
 /// the remote daemon has no local process id.
 const REMOTE_SENDER: ProcessId = ProcessId(usize::MAX);
+
+/// Default telemetry epoch: one snapshot every 500 ms.
+pub const TELEMETRY_EPOCH_NS: u64 = 500_000_000;
+
+/// Streams one [`son_obs::TelemetrySnapshot`] per telemetry epoch over its
+/// own best-effort UDP socket toward a collector (`son-top`). Loss is
+/// acceptable by design — snapshots are seq-numbered so the collector can
+/// account for gaps — and a full send buffer must never stall the daemon.
+#[derive(Debug)]
+struct TelemetryEmitter {
+    socket: std::net::UdpSocket,
+    producer: SnapshotProducer,
+    every_ns: u64,
+    next_ns: u64,
+}
 
 /// Nanoseconds since the Unix epoch, right now.
 #[must_use]
@@ -335,6 +351,7 @@ pub struct NodeRuntime<T: Transport> {
     in_pipes: HashMap<(u32, u8), PipeId>,
     me: NodeId,
     scenario: Scenario,
+    telemetry: Option<TelemetryEmitter>,
     /// Datagrams that failed to decode (noise, truncation, version skew).
     pub decode_errors: u64,
     /// Well-formed frames from a `(peer, provider)` with no registered
@@ -454,9 +471,59 @@ impl<T: Transport> NodeRuntime<T> {
             in_pipes,
             me,
             scenario,
+            telemetry: None,
             decode_errors: 0,
             unknown_pipe: 0,
         }
+    }
+
+    /// Enables snapshot streaming toward `collector` (a `host:port`), one
+    /// snapshot every [`TELEMETRY_EPOCH_NS`]. The socket is connected and
+    /// non-blocking: a full buffer or unreachable collector drops the
+    /// snapshot instead of stalling the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket bind/connect error; an unreachable collector at
+    /// *send* time is not an error.
+    pub fn enable_telemetry(&mut self, collector: &str) -> io::Result<()> {
+        let socket = std::net::UdpSocket::bind("0.0.0.0:0")?;
+        socket.set_nonblocking(true)?;
+        socket.connect(collector)?;
+        self.telemetry = Some(TelemetryEmitter {
+            socket,
+            producer: SnapshotProducer::new(self.me.0 as u32),
+            every_ns: TELEMETRY_EPOCH_NS,
+            next_ns: 0,
+        });
+        Ok(())
+    }
+
+    /// Emits one telemetry snapshot if the epoch boundary has passed.
+    fn pump_telemetry(&mut self, now_ns: u64) {
+        let Some(mut tel) = self.telemetry.take() else {
+            return;
+        };
+        if now_ns >= tel.next_ns {
+            while tel.next_ns <= now_ns {
+                tel.next_ns += tel.every_ns;
+            }
+            let node = self.node();
+            let health = node.telemetry_health();
+            let snap = tel
+                .producer
+                .produce(now_ns, unix_now_ns(), node.obs().registry(), &health);
+            match snap.encode() {
+                Ok(frame) => match tel.socket.send(&frame) {
+                    Ok(_) => self.driver.counters.incr("telemetry.sent"),
+                    // Best-effort: the collector being gone or the buffer
+                    // being full costs one snapshot, never the daemon.
+                    Err(_) => self.driver.counters.incr("telemetry.send_error"),
+                },
+                Err(_) => self.driver.counters.incr("telemetry.encode_error"),
+            }
+        }
+        self.telemetry = Some(tel);
     }
 
     fn dispatch_start(&mut self, pid: ProcessId) {
@@ -560,6 +627,7 @@ impl<T: Transport> NodeRuntime<T> {
                 idle = false;
                 self.transport.send_to(peer as usize, &frame)?;
             }
+            self.pump_telemetry(now_ns);
             if idle {
                 std::thread::sleep(Duration::from_micros(200));
             }

@@ -30,7 +30,7 @@ impl Default for LatencyHistogram {
 
 /// Bucket index for a value: bucket 0 covers `[0, 1]`, bucket `i` (≥ 1)
 /// covers `(2^(i-1), 2^i]`.
-fn bucket_of(v: u64) -> usize {
+pub(crate) fn bucket_of(v: u64) -> usize {
     if v == 0 {
         0
     } else {
@@ -39,7 +39,7 @@ fn bucket_of(v: u64) -> usize {
 }
 
 /// Inclusive upper bound of bucket `i` in nanoseconds.
-fn bucket_hi(i: usize) -> u64 {
+pub(crate) fn bucket_hi(i: usize) -> u64 {
     if i == 0 {
         1
     } else if i >= 64 {
@@ -51,7 +51,7 @@ fn bucket_hi(i: usize) -> u64 {
 
 /// Exclusive lower bound of bucket `i` in nanoseconds (inclusive 0 for the
 /// zero bucket).
-fn bucket_lo(i: usize) -> u64 {
+pub(crate) fn bucket_lo(i: usize) -> u64 {
     if i == 0 {
         0
     } else {
@@ -185,6 +185,23 @@ impl LatencyHistogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Exact sum of recorded values in nanoseconds (`u128`: a u64 count of
+    /// u64 values cannot overflow it).
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Non-empty buckets as `(bucket index, count)` — the raw sparse form
+    /// a [`snapshot::HistDigest`](crate::snapshot::HistDigest) serializes.
+    pub fn bucket_counts(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
     }
 
     /// Non-empty buckets as `(lo_exclusive_ns, hi_inclusive_ns, count)`.

@@ -29,6 +29,7 @@ pub mod hist;
 pub mod json;
 pub mod perf;
 pub mod registry;
+pub mod snapshot;
 pub mod span;
 pub mod taxonomy;
 pub mod timeseries;
@@ -41,6 +42,10 @@ pub use hist::LatencyHistogram;
 pub use json::Json;
 pub use perf::{perf_rows, PerfRegistry, PerfSpan, PerfStageStats, PerfToken, PERF_SAMPLE_EVERY};
 pub use registry::{CounterId, GaugeId, HistId, InstrumentDesc, Registry};
+pub use snapshot::{
+    CounterDelta, HistDigest, LinkHealth, NamedDigest, NodeHealth, SnapshotProducer,
+    TelemetryError, TelemetrySnapshot, TELEMETRY_MAGIC, TELEMETRY_VERSION,
+};
 pub use span::{PacketKey, SpanEvent, SpanRing, SpanStage};
 pub use taxonomy::DropClass;
 pub use timeseries::{TimeSeriesRing, TsSample};
@@ -58,6 +63,7 @@ pub mod prelude {
     pub use crate::json::Json;
     pub use crate::perf::{PerfRegistry, PerfSpan};
     pub use crate::registry::{CounterId, GaugeId, HistId, Registry};
+    pub use crate::snapshot::{SnapshotProducer, TelemetrySnapshot};
     pub use crate::span::{PacketKey, SpanEvent, SpanRing, SpanStage};
     pub use crate::taxonomy::DropClass;
     pub use crate::timeseries::TimeSeriesRing;

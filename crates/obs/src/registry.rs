@@ -64,6 +64,43 @@ impl InstrumentDesc {
         out.push('}');
         out
     }
+
+    /// `true` iff `rendered` is exactly what [`InstrumentDesc::key`] would
+    /// return, checked without allocating — the telemetry producer
+    /// revalidates its cached key strings against the registry this way
+    /// every epoch, so the steady-state snapshot path never re-renders.
+    #[must_use]
+    pub fn key_matches(&self, rendered: &str) -> bool {
+        let Some(mut rest) = rendered.strip_prefix(self.name.as_str()) else {
+            return false;
+        };
+        if self.labels.is_empty() {
+            return rest.is_empty();
+        }
+        let Some(r) = rest.strip_prefix('{') else {
+            return false;
+        };
+        rest = r;
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                let Some(r) = rest.strip_prefix(',') else {
+                    return false;
+                };
+                rest = r;
+            }
+            let Some(r) = rest.strip_prefix(k.as_str()) else {
+                return false;
+            };
+            let Some(r) = r.strip_prefix('=') else {
+                return false;
+            };
+            let Some(r) = r.strip_prefix(v.as_str()) else {
+                return false;
+            };
+            rest = r;
+        }
+        rest == "}"
+    }
 }
 
 fn lookup_key(name: &str, labels: &[(&str, &str)]) -> String {

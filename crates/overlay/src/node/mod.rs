@@ -56,7 +56,7 @@ use crate::service::RealtimeParams;
 use crate::session::SessionTable;
 use crate::state::connectivity::{ConnectivityConfig, ConnectivityMonitor};
 use crate::state::groups::GroupTable;
-use crate::watch::{WatchConfig, WatchState};
+use crate::watch::{LinkWatch, WatchConfig, WatchState};
 
 use dispatch::ActionBufs;
 
@@ -423,6 +423,57 @@ impl OverlayNode {
                 + hashmap_bytes(&self.delayed),
         );
         report
+    }
+
+    /// Total frames queued across every protocol instance of every incident
+    /// link — the node-wide backlog a telemetry snapshot reports.
+    #[must_use]
+    pub fn queue_depth_total(&self) -> u64 {
+        self.links
+            .iter()
+            .flat_map(|port| port.protos.iter())
+            .map(|proto| proto.queue_depth() as u64)
+            .sum()
+    }
+
+    /// Per-link health in local link order: queue backlog plus the
+    /// watchdog's verdict (suspended / probing), `false` on both when the
+    /// watchdog is disabled.
+    #[must_use]
+    pub fn link_health(&self) -> Vec<son_obs::snapshot::LinkHealth> {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, port)| {
+                let lw = self.watch.as_ref().and_then(|w| w.links.get(i));
+                son_obs::snapshot::LinkHealth {
+                    link: i as u32,
+                    neighbor: port.neighbor.0 as u32,
+                    queue_depth: port
+                        .protos
+                        .iter()
+                        .map(|proto| proto.queue_depth() as u64)
+                        .sum(),
+                    suspended: lw.is_some_and(LinkWatch::is_suspended),
+                    probing: lw.is_some_and(LinkWatch::is_probing),
+                }
+            })
+            .collect()
+    }
+
+    /// The structural half of a telemetry snapshot: queue depths, per-link
+    /// watch state, flow-table occupancy, and the retained-heap roll-up.
+    /// Counters and histograms travel separately, straight from
+    /// [`NodeObs::registry`](crate::obs::NodeObs::registry).
+    #[must_use]
+    pub fn telemetry_health(&self) -> son_obs::snapshot::NodeHealth {
+        let links = self.link_health();
+        son_obs::snapshot::NodeHealth {
+            queue_depth: links.iter().map(|l| l.queue_depth).sum(),
+            links,
+            flows: self.flows.len() as u64,
+            footprint_bytes: self.footprint().total() as u64,
+        }
     }
 
     /// Ensures a flow context exists for `pkt`'s flow and counts one

@@ -182,6 +182,15 @@ impl LinkWatch {
         !matches!(self.state, LinkState::Healthy)
     }
 
+    /// Whether the link is in its readmission probe window — suspended for
+    /// traffic, but accumulating healthy-epoch evidence toward recovery.
+    /// Telemetry distinguishes this from a hard suspension so an operator
+    /// can see a link on its way back.
+    #[must_use]
+    pub fn is_probing(&self) -> bool {
+        matches!(self.state, LinkState::Probing { .. })
+    }
+
     /// Advances the state machine one epoch. `probe_healthy` is the
     /// hello-derived verdict (link up, loss low) used during probing.
     pub fn on_epoch(

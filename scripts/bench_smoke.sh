@@ -51,9 +51,11 @@ awk -v fresh="$fresh" -v base="$baseline" 'BEGIN {
 }'
 
 # Tracing overhead guard: the same smoke run re-executes the workload with
-# 1-in-64 trace sampling on and writes a mode:"traced" row; sampled tracing
-# must cost at most 5% of forwarding throughput against the in-run untraced
-# figure (same machine, same moment — wall-clock noise mostly cancels).
+# 1-in-64 trace sampling AND per-epoch telemetry snapshot emission on and
+# writes a mode:"traced" row (the row carries "telemetry":true); the whole
+# observability stack — sampling, watchdog, telemetry plane — must cost at
+# most 5% of forwarding throughput against the in-run untraced figure (same
+# machine, same moment — wall-clock noise mostly cancels).
 extract_traced_pps() {
     grep '"bench":"exp_throughput"' "$1" | grep '"mode":"traced"' \
         | sed -n 's/.*"sim_pkts_per_wall_s":\([0-9.eE+-]*\).*/\1/p' | tail -1

@@ -41,8 +41,14 @@ echo "==> udp loopback smoke (son-node x4 over 127.0.0.1, sim-vs-real parity)"
 BENCH_OUT=target/obs/BENCH_udp_smoke.json \
     cargo run --release -q -p son-bench --bin exp_udp_parity -- --smoke
 cat target/obs/udp_parity/udp_e1_smoke.result.*.json \
+    target/obs/udp_parity/udp_e1_smoke.udp.telemetry.jsonl \
     > target/obs/udp_parity/udp_e1_smoke.merged.jsonl
 cargo run --release -q -p son-bench --bin son-trace -- \
     --self-check --limit 1 target/obs/udp_parity/udp_e1_smoke.merged.jsonl
+
+echo "==> son-top SLO gate on the cluster's telemetry stream"
+cargo run --release -q -p son-bench --bin son-top -- --json --once \
+    --gate 'delivery>=0.9,stale<=2' \
+    target/obs/udp_parity/udp_e1_smoke.udp.telemetry.jsonl
 
 echo "All checks passed."
