@@ -78,6 +78,7 @@ fn e1_scenario(smoke: bool) -> Scenario {
         seed: 1_000,
         trace_sample: 8,
         watch: false,
+        membership: false,
         outage: None,
     }
 }
@@ -101,6 +102,7 @@ fn e3_scenario() -> Scenario {
         seed: 2_000,
         trace_sample: 8,
         watch: true,
+        membership: false,
         outage: Some(son_node::Outage {
             a: 1,
             b: 2,

@@ -101,8 +101,11 @@ fn render(cluster: &ClusterState, top: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "son-top | {} nodes | {} snapshots ({} lost, {} dup) | stale {} | restarts {}",
+        "son-top | {} nodes ({} members, {} departed) | {} snapshots ({} lost, {} dup) \
+         | stale {} | restarts {}",
         g("nodes"),
+        g("members"),
+        g("departed"),
         g("snapshots"),
         g("lost"),
         g("dup"),

@@ -156,12 +156,18 @@ struct TelemetryCheck {
 }
 
 /// Validates every `kind:"telemetry"` row in the given files: monotone seq
-/// per node in export order, no duplicate `(node, seq)`, gaps counted.
+/// per node incarnation in export order, no duplicate `(node, restarts,
+/// seq)`, gaps counted. Membership churn is a normal condition, not a
+/// violation: a node's first sighting charges no gap (it may have joined
+/// mid-run), and a seq reset accompanied by a higher `restarts` is a
+/// rejoin, not a monotonicity breach.
 fn check_telemetry(files: &[String]) -> Result<TelemetryCheck, String> {
     use son_obs::snapshot::TelemetrySnapshot;
     let mut check = TelemetryCheck::default();
-    let mut last_seq: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
-    let mut seen: std::collections::HashSet<(u32, u64)> = std::collections::HashSet::new();
+    // Per node: (incarnation, highest seq in that incarnation).
+    let mut last_seq: std::collections::BTreeMap<u32, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    let mut seen: std::collections::HashSet<(u32, u64, u64)> = std::collections::HashSet::new();
     for path in files {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         for (i, line) in text.lines().enumerate() {
@@ -181,28 +187,46 @@ fn check_telemetry(files: &[String]) -> Result<TelemetryCheck, String> {
             };
             check.rows += 1;
             check.nodes.insert(snap.node);
-            if !seen.insert((snap.node, snap.seq)) {
+            if !seen.insert((snap.node, snap.restarts, snap.seq)) {
                 check.violations.push(format!(
-                    "{path}:{}: duplicate (node {}, seq {})",
+                    "{path}:{}: duplicate (node {}, incarnation {}, seq {})",
                     i + 1,
                     snap.node,
+                    snap.restarts,
                     snap.seq
                 ));
                 continue;
             }
             match last_seq.get(&snap.node) {
-                Some(&prev) if snap.seq < prev => check.violations.push(format!(
-                    "{path}:{}: node {} seq {} after seq {} (not monotone)",
+                Some(&(inc, _)) if snap.restarts > inc => {
+                    // Rejoin: a new incarnation restarts the numbering.
+                    last_seq.insert(snap.node, (snap.restarts, snap.seq));
+                }
+                Some(&(inc, _)) if snap.restarts < inc => check.violations.push(format!(
+                    "{path}:{}: node {} incarnation {} after incarnation {} (not monotone)",
+                    i + 1,
+                    snap.node,
+                    snap.restarts,
+                    inc
+                )),
+                Some(&(inc, prev)) if snap.seq < prev => check.violations.push(format!(
+                    "{path}:{}: node {} seq {} after seq {} (incarnation {}, not monotone)",
                     i + 1,
                     snap.node,
                     snap.seq,
-                    prev
+                    prev,
+                    inc
                 )),
-                Some(&prev) => check.gaps += snap.seq - prev - 1,
-                None => check.gaps += snap.seq, // seqs 0..first never exported
+                Some(&(inc, prev)) => {
+                    check.gaps += snap.seq - prev - 1;
+                    last_seq.insert(snap.node, (inc, snap.seq));
+                }
+                // First sighting: the node may have joined mid-run; its
+                // earlier seqs are history, not export loss.
+                None => {
+                    last_seq.insert(snap.node, (snap.restarts, snap.seq));
+                }
             }
-            let e = last_seq.entry(snap.node).or_insert(0);
-            *e = (*e).max(snap.seq);
         }
     }
     Ok(check)

@@ -5,6 +5,7 @@
 //! `EXPERIMENTS.md` for paper-vs-measured results). This library holds the
 //! shared runners and table-printing helpers.
 
+pub mod churn;
 pub mod export;
 pub mod scale;
 pub mod telemetry;

@@ -23,6 +23,13 @@ use son_obs::Json;
 /// emitter's default (`son_node::TELEMETRY_EPOCH_NS`).
 pub const EPOCH_NS: u64 = 500_000_000;
 
+/// Epochs of silence after which a node is considered departed (left or
+/// crashed) rather than stale: it is excluded from the `stale` roll-up —
+/// a member that left must not breach a `stale<=N` gate forever — and
+/// reported under `departed` instead. Matches the overlay's detection
+/// cadence (3 maintenance epochs) with slack for collector jitter.
+pub const DEPART_EPOCHS: u64 = 6;
+
 /// Per-node collector state: the latest snapshot plus seq accounting.
 #[derive(Debug, Clone)]
 pub struct NodeState {
@@ -60,12 +67,15 @@ impl ClusterState {
     pub fn ingest(&mut self, snap: TelemetrySnapshot) {
         match self.nodes.get_mut(&snap.node) {
             None => {
+                // First sighting. The node may have just joined the
+                // cluster mid-run, or the collector may have started late:
+                // either way seqs before this one are history, not loss.
                 self.nodes.insert(
                     snap.node,
                     NodeState {
                         first_at_ns: snap.at_ns,
                         received: 1,
-                        lost: snap.seq, // seqs 0..seq never arrived
+                        lost: 0,
                         dup: 0,
                         max_seq: snap.seq,
                         latest: snap,
@@ -74,7 +84,16 @@ impl ClusterState {
             }
             Some(ns) => {
                 ns.received += 1;
-                if snap.seq > ns.max_seq {
+                let seen_restarts = ns.latest.restarts;
+                if snap.restarts > seen_restarts {
+                    // The node restarted (rejoined): its seq numbering
+                    // reset — a fresh incarnation, not loss.
+                    ns.max_seq = snap.seq;
+                    ns.latest = snap;
+                } else if snap.restarts < seen_restarts {
+                    // Straggler from a previous incarnation.
+                    ns.dup += 1;
+                } else if snap.seq > ns.max_seq {
                     ns.lost += snap.seq - ns.max_seq - 1;
                     ns.max_seq = snap.seq;
                     ns.latest = snap;
@@ -154,10 +173,20 @@ impl ClusterState {
             .map(|n| n.first_at_ns)
             .min()
             .unwrap_or(0);
+        // A node far enough behind the freshest snapshot has departed
+        // (left or crashed); the rest are members, and only members count
+        // toward staleness — departure is membership, not collector lag.
+        let departed = self
+            .nodes
+            .values()
+            .filter(|n| (latest_at - n.latest.at_ns) / EPOCH_NS >= DEPART_EPOCHS)
+            .count() as u64;
+        let members = self.nodes.len() as u64 - departed;
         let stale = self
             .nodes
             .values()
             .map(|n| (latest_at - n.latest.at_ns) / EPOCH_NS)
+            .filter(|&epochs| epochs < DEPART_EPOCHS)
             .max()
             .unwrap_or(0);
         let lost: u64 = self.nodes.values().map(|n| n.lost).sum();
@@ -280,6 +309,8 @@ impl ClusterState {
         Json::obj(vec![
             ("kind", Json::str("son-top")),
             ("nodes", Json::U64(self.nodes.len() as u64)),
+            ("members", Json::U64(members)),
+            ("departed", Json::U64(departed)),
             ("snapshots", Json::U64(self.snapshots())),
             ("lost", Json::U64(lost)),
             ("dup", Json::U64(dup)),
@@ -551,11 +582,38 @@ mod tests {
     }
 
     #[test]
-    fn first_snapshot_at_nonzero_seq_counts_prior_loss() {
+    fn first_sighting_of_a_joining_node_is_not_loss() {
+        // A node that joins the cluster mid-run starts emitting at a
+        // nonzero seq; the collector must not book its history as loss.
         let mut c = ClusterState::new();
         c.ingest(snap(1, 5, 10, 0));
         let (_, ns) = c.nodes().next().unwrap();
-        assert_eq!(ns.lost, 5, "seqs 0..5 never arrived");
+        assert_eq!(ns.lost, 0, "pre-sighting seqs are history, not loss");
+        assert_eq!(ns.max_seq, 5);
+        c.ingest(snap(1, 7, 10, 0)); // 6 skipped after sighting
+        let (_, ns) = c.nodes().next().unwrap();
+        assert_eq!(ns.lost, 1, "post-sighting gaps still count");
+    }
+
+    #[test]
+    fn restart_resets_seq_accounting_without_false_loss() {
+        let mut c = ClusterState::new();
+        c.ingest(snap(0, 7, 10, 0));
+        let mut reborn = snap(0, 0, 1, 0);
+        reborn.restarts = 1;
+        c.ingest(reborn);
+        let (_, ns) = c.nodes().next().unwrap();
+        assert_eq!(ns.lost, 0, "a seq reset after restart is not loss");
+        assert_eq!(ns.dup, 0, "nor is it a duplicate");
+        assert_eq!(ns.max_seq, 0, "accounting follows the new incarnation");
+        assert_eq!(ns.latest.restarts, 1);
+
+        let mut straggler = snap(0, 9, 10, 0);
+        straggler.restarts = 0;
+        c.ingest(straggler);
+        let (_, ns) = c.nodes().next().unwrap();
+        assert_eq!(ns.dup, 1, "old-incarnation stragglers are duplicates");
+        assert_eq!(ns.latest.restarts, 1, "and do not regress latest");
     }
 
     #[test]
@@ -580,12 +638,41 @@ mod tests {
     }
 
     #[test]
-    fn stale_is_epochs_behind_the_freshest_node() {
+    fn stale_is_epochs_behind_the_freshest_member() {
         let mut c = ClusterState::new();
         c.ingest(snap(0, 10, 1, 1));
-        c.ingest(snap(1, 2, 1, 1)); // 8 epochs behind node 0
+        c.ingest(snap(1, 7, 1, 1)); // 3 epochs behind node 0: stale member
         let r = c.rollup(5);
-        assert_eq!(r.get("stale").and_then(Json::as_u64), Some(8));
+        assert_eq!(r.get("stale").and_then(Json::as_u64), Some(3));
+        assert_eq!(r.get("members").and_then(Json::as_u64), Some(2));
+        assert_eq!(r.get("departed").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn departed_node_is_excluded_from_staleness() {
+        // A member that left stops emitting; it must move to `departed`
+        // instead of breaching `stale<=N` gates forever.
+        let mut c = ClusterState::new();
+        c.ingest(snap(0, 10, 1, 1));
+        c.ingest(snap(1, 2, 1, 1)); // 8 epochs behind >= DEPART_EPOCHS
+        let r = c.rollup(5);
+        assert_eq!(r.get("stale").and_then(Json::as_u64), Some(0));
+        assert_eq!(r.get("nodes").and_then(Json::as_u64), Some(2));
+        assert_eq!(r.get("members").and_then(Json::as_u64), Some(1));
+        assert_eq!(r.get("departed").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn gate_on_member_count_works() {
+        let mut c = ClusterState::new();
+        c.ingest(snap(0, 10, 1, 1));
+        c.ingest(snap(1, 10, 1, 1));
+        c.ingest(snap(2, 2, 1, 1)); // departed
+        let r = c.rollup(5);
+        assert!(Gate::parse("members>=2").unwrap().breaches(&r).is_empty());
+        let breaches = Gate::parse("members>=3").unwrap().breaches(&r);
+        assert_eq!(breaches.len(), 1, "a shrunken fleet breaches the gate");
+        assert!(breaches[0].contains("members"));
     }
 
     #[test]

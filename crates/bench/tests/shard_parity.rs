@@ -12,6 +12,7 @@
 //! whose lookahead comes from real fiber latencies), and a watchdog
 //! fault-injection campaign (crash/restart flaps plus remediation).
 
+use son_bench::churn::{ChurnPattern, ChurnRun};
 use son_bench::scale::{scale_topology, SCALE_HOLD_DOWN};
 use son_bench::watchdog::{router_failure_campaign, WatchdogRun};
 use son_bench::{ring_with_chords, RX_PORT, TX_PORT};
@@ -207,5 +208,40 @@ fn watchdog_campaign_parity_including_watch_history() {
     assert!(
         !seq.watch_events.is_empty(),
         "campaign must exercise the watchdog for the parity to mean anything"
+    );
+}
+
+#[test]
+fn churn_campaign_parity_with_membership_active() {
+    // Sustained graceful churn with the full membership machinery live:
+    // leave floods, crash detection epochs, evictions, rejoin incarnation
+    // bumps. Sequential and sharded runs must stay bit-identical — the
+    // tentpole's determinism requirement.
+    let run = |shards: usize| {
+        let mut r = ChurnRun::new(
+            "parity",
+            53,
+            ChurnPattern::Sustained {
+                events: 6,
+                downtime: SimDuration::from_secs(2),
+                graceful: true,
+            },
+        )
+        .with_shards(shards);
+        r.nodes = 32;
+        r.run_for = SimDuration::from_secs(14);
+        r.count = 800;
+        r.run()
+    };
+    let seq = run(1);
+    let par = run(4);
+    assert_eq!(par.fingerprint, seq.fingerprint, "fingerprint diverged");
+    assert_eq!(par.sent, seq.sent);
+    assert_eq!(par.received, seq.received);
+    assert_eq!(par.max_lag, seq.max_lag);
+    assert_eq!(par.evictions, seq.evictions, "eviction counts diverged");
+    assert!(
+        seq.evictions > 0 && seq.graceful_leaves > 0,
+        "campaign must exercise membership for the parity to mean anything"
     );
 }

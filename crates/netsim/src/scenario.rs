@@ -857,6 +857,109 @@ impl Campaign {
         self
     }
 
+    /// Composes sustained membership churn: `events` departure/recovery
+    /// cycles drawn uniformly over `procs` and `window`. Each drawn process
+    /// goes down for `downtime`, then restarts (rejoining with a fresh
+    /// incarnation). With `leave_token` set, departures are *graceful*: the
+    /// process is poked with that timer token `grace` before the crash so
+    /// it can flood its leave announcement and withdraw its advertisements
+    /// first; `None` makes every departure an unannounced crash. Overlapping
+    /// draws on the same process are safe: crashes are idempotent, restarts
+    /// are ignored while up, and pokes are dropped while down.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sustained_churn(
+        &mut self,
+        procs: &[ProcessId],
+        window: (SimTime, SimTime),
+        events: usize,
+        downtime: SimDuration,
+        grace: SimDuration,
+        leave_token: Option<u64>,
+    ) -> &mut Self {
+        assert!(!procs.is_empty(), "churn needs processes to churn");
+        let mut rng = self.episode_rng("campaign:sustained_churn");
+        for _ in 0..events {
+            let pid = procs[rng.uniform_u64(0, procs.len() as u64) as usize];
+            let at = Self::draw_at(&mut rng, window, grace + downtime);
+            if let Some(token) = leave_token {
+                self.events
+                    .push((at, ScenarioEvent::PokeProcess(pid, token)));
+            }
+            self.events
+                .push((at + grace, ScenarioEvent::CrashProcess(pid)));
+            self.events
+                .push((at + grace + downtime, ScenarioEvent::RestartProcess(pid)));
+        }
+        self
+    }
+
+    /// Composes a flash wave: every listed process crashes at exactly
+    /// `down_at` and rejoins simultaneously at `up_at` — the bulk
+    /// flash-join that stresses join handling and route re-convergence
+    /// all at once.
+    pub fn flash_restart(
+        &mut self,
+        procs: &[ProcessId],
+        down_at: SimTime,
+        up_at: SimTime,
+    ) -> &mut Self {
+        assert!(up_at > down_at, "the wave must come back after it leaves");
+        for &pid in procs {
+            self.events
+                .push((down_at, ScenarioEvent::CrashProcess(pid)));
+            self.events
+                .push((up_at, ScenarioEvent::RestartProcess(pid)));
+        }
+        self
+    }
+
+    /// Composes deterministic graceful departures: each listed process is
+    /// poked with `leave_token` at exactly `at` (its cue to flood a leave
+    /// announcement and withdraw its advertisements), crashes `grace`
+    /// later, and — when `downtime` is set — restarts after it. `None`
+    /// leaves it down for good: the permanent departure whose retained
+    /// state the survivors must eventually evict.
+    pub fn graceful_leave_at(
+        &mut self,
+        procs: &[ProcessId],
+        at: SimTime,
+        grace: SimDuration,
+        downtime: Option<SimDuration>,
+        leave_token: u64,
+    ) -> &mut Self {
+        for &pid in procs {
+            self.events
+                .push((at, ScenarioEvent::PokeProcess(pid, leave_token)));
+            self.events
+                .push((at + grace, ScenarioEvent::CrashProcess(pid)));
+            if let Some(d) = downtime {
+                self.events
+                    .push((at + grace + d, ScenarioEvent::RestartProcess(pid)));
+            }
+        }
+        self
+    }
+
+    /// Composes one deterministic crash per listed process at exactly `at`;
+    /// when `downtime` is set the process restarts after it, `None` leaves
+    /// it down — a permanent unannounced departure the survivors must
+    /// detect and evict on their own.
+    pub fn process_crash_at(
+        &mut self,
+        procs: &[ProcessId],
+        at: SimTime,
+        downtime: Option<SimDuration>,
+    ) -> &mut Self {
+        for &pid in procs {
+            self.events.push((at, ScenarioEvent::CrashProcess(pid)));
+            if let Some(d) = downtime {
+                self.events
+                    .push((at + d, ScenarioEvent::RestartProcess(pid)));
+            }
+        }
+        self
+    }
+
     /// Records compromised-node windows for the harness: each listed node
     /// ordinal silently blackholes transit traffic for the whole `window`.
     pub fn compromise(&mut self, nodes: &[usize], window: (SimTime, SimTime)) -> &mut Self {
@@ -983,6 +1086,100 @@ mod campaign_tests {
             assert!(*at >= window().0, "{at:?} before window");
             assert!(*at <= window().1, "{at:?} after window");
         }
+    }
+
+    #[test]
+    fn sustained_churn_same_seed_is_identical_and_in_window() {
+        let build = |seed| {
+            let mut c = Campaign::new("churn", seed);
+            c.sustained_churn(
+                &[ProcessId(0), ProcessId(1), ProcessId(2)],
+                window(),
+                8,
+                SimDuration::from_secs(1),
+                SimDuration::from_millis(200),
+                Some(42),
+            );
+            c
+        };
+        let (a, b) = (build(5), build(5));
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(format!("{:?}", a.events()), format!("{:?}", b.events()));
+        // Graceful mode: 3 events per cycle (poke, crash, restart).
+        assert_eq!(a.events().len(), 24);
+        for (at, _) in a.events() {
+            assert!(*at >= window().0 && *at <= window().1);
+        }
+        assert_ne!(a.digest(), build(6).digest());
+    }
+
+    #[test]
+    fn sustained_churn_pokes_precede_their_crash() {
+        let mut c = Campaign::new("churn", 9);
+        c.sustained_churn(
+            &[ProcessId(4)],
+            window(),
+            3,
+            SimDuration::from_millis(500),
+            SimDuration::from_millis(200),
+            Some(7),
+        );
+        // Events come in (poke, crash, restart) triples per cycle, with the
+        // grace and downtime offsets applied in order.
+        for cycle in c.events().chunks(3) {
+            let [(t0, e0), (t1, e1), (t2, e2)] = cycle else {
+                panic!("expected triples");
+            };
+            assert!(matches!(e0, ScenarioEvent::PokeProcess(_, 7)));
+            assert!(matches!(e1, ScenarioEvent::CrashProcess(_)));
+            assert!(matches!(e2, ScenarioEvent::RestartProcess(_)));
+            assert_eq!(*t1, *t0 + SimDuration::from_millis(200));
+            assert_eq!(*t2, *t1 + SimDuration::from_millis(500));
+        }
+    }
+
+    #[test]
+    fn crash_churn_has_no_pokes() {
+        let mut c = Campaign::new("churn", 9);
+        c.sustained_churn(
+            &[ProcessId(4)],
+            window(),
+            3,
+            SimDuration::from_millis(500),
+            SimDuration::ZERO,
+            None,
+        );
+        assert_eq!(c.events().len(), 6);
+        assert!(!c
+            .events()
+            .iter()
+            .any(|(_, e)| matches!(e, ScenarioEvent::PokeProcess(..))));
+    }
+
+    #[test]
+    fn flash_restart_and_graceful_leave_are_deterministic() {
+        let mut c = Campaign::new("flash", 1);
+        c.flash_restart(
+            &[ProcessId(1), ProcessId(2)],
+            SimTime::from_secs(2),
+            SimTime::from_secs(3),
+        )
+        .graceful_leave_at(
+            &[ProcessId(3)],
+            SimTime::from_secs(4),
+            SimDuration::from_millis(200),
+            None,
+            11,
+        )
+        .process_crash_at(&[ProcessId(4)], SimTime::from_secs(5), None);
+        // No randomness: 4 flash events + 2 leave events (no restart) + 1.
+        assert_eq!(c.events().len(), 7);
+        let restarts = c
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, ScenarioEvent::RestartProcess(_)))
+            .count();
+        assert_eq!(restarts, 2, "permanent departures never restart");
     }
 
     #[test]

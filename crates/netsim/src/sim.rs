@@ -68,6 +68,10 @@ pub enum ScenarioEvent {
     DisablePipe(PipeId),
     /// Re-enable a pipe.
     EnablePipe(PipeId),
+    /// Deliver a synthetic timer token to a process — an operator signal
+    /// (e.g. "leave the overlay gracefully") injected as a timer so the
+    /// process needs no new entry point. Dropped if the process is down.
+    PokeProcess(ProcessId, u64),
 }
 
 pub(crate) enum Event<M> {
@@ -880,6 +884,17 @@ fn apply_scenario_on<M: SimMessage>(
                 p.set_enabled(true);
             }
         }
+        ScenarioEvent::PokeProcess(pid, token) => {
+            // Same discipline as a real timer: only the owner shard holds
+            // the state machine, and a crashed process hears nothing.
+            if core.proc_up[pid.0] && core.owns(pid) {
+                if let Some(mut p) = procs[pid.0].take() {
+                    let mut ctx = Ctx::from_driver(core, pid);
+                    p.on_timer(&mut ctx, token);
+                    procs[pid.0] = Some(p);
+                }
+            }
+        }
     }
 }
 
@@ -1274,6 +1289,42 @@ mod tests {
             .all(|&t| t < SimTime::from_millis(100) || t >= SimTime::from_millis(500)));
         assert!(sim.counters().get("drop.process_down") > 0);
         assert!(!arrivals.is_empty());
+    }
+
+    #[test]
+    fn poke_delivers_a_synthetic_timer_only_while_up() {
+        struct Poked {
+            tokens: Vec<(SimTime, u64)>,
+        }
+        impl Process<Msg> for Poked {
+            fn on_message(
+                &mut self,
+                _: &mut Ctx<'_, Msg>,
+                _: ProcessId,
+                _: Option<PipeId>,
+                _: Msg,
+            ) {
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, token: u64) {
+                self.tokens.push((ctx.now(), token));
+            }
+        }
+        let mut sim: Simulation<Msg> = Simulation::new(3);
+        let p = sim.add_process(Poked { tokens: Vec::new() });
+        sim.schedule(SimTime::from_millis(100), ScenarioEvent::PokeProcess(p, 42));
+        sim.schedule(SimTime::from_millis(200), ScenarioEvent::CrashProcess(p));
+        // Dropped: the process is down.
+        sim.schedule(SimTime::from_millis(300), ScenarioEvent::PokeProcess(p, 43));
+        sim.schedule(SimTime::from_millis(400), ScenarioEvent::RestartProcess(p));
+        sim.schedule(SimTime::from_millis(500), ScenarioEvent::PokeProcess(p, 44));
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            sim.proc_ref::<Poked>(p).unwrap().tokens,
+            vec![
+                (SimTime::from_millis(100), 42),
+                (SimTime::from_millis(500), 44),
+            ]
+        );
     }
 
     #[test]

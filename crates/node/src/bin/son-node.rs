@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! son-node --scenario FILE --node N --epoch UNIX_NS --base-port PORT \
-//!          [--host 127.0.0.1] [--out FILE] [--telemetry ADDR]
+//!          [--host 127.0.0.1] [--out FILE] [--telemetry ADDR] [--seed-peer N]
 //! ```
 //!
 //! One process is one overlay node of the scenario: it binds UDP port
@@ -17,6 +17,12 @@
 //! `ADDR` (normally a `son-top` listener) over a separate best-effort UDP
 //! socket — seq-numbered, so the collector sees loss instead of guessing.
 //!
+//! With `--seed-peer N`, the daemon joins the already-running cluster
+//! through topology neighbor `N` instead of cold-starting as a founding
+//! member: it sends a Join on the seed link and originates its own LSA
+//! only once the JoinAck admits it (requires `"membership": true` in the
+//! scenario).
+//!
 //! The cluster harness around this binary is `exp_udp_parity` in
 //! `son-bench`, which runs the same scenario file through the simulator and
 //! compares outcomes.
@@ -28,7 +34,7 @@ use std::process::ExitCode;
 use son_node::{unix_now_ns, NodeRuntime, Scenario, UdpTransport};
 use son_topo::NodeId;
 
-const USAGE: &str = "usage: son-node --scenario FILE --node N --epoch UNIX_NS --base-port PORT [--host IP] [--out FILE] [--telemetry ADDR]";
+const USAGE: &str = "usage: son-node --scenario FILE --node N --epoch UNIX_NS --base-port PORT [--host IP] [--out FILE] [--telemetry ADDR] [--seed-peer N]";
 
 struct Args {
     scenario: String,
@@ -38,6 +44,7 @@ struct Args {
     host: IpAddr,
     out: Option<String>,
     telemetry: Option<String>,
+    seed_peer: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
     let mut host: IpAddr = IpAddr::from([127, 0, 0, 1]);
     let mut out = None;
     let mut telemetry = None;
+    let mut seed_peer = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -84,6 +92,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => out = Some(value("--out")?),
             "--telemetry" => telemetry = Some(value("--telemetry")?),
+            "--seed-peer" => {
+                seed_peer = Some(
+                    value("--seed-peer")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--seed-peer: {e}"))?,
+                );
+            }
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
         }
     }
@@ -95,6 +110,7 @@ fn parse_args() -> Result<Args, String> {
         host,
         out,
         telemetry,
+        seed_peer,
     })
 }
 
@@ -128,6 +144,9 @@ fn run() -> Result<(), String> {
         eprintln!("son-node: warning: epoch is in the past; starting immediately");
     }
     let mut runtime = NodeRuntime::new(scenario, NodeId(args.node), transport, args.epoch_ns);
+    if let Some(peer) = args.seed_peer {
+        runtime.join_via(NodeId(peer))?;
+    }
     if let Some(collector) = &args.telemetry {
         runtime
             .enable_telemetry(collector)

@@ -390,6 +390,9 @@ impl<T: Transport> NodeRuntime<T> {
         if scenario.watch {
             config.watch = Some(son_overlay::watch::WatchConfig::default());
         }
+        if scenario.membership {
+            config.membership = Some(son_overlay::state::membership::MembershipConfig::default());
+        }
         let mut node = OverlayNode::new(me, topo.clone(), keys, config);
 
         // Mirror the builder's phase-3 wiring: neighbors in topology order,
@@ -648,6 +651,38 @@ impl<T: Transport> NodeRuntime<T> {
             .expect("pid 0 is the daemon")
     }
 
+    /// Makes this daemon join the already-running cluster through
+    /// `seed_peer` (a topology neighbor) instead of cold-starting as a
+    /// founding member: on start it sends a Join on the seed link and
+    /// originates its own LSA only once the JoinAck arrives. Call before
+    /// [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the scenario does not enable membership, or when
+    /// `seed_peer` is not a topology neighbor of this node.
+    pub fn join_via(&mut self, seed_peer: NodeId) -> Result<(), String> {
+        if !self.scenario.membership {
+            return Err("--seed-peer requires a scenario with membership enabled".to_owned());
+        }
+        let topo = self.scenario.topology();
+        let link = topo
+            .neighbors(self.me)
+            .position(|(n, _)| n == seed_peer)
+            .ok_or_else(|| {
+                format!(
+                    "--seed-peer {} is not a neighbor of node {}",
+                    seed_peer, self.me
+                )
+            })?;
+        let p = self.procs[0].as_mut().expect("daemon checked in");
+        (p.as_mut() as &mut dyn Any)
+            .downcast_mut::<OverlayNode>()
+            .expect("pid 0 is the daemon")
+            .set_join_seed(link);
+        Ok(())
+    }
+
     /// The colocated clients (sender and/or receiver), if any.
     #[must_use]
     pub fn clients(&self) -> Vec<&ClientProcess> {
@@ -709,10 +744,21 @@ impl<T: Transport> NodeRuntime<T> {
                 .map(|(k, v)| (k.to_owned(), Json::U64(v)))
                 .collect(),
         );
+        // Membership view and route coverage at the horizon: the loopback
+        // join test gates on these (a joiner must end with full routes).
+        let node = self.node();
+        let routes_reachable = (0..self.scenario.nodes)
+            .filter(|&i| node.reaches(NodeId(i)))
+            .count() as u64;
+        let members = node
+            .membership()
+            .map_or(Json::Null, |m| Json::U64(m.up_count() as u64));
         Json::obj(vec![
             ("kind", Json::str("udp-node")),
             ("scenario", Json::str(&self.scenario.name)),
             ("node", Json::U64(self.me.0 as u64)),
+            ("members", members),
+            ("routes_reachable", Json::U64(routes_reachable)),
             ("sent", Json::U64(sent)),
             ("received", Json::U64(received)),
             ("app_duplicates", Json::U64(duplicates)),
@@ -794,6 +840,7 @@ mod tests {
             seed: 11,
             trace_sample: 4,
             watch: false,
+            membership: false,
             outage: None,
         }
     }
@@ -851,6 +898,66 @@ mod tests {
             assert!(row.get("wall_ns").is_some());
             assert!(TraceEvent::from_row(row).is_some(), "row round-trips");
         }
+    }
+
+    /// A late daemon joins a running vnet ring through a seed peer: the
+    /// founding members start on the shared epoch, the joiner 400ms later
+    /// with `join_via`. By the horizon the joiner must hold full routes and
+    /// everyone's membership view must count all four nodes — the library
+    /// form of the `--seed-peer` loopback test CI runs over real UDP.
+    #[test]
+    fn vnet_join_via_seed_peer_reaches_full_routes() {
+        let mut scenario = loopback_scenario();
+        scenario.name = "vnet_join".to_owned();
+        scenario.topo = TopoKind::Ring;
+        scenario.nodes = 4;
+        scenario.membership = true;
+        scenario.run_for_ms = 2_500;
+        let links: Vec<(usize, usize)> = vec![(0, 1), (1, 2), (2, 3), (3, 0)];
+        let nets = VnetTransport::mesh(scenario.nodes, &links);
+        let epoch = unix_now_ns() + 50_000_000;
+        let handles: Vec<_> = nets
+            .into_iter()
+            .enumerate()
+            .map(|(i, net)| {
+                let s = scenario.clone();
+                std::thread::spawn(move || {
+                    let joiner = i == 3;
+                    // The joiner's world starts 400ms into the run.
+                    let epoch = if joiner { epoch + 400_000_000 } else { epoch };
+                    let mut rt = NodeRuntime::new(s, NodeId(i), net, epoch);
+                    if joiner {
+                        rt.join_via(NodeId(2)).expect("2 is a ring neighbor of 3");
+                    }
+                    rt.run().expect("vnet never fails");
+                    rt
+                })
+            })
+            .collect();
+        let runtimes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        for rt in &runtimes {
+            let mem = rt.node().membership().expect("membership enabled");
+            assert_eq!(
+                mem.up_count(),
+                4,
+                "node {} must count the full fleet after the join",
+                rt.me
+            );
+            for i in 0..4 {
+                assert!(
+                    rt.node().reaches(NodeId(i)),
+                    "node {} cannot route to node {i}",
+                    rt.me
+                );
+            }
+        }
+        let report = runtimes[3].report();
+        assert_eq!(report.get("members").and_then(Json::as_u64), Some(4));
+        assert_eq!(
+            report.get("routes_reachable").and_then(Json::as_u64),
+            Some(4)
+        );
     }
 
     /// Timers fire in deadline order and cancellation sticks.

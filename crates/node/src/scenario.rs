@@ -78,6 +78,10 @@ pub struct Scenario {
     /// Run the anomaly watchdog (`son-watch`) on every daemon; its audit
     /// events are exported alongside the traces.
     pub watch: bool,
+    /// Run the membership maintenance protocol (join/leave floods, crash
+    /// detection epochs, departed-state eviction) on every daemon; required
+    /// for a `--seed-peer` joiner to be admitted.
+    pub membership: bool,
     /// Optional link blackout (E3-style rerouting scenarios).
     pub outage: Option<Outage>,
 }
@@ -148,6 +152,10 @@ impl Scenario {
             )
             .map_err(|_| "trace_sample".to_owned())?,
             watch: json.get("watch").and_then(Json::as_bool).unwrap_or(false),
+            membership: json
+                .get("membership")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
             outage,
         };
         if scenario.nodes < 2 {
@@ -191,6 +199,7 @@ impl Scenario {
             ("seed", Json::U64(self.seed)),
             ("trace_sample", Json::U64(u64::from(self.trace_sample))),
             ("watch", Json::Bool(self.watch)),
+            ("membership", Json::Bool(self.membership)),
         ]);
         if let Some(o) = self.outage {
             pairs.push((
@@ -266,6 +275,7 @@ mod tests {
             seed: 7,
             trace_sample: 16,
             watch: true,
+            membership: true,
             outage: Some(Outage {
                 a: 1,
                 b: 2,

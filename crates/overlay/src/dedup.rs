@@ -138,6 +138,17 @@ impl DedupTable {
     pub fn forget(&mut self, flow: &FlowKey) {
         self.flows.remove(flow);
     }
+
+    /// Forgets every flow window whose ingress or unicast destination is
+    /// `node` (membership-layer eviction of a departed member's state).
+    /// Group-addressed windows are kept: the flow's surviving members still
+    /// need duplicate suppression.
+    pub fn forget_endpoint(&mut self, node: son_topo::NodeId) {
+        self.flows.retain(|k, _| {
+            k.src.node != node
+                && !matches!(k.dst, crate::addr::DestKey::Unicast(a) if a.node == node)
+        });
+    }
 }
 
 impl son_obs::MemFootprint for DedupTable {
@@ -238,6 +249,28 @@ mod tests {
             }
         }
         assert_eq!(firsts, 500, "each payload processed exactly once");
+    }
+
+    #[test]
+    fn forget_endpoint_sweeps_departed_node_windows() {
+        let mut t = DedupTable::new();
+        // flow(0): src node 0 multicast; a unicast flow to node 3; one from 3.
+        let to3 = FlowKey::new(
+            OverlayAddr::new(NodeId(1), 1),
+            Destination::Unicast(OverlayAddr::new(NodeId(3), 2)),
+        );
+        let from3 = FlowKey::new(
+            OverlayAddr::new(NodeId(3), 1),
+            Destination::Unicast(OverlayAddr::new(NodeId(1), 2)),
+        );
+        t.first_sighting(flow(0), 1);
+        t.first_sighting(to3, 1);
+        t.first_sighting(from3, 1);
+        assert_eq!(t.flow_count(), 3);
+        t.forget_endpoint(NodeId(3));
+        assert_eq!(t.flow_count(), 1, "both node-3 endpoint windows evicted");
+        t.forget_endpoint(NodeId(9));
+        assert_eq!(t.flow_count(), 1);
     }
 
     #[test]

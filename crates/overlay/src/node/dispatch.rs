@@ -29,6 +29,9 @@ use crate::service::{slot_label, LinkService, SERVICE_SLOTS};
 use crate::session::SessionAction;
 use crate::state::connectivity::ConnAction;
 use crate::state::groups::GroupAction;
+use crate::state::membership::MemberAction;
+
+use son_topo::NodeId;
 
 use super::{OverlayNode, TimerKey, CLIENT_IPC_DELAY};
 
@@ -439,19 +442,45 @@ impl OverlayNode {
 
 impl Process<Wire> for OverlayNode {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        let restarted = std::mem::replace(&mut self.started, true);
         // Kick off the control plane.
         ctx.set_timer(SimDuration::ZERO, TimerKey::ConnTick.encode());
-        let mut ca = self.bufs.take_conn();
-        self.conn.originate(None, &mut ca);
-        self.dispatch_conn(ctx, ca, None);
-        let mut ga = self.bufs.take_group();
-        self.groups.announce(&mut ga);
-        self.dispatch_group(ctx, ga);
+        if restarted && self.membership.is_some() {
+            // A second start is a crash-recover: clear any pending
+            // withdrawal and come back with a higher incarnation so stale
+            // `Down`/`Left` records about us are overridden fleet-wide.
+            let mut ca = self.bufs.take_conn();
+            self.conn.set_withdrawn(false, &mut ca);
+            self.dispatch_conn(ctx, ca, None);
+            let rejoin = self.membership.as_mut().expect("checked above").rejoin();
+            self.apply_member_actions(ctx, vec![rejoin]);
+        }
+        if self.joined {
+            let mut ca = self.bufs.take_conn();
+            self.conn.originate(None, &mut ca);
+            self.dispatch_conn(ctx, ca, None);
+            let mut ga = self.bufs.take_group();
+            self.groups.announce(&mut ga);
+            self.dispatch_group(ctx, ga);
+        } else if let Some(link) = self.join_seed {
+            // Bootstrap: ask the seed peer for the membership view before
+            // flooding anything of our own; the LSA originate and group
+            // announce happen when the JoinAck arrives.
+            let (msg, retry) = {
+                let mem = self.membership.as_ref().expect("join requires membership");
+                (mem.join_request(), mem.config().join_retry)
+            };
+            self.send_on_link(ctx, link, None, Wire::Control(msg));
+            ctx.set_timer(retry, TimerKey::JoinRetry.encode());
+        }
         if matches!(self.behavior, Behavior::Flood { .. }) {
             ctx.set_timer(SimDuration::from_millis(1), TimerKey::Flood.encode());
         }
         if let Some(w) = &self.watch {
             ctx.set_timer(w.config.epoch, TimerKey::WatchTick.encode());
+        }
+        if let Some(mem) = &self.membership {
+            ctx.set_timer(mem.config().epoch, TimerKey::MembershipTick.encode());
         }
     }
 
@@ -536,6 +565,39 @@ impl OverlayNode {
                     } => {
                         self.on_watch_receipt(link, received, progressed);
                     }
+                    Control::Join { node, incarnation } => {
+                        if let Some(mem) = self.membership.as_mut() {
+                            let mut out = Vec::new();
+                            mem.on_join(ctx.now(), node, incarnation, link, &mut out);
+                            self.apply_member_actions(ctx, out);
+                        }
+                    }
+                    Control::JoinAck { members } => {
+                        if let Some(mem) = self.membership.as_mut() {
+                            let mut out = Vec::new();
+                            mem.on_join_ack(ctx.now(), &members, &mut out);
+                            self.apply_member_actions(ctx, out);
+                            self.complete_join(ctx);
+                        }
+                    }
+                    Control::Leave { node, incarnation } => {
+                        if let Some(mem) = self.membership.as_mut() {
+                            let mut out = Vec::new();
+                            mem.on_leave(ctx.now(), node, incarnation, Some(link), &mut out);
+                            self.apply_member_actions(ctx, out);
+                        }
+                    }
+                    Control::MembershipUpdate {
+                        origin,
+                        seq,
+                        members,
+                    } => {
+                        if let Some(mem) = self.membership.as_mut() {
+                            let mut out = Vec::new();
+                            mem.on_update(ctx.now(), origin, seq, &members, Some(link), &mut out);
+                            self.apply_member_actions(ctx, out);
+                        }
+                    }
                 }
             }
             Wire::FromClient(op) => self.on_client_op(ctx, from, op),
@@ -601,7 +663,116 @@ impl OverlayNode {
                     self.out_buf = outs;
                 }
             }
+            Some(TimerKey::MembershipTick) => {
+                let span = self.obs.perf().enter("membership.epoch");
+                self.membership_tick(ctx);
+                self.obs.perf().exit(span);
+                if let Some(mem) = &self.membership {
+                    ctx.set_timer(mem.config().epoch, TimerKey::MembershipTick.encode());
+                }
+            }
+            Some(TimerKey::GracefulLeave) => self.graceful_leave(ctx),
+            Some(TimerKey::JoinRetry) => {
+                if let (false, Some(link)) = (self.joined, self.join_seed) {
+                    let (msg, retry) = {
+                        let mem = self.membership.as_ref().expect("join requires membership");
+                        (mem.join_request(), mem.config().join_retry)
+                    };
+                    self.send_on_link(ctx, link, None, Wire::Control(msg));
+                    ctx.set_timer(retry, TimerKey::JoinRetry.encode());
+                }
+            }
             None => {}
         }
+    }
+
+    /// One membership-maintenance epoch: re-derive liveness from the
+    /// forwarding view's reachability and dispatch the resulting
+    /// announcements and evictions. Skipped while the join handshake is
+    /// still pending (a bootstrapping node has no view to judge with).
+    fn membership_tick(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        if !self.joined {
+            return;
+        }
+        let Some(mem) = self.membership.as_mut() else {
+            return;
+        };
+        let mut out = Vec::new();
+        let forwarding = &self.forwarding;
+        mem.on_epoch(ctx.now(), &mut |n| forwarding.reaches(n), &mut out);
+        self.apply_member_actions(ctx, out);
+    }
+
+    /// Graceful departure: flood the leave announcement and withdraw our
+    /// own LSA (all links advertised down) so the fleet reroutes before we
+    /// go dark. Triggered by a harness poke or operator signal.
+    fn graceful_leave(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        let Some(msg) = self
+            .membership
+            .as_ref()
+            .map(crate::state::membership::MembershipTable::leave_announcement)
+        else {
+            return;
+        };
+        for i in 0..self.links.len() {
+            self.send_on_link(ctx, i, None, Wire::Control(msg.clone()));
+        }
+        let mut ca = self.bufs.take_conn();
+        self.conn.set_withdrawn(true, &mut ca);
+        self.dispatch_conn(ctx, ca, None);
+        self.obs.named("graceful_leaves");
+    }
+
+    /// Completes the bootstrap join handshake: the seed's view has been
+    /// adopted, so flood our own LSA and group announcement and become a
+    /// full member.
+    fn complete_join(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        if self.joined {
+            return;
+        }
+        self.joined = true;
+        let mut ca = self.bufs.take_conn();
+        self.conn.originate(None, &mut ca);
+        self.dispatch_conn(ctx, ca, None);
+        let mut ga = self.bufs.take_group();
+        self.groups.announce(&mut ga);
+        self.dispatch_group(ctx, ga);
+        self.obs.named("joins_completed");
+    }
+
+    /// Applies a batch of membership actions (sends, floods, evictions).
+    fn apply_member_actions(&mut self, ctx: &mut Ctx<'_, Wire>, actions: Vec<MemberAction>) {
+        for action in actions {
+            match action {
+                MemberAction::Send { link, msg } => {
+                    if link < self.links.len() {
+                        self.send_on_link(ctx, link, None, Wire::Control(msg));
+                    }
+                }
+                MemberAction::Flood { except, msg } => {
+                    for i in 0..self.links.len() {
+                        if Some(i) != except {
+                            self.send_on_link(ctx, i, None, Wire::Control(msg.clone()));
+                        }
+                    }
+                }
+                MemberAction::Evict(node) => self.evict_member_state(ctx, node),
+            }
+        }
+    }
+
+    /// Purges a departed member's shared state: its LSDB entry (with a
+    /// tombstone against stale re-floods), its remote group membership, the
+    /// cached member sets, and every dedup window keyed by an address at
+    /// the departed node.
+    fn evict_member_state(&mut self, ctx: &mut Ctx<'_, Wire>, node: NodeId) {
+        let mut ca = self.bufs.take_conn();
+        self.conn.evict_origin(node, ctx.now(), &mut ca);
+        self.dispatch_conn(ctx, ca, None);
+        if self.groups.forget(node) {
+            self.member_cache.clear();
+        }
+        self.dedup.forget_endpoint(node);
+        self.obs.named("member_evictions");
     }
 }

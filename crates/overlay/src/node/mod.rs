@@ -56,6 +56,7 @@ use crate::service::RealtimeParams;
 use crate::session::SessionTable;
 use crate::state::connectivity::{ConnectivityConfig, ConnectivityMonitor};
 use crate::state::groups::GroupTable;
+use crate::state::membership::{MembershipConfig, MembershipTable};
 use crate::watch::{LinkWatch, WatchConfig, WatchState};
 
 use dispatch::ActionBufs;
@@ -106,6 +107,11 @@ pub struct NodeConfig {
     /// queue growth, remediated by link suspension, LSA flap damping, and
     /// low-priority shedding. `None` (the default) disables it entirely.
     pub watch: Option<WatchConfig>,
+    /// Dynamic membership: the join/leave protocol plus the self-stabilizing
+    /// 500 ms maintenance epoch (liveness derivation, departed-state
+    /// eviction). `None` (the default) keeps membership static — existing
+    /// deployments and their seeded event streams are untouched.
+    pub membership: Option<MembershipConfig>,
 }
 
 impl Default for NodeConfig {
@@ -125,6 +131,7 @@ impl Default for NodeConfig {
             trace_sample: 0,
             perf: false,
             watch: None,
+            membership: None,
         }
     }
 }
@@ -199,6 +206,19 @@ pub struct OverlayNode {
     topology: Graph,
     /// The anomaly watchdog's runtime state, when enabled.
     watch: Option<WatchState>,
+    /// Dynamic-membership state, when enabled. Kept on the struct (not
+    /// rebuilt by `wire_links`) so incarnations and liveness records survive
+    /// re-wiring.
+    membership: Option<MembershipTable>,
+    /// Whether `on_start` has already run once; a second start is a restart
+    /// and bumps the node's incarnation.
+    started: bool,
+    /// When set, this node bootstraps via a join handshake on the given
+    /// local link instead of flooding its LSA at start.
+    join_seed: Option<usize>,
+    /// Whether the join handshake has completed (always true for nodes that
+    /// start as full members).
+    joined: bool,
 }
 
 impl OverlayNode {
@@ -217,6 +237,9 @@ impl OverlayNode {
         if let Some(w) = &watch {
             conn.set_flap_damping(Some(w.config.damping));
         }
+        let membership = config
+            .membership
+            .map(|mc| MembershipTable::new(me, topology.nodes(), mc));
         OverlayNode {
             me,
             forwarding: Forwarding::new(me, topology.clone()),
@@ -246,6 +269,10 @@ impl OverlayNode {
             config,
             topology,
             watch,
+            membership,
+            started: false,
+            join_seed: None,
+            joined: true,
         }
     }
 
@@ -366,6 +393,31 @@ impl OverlayNode {
         self.watch.as_ref()
     }
 
+    /// The dynamic-membership table, when enabled.
+    #[must_use]
+    pub fn membership(&self) -> Option<&MembershipTable> {
+        self.membership.as_ref()
+    }
+
+    /// Whether the current forwarding view reaches `dst` — the local
+    /// evidence the membership maintenance epoch stabilizes on.
+    #[must_use]
+    pub fn reaches(&self, dst: NodeId) -> bool {
+        self.forwarding.reaches(dst)
+    }
+
+    /// Makes this node bootstrap via a join handshake on local link
+    /// `link` instead of flooding its LSA at start. Must be called before
+    /// the simulation starts; requires membership to be enabled.
+    pub fn set_join_seed(&mut self, link: usize) {
+        assert!(
+            self.membership.is_some(),
+            "join bootstrap requires membership"
+        );
+        self.join_seed = Some(link);
+        self.joined = false;
+    }
+
     /// Estimated retained heap bytes of this node's stateful subsystems,
     /// attributed per subsystem. The parts (and what they cover):
     ///
@@ -384,6 +436,8 @@ impl OverlayNode {
     /// * `sessions` — client table, per-flow session state, and held
     ///   out-of-order delivery buffers;
     /// * `groups` — local and remote group membership;
+    /// * `membership` — dynamic-membership liveness records and flood-dedup
+    ///   state (zero when membership is disabled);
     /// * `topo` — the node's own configured-topology copy (kept for
     ///   re-wiring) plus the member cache and dispatch scratch buffers.
     ///
@@ -407,6 +461,12 @@ impl OverlayNode {
         report.add("linkq", linkq);
         report.add("sessions", self.sessions.footprint_bytes());
         report.add("groups", self.groups.footprint_bytes());
+        report.add(
+            "membership",
+            self.membership
+                .as_ref()
+                .map_or(0, son_obs::MemFootprint::footprint_bytes),
+        );
         let member_cache = hashmap_bytes(&self.member_cache)
             + self
                 .member_cache
@@ -560,7 +620,16 @@ mod tests {
             report.parts().iter().map(|p| (p.label, p.bytes)).collect();
         // Every subsystem the issue names is attributed.
         for label in [
-            "flows", "routing", "lsdb", "dedup", "rings", "linkq", "sessions", "groups", "topo",
+            "flows",
+            "routing",
+            "lsdb",
+            "dedup",
+            "rings",
+            "linkq",
+            "sessions",
+            "groups",
+            "membership",
+            "topo",
         ] {
             assert!(by_label.contains_key(label), "missing subsystem {label}");
         }

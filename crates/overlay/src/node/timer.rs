@@ -14,6 +14,9 @@ const TAG_SESSION: u64 = 3 << 56;
 const TAG_FLOOD: u64 = 4 << 56;
 const TAG_DELAYED_FWD: u64 = 5 << 56;
 const TAG_WATCH_TICK: u64 = 6 << 56;
+const TAG_MEMBERSHIP_TICK: u64 = 7 << 56;
+const TAG_GRACEFUL_LEAVE: u64 = 8 << 56;
+const TAG_JOIN_RETRY: u64 = 9 << 56;
 const TAG_MASK: u64 = 0xff << 56;
 
 /// A typed daemon timer, bit-packed into the simulator's `u64` token.
@@ -50,6 +53,15 @@ pub enum TimerKey {
     },
     /// Periodic anomaly-watchdog evaluation epoch.
     WatchTick,
+    /// Periodic membership-maintenance epoch (liveness re-derivation,
+    /// departed-state eviction).
+    MembershipTick,
+    /// Graceful-shutdown trigger: flood the leave announcement and withdraw
+    /// the own LSA. Delivered by the harness (scenario poke) or an operator
+    /// signal; never self-armed.
+    GracefulLeave,
+    /// Retry of an unanswered bootstrap join request.
+    JoinRetry,
 }
 
 impl TimerKey {
@@ -65,6 +77,9 @@ impl TimerKey {
             TimerKey::Flood => TAG_FLOOD,
             TimerKey::DelayedForward { token } => TAG_DELAYED_FWD | token as u64,
             TimerKey::WatchTick => TAG_WATCH_TICK,
+            TimerKey::MembershipTick => TAG_MEMBERSHIP_TICK,
+            TimerKey::GracefulLeave => TAG_GRACEFUL_LEAVE,
+            TimerKey::JoinRetry => TAG_JOIN_RETRY,
         }
     }
 
@@ -87,6 +102,9 @@ impl TimerKey {
                 token: (raw & 0xffff_ffff) as u32,
             }),
             TAG_WATCH_TICK => Some(TimerKey::WatchTick),
+            TAG_MEMBERSHIP_TICK => Some(TimerKey::MembershipTick),
+            TAG_GRACEFUL_LEAVE => Some(TimerKey::GracefulLeave),
+            TAG_JOIN_RETRY => Some(TimerKey::JoinRetry),
             _ => None,
         }
     }
@@ -99,7 +117,14 @@ mod tests {
 
     /// Every representable key, at its boundary values.
     fn boundary_keys() -> Vec<TimerKey> {
-        let mut keys = vec![TimerKey::ConnTick, TimerKey::Flood, TimerKey::WatchTick];
+        let mut keys = vec![
+            TimerKey::ConnTick,
+            TimerKey::Flood,
+            TimerKey::WatchTick,
+            TimerKey::MembershipTick,
+            TimerKey::GracefulLeave,
+            TimerKey::JoinRetry,
+        ];
         for token in [0u32, 1, 77, u32::MAX] {
             keys.push(TimerKey::Session { token });
             keys.push(TimerKey::DelayedForward { token });
@@ -151,12 +176,15 @@ mod tests {
         assert_eq!(TimerKey::ConnTick.encode(), 1u64 << 56);
         assert_eq!(TimerKey::Flood.encode(), 4u64 << 56);
         assert_eq!(TimerKey::WatchTick.encode(), 6u64 << 56);
+        assert_eq!(TimerKey::MembershipTick.encode(), 7u64 << 56);
+        assert_eq!(TimerKey::GracefulLeave.encode(), 8u64 << 56);
+        assert_eq!(TimerKey::JoinRetry.encode(), 9u64 << 56);
     }
 
     #[test]
     fn unknown_tags_decode_to_none() {
         assert_eq!(TimerKey::decode(0), None);
-        assert_eq!(TimerKey::decode(7u64 << 56), None);
+        assert_eq!(TimerKey::decode(12u64 << 56), None);
         assert_eq!(TimerKey::decode(u64::MAX), None);
     }
 

@@ -191,6 +191,32 @@ pub struct GroupUpdate {
     pub groups: Vec<GroupId>,
 }
 
+/// Liveness status of an overlay member as carried in membership frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberStatus {
+    /// The member is believed alive and routable.
+    Up,
+    /// The member stopped responding (crash-suspected); its state is
+    /// evicted after the membership hold-down.
+    Down,
+    /// The member announced a graceful departure; its state is evicted
+    /// without a hold-down.
+    Left,
+}
+
+/// One member's liveness as carried in membership frames: 13 wire bytes
+/// (node `u32`, incarnation `u64`, status `u8`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberInfo {
+    /// The member being described.
+    pub node: NodeId,
+    /// SWIM-style incarnation number: bumped by the member itself on every
+    /// restart, so a recovered node overrides stale Down/Left records.
+    pub incarnation: u64,
+    /// The member's liveness as believed by the frame's origin.
+    pub status: MemberStatus,
+}
+
 /// Control-plane traffic between overlay neighbors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Control {
@@ -225,6 +251,41 @@ pub enum Control {
         /// How many of those made progress past the adversary check.
         progressed: u64,
     },
+    /// Bootstrap request from a (re)joining node, sent to a seed neighbor.
+    /// The seed replies with [`Control::JoinAck`] and floods the new
+    /// member's liveness to the rest of the overlay.
+    Join {
+        /// The joining node.
+        node: NodeId,
+        /// The joiner's current incarnation number.
+        incarnation: u64,
+    },
+    /// Seed's reply to a [`Control::Join`]: the full membership view, so
+    /// the joiner starts from an up-to-date roster instead of waiting for
+    /// per-origin floods.
+    JoinAck {
+        /// Every member the seed knows about.
+        members: Vec<MemberInfo>,
+    },
+    /// Graceful-departure announcement, flooded overlay-wide. Receivers
+    /// mark the node `Left` and evict its shared state without a hold-down.
+    Leave {
+        /// The departing node.
+        node: NodeId,
+        /// Its incarnation at departure; a later restart refutes the Left
+        /// record with a higher incarnation.
+        incarnation: u64,
+    },
+    /// Flooded membership delta: the origin's changed liveness records,
+    /// sequenced per origin like an LSA so stale floods are dropped.
+    MembershipUpdate {
+        /// The node whose view changed.
+        origin: NodeId,
+        /// Monotonic per-origin sequence number; higher replaces lower.
+        seq: u64,
+        /// The changed liveness records.
+        members: Vec<MemberInfo>,
+    },
 }
 
 impl Control {
@@ -235,6 +296,12 @@ impl Control {
             Control::Hello { .. } | Control::HelloAck { .. } | Control::WatchReceipt { .. } => 24,
             Control::Lsa(lsa) => 16 + 13 * lsa.links.len(),
             Control::GroupUpdate(gu) => 16 + 4 * gu.groups.len(),
+            // The membership frames charge their exact encoded size (frame
+            // header + body); `wire_roundtrip` pins this with byte-for-byte
+            // assertions.
+            Control::Join { .. } | Control::Leave { .. } => 20,
+            Control::JoinAck { members } => 10 + 13 * members.len(),
+            Control::MembershipUpdate { members, .. } => 22 + 13 * members.len(),
         }
     }
 }
@@ -485,6 +552,48 @@ mod tests {
             groups: vec![GroupId(1), GroupId(2)],
         });
         assert_eq!(gu.wire_size(), 24);
+    }
+
+    #[test]
+    fn membership_sizes_scale_with_content() {
+        let member = MemberInfo {
+            node: NodeId(3),
+            incarnation: 2,
+            status: MemberStatus::Up,
+        };
+        assert_eq!(
+            Control::Join {
+                node: NodeId(1),
+                incarnation: 0
+            }
+            .wire_size(),
+            20
+        );
+        assert_eq!(
+            Control::Leave {
+                node: NodeId(1),
+                incarnation: 4
+            }
+            .wire_size(),
+            20
+        );
+        assert_eq!(Control::JoinAck { members: vec![] }.wire_size(), 10);
+        assert_eq!(
+            Control::JoinAck {
+                members: vec![member; 3]
+            }
+            .wire_size(),
+            10 + 39
+        );
+        assert_eq!(
+            Control::MembershipUpdate {
+                origin: NodeId(0),
+                seq: 1,
+                members: vec![member]
+            }
+            .wire_size(),
+            35
+        );
     }
 
     #[test]

@@ -135,6 +135,14 @@ impl Forwarding {
         self.my_spt.next_hop(dst).map(|(_, e)| e)
     }
 
+    /// Whether this node currently has a usable route to `dst` (trivially
+    /// true for itself). The membership maintenance loop uses this as its
+    /// per-epoch liveness evidence.
+    #[must_use]
+    pub fn reaches(&self, dst: NodeId) -> bool {
+        dst == self.me || self.my_spt.next_hop(dst).is_some()
+    }
+
     /// Link-state multicast: the edges this node forwards a packet from
     /// `origin` on, given the group's member nodes. Every node computes the
     /// same origin-rooted tree from shared state, so the union of these

@@ -192,7 +192,23 @@ pub struct ConnectivityMonitor {
     first_pending: SimTime,
     /// When the newest deferred change arrived (quiesce measures from here).
     last_pending: SimTime,
+    /// Evicted-origin tombstones: `origin -> (last evicted seq, when)`.
+    /// Copies of an evicted origin's LSA keep circulating for a while
+    /// (every node refloods on first sight); the tombstone rejects those
+    /// stale floods so eviction sticks, while a genuinely newer seq (the
+    /// origin restarted) clears it.
+    tombstones: HashMap<NodeId, (u64, SimTime)>,
+    /// Graceful-shutdown withdrawal: when set, the own LSA advertises every
+    /// incident link down, steering the fleet's routes away before the
+    /// process goes dark.
+    withdrawn: bool,
 }
+
+/// How long an eviction tombstone keeps rejecting stale floods of the
+/// evicted origin's last LSA. After this, any LSA from the origin is
+/// accepted again (covers daemons that restart without retained state and
+/// so restart their seq counter).
+const TOMBSTONE_TTL: SimDuration = SimDuration::from_secs(10);
 
 impl ConnectivityMonitor {
     /// Creates a monitor for node `me` with the given incident links.
@@ -239,6 +255,8 @@ impl ConnectivityMonitor {
             pending_topology: false,
             first_pending: SimTime::ZERO,
             last_pending: SimTime::ZERO,
+            tombstones: HashMap::new(),
+            withdrawn: false,
         };
         let own = mon.build_own_lsa();
         mon.lsdb.insert(me, own);
@@ -303,6 +321,39 @@ impl ConnectivityMonitor {
     #[must_use]
     pub fn is_suspended(&self, link: usize) -> bool {
         self.links[link].suspended
+    }
+
+    /// Number of origins currently in the LSDB (including our own entry).
+    #[must_use]
+    pub fn lsdb_len(&self) -> usize {
+        self.lsdb.len()
+    }
+
+    /// Sets graceful-shutdown withdrawal: while set, the own LSA advertises
+    /// every incident link down. The membership layer sets this on a
+    /// graceful leave (and clears it on restart) so the fleet reroutes
+    /// before the process goes dark. Originates the changed own LSA.
+    pub fn set_withdrawn(&mut self, withdrawn: bool, out: &mut Vec<ConnAction>) {
+        if self.withdrawn != withdrawn {
+            self.withdrawn = withdrawn;
+            self.originate(None, out);
+        }
+    }
+
+    /// Evicts a departed origin's LSA from the LSDB (membership-layer
+    /// maintenance: the origin left or stayed down past the hold-down). A
+    /// tombstone rejects stale re-floods of the evicted advertisement for
+    /// `TOMBSTONE_TTL` (10 s); a genuinely newer LSA from the origin (it
+    /// came back) clears the tombstone and is accepted normally.
+    pub fn evict_origin(&mut self, origin: NodeId, now: SimTime, out: &mut Vec<ConnAction>) {
+        if origin == self.me {
+            return;
+        }
+        if let Some(lsa) = self.lsdb.remove(&origin) {
+            self.tombstones.insert(origin, (lsa.seq, now));
+            self.flap.remove(&origin);
+            self.bump_version(out);
+        }
     }
 
     /// Moves the shared view forward now. Any debounced remote changes are
@@ -476,6 +527,12 @@ impl ConnectivityMonitor {
         if lsa.origin == self.me {
             return; // our own advertisement echoed back
         }
+        if let Some(&(seq, at)) = self.tombstones.get(&lsa.origin) {
+            if lsa.seq <= seq && now.saturating_since(at) < TOMBSTONE_TTL {
+                return; // stale flood of an evicted origin
+            }
+            self.tombstones.remove(&lsa.origin);
+        }
         let newer = self
             .lsdb
             .get(&lsa.origin)
@@ -575,7 +632,7 @@ impl ConnectivityMonitor {
                     };
                     LinkAdvert {
                         edge: l.edge,
-                        up: l.up && !l.suspended,
+                        up: l.up && !l.suspended && !self.withdrawn,
                         // Quantize so measurement noise does not make every
                         // periodic refresh look like a topology change (and
                         // trigger fleet-wide recomputation).
@@ -653,6 +710,7 @@ impl son_obs::MemFootprint for ConnectivityMonitor {
                 .map(|lsa| vec_bytes(&lsa.links))
                 .sum::<usize>()
             + self.topology.approx_bytes()
+            + hashmap_bytes(&self.tombstones)
             + hashmap_bytes(&self.flap)
             + self
                 .flap
@@ -862,6 +920,96 @@ mod tests {
         assert!(out.iter().any(|a| matches!(a, ConnAction::Flood { .. })));
         assert!(!out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)));
         assert_eq!(mon.version(), v1);
+    }
+
+    #[test]
+    fn evicted_origin_rejects_stale_floods_but_accepts_newer() {
+        let mut mon = monitor();
+        let lsa = changed_lsa(1, 5, 10.0);
+        let mut out = Vec::new();
+        mon.on_lsa(SimTime::ZERO, lsa.clone(), Some(0), &mut out);
+        assert_eq!(mon.lsdb_len(), 2);
+
+        let v0 = mon.version();
+        let mut out = Vec::new();
+        mon.evict_origin(NodeId(1), SimTime::from_secs(1), &mut out);
+        assert_eq!(mon.lsdb_len(), 1);
+        assert!(mon.version() > v0);
+        assert!(out.iter().any(|a| matches!(a, ConnAction::TopologyChanged)));
+
+        // Evicting again is a no-op.
+        let mut out = Vec::new();
+        mon.evict_origin(NodeId(1), SimTime::from_secs(1), &mut out);
+        assert!(out.is_empty());
+
+        // A stale circulating copy of the evicted LSA is rejected.
+        let mut out = Vec::new();
+        mon.on_lsa(SimTime::from_secs(2), lsa, Some(1), &mut out);
+        assert!(out.is_empty(), "stale flood resurrected an evicted origin");
+        assert_eq!(mon.lsdb_len(), 1);
+
+        // A newer seq (the origin came back) clears the tombstone.
+        let mut out = Vec::new();
+        mon.on_lsa(
+            SimTime::from_secs(3),
+            changed_lsa(1, 6, 10.0),
+            Some(0),
+            &mut out,
+        );
+        assert_eq!(mon.lsdb_len(), 2);
+        assert!(out.iter().any(|a| matches!(a, ConnAction::Flood { .. })));
+    }
+
+    #[test]
+    fn tombstone_expires_after_ttl() {
+        let mut mon = monitor();
+        let lsa = changed_lsa(1, 5, 10.0);
+        let mut out = Vec::new();
+        mon.on_lsa(SimTime::ZERO, lsa.clone(), Some(0), &mut out);
+        mon.evict_origin(NodeId(1), SimTime::from_secs(1), &mut out);
+        // Past the TTL even the same-seq advertisement is accepted again
+        // (daemons without retained state restart their seq counter).
+        let mut out = Vec::new();
+        mon.on_lsa(SimTime::from_secs(20), lsa, Some(0), &mut out);
+        assert_eq!(mon.lsdb_len(), 2);
+    }
+
+    #[test]
+    fn withdrawal_advertises_all_links_down_and_restores() {
+        let mut mon = monitor();
+        let v0 = mon.version();
+        let mut out = Vec::new();
+        mon.set_withdrawn(true, &mut out);
+        let lsa = out
+            .iter()
+            .find_map(|a| match a {
+                ConnAction::Flood {
+                    msg: Control::Lsa(l),
+                    ..
+                } => Some(l.clone()),
+                _ => None,
+            })
+            .expect("withdrawal floods an LSA");
+        assert!(lsa.links.iter().all(|l| !l.up));
+        assert!(mon.version() > v0);
+
+        // Setting it again is a no-op; clearing restores the true state.
+        let mut out = Vec::new();
+        mon.set_withdrawn(true, &mut out);
+        assert!(out.is_empty());
+        let mut out = Vec::new();
+        mon.set_withdrawn(false, &mut out);
+        let lsa = out
+            .iter()
+            .find_map(|a| match a {
+                ConnAction::Flood {
+                    msg: Control::Lsa(l),
+                    ..
+                } => Some(l.clone()),
+                _ => None,
+            })
+            .expect("restore floods an LSA");
+        assert!(lsa.links.iter().all(|l| l.up));
     }
 
     fn changed_lsa(origin: usize, seq: u64, latency_ms: f64) -> Lsa {

@@ -183,6 +183,20 @@ impl GroupTable {
     pub fn locally_relevant(&self, group: GroupId) -> bool {
         self.local.contains_key(&group)
     }
+
+    /// Forgets a departed peer's node-level membership (membership-layer
+    /// eviction). Returns `true` if anything was removed; the version bump
+    /// invalidates member caches keyed off it.
+    pub fn forget(&mut self, origin: NodeId) -> bool {
+        if origin == self.me {
+            return false;
+        }
+        if self.remote.remove(&origin).is_some() {
+            self.version += 1;
+            return true;
+        }
+        false
+    }
 }
 
 impl son_obs::MemFootprint for GroupTable {
@@ -355,6 +369,28 @@ mod tests {
             &mut out,
         );
         assert_eq!(t.version(), v1);
+    }
+
+    #[test]
+    fn forget_evicts_remote_membership_and_bumps_version() {
+        let mut t = GroupTable::new(NodeId(0));
+        let mut out = Vec::new();
+        t.on_update(
+            GroupUpdate {
+                origin: NodeId(2),
+                seq: 1,
+                groups: vec![G],
+            },
+            None,
+            &mut out,
+        );
+        let v = t.version();
+        assert!(t.forget(NodeId(2)));
+        assert!(t.members_of(G).is_empty());
+        assert!(t.version() > v);
+        // Absent origin (and self) are no-ops.
+        assert!(!t.forget(NodeId(2)));
+        assert!(!t.forget(NodeId(0)));
     }
 
     #[test]

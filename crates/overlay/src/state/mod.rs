@@ -11,6 +11,11 @@
 //!   have clients in which multicast/anycast groups. The two-level
 //!   hierarchy keeps this practical: a node tracks only its *own* clients'
 //!   memberships and learns the node-level summary from its peers.
+//! * [`membership`] — makes the node set itself dynamic: per-member
+//!   liveness records maintained by a self-stabilizing 500 ms epoch loop,
+//!   with join/leave frames layered on the same flooding discipline as
+//!   the other two.
 
 pub mod connectivity;
 pub mod groups;
+pub mod membership;

@@ -43,7 +43,9 @@ use son_obs::trace::TraceContext;
 use son_topo::{EdgeId, EdgeMask, NodeId};
 
 use crate::addr::{DestKey, FlowKey, GroupId, OverlayAddr, VirtualPort};
-use crate::packet::{Control, DataPacket, GroupUpdate, LinkAdvert, LinkCtl, Lsa, Wire};
+use crate::packet::{
+    Control, DataPacket, GroupUpdate, LinkAdvert, LinkCtl, Lsa, MemberInfo, MemberStatus, Wire,
+};
 use crate::service::{
     FecParams, FlowSpec, LinkService, Priority, RealtimeParams, RoutingService, SourceRoute,
 };
@@ -66,6 +68,14 @@ const CONTROL_HELLO_ACK: u8 = 2;
 const CONTROL_LSA: u8 = 3;
 const CONTROL_GROUP_UPDATE: u8 = 4;
 const CONTROL_WATCH_RECEIPT: u8 = 5;
+const CONTROL_JOIN: u8 = 6;
+const CONTROL_JOIN_ACK: u8 = 7;
+const CONTROL_LEAVE: u8 = 8;
+const CONTROL_MEMBERSHIP_UPDATE: u8 = 9;
+
+const MEMBER_UP: u8 = 0;
+const MEMBER_DOWN: u8 = 1;
+const MEMBER_LEFT: u8 = 2;
 
 const CTL_RELIABLE_ACK: u8 = 0;
 const CTL_RELIABLE_NACK: u8 = 1;
@@ -179,6 +189,10 @@ pub fn encode_into(wire: &Wire, buf: &mut Vec<u8>) -> Result<(), WireError> {
                 Control::Lsa(_) => CONTROL_LSA,
                 Control::GroupUpdate(_) => CONTROL_GROUP_UPDATE,
                 Control::WatchReceipt { .. } => CONTROL_WATCH_RECEIPT,
+                Control::Join { .. } => CONTROL_JOIN,
+                Control::JoinAck { .. } => CONTROL_JOIN_ACK,
+                Control::Leave { .. } => CONTROL_LEAVE,
+                Control::MembershipUpdate { .. } => CONTROL_MEMBERSHIP_UPDATE,
             },
         ),
         Wire::FromClient(_) => return Err(WireError::LocalOnly("FromClient")),
@@ -527,6 +541,39 @@ fn put_control(buf: &mut Vec<u8>, c: &Control) -> Result<(), WireError> {
             put_u64(buf, *received);
             put_u64(buf, *progressed);
         }
+        Control::Join { node, incarnation } | Control::Leave { node, incarnation } => {
+            put_node(buf, *node)?;
+            put_u64(buf, *incarnation);
+        }
+        Control::JoinAck { members } => {
+            put_members(buf, members)?;
+        }
+        Control::MembershipUpdate {
+            origin,
+            seq,
+            members,
+        } => {
+            put_node(buf, *origin)?;
+            put_u64(buf, *seq);
+            put_members(buf, members)?;
+        }
+    }
+    Ok(())
+}
+
+fn put_members(buf: &mut Vec<u8>, members: &[MemberInfo]) -> Result<(), WireError> {
+    put_u16(
+        buf,
+        u16::try_from(members.len()).map_err(|_| WireError::TooLarge("members"))?,
+    );
+    for m in members {
+        put_node(buf, m.node)?;
+        put_u64(buf, m.incarnation);
+        buf.push(match m.status {
+            MemberStatus::Up => MEMBER_UP,
+            MemberStatus::Down => MEMBER_DOWN,
+            MemberStatus::Left => MEMBER_LEFT,
+        });
     }
     Ok(())
 }
@@ -839,6 +886,27 @@ fn get_control(r: &mut Reader<'_>, sub: u8) -> Result<Control, WireError> {
             received: r.u64()?,
             progressed: r.u64()?,
         },
+        CONTROL_JOIN => Control::Join {
+            node: get_node(r)?,
+            incarnation: r.u64()?,
+        },
+        CONTROL_JOIN_ACK => Control::JoinAck {
+            members: get_members(r)?,
+        },
+        CONTROL_LEAVE => Control::Leave {
+            node: get_node(r)?,
+            incarnation: r.u64()?,
+        },
+        CONTROL_MEMBERSHIP_UPDATE => {
+            let origin = get_node(r)?;
+            let seq = r.u64()?;
+            let members = get_members(r)?;
+            Control::MembershipUpdate {
+                origin,
+                seq,
+                members,
+            }
+        }
         tag => {
             return Err(WireError::BadTag {
                 what: "control",
@@ -846,6 +914,32 @@ fn get_control(r: &mut Reader<'_>, sub: u8) -> Result<Control, WireError> {
             })
         }
     })
+}
+
+fn get_members(r: &mut Reader<'_>) -> Result<Vec<MemberInfo>, WireError> {
+    let n = r.u16()? as usize;
+    let mut members = Vec::with_capacity(n.min(r.remaining()));
+    for _ in 0..n {
+        let node = get_node(r)?;
+        let incarnation = r.u64()?;
+        let status = match r.u8()? {
+            MEMBER_UP => MemberStatus::Up,
+            MEMBER_DOWN => MemberStatus::Down,
+            MEMBER_LEFT => MemberStatus::Left,
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "member status",
+                    tag,
+                })
+            }
+        };
+        members.push(MemberInfo {
+            node,
+            incarnation,
+            status,
+        });
+    }
+    Ok(members)
 }
 
 #[cfg(test)]
@@ -880,6 +974,65 @@ mod tests {
         bytes[0] = FRAME_MAGIC;
         bytes[1] = 99;
         assert!(matches!(decode(&bytes), Err(WireError::BadVersion(99))));
+    }
+
+    #[test]
+    fn membership_frames_round_trip_at_charged_size() {
+        use son_netsim::process::SimMessage as _;
+        let members = vec![
+            MemberInfo {
+                node: NodeId(4),
+                incarnation: 2,
+                status: MemberStatus::Up,
+            },
+            MemberInfo {
+                node: NodeId(9),
+                incarnation: 0,
+                status: MemberStatus::Left,
+            },
+        ];
+        for w in [
+            Wire::Control(Control::Join {
+                node: NodeId(7),
+                incarnation: 3,
+            }),
+            Wire::Control(Control::Leave {
+                node: NodeId(7),
+                incarnation: 3,
+            }),
+            Wire::Control(Control::JoinAck {
+                members: members.clone(),
+            }),
+            Wire::Control(Control::MembershipUpdate {
+                origin: NodeId(1),
+                seq: 11,
+                members,
+            }),
+        ] {
+            let bytes = encode(&w).unwrap();
+            assert_eq!(bytes.len(), w.wire_size(), "charged size for {w:?}");
+            assert_eq!(decode(&bytes).unwrap(), w);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_member_status() {
+        let w = Wire::Control(Control::JoinAck {
+            members: vec![MemberInfo {
+                node: NodeId(1),
+                incarnation: 0,
+                status: MemberStatus::Up,
+            }],
+        });
+        let mut bytes = encode(&w).unwrap();
+        *bytes.last_mut().unwrap() = 9;
+        assert_eq!(
+            decode(&bytes),
+            Err(WireError::BadTag {
+                what: "member status",
+                tag: 9
+            })
+        );
     }
 
     #[test]

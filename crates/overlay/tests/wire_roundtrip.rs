@@ -12,7 +12,8 @@ use son_netsim::time::{SimDuration, SimTime};
 use son_obs::trace::{TraceContext, TRACE_CONTEXT_BYTES};
 use son_overlay::addr::{DestKey, FlowKey, GroupId, OverlayAddr};
 use son_overlay::packet::{
-    Control, DataPacket, GroupUpdate, LinkAdvert, LinkCtl, Lsa, Wire, DATA_HEADER_BYTES, MASK_BYTES,
+    Control, DataPacket, GroupUpdate, LinkAdvert, LinkCtl, Lsa, MemberInfo, MemberStatus, Wire,
+    DATA_HEADER_BYTES, MASK_BYTES,
 };
 use son_overlay::service::{
     FecParams, FlowSpec, LinkService, Priority, RealtimeParams, RoutingService, SourceRoute,
@@ -156,8 +157,23 @@ fn gen_ctl(rng: &mut TestRng) -> LinkCtl {
     }
 }
 
+fn gen_members(rng: &mut TestRng) -> Vec<MemberInfo> {
+    let n = rng.gen_range(0usize..10);
+    (0..n)
+        .map(|_| MemberInfo {
+            node: NodeId(rng.gen_range(0usize..5000)),
+            incarnation: rng.gen_range(0u64..u64::MAX),
+            status: match rng.gen_range(0u8..3) {
+                0 => MemberStatus::Up,
+                1 => MemberStatus::Down,
+                _ => MemberStatus::Left,
+            },
+        })
+        .collect()
+}
+
 fn gen_control(rng: &mut TestRng) -> Control {
-    match rng.gen_range(0u8..5) {
+    match rng.gen_range(0u8..9) {
         0 => Control::Hello {
             seq: rng.gen_range(0u64..u64::MAX),
             sent_at: SimTime::from_nanos(rng.gen_range(0u64..u64::MAX / 2)),
@@ -189,9 +205,25 @@ fn gen_control(rng: &mut TestRng) -> Control {
                 groups: (0..n).map(|_| GroupId(rng.gen_range(0u32..1000))).collect(),
             })
         }
-        _ => Control::WatchReceipt {
+        4 => Control::WatchReceipt {
             received: rng.gen_range(0u64..u64::MAX),
             progressed: rng.gen_range(0u64..u64::MAX),
+        },
+        5 => Control::Join {
+            node: NodeId(rng.gen_range(0usize..5000)),
+            incarnation: rng.gen_range(0u64..u64::MAX),
+        },
+        6 => Control::JoinAck {
+            members: gen_members(rng),
+        },
+        7 => Control::Leave {
+            node: NodeId(rng.gen_range(0usize..5000)),
+            incarnation: rng.gen_range(0u64..u64::MAX),
+        },
+        _ => Control::MembershipUpdate {
+            origin: NodeId(rng.gen_range(0usize..5000)),
+            seq: rng.gen_range(0u64..u64::MAX),
+            members: gen_members(rng),
         },
     }
 }
@@ -265,6 +297,76 @@ fn fixed_control_frames_match_charged_size() {
         assert_eq!(bytes.len(), 24, "{w:?}");
         assert_eq!(bytes.len(), w.wire_size(), "{w:?}");
         assert_eq!(bytes.len(), FRAME_HEADER_BYTES + 16);
+    }
+}
+
+/// Membership frames encode to exactly the bytes the cost model charges
+/// (frame header included, matching the Hello convention): Join/Leave are
+/// 20 bytes (8-byte header + node + incarnation), JoinAck and
+/// MembershipUpdate scale linearly at 13 bytes per member entry.
+#[test]
+fn membership_frames_match_charged_size_exactly() {
+    use son_netsim::process::SimMessage;
+    let members = |n: usize| -> Vec<MemberInfo> {
+        (0..n)
+            .map(|i| MemberInfo {
+                node: NodeId(i),
+                incarnation: i as u64,
+                status: MemberStatus::Up,
+            })
+            .collect()
+    };
+    let cases = [
+        (
+            Control::Join {
+                node: NodeId(3),
+                incarnation: 2,
+            },
+            20,
+        ),
+        (
+            Control::Leave {
+                node: NodeId(3),
+                incarnation: 2,
+            },
+            20,
+        ),
+        (
+            Control::JoinAck {
+                members: members(0),
+            },
+            10,
+        ),
+        (
+            Control::JoinAck {
+                members: members(5),
+            },
+            10 + 13 * 5,
+        ),
+        (
+            Control::MembershipUpdate {
+                origin: NodeId(1),
+                seq: 9,
+                members: members(0),
+            },
+            22,
+        ),
+        (
+            Control::MembershipUpdate {
+                origin: NodeId(1),
+                seq: 9,
+                members: members(3),
+            },
+            22 + 13 * 3,
+        ),
+    ];
+    for (c, total) in cases {
+        let w = Wire::Control(c);
+        let bytes = encode(&w).unwrap();
+        assert_eq!(bytes.len(), total, "{w:?}");
+        assert_eq!(bytes.len(), w.wire_size(), "{w:?}");
+        assert!(bytes.len() > FRAME_HEADER_BYTES);
+        assert!(round_trips(&w));
     }
 }
 

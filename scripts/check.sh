@@ -37,6 +37,12 @@ cargo run --release -q -p son-bench --bin exp_watchdog -- --smoke
 cargo run --release -q -p son-bench --bin son-trace -- \
     --watch-audit target/obs/watch.jsonl
 
+echo "==> churn smoke campaign (exp_churn --smoke: convergence bound + delivery floor)"
+cargo run --release -q -p son-bench --bin exp_churn -- --smoke
+
+echo "==> membership join smoke (son-node x5 over 127.0.0.1, joiner via --seed-peer)"
+scripts/join_smoke.sh
+
 echo "==> udp loopback smoke (son-node x4 over 127.0.0.1, sim-vs-real parity)"
 BENCH_OUT=target/obs/BENCH_udp_smoke.json \
     cargo run --release -q -p son-bench --bin exp_udp_parity -- --smoke
@@ -48,7 +54,7 @@ cargo run --release -q -p son-bench --bin son-trace -- \
 
 echo "==> son-top SLO gate on the cluster's telemetry stream"
 cargo run --release -q -p son-bench --bin son-top -- --json --once \
-    --gate 'delivery>=0.9,stale<=2' \
+    --gate 'delivery>=0.9,stale<=2,members>=4' \
     target/obs/udp_parity/udp_e1_smoke.udp.telemetry.jsonl
 
 echo "All checks passed."
